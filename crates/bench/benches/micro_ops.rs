@@ -1,0 +1,107 @@
+//! Criterion micro-benchmarks of the core primitives.
+//!
+//! Not a paper figure: these give per-operation statistics (with
+//! confidence intervals) for the building blocks the figures aggregate —
+//! fork invocations at a fixed size, the three fault paths, and populate.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use odf_bench as bench;
+use odf_core::{ForkPolicy, Kernel};
+
+fn fork_benches(c: &mut Criterion) {
+    let size = 128 * bench::MIB;
+    let kernel = bench::kernel_for(2 * size);
+    let proc = kernel.spawn().expect("spawn");
+    let addr = proc.mmap_anon(size).expect("mmap");
+    proc.populate(addr, size, true).expect("fill");
+
+    let mut group = c.benchmark_group("fork_128MiB");
+    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group.bench_function("classic", |b| {
+        b.iter(|| {
+            let child = proc.fork_with(ForkPolicy::Classic).expect("fork");
+            child.exit();
+        })
+    });
+    group.bench_function("on_demand", |b| {
+        b.iter(|| {
+            let child = proc.fork_with(ForkPolicy::OnDemand).expect("fork");
+            child.exit();
+        })
+    });
+    group.finish();
+
+    let kernel_huge = bench::kernel_for(2 * size);
+    let proc_huge = kernel_huge.spawn().expect("spawn");
+    let haddr = proc_huge.mmap_anon_huge(size).expect("mmap");
+    proc_huge.populate(haddr, size, true).expect("fill");
+    let mut group = c.benchmark_group("fork_128MiB_huge");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group.bench_function("classic_huge", |b| {
+        b.iter(|| {
+            let child = proc_huge.fork_with(ForkPolicy::Classic).expect("fork");
+            child.exit();
+        })
+    });
+    group.finish();
+}
+
+fn fault_benches(c: &mut Criterion) {
+    let size = 64 * bench::MIB;
+    let mut group = c.benchmark_group("write_fault");
+    group.sample_size(20).measurement_time(Duration::from_secs(3));
+
+    // Worst-case On-demand-fork fault: first write in a shared 2 MiB range.
+    group.bench_function("odf_table_cow", |b| {
+        let kernel = bench::kernel_for(2 * size);
+        let proc = kernel.spawn().expect("spawn");
+        let addr = proc.mmap_anon(size).expect("mmap");
+        proc.populate(addr, size, true).expect("fill");
+        b.iter_batched(
+            || proc.fork_with(ForkPolicy::OnDemand).expect("fork"),
+            |child| {
+                child.write(addr + size / 2, &[1]).expect("write");
+                child.exit();
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+
+    // Classic COW fault: 4 KiB data copy.
+    group.bench_function("classic_data_cow", |b| {
+        let kernel = bench::kernel_for(2 * size);
+        let proc = kernel.spawn().expect("spawn");
+        let addr = proc.mmap_anon(size).expect("mmap");
+        proc.populate(addr, size, true).expect("fill");
+        b.iter_batched(
+            || proc.fork_with(ForkPolicy::Classic).expect("fork"),
+            |child| {
+                child.write(addr + size / 2, &[1]).expect("write");
+                child.exit();
+            },
+            criterion::BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+fn populate_bench(c: &mut Criterion) {
+    let size = 64 * bench::MIB;
+    let mut group = c.benchmark_group("populate_64MiB");
+    group.sample_size(15).measurement_time(Duration::from_secs(3));
+    group.bench_function("populate", |b| {
+        let kernel = Kernel::new(size + 32 * bench::MIB);
+        let proc = kernel.spawn().expect("spawn");
+        b.iter(|| {
+            let addr = proc.mmap_anon(size).expect("mmap");
+            proc.populate(addr, size, true).expect("fill");
+            proc.munmap(addr, size).expect("munmap");
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, fork_benches, fault_benches, populate_bench);
+criterion_main!(benches);

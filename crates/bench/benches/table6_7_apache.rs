@@ -1,0 +1,96 @@
+//! Tables 6 and 7: Apache (prefork MPM) response latency right after
+//! startup, fork vs On-demand-fork — the negative control.
+//!
+//! Apache maps only ~7 MiB before forking and forks only to build its
+//! worker pool, so On-demand-fork can neither help nor hurt: the paper
+//! reports differences within noise (mean -1.75%, max +6.59%, percentile
+//! deltas between -7.4% and +4.7%).
+
+use std::time::Duration;
+
+use odf_bench as bench;
+use odf_core::ForkPolicy;
+use odf_httpd::{wrk, HttpConfig, PreforkServer};
+use odf_metrics::{Histogram, Summary};
+
+fn session(policy: ForkPolicy) -> (Summary, Histogram) {
+    let kernel = bench::kernel_for(256 * bench::MIB);
+    let mut server = PreforkServer::start(
+        &kernel,
+        HttpConfig {
+            workers: 8,
+            policy,
+            documents: 64,
+            document_size: 4096,
+            max_requests_per_worker: 0,
+        },
+    )
+    .expect("server");
+    println!(
+        "  [{policy:?}] control maps {} before forking (paper: ~7 MiB)",
+        bench::fmt_bytes(server.control_mapped_bytes())
+    );
+    let duration = if bench::fast_mode() {
+        Duration::from_millis(200)
+    } else {
+        Duration::from_secs(1)
+    };
+    // The paper runs wrk for 1-second sessions, 5 times.
+    let mut summary = Summary::new();
+    let mut hist = Histogram::new();
+    for rep in 0..bench::reps() as u64 {
+        let report = wrk::run(&mut server, 64, duration, rep).expect("wrk");
+        summary.record(report.summary.mean());
+        hist.merge(&report.latency);
+    }
+    (summary, hist)
+}
+
+fn main() {
+    bench::banner(
+        "Tables 6 & 7",
+        "Apache prefork response latency after startup (negative control)",
+    );
+    let (f_sum, f_hist) = session(ForkPolicy::Classic);
+    let (o_sum, o_hist) = session(ForkPolicy::OnDemand);
+
+    println!("\nTable 6 — mean/max response latency:");
+    let mut t6 = bench::Table::new(&["", "Fork (us)", "On-demand-fork (us)", "Difference"]);
+    let diff = |a: f64, b: f64| format!("{:+.2}%", 100.0 * (b - a) / a.max(1e-9));
+    t6.row_owned(vec![
+        "Mean".into(),
+        format!("{:.2}", f_sum.mean() / 1e3),
+        format!("{:.2}", o_sum.mean() / 1e3),
+        diff(f_sum.mean(), o_sum.mean()),
+    ]);
+    t6.row_owned(vec![
+        "Max".into(),
+        format!("{:.2}", f_hist.max() as f64 / 1e3),
+        format!("{:.2}", o_hist.max() as f64 / 1e3),
+        diff(f_hist.max() as f64, o_hist.max() as f64),
+    ]);
+    println!("{t6}");
+
+    println!("Table 7 — latency percentiles:");
+    let mut t7 = bench::Table::new(&[
+        "Percentile",
+        "Fork (us)",
+        "On-demand-fork (us)",
+        "Difference",
+    ]);
+    for p in [50.0, 75.0, 90.0, 99.0] {
+        let f = f_hist.percentile(p) as f64;
+        let o = o_hist.percentile(p) as f64;
+        t7.row_owned(vec![
+            format!(">={p}%"),
+            format!("{:.2}", f / 1e3),
+            format!("{:.2}", o / 1e3),
+            diff(f, o),
+        ]);
+    }
+    println!("{t7}");
+    println!(
+        "Paper reference: all differences within noise (mean -1.75%, \
+         percentiles -7.4%..+4.7%) — not all workloads benefit."
+    );
+}

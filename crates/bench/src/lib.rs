@@ -1,0 +1,190 @@
+//! Shared infrastructure for the paper-reproduction benchmarks.
+//!
+//! Each bench target in `benches/` regenerates one table or figure of the
+//! paper's evaluation (see DESIGN.md §3 for the full index) and prints its
+//! rows in the paper's layout. This library holds the common pieces:
+//! scaling knobs, the fill-then-fork microbenchmark core (the program of
+//! the paper's Figure 1), and output helpers.
+//!
+//! Scaling knobs (environment variables):
+//!
+//! - `ODF_BENCH_SCALE`: multiplies simulated region sizes (default 1.0).
+//! - `ODF_BENCH_FAST`: if set, shrinks sweeps and durations for smoke
+//!   runs.
+//! - `ODF_BENCH_REPS`: repetitions per configuration (default 3; the
+//!   paper uses 5).
+
+#![forbid(unsafe_code)]
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use odf_core::{ForkPolicy, Kernel, Process, Result};
+use odf_metrics::Stopwatch;
+
+pub use odf_metrics::{fmt_bytes, fmt_ns, Histogram, Summary, Table, Throughput};
+
+/// One mebibyte.
+pub const MIB: u64 = 1 << 20;
+/// One gibibyte.
+pub const GIB: u64 = 1 << 30;
+
+/// Reads the global size multiplier.
+pub fn scale() -> f64 {
+    std::env::var("ODF_BENCH_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s: &f64| s > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Whether fast (smoke) mode is on.
+pub fn fast_mode() -> bool {
+    std::env::var_os("ODF_BENCH_FAST").is_some()
+}
+
+/// Repetitions per configuration.
+pub fn reps() -> usize {
+    std::env::var("ODF_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r > 0)
+        .unwrap_or(3)
+}
+
+/// Scales a byte size by `ODF_BENCH_SCALE`, rounding to whole MiB.
+pub fn scaled(bytes: u64) -> u64 {
+    let s = (bytes as f64 * scale()) as u64;
+    s.next_multiple_of(MIB).max(MIB)
+}
+
+/// The size sweep used by Figures 2, 4, and 7 (the paper sweeps 0.5–50 GiB
+/// in 512 MiB steps; we sweep the same decades in powers of two, scaled).
+pub fn size_sweep() -> Vec<u64> {
+    let full: &[u64] = if fast_mode() {
+        &[128 * MIB, 512 * MIB]
+    } else {
+        &[
+            128 * MIB,
+            256 * MIB,
+            512 * MIB,
+            GIB,
+            2 * GIB,
+            4 * GIB,
+            8 * GIB,
+        ]
+    };
+    full.iter().map(|&b| scaled(b)).collect()
+}
+
+/// Builds a kernel sized to comfortably hold `working_set` bytes of
+/// simulated memory (plus page tables and slack).
+pub fn kernel_for(working_set: u64) -> Arc<Kernel> {
+    // Page tables add ~1/512; slack covers upper levels, heap metadata,
+    // and COW copies in fault benchmarks.
+    Kernel::new(working_set + working_set / 64 + 64 * MIB)
+}
+
+/// The microbenchmark core (the paper's Figure 1 program): map `size`
+/// bytes of private anonymous memory, fill it, then time one fork; the
+/// child exits immediately and teardown completes before return.
+pub fn fill_and_time_fork(proc: &Process, size: u64, policy: ForkPolicy) -> Result<u64> {
+    let addr = proc.mmap_anon(size)?;
+    proc.populate(addr, size, true)?;
+    let sw = Stopwatch::start();
+    let child = proc.fork_with(policy)?;
+    let ns = sw.elapsed_ns();
+    child.exit();
+    proc.munmap(addr, size)?;
+    Ok(ns)
+}
+
+/// Same, but with a 2 MiB-huge-page-backed buffer (Figure 4).
+pub fn fill_and_time_fork_huge(proc: &Process, size: u64) -> Result<u64> {
+    let addr = proc.mmap_anon_huge(size)?;
+    proc.populate(addr, size, true)?;
+    let sw = Stopwatch::start();
+    let child = proc.fork_with(ForkPolicy::Classic)?;
+    let ns = sw.elapsed_ns();
+    child.exit();
+    proc.munmap(addr, size)?;
+    Ok(ns)
+}
+
+/// Runs `f` `reps()` times and returns (mean ns, min ns).
+pub fn repeat(mut f: impl FnMut() -> Result<u64>) -> Result<(f64, u64)> {
+    let mut sum = 0u64;
+    let mut min = u64::MAX;
+    let n = reps() as u64;
+    for _ in 0..n {
+        let ns = f()?;
+        sum += ns;
+        min = min.min(ns);
+    }
+    Ok((sum as f64 / n as f64, min))
+}
+
+/// Milliseconds with three decimals, for table cells.
+pub fn ms(ns: f64) -> String {
+    format!("{:.3}", ns / 1e6)
+}
+
+/// Duration for campaign-style benches (fuzzing, Redis sessions).
+pub fn campaign_duration(default_secs: u64) -> Duration {
+    if fast_mode() {
+        Duration::from_secs(2.min(default_secs))
+    } else {
+        Duration::from_secs(default_secs)
+    }
+}
+
+/// Prints the standard bench header.
+pub fn banner(name: &str, what: &str) {
+    println!("\n=== {name} — {what} ===");
+    println!(
+        "(scale={}, reps={}, fast={})\n",
+        scale(),
+        reps(),
+        fast_mode()
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_rounds_to_mib() {
+        assert_eq!(scaled(MIB) % MIB, 0);
+        assert!(scaled(GIB) >= MIB);
+    }
+
+    #[test]
+    fn sweep_is_increasing() {
+        let s = size_sweep();
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn fill_and_time_fork_runs() {
+        let k = kernel_for(64 * MIB);
+        let p = k.spawn().unwrap();
+        let ns = fill_and_time_fork(&p, 16 * MIB, ForkPolicy::OnDemand).unwrap();
+        assert!(ns > 0);
+        let ns = fill_and_time_fork_huge(&p, 16 * MIB).unwrap();
+        assert!(ns > 0);
+        assert_eq!(k.process_count(), 1);
+    }
+
+    #[test]
+    fn repeat_reports_mean_and_min() {
+        let mut i = 0u64;
+        let (mean, min) = repeat(|| {
+            i += 100;
+            Ok(i)
+        })
+        .unwrap();
+        assert!(min >= 100);
+        assert!(mean >= min as f64);
+    }
+}

@@ -1,0 +1,198 @@
+//! The simulated kernel: machine state, process table, and fork policy
+//! configuration.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use odf_pmem::StatsSnapshot;
+use odf_vm::{ForkPolicy, Machine, Mm, Result, VmStatsSnapshot};
+use parking_lot::Mutex;
+
+use crate::process::Process;
+
+/// A process identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pid(pub u64);
+
+impl std::fmt::Debug for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+impl std::fmt::Display for Pid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Combined kernel statistics: the VM-layer and physical-layer counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KernelStats {
+    /// Virtual-memory subsystem counters (faults, fork breakdown, COW).
+    pub vm: VmStatsSnapshot,
+    /// Physical memory counters (refcounts, `compound_head`, copies).
+    pub pool: StatsSnapshot,
+}
+
+impl std::ops::Sub for KernelStats {
+    type Output = KernelStats;
+
+    fn sub(self, rhs: KernelStats) -> KernelStats {
+        KernelStats {
+            vm: self.vm - rhs.vm,
+            pool: self.pool - rhs.pool,
+        }
+    }
+}
+
+/// One simulated machine: physical memory, page tables, the process table,
+/// and the fork configuration interface.
+///
+/// The paper exposes On-demand-fork two ways (§4 "Flexibility"): as a new
+/// system call applications opt into, and as a procfs switch that flips the
+/// meaning of plain `fork` for a given process with no application change.
+/// [`Kernel::set_fork_policy`] is that switch;
+/// [`Process::fork_with`] is the explicit system call.
+pub struct Kernel {
+    machine: Arc<Machine>,
+    next_pid: AtomicU64,
+    live_processes: AtomicU64,
+    /// Per-process fork policy overrides (the procfs file analog).
+    policies: Mutex<HashMap<Pid, ForkPolicy>>,
+    /// Policy used when a process has no override.
+    default_policy: Mutex<ForkPolicy>,
+}
+
+impl Kernel {
+    /// Boots a kernel managing `phys_bytes` of simulated physical memory.
+    pub fn new(phys_bytes: u64) -> Arc<Self> {
+        Arc::new(Self {
+            machine: Machine::new(phys_bytes),
+            next_pid: AtomicU64::new(1),
+            live_processes: AtomicU64::new(0),
+            policies: Mutex::new(HashMap::new()),
+            default_policy: Mutex::new(ForkPolicy::Classic),
+        })
+    }
+
+    /// The underlying machine (pool, table store, stats).
+    pub fn machine(&self) -> &Arc<Machine> {
+        &self.machine
+    }
+
+    /// Creates a fresh process with an empty address space.
+    pub fn spawn(self: &Arc<Self>) -> Result<Process> {
+        let mm = Mm::new(Arc::clone(&self.machine))?;
+        Ok(self.adopt(mm))
+    }
+
+    /// Registers an address space as a new process.
+    pub(crate) fn adopt(self: &Arc<Self>, mm: Mm) -> Process {
+        let pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed));
+        self.live_processes.fetch_add(1, Ordering::Relaxed);
+        Process::new(Arc::clone(self), pid, mm)
+    }
+
+    pub(crate) fn retire(&self, pid: Pid) {
+        self.live_processes.fetch_sub(1, Ordering::Relaxed);
+        self.policies.lock().remove(&pid);
+    }
+
+    /// Number of live processes.
+    pub fn process_count(&self) -> u64 {
+        self.live_processes.load(Ordering::Relaxed)
+    }
+
+    /// Sets the machine-wide default fork policy.
+    pub fn set_default_fork_policy(&self, policy: ForkPolicy) {
+        *self.default_policy.lock() = policy;
+    }
+
+    /// Sets (or, with `None`, clears) a per-process fork policy override —
+    /// the `/proc/<pid>/` switch of §4 that enables On-demand-fork without
+    /// changing application code.
+    pub fn set_fork_policy(&self, pid: Pid, policy: Option<ForkPolicy>) {
+        let mut map = self.policies.lock();
+        match policy {
+            Some(p) => {
+                map.insert(pid, p);
+            }
+            None => {
+                map.remove(&pid);
+            }
+        }
+    }
+
+    /// The policy a plain `fork()` by `pid` will use.
+    pub fn effective_fork_policy(&self, pid: Pid) -> ForkPolicy {
+        self.policies
+            .lock()
+            .get(&pid)
+            .copied()
+            .unwrap_or(*self.default_policy.lock())
+    }
+
+    /// Snapshot of all kernel counters.
+    pub fn stats(&self) -> KernelStats {
+        KernelStats {
+            vm: self.machine.stats().snapshot(),
+            pool: self.machine.pool().stats().snapshot(),
+        }
+    }
+
+    /// Free simulated physical memory, in bytes.
+    pub fn free_bytes(&self) -> u64 {
+        self.machine.pool().free_frames() as u64 * odf_pmem::PAGE_SIZE as u64
+    }
+
+    /// Total simulated physical memory, in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.machine.pool().total_frames() as u64 * odf_pmem::PAGE_SIZE as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_assigns_increasing_pids() {
+        let k = Kernel::new(16 << 20);
+        let a = k.spawn().unwrap();
+        let b = k.spawn().unwrap();
+        assert!(b.pid() > a.pid());
+        assert_eq!(k.process_count(), 2);
+        drop(a);
+        assert_eq!(k.process_count(), 1);
+        drop(b);
+        assert_eq!(k.process_count(), 0);
+    }
+
+    #[test]
+    fn policy_override_beats_default() {
+        let k = Kernel::new(16 << 20);
+        let p = k.spawn().unwrap();
+        assert_eq!(k.effective_fork_policy(p.pid()), ForkPolicy::Classic);
+        k.set_default_fork_policy(ForkPolicy::OnDemand);
+        assert_eq!(k.effective_fork_policy(p.pid()), ForkPolicy::OnDemand);
+        k.set_fork_policy(p.pid(), Some(ForkPolicy::Classic));
+        assert_eq!(k.effective_fork_policy(p.pid()), ForkPolicy::Classic);
+        k.set_fork_policy(p.pid(), None);
+        assert_eq!(k.effective_fork_policy(p.pid()), ForkPolicy::OnDemand);
+    }
+
+    #[test]
+    fn memory_accounting_is_exposed() {
+        let k = Kernel::new(16 << 20);
+        assert_eq!(k.total_bytes(), 16 << 20);
+        let before = k.free_bytes();
+        let p = k.spawn().unwrap();
+        let addr = p.mmap_anon(1 << 20).unwrap();
+        p.populate(addr, 1 << 20, true).unwrap();
+        assert!(k.free_bytes() < before);
+        drop(p);
+        assert_eq!(k.free_bytes(), before);
+    }
+}

@@ -1,0 +1,59 @@
+//! # odf-core — On-demand-fork as a library
+//!
+//! This crate is the public face of the reproduction of *On-demand-fork: A
+//! Microsecond Fork for Memory-Intensive and Latency-Sensitive
+//! Applications* (Zhao, Gong, Fonseca — EuroSys '21). It wraps the
+//! simulated kernel layers ([`odf_pmem`], [`odf_pagetable`], [`odf_vm`])
+//! in a process-level API shaped like the system interface the paper
+//! modifies:
+//!
+//! ```
+//! use odf_core::{ForkPolicy, Kernel};
+//!
+//! let kernel = Kernel::new(64 << 20); // 64 MiB simulated machine
+//! let parent = kernel.spawn().unwrap();
+//! let buf = parent.mmap_anon(4 << 20).unwrap();
+//! parent.write(buf, b"state built before the fork").unwrap();
+//!
+//! // The drop-in replacement: same semantics, different cost profile.
+//! let child = parent.fork_with(ForkPolicy::OnDemand).unwrap();
+//! let mut out = vec![0u8; 27];
+//! child.read(buf, &mut out).unwrap();
+//! assert_eq!(&out, b"state built before the fork");
+//!
+//! child.write(buf, b"child writes are private   ").unwrap();
+//! let mut parent_view = vec![0u8; 27];
+//! parent.read(buf, &mut parent_view).unwrap();
+//! assert_eq!(&parent_view, b"state built before the fork");
+//! ```
+//!
+//! Key types:
+//!
+//! - [`Kernel`]: one simulated machine — physical memory pool, page-table
+//!   store, process table, and the procfs-like per-process fork policy
+//!   configuration of §4 ("Flexibility").
+//! - [`Process`]: a simulated process. `fork()` honors the configured
+//!   policy; `fork_with()` selects one explicitly, like choosing between
+//!   the `fork` and `on-demand-fork` system calls.
+//! - [`ForkPolicy`]: [`ForkPolicy::Classic`] (traditional fork) or
+//!   [`ForkPolicy::OnDemand`] (the paper's contribution). Huge-page-backed
+//!   mappings (Figure 4's baseline) are selected per-mapping via
+//!   [`MapParams::anon_rw_huge`].
+//! - [`UserHeap`]: a malloc-style allocator whose metadata lives *inside*
+//!   the simulated address space, so that application heap traffic
+//!   exercises the copy-on-write machinery exactly like a real heap.
+
+#![forbid(unsafe_code)]
+
+mod kernel;
+mod process;
+mod ualloc;
+
+pub use kernel::{Kernel, KernelStats, Pid};
+pub use process::Process;
+pub use ualloc::UserHeap;
+
+pub use odf_vm::{
+    Backing, ForkPolicy, Machine, MapParams, MmReport, Prot, Result, VmError, VmFile,
+    HUGE_PAGE_SIZE, PAGE_SIZE,
+};

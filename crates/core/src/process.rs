@@ -1,0 +1,241 @@
+//! Simulated processes.
+
+use std::sync::Arc;
+
+use odf_vm::{ForkPolicy, MapParams, Mm, MmReport, Prot, Result};
+
+use crate::kernel::{Kernel, Pid};
+
+/// A simulated process: a PID plus an address space on a [`Kernel`].
+///
+/// Process handles are `Send` and may be moved across host threads; in the
+/// application substrates (Redis snapshotting, the AFL fork server) parent
+/// and child run concurrently on real threads, contending on real locks —
+/// which is what makes the latency measurements meaningful.
+///
+/// Dropping the handle exits the process: the address space is torn down
+/// (releasing shared page-table references per §3.5) and the PID retired.
+pub struct Process {
+    kernel: Arc<Kernel>,
+    pid: Pid,
+    mm: Mm,
+}
+
+impl Process {
+    pub(crate) fn new(kernel: Arc<Kernel>, pid: Pid, mm: Mm) -> Self {
+        Self { kernel, pid, mm }
+    }
+
+    /// This process's identifier.
+    pub fn pid(&self) -> Pid {
+        self.pid
+    }
+
+    /// The kernel this process runs on.
+    pub fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// Direct access to the address space (advanced use and tests).
+    pub fn mm(&self) -> &Mm {
+        &self.mm
+    }
+
+    // ------------------------------------------------------------------
+    // Memory mapping
+    // ------------------------------------------------------------------
+
+    /// Maps a private anonymous read-write region (the configuration of
+    /// every microbenchmark in the paper).
+    pub fn mmap_anon(&self, len: u64) -> Result<u64> {
+        self.mm.mmap(len, MapParams::anon_rw())
+    }
+
+    /// Maps a private anonymous read-write region backed by 2 MiB huge
+    /// pages (the Figure 4 baseline).
+    pub fn mmap_anon_huge(&self, len: u64) -> Result<u64> {
+        self.mm.mmap(len, MapParams::anon_rw_huge())
+    }
+
+    /// Maps `len` bytes with explicit parameters.
+    pub fn mmap(&self, len: u64, params: MapParams) -> Result<u64> {
+        self.mm.mmap(len, params)
+    }
+
+    /// Maps `len` bytes at a fixed address.
+    pub fn mmap_fixed(&self, addr: u64, len: u64, params: MapParams) -> Result<u64> {
+        self.mm.mmap_fixed(addr, len, params)
+    }
+
+    /// Unmaps a range.
+    pub fn munmap(&self, addr: u64, len: u64) -> Result<()> {
+        self.mm.munmap(addr, len)
+    }
+
+    /// Resizes (possibly moving) a mapping; returns its new address.
+    pub fn mremap(&self, addr: u64, old_len: u64, new_len: u64) -> Result<u64> {
+        self.mm.mremap(addr, old_len, new_len)
+    }
+
+    /// Changes protection of a range.
+    pub fn mprotect(&self, addr: u64, len: u64, prot: Prot) -> Result<()> {
+        self.mm.mprotect(addr, len, prot)
+    }
+
+    /// Pre-faults a range (`MAP_POPULATE` / the benchmark "fill" step).
+    pub fn populate(&self, addr: u64, len: u64, write: bool) -> Result<()> {
+        self.mm.populate(addr, len, write)
+    }
+
+    /// Discards a range's contents without unmapping it
+    /// (`madvise(MADV_DONTNEED)`).
+    pub fn madvise_dontneed(&self, addr: u64, len: u64) -> Result<()> {
+        self.mm.madvise_dontneed(addr, len)
+    }
+
+    // ------------------------------------------------------------------
+    // Memory access
+    // ------------------------------------------------------------------
+
+    /// Reads bytes at `addr`.
+    pub fn read(&self, addr: u64, out: &mut [u8]) -> Result<()> {
+        self.mm.read(addr, out)
+    }
+
+    /// Writes bytes at `addr`.
+    pub fn write(&self, addr: u64, data: &[u8]) -> Result<()> {
+        self.mm.write(addr, data)
+    }
+
+    /// Fills a range with a byte.
+    pub fn fill(&self, addr: u64, len: usize, byte: u8) -> Result<()> {
+        self.mm.fill(addr, len, byte)
+    }
+
+    /// Reads bytes at `addr` into a fresh vector.
+    pub fn read_vec(&self, addr: u64, len: usize) -> Result<Vec<u8>> {
+        self.mm.read_vec(addr, len)
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> Result<u64> {
+        self.mm.read_u64(addr)
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&self, addr: u64, value: u64) -> Result<()> {
+        self.mm.write_u64(addr, value)
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> Result<u32> {
+        self.mm.read_u32(addr)
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&self, addr: u64, value: u32) -> Result<()> {
+        self.mm.write_u32(addr, value)
+    }
+
+    // ------------------------------------------------------------------
+    // Process lifecycle
+    // ------------------------------------------------------------------
+
+    /// Forks this process using its configured policy (see
+    /// [`Kernel::set_fork_policy`]); the application-transparent path.
+    pub fn fork(&self) -> Result<Process> {
+        self.fork_with(self.kernel.effective_fork_policy(self.pid))
+    }
+
+    /// Forks with an explicit policy — calling `fork` vs `on_demand_fork`
+    /// directly.
+    pub fn fork_with(&self, policy: ForkPolicy) -> Result<Process> {
+        let child_mm = self.mm.fork(policy)?;
+        Ok(self.kernel.adopt(child_mm))
+    }
+
+    /// Exits the process, tearing down its address space now.
+    ///
+    /// Equivalent to dropping the handle; the explicit form makes teardown
+    /// timing visible in benchmarks.
+    pub fn exit(self) {
+        drop(self);
+    }
+
+    /// Address-space statistics.
+    pub fn memory_report(&self) -> MmReport {
+        self.mm.report()
+    }
+}
+
+impl Drop for Process {
+    fn drop(&mut self) {
+        self.mm.destroy();
+        self.kernel.retire(self.pid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Kernel;
+
+    #[test]
+    fn fork_uses_configured_policy() {
+        let k = Kernel::new(32 << 20);
+        let p = k.spawn().unwrap();
+        let addr = p.mmap_anon(2 << 20).unwrap();
+        p.populate(addr, 2 << 20, true).unwrap();
+
+        let before = k.stats();
+        let c1 = p.fork().unwrap(); // default Classic
+        let mid = k.stats();
+        assert_eq!((mid - before).vm.forks_classic, 1);
+
+        k.set_fork_policy(p.pid(), Some(ForkPolicy::OnDemand));
+        let c2 = p.fork().unwrap();
+        let after = k.stats();
+        assert_eq!((after - mid).vm.forks_odf, 1);
+        drop((c1, c2));
+    }
+
+    #[test]
+    fn children_are_distinct_processes() {
+        let k = Kernel::new(32 << 20);
+        let p = k.spawn().unwrap();
+        let c = p.fork_with(ForkPolicy::OnDemand).unwrap();
+        assert_ne!(p.pid(), c.pid());
+        assert_eq!(k.process_count(), 2);
+        c.exit();
+        assert_eq!(k.process_count(), 1);
+    }
+
+    #[test]
+    fn memory_report_reflects_population() {
+        let k = Kernel::new(32 << 20);
+        let p = k.spawn().unwrap();
+        let addr = p.mmap_anon(1 << 20).unwrap();
+        assert_eq!(p.memory_report().rss_pages, 0);
+        p.populate(addr, 1 << 20, true).unwrap();
+        let r = p.memory_report();
+        assert_eq!(r.rss_pages, 256);
+        assert_eq!(r.mapped_bytes, 1 << 20);
+        assert_eq!(r.vma_count, 1);
+    }
+
+    #[test]
+    fn process_handles_move_across_threads() {
+        let k = Kernel::new(32 << 20);
+        let p = k.spawn().unwrap();
+        let addr = p.mmap_anon(1 << 20).unwrap();
+        p.write_u64(addr, 7).unwrap();
+        let child = p.fork_with(ForkPolicy::OnDemand).unwrap();
+        let handle = std::thread::spawn(move || {
+            let v = child.read_u64(addr).unwrap();
+            child.write_u64(addr, v + 1).unwrap();
+            child.read_u64(addr).unwrap()
+        });
+        assert_eq!(handle.join().unwrap(), 8);
+        assert_eq!(p.read_u64(addr).unwrap(), 7);
+    }
+}

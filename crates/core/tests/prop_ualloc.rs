@@ -1,0 +1,99 @@
+//! Model-based property tests for the in-simulation user heap.
+
+use std::collections::HashMap;
+
+use odf_core::{Kernel, UserHeap};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Allocate a block of the given size and fill it with a byte.
+    Alloc { size: u64, fill: u8 },
+    /// Free the i-th live block.
+    Free(usize),
+    /// Overwrite the i-th live block with a new byte.
+    Rewrite { index: usize, fill: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (1u64..5000, any::<u8>()).prop_map(|(size, fill)| Op::Alloc { size, fill }),
+        2 => any::<usize>().prop_map(Op::Free),
+        2 => (any::<usize>(), any::<u8>())
+            .prop_map(|(index, fill)| Op::Rewrite { index, fill }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// The heap behaves like a map of disjoint, stable byte buffers: no
+    /// allocation ever clobbers another live block.
+    #[test]
+    fn heap_matches_model(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+        let kernel = Kernel::new(64 << 20);
+        let proc = kernel.spawn().unwrap();
+        let heap = UserHeap::create(&proc, 16 << 20).unwrap();
+        // Model: address -> (size, fill byte).
+        let mut model: HashMap<u64, (u64, u8)> = HashMap::new();
+        let mut order: Vec<u64> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc { size, fill } => {
+                    if let Ok(addr) = heap.alloc(&proc, size) {
+                        proc.fill(addr, size as usize, fill).unwrap();
+                        prop_assert!(model.insert(addr, (size, fill)).is_none(),
+                            "allocator handed out a live address twice");
+                        order.push(addr);
+                    }
+                }
+                Op::Free(i) => {
+                    if !order.is_empty() {
+                        let addr = order.swap_remove(i % order.len());
+                        model.remove(&addr);
+                        heap.free(&proc, addr).unwrap();
+                    }
+                }
+                Op::Rewrite { index, fill } => {
+                    if !order.is_empty() {
+                        let addr = order[index % order.len()];
+                        let (size, _) = model[&addr];
+                        proc.fill(addr, size as usize, fill).unwrap();
+                        model.insert(addr, (size, fill));
+                    }
+                }
+            }
+            // Every live block still holds exactly its fill byte.
+            for (&addr, &(size, fill)) in &model {
+                let got = proc.read_vec(addr, size as usize).unwrap();
+                prop_assert!(got.iter().all(|&b| b == fill),
+                    "block at {addr:#x} (size {size}) corrupted");
+            }
+        }
+    }
+
+    /// Recycled blocks never shrink below the requested size.
+    #[test]
+    fn size_of_never_lies(sizes in proptest::collection::vec(1u64..100_000, 1..30)) {
+        let kernel = Kernel::new(128 << 20);
+        let proc = kernel.spawn().unwrap();
+        let heap = UserHeap::create(&proc, 64 << 20).unwrap();
+        let mut blocks = Vec::new();
+        for &size in &sizes {
+            if let Ok(addr) = heap.alloc(&proc, size) {
+                prop_assert!(heap.size_of(&proc, addr).unwrap() >= size);
+                blocks.push(addr);
+            }
+        }
+        // Free and re-allocate: recycled blocks still satisfy requests.
+        for addr in blocks {
+            heap.free(&proc, addr).unwrap();
+        }
+        for &size in &sizes {
+            if let Ok(addr) = heap.alloc(&proc, size) {
+                prop_assert!(heap.size_of(&proc, addr).unwrap() >= size);
+            }
+        }
+    }
+}

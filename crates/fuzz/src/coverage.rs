@@ -1,0 +1,198 @@
+//! AFL-style edge coverage.
+
+/// Size of the coverage bitmap (AFL's `MAP_SIZE`).
+pub const MAP_SIZE: usize = 1 << 16;
+
+/// Per-execution coverage trace.
+///
+/// Targets report *locations*; the trace folds consecutive locations into
+/// edges with AFL's `cur ^ (prev >> 1)` scheme, so the same basic block
+/// reached from different predecessors counts as different edges.
+pub struct Trace {
+    map: Vec<u8>,
+    prev: u64,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self {
+            map: vec![0; MAP_SIZE],
+            prev: 0,
+        }
+    }
+
+    /// Clears the trace for reuse.
+    pub fn reset(&mut self) {
+        self.map.fill(0);
+        self.prev = 0;
+    }
+
+    /// Records a visit to `loc`.
+    pub fn hit(&mut self, loc: u64) {
+        let cur = loc.wrapping_mul(0x9E3779B97F4A7C15) >> 16;
+        let idx = ((cur ^ (self.prev >> 1)) as usize) & (MAP_SIZE - 1);
+        self.map[idx] = self.map[idx].saturating_add(1);
+        self.prev = cur;
+    }
+
+    /// Number of distinct edges hit.
+    pub fn edge_count(&self) -> usize {
+        self.map.iter().filter(|&&b| b != 0).count()
+    }
+
+    /// AFL's hit-count bucketing: collapses raw counts into the classic
+    /// 8 buckets so loop-count noise does not masquerade as new coverage.
+    fn classify(count: u8) -> u8 {
+        match count {
+            0 => 0,
+            1 => 1,
+            2 => 2,
+            3 => 4,
+            4..=7 => 8,
+            8..=15 => 16,
+            16..=31 => 32,
+            32..=127 => 64,
+            _ => 128,
+        }
+    }
+
+    pub(crate) fn classified(&self) -> impl Iterator<Item = u8> + '_ {
+        self.map.iter().map(|&c| Self::classify(c))
+    }
+}
+
+/// What a trace contributed relative to the global map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NewCoverage {
+    /// Nothing new.
+    None,
+    /// A known edge reached a new hit-count bucket.
+    NewCounts,
+    /// A never-seen edge.
+    NewEdges,
+}
+
+/// The accumulated ("virgin") coverage map of a campaign.
+pub struct CoverageMap {
+    seen: Vec<u8>,
+}
+
+impl Default for CoverageMap {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CoverageMap {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self {
+            seen: vec![0; MAP_SIZE],
+        }
+    }
+
+    /// Merges a trace, reporting what was new.
+    pub fn merge(&mut self, trace: &Trace) -> NewCoverage {
+        let mut new = NewCoverage::None;
+        for (seen, classified) in self.seen.iter_mut().zip(trace.classified()) {
+            if classified == 0 {
+                continue;
+            }
+            if *seen == 0 {
+                new = NewCoverage::NewEdges;
+            } else if *seen & classified == 0 && new == NewCoverage::None {
+                new = NewCoverage::NewCounts;
+            }
+            *seen |= classified;
+        }
+        new
+    }
+
+    /// Distinct edges seen so far.
+    pub fn edges(&self) -> usize {
+        self.seen.iter().filter(|&&b| b != 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_paths_are_not_new_twice() {
+        let mut map = CoverageMap::new();
+        let mut t = Trace::new();
+        t.hit(1);
+        t.hit(2);
+        t.hit(3);
+        assert_eq!(map.merge(&t), NewCoverage::NewEdges);
+        assert_eq!(map.merge(&t), NewCoverage::None);
+    }
+
+    #[test]
+    fn edge_order_matters() {
+        let mut a = Trace::new();
+        a.hit(1);
+        a.hit(2);
+        let mut b = Trace::new();
+        b.hit(2);
+        b.hit(1);
+        let mut map = CoverageMap::new();
+        assert_eq!(map.merge(&a), NewCoverage::NewEdges);
+        assert_eq!(map.merge(&b), NewCoverage::NewEdges, "reversed = new edges");
+    }
+
+    #[test]
+    fn loop_counts_bucket_instead_of_explode() {
+        let mut map = CoverageMap::new();
+        let loop_trace = |n: usize| {
+            let mut t = Trace::new();
+            for _ in 0..n {
+                t.hit(7);
+            }
+            t
+        };
+        assert_eq!(map.merge(&loop_trace(1)), NewCoverage::NewEdges);
+        // 2 iterations introduce the 7 -> 7 back-edge: genuinely new.
+        assert_eq!(map.merge(&loop_trace(2)), NewCoverage::NewEdges);
+        // 3 iterations only move the back-edge to a new count bucket.
+        assert_eq!(map.merge(&loop_trace(3)), NewCoverage::NewCounts);
+        // 200 vs 300 iterations land in the same (128+) bucket.
+        assert_eq!(map.merge(&loop_trace(200)), NewCoverage::NewCounts);
+        assert_eq!(map.merge(&loop_trace(300)), NewCoverage::None);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut t = Trace::new();
+        t.hit(1);
+        assert_eq!(t.edge_count(), 1);
+        t.reset();
+        assert_eq!(t.edge_count(), 0);
+        // prev is reset too: the same hit reproduces the same edge.
+        t.hit(1);
+        let mut map = CoverageMap::new();
+        map.merge(&t);
+        let mut t2 = Trace::new();
+        t2.hit(1);
+        assert_eq!(map.merge(&t2), NewCoverage::None);
+    }
+
+    #[test]
+    fn classify_is_monotone_in_buckets() {
+        let buckets: Vec<u8> = [0u8, 1, 2, 3, 5, 10, 20, 60, 200]
+            .iter()
+            .map(|&c| Trace::classify(c))
+            .collect();
+        for w in buckets.windows(2) {
+            assert!(w[0] < w[1] || (w[0] != 0 && w[0] <= w[1]));
+        }
+    }
+}

@@ -1,0 +1,504 @@
+//! The fork-server fuzzing loop.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+use odf_core::{ForkPolicy, Process, Result};
+use odf_metrics::{Stopwatch, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::coverage::{CoverageMap, NewCoverage, Trace};
+use crate::mutate::Mutator;
+use crate::queue::{Queue, QueueEntry};
+
+/// How one target execution ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Normal termination.
+    Ok,
+    /// The target crashed (guest fault, bad instruction, ...).
+    Crash,
+    /// The target exceeded its execution budget.
+    Hang,
+}
+
+/// Something the fuzzer can execute in a forked child.
+pub trait Target {
+    /// Target name for reporting.
+    fn name(&self) -> &'static str;
+
+    /// Runs one input against the child process's (pristine,
+    /// copy-on-write) image, reporting coverage into `trace`.
+    fn run(&self, proc: &Process, input: &[u8], trace: &mut Trace) -> Result<Outcome>;
+
+    /// Dictionary tokens for the mutator (AFL `-x`).
+    fn dictionary(&self) -> Vec<Vec<u8>> {
+        Vec::new()
+    }
+}
+
+/// Fuzzer configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FuzzConfig {
+    /// Fork policy for the fork server.
+    pub policy: ForkPolicy,
+    /// Maximum input length.
+    pub max_input_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+    /// Run AFL's deterministic stages (walking bitflips and arithmetic)
+    /// on every coverage-increasing input before havoc. Disable for
+    /// FidgetyAFL-style throughput (`afl-fuzz -d`).
+    pub deterministic: bool,
+    /// Trim coverage-increasing inputs before queueing them (AFL's
+    /// `afl_trim`): chunks are removed while the edge count is preserved.
+    pub trim: bool,
+}
+
+impl Default for FuzzConfig {
+    fn default() -> Self {
+        Self {
+            policy: ForkPolicy::Classic,
+            max_input_len: 256,
+            seed: 1,
+            deterministic: true,
+            trim: true,
+        }
+    }
+}
+
+/// Deterministic stages touch at most this prefix of an input (bounds the
+/// per-entry cost, like AFL's effector maps do in spirit).
+const DET_PREFIX: usize = 24;
+
+/// Upper bound on trim executions per new entry.
+const TRIM_BUDGET: usize = 24;
+
+/// Campaign statistics.
+#[derive(Clone, Debug, Default)]
+pub struct CampaignStats {
+    /// Total target executions.
+    pub execs: u64,
+    /// Crashing inputs found.
+    pub crashes: u64,
+    /// Hanging inputs found.
+    pub hangs: u64,
+    /// Queue size ("total paths").
+    pub paths: usize,
+    /// Distinct edges covered.
+    pub edges: usize,
+    /// Throughput timeline: `(elapsed seconds, executions/second)`.
+    pub series: Vec<(f64, f64)>,
+    /// Mean executions per second over the campaign.
+    pub mean_execs_per_sec: f64,
+}
+
+/// The AFL-style fuzzer: fork server + coverage feedback + havoc.
+pub struct Fuzzer<'t> {
+    master: &'t Process,
+    target: &'t dyn Target,
+    config: FuzzConfig,
+    queue: Queue,
+    coverage: CoverageMap,
+    mutator: Mutator,
+    rng: StdRng,
+    trace: Trace,
+    execs: u64,
+    crashes: u64,
+    hangs: u64,
+    crash_inputs: Vec<Vec<u8>>,
+    /// Pending deterministic-stage inputs, drained before havoc.
+    det_queue: VecDeque<Vec<u8>>,
+}
+
+impl<'t> Fuzzer<'t> {
+    /// Creates a fuzzer over an already-initialized master process (the
+    /// deferred-fork-server model: expensive setup happened before this
+    /// point and is inherited by every execution) and seeds the queue.
+    pub fn new(
+        master: &'t Process,
+        target: &'t dyn Target,
+        config: FuzzConfig,
+        seeds: &[Vec<u8>],
+    ) -> Result<Self> {
+        let mut fuzzer = Self {
+            master,
+            target,
+            config,
+            queue: Queue::new(),
+            coverage: CoverageMap::new(),
+            mutator: Mutator::new(config.seed, target.dictionary(), config.max_input_len),
+            rng: StdRng::seed_from_u64(config.seed ^ 0xF0F0),
+            trace: Trace::new(),
+            execs: 0,
+            crashes: 0,
+            hangs: 0,
+            crash_inputs: Vec::new(),
+            det_queue: VecDeque::new(),
+        };
+        for seed in seeds {
+            fuzzer.run_input(seed.clone())?;
+        }
+        Ok(fuzzer)
+    }
+
+    /// Runs one input through the fork server: fork, execute in the child,
+    /// classify coverage, discard the child.
+    fn run_input(&mut self, input: Vec<u8>) -> Result<Outcome> {
+        let sw = Stopwatch::start();
+        let child = self.master.fork_with(self.config.policy)?;
+        self.trace.reset();
+        let outcome = self.target.run(&child, &input, &mut self.trace)?;
+        child.exit();
+        let exec_ns = sw.elapsed_ns();
+        self.execs += 1;
+
+        match outcome {
+            Outcome::Crash => {
+                self.crashes += 1;
+                if self.crash_inputs.len() < 64 {
+                    self.crash_inputs.push(input.clone());
+                }
+            }
+            Outcome::Hang => self.hangs += 1,
+            Outcome::Ok => {}
+        }
+        let novelty = self.coverage.merge(&self.trace);
+        if novelty != NewCoverage::None {
+            let edges = self.trace.edge_count();
+            let input = if self.config.trim && novelty == NewCoverage::NewEdges {
+                self.trim_input(input, edges)?
+            } else {
+                input
+            };
+            if self.config.deterministic {
+                self.schedule_deterministic(&input);
+            }
+            self.queue.push(QueueEntry {
+                edges,
+                input,
+                exec_ns,
+                favored: false,
+            });
+        }
+        Ok(outcome)
+    }
+
+    /// AFL-style trimming: repeatedly try dropping chunks; keep any
+    /// removal that preserves the edge count (a cheap stand-in for AFL's
+    /// trace checksum). Each attempt is a real fork-server execution.
+    fn trim_input(&mut self, mut input: Vec<u8>, edges: usize) -> Result<Vec<u8>> {
+        let mut budget = TRIM_BUDGET;
+        let mut chunk = (input.len() / 4).max(4);
+        while chunk >= 4 && input.len() > chunk && budget > 0 {
+            let mut at = 0;
+            while at + chunk <= input.len() && budget > 0 {
+                let mut candidate = input.clone();
+                candidate.drain(at..at + chunk);
+                budget -= 1;
+                let child = self.master.fork_with(self.config.policy)?;
+                self.trace.reset();
+                let _ = self.target.run(&child, &candidate, &mut self.trace)?;
+                child.exit();
+                self.execs += 1;
+                if self.trace.edge_count() == edges {
+                    input = candidate; // keep the shorter form
+                } else {
+                    at += chunk;
+                }
+            }
+            chunk /= 2;
+        }
+        Ok(input)
+    }
+
+    /// Queues the deterministic stage for a fresh entry: walking single
+    /// bitflips and byte arithmetic over the input's prefix.
+    fn schedule_deterministic(&mut self, input: &[u8]) {
+        let span = input.len().min(DET_PREFIX);
+        for pos in 0..span {
+            for bit in 0..8 {
+                let mut v = input.to_vec();
+                v[pos] ^= 1 << bit;
+                self.det_queue.push_back(v);
+            }
+            for delta in [1u8, 4, 16] {
+                let mut v = input.to_vec();
+                v[pos] = v[pos].wrapping_add(delta);
+                self.det_queue.push_back(v);
+                let mut v = input.to_vec();
+                v[pos] = v[pos].wrapping_sub(delta);
+                self.det_queue.push_back(v);
+            }
+        }
+    }
+
+    /// Runs `n` fuzzing executions.
+    pub fn fuzz_n(&mut self, n: u64) -> Result<()> {
+        for _ in 0..n {
+            let input = self.next_input();
+            self.run_input(input)?;
+        }
+        Ok(())
+    }
+
+    /// Fuzzes for a wall-clock duration, recording a throughput timeline
+    /// with the given bucket width.
+    pub fn fuzz_for(&mut self, duration: Duration, bucket: Duration) -> Result<CampaignStats> {
+        let mut tl = Throughput::new(bucket);
+        let sw = Stopwatch::start();
+        while sw.elapsed() < duration {
+            let input = self.next_input();
+            self.run_input(input)?;
+            tl.record();
+        }
+        let mut stats = self.stats();
+        stats.series = tl.series();
+        stats.mean_execs_per_sec = tl.mean_rate();
+        Ok(stats)
+    }
+
+    fn next_input(&mut self) -> Vec<u8> {
+        // Deterministic stages first, then havoc.
+        if let Some(v) = self.det_queue.pop_front() {
+            return v;
+        }
+        let skip_roll = self.rng.gen();
+        let partner_roll = self.rng.gen::<usize>();
+        let base: Vec<u8> = match self.queue.pick(skip_roll) {
+            Some(e) => e.input.clone(),
+            None => vec![0u8; 8],
+        };
+        let partner = self.queue.partner(partner_roll).map(|e| e.input.clone());
+        self.mutator.mutate(&base, partner.as_deref())
+    }
+
+    /// Current statistics (timeline fields empty unless produced by
+    /// [`Fuzzer::fuzz_for`]).
+    pub fn stats(&self) -> CampaignStats {
+        CampaignStats {
+            execs: self.execs,
+            crashes: self.crashes,
+            hangs: self.hangs,
+            paths: self.queue.len(),
+            edges: self.coverage.edges(),
+            series: Vec::new(),
+            mean_execs_per_sec: 0.0,
+        }
+    }
+
+    /// Inputs that crashed the target (bounded sample).
+    pub fn crash_inputs(&self) -> &[Vec<u8>] {
+        &self.crash_inputs
+    }
+
+    /// Deterministic-stage inputs still pending.
+    pub fn pending_deterministic(&self) -> usize {
+        self.det_queue.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odf_core::Kernel;
+
+    /// A toy target: branches on a byte prefix, "crashes" on the magic
+    /// word.
+    struct ToyTarget;
+
+    impl Target for ToyTarget {
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+
+        fn run(&self, proc: &Process, input: &[u8], trace: &mut Trace) -> Result<Outcome> {
+            // Touch child memory so the fork is exercised.
+            let addr = proc.mmap_anon(4096)?;
+            proc.write_u64(addr, input.len() as u64)?;
+            let mut depth = 0;
+            for (i, &b) in input.iter().take(4).enumerate() {
+                if b == b"BOOM"[i] {
+                    trace.hit(100 + i as u64);
+                    depth += 1;
+                } else {
+                    trace.hit(200 + u64::from(b) % 8);
+                    break;
+                }
+            }
+            Ok(if depth == 4 { Outcome::Crash } else { Outcome::Ok })
+        }
+
+        fn dictionary(&self) -> Vec<Vec<u8>> {
+            vec![b"BO".to_vec(), b"OM".to_vec()]
+        }
+    }
+
+    #[test]
+    fn seeds_populate_queue_and_coverage() {
+        let k = Kernel::new(64 << 20);
+        let master = k.spawn().unwrap();
+        let target = ToyTarget;
+        let f = Fuzzer::new(
+            &master,
+            &target,
+            FuzzConfig::default(),
+            &[b"AAAA".to_vec(), b"BXXX".to_vec()],
+        )
+        .unwrap();
+        let s = f.stats();
+        assert_eq!(s.execs, 2);
+        assert!(s.paths >= 1);
+        assert!(s.edges >= 2);
+    }
+
+    #[test]
+    fn fuzzing_finds_the_magic_crash() {
+        let k = Kernel::new(64 << 20);
+        let master = k.spawn().unwrap();
+        let target = ToyTarget;
+        let mut f = Fuzzer::new(
+            &master,
+            &target,
+            FuzzConfig {
+                policy: ForkPolicy::OnDemand,
+                max_input_len: 8,
+                seed: 5,
+                ..FuzzConfig::default()
+            },
+            &[b"AAAA".to_vec()],
+        )
+        .unwrap();
+        f.fuzz_n(3000).unwrap();
+        let s = f.stats();
+        assert_eq!(s.execs, 3001);
+        assert!(s.crashes > 0, "BOOM not found in 3000 execs");
+        assert!(f
+            .crash_inputs()
+            .iter()
+            .all(|i| i.starts_with(b"BOOM")));
+        // Every child exited: only the master remains.
+        assert_eq!(k.process_count(), 1);
+    }
+
+    #[test]
+    fn fuzz_for_produces_a_timeline() {
+        let k = Kernel::new(64 << 20);
+        let master = k.spawn().unwrap();
+        let target = ToyTarget;
+        let mut f =
+            Fuzzer::new(&master, &target, FuzzConfig::default(), &[b"seed".to_vec()])
+                .unwrap();
+        let stats = f
+            .fuzz_for(Duration::from_millis(50), Duration::from_millis(10))
+            .unwrap();
+        assert!(stats.execs > 0);
+        assert!(!stats.series.is_empty());
+        assert!(stats.mean_execs_per_sec > 0.0);
+    }
+}
+
+#[cfg(test)]
+mod det_tests {
+    use super::*;
+    use odf_core::Kernel;
+
+    /// A target whose coverage depends on exact byte values, so the
+    /// deterministic stage finds progress havoc rarely would.
+    struct ByteLadder;
+
+    impl Target for ByteLadder {
+        fn name(&self) -> &'static str {
+            "ladder"
+        }
+
+        fn run(&self, _proc: &Process, input: &[u8], trace: &mut Trace) -> Result<Outcome> {
+            // Each exactly-matching prefix byte is a new edge.
+            for (i, &b) in input.iter().take(4).enumerate() {
+                if b == 0x10 << i {
+                    trace.hit(500 + i as u64);
+                } else {
+                    break;
+                }
+            }
+            trace.hit(9);
+            Ok(Outcome::Ok)
+        }
+    }
+
+    #[test]
+    fn deterministic_stage_is_scheduled_and_drained() {
+        let k = Kernel::new(32 << 20);
+        let master = k.spawn().unwrap();
+        let target = ByteLadder;
+        let mut f = Fuzzer::new(
+            &master,
+            &target,
+            FuzzConfig {
+                max_input_len: 16,
+                seed: 2,
+                ..FuzzConfig::default()
+            },
+            // One byte off from the first rung: a single bitflip fixes it.
+            &[vec![0x11, 0, 0, 0]],
+        )
+        .unwrap();
+        assert!(f.pending_deterministic() > 0, "seed scheduled det stage");
+        let before_edges = f.stats().edges;
+        f.fuzz_n(400).unwrap();
+        assert!(f.stats().edges > before_edges, "det stage found the rung");
+    }
+
+    #[test]
+    fn trimming_shrinks_queue_entries() {
+        let k = Kernel::new(32 << 20);
+        let master = k.spawn().unwrap();
+        let target = ByteLadder;
+        // A long seed whose interesting part is only the 4-byte prefix.
+        let mut seed = vec![0x10, 0x20, 0x40, 0x80];
+        seed.extend(std::iter::repeat(0xAA).take(60));
+        let f = Fuzzer::new(
+            &master,
+            &target,
+            FuzzConfig {
+                policy: ForkPolicy::OnDemand,
+                max_input_len: 128,
+                seed: 3,
+                deterministic: false,
+                trim: true,
+            },
+            &[seed.clone()],
+        )
+        .unwrap();
+        let stats = f.stats();
+        assert_eq!(stats.paths, 1);
+        assert!(
+            stats.execs > 1,
+            "trimming ran extra executions ({})",
+            stats.execs
+        );
+    }
+
+    #[test]
+    fn fidgety_mode_skips_deterministic_stage() {
+        let k = Kernel::new(32 << 20);
+        let master = k.spawn().unwrap();
+        let target = ByteLadder;
+        let f = Fuzzer::new(
+            &master,
+            &target,
+            FuzzConfig {
+                policy: ForkPolicy::OnDemand,
+                max_input_len: 16,
+                seed: 4,
+                deterministic: false,
+                trim: false,
+            },
+            &[vec![0x11, 0, 0, 0]],
+        )
+        .unwrap();
+        assert_eq!(f.pending_deterministic(), 0);
+        assert_eq!(f.stats().execs, 1, "exactly the seed execution");
+    }
+}

@@ -1,0 +1,34 @@
+//! An AFL-style coverage-guided fuzzer over simulated processes.
+//!
+//! This is the testing-framework substrate of the paper's fuzzing
+//! experiments (§5.3.1 AFL-on-SQLite / Figure 9, and §5.3.4
+//! TriforceAFL-on-a-VM / Figure 10). It reproduces AFL's architecture:
+//!
+//! - **Fork server** ([`Fuzzer`]): the target is initialized *once* in a
+//!   master process (AFL's "LLVM deferred fork server" lets that include
+//!   expensive setup, like loading a 1 GiB database); every execution then
+//!   forks the master — with either classic fork or On-demand-fork — runs
+//!   one input in the child's pristine copy-on-write image, and discards
+//!   the child. Executions per second is the paper's headline fuzzing
+//!   metric, and the fork is its dominant cost.
+//! - **Edge coverage** ([`Trace`], [`CoverageMap`]): AFL's 64 KiB bitmap
+//!   with `cur ^ (prev >> 1)` edge hashing and hit-count bucketing.
+//! - **Mutation engine** ([`Mutator`]): bit/byte flips, arithmetic,
+//!   interesting values, block ops, dictionary tokens, and splicing.
+//! - **Queue** ([`Queue`]): interesting inputs with favored-entry
+//!   selection.
+//! - **Targets** ([`targets`]): the SQL engine (with a schema dictionary,
+//!   like the paper passes table/column names to AFL) and the guest VM.
+
+#![forbid(unsafe_code)]
+
+mod coverage;
+mod fuzzer;
+mod mutate;
+mod queue;
+pub mod targets;
+
+pub use coverage::{CoverageMap, NewCoverage, Trace, MAP_SIZE};
+pub use fuzzer::{CampaignStats, FuzzConfig, Fuzzer, Outcome, Target};
+pub use mutate::Mutator;
+pub use queue::{Queue, QueueEntry};

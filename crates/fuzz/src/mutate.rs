@@ -1,0 +1,207 @@
+//! The mutation engine (AFL havoc-style).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// AFL's "interesting" 8-bit values.
+const INTERESTING_8: [i8; 9] = [-128, -1, 0, 1, 16, 32, 64, 100, 127];
+/// AFL's "interesting" 16-bit values.
+const INTERESTING_16: [i16; 10] =
+    [-32768, -129, 128, 255, 256, 512, 1000, 1024, 4096, 32767];
+
+/// A stacked-havoc mutator with optional dictionary and splicing.
+pub struct Mutator {
+    rng: StdRng,
+    dictionary: Vec<Vec<u8>>,
+    max_len: usize,
+}
+
+impl Mutator {
+    /// Creates a mutator.
+    ///
+    /// `dictionary` plays the role of AFL's `-x` token file — the paper
+    /// passes the fuzzed database's table and column names this way
+    /// (§5.3.1).
+    pub fn new(seed: u64, dictionary: Vec<Vec<u8>>, max_len: usize) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            dictionary,
+            max_len: max_len.max(4),
+        }
+    }
+
+    /// Produces one mutant of `input`, optionally splicing with `partner`.
+    pub fn mutate(&mut self, input: &[u8], partner: Option<&[u8]>) -> Vec<u8> {
+        let mut out = if let (Some(p), true) = (partner, self.rng.gen_bool(0.15)) {
+            self.splice(input, p)
+        } else {
+            input.to_vec()
+        };
+        if out.is_empty() {
+            out.push(0);
+        }
+        let stack = 1 << self.rng.gen_range(1..=5); // 2..32 stacked ops
+        for _ in 0..stack {
+            self.one_op(&mut out);
+            if out.is_empty() {
+                out.push(self.rng.gen());
+            }
+        }
+        out.truncate(self.max_len);
+        out
+    }
+
+    fn one_op(&mut self, buf: &mut Vec<u8>) {
+        match self.rng.gen_range(0..9) {
+            0 => {
+                // Flip one bit.
+                let i = self.rng.gen_range(0..buf.len());
+                buf[i] ^= 1 << self.rng.gen_range(0..8);
+            }
+            1 => {
+                // Random byte.
+                let i = self.rng.gen_range(0..buf.len());
+                buf[i] = self.rng.gen();
+            }
+            2 => {
+                // Interesting 8-bit.
+                let i = self.rng.gen_range(0..buf.len());
+                buf[i] = INTERESTING_8[self.rng.gen_range(0..INTERESTING_8.len())] as u8;
+            }
+            3 => {
+                // Interesting 16-bit.
+                if buf.len() >= 2 {
+                    let i = self.rng.gen_range(0..buf.len() - 1);
+                    let v =
+                        INTERESTING_16[self.rng.gen_range(0..INTERESTING_16.len())] as u16;
+                    buf[i..i + 2].copy_from_slice(&v.to_le_bytes());
+                }
+            }
+            4 => {
+                // Arithmetic on a byte.
+                let i = self.rng.gen_range(0..buf.len());
+                let delta = self.rng.gen_range(1..=35u8);
+                buf[i] = if self.rng.gen_bool(0.5) {
+                    buf[i].wrapping_add(delta)
+                } else {
+                    buf[i].wrapping_sub(delta)
+                };
+            }
+            5 => {
+                // Delete a block.
+                if buf.len() > 4 {
+                    let start = self.rng.gen_range(0..buf.len() - 1);
+                    let len = self.rng.gen_range(1..=(buf.len() - start).min(16));
+                    buf.drain(start..start + len);
+                }
+            }
+            6 => {
+                // Duplicate/insert a block.
+                if buf.len() < self.max_len {
+                    let start = self.rng.gen_range(0..buf.len());
+                    let len = self.rng.gen_range(1..=(buf.len() - start).min(16));
+                    let block: Vec<u8> = buf[start..start + len].to_vec();
+                    let at = self.rng.gen_range(0..=buf.len());
+                    for (k, b) in block.into_iter().enumerate() {
+                        buf.insert(at + k, b);
+                    }
+                }
+            }
+            7 => {
+                // Overwrite with a dictionary token.
+                if let Some(token) = self.pick_token() {
+                    let at = self.rng.gen_range(0..=buf.len().saturating_sub(1));
+                    for (k, &b) in token.iter().enumerate() {
+                        match buf.get_mut(at + k) {
+                            Some(slot) => *slot = b,
+                            None => buf.push(b),
+                        }
+                    }
+                }
+            }
+            _ => {
+                // Insert a dictionary token.
+                if let Some(token) = self.pick_token() {
+                    if buf.len() + token.len() <= self.max_len {
+                        let at = self.rng.gen_range(0..=buf.len());
+                        for (k, &b) in token.iter().enumerate() {
+                            buf.insert(at + k, b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn pick_token(&mut self) -> Option<Vec<u8>> {
+        if self.dictionary.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..self.dictionary.len());
+        Some(self.dictionary[i].clone())
+    }
+
+    fn splice(&mut self, a: &[u8], b: &[u8]) -> Vec<u8> {
+        if a.is_empty() || b.is_empty() {
+            return a.to_vec();
+        }
+        let cut_a = self.rng.gen_range(0..a.len());
+        let cut_b = self.rng.gen_range(0..b.len());
+        let mut out = a[..cut_a].to_vec();
+        out.extend_from_slice(&b[cut_b..]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutants_stay_within_max_len() {
+        let mut m = Mutator::new(1, vec![b"SELECT".to_vec()], 64);
+        let input = vec![7u8; 60];
+        for _ in 0..500 {
+            let out = m.mutate(&input, Some(&[1, 2, 3]));
+            assert!(!out.is_empty());
+            assert!(out.len() <= 64);
+        }
+    }
+
+    #[test]
+    fn mutants_differ_from_input_usually() {
+        let mut m = Mutator::new(2, vec![], 256);
+        let input: Vec<u8> = (0..64u8).collect();
+        let changed = (0..100)
+            .filter(|_| m.mutate(&input, None) != input)
+            .count();
+        assert!(changed > 90, "only {changed} mutants differed");
+    }
+
+    #[test]
+    fn dictionary_tokens_show_up() {
+        let mut m = Mutator::new(3, vec![b"NEEDLE".to_vec()], 256);
+        let input = vec![0u8; 32];
+        let found = (0..500).any(|_| {
+            let out = m.mutate(&input, None);
+            out.windows(6).any(|w| w == b"NEEDLE")
+        });
+        assert!(found, "dictionary token never inserted");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = || {
+            let mut m = Mutator::new(99, vec![b"x".to_vec()], 128);
+            (0..20).map(|_| m.mutate(b"hello world", None)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let mut m = Mutator::new(4, vec![], 32);
+        let out = m.mutate(&[], None);
+        assert!(!out.is_empty());
+    }
+}

@@ -1,0 +1,159 @@
+//! The fuzzing queue.
+
+/// One interesting input.
+#[derive(Clone, Debug)]
+pub struct QueueEntry {
+    /// The input bytes.
+    pub input: Vec<u8>,
+    /// Execution time of the run that enqueued it, nanoseconds.
+    pub exec_ns: u64,
+    /// Edges its trace covered.
+    pub edges: usize,
+    /// Favored entries are fuzzed preferentially (AFL's culling).
+    pub favored: bool,
+}
+
+impl QueueEntry {
+    /// AFL's performance score proxy: fast and small is good.
+    fn score(&self) -> u128 {
+        u128::from(self.exec_ns) * self.input.len().max(1) as u128
+    }
+}
+
+/// The corpus of interesting inputs.
+pub struct Queue {
+    entries: Vec<QueueEntry>,
+    next: usize,
+}
+
+impl Default for Queue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Queue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self {
+            entries: Vec::new(),
+            next: 0,
+        }
+    }
+
+    /// Number of queued inputs ("paths" in AFL speak).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds an entry, re-evaluating favored status: an entry is favored if
+    /// no other entry covers at least as many edges with a better score.
+    pub fn push(&mut self, mut entry: QueueEntry) {
+        entry.favored = !self
+            .entries
+            .iter()
+            .any(|e| e.edges >= entry.edges && e.score() <= entry.score());
+        self.entries.push(entry);
+    }
+
+    /// Picks the next entry to fuzz: round-robin, skipping non-favored
+    /// entries three times out of four (AFL's probabilistic skip).
+    pub fn pick(&mut self, skip_roll: u32) -> Option<&QueueEntry> {
+        if self.entries.is_empty() {
+            return None;
+        }
+        for _ in 0..self.entries.len() {
+            let idx = self.next % self.entries.len();
+            self.next = self.next.wrapping_add(1);
+            let e = &self.entries[idx];
+            if e.favored || skip_roll % 4 == 0 {
+                return Some(&self.entries[idx]);
+            }
+        }
+        // Everything skipped this round: take the next one regardless.
+        let idx = self.next % self.entries.len();
+        self.next = self.next.wrapping_add(1);
+        Some(&self.entries[idx])
+    }
+
+    /// A random partner for splicing.
+    pub fn partner(&self, roll: usize) -> Option<&QueueEntry> {
+        if self.entries.is_empty() {
+            None
+        } else {
+            Some(&self.entries[roll % self.entries.len()])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(input: &[u8], exec_ns: u64, edges: usize) -> QueueEntry {
+        QueueEntry {
+            input: input.to_vec(),
+            exec_ns,
+            edges,
+            favored: false,
+        }
+    }
+
+    #[test]
+    fn first_entry_is_favored() {
+        let mut q = Queue::new();
+        q.push(entry(b"a", 100, 5));
+        assert!(q.pick(1).unwrap().favored);
+    }
+
+    #[test]
+    fn dominated_entries_are_not_favored() {
+        let mut q = Queue::new();
+        q.push(entry(b"ab", 100, 10));
+        // Fewer edges, worse score: dominated.
+        q.push(entry(b"abcdef", 1000, 5));
+        assert_eq!(
+            q.len(),
+            2
+        );
+        let favored: Vec<bool> = (0..2).map(|i| q.entries[i].favored).collect();
+        assert_eq!(favored, vec![true, false]);
+        // More edges: favored even though slower.
+        q.push(entry(b"abc", 5000, 20));
+        assert!(q.entries[2].favored);
+    }
+
+    #[test]
+    fn pick_prefers_favored() {
+        let mut q = Queue::new();
+        q.push(entry(b"fav", 10, 10));
+        q.push(entry(b"dom", 1000, 1));
+        let picks: Vec<bool> = (0..8).map(|i| q.pick(2 * i + 1).unwrap().favored).collect();
+        assert!(picks.iter().all(|&f| f), "non-favored picked with skip roll");
+        // With roll % 4 == 0 the non-favored entry can be picked.
+        let any_dominated = (0..8).any(|_| !q.pick(4).unwrap().favored);
+        assert!(any_dominated);
+    }
+
+    #[test]
+    fn empty_queue_returns_none() {
+        let mut q = Queue::new();
+        assert!(q.pick(0).is_none());
+        assert!(q.partner(3).is_none());
+    }
+
+    #[test]
+    fn partner_cycles_entries() {
+        let mut q = Queue::new();
+        q.push(entry(b"a", 1, 1));
+        q.push(entry(b"b", 1, 2));
+        assert_eq!(q.partner(0).unwrap().input, b"a");
+        assert_eq!(q.partner(1).unwrap().input, b"b");
+        assert_eq!(q.partner(2).unwrap().input, b"a");
+    }
+}

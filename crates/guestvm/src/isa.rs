@@ -1,0 +1,179 @@
+//! The guest instruction set.
+//!
+//! A deliberately small, fixed-width (8-byte) encoding: one opcode byte,
+//! up to two register bytes, and a 32-bit immediate. Fixed width keeps the
+//! fetch path simple while still exercising guest-memory loads for every
+//! instruction.
+
+/// A guest register, `R0`..`R7`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Register(pub u8);
+
+impl Register {
+    /// Number of registers.
+    pub const COUNT: usize = 8;
+
+    /// Validated constructor.
+    pub fn new(index: u8) -> Option<Register> {
+        (usize::from(index) < Self::COUNT).then_some(Register(index))
+    }
+}
+
+/// Guest opcodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// `HALT`: stop execution.
+    Halt = 0,
+    /// `LOADI ra, imm`: `ra = imm` (zero-extended).
+    LoadImm = 1,
+    /// `MOV ra, rb`: `ra = rb`.
+    Mov = 2,
+    /// `ADD ra, rb`: `ra = ra + rb` (wrapping).
+    Add = 3,
+    /// `SUB ra, rb`: `ra = ra - rb` (wrapping).
+    Sub = 4,
+    /// `XOR ra, rb`: `ra = ra ^ rb`.
+    Xor = 5,
+    /// `LOAD ra, [rb + imm]`: 8-byte guest-memory load.
+    Load = 6,
+    /// `STORE [ra + imm], rb`: 8-byte guest-memory store.
+    Store = 7,
+    /// `JMP imm`: absolute jump to byte offset `imm`.
+    Jmp = 8,
+    /// `JZ ra, imm`: jump to `imm` when `ra == 0`.
+    Jz = 9,
+    /// `SYSCALL imm`: invoke guest-kernel syscall `imm`; `R0..R3` carry
+    /// arguments, `R0` receives the result.
+    Syscall = 10,
+    /// `MUL ra, rb`: `ra = ra * rb` (wrapping).
+    Mul = 11,
+    /// `AND ra, rb`: `ra = ra & rb`.
+    And = 12,
+    /// `OR ra, rb`: `ra = ra | rb`.
+    Or = 13,
+    /// `SHL ra, imm`: `ra <<= imm & 63`.
+    Shl = 14,
+    /// `SHR ra, imm`: `ra >>= imm & 63` (logical).
+    Shr = 15,
+}
+
+impl Opcode {
+    /// Decodes an opcode byte.
+    pub fn from_byte(b: u8) -> Option<Opcode> {
+        Some(match b {
+            0 => Opcode::Halt,
+            1 => Opcode::LoadImm,
+            2 => Opcode::Mov,
+            3 => Opcode::Add,
+            4 => Opcode::Sub,
+            5 => Opcode::Xor,
+            6 => Opcode::Load,
+            7 => Opcode::Store,
+            8 => Opcode::Jmp,
+            9 => Opcode::Jz,
+            10 => Opcode::Syscall,
+            11 => Opcode::Mul,
+            12 => Opcode::And,
+            13 => Opcode::Or,
+            14 => Opcode::Shl,
+            15 => Opcode::Shr,
+            _ => return None,
+        })
+    }
+}
+
+/// A decoded instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Instruction {
+    /// Operation.
+    pub op: Opcode,
+    /// First register operand.
+    pub ra: Register,
+    /// Second register operand.
+    pub rb: Register,
+    /// Immediate operand.
+    pub imm: u32,
+}
+
+impl Instruction {
+    /// Encoded instruction width in bytes.
+    pub const SIZE: u64 = 8;
+
+    /// Encodes to the 8-byte wire format.
+    pub fn encode(&self) -> [u8; 8] {
+        let mut b = [0u8; 8];
+        b[0] = self.op as u8;
+        b[1] = self.ra.0;
+        b[2] = self.rb.0;
+        b[4..8].copy_from_slice(&self.imm.to_le_bytes());
+        b
+    }
+
+    /// Decodes from the wire format; `None` for invalid opcode or
+    /// registers.
+    pub fn decode(b: &[u8; 8]) -> Option<Instruction> {
+        Some(Instruction {
+            op: Opcode::from_byte(b[0])?,
+            ra: Register::new(b[1])?,
+            rb: Register::new(b[2])?,
+            imm: u32::from_le_bytes(b[4..8].try_into().expect("4 bytes")),
+        })
+    }
+}
+
+/// Builds an instruction (test/program-construction helper).
+pub fn assemble(op: Opcode, ra: u8, rb: u8, imm: u32) -> Instruction {
+    Instruction {
+        op,
+        ra: Register::new(ra).expect("valid register"),
+        rb: Register::new(rb).expect("valid register"),
+        imm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trips() {
+        for op in [
+            Opcode::Halt,
+            Opcode::LoadImm,
+            Opcode::Mov,
+            Opcode::Add,
+            Opcode::Sub,
+            Opcode::Xor,
+            Opcode::Load,
+            Opcode::Store,
+            Opcode::Jmp,
+            Opcode::Jz,
+            Opcode::Syscall,
+            Opcode::Mul,
+            Opcode::And,
+            Opcode::Or,
+            Opcode::Shl,
+            Opcode::Shr,
+        ] {
+            let ins = assemble(op, 3, 5, 0xDEADBEEF);
+            assert_eq!(Instruction::decode(&ins.encode()), Some(ins));
+        }
+    }
+
+    #[test]
+    fn invalid_encodings_decode_to_none() {
+        let mut b = assemble(Opcode::Add, 0, 0, 0).encode();
+        b[0] = 200;
+        assert!(Instruction::decode(&b).is_none());
+        let mut b = assemble(Opcode::Add, 0, 0, 0).encode();
+        b[1] = 8; // register out of range
+        assert!(Instruction::decode(&b).is_none());
+    }
+
+    #[test]
+    fn register_bounds() {
+        assert!(Register::new(7).is_some());
+        assert!(Register::new(8).is_none());
+    }
+}

@@ -1,0 +1,28 @@
+//! A tiny guest virtual machine on the simulated kernel.
+//!
+//! This is the QEMU stand-in for the TriforceAFL experiment (§5.3.4,
+//! Figure 10 of the paper). TriforceAFL fuzzes operating-system kernels by
+//! running QEMU full-system emulation under AFL's fork server: the *host*
+//! QEMU process — which owns all guest memory — is forked per input, giving
+//! each execution a pristine guest.
+//!
+//! The reproduction mirrors that structure:
+//!
+//! - [`GuestVm`] owns a **guest physical memory** region allocated inside a
+//!   simulated host process (the "QEMU process"). Cloning the VM is
+//!   forking that host process; the guest image is snapshotted by COW.
+//! - A byte-coded ISA ([`Opcode`]) with an interpreter whose loads and
+//!   stores go through the simulated MMU.
+//! - A small **guest kernel** ([`syscalls`]) living entirely in guest
+//!   memory: a process table, file table, and counters that syscalls
+//!   mutate — the fuzzing surface, like TriforceAFL's in-guest syscall
+//!   driver.
+
+#![forbid(unsafe_code)]
+
+mod isa;
+mod machine;
+pub mod syscalls;
+
+pub use isa::{assemble, Instruction, Opcode, Register};
+pub use machine::{ExecOutcome, GuestVm, CODE_BASE, DATA_BASE};

@@ -1,0 +1,333 @@
+//! The guest kernel: syscall handlers over in-guest-memory state.
+//!
+//! TriforceAFL's driver runs as the guest's init process and issues
+//! syscalls built from fuzzer input (§5.3.4). The reproduction's guest
+//! kernel keeps a file table, a task table, and a log ring in guest memory
+//! and exposes the syscalls below. Handlers are deliberately branchy — the
+//! branches, reported through the coverage callback, are what give the
+//! fuzzer a gradient.
+//!
+//! Guest-kernel memory map (within the kernel area at offset 0):
+//!
+//! ```text
+//! +0x000  boot counter (u64)
+//! +0x008  syscall counter (u64)
+//! +0x100  file table: 16 slots x 24 bytes [name hash][size][open flag]
+//! +0x400  task table:  8 slots x 16 bytes [pid][state]
+//! +0x600  log ring: cursor (u64) then 64 u64 entries
+//! ```
+
+use odf_core::{Process, Result};
+
+use crate::machine::GuestVm;
+
+const BOOT_COUNTER: u64 = 0x000;
+const SYSCALL_COUNTER: u64 = 0x008;
+const FILE_TABLE: u64 = 0x100;
+const FILE_SLOTS: u64 = 16;
+const FILE_SLOT_SIZE: u64 = 24;
+const TASK_TABLE: u64 = 0x400;
+const TASK_SLOTS: u64 = 8;
+const TASK_SLOT_SIZE: u64 = 16;
+const LOG_CURSOR: u64 = 0x600;
+const LOG_RING: u64 = 0x608;
+const LOG_SLOTS: u64 = 64;
+
+/// Syscall numbers.
+pub mod nr {
+    /// Returns and increments the boot counter.
+    pub const NOOP: u64 = 0;
+    /// `open(name_hash)` → fd or error.
+    pub const OPEN: u64 = 1;
+    /// `close(fd)`.
+    pub const CLOSE: u64 = 2;
+    /// `write(fd, value, len)` → new size.
+    pub const WRITE: u64 = 3;
+    /// `read(fd)` → size.
+    pub const READ: u64 = 4;
+    /// `spawn(pid)` → slot or error.
+    pub const SPAWN: u64 = 5;
+    /// `kill(pid)`.
+    pub const KILL: u64 = 6;
+    /// `log(value)`.
+    pub const LOG: u64 = 7;
+}
+
+/// Error return value (guest ABI).
+pub const ERR: u64 = u64::MAX;
+
+/// Initializes the guest kernel tables ("boot").
+pub fn boot(proc: &Process, vm: &GuestVm) -> Result<()> {
+    vm.write_u64(proc, BOOT_COUNTER, 1)?;
+    vm.write_u64(proc, SYSCALL_COUNTER, 0)?;
+    for slot in 0..FILE_SLOTS {
+        let at = FILE_TABLE + slot * FILE_SLOT_SIZE;
+        vm.write_u64(proc, at, 0)?;
+        vm.write_u64(proc, at + 8, 0)?;
+        vm.write_u64(proc, at + 16, 0)?;
+    }
+    for slot in 0..TASK_SLOTS {
+        let at = TASK_TABLE + slot * TASK_SLOT_SIZE;
+        vm.write_u64(proc, at, 0)?;
+        vm.write_u64(proc, at + 8, 0)?;
+    }
+    vm.write_u64(proc, LOG_CURSOR, 0)?;
+    Ok(())
+}
+
+/// Dispatches one syscall. `cov` receives one location per branch taken,
+/// keyed on `(nr, branch)` so distinct handler paths are distinct edges.
+pub fn dispatch(
+    proc: &Process,
+    vm: &GuestVm,
+    nr_value: u64,
+    args: [u64; 4],
+    cov: &mut dyn FnMut(u64),
+) -> Result<u64> {
+    let mut hit = |branch: u64| cov(0x5C47 ^ (nr_value << 8) ^ branch);
+    let count = vm.read_u64(proc, SYSCALL_COUNTER)?.unwrap_or(0);
+    vm.write_u64(proc, SYSCALL_COUNTER, count + 1)?;
+
+    let r = match nr_value {
+        nr::NOOP => {
+            hit(0);
+            let c = vm.read_u64(proc, BOOT_COUNTER)?.unwrap_or(0);
+            vm.write_u64(proc, BOOT_COUNTER, c + 1)?;
+            c
+        }
+        nr::OPEN => {
+            let name = args[0];
+            if name == 0 {
+                hit(1);
+                ERR
+            } else {
+                // Reopen if present; otherwise take a free slot.
+                let mut result = ERR;
+                for slot in 0..FILE_SLOTS {
+                    let at = FILE_TABLE + slot * FILE_SLOT_SIZE;
+                    if vm.read_u64(proc, at)?.unwrap_or(0) == name {
+                        hit(2);
+                        vm.write_u64(proc, at + 16, 1)?;
+                        result = slot;
+                        break;
+                    }
+                }
+                if result == ERR {
+                    for slot in 0..FILE_SLOTS {
+                        let at = FILE_TABLE + slot * FILE_SLOT_SIZE;
+                        if vm.read_u64(proc, at)?.unwrap_or(0) == 0 {
+                            hit(3);
+                            vm.write_u64(proc, at, name)?;
+                            vm.write_u64(proc, at + 8, 0)?;
+                            vm.write_u64(proc, at + 16, 1)?;
+                            result = slot;
+                            break;
+                        }
+                    }
+                }
+                if result == ERR {
+                    hit(4); // table full
+                }
+                result
+            }
+        }
+        nr::CLOSE => {
+            let fd = args[0];
+            if fd >= FILE_SLOTS {
+                hit(5);
+                ERR
+            } else {
+                let at = FILE_TABLE + fd * FILE_SLOT_SIZE;
+                let open = vm.read_u64(proc, at + 16)?.unwrap_or(0);
+                if open == 0 {
+                    hit(6);
+                    ERR
+                } else {
+                    hit(7);
+                    vm.write_u64(proc, at + 16, 0)?;
+                    0
+                }
+            }
+        }
+        nr::WRITE => {
+            let (fd, value, len) = (args[0], args[1], args[2]);
+            if fd >= FILE_SLOTS {
+                hit(8);
+                ERR
+            } else {
+                let at = FILE_TABLE + fd * FILE_SLOT_SIZE;
+                if vm.read_u64(proc, at + 16)?.unwrap_or(0) == 0 {
+                    hit(9); // write to closed fd
+                    ERR
+                } else if len == 0 {
+                    hit(10);
+                    vm.read_u64(proc, at + 8)?.unwrap_or(0)
+                } else {
+                    match len {
+                        1..=8 => hit(11),
+                        9..=4096 => hit(12),
+                        _ => hit(13),
+                    }
+                    let size = vm.read_u64(proc, at + 8)?.unwrap_or(0);
+                    let new_size = size.saturating_add(len);
+                    vm.write_u64(proc, at + 8, new_size)?;
+                    // Log the write (value & fd mixed) into the ring.
+                    log_value(proc, vm, value ^ (fd << 56))?;
+                    new_size
+                }
+            }
+        }
+        nr::READ => {
+            let fd = args[0];
+            if fd >= FILE_SLOTS {
+                hit(14);
+                ERR
+            } else {
+                hit(15);
+                let at = FILE_TABLE + fd * FILE_SLOT_SIZE;
+                vm.read_u64(proc, at + 8)?.unwrap_or(0)
+            }
+        }
+        nr::SPAWN => {
+            let pid = args[0];
+            if pid == 0 {
+                hit(16);
+                ERR
+            } else {
+                let mut result = ERR;
+                for slot in 0..TASK_SLOTS {
+                    let at = TASK_TABLE + slot * TASK_SLOT_SIZE;
+                    if vm.read_u64(proc, at)?.unwrap_or(0) == 0 {
+                        hit(17);
+                        vm.write_u64(proc, at, pid)?;
+                        vm.write_u64(proc, at + 8, 1)?;
+                        result = slot;
+                        break;
+                    }
+                }
+                if result == ERR {
+                    hit(18);
+                }
+                result
+            }
+        }
+        nr::KILL => {
+            let pid = args[0];
+            let mut result = ERR;
+            for slot in 0..TASK_SLOTS {
+                let at = TASK_TABLE + slot * TASK_SLOT_SIZE;
+                if vm.read_u64(proc, at)?.unwrap_or(0) == pid && pid != 0 {
+                    hit(19);
+                    vm.write_u64(proc, at, 0)?;
+                    vm.write_u64(proc, at + 8, 0)?;
+                    result = 0;
+                    break;
+                }
+            }
+            if result == ERR {
+                hit(20);
+            }
+            result
+        }
+        nr::LOG => {
+            hit(21);
+            log_value(proc, vm, args[0])?;
+            0
+        }
+        _ => {
+            hit(22); // ENOSYS
+            ERR
+        }
+    };
+    Ok(r)
+}
+
+fn log_value(proc: &Process, vm: &GuestVm, value: u64) -> Result<()> {
+    let cursor = vm.read_u64(proc, LOG_CURSOR)?.unwrap_or(0);
+    vm.write_u64(proc, LOG_RING + (cursor % LOG_SLOTS) * 8, value)?;
+    vm.write_u64(proc, LOG_CURSOR, cursor + 1)?;
+    Ok(())
+}
+
+/// Reads the syscall counter (test/diagnostic helper).
+pub fn syscall_count(proc: &Process, vm: &GuestVm) -> Result<u64> {
+    Ok(vm.read_u64(proc, SYSCALL_COUNTER)?.unwrap_or(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odf_core::Kernel;
+
+    fn setup() -> (std::sync::Arc<Kernel>, Process, GuestVm) {
+        let k = Kernel::new(64 << 20);
+        let p = k.spawn().unwrap();
+        let vm = GuestVm::install(&p, 4 << 20).unwrap();
+        (k, p, vm)
+    }
+
+    fn call(p: &Process, vm: &GuestVm, nr_value: u64, args: [u64; 4]) -> u64 {
+        dispatch(p, vm, nr_value, args, &mut |_| {}).unwrap()
+    }
+
+    #[test]
+    fn open_write_read_close_lifecycle() {
+        let (_k, p, vm) = setup();
+        let fd = call(&p, &vm, nr::OPEN, [0xABCD, 0, 0, 0]);
+        assert_ne!(fd, ERR);
+        assert_eq!(call(&p, &vm, nr::WRITE, [fd, 7, 100, 0]), 100);
+        assert_eq!(call(&p, &vm, nr::WRITE, [fd, 7, 28, 0]), 128);
+        assert_eq!(call(&p, &vm, nr::READ, [fd, 0, 0, 0]), 128);
+        assert_eq!(call(&p, &vm, nr::CLOSE, [fd, 0, 0, 0]), 0);
+        assert_eq!(call(&p, &vm, nr::WRITE, [fd, 7, 1, 0]), ERR);
+        // Reopen finds the same slot.
+        assert_eq!(call(&p, &vm, nr::OPEN, [0xABCD, 0, 0, 0]), fd);
+        assert_eq!(call(&p, &vm, nr::READ, [fd, 0, 0, 0]), 128);
+    }
+
+    #[test]
+    fn file_table_fills_up() {
+        let (_k, p, vm) = setup();
+        for i in 0..16u64 {
+            assert_ne!(call(&p, &vm, nr::OPEN, [i + 1, 0, 0, 0]), ERR);
+        }
+        assert_eq!(call(&p, &vm, nr::OPEN, [999, 0, 0, 0]), ERR);
+    }
+
+    #[test]
+    fn spawn_and_kill_tasks() {
+        let (_k, p, vm) = setup();
+        let s = call(&p, &vm, nr::SPAWN, [42, 0, 0, 0]);
+        assert_ne!(s, ERR);
+        assert_eq!(call(&p, &vm, nr::KILL, [42, 0, 0, 0]), 0);
+        assert_eq!(call(&p, &vm, nr::KILL, [42, 0, 0, 0]), ERR);
+    }
+
+    #[test]
+    fn invalid_arguments_take_error_branches() {
+        let (_k, p, vm) = setup();
+        assert_eq!(call(&p, &vm, nr::OPEN, [0, 0, 0, 0]), ERR);
+        assert_eq!(call(&p, &vm, nr::CLOSE, [99, 0, 0, 0]), ERR);
+        assert_eq!(call(&p, &vm, nr::SPAWN, [0, 0, 0, 0]), ERR);
+        assert_eq!(call(&p, &vm, 0xFFFF, [0, 0, 0, 0]), ERR);
+    }
+
+    #[test]
+    fn distinct_paths_produce_distinct_coverage() {
+        let (_k, p, vm) = setup();
+        let mut a = Vec::new();
+        dispatch(&p, &vm, nr::OPEN, [1, 0, 0, 0], &mut |l| a.push(l)).unwrap();
+        let mut b = Vec::new();
+        dispatch(&p, &vm, nr::OPEN, [0, 0, 0, 0], &mut |l| b.push(l)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn syscall_counter_advances() {
+        let (_k, p, vm) = setup();
+        assert_eq!(syscall_count(&p, &vm).unwrap(), 0);
+        call(&p, &vm, nr::NOOP, [0; 4]);
+        call(&p, &vm, nr::LOG, [5, 0, 0, 0]);
+        assert_eq!(syscall_count(&p, &vm).unwrap(), 2);
+    }
+}

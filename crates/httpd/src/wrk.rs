@@ -1,0 +1,82 @@
+//! The wrk-like load generator.
+//!
+//! The paper runs `wrk` for one-second sessions against a freshly started
+//! Apache and reports mean/max latency (Table 6) and percentiles
+//! (Table 7). This module reproduces that: a closed loop issuing GETs over
+//! random documents for a fixed duration, recording per-request latency.
+
+use std::time::Duration;
+
+use odf_metrics::{Histogram, Stopwatch, Summary};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::PreforkServer;
+
+/// Result of one benchmark session.
+pub struct WrkReport {
+    /// Per-request latency in nanoseconds.
+    pub latency: Histogram,
+    /// Mean/max summary (Table 6's rows).
+    pub summary: Summary,
+    /// Requests completed.
+    pub requests: u64,
+}
+
+/// Runs a closed-loop session of `duration` against the server.
+pub fn run(
+    server: &mut PreforkServer,
+    documents: usize,
+    duration: Duration,
+    seed: u64,
+) -> odf_core::Result<WrkReport> {
+    let mut latency = Histogram::new();
+    let mut summary = Summary::new();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut requests = 0u64;
+    let session = Stopwatch::start();
+    while session.elapsed() < duration {
+        let doc = rng.gen_range(0..documents);
+        let request = format!("GET /doc-{doc} HTTP/1.1");
+        let sw = Stopwatch::start();
+        let response = server.handle(&request)?;
+        let ns = sw.elapsed_ns();
+        debug_assert_eq!(response.status, 200);
+        latency.record(ns);
+        summary.record(ns as f64);
+        requests += 1;
+    }
+    Ok(WrkReport {
+        latency,
+        summary,
+        requests,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HttpConfig;
+    use odf_core::{ForkPolicy, Kernel};
+
+    #[test]
+    fn session_collects_latencies() {
+        let k = Kernel::new(128 << 20);
+        let mut s = PreforkServer::start(
+            &k,
+            HttpConfig {
+                workers: 2,
+                policy: ForkPolicy::OnDemand,
+                documents: 8,
+                document_size: 512,
+                max_requests_per_worker: 0,
+            },
+        )
+        .unwrap();
+        let report = run(&mut s, 8, Duration::from_millis(50), 1).unwrap();
+        assert!(report.requests > 0);
+        assert_eq!(report.latency.count(), report.requests);
+        assert!(report.summary.max() >= report.summary.mean());
+        assert!(report.latency.percentile(99.0) >= report.latency.percentile(50.0));
+    }
+}

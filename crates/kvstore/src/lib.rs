@@ -1,0 +1,35 @@
+//! A Redis-like in-memory key-value store on the simulated kernel.
+//!
+//! This is the application substrate behind the snapshot experiments of the
+//! paper (§5.3.3, Tables 4 and 5). Its defining property: **the entire
+//! dataset lives inside a simulated process's address space**, allocated
+//! through [`odf_core::UserHeap`]. Snapshots therefore work exactly like
+//! Redis BGSAVE:
+//!
+//! 1. the serving process forks (blocking request handling for the
+//!    duration of the fork call — the latency spike Table 4 measures),
+//! 2. the child walks the *frozen* copy-on-write image of the store and
+//!    serializes it, while
+//! 3. the parent keeps serving requests, its writes COWing pages (and,
+//!    under On-demand-fork, page tables) away from the child's view.
+//!
+//! Modules:
+//!
+//! - [`Store`]: the hash table in simulated memory.
+//! - [`Server`]: request execution + automatic BGSAVE-style snapshots
+//!   ("save after N changed keys", the Redis default policy the paper
+//!   uses), with fork-latency tracking (`latest_fork_usec` analog).
+//! - [`workload`]: a memtier_benchmark-like pipelined traffic generator.
+//! - [`resp`]: the RESP wire protocol (what memtier actually speaks) and
+//!   command dispatch over it.
+
+#![forbid(unsafe_code)]
+
+pub mod resp;
+mod server;
+mod store;
+pub mod workload;
+
+pub use resp::{dispatch, encode_command, serve_stream, RespValue};
+pub use server::{Server, ServerConfig, SnapshotReport};
+pub use store::Store;

@@ -1,0 +1,376 @@
+//! RESP (REdis Serialization Protocol) codec and command dispatch.
+//!
+//! The paper drives Redis with memtier_benchmark, which speaks RESP over
+//! TCP. This module provides the wire layer for the reproduction's server:
+//! RESP2 value encoding/decoding and the command surface the workloads
+//! use (`GET`, `SET`, `DEL`, `EXISTS`, `INCR`, `APPEND`, `DBSIZE`,
+//! `BGSAVE`, `PING`).
+
+use crate::server::Server;
+
+/// A RESP protocol value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RespValue {
+    /// `+OK\r\n`
+    Simple(String),
+    /// `-ERR ...\r\n`
+    Error(String),
+    /// `:42\r\n`
+    Integer(i64),
+    /// `$5\r\nhello\r\n`; `None` is the null bulk string `$-1\r\n`.
+    Bulk(Option<Vec<u8>>),
+    /// `*2\r\n...`
+    Array(Vec<RespValue>),
+}
+
+impl RespValue {
+    /// Serializes to the wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            RespValue::Simple(s) => {
+                out.push(b'+');
+                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            RespValue::Error(s) => {
+                out.push(b'-');
+                out.extend_from_slice(s.as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            RespValue::Integer(v) => {
+                out.push(b':');
+                out.extend_from_slice(v.to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+            }
+            RespValue::Bulk(None) => out.extend_from_slice(b"$-1\r\n"),
+            RespValue::Bulk(Some(data)) => {
+                out.push(b'$');
+                out.extend_from_slice(data.len().to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+                out.extend_from_slice(data);
+                out.extend_from_slice(b"\r\n");
+            }
+            RespValue::Array(items) => {
+                out.push(b'*');
+                out.extend_from_slice(items.len().to_string().as_bytes());
+                out.extend_from_slice(b"\r\n");
+                for item in items {
+                    item.encode_into(out);
+                }
+            }
+        }
+    }
+
+    /// Parses one value from the front of `input`, returning it and the
+    /// bytes consumed. `None` means the input is incomplete (wait for more
+    /// bytes, as a socket reader would).
+    ///
+    /// Malformed input yields a `RespValue::Error` describing the problem
+    /// (consuming one byte) so a stream never wedges.
+    pub fn decode(input: &[u8]) -> Option<(RespValue, usize)> {
+        fn find_crlf(input: &[u8], from: usize) -> Option<usize> {
+            input[from..]
+                .windows(2)
+                .position(|w| w == b"\r\n")
+                .map(|p| from + p)
+        }
+        let first = *input.first()?;
+        let line_end = find_crlf(input, 1)?;
+        let line = &input[1..line_end];
+        let consumed_line = line_end + 2;
+        let text = std::str::from_utf8(line).ok();
+        match first {
+            b'+' => Some((
+                RespValue::Simple(text?.to_string()),
+                consumed_line,
+            )),
+            b'-' => Some((RespValue::Error(text?.to_string()), consumed_line)),
+            b':' => match text.and_then(|t| t.parse().ok()) {
+                Some(v) => Some((RespValue::Integer(v), consumed_line)),
+                None => Some((RespValue::Error("bad integer".into()), 1)),
+            },
+            b'$' => {
+                let len: i64 = match text.and_then(|t| t.parse().ok()) {
+                    Some(v) => v,
+                    None => return Some((RespValue::Error("bad bulk length".into()), 1)),
+                };
+                if len < 0 {
+                    return Some((RespValue::Bulk(None), consumed_line));
+                }
+                let len = len as usize;
+                if input.len() < consumed_line + len + 2 {
+                    return None;
+                }
+                let data = input[consumed_line..consumed_line + len].to_vec();
+                Some((RespValue::Bulk(Some(data)), consumed_line + len + 2))
+            }
+            b'*' => {
+                let n: i64 = match text.and_then(|t| t.parse().ok()) {
+                    Some(v) => v,
+                    None => return Some((RespValue::Error("bad array length".into()), 1)),
+                };
+                if n < 0 {
+                    return Some((RespValue::Array(Vec::new()), consumed_line));
+                }
+                let mut items = Vec::with_capacity(n as usize);
+                let mut at = consumed_line;
+                for _ in 0..n {
+                    let (item, used) = RespValue::decode(&input[at..])?;
+                    items.push(item);
+                    at += used;
+                }
+                Some((RespValue::Array(items), at))
+            }
+            _ => Some((RespValue::Error("bad type byte".into()), 1)),
+        }
+    }
+}
+
+/// Encodes a client command as a RESP array of bulk strings.
+pub fn encode_command(parts: &[&[u8]]) -> Vec<u8> {
+    RespValue::Array(
+        parts
+            .iter()
+            .map(|p| RespValue::Bulk(Some(p.to_vec())))
+            .collect(),
+    )
+    .encode()
+}
+
+/// Dispatches one decoded command against the server, returning the reply.
+pub fn dispatch(server: &mut Server, command: &RespValue) -> RespValue {
+    let RespValue::Array(items) = command else {
+        return RespValue::Error("ERR expected array".into());
+    };
+    let mut args: Vec<&[u8]> = Vec::with_capacity(items.len());
+    for item in items {
+        match item {
+            RespValue::Bulk(Some(data)) => args.push(data),
+            _ => return RespValue::Error("ERR expected bulk strings".into()),
+        }
+    }
+    let Some((&name, rest)) = args.split_first() else {
+        return RespValue::Error("ERR empty command".into());
+    };
+    let upper = name.to_ascii_uppercase();
+    let wrong_arity = || RespValue::Error("ERR wrong number of arguments".into());
+    let vm_err = |e: odf_core::VmError| RespValue::Error(format!("ERR {e}"));
+    match upper.as_slice() {
+        b"PING" => RespValue::Simple("PONG".into()),
+        b"SET" => match rest {
+            [key, value] => match server.set(key, value) {
+                Ok(()) => RespValue::Simple("OK".into()),
+                Err(e) => vm_err(e),
+            },
+            _ => wrong_arity(),
+        },
+        b"GET" => match rest {
+            [key] => match server.get(key) {
+                Ok(v) => RespValue::Bulk(v),
+                Err(e) => vm_err(e),
+            },
+            _ => wrong_arity(),
+        },
+        b"DEL" => match rest {
+            [key] => match server.del(key) {
+                Ok(existed) => RespValue::Integer(i64::from(existed)),
+                Err(e) => vm_err(e),
+            },
+            _ => wrong_arity(),
+        },
+        b"EXISTS" => match rest {
+            [key] => match server.exists(key) {
+                Ok(e) => RespValue::Integer(i64::from(e)),
+                Err(e) => vm_err(e),
+            },
+            _ => wrong_arity(),
+        },
+        b"INCR" => match rest {
+            [key] => match server.incr(key) {
+                Ok(v) => RespValue::Integer(v),
+                Err(_) => {
+                    RespValue::Error("ERR value is not an integer or out of range".into())
+                }
+            },
+            _ => wrong_arity(),
+        },
+        b"APPEND" => match rest {
+            [key, suffix] => match server.append(key, suffix) {
+                Ok(n) => RespValue::Integer(n as i64),
+                Err(e) => vm_err(e),
+            },
+            _ => wrong_arity(),
+        },
+        b"DBSIZE" => match server.store().len(server.process()) {
+            Ok(n) => RespValue::Integer(n as i64),
+            Err(e) => vm_err(e),
+        },
+        b"BGSAVE" => match server.bgsave() {
+            Ok(()) => RespValue::Simple("Background saving started".into()),
+            Err(e) => vm_err(e),
+        },
+        _ => RespValue::Error(format!(
+            "ERR unknown command '{}'",
+            String::from_utf8_lossy(name)
+        )),
+    }
+}
+
+/// Feeds a byte stream of pipelined commands to the server, as a
+/// connection handler would, returning the concatenated replies.
+pub fn serve_stream(server: &mut Server, input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut at = 0;
+    while at < input.len() {
+        match RespValue::decode(&input[at..]) {
+            None => break, // incomplete trailing command
+            Some((value, used)) => {
+                out.extend_from_slice(&dispatch(server, &value).encode());
+                at += used;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use odf_core::Kernel;
+
+    fn server() -> Server {
+        let kernel = Kernel::new(64 << 20);
+        Server::new(
+            &kernel,
+            ServerConfig {
+                heap_capacity: 16 << 20,
+                snapshot_every: u64::MAX,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn values_encode_to_wire_format() {
+        assert_eq!(RespValue::Simple("OK".into()).encode(), b"+OK\r\n");
+        assert_eq!(RespValue::Integer(-7).encode(), b":-7\r\n");
+        assert_eq!(RespValue::Bulk(None).encode(), b"$-1\r\n");
+        assert_eq!(
+            RespValue::Bulk(Some(b"hey".to_vec())).encode(),
+            b"$3\r\nhey\r\n"
+        );
+        assert_eq!(
+            encode_command(&[b"GET", b"k"]),
+            b"*2\r\n$3\r\nGET\r\n$1\r\nk\r\n"
+        );
+    }
+
+    #[test]
+    fn decode_round_trips_every_kind() {
+        for v in [
+            RespValue::Simple("PONG".into()),
+            RespValue::Error("ERR x".into()),
+            RespValue::Integer(123456),
+            RespValue::Bulk(None),
+            RespValue::Bulk(Some(b"binary\x00data".to_vec())),
+            RespValue::Array(vec![
+                RespValue::Integer(1),
+                RespValue::Bulk(Some(b"two".to_vec())),
+            ]),
+        ] {
+            let wire = v.encode();
+            let (back, used) = RespValue::decode(&wire).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(used, wire.len());
+        }
+    }
+
+    #[test]
+    fn incomplete_input_asks_for_more() {
+        let wire = encode_command(&[b"SET", b"key", b"value"]);
+        for cut in 1..wire.len() {
+            assert!(
+                RespValue::decode(&wire[..cut]).is_none(),
+                "cut at {cut} should be incomplete"
+            );
+        }
+    }
+
+    #[test]
+    fn malformed_input_degrades_to_errors_not_panics() {
+        for bad in [&b"?x\r\n"[..], b":abc\r\n", b"$zz\r\n", b"*x\r\n"] {
+            let (v, used) = RespValue::decode(bad).unwrap();
+            assert!(matches!(v, RespValue::Error(_)), "{bad:?}");
+            assert!(used >= 1);
+        }
+    }
+
+    #[test]
+    fn command_dispatch_covers_the_surface() {
+        let mut s = server();
+        let run = |s: &mut Server, parts: &[&[u8]]| {
+            let wire = encode_command(parts);
+            let (v, _) = RespValue::decode(&wire).unwrap();
+            dispatch(s, &v)
+        };
+        assert_eq!(run(&mut s, &[b"PING"]), RespValue::Simple("PONG".into()));
+        assert_eq!(
+            run(&mut s, &[b"SET", b"k", b"v"]),
+            RespValue::Simple("OK".into())
+        );
+        assert_eq!(
+            run(&mut s, &[b"GET", b"k"]),
+            RespValue::Bulk(Some(b"v".to_vec()))
+        );
+        assert_eq!(run(&mut s, &[b"EXISTS", b"k"]), RespValue::Integer(1));
+        assert_eq!(run(&mut s, &[b"DBSIZE"]), RespValue::Integer(1));
+        assert_eq!(run(&mut s, &[b"INCR", b"n"]), RespValue::Integer(1));
+        assert_eq!(run(&mut s, &[b"APPEND", b"k", b"2"]), RespValue::Integer(2));
+        assert_eq!(run(&mut s, &[b"DEL", b"k"]), RespValue::Integer(1));
+        assert_eq!(run(&mut s, &[b"GET", b"k"]), RespValue::Bulk(None));
+        assert!(matches!(
+            run(&mut s, &[b"INCR", b"bad"]),
+            RespValue::Integer(1)
+        ));
+        assert!(matches!(
+            run(&mut s, &[b"SET", b"k"]),
+            RespValue::Error(_)
+        ));
+        assert!(matches!(
+            run(&mut s, &[b"FLUSHALL"]),
+            RespValue::Error(_)
+        ));
+        assert!(matches!(
+            run(&mut s, &[b"BGSAVE"]),
+            RespValue::Simple(_)
+        ));
+        s.wait_snapshots();
+    }
+
+    #[test]
+    fn pipelined_streams_serve_in_order() {
+        let mut s = server();
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_command(&[b"SET", b"a", b"1"]));
+        stream.extend_from_slice(&encode_command(&[b"INCR", b"a"]));
+        stream.extend_from_slice(&encode_command(&[b"GET", b"a"]));
+        // Trailing partial command is left for the next read.
+        stream.extend_from_slice(b"*1\r\n$4\r\nPI");
+        let replies = serve_stream(&mut s, &stream);
+        let expected = [
+            RespValue::Simple("OK".into()).encode(),
+            RespValue::Integer(2).encode(),
+            RespValue::Bulk(Some(b"2".to_vec())).encode(),
+        ]
+        .concat();
+        assert_eq!(replies, expected);
+    }
+}

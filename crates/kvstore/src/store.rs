@@ -1,0 +1,389 @@
+//! The hash table in simulated memory.
+
+use odf_core::{Process, Result, UserHeap, VmError};
+
+/// Layout of the table header, at `Store::header`:
+///
+/// ```text
+/// +0   bucket count (u64, power of two)
+/// +8   item count   (u64)
+/// +16  address of the bucket array (u64)
+/// ```
+/// Bucket array: `bucket_count` u64 slots, each the address of the first
+/// entry in the chain (0 = empty).
+///
+/// Entry block layout (one heap allocation per entry):
+///
+/// ```text
+/// +0   next entry address (u64, 0 = end of chain)
+/// +8   key length   (u32)
+/// +12  value length (u32)
+/// +16  key bytes, then value bytes
+/// ```
+const HDR_BUCKETS: u64 = 0;
+const HDR_ITEMS: u64 = 8;
+const HDR_ARRAY: u64 = 16;
+const HEADER_SIZE: u64 = 24;
+
+const ENT_NEXT: u64 = 0;
+const ENT_KLEN: u64 = 8;
+const ENT_VLEN: u64 = 12;
+const ENT_DATA: u64 = 16;
+
+/// A chained hash table whose every byte lives in simulated process
+/// memory.
+///
+/// The handle holds only addresses; operations take the [`Process`] whose
+/// address space to operate in. After a fork, the *same* handle used with
+/// the child process reads the child's copy-on-write image — which is how
+/// the snapshot serializer sees a frozen point-in-time view.
+#[derive(Clone, Copy, Debug)]
+pub struct Store {
+    heap: UserHeap,
+    header: u64,
+}
+
+impl Store {
+    /// Creates an empty store with its own heap.
+    ///
+    /// `heap_capacity` bounds the dataset size; `buckets` is rounded up to
+    /// a power of two.
+    pub fn create(proc: &Process, heap_capacity: u64, buckets: u64) -> Result<Store> {
+        let heap = UserHeap::create(proc, heap_capacity)?;
+        let buckets = buckets.next_power_of_two().max(16);
+        let header = heap.alloc(proc, HEADER_SIZE)?;
+        let array = heap.alloc(proc, buckets * 8)?;
+        proc.write_u64(header + HDR_BUCKETS, buckets)?;
+        proc.write_u64(header + HDR_ITEMS, 0)?;
+        proc.write_u64(header + HDR_ARRAY, array)?;
+        // Zero the bucket array.
+        proc.fill(array, (buckets * 8) as usize, 0)?;
+        Ok(Store { heap, header })
+    }
+
+    /// The heap backing this store.
+    pub fn heap(&self) -> UserHeap {
+        self.heap
+    }
+
+    fn hash(key: &[u8]) -> u64 {
+        // FNV-1a.
+        let mut h = 0xcbf29ce484222325u64;
+        for &b in key {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    fn bucket_addr(&self, proc: &Process, key: &[u8]) -> Result<u64> {
+        let buckets = proc.read_u64(self.header + HDR_BUCKETS)?;
+        let array = proc.read_u64(self.header + HDR_ARRAY)?;
+        Ok(array + (Self::hash(key) & (buckets - 1)) * 8)
+    }
+
+    /// Number of items.
+    pub fn len(&self, proc: &Process) -> Result<u64> {
+        proc.read_u64(self.header + HDR_ITEMS)
+    }
+
+    /// Whether the store holds no items.
+    pub fn is_empty(&self, proc: &Process) -> Result<bool> {
+        Ok(self.len(proc)? == 0)
+    }
+
+    /// Inserts or replaces a key.
+    pub fn set(&self, proc: &Process, key: &[u8], value: &[u8]) -> Result<()> {
+        if key.is_empty() || key.len() > u32::MAX as usize || value.len() > u32::MAX as usize
+        {
+            return Err(VmError::InvalidArgument);
+        }
+        // Replace = delete + insert at chain head (Redis semantics: SET
+        // overwrites).
+        self.del(proc, key)?;
+        let bucket = self.bucket_addr(proc, key)?;
+        let head = proc.read_u64(bucket)?;
+        let entry = self
+            .heap
+            .alloc(proc, ENT_DATA + key.len() as u64 + value.len() as u64)?;
+        proc.write_u64(entry + ENT_NEXT, head)?;
+        proc.write_u32(entry + ENT_KLEN, key.len() as u32)?;
+        proc.write_u32(entry + ENT_VLEN, value.len() as u32)?;
+        proc.write(entry + ENT_DATA, key)?;
+        proc.write(entry + ENT_DATA + key.len() as u64, value)?;
+        proc.write_u64(bucket, entry)?;
+        let items = proc.read_u64(self.header + HDR_ITEMS)?;
+        proc.write_u64(self.header + HDR_ITEMS, items + 1)?;
+        Ok(())
+    }
+
+    /// Looks a key up.
+    pub fn get(&self, proc: &Process, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let bucket = self.bucket_addr(proc, key)?;
+        let mut at = proc.read_u64(bucket)?;
+        while at != 0 {
+            let klen = proc.read_u32(at + ENT_KLEN)? as usize;
+            if klen == key.len() {
+                let stored = proc.read_vec(at + ENT_DATA, klen)?;
+                if stored == key {
+                    let vlen = proc.read_u32(at + ENT_VLEN)? as usize;
+                    return Ok(Some(proc.read_vec(at + ENT_DATA + klen as u64, vlen)?));
+                }
+            }
+            at = proc.read_u64(at + ENT_NEXT)?;
+        }
+        Ok(None)
+    }
+
+    /// Removes a key, returning whether it existed.
+    pub fn del(&self, proc: &Process, key: &[u8]) -> Result<bool> {
+        let bucket = self.bucket_addr(proc, key)?;
+        let mut prev: Option<u64> = None;
+        let mut at = proc.read_u64(bucket)?;
+        while at != 0 {
+            let klen = proc.read_u32(at + ENT_KLEN)? as usize;
+            let next = proc.read_u64(at + ENT_NEXT)?;
+            if klen == key.len() && proc.read_vec(at + ENT_DATA, klen)? == key {
+                match prev {
+                    Some(p) => proc.write_u64(p + ENT_NEXT, next)?,
+                    None => proc.write_u64(bucket, next)?,
+                }
+                self.heap.free(proc, at)?;
+                let items = proc.read_u64(self.header + HDR_ITEMS)?;
+                proc.write_u64(self.header + HDR_ITEMS, items - 1)?;
+                return Ok(true);
+            }
+            prev = Some(at);
+            at = next;
+        }
+        Ok(false)
+    }
+
+    /// Whether a key exists (`EXISTS`).
+    pub fn exists(&self, proc: &Process, key: &[u8]) -> Result<bool> {
+        Ok(self.get(proc, key)?.is_some())
+    }
+
+    /// Atomically increments the integer value of a key (`INCR`): a
+    /// missing key counts as 0; a non-integer value is an error.
+    pub fn incr(&self, proc: &Process, key: &[u8]) -> Result<i64> {
+        let current = match self.get(proc, key)? {
+            None => 0,
+            Some(bytes) => std::str::from_utf8(&bytes)
+                .ok()
+                .and_then(|s| s.parse::<i64>().ok())
+                .ok_or(VmError::InvalidArgument)?,
+        };
+        let next = current.checked_add(1).ok_or(VmError::InvalidArgument)?;
+        self.set(proc, key, next.to_string().as_bytes())?;
+        Ok(next)
+    }
+
+    /// Appends bytes to a key's value (`APPEND`), creating it if missing.
+    /// Returns the new value length.
+    pub fn append(&self, proc: &Process, key: &[u8], suffix: &[u8]) -> Result<usize> {
+        let mut value = self.get(proc, key)?.unwrap_or_default();
+        value.extend_from_slice(suffix);
+        let len = value.len();
+        self.set(proc, key, &value)?;
+        Ok(len)
+    }
+
+    /// Serializes the full store (the RDB dump analog), walking the image
+    /// visible to `proc` — for a forked child, the frozen COW snapshot.
+    ///
+    /// Format: `[item count: u64]` then per item
+    /// `[klen: u32][vlen: u32][key][value]`.
+    pub fn serialize(&self, proc: &Process) -> Result<Vec<u8>> {
+        let items = proc.read_u64(self.header + HDR_ITEMS)?;
+        let buckets = proc.read_u64(self.header + HDR_BUCKETS)?;
+        let array = proc.read_u64(self.header + HDR_ARRAY)?;
+        let mut out = Vec::with_capacity(64 + items as usize * 32);
+        out.extend_from_slice(&items.to_le_bytes());
+        for b in 0..buckets {
+            let mut at = proc.read_u64(array + b * 8)?;
+            while at != 0 {
+                let klen = proc.read_u32(at + ENT_KLEN)?;
+                let vlen = proc.read_u32(at + ENT_VLEN)?;
+                out.extend_from_slice(&klen.to_le_bytes());
+                out.extend_from_slice(&vlen.to_le_bytes());
+                let data = proc.read_vec(at + ENT_DATA, (klen + vlen) as usize)?;
+                out.extend_from_slice(&data);
+                at = proc.read_u64(at + ENT_NEXT)?;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rebuilds a store from a serialized dump (recovery).
+    pub fn restore(
+        proc: &Process,
+        heap_capacity: u64,
+        buckets: u64,
+        dump: &[u8],
+    ) -> Result<Store> {
+        let store = Store::create(proc, heap_capacity, buckets)?;
+        let mut at = 8usize;
+        let items = u64::from_le_bytes(dump[0..8].try_into().expect("dump header"));
+        for _ in 0..items {
+            let klen =
+                u32::from_le_bytes(dump[at..at + 4].try_into().expect("klen")) as usize;
+            let vlen =
+                u32::from_le_bytes(dump[at + 4..at + 8].try_into().expect("vlen")) as usize;
+            at += 8;
+            let key = &dump[at..at + klen];
+            let value = &dump[at + klen..at + klen + vlen];
+            at += klen + vlen;
+            store.set(proc, key, value)?;
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odf_core::{ForkPolicy, Kernel};
+
+    fn setup() -> (std::sync::Arc<Kernel>, Process, Store) {
+        let k = Kernel::new(128 << 20);
+        let p = k.spawn().unwrap();
+        let s = Store::create(&p, 32 << 20, 256).unwrap();
+        (k, p, s)
+    }
+
+    #[test]
+    fn set_get_del_round_trip() {
+        let (_k, p, s) = setup();
+        assert_eq!(s.get(&p, b"missing").unwrap(), None);
+        s.set(&p, b"alpha", b"1").unwrap();
+        s.set(&p, b"beta", b"2").unwrap();
+        assert_eq!(s.get(&p, b"alpha").unwrap().unwrap(), b"1");
+        assert_eq!(s.get(&p, b"beta").unwrap().unwrap(), b"2");
+        assert_eq!(s.len(&p).unwrap(), 2);
+        assert!(s.del(&p, b"alpha").unwrap());
+        assert!(!s.del(&p, b"alpha").unwrap());
+        assert_eq!(s.get(&p, b"alpha").unwrap(), None);
+        assert_eq!(s.len(&p).unwrap(), 1);
+    }
+
+    #[test]
+    fn set_overwrites() {
+        let (_k, p, s) = setup();
+        s.set(&p, b"k", b"first").unwrap();
+        s.set(&p, b"k", b"second-value").unwrap();
+        assert_eq!(s.get(&p, b"k").unwrap().unwrap(), b"second-value");
+        assert_eq!(s.len(&p).unwrap(), 1);
+    }
+
+    #[test]
+    fn collisions_chain_correctly() {
+        let k = Kernel::new(64 << 20);
+        let p = k.spawn().unwrap();
+        // 16 buckets force heavy chaining across 500 keys.
+        let s = Store::create(&p, 16 << 20, 1).unwrap();
+        for i in 0..500u32 {
+            s.set(&p, format!("key-{i}").as_bytes(), &i.to_le_bytes())
+                .unwrap();
+        }
+        assert_eq!(s.len(&p).unwrap(), 500);
+        for i in (0..500u32).rev() {
+            assert_eq!(
+                s.get(&p, format!("key-{i}").as_bytes()).unwrap().unwrap(),
+                i.to_le_bytes()
+            );
+        }
+        // Delete the middle of chains.
+        for i in (0..500u32).step_by(3) {
+            assert!(s.del(&p, format!("key-{i}").as_bytes()).unwrap());
+        }
+        for i in 0..500u32 {
+            let present = s.get(&p, format!("key-{i}").as_bytes()).unwrap().is_some();
+            assert_eq!(present, i % 3 != 0, "key-{i}");
+        }
+    }
+
+    #[test]
+    fn serialize_restore_preserves_content() {
+        let (_k, p, s) = setup();
+        for i in 0..100u32 {
+            s.set(&p, format!("k{i}").as_bytes(), format!("value-{i}").as_bytes())
+                .unwrap();
+        }
+        let dump = s.serialize(&p).unwrap();
+        let k2 = Kernel::new(128 << 20);
+        let p2 = k2.spawn().unwrap();
+        let s2 = Store::restore(&p2, 32 << 20, 256, &dump).unwrap();
+        assert_eq!(s2.len(&p2).unwrap(), 100);
+        for i in 0..100u32 {
+            assert_eq!(
+                s2.get(&p2, format!("k{i}").as_bytes()).unwrap().unwrap(),
+                format!("value-{i}").as_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_is_a_frozen_point_in_time_view() {
+        for policy in [ForkPolicy::Classic, ForkPolicy::OnDemand] {
+            let (_k, p, s) = setup();
+            s.set(&p, b"key", b"before").unwrap();
+            let child = p.fork_with(policy).unwrap();
+            // Parent mutates after the fork...
+            s.set(&p, b"key", b"after").unwrap();
+            s.set(&p, b"new", b"entry").unwrap();
+            // ...the child's image is frozen.
+            assert_eq!(s.get(&child, b"key").unwrap().unwrap(), b"before");
+            assert_eq!(s.get(&child, b"new").unwrap(), None);
+            let dump = s.serialize(&child).unwrap();
+            assert!(
+                dump.windows(6).any(|w| w == b"before"),
+                "{policy:?}: snapshot holds pre-fork value"
+            );
+            assert!(!dump.windows(5).any(|w| w == b"after"), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn exists_incr_append_semantics() {
+        let (_k, p, s) = setup();
+        assert!(!s.exists(&p, b"ctr").unwrap());
+        assert_eq!(s.incr(&p, b"ctr").unwrap(), 1);
+        assert_eq!(s.incr(&p, b"ctr").unwrap(), 2);
+        assert!(s.exists(&p, b"ctr").unwrap());
+        assert_eq!(s.get(&p, b"ctr").unwrap().unwrap(), b"2");
+
+        s.set(&p, b"text", b"not-a-number").unwrap();
+        assert_eq!(s.incr(&p, b"text"), Err(VmError::InvalidArgument));
+
+        assert_eq!(s.append(&p, b"log", b"hello").unwrap(), 5);
+        assert_eq!(s.append(&p, b"log", b", world").unwrap(), 12);
+        assert_eq!(s.get(&p, b"log").unwrap().unwrap(), b"hello, world");
+        assert_eq!(s.len(&p).unwrap(), 3);
+    }
+
+    #[test]
+    fn counters_diverge_after_fork() {
+        let (_k, p, s) = setup();
+        s.incr(&p, b"ctr").unwrap();
+        let child = p.fork_with(ForkPolicy::OnDemand).unwrap();
+        assert_eq!(s.incr(&p, b"ctr").unwrap(), 2);
+        assert_eq!(s.incr(&child, b"ctr").unwrap(), 2);
+        assert_eq!(s.incr(&child, b"ctr").unwrap(), 3);
+        assert_eq!(s.get(&p, b"ctr").unwrap().unwrap(), b"2");
+    }
+
+    #[test]
+    fn empty_keys_are_rejected() {
+        let (_k, p, s) = setup();
+        assert!(s.set(&p, b"", b"v").is_err());
+    }
+
+    #[test]
+    fn large_values_round_trip() {
+        let (_k, p, s) = setup();
+        let big: Vec<u8> = (0..100_000u32).map(|i| (i % 251) as u8).collect();
+        s.set(&p, b"big", &big).unwrap();
+        assert_eq!(s.get(&p, b"big").unwrap().unwrap(), big);
+    }
+}

@@ -1,0 +1,164 @@
+//! A memtier_benchmark-like traffic generator.
+//!
+//! The paper drives Redis with memtier_benchmark using pipelined
+//! connections (§5.3.3) and reports client-observed latency percentiles.
+//! This generator reproduces that measurement model: requests are issued in
+//! pipeline batches; each request's latency is measured from its enqueue
+//! time to its completion, so a fork-induced stall inside a batch inflates
+//! the tail exactly as a blocked server inflates memtier's.
+
+use odf_metrics::{Histogram, Stopwatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::server::Server;
+
+/// Traffic generator configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadConfig {
+    /// Number of distinct keys addressed.
+    pub key_space: u64,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Fraction of SET requests (the rest are GETs), in `[0, 1]`.
+    pub set_ratio: f64,
+    /// Requests per pipeline batch.
+    pub pipeline: usize,
+    /// RNG seed (fixed for reproducibility).
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        Self {
+            key_space: 10_000,
+            value_size: 64,
+            set_ratio: 0.5,
+            pipeline: 100,
+            seed: 42,
+        }
+    }
+}
+
+/// Pre-loads the store with every key in the key space (the "populate
+/// Redis with N MB of data before the experiment" step).
+pub fn preload(server: &mut Server, config: &WorkloadConfig) -> odf_core::Result<()> {
+    let value = vec![0xABu8; config.value_size];
+    for i in 0..config.key_space {
+        server.set(key_bytes(i).as_slice(), &value)?;
+    }
+    Ok(())
+}
+
+/// Runs `total_requests` against the server, returning the per-request
+/// latency histogram (nanoseconds).
+pub fn run(
+    server: &mut Server,
+    config: &WorkloadConfig,
+    total_requests: u64,
+) -> odf_core::Result<Histogram> {
+    let mut hist = Histogram::new();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let value = vec![0xCDu8; config.value_size];
+    let mut issued = 0u64;
+    while issued < total_requests {
+        let batch = config.pipeline.min((total_requests - issued) as usize);
+        let sw = Stopwatch::start();
+        for slot in 0..batch {
+            let key = key_bytes(rng.gen_range(0..config.key_space));
+            if rng.gen_bool(config.set_ratio) {
+                server.set(&key, &value)?;
+            } else {
+                let _ = server.get(&key)?;
+            }
+            // Latency of request `slot`: queued at batch start, completed
+            // now. Requests later in a batch accumulate the batch's
+            // service time, like a pipelined connection.
+            let _ = slot;
+            hist.record(sw.elapsed_ns());
+        }
+        issued += batch as u64;
+    }
+    Ok(hist)
+}
+
+fn key_bytes(i: u64) -> Vec<u8> {
+    format!("memtier-{i:012}").into_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::ServerConfig;
+    use odf_core::{ForkPolicy, Kernel};
+
+    #[test]
+    fn preload_fills_the_key_space() {
+        let k = Kernel::new(64 << 20);
+        let mut s = Server::new(
+            &k,
+            ServerConfig {
+                heap_capacity: 16 << 20,
+                snapshot_every: u64::MAX,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let cfg = WorkloadConfig {
+            key_space: 100,
+            ..Default::default()
+        };
+        preload(&mut s, &cfg).unwrap();
+        assert_eq!(s.store().len(s.process()).unwrap(), 100);
+        assert_eq!(s.get(&key_bytes(57)).unwrap().unwrap().len(), 64);
+    }
+
+    #[test]
+    fn run_records_every_request() {
+        let k = Kernel::new(64 << 20);
+        let mut s = Server::new(
+            &k,
+            ServerConfig {
+                heap_capacity: 16 << 20,
+                snapshot_every: u64::MAX,
+                fork_policy: ForkPolicy::OnDemand,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let cfg = WorkloadConfig {
+            key_space: 50,
+            pipeline: 7,
+            ..Default::default()
+        };
+        preload(&mut s, &cfg).unwrap();
+        let hist = run(&mut s, &cfg, 123).unwrap();
+        assert_eq!(hist.count(), 123);
+        assert!(hist.percentile(99.0) >= hist.percentile(50.0));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run_once = || {
+            let k = Kernel::new(64 << 20);
+            let mut s = Server::new(
+                &k,
+                ServerConfig {
+                    heap_capacity: 16 << 20,
+                    snapshot_every: 40,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let cfg = WorkloadConfig {
+                key_space: 64,
+                set_ratio: 1.0,
+                ..Default::default()
+            };
+            preload(&mut s, &cfg).unwrap();
+            run(&mut s, &cfg, 200).unwrap();
+            s.wait_snapshots().len()
+        };
+        assert_eq!(run_once(), run_once());
+    }
+}

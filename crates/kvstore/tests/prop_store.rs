@@ -1,0 +1,102 @@
+//! Model-based property tests: the in-simulation store vs a HashMap.
+
+use std::collections::HashMap;
+
+use odf_core::{ForkPolicy, Kernel};
+use odf_kvstore::Store;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Set { key: u8, value: Vec<u8> },
+    Del { key: u8 },
+    Get { key: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (any::<u8>(), proptest::collection::vec(any::<u8>(), 0..200))
+            .prop_map(|(key, value)| Op::Set { key, value }),
+        2 => any::<u8>().prop_map(|key| Op::Del { key }),
+        2 => any::<u8>().prop_map(|key| Op::Get { key }),
+    ]
+}
+
+fn key_bytes(key: u8) -> Vec<u8> {
+    format!("key-{key}").into_bytes()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    /// The store agrees with a HashMap model under arbitrary command
+    /// sequences (few buckets force heavy chain surgery).
+    #[test]
+    fn store_matches_hashmap(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let kernel = Kernel::new(64 << 20);
+        let proc = kernel.spawn().unwrap();
+        let store = Store::create(&proc, 16 << 20, 4).unwrap();
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+
+        for op in ops {
+            match op {
+                Op::Set { key, value } => {
+                    store.set(&proc, &key_bytes(key), &value).unwrap();
+                    model.insert(key, value);
+                }
+                Op::Del { key } => {
+                    let existed = store.del(&proc, &key_bytes(key)).unwrap();
+                    prop_assert_eq!(existed, model.remove(&key).is_some());
+                }
+                Op::Get { key } => {
+                    let got = store.get(&proc, &key_bytes(key)).unwrap();
+                    prop_assert_eq!(got.as_ref(), model.get(&key));
+                }
+            }
+            prop_assert_eq!(store.len(&proc).unwrap(), model.len() as u64);
+        }
+        // Final full sweep.
+        for (key, value) in &model {
+            let got = store.get(&proc, &key_bytes(*key)).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(value.as_slice()));
+        }
+    }
+
+    /// A snapshot taken through a forked child equals the model at fork
+    /// time, regardless of post-fork mutations.
+    #[test]
+    fn snapshots_freeze_the_model(
+        before in proptest::collection::vec(op_strategy(), 1..40),
+        after in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        let kernel = Kernel::new(64 << 20);
+        let proc = kernel.spawn().unwrap();
+        let store = Store::create(&proc, 16 << 20, 8).unwrap();
+        let mut model: HashMap<u8, Vec<u8>> = HashMap::new();
+        for op in before {
+            if let Op::Set { key, value } = op {
+                store.set(&proc, &key_bytes(key), &value).unwrap();
+                model.insert(key, value);
+            }
+        }
+        let frozen = model.clone();
+        let child = proc.fork_with(ForkPolicy::OnDemand).unwrap();
+        for op in after {
+            if let Op::Set { key, value } = op {
+                store.set(&proc, &key_bytes(key), &value).unwrap();
+                model.insert(key, value);
+            }
+        }
+        // The child's view matches the frozen model exactly.
+        prop_assert_eq!(store.len(&child).unwrap(), frozen.len() as u64);
+        for (key, value) in &frozen {
+            let got = store.get(&child, &key_bytes(*key)).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(value.as_slice()));
+        }
+        // And the parent's matches the live model.
+        for (key, value) in &model {
+            let got = store.get(&proc, &key_bytes(*key)).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(value.as_slice()));
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Log-bucketed latency histogram.
+//!
+//! The paper reports request latency at percentiles up to p99.99 (Table 4),
+//! which requires recording millions of samples cheaply. This histogram uses
+//! the classic HDR scheme: values are grouped by their binary magnitude, with
+//! a fixed number of linear sub-buckets per magnitude, giving a bounded
+//! relative error (< 1/`SUB_BUCKETS`) at O(1) record cost and a few KiB of
+//! memory regardless of sample count.
+
+/// Linear sub-buckets per power-of-two magnitude.
+///
+/// 32 sub-buckets bound the relative quantization error at ~3%.
+const SUB_BUCKETS: usize = 32;
+
+/// Number of binary magnitudes tracked.
+///
+/// 40 magnitudes cover 1ns .. ~17 minutes, far beyond any latency the
+/// benchmarks produce.
+const MAGNITUDES: usize = 40;
+
+/// A log-bucketed histogram of `u64` samples (typically nanoseconds).
+///
+/// # Examples
+///
+/// ```
+/// let mut h = odf_metrics::Histogram::new();
+/// for v in 1..=1000u64 {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 1000);
+/// let p50 = h.percentile(50.0);
+/// assert!((450..=550).contains(&p50), "p50 was {p50}");
+/// ```
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; SUB_BUCKETS * MAGNITUDES],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Maps a value to its bucket index.
+    fn bucket_of(value: u64) -> usize {
+        let v = value.max(1);
+        let mag = 63 - v.leading_zeros() as usize;
+        if mag < SUB_BUCKETS.trailing_zeros() as usize {
+            // Small values fall into the linear prefix.
+            return v as usize;
+        }
+        let mag = mag.min(MAGNITUDES - 1);
+        // Position within the magnitude, scaled to SUB_BUCKETS slots.
+        let offset = ((v >> (mag - SUB_BUCKETS.trailing_zeros() as usize))
+            & (SUB_BUCKETS as u64 - 1)) as usize;
+        mag * SUB_BUCKETS + offset
+    }
+
+    /// Returns a representative (upper-bound) value for a bucket index.
+    fn value_of(bucket: usize) -> u64 {
+        let log_sub = SUB_BUCKETS.trailing_zeros() as usize;
+        if bucket < SUB_BUCKETS {
+            return bucket as u64;
+        }
+        let mag = bucket / SUB_BUCKETS;
+        let offset = (bucket % SUB_BUCKETS) as u64;
+        (1u64 << mag) + (offset << (mag - log_sub)) + (1u64 << (mag - log_sub)) - 1
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum += u128::from(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of the samples, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest recorded sample, or 0 when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Value at the given percentile in `[0, 100]`.
+    ///
+    /// Returns the upper bound of the bucket containing the percentile rank,
+    /// so results are within one bucket width (~3% relative) of exact. The
+    /// exact recorded maximum is returned for `p == 100`.
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        if p >= 100.0 {
+            return self.max;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::value_of(i).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(99.0), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn single_sample_is_exact_at_every_percentile() {
+        let mut h = Histogram::new();
+        h.record(12345);
+        for p in [0.0, 50.0, 99.0, 99.99, 100.0] {
+            let v = h.percentile(p);
+            assert!((12000..=12700).contains(&v), "p{p} was {v}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..SUB_BUCKETS as u64 {
+            h.record(v);
+        }
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), SUB_BUCKETS as u64 - 1);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let mut h = Histogram::new();
+        let mut x = 1u64;
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+            h.record(x % 1_000_000);
+        }
+        let mut last = 0;
+        for p in [1.0, 10.0, 50.0, 90.0, 99.0, 99.9, 100.0] {
+            let v = h.percentile(p);
+            assert!(v >= last, "p{p}={v} < previous {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn percentile_relative_error_is_bounded() {
+        let mut h = Histogram::new();
+        for v in 1..=100_000u64 {
+            h.record(v);
+        }
+        for p in [10.0, 25.0, 50.0, 75.0, 90.0, 99.0] {
+            let exact = (p / 100.0 * 100_000.0) as u64;
+            let got = h.percentile(p);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(err < 0.05, "p{p}: got {got}, exact {exact}, err {err}");
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..1000u64 {
+            if v % 2 == 0 {
+                a.record(v * 17);
+            } else {
+                b.record(v * 17);
+            }
+            whole.record(v * 17);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.mean(), whole.mean());
+        for p in [50.0, 90.0, 99.0] {
+            assert_eq!(a.percentile(p), whole.percentile(p));
+        }
+    }
+
+    #[test]
+    fn mean_matches_sum() {
+        let mut h = Histogram::new();
+        h.record(10);
+        h.record(20);
+        h.record(30);
+        assert_eq!(h.mean(), 20.0);
+    }
+
+    #[test]
+    fn huge_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+    }
+}

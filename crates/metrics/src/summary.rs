@@ -1,0 +1,140 @@
+//! Streaming mean / variance accumulator (Welford's algorithm).
+
+/// A streaming summary of `f64` samples: count, mean, standard deviation,
+/// minimum, and maximum.
+///
+/// Uses Welford's online algorithm, so it is numerically stable and needs no
+/// sample storage. This is the instrument behind the "mean / std. dev" rows
+/// of Tables 1, 5, and 6 in the paper.
+///
+/// # Examples
+///
+/// ```
+/// let mut s = odf_metrics::Summary::new();
+/// for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+///     s.record(v);
+/// }
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.stddev() - 2.138).abs() < 0.01);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Summary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample standard deviation (n - 1 denominator), or 0 for < 2 samples.
+    pub fn stddev(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.count - 1) as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample, or 0 when empty.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 when empty.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_reports_zeros() {
+        let s = Summary::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_stddev() {
+        let mut s = Summary::new();
+        s.record(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.stddev(), 0.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let data: Vec<f64> = (0..500).map(|i| ((i * 37) % 113) as f64).collect();
+        let mut s = Summary::new();
+        for &v in &data {
+            s.record(v);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var =
+            data.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((s.mean() - mean).abs() < 1e-9);
+        assert!((s.stddev() - var.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_max_track_extremes() {
+        let mut s = Summary::new();
+        for v in [3.0, -1.0, 7.5, 0.0] {
+            s.record(v);
+        }
+        assert_eq!(s.min(), -1.0);
+        assert_eq!(s.max(), 7.5);
+    }
+}

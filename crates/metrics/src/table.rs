@@ -1,0 +1,129 @@
+//! Plain-text table rendering for benchmark output.
+
+use std::fmt::Write as _;
+
+/// A simple aligned plain-text table.
+///
+/// Each bench target prints its results in the same row/column layout as the
+/// corresponding table or figure of the paper, so the output can be compared
+/// side by side with the published numbers.
+///
+/// # Examples
+///
+/// ```
+/// let mut t = odf_metrics::Table::new(&["Type", "Avg. time (ms)"]);
+/// t.row(&["Fork", "0.0023"]);
+/// t.row(&["On-demand-fork", "0.0122"]);
+/// let s = t.render();
+/// assert!(s.contains("On-demand-fork"));
+/// ```
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Self {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// Rows shorter than the header are padded with empty cells; longer rows
+    /// extend the table width.
+    pub fn row(&mut self, cells: &[&str]) {
+        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+    }
+
+    /// Appends a row from owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        self.rows.push(cells);
+    }
+
+    /// Renders the table with aligned columns and a header separator.
+    pub fn render(&self) -> String {
+        let ncols = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain([self.headers.len()])
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; ncols];
+        let all = std::iter::once(&self.headers).chain(self.rows.iter());
+        for row in all {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let emit = |out: &mut String, row: &[String]| {
+            for i in 0..ncols {
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                if i + 1 == ncols {
+                    let _ = write!(out, "{cell}");
+                } else {
+                    let _ = write!(out, "{cell:<w$}  ", w = widths[i]);
+                }
+            }
+            out.push('\n');
+        };
+        emit(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (ncols.saturating_sub(1));
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_aligned() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&["xxxx", "y"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        // "a" padded to width of "xxxx".
+        assert!(lines[0].starts_with("a     "));
+        assert!(lines[2].starts_with("xxxx  "));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(&["1"]);
+        let s = t.render();
+        assert!(s.contains('1'));
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let mut t = Table::new(&["h"]);
+        t.row(&["v"]);
+        assert_eq!(format!("{t}"), t.render());
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(&["only"]);
+        let s = t.render();
+        assert_eq!(s.lines().count(), 2);
+    }
+}

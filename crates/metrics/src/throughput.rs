@@ -1,0 +1,123 @@
+//! Time-bucketed event counting for throughput timelines.
+
+use std::time::{Duration, Instant};
+
+/// Counts events into fixed-width time buckets to build a throughput
+/// timeline (events per second over elapsed time).
+///
+/// This is the instrument behind the fuzzing throughput plots (Figures 9 and
+/// 10 of the paper): the fuzzer records one event per target execution, and
+/// the harness reads back an `(elapsed seconds, executions/second)` series.
+///
+/// # Examples
+///
+/// ```
+/// use std::time::Duration;
+/// let mut t = odf_metrics::Throughput::new(Duration::from_millis(10));
+/// for _ in 0..50 {
+///     t.record();
+/// }
+/// assert_eq!(t.total(), 50);
+/// ```
+pub struct Throughput {
+    start: Instant,
+    bucket: Duration,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Throughput {
+    /// Creates a timeline with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bucket` is zero.
+    pub fn new(bucket: Duration) -> Self {
+        assert!(!bucket.is_zero(), "bucket width must be non-zero");
+        Self {
+            start: Instant::now(),
+            bucket,
+            counts: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Records one event at the current time.
+    pub fn record(&mut self) {
+        self.record_many(1);
+    }
+
+    /// Records `n` events at the current time.
+    pub fn record_many(&mut self, n: u64) {
+        let idx = (self.start.elapsed().as_nanos() / self.bucket.as_nanos()) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+        self.total += n;
+    }
+
+    /// Total events recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Overall mean rate in events per second since creation.
+    pub fn mean_rate(&self) -> f64 {
+        let secs = self.start.elapsed().as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.total as f64 / secs
+        }
+    }
+
+    /// Returns the timeline as `(bucket start in seconds, events/second)`.
+    pub fn series(&self) -> Vec<(f64, f64)> {
+        let w = self.bucket.as_secs_f64();
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| (i as f64 * w, n as f64 / w))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_accumulates() {
+        let mut t = Throughput::new(Duration::from_millis(5));
+        t.record_many(3);
+        t.record();
+        assert_eq!(t.total(), 4);
+    }
+
+    #[test]
+    fn series_spans_elapsed_time() {
+        let mut t = Throughput::new(Duration::from_millis(1));
+        t.record();
+        std::thread::sleep(Duration::from_millis(3));
+        t.record();
+        let s = t.series();
+        assert!(s.len() >= 3, "expected >= 3 buckets, got {}", s.len());
+        let sum: f64 = s.iter().map(|(_, r)| r * 0.001).sum();
+        assert!((sum - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mean_rate_is_positive_after_events() {
+        let mut t = Throughput::new(Duration::from_millis(1));
+        t.record_many(100);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(t.mean_rate() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_bucket_panics() {
+        let _ = Throughput::new(Duration::ZERO);
+    }
+}

@@ -1,0 +1,244 @@
+//! The 64-bit page table entry encoding.
+
+use odf_pmem::{FrameId, PAGE_SHIFT};
+
+/// Flag bits of a page table entry, following the x86-64 layout.
+pub struct EntryFlags;
+
+impl EntryFlags {
+    /// The entry references a frame (P bit).
+    pub const PRESENT: u64 = 1 << 0;
+    /// Writes are permitted through this entry (R/W bit).
+    ///
+    /// At non-leaf levels this participates in hierarchical attribute
+    /// resolution: a cleared writable bit write-protects the whole subtree,
+    /// which is the mechanism On-demand-fork uses to protect a shared PTE
+    /// table via its PMD entry (§3.2).
+    pub const WRITABLE: u64 = 1 << 1;
+    /// User-mode access permitted (U/S bit).
+    pub const USER: u64 = 1 << 2;
+    /// Set by the MMU when the entry is used in a translation (A bit).
+    pub const ACCESSED: u64 = 1 << 5;
+    /// Set by the MMU on a write through the entry (D bit).
+    pub const DIRTY: u64 = 1 << 6;
+    /// At the PMD level: the entry maps a 2 MiB page directly (PS bit).
+    pub const HUGE: u64 = 1 << 7;
+
+    /// Mask of all defined flag bits.
+    pub const ALL: u64 =
+        Self::PRESENT | Self::WRITABLE | Self::USER | Self::ACCESSED | Self::DIRTY | Self::HUGE;
+}
+
+/// Mask of the frame-number bits (bits 12..48).
+const FRAME_MASK: u64 = 0x0000_FFFF_FFFF_F000;
+
+/// A decoded page table entry.
+///
+/// Entries are stored in tables as raw `u64` (see [`Table`](crate::Table));
+/// `Entry` is the typed view used by the walkers and fork engines.
+///
+/// # Examples
+///
+/// ```
+/// use odf_pagetable::{Entry, EntryFlags};
+/// use odf_pmem::FrameId;
+///
+/// let e = Entry::page(FrameId(42), true);
+/// assert!(e.is_present());
+/// assert!(e.is_writable());
+/// assert_eq!(e.frame(), FrameId(42));
+/// let ro = e.with_cleared(EntryFlags::WRITABLE);
+/// assert!(!ro.is_writable());
+/// assert_eq!(ro.frame(), FrameId(42));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Entry(pub u64);
+
+impl Entry {
+    /// The empty (not-present) entry.
+    pub const NONE: Entry = Entry(0);
+
+    /// Builds a leaf entry mapping a 4 KiB page.
+    pub fn page(frame: FrameId, writable: bool) -> Entry {
+        let mut raw = frame.phys_addr() | EntryFlags::PRESENT | EntryFlags::USER;
+        if writable {
+            raw |= EntryFlags::WRITABLE;
+        }
+        Entry(raw)
+    }
+
+    /// Builds a PMD-level entry mapping a 2 MiB huge page.
+    pub fn huge_page(frame: FrameId, writable: bool) -> Entry {
+        Entry(Entry::page(frame, writable).0 | EntryFlags::HUGE)
+    }
+
+    /// Builds a non-leaf entry referencing a lower-level table.
+    ///
+    /// Table references are created writable; write protection of shared
+    /// PTE tables is applied by explicitly clearing the bit.
+    pub fn table(frame: FrameId) -> Entry {
+        Entry(frame.phys_addr() | EntryFlags::PRESENT | EntryFlags::WRITABLE | EntryFlags::USER)
+    }
+
+    /// Whether the present bit is set.
+    pub fn is_present(self) -> bool {
+        self.0 & EntryFlags::PRESENT != 0
+    }
+
+    /// Whether the writable bit is set *on this entry* (not the effective,
+    /// hierarchy-resolved permission).
+    pub fn is_writable(self) -> bool {
+        self.0 & EntryFlags::WRITABLE != 0
+    }
+
+    /// Whether this PMD entry maps a huge page.
+    pub fn is_huge(self) -> bool {
+        self.0 & EntryFlags::HUGE != 0
+    }
+
+    /// Whether the accessed bit is set.
+    pub fn is_accessed(self) -> bool {
+        self.0 & EntryFlags::ACCESSED != 0
+    }
+
+    /// Whether the dirty bit is set.
+    pub fn is_dirty(self) -> bool {
+        self.0 & EntryFlags::DIRTY != 0
+    }
+
+    /// The referenced frame.
+    pub fn frame(self) -> FrameId {
+        FrameId(((self.0 & FRAME_MASK) >> PAGE_SHIFT) as u32)
+    }
+
+    /// Returns a copy with the given flag bits set.
+    pub fn with_set(self, bits: u64) -> Entry {
+        Entry(self.0 | bits)
+    }
+
+    /// Returns a copy with the given flag bits cleared.
+    pub fn with_cleared(self, bits: u64) -> Entry {
+        Entry(self.0 & !bits)
+    }
+}
+
+impl std::fmt::Debug for Entry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if !self.is_present() {
+            return write!(f, "Entry(none)");
+        }
+        write!(
+            f,
+            "Entry({:?}{}{}{}{}{})",
+            self.frame(),
+            if self.is_writable() { " W" } else { " RO" },
+            if self.is_huge() { " HUGE" } else { "" },
+            if self.is_accessed() { " A" } else { "" },
+            if self.is_dirty() { " D" } else { "" },
+            if self.0 & EntryFlags::USER != 0 { " U" } else { "" },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_encoding_round_trips() {
+        for raw in [0u32, 1, 511, 512, 0xFFFFF, u32::MAX >> 12] {
+            let f = FrameId(raw);
+            assert_eq!(Entry::page(f, true).frame(), f);
+            assert_eq!(Entry::table(f).frame(), f);
+        }
+    }
+
+    #[test]
+    fn flag_manipulation_preserves_frame() {
+        let e = Entry::page(FrameId(1234), true);
+        let e2 = e
+            .with_cleared(EntryFlags::WRITABLE)
+            .with_set(EntryFlags::ACCESSED | EntryFlags::DIRTY);
+        assert_eq!(e2.frame(), FrameId(1234));
+        assert!(!e2.is_writable());
+        assert!(e2.is_accessed());
+        assert!(e2.is_dirty());
+    }
+
+    #[test]
+    fn huge_entries_carry_the_ps_bit() {
+        let e = Entry::huge_page(FrameId(512), false);
+        assert!(e.is_huge());
+        assert!(!e.is_writable());
+        assert!(e.is_present());
+        assert!(!Entry::page(FrameId(512), false).is_huge());
+    }
+
+    #[test]
+    fn none_entry_is_not_present() {
+        assert!(!Entry::NONE.is_present());
+        assert_eq!(format!("{:?}", Entry::NONE), "Entry(none)");
+    }
+
+    #[test]
+    fn frame_bits_do_not_collide_with_flags() {
+        let e = Entry::page(FrameId(u32::MAX >> 12), false);
+        assert!(e.is_present());
+        assert!(!e.is_writable());
+        assert!(!e.is_huge());
+        assert!(!e.is_dirty());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+        /// Any combination of frame and flag manipulations preserves the
+        /// frame bits and only the targeted flags.
+        #[test]
+        fn flag_ops_never_corrupt_the_frame(
+            frame in 0u32..(1 << 20),
+            set_bits in 0u64..64,
+            clear_bits in 0u64..64,
+            writable in any::<bool>(),
+        ) {
+            let set_mask = set_bits & EntryFlags::ALL;
+            let clear_mask = clear_bits & EntryFlags::ALL;
+            let e = Entry::page(FrameId(frame), writable)
+                .with_set(set_mask)
+                .with_cleared(clear_mask);
+            prop_assert_eq!(e.frame(), FrameId(frame));
+            // Cleared bits are definitely absent.
+            prop_assert_eq!(e.0 & clear_mask, 0);
+            // Set bits survive unless also cleared.
+            prop_assert_eq!(e.0 & (set_mask & !clear_mask), set_mask & !clear_mask);
+        }
+
+        /// Table entries round-trip through every accessor.
+        #[test]
+        fn table_store_load_round_trips(
+            idx in 0usize..512,
+            frame in 0u32..(1 << 20),
+            huge in any::<bool>(),
+            writable in any::<bool>(),
+        ) {
+            let t = crate::Table::new();
+            let e = if huge {
+                Entry::huge_page(FrameId(frame), writable)
+            } else {
+                Entry::page(FrameId(frame), writable)
+            };
+            t.store(idx, e);
+            let back = t.load(idx);
+            prop_assert_eq!(back, e);
+            prop_assert_eq!(back.is_huge(), huge);
+            prop_assert_eq!(back.is_writable(), writable);
+            prop_assert_eq!(t.count_present(), 1);
+        }
+    }
+}

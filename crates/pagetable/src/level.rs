@@ -1,0 +1,94 @@
+//! Page table levels.
+
+use odf_pmem::PAGE_SHIFT;
+
+/// One level of the 4-level paging hierarchy.
+///
+/// The names match the Linux naming the paper uses (§3.1): Page Global
+/// Directory, Page Upper Directory, Page Middle Directory, and the
+/// last-level PTE table. (Linux's optional P4D level, present only with
+/// 5-level paging, is not modeled; the paper's machine uses 4 levels.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Level {
+    /// Last-level table; entries map 4 KiB pages.
+    Pte,
+    /// Entries reference PTE tables, or map 2 MiB huge pages directly.
+    Pmd,
+    /// Entries reference PMD tables.
+    Pud,
+    /// Root; entries reference PUD tables.
+    Pgd,
+}
+
+impl Level {
+    /// All levels ordered from root to leaf.
+    pub const TOP_DOWN: [Level; 4] = [Level::Pgd, Level::Pud, Level::Pmd, Level::Pte];
+
+    /// Depth below the root (PGD = 0, PTE = 3).
+    pub fn depth(self) -> usize {
+        match self {
+            Level::Pgd => 0,
+            Level::Pud => 1,
+            Level::Pmd => 2,
+            Level::Pte => 3,
+        }
+    }
+
+    /// The next level toward the leaves, or `None` at the PTE level.
+    pub fn child(self) -> Option<Level> {
+        match self {
+            Level::Pgd => Some(Level::Pud),
+            Level::Pud => Some(Level::Pmd),
+            Level::Pmd => Some(Level::Pte),
+            Level::Pte => None,
+        }
+    }
+
+    /// Bit position of this level's 9-bit index within a virtual address.
+    pub fn index_shift(self) -> u32 {
+        PAGE_SHIFT + 9 * (3 - self.depth() as u32)
+    }
+
+    /// Bytes of address space covered by one entry at this level.
+    pub fn entry_span(self) -> u64 {
+        1u64 << self.index_shift()
+    }
+
+    /// Bytes of address space covered by one full table at this level.
+    pub fn table_span(self) -> u64 {
+        self.entry_span() * 512
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_match_x86_64() {
+        assert_eq!(Level::Pte.entry_span(), 4 * 1024);
+        assert_eq!(Level::Pmd.entry_span(), 2 * 1024 * 1024);
+        assert_eq!(Level::Pud.entry_span(), 1024 * 1024 * 1024);
+        assert_eq!(Level::Pgd.entry_span(), 512 * 1024 * 1024 * 1024);
+        assert_eq!(Level::Pte.table_span(), 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn child_chain_walks_to_pte() {
+        let mut level = Level::Pgd;
+        let mut depth = 0;
+        while let Some(next) = level.child() {
+            level = next;
+            depth += 1;
+        }
+        assert_eq!(level, Level::Pte);
+        assert_eq!(depth, 3);
+    }
+
+    #[test]
+    fn top_down_is_ordered_by_depth() {
+        for (i, l) in Level::TOP_DOWN.iter().enumerate() {
+            assert_eq!(l.depth(), i);
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! The table store: resolving a backing frame to its table contents.
+//!
+//! In the kernel, a page table's contents live in the physical frame itself
+//! and the kernel reads them through the direct map. The simulation keeps
+//! table contents in typed [`Table`] values instead of raw frame bytes, and
+//! this store is the "direct map": given the [`FrameId`] that backs a table,
+//! it returns the table.
+//!
+//! The store is **global per simulated machine** (shared by every process),
+//! because On-demand-fork shares last-level tables across processes: a
+//! child's PMD entry references a table frame owned jointly with its parent,
+//! and both resolve it through the same store.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use odf_pmem::FrameId;
+use parking_lot::RwLock;
+
+use crate::table::Table;
+
+/// Number of lock shards; frame ids are dense, so a simple mask spreads
+/// load well.
+const SHARDS: usize = 64;
+
+/// Maps page-table backing frames to their contents.
+///
+/// Lookups take a shared lock on one shard and clone an [`Arc`], so walkers
+/// hold no store locks while they operate on a table.
+pub struct PtStore {
+    shards: Vec<RwLock<HashMap<u32, Arc<Table>>>>,
+}
+
+impl Default for PtStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PtStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| RwLock::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, frame: FrameId) -> &RwLock<HashMap<u32, Arc<Table>>> {
+        &self.shards[frame.index() & (SHARDS - 1)]
+    }
+
+    /// Registers a freshly allocated table under its backing frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame already has a registered table (that would mean
+    /// a table frame was double-allocated).
+    pub fn insert(&self, frame: FrameId, table: Arc<Table>) {
+        let prev = self.shard(frame).write().insert(frame.0, table);
+        assert!(prev.is_none(), "table frame {frame:?} registered twice");
+    }
+
+    /// Resolves a backing frame to its table.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame has no registered table — page table walks only
+    /// follow entries that were installed by this simulation, so a miss is a
+    /// paging-structure corruption bug, not a recoverable condition.
+    pub fn get(&self, frame: FrameId) -> Arc<Table> {
+        self.shard(frame)
+            .read()
+            .get(&frame.0)
+            .cloned()
+            .unwrap_or_else(|| panic!("no table registered for {frame:?}"))
+    }
+
+    /// Removes a table when its backing frame is freed.
+    ///
+    /// Returns the removed table so the caller can finish tearing it down.
+    pub fn remove(&self, frame: FrameId) -> Option<Arc<Table>> {
+        self.shard(frame).write().remove(&frame.0)
+    }
+
+    /// Number of registered tables (for tests and leak checks).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entry::Entry;
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let store = PtStore::new();
+        let t = Arc::new(Table::new());
+        t.store(3, Entry::page(FrameId(77), true));
+        store.insert(FrameId(9), Arc::clone(&t));
+        assert_eq!(store.len(), 1);
+        let got = store.get(FrameId(9));
+        assert_eq!(got.load(3).frame(), FrameId(77));
+        assert!(store.remove(FrameId(9)).is_some());
+        assert!(store.is_empty());
+        assert!(store.remove(FrameId(9)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no table registered")]
+    fn missing_table_panics() {
+        let store = PtStore::new();
+        let _ = store.get(FrameId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn double_insert_panics() {
+        let store = PtStore::new();
+        store.insert(FrameId(1), Arc::new(Table::new()));
+        store.insert(FrameId(1), Arc::new(Table::new()));
+    }
+
+    #[test]
+    fn concurrent_access_is_safe() {
+        let store = Arc::new(PtStore::new());
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let store = Arc::clone(&store);
+                s.spawn(move || {
+                    for i in 0..200u32 {
+                        let f = FrameId(t * 1000 + i);
+                        store.insert(f, Arc::new(Table::new()));
+                        let _ = store.get(f);
+                        store.remove(f);
+                    }
+                });
+            }
+        });
+        assert!(store.is_empty());
+    }
+}

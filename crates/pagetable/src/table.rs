@@ -1,0 +1,205 @@
+//! The 512-entry page table.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::entry::{Entry, EntryFlags};
+
+/// Entries per table at every level (9 index bits).
+pub const ENTRIES_PER_TABLE: usize = 512;
+
+/// A page table: 512 atomically accessed 64-bit entries.
+///
+/// A `Table` occupies exactly 4 KiB — the same size as the physical frame
+/// that backs it in the simulation (and in the kernel).
+///
+/// Entries are atomics because, as in the kernel, translations (reads by the
+/// simulated MMU, which also set the accessed/dirty bits) run concurrently
+/// with entry updates performed under the owning process's `mm` lock.
+/// Relaxed/acquire-release orderings suffice: cross-table invariants are
+/// protected by the `mm` locks in `odf-vm`, not by entry ordering.
+pub struct Table {
+    entries: [AtomicU64; ENTRIES_PER_TABLE],
+}
+
+impl Default for Table {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self {
+            entries: [(); ENTRIES_PER_TABLE].map(|()| AtomicU64::new(0)),
+        }
+    }
+
+    /// Loads the entry at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 512`.
+    pub fn load(&self, index: usize) -> Entry {
+        Entry(self.entries[index].load(Ordering::Acquire))
+    }
+
+    /// Stores an entry at `index`.
+    pub fn store(&self, index: usize, entry: Entry) {
+        self.entries[index].store(entry.0, Ordering::Release);
+    }
+
+    /// Atomically sets flag bits on the entry at `index`, returning the
+    /// previous entry.
+    ///
+    /// Used by the simulated MMU to set the accessed/dirty bits during
+    /// translation, concurrently with readers.
+    pub fn fetch_set(&self, index: usize, bits: u64) -> Entry {
+        Entry(self.entries[index].fetch_or(bits, Ordering::AcqRel))
+    }
+
+    /// Atomically clears flag bits on the entry at `index`, returning the
+    /// previous entry.
+    pub fn fetch_clear(&self, index: usize, bits: u64) -> Entry {
+        Entry(self.entries[index].fetch_and(!bits, Ordering::AcqRel))
+    }
+
+    /// Number of present entries.
+    pub fn count_present(&self) -> usize {
+        (0..ENTRIES_PER_TABLE)
+            .filter(|&i| self.load(i).is_present())
+            .count()
+    }
+
+    /// Whether no entry is present.
+    pub fn is_empty(&self) -> bool {
+        (0..ENTRIES_PER_TABLE).all(|i| !self.load(i).is_present())
+    }
+
+    /// Copies every raw entry of `src` into this table.
+    ///
+    /// This is the table-copy primitive of the On-demand-fork fault handler
+    /// (§3.4): all 512 slots are moved, preserving the accessed bits — the
+    /// paper explicitly duplicates the accessed bit when copying shared
+    /// tables (§3.2). The writable bits are copied as stored; the caller
+    /// adjusts protection afterwards as the semantics require.
+    pub fn copy_from(&self, src: &Table) {
+        for i in 0..ENTRIES_PER_TABLE {
+            self.entries[i].store(src.entries[i].load(Ordering::Acquire), Ordering::Release);
+        }
+    }
+
+    /// Iterates over `(index, entry)` pairs of present entries.
+    pub fn iter_present(&self) -> impl Iterator<Item = (usize, Entry)> + '_ {
+        (0..ENTRIES_PER_TABLE).filter_map(move |i| {
+            let e = self.load(i);
+            e.is_present().then_some((i, e))
+        })
+    }
+
+    /// Clears every entry and returns how many were present.
+    pub fn clear_all(&self) -> usize {
+        let mut n = 0;
+        for i in 0..ENTRIES_PER_TABLE {
+            if Entry(self.entries[i].swap(0, Ordering::AcqRel)).is_present() {
+                n += 1;
+            }
+        }
+        n
+    }
+
+    /// Clears the writable bit of every present entry.
+    ///
+    /// This models the per-entry write-protection sweep that classic fork
+    /// performs on last-level tables (and that On-demand-fork avoids by
+    /// clearing a single PMD-entry bit instead).
+    pub fn wrprotect_all(&self) {
+        for i in 0..ENTRIES_PER_TABLE {
+            let raw = self.entries[i].load(Ordering::Acquire);
+            if raw & EntryFlags::PRESENT != 0 {
+                self.entries[i].store(raw & !EntryFlags::WRITABLE, Ordering::Release);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odf_pmem::FrameId;
+
+    #[test]
+    fn a_table_is_exactly_one_page() {
+        assert_eq!(std::mem::size_of::<Table>(), 4096);
+    }
+
+    #[test]
+    fn new_table_is_empty() {
+        let t = Table::new();
+        assert!(t.is_empty());
+        assert_eq!(t.count_present(), 0);
+    }
+
+    #[test]
+    fn store_load_round_trips() {
+        let t = Table::new();
+        let e = Entry::page(FrameId(99), true);
+        t.store(7, e);
+        assert_eq!(t.load(7), e);
+        assert_eq!(t.count_present(), 1);
+    }
+
+    #[test]
+    fn copy_from_preserves_all_bits() {
+        let a = Table::new();
+        a.store(0, Entry::page(FrameId(1), true).with_set(EntryFlags::ACCESSED));
+        a.store(511, Entry::page(FrameId(2), false).with_set(EntryFlags::DIRTY));
+        let b = Table::new();
+        b.copy_from(&a);
+        assert!(b.load(0).is_accessed());
+        assert!(b.load(511).is_dirty());
+        assert_eq!(b.count_present(), 2);
+    }
+
+    #[test]
+    fn wrprotect_all_clears_only_writable() {
+        let t = Table::new();
+        t.store(1, Entry::page(FrameId(5), true).with_set(EntryFlags::ACCESSED));
+        t.store(2, Entry::page(FrameId(6), false));
+        t.wrprotect_all();
+        assert!(!t.load(1).is_writable());
+        assert!(t.load(1).is_accessed());
+        assert!(!t.load(2).is_writable());
+        assert_eq!(t.count_present(), 2);
+    }
+
+    #[test]
+    fn fetch_set_and_clear_are_atomic_rmw() {
+        let t = Table::new();
+        t.store(3, Entry::page(FrameId(8), false));
+        let prev = t.fetch_set(3, EntryFlags::ACCESSED);
+        assert!(!prev.is_accessed());
+        assert!(t.load(3).is_accessed());
+        let prev = t.fetch_clear(3, EntryFlags::ACCESSED);
+        assert!(prev.is_accessed());
+        assert!(!t.load(3).is_accessed());
+    }
+
+    #[test]
+    fn clear_all_reports_present_count() {
+        let t = Table::new();
+        t.store(10, Entry::page(FrameId(1), true));
+        t.store(20, Entry::page(FrameId(2), true));
+        assert_eq!(t.clear_all(), 2);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn iter_present_yields_in_order() {
+        let t = Table::new();
+        t.store(100, Entry::page(FrameId(1), true));
+        t.store(5, Entry::page(FrameId(2), true));
+        let idx: Vec<usize> = t.iter_present().map(|(i, _)| i).collect();
+        assert_eq!(idx, vec![5, 100]);
+    }
+}

@@ -1,0 +1,254 @@
+//! Buddy allocator over the frame pool.
+//!
+//! A classic binary buddy system with intrusive doubly-linked free lists, so
+//! that allocation, split, free, and merge are all O(1) per level. The
+//! allocator serves order-0 frames for data pages and page tables, and
+//! order-9 (2 MiB) compound frames for the huge-page experiments.
+
+use crate::frame::{FrameId, MAX_ORDER};
+
+/// Sentinel index meaning "no frame" in the linked lists.
+const NIL: u32 = u32::MAX;
+
+/// Per-frame allocator state.
+///
+/// Only the first frame of a free block carries its order; every other frame
+/// is `Body`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SlotState {
+    /// First frame of a free block of the given order.
+    FreeHead(u8),
+    /// Allocated or interior frame.
+    Body,
+}
+
+/// The buddy allocator. All fields are guarded by the pool's mutex.
+pub(crate) struct Buddy {
+    /// Head of the free list per order.
+    free_heads: Vec<u32>,
+    /// Intrusive list links, indexed by frame.
+    next: Vec<u32>,
+    prev: Vec<u32>,
+    /// Allocation state, indexed by frame.
+    state: Vec<SlotState>,
+    /// Number of free base frames.
+    free_frames: usize,
+    total_frames: usize,
+}
+
+impl Buddy {
+    /// Creates an allocator managing `frames` base frames, all initially
+    /// free.
+    pub(crate) fn new(frames: usize) -> Self {
+        let mut b = Self {
+            free_heads: vec![NIL; usize::from(MAX_ORDER) + 1],
+            next: vec![NIL; frames],
+            prev: vec![NIL; frames],
+            state: vec![SlotState::Body; frames],
+            free_frames: 0,
+            total_frames: frames,
+        };
+        // Carve the range greedily into maximal aligned blocks.
+        let mut at = 0usize;
+        while at < frames {
+            let mut order = MAX_ORDER;
+            loop {
+                let size = 1usize << order;
+                if at % size == 0 && at + size <= frames {
+                    break;
+                }
+                order -= 1;
+            }
+            b.push_free(at as u32, order);
+            b.free_frames += 1 << order;
+            at += 1 << order;
+        }
+        b
+    }
+
+    /// Number of free base frames.
+    pub(crate) fn free_frames(&self) -> usize {
+        self.free_frames
+    }
+
+    /// Total base frames managed.
+    pub(crate) fn total_frames(&self) -> usize {
+        self.total_frames
+    }
+
+    fn push_free(&mut self, frame: u32, order: u8) {
+        let head = self.free_heads[usize::from(order)];
+        self.next[frame as usize] = head;
+        self.prev[frame as usize] = NIL;
+        if head != NIL {
+            self.prev[head as usize] = frame;
+        }
+        self.free_heads[usize::from(order)] = frame;
+        self.state[frame as usize] = SlotState::FreeHead(order);
+    }
+
+    fn unlink(&mut self, frame: u32, order: u8) {
+        let next = self.next[frame as usize];
+        let prev = self.prev[frame as usize];
+        if prev != NIL {
+            self.next[prev as usize] = next;
+        } else {
+            self.free_heads[usize::from(order)] = next;
+        }
+        if next != NIL {
+            self.prev[next as usize] = prev;
+        }
+        self.state[frame as usize] = SlotState::Body;
+    }
+
+    /// Allocates a block of `2^order` contiguous frames.
+    pub(crate) fn alloc(&mut self, order: u8) -> Option<FrameId> {
+        assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
+        // Find the smallest populated order >= the request.
+        let mut have = order;
+        loop {
+            if self.free_heads[usize::from(have)] != NIL {
+                break;
+            }
+            if have == MAX_ORDER {
+                return None;
+            }
+            have += 1;
+        }
+        let frame = self.free_heads[usize::from(have)];
+        self.unlink(frame, have);
+        // Split down, returning the upper halves to the free lists.
+        while have > order {
+            have -= 1;
+            let buddy = frame + (1u32 << have);
+            self.push_free(buddy, have);
+        }
+        self.free_frames -= 1usize << order;
+        Some(FrameId(frame))
+    }
+
+    /// Frees a block previously returned by [`Buddy::alloc`] with the same
+    /// order, merging with free buddies where possible.
+    pub(crate) fn free(&mut self, frame: FrameId, order: u8) {
+        let mut frame = frame.0;
+        let mut order = order;
+        debug_assert_eq!(
+            self.state[frame as usize],
+            SlotState::Body,
+            "double free of {frame}"
+        );
+        self.free_frames += 1usize << order;
+        while order < MAX_ORDER {
+            let buddy = frame ^ (1u32 << order);
+            if (buddy as usize) >= self.total_frames {
+                break;
+            }
+            if self.state[buddy as usize] != SlotState::FreeHead(order) {
+                break;
+            }
+            self.unlink(buddy, order);
+            frame = frame.min(buddy);
+            order += 1;
+        }
+        self.push_free(frame, order);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_frames_start_free() {
+        let b = Buddy::new(1024);
+        assert_eq!(b.free_frames(), 1024);
+        assert_eq!(b.total_frames(), 1024);
+    }
+
+    #[test]
+    fn alloc_free_round_trip_restores_capacity() {
+        let mut b = Buddy::new(1 << 12);
+        let f = b.alloc(0).unwrap();
+        assert_eq!(b.free_frames(), (1 << 12) - 1);
+        b.free(f, 0);
+        assert_eq!(b.free_frames(), 1 << 12);
+        // After full merge, a max-order block is allocatable again.
+        assert!(b.alloc(MAX_ORDER).is_some());
+    }
+
+    #[test]
+    fn exhaustion_returns_none() {
+        let mut b = Buddy::new(4);
+        assert!(b.alloc(2).is_some());
+        assert!(b.alloc(0).is_none());
+    }
+
+    #[test]
+    fn huge_order_blocks_are_aligned() {
+        let mut b = Buddy::new(1 << 11);
+        let f = b.alloc(9).unwrap();
+        assert_eq!(f.0 % 512, 0, "order-9 block must be 512-frame aligned");
+        let g = b.alloc(9).unwrap();
+        assert_ne!(f, g);
+    }
+
+    #[test]
+    fn split_blocks_are_disjoint() {
+        let mut b = Buddy::new(64);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..16 {
+            let f = b.alloc(2).unwrap();
+            for i in 0..4 {
+                assert!(seen.insert(f.0 + i), "frame {} handed out twice", f.0 + i);
+            }
+        }
+        assert!(b.alloc(0).is_none());
+    }
+
+    #[test]
+    fn merging_coalesces_fragmented_pool() {
+        let mut b = Buddy::new(512);
+        let frames: Vec<FrameId> = (0..512).map(|_| b.alloc(0).unwrap()).collect();
+        assert!(b.alloc(0).is_none());
+        for f in frames {
+            b.free(f, 0);
+        }
+        // Everything merged back; an order-9 block fits.
+        assert!(b.alloc(9).is_some());
+    }
+
+    #[test]
+    fn non_power_of_two_pool_is_fully_usable() {
+        let mut b = Buddy::new(1000);
+        let mut n = 0;
+        while b.alloc(0).is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 1000);
+    }
+
+    #[test]
+    fn interleaved_alloc_free_stays_consistent() {
+        let mut b = Buddy::new(1 << 10);
+        let mut live: Vec<(FrameId, u8)> = Vec::new();
+        let mut x = 11u64;
+        for step in 0..5000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let free_it = !live.is_empty() && (x % 3 == 0);
+            if free_it {
+                let idx = (x as usize / 7) % live.len();
+                let (f, o) = live.swap_remove(idx);
+                b.free(f, o);
+            } else {
+                let order = (x % 4) as u8;
+                if let Some(f) = b.alloc(order) {
+                    live.push((f, order));
+                } else {
+                    assert!(step > 0);
+                }
+            }
+        }
+        let used: usize = live.iter().map(|&(_, o)| 1usize << o).sum();
+        assert_eq!(b.free_frames(), (1 << 10) - used);
+    }
+}

@@ -1,0 +1,43 @@
+//! Error type for physical memory operations.
+
+/// Errors returned by the physical memory substrate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PmemError {
+    /// The pool has no free block of the requested order.
+    ///
+    /// This is the analog of the kernel's allocation failure under memory
+    /// pressure; the virtual-memory layer maps it to `ENOMEM`.
+    OutOfFrames {
+        /// The allocation order that could not be satisfied.
+        order: u8,
+    },
+    /// A frame id was outside the pool.
+    BadFrame,
+}
+
+impl std::fmt::Display for PmemError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PmemError::OutOfFrames { order } => {
+                write!(f, "out of physical frames (order {order})")
+            }
+            PmemError::BadFrame => write!(f, "frame id outside the pool"),
+        }
+    }
+}
+
+impl std::error::Error for PmemError {}
+
+/// Result alias for physical memory operations.
+pub type Result<T> = std::result::Result<T, PmemError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_order() {
+        let e = PmemError::OutOfFrames { order: 9 };
+        assert!(e.to_string().contains("order 9"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Per-frame metadata: the user-space analog of the kernel's `struct page`.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Flag bits stored in [`Page::flags`].
+///
+/// The layout mirrors the kernel distinctions that matter to the fork paths:
+/// compound (huge) page head/tail marks, the page-table mark, and the
+/// anonymous/file-backed distinction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageFlags(pub u32);
+
+impl PageFlags {
+    /// The frame is currently allocated.
+    pub const ALLOCATED: u32 = 1 << 0;
+    /// First frame of a compound (multi-frame) page.
+    pub const COMPOUND_HEAD: u32 = 1 << 1;
+    /// Non-first frame of a compound page.
+    pub const COMPOUND_TAIL: u32 = 1 << 2;
+    /// The frame backs a page table.
+    pub const PAGETABLE: u32 = 1 << 3;
+    /// The frame backs an anonymous mapping.
+    pub const ANON: u32 = 1 << 4;
+    /// The frame belongs to the page cache (file-backed).
+    pub const FILE: u32 = 1 << 5;
+    /// The frame content diverged from its backing file.
+    pub const DIRTY: u32 = 1 << 6;
+
+    /// Bit offset where the compound order is stored (head frames only).
+    const ORDER_SHIFT: u32 = 24;
+    const ORDER_MASK: u32 = 0xF << Self::ORDER_SHIFT;
+
+    /// Encodes a compound order into flag bits.
+    pub fn with_order(order: u8) -> u32 {
+        (u32::from(order)) << Self::ORDER_SHIFT
+    }
+
+    /// Extracts the compound order from raw flag bits.
+    pub fn order_of(raw: u32) -> u8 {
+        ((raw & Self::ORDER_MASK) >> Self::ORDER_SHIFT) as u8
+    }
+}
+
+/// What a frame is currently used for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PageKind {
+    /// Not allocated.
+    Free,
+    /// Anonymous data page.
+    Anon,
+    /// Page-cache (file-backed) data page.
+    File,
+    /// Backs a page table.
+    PageTable,
+    /// Allocated but not yet classified.
+    Raw,
+}
+
+/// Metadata describing one physical frame.
+///
+/// This is the analog of the kernel's `struct page` and deliberately stays
+/// small (16 bytes): the paper notes (§4) that any growth of `struct page`
+/// is multiplied by the amount of physical memory. The pool allocates one
+/// `Page` per frame up front; a multi-GiB simulated memory therefore costs
+/// only a few tens of MiB of metadata.
+///
+/// Field roles:
+///
+/// - `refcount` is the `_refcount` analog: number of users of the frame
+///   (mappings, page-cache membership, transient references). The frame is
+///   freed when it reaches zero.
+/// - `shared` is the **union trick** from the paper: for frames that back a
+///   last-level page table it holds the number of processes sharing that
+///   table (the On-demand-fork reference counter, §3.5); for other frames it
+///   is unused. No field was added for On-demand-fork, matching the paper's
+///   "no growth of struct page" constraint.
+/// - `compound` holds, for a tail frame, the head frame's index, so that
+///   `compound_head()` can resolve any frame of a huge page to its head.
+pub struct Page {
+    flags: AtomicU32,
+    refcount: AtomicU32,
+    shared: AtomicU32,
+    compound: AtomicU32,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// Creates metadata for a free frame.
+    pub fn new() -> Self {
+        Self {
+            flags: AtomicU32::new(0),
+            refcount: AtomicU32::new(0),
+            shared: AtomicU32::new(0),
+            compound: AtomicU32::new(0),
+        }
+    }
+
+    /// Raw flag bits.
+    pub fn flags(&self) -> u32 {
+        self.flags.load(Ordering::Acquire)
+    }
+
+    /// Classifies the frame.
+    pub fn kind(&self) -> PageKind {
+        let f = self.flags();
+        if f & PageFlags::ALLOCATED == 0 {
+            PageKind::Free
+        } else if f & PageFlags::PAGETABLE != 0 {
+            PageKind::PageTable
+        } else if f & PageFlags::ANON != 0 {
+            PageKind::Anon
+        } else if f & PageFlags::FILE != 0 {
+            PageKind::File
+        } else {
+            PageKind::Raw
+        }
+    }
+
+    /// Whether this frame is the non-first part of a compound page.
+    pub fn is_compound_tail(&self) -> bool {
+        self.flags() & PageFlags::COMPOUND_TAIL != 0
+    }
+
+    /// Whether this frame heads a compound page.
+    pub fn is_compound_head(&self) -> bool {
+        self.flags() & PageFlags::COMPOUND_HEAD != 0
+    }
+
+    /// Compound order (head frames; 0 for regular pages).
+    pub fn order(&self) -> u8 {
+        PageFlags::order_of(self.flags())
+    }
+
+    /// Head frame index recorded in a tail frame.
+    pub(crate) fn compound_head_index(&self) -> u32 {
+        self.compound.load(Ordering::Acquire)
+    }
+
+    /// Current reference count.
+    pub fn ref_count(&self) -> u32 {
+        self.refcount.load(Ordering::Acquire)
+    }
+
+    /// Atomically increments the reference count (the `page_ref_inc` hot
+    /// spot of Figure 3) and returns the previous value.
+    pub(crate) fn ref_inc(&self) -> u32 {
+        self.refcount.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Atomically decrements the reference count and returns the new value.
+    pub(crate) fn ref_dec(&self) -> u32 {
+        let prev = self.refcount.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "refcount underflow");
+        prev - 1
+    }
+
+    /// Current shared-page-table counter (meaningful for page-table frames).
+    pub fn pt_share_count(&self) -> u32 {
+        self.shared.load(Ordering::Acquire)
+    }
+
+    /// Atomically increments the shared-page-table counter.
+    pub(crate) fn pt_share_inc(&self) -> u32 {
+        self.shared.fetch_add(1, Ordering::AcqRel)
+    }
+
+    /// Atomically decrements the shared-page-table counter, returning the
+    /// new value.
+    pub(crate) fn pt_share_dec(&self) -> u32 {
+        let prev = self.shared.fetch_sub(1, Ordering::AcqRel);
+        debug_assert!(prev > 0, "pt share count underflow");
+        prev - 1
+    }
+
+    /// Marks the frame allocated with the given initial flags and refcount 1.
+    pub(crate) fn set_allocated(&self, extra_flags: u32, compound: u32) {
+        self.flags
+            .store(PageFlags::ALLOCATED | extra_flags, Ordering::Release);
+        self.refcount.store(1, Ordering::Release);
+        self.shared.store(0, Ordering::Release);
+        self.compound.store(compound, Ordering::Release);
+    }
+
+    /// Adds flag bits.
+    pub fn set_flags(&self, bits: u32) {
+        self.flags.fetch_or(bits, Ordering::AcqRel);
+    }
+
+    /// Removes flag bits.
+    pub fn clear_flags(&self, bits: u32) {
+        self.flags.fetch_and(!bits, Ordering::AcqRel);
+    }
+
+    /// Resets the metadata to the free state.
+    pub(crate) fn set_free(&self) {
+        self.flags.store(0, Ordering::Release);
+        self.refcount.store(0, Ordering::Release);
+        self.shared.store(0, Ordering::Release);
+        self.compound.store(0, Ordering::Release);
+    }
+
+    /// Initializes the shared-table counter to 1 (the page-table
+    /// "constructor" of §3.5 of the paper).
+    pub(crate) fn pt_share_init(&self) {
+        self.shared.store(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_metadata_is_small() {
+        // The paper's constraint: do not grow struct page (§4).
+        assert_eq!(std::mem::size_of::<Page>(), 16);
+    }
+
+    #[test]
+    fn new_page_is_free() {
+        let p = Page::new();
+        assert_eq!(p.kind(), PageKind::Free);
+        assert_eq!(p.ref_count(), 0);
+    }
+
+    #[test]
+    fn allocation_sets_kind_and_refcount() {
+        let p = Page::new();
+        p.set_allocated(PageFlags::ANON, 0);
+        assert_eq!(p.kind(), PageKind::Anon);
+        assert_eq!(p.ref_count(), 1);
+        p.set_free();
+        assert_eq!(p.kind(), PageKind::Free);
+    }
+
+    #[test]
+    fn refcount_round_trips() {
+        let p = Page::new();
+        p.set_allocated(0, 0);
+        assert_eq!(p.ref_inc(), 1);
+        assert_eq!(p.ref_count(), 2);
+        assert_eq!(p.ref_dec(), 1);
+        assert_eq!(p.ref_dec(), 0);
+    }
+
+    #[test]
+    fn pt_share_counter_starts_at_one() {
+        let p = Page::new();
+        p.set_allocated(PageFlags::PAGETABLE, 0);
+        p.pt_share_init();
+        assert_eq!(p.pt_share_count(), 1);
+        p.pt_share_inc();
+        assert_eq!(p.pt_share_count(), 2);
+        assert_eq!(p.pt_share_dec(), 1);
+    }
+
+    #[test]
+    fn order_encoding_round_trips() {
+        for order in 0..=10u8 {
+            let raw = PageFlags::with_order(order);
+            assert_eq!(PageFlags::order_of(raw), order);
+        }
+    }
+
+    #[test]
+    fn compound_marks_are_distinct() {
+        let head = Page::new();
+        head.set_allocated(
+            PageFlags::COMPOUND_HEAD | PageFlags::with_order(9),
+            0,
+        );
+        assert!(head.is_compound_head());
+        assert!(!head.is_compound_tail());
+        assert_eq!(head.order(), 9);
+
+        let tail = Page::new();
+        tail.set_allocated(PageFlags::COMPOUND_TAIL, 42);
+        assert!(tail.is_compound_tail());
+        assert_eq!(tail.compound_head_index(), 42);
+    }
+}

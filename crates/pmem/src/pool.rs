@@ -1,0 +1,447 @@
+//! The frame pool: metadata, buddy allocation, and lazily materialized data.
+
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::buddy::Buddy;
+use crate::error::{PmemError, Result};
+use crate::frame::{FrameId, HUGE_ORDER, MAX_ORDER, PAGE_SIZE};
+use crate::page::{Page, PageFlags, PageKind};
+use crate::stats::PoolStats;
+
+/// One frame's lazily materialized backing store.
+type FrameData = RwLock<Option<Box<[u8; PAGE_SIZE]>>>;
+
+/// The all-zeros page used as the source for reads of unmaterialized frames.
+static ZERO_PAGE: [u8; PAGE_SIZE] = [0; PAGE_SIZE];
+
+/// A fixed-size pool of simulated physical frames.
+///
+/// The pool is the single authority over physical memory in the simulation:
+/// it owns the per-frame [`Page`] metadata (including the reference counters
+/// the fork engines exercise), the buddy allocator, and the frame contents.
+///
+/// Frame contents are materialized lazily: a frame holds no data buffer
+/// until the first [`FramePool::write_frame`] or an explicit copy targets
+/// it. Reads of unmaterialized frames observe zeros, matching anonymous
+/// memory semantics. This keeps paper-scale sweeps cheap: a mapped-but-clean
+/// 16 GiB simulated region costs ~45 bytes of host memory per frame instead
+/// of 4 KiB.
+///
+/// All operations are thread-safe; the pool is shared via [`Arc`] between
+/// every simulated process.
+pub struct FramePool {
+    meta: Box<[Page]>,
+    data: Box<[FrameData]>,
+    buddy: Mutex<Buddy>,
+    stats: PoolStats,
+}
+
+impl FramePool {
+    /// Creates a pool with the given number of 4 KiB frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is zero or exceeds `u32::MAX`.
+    pub fn new(frames: usize) -> Arc<Self> {
+        assert!(frames > 0, "pool must have at least one frame");
+        assert!(frames <= u32::MAX as usize, "pool too large for u32 ids");
+        let meta: Box<[Page]> = (0..frames).map(|_| Page::new()).collect();
+        let data: Box<[FrameData]> = (0..frames).map(|_| RwLock::new(None)).collect();
+        Arc::new(Self {
+            meta,
+            data,
+            buddy: Mutex::new(Buddy::new(frames)),
+            stats: PoolStats::default(),
+        })
+    }
+
+    /// Creates a pool sized to hold `bytes` of simulated memory (rounded up
+    /// to whole frames).
+    pub fn with_bytes(bytes: u64) -> Arc<Self> {
+        Self::new(bytes.div_ceil(PAGE_SIZE as u64) as usize)
+    }
+
+    /// Total frames managed by the pool.
+    pub fn total_frames(&self) -> usize {
+        self.buddy.lock().total_frames()
+    }
+
+    /// Currently free frames.
+    pub fn free_frames(&self) -> usize {
+        self.buddy.lock().free_frames()
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// Returns the metadata of a frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame id is outside the pool.
+    pub fn page(&self, frame: FrameId) -> &Page {
+        &self.meta[frame.index()]
+    }
+
+    /// Resolves a frame to the head of its compound page.
+    ///
+    /// This is the `compound_head()` hot spot of Figure 3: it loads the
+    /// frame's `struct page` (a likely cache miss at fork scale) to decide
+    /// whether the frame is a compound tail, and chases the head pointer if
+    /// so. The lookup is counted in [`PoolStats`].
+    pub fn compound_head(&self, frame: FrameId) -> FrameId {
+        PoolStats::bump(&self.stats.compound_head_lookups);
+        let page = &self.meta[frame.index()];
+        if page.is_compound_tail() {
+            FrameId(page.compound_head_index())
+        } else {
+            frame
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Allocation
+    // ------------------------------------------------------------------
+
+    /// Allocates a block of `2^order` frames with raw metadata.
+    fn alloc_order(&self, order: u8, kind_flags: u32) -> Result<FrameId> {
+        assert!(order <= MAX_ORDER);
+        let head = self
+            .buddy
+            .lock()
+            .alloc(order)
+            .ok_or(PmemError::OutOfFrames { order })?;
+        PoolStats::bump(&self.stats.allocs);
+        if order == 0 {
+            self.meta[head.index()].set_allocated(kind_flags, 0);
+        } else {
+            self.meta[head.index()].set_allocated(
+                kind_flags | PageFlags::COMPOUND_HEAD | PageFlags::with_order(order),
+                0,
+            );
+            for i in 1..(1usize << order) {
+                self.meta[head.index() + i]
+                    .set_allocated(kind_flags | PageFlags::COMPOUND_TAIL, head.0);
+            }
+        }
+        Ok(head)
+    }
+
+    /// Allocates one 4 KiB data frame of the given kind with refcount 1.
+    pub fn alloc_page(&self, kind: PageKind) -> Result<FrameId> {
+        self.alloc_order(0, Self::kind_flags(kind))
+    }
+
+    /// Allocates a 2 MiB compound (huge) page of the given kind.
+    ///
+    /// The head frame carries the reference count for the whole compound
+    /// page, as in the kernel.
+    pub fn alloc_huge(&self, kind: PageKind) -> Result<FrameId> {
+        self.alloc_order(HUGE_ORDER, Self::kind_flags(kind))
+    }
+
+    /// Allocates a frame to back a page table and runs the page-table
+    /// constructor: the shared-table counter starts at 1 (§3.5).
+    pub fn alloc_page_table(&self) -> Result<FrameId> {
+        let f = self.alloc_order(0, PageFlags::PAGETABLE)?;
+        self.meta[f.index()].pt_share_init();
+        Ok(f)
+    }
+
+    fn kind_flags(kind: PageKind) -> u32 {
+        match kind {
+            PageKind::Anon => PageFlags::ANON,
+            PageKind::File => PageFlags::FILE,
+            PageKind::PageTable => PageFlags::PAGETABLE,
+            PageKind::Raw | PageKind::Free => 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Reference counting
+    // ------------------------------------------------------------------
+
+    /// Increments a frame's reference count (the `page_ref_inc` hot spot).
+    ///
+    /// The count lives on the compound head for huge pages; callers pass the
+    /// head (obtained via [`FramePool::compound_head`]).
+    pub fn ref_inc(&self, frame: FrameId) {
+        PoolStats::bump(&self.stats.page_ref_incs);
+        self.meta[frame.index()].ref_inc();
+    }
+
+    /// Decrements a frame's reference count, freeing the block when it
+    /// reaches zero. Returns `true` if the block was freed.
+    pub fn ref_dec(&self, frame: FrameId) -> bool {
+        PoolStats::bump(&self.stats.page_ref_decs);
+        let page = &self.meta[frame.index()];
+        debug_assert!(
+            !page.is_compound_tail(),
+            "refcount operations must target the compound head"
+        );
+        if page.ref_dec() == 0 {
+            self.release(frame);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current reference count of a frame.
+    pub fn ref_count(&self, frame: FrameId) -> u32 {
+        self.meta[frame.index()].ref_count()
+    }
+
+    /// Increments the shared-page-table counter of a page-table frame.
+    pub fn pt_share_inc(&self, frame: FrameId) {
+        debug_assert_eq!(self.meta[frame.index()].kind(), PageKind::PageTable);
+        PoolStats::bump(&self.stats.pt_share_incs);
+        self.meta[frame.index()].pt_share_inc();
+    }
+
+    /// Decrements the shared-page-table counter, returning the new value.
+    pub fn pt_share_dec(&self, frame: FrameId) -> u32 {
+        debug_assert_eq!(self.meta[frame.index()].kind(), PageKind::PageTable);
+        PoolStats::bump(&self.stats.pt_share_decs);
+        self.meta[frame.index()].pt_share_dec()
+    }
+
+    /// Current shared-page-table counter of a page-table frame.
+    pub fn pt_share_count(&self, frame: FrameId) -> u32 {
+        self.meta[frame.index()].pt_share_count()
+    }
+
+    /// Returns the block to the buddy allocator and drops its data.
+    fn release(&self, head: FrameId) {
+        let order = self.meta[head.index()].order();
+        let n = 1usize << order;
+        for i in 0..n {
+            self.meta[head.index() + i].set_free();
+            *self.data[head.index() + i].write() = None;
+        }
+        PoolStats::bump(&self.stats.frees);
+        self.buddy.lock().free(head, order);
+    }
+
+    // ------------------------------------------------------------------
+    // Data access
+    // ------------------------------------------------------------------
+
+    /// Reads bytes from one frame into `out`.
+    ///
+    /// Unmaterialized frames read as zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + out.len()` exceeds the frame size.
+    pub fn read_frame(&self, frame: FrameId, offset: usize, out: &mut [u8]) {
+        assert!(offset + out.len() <= PAGE_SIZE, "read crosses frame end");
+        let slot = self.data[frame.index()].read();
+        match slot.as_deref() {
+            Some(buf) => out.copy_from_slice(&buf[offset..offset + out.len()]),
+            None => out.fill(0),
+        }
+    }
+
+    /// Writes bytes into one frame, materializing its buffer on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + src.len()` exceeds the frame size.
+    pub fn write_frame(&self, frame: FrameId, offset: usize, src: &[u8]) {
+        assert!(offset + src.len() <= PAGE_SIZE, "write crosses frame end");
+        let mut slot = self.data[frame.index()].write();
+        let buf = slot.get_or_insert_with(|| {
+            PoolStats::bump(&self.stats.materializations);
+            Box::new([0; PAGE_SIZE])
+        });
+        buf[offset..offset + src.len()].copy_from_slice(src);
+    }
+
+    /// Whether the frame's data buffer has been materialized.
+    pub fn is_materialized(&self, frame: FrameId) -> bool {
+        self.data[frame.index()].read().is_some()
+    }
+
+    /// Copies the full contents of a block of `2^order` frames.
+    ///
+    /// This is the COW data copy: like the kernel's `copy_user_huge_page` /
+    /// `cow_user_page`, it always moves the full `2^order * 4 KiB`, so the
+    /// measured cost of a huge-page COW fault is genuinely ~512x the 4 KiB
+    /// case (Table 1 of the paper). Unmaterialized source sub-frames are
+    /// copied from the zero page; the destination is fully materialized.
+    pub fn copy_block(&self, src: FrameId, dst: FrameId, order: u8) {
+        let n = 1usize << order;
+        for i in 0..n {
+            let src_slot = self.data[src.index() + i].read();
+            let src_buf: &[u8; PAGE_SIZE] = match src_slot.as_deref() {
+                Some(buf) => buf,
+                None => &ZERO_PAGE,
+            };
+            let mut dst_slot = self.data[dst.index() + i].write();
+            let dst_buf = dst_slot.get_or_insert_with(|| {
+                PoolStats::bump(&self.stats.materializations);
+                Box::new([0; PAGE_SIZE])
+            });
+            dst_buf.copy_from_slice(src_buf);
+        }
+        PoolStats::add(&self.stats.bytes_copied, (n * PAGE_SIZE) as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_page_sets_metadata() {
+        let pool = FramePool::new(64);
+        let f = pool.alloc_page(PageKind::Anon).unwrap();
+        assert_eq!(pool.page(f).kind(), PageKind::Anon);
+        assert_eq!(pool.ref_count(f), 1);
+        assert_eq!(pool.free_frames(), 63);
+    }
+
+    #[test]
+    fn ref_dec_to_zero_frees_the_frame() {
+        let pool = FramePool::new(64);
+        let f = pool.alloc_page(PageKind::Anon).unwrap();
+        pool.ref_inc(f);
+        assert!(!pool.ref_dec(f));
+        assert!(pool.ref_dec(f));
+        assert_eq!(pool.page(f).kind(), PageKind::Free);
+        assert_eq!(pool.free_frames(), 64);
+    }
+
+    #[test]
+    fn huge_page_marks_head_and_tails() {
+        let pool = FramePool::new(2048);
+        let h = pool.alloc_huge(PageKind::Anon).unwrap();
+        assert!(pool.page(h).is_compound_head());
+        assert_eq!(pool.page(h).order(), HUGE_ORDER);
+        for i in 1..512usize {
+            let t = h.offset(i);
+            assert!(pool.page(t).is_compound_tail());
+            assert_eq!(pool.compound_head(t), h);
+        }
+        assert_eq!(pool.compound_head(h), h);
+    }
+
+    #[test]
+    fn freeing_huge_page_releases_all_frames() {
+        let pool = FramePool::new(1024);
+        let h = pool.alloc_huge(PageKind::Anon).unwrap();
+        assert_eq!(pool.free_frames(), 512);
+        pool.write_frame(h.offset(3), 0, &[1, 2, 3]);
+        assert!(pool.ref_dec(h));
+        assert_eq!(pool.free_frames(), 1024);
+        assert!(!pool.is_materialized(h.offset(3)));
+    }
+
+    #[test]
+    fn page_table_frames_start_with_share_count_one() {
+        let pool = FramePool::new(16);
+        let t = pool.alloc_page_table().unwrap();
+        assert_eq!(pool.page(t).kind(), PageKind::PageTable);
+        assert_eq!(pool.pt_share_count(t), 1);
+        pool.pt_share_inc(t);
+        assert_eq!(pool.pt_share_count(t), 2);
+        assert_eq!(pool.pt_share_dec(t), 1);
+    }
+
+    #[test]
+    fn unmaterialized_frames_read_zero() {
+        let pool = FramePool::new(16);
+        let f = pool.alloc_page(PageKind::Anon).unwrap();
+        let mut buf = [0xAAu8; 32];
+        pool.read_frame(f, 100, &mut buf);
+        assert_eq!(buf, [0u8; 32]);
+        assert!(!pool.is_materialized(f));
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let pool = FramePool::new(16);
+        let f = pool.alloc_page(PageKind::Anon).unwrap();
+        pool.write_frame(f, 4000, b"hello");
+        let mut buf = [0u8; 5];
+        pool.read_frame(f, 4000, &mut buf);
+        assert_eq!(&buf, b"hello");
+        assert!(pool.is_materialized(f));
+    }
+
+    #[test]
+    fn copy_block_copies_data_and_zeros() {
+        let pool = FramePool::new(64);
+        let a = pool.alloc_page(PageKind::Anon).unwrap();
+        let b = pool.alloc_page(PageKind::Anon).unwrap();
+        pool.write_frame(a, 10, b"xyz");
+        pool.copy_block(a, b, 0);
+        let mut buf = [0u8; 3];
+        pool.read_frame(b, 10, &mut buf);
+        assert_eq!(&buf, b"xyz");
+        // Copying an unmaterialized source still materializes (zero) dest.
+        let c = pool.alloc_page(PageKind::Anon).unwrap();
+        let d = pool.alloc_page(PageKind::Anon).unwrap();
+        pool.copy_block(c, d, 0);
+        assert!(pool.is_materialized(d));
+    }
+
+    #[test]
+    fn copy_block_counts_full_huge_page_bytes() {
+        let pool = FramePool::new(2048);
+        let a = pool.alloc_huge(PageKind::Anon).unwrap();
+        let b = pool.alloc_huge(PageKind::Anon).unwrap();
+        let before = pool.stats().snapshot();
+        pool.copy_block(a, b, HUGE_ORDER);
+        let delta = pool.stats().snapshot() - before;
+        assert_eq!(delta.bytes_copied, 2 * 1024 * 1024);
+    }
+
+    #[test]
+    fn exhaustion_is_an_error_not_a_panic() {
+        let pool = FramePool::new(4);
+        for _ in 0..4 {
+            pool.alloc_page(PageKind::Anon).unwrap();
+        }
+        assert_eq!(
+            pool.alloc_page(PageKind::Anon),
+            Err(PmemError::OutOfFrames { order: 0 })
+        );
+    }
+
+    #[test]
+    fn stats_count_hot_spots() {
+        let pool = FramePool::new(16);
+        let f = pool.alloc_page(PageKind::Anon).unwrap();
+        let before = pool.stats().snapshot();
+        pool.compound_head(f);
+        pool.ref_inc(f);
+        let delta = pool.stats().snapshot() - before;
+        assert_eq!(delta.compound_head_lookups, 1);
+        assert_eq!(delta.page_ref_incs, 1);
+    }
+
+    #[test]
+    fn concurrent_refcounting_is_consistent() {
+        let pool = FramePool::new(16);
+        let f = pool.alloc_page(PageKind::Anon).unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        pool.ref_inc(f);
+                    }
+                    for _ in 0..1000 {
+                        pool.ref_dec(f);
+                    }
+                });
+            }
+        });
+        assert_eq!(pool.ref_count(f), 1);
+    }
+}

@@ -1,0 +1,120 @@
+//! Operation counters for the fork hot-spot profile (Figure 3).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic counters for the operations that dominate fork cost.
+///
+/// The paper profiles `copy_one_pte()` and finds two hot spots (§2.2,
+/// Figure 3): `compound_head()` resolution (a cache-missing load of
+/// `struct page`) and the atomic `page_ref_inc()`. The pool counts both,
+/// plus allocation traffic and data-copy volume, so the `fig3_fork_profile`
+/// bench can print the same breakdown.
+///
+/// Counters use relaxed ordering: they are statistics, not synchronization.
+#[derive(Default)]
+pub struct PoolStats {
+    /// `compound_head()` resolutions performed.
+    pub compound_head_lookups: AtomicU64,
+    /// Atomic page reference-count increments.
+    pub page_ref_incs: AtomicU64,
+    /// Atomic page reference-count decrements.
+    pub page_ref_decs: AtomicU64,
+    /// Shared-page-table counter increments (On-demand-fork path).
+    pub pt_share_incs: AtomicU64,
+    /// Shared-page-table counter decrements.
+    pub pt_share_decs: AtomicU64,
+    /// Blocks allocated (any order).
+    pub allocs: AtomicU64,
+    /// Blocks freed (any order).
+    pub frees: AtomicU64,
+    /// Bytes copied between frames (COW data copies).
+    pub bytes_copied: AtomicU64,
+    /// Frame data buffers materialized on first write.
+    pub materializations: AtomicU64,
+}
+
+impl PoolStats {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of all counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            compound_head_lookups: self.compound_head_lookups.load(Ordering::Relaxed),
+            page_ref_incs: self.page_ref_incs.load(Ordering::Relaxed),
+            page_ref_decs: self.page_ref_decs.load(Ordering::Relaxed),
+            pt_share_incs: self.pt_share_incs.load(Ordering::Relaxed),
+            pt_share_decs: self.pt_share_decs.load(Ordering::Relaxed),
+            allocs: self.allocs.load(Ordering::Relaxed),
+            frees: self.frees.load(Ordering::Relaxed),
+            bytes_copied: self.bytes_copied.load(Ordering::Relaxed),
+            materializations: self.materializations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`PoolStats`], supporting subtraction so callers
+/// can isolate the counters of a single measured phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// See [`PoolStats::compound_head_lookups`].
+    pub compound_head_lookups: u64,
+    /// See [`PoolStats::page_ref_incs`].
+    pub page_ref_incs: u64,
+    /// See [`PoolStats::page_ref_decs`].
+    pub page_ref_decs: u64,
+    /// See [`PoolStats::pt_share_incs`].
+    pub pt_share_incs: u64,
+    /// See [`PoolStats::pt_share_decs`].
+    pub pt_share_decs: u64,
+    /// See [`PoolStats::allocs`].
+    pub allocs: u64,
+    /// See [`PoolStats::frees`].
+    pub frees: u64,
+    /// See [`PoolStats::bytes_copied`].
+    pub bytes_copied: u64,
+    /// See [`PoolStats::materializations`].
+    pub materializations: u64,
+}
+
+impl std::ops::Sub for StatsSnapshot {
+    type Output = StatsSnapshot;
+
+    fn sub(self, rhs: StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            compound_head_lookups: self.compound_head_lookups - rhs.compound_head_lookups,
+            page_ref_incs: self.page_ref_incs - rhs.page_ref_incs,
+            page_ref_decs: self.page_ref_decs - rhs.page_ref_decs,
+            pt_share_incs: self.pt_share_incs - rhs.pt_share_incs,
+            pt_share_decs: self.pt_share_decs - rhs.pt_share_decs,
+            allocs: self.allocs - rhs.allocs,
+            frees: self.frees - rhs.frees,
+            bytes_copied: self.bytes_copied - rhs.bytes_copied,
+            materializations: self.materializations - rhs.materializations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_subtraction_isolates_a_phase() {
+        let s = PoolStats::default();
+        PoolStats::bump(&s.page_ref_incs);
+        let before = s.snapshot();
+        PoolStats::bump(&s.page_ref_incs);
+        PoolStats::add(&s.bytes_copied, 4096);
+        let after = s.snapshot();
+        let delta = after - before;
+        assert_eq!(delta.page_ref_incs, 1);
+        assert_eq!(delta.bytes_copied, 4096);
+        assert_eq!(delta.page_ref_decs, 0);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property tests for the frame pool and buddy allocator.
+
+use odf_pmem::{FramePool, PageKind, HUGE_ORDER};
+use proptest::prelude::*;
+
+/// A scripted allocator operation.
+#[derive(Clone, Debug)]
+enum Op {
+    AllocPage,
+    AllocHuge,
+    AllocTable,
+    /// Free the i-th (mod len) live block.
+    Free(usize),
+    /// ref_inc then ref_dec the i-th live block (net no-op).
+    Pulse(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => Just(Op::AllocPage),
+        1 => Just(Op::AllocHuge),
+        2 => Just(Op::AllocTable),
+        3 => any::<usize>().prop_map(Op::Free),
+        2 => any::<usize>().prop_map(Op::Pulse),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Random alloc/free/refcount sequences never hand out overlapping
+    /// frames and always restore full capacity after releasing everything.
+    #[test]
+    fn pool_conserves_frames(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let frames = 4096;
+        let pool = FramePool::new(frames);
+        let mut live: Vec<(odf_pmem::FrameId, usize)> = Vec::new(); // (head, nframes)
+
+        for op in ops {
+            match op {
+                Op::AllocPage => {
+                    if let Ok(f) = pool.alloc_page(PageKind::Anon) {
+                        live.push((f, 1));
+                    }
+                }
+                Op::AllocHuge => {
+                    if let Ok(f) = pool.alloc_huge(PageKind::Anon) {
+                        live.push((f, 1 << HUGE_ORDER));
+                    }
+                }
+                Op::AllocTable => {
+                    if let Ok(f) = pool.alloc_page_table() {
+                        prop_assert_eq!(pool.pt_share_count(f), 1);
+                        live.push((f, 1));
+                    }
+                }
+                Op::Free(i) => {
+                    if !live.is_empty() {
+                        let (f, _) = live.swap_remove(i % live.len());
+                        prop_assert!(pool.ref_dec(f), "single ref must free");
+                    }
+                }
+                Op::Pulse(i) => {
+                    if !live.is_empty() {
+                        let (f, _) = live[i % live.len()];
+                        pool.ref_inc(f);
+                        prop_assert!(!pool.ref_dec(f), "still referenced");
+                    }
+                }
+            }
+            // No two live blocks overlap.
+            let mut spans: Vec<(u32, u32)> = live
+                .iter()
+                .map(|&(f, n)| (f.0, f.0 + n as u32))
+                .collect();
+            spans.sort_unstable();
+            for w in spans.windows(2) {
+                prop_assert!(w[0].1 <= w[1].0, "overlap: {:?} vs {:?}", w[0], w[1]);
+            }
+            // Accounting matches.
+            let used: usize = live.iter().map(|&(_, n)| n).sum();
+            prop_assert_eq!(pool.free_frames(), frames - used);
+        }
+
+        for (f, _) in live {
+            pool.ref_dec(f);
+        }
+        prop_assert_eq!(pool.free_frames(), frames);
+    }
+
+    /// Frame data survives round trips regardless of offset and length.
+    #[test]
+    fn frame_data_round_trips(
+        offset in 0usize..4096,
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let pool = FramePool::new(8);
+        let f = pool.alloc_page(PageKind::Anon).unwrap();
+        let len = data.len().min(4096 - offset);
+        pool.write_frame(f, offset, &data[..len]);
+        let mut back = vec![0u8; len];
+        pool.read_frame(f, offset, &mut back);
+        prop_assert_eq!(&back, &data[..len]);
+    }
+}

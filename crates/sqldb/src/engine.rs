@@ -1,0 +1,612 @@
+//! Statement execution.
+
+use odf_core::Process;
+
+use crate::parser::{parse, Expr, Op, Projection, Statement};
+use crate::storage::{Catalog, RowAction, TableHandle, Value};
+use crate::{SqlError, SqlResult};
+
+/// The result of executing a statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum QueryResult {
+    /// CREATE TABLE succeeded.
+    Created,
+    /// INSERT succeeded with this many rows.
+    Inserted(u64),
+    /// SELECT result rows.
+    Rows(Vec<Vec<Value>>),
+    /// UPDATE touched this many rows.
+    Updated(u64),
+    /// DELETE removed this many rows.
+    Deleted(u64),
+}
+
+/// A database: a catalog in simulated memory plus an executor.
+///
+/// Like [`odf_kvstore`'s store](https://docs.rs/), the handle is
+/// address-only: using it with a forked child process operates on the
+/// child's copy-on-write image — the foundation of the fork-per-test
+/// harness in [`crate::testkit`].
+#[derive(Clone, Copy, Debug)]
+pub struct Database {
+    catalog: Catalog,
+}
+
+impl Database {
+    /// Creates an empty database with `heap_capacity` bytes of simulated
+    /// heap.
+    pub fn create(proc: &Process, heap_capacity: u64) -> SqlResult<Database> {
+        Ok(Database {
+            catalog: Catalog::create(proc, heap_capacity)?,
+        })
+    }
+
+    /// Parses and executes one SQL statement in the given process's view
+    /// of the database.
+    pub fn execute(&self, proc: &Process, sql: &str) -> SqlResult<QueryResult> {
+        self.execute_statement(proc, &parse(sql)?)
+    }
+
+    /// Executes an already-parsed statement.
+    pub fn execute_statement(
+        &self,
+        proc: &Process,
+        stmt: &Statement,
+    ) -> SqlResult<QueryResult> {
+        match stmt {
+            Statement::CreateTable { name, columns } => {
+                self.catalog.create_table(proc, name, columns)?;
+                Ok(QueryResult::Created)
+            }
+            Statement::Insert { table, values } => {
+                let t = self.table(proc, table)?;
+                self.catalog.insert_row(proc, &t, values)?;
+                Ok(QueryResult::Inserted(1))
+            }
+            Statement::Select {
+                projection,
+                table,
+                filter,
+                order_by,
+                limit,
+            } => {
+                let t = self.table(proc, table)?;
+                if let Some(f) = filter {
+                    Self::check_expr(&t, f)?;
+                }
+                if let Projection::Count = projection {
+                    // COUNT(*) needs no row materialization beyond the
+                    // filter evaluation (and no sort: the count is
+                    // order-independent).
+                    let mut n: i64 = 0;
+                    self.catalog.for_each_row(proc, &t, |vals| {
+                        if Self::eval(&t, filter.as_ref(), vals)? {
+                            n += 1;
+                        }
+                        Ok(RowAction::Keep)
+                    })?;
+                    return Ok(QueryResult::Rows(vec![vec![Value::Int(n)]]));
+                }
+                let proj = self.projection(&t, projection)?;
+                let sort_idx = order_by
+                    .as_ref()
+                    .map(|(col, desc)| Ok::<_, SqlError>((Self::column_index(&t, col)?, *desc)))
+                    .transpose()?;
+                // Collect full rows when sorting (the key may not be
+                // projected), then project after the sort. An equality
+                // conjunct on the indexed column replaces the scan with a
+                // point lookup.
+                let mut rows: Vec<Vec<Value>> = Vec::new();
+                if let Some(key) = self.index_point_key(proc, &t, filter.as_ref())? {
+                    for addr in self.catalog.index_lookup(proc, &t, key)? {
+                        let vals = self.catalog.read_row_at(proc, &t, addr)?;
+                        if Self::eval(&t, filter.as_ref(), &vals)? {
+                            rows.push(vals);
+                        }
+                    }
+                } else {
+                    self.catalog.for_each_row(proc, &t, |vals| {
+                        if Self::eval(&t, filter.as_ref(), vals)? {
+                            rows.push(vals.to_vec());
+                        }
+                        Ok(RowAction::Keep)
+                    })?;
+                }
+                if let Some((idx, desc)) = sort_idx {
+                    rows.sort_by(|a, b| {
+                        let ord = a[idx]
+                            .compare(&b[idx])
+                            .unwrap_or(std::cmp::Ordering::Equal);
+                        if desc {
+                            ord.reverse()
+                        } else {
+                            ord
+                        }
+                    });
+                }
+                if let Some(n) = limit {
+                    rows.truncate(*n as usize);
+                }
+                let rows = rows
+                    .into_iter()
+                    .map(|vals| proj.iter().map(|&i| vals[i].clone()).collect())
+                    .collect();
+                Ok(QueryResult::Rows(rows))
+            }
+            Statement::Update {
+                table,
+                sets,
+                filter,
+            } => {
+                let t = self.table(proc, table)?;
+                if let Some(f) = filter {
+                    Self::check_expr(&t, f)?;
+                }
+                let set_indices: Vec<(usize, Value)> = sets
+                    .iter()
+                    .map(|(name, value)| {
+                        let idx = Self::column_index(&t, name)?;
+                        if t.columns[idx].ty != value.column_type() {
+                            return Err(SqlError::TypeMismatch);
+                        }
+                        Ok((idx, value.clone()))
+                    })
+                    .collect::<SqlResult<_>>()?;
+                let mut touched = 0;
+                self.catalog.for_each_row(proc, &t, |vals| {
+                    if Self::eval(&t, filter.as_ref(), vals)? {
+                        touched += 1;
+                        let mut new = vals.to_vec();
+                        for (idx, value) in &set_indices {
+                            new[*idx] = value.clone();
+                        }
+                        Ok(RowAction::Update(new))
+                    } else {
+                        Ok(RowAction::Keep)
+                    }
+                })?;
+                Ok(QueryResult::Updated(touched))
+            }
+            Statement::CreateIndex { table, column } => {
+                let t = self.table(proc, table)?;
+                self.catalog.create_index(proc, &t, column)?;
+                Ok(QueryResult::Created)
+            }
+            Statement::Delete { table, filter } => {
+                let t = self.table(proc, table)?;
+                if let Some(f) = filter {
+                    Self::check_expr(&t, f)?;
+                }
+                let mut removed = 0;
+                self.catalog.for_each_row(proc, &t, |vals| {
+                    if Self::eval(&t, filter.as_ref(), vals)? {
+                        removed += 1;
+                        Ok(RowAction::Delete)
+                    } else {
+                        Ok(RowAction::Keep)
+                    }
+                })?;
+                Ok(QueryResult::Deleted(removed))
+            }
+        }
+    }
+
+    /// The user heap backing this database's storage.
+    pub fn heap(&self) -> odf_core::UserHeap {
+        self.catalog.heap()
+    }
+
+    /// Lists the tables visible in the given process's image.
+    pub fn table_names(&self, proc: &Process) -> SqlResult<Vec<String>> {
+        self.catalog.table_names(proc)
+    }
+
+    /// Number of rows in a table.
+    pub fn row_count(&self, proc: &Process, table: &str) -> SqlResult<u64> {
+        let t = self.table(proc, table)?;
+        self.catalog.row_count(proc, &t)
+    }
+
+    /// If the filter is a conjunction containing `indexed_col = <int>`,
+    /// returns that key for an index point lookup. Disjunctions disqualify
+    /// the whole filter (a matching row may fail the indexed conjunct).
+    fn index_point_key(
+        &self,
+        proc: &Process,
+        table: &TableHandle,
+        filter: Option<&Expr>,
+    ) -> SqlResult<Option<i64>> {
+        let Some(filter) = filter else {
+            return Ok(None);
+        };
+        let Some(col) = self.catalog.index_column(proc, table)? else {
+            return Ok(None);
+        };
+        let name = &table.columns[col].name;
+        fn find(expr: &Expr, name: &str) -> Option<i64> {
+            match expr {
+                Expr::Cmp {
+                    column,
+                    op: Op::Eq,
+                    value: Value::Int(k),
+                } if column == name => Some(*k),
+                Expr::And(a, b) => find(a, name).or_else(|| find(b, name)),
+                _ => None,
+            }
+        }
+        Ok(find(filter, name))
+    }
+
+    fn table(&self, proc: &Process, name: &str) -> SqlResult<TableHandle> {
+        self.catalog
+            .find_table(proc, name)?
+            .ok_or_else(|| SqlError::NoSuchTable(name.to_string()))
+    }
+
+    fn column_index(table: &TableHandle, name: &str) -> SqlResult<usize> {
+        table
+            .columns
+            .iter()
+            .position(|c| c.name == name)
+            .ok_or_else(|| SqlError::NoSuchColumn(name.to_string()))
+    }
+
+    fn projection(
+        &self,
+        table: &TableHandle,
+        projection: &Projection,
+    ) -> SqlResult<Vec<usize>> {
+        match projection {
+            Projection::All | Projection::Count => Ok((0..table.columns.len()).collect()),
+            Projection::Columns(columns) => columns
+                .iter()
+                .map(|c| Self::column_index(table, c))
+                .collect(),
+        }
+    }
+
+    /// Validates that every column an expression references exists and is
+    /// compared against a same-typed literal.
+    fn check_expr(table: &TableHandle, expr: &Expr) -> SqlResult<()> {
+        match expr {
+            Expr::Cmp { column, value, .. } => {
+                let idx = Self::column_index(table, column)?;
+                if table.columns[idx].ty != value.column_type() {
+                    return Err(SqlError::TypeMismatch);
+                }
+                Ok(())
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                Self::check_expr(table, a)?;
+                Self::check_expr(table, b)
+            }
+        }
+    }
+
+    fn eval(table: &TableHandle, expr: Option<&Expr>, row: &[Value]) -> SqlResult<bool> {
+        let Some(expr) = expr else {
+            return Ok(true);
+        };
+        Self::eval_expr(table, expr, row)
+    }
+
+    fn eval_expr(table: &TableHandle, expr: &Expr, row: &[Value]) -> SqlResult<bool> {
+        match expr {
+            Expr::Cmp { column, op, value } => {
+                let idx = Self::column_index(table, column)?;
+                let ord = row[idx].compare(value)?;
+                Ok(match op {
+                    Op::Eq => ord.is_eq(),
+                    Op::Ne => !ord.is_eq(),
+                    Op::Lt => ord.is_lt(),
+                    Op::Le => ord.is_le(),
+                    Op::Gt => ord.is_gt(),
+                    Op::Ge => ord.is_ge(),
+                })
+            }
+            Expr::And(a, b) => {
+                Ok(Self::eval_expr(table, a, row)? && Self::eval_expr(table, b, row)?)
+            }
+            Expr::Or(a, b) => {
+                Ok(Self::eval_expr(table, a, row)? || Self::eval_expr(table, b, row)?)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odf_core::{ForkPolicy, Kernel};
+
+    fn setup() -> (std::sync::Arc<Kernel>, Process, Database) {
+        let k = Kernel::new(128 << 20);
+        let p = k.spawn().unwrap();
+        let db = Database::create(&p, 32 << 20).unwrap();
+        (k, p, db)
+    }
+
+    fn seed(db: &Database, p: &Process) {
+        db.execute(p, "CREATE TABLE users (id INT, name TEXT, age INT)")
+            .unwrap();
+        for (id, name, age) in [
+            (1, "ada", 36),
+            (2, "bob", 17),
+            (3, "eve", 29),
+            (4, "mal", 64),
+        ] {
+            db.execute(
+                p,
+                &format!("INSERT INTO users VALUES ({id}, '{name}', {age})"),
+            )
+            .unwrap();
+        }
+    }
+
+    #[test]
+    fn select_filters_and_projects() {
+        let (_k, p, db) = setup();
+        seed(&db, &p);
+        let QueryResult::Rows(mut rows) = db
+            .execute(&p, "SELECT name FROM users WHERE age >= 29")
+            .unwrap()
+        else {
+            panic!("expected rows");
+        };
+        rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Text("ada".into())],
+                vec![Value::Text("eve".into())],
+                vec![Value::Text("mal".into())],
+            ]
+        );
+    }
+
+    #[test]
+    fn select_star_returns_all_columns() {
+        let (_k, p, db) = setup();
+        seed(&db, &p);
+        let QueryResult::Rows(rows) = db
+            .execute(&p, "SELECT * FROM users WHERE id = 1")
+            .unwrap()
+        else {
+            panic!("expected rows");
+        };
+        assert_eq!(
+            rows,
+            vec![vec![Value::Int(1), Value::Text("ada".into()), Value::Int(36)]]
+        );
+    }
+
+    #[test]
+    fn update_changes_matching_rows_only() {
+        let (_k, p, db) = setup();
+        seed(&db, &p);
+        let r = db
+            .execute(&p, "UPDATE users SET age = 100 WHERE name = 'bob'")
+            .unwrap();
+        assert_eq!(r, QueryResult::Updated(1));
+        let QueryResult::Rows(rows) = db
+            .execute(&p, "SELECT age FROM users WHERE name = 'bob'")
+            .unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(rows, vec![vec![Value::Int(100)]]);
+        let QueryResult::Rows(rows) =
+            db.execute(&p, "SELECT age FROM users WHERE id = 1").unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(rows, vec![vec![Value::Int(36)]]);
+    }
+
+    #[test]
+    fn delete_removes_matching_rows() {
+        let (_k, p, db) = setup();
+        seed(&db, &p);
+        let r = db
+            .execute(&p, "DELETE FROM users WHERE age < 30")
+            .unwrap();
+        assert_eq!(r, QueryResult::Deleted(2));
+        assert_eq!(db.row_count(&p, "users").unwrap(), 2);
+    }
+
+    #[test]
+    fn boolean_operators_combine() {
+        let (_k, p, db) = setup();
+        seed(&db, &p);
+        let QueryResult::Rows(rows) = db
+            .execute(
+                &p,
+                "SELECT id FROM users WHERE age > 20 AND age < 40 OR name = 'mal'",
+            )
+            .unwrap()
+        else {
+            panic!();
+        };
+        let mut ids: Vec<i64> = rows
+            .iter()
+            .map(|r| match r[0] {
+                Value::Int(i) => i,
+                _ => panic!(),
+            })
+            .collect();
+        ids.sort();
+        assert_eq!(ids, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let (_k, p, db) = setup();
+        seed(&db, &p);
+        assert!(matches!(
+            db.execute(&p, "SELECT * FROM ghosts"),
+            Err(SqlError::NoSuchTable(_))
+        ));
+        assert!(matches!(
+            db.execute(&p, "SELECT ghost FROM users"),
+            Err(SqlError::NoSuchColumn(_))
+        ));
+        assert!(matches!(
+            db.execute(&p, "SELECT * FROM users WHERE name = 5"),
+            Err(SqlError::TypeMismatch)
+        ));
+        assert!(matches!(
+            db.execute(&p, "INSERT INTO users VALUES (1)"),
+            Err(SqlError::ArityMismatch)
+        ));
+        assert!(matches!(
+            db.execute(&p, "NONSENSE"),
+            Err(SqlError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn count_order_by_and_limit() {
+        let (_k, p, db) = setup();
+        seed(&db, &p);
+        assert_eq!(
+            db.execute(&p, "SELECT COUNT(*) FROM users WHERE age >= 29")
+                .unwrap(),
+            QueryResult::Rows(vec![vec![Value::Int(3)]])
+        );
+        assert_eq!(
+            db.execute(&p, "SELECT COUNT(*) FROM users").unwrap(),
+            QueryResult::Rows(vec![vec![Value::Int(4)]])
+        );
+        let QueryResult::Rows(rows) = db
+            .execute(&p, "SELECT name FROM users ORDER BY age DESC LIMIT 2")
+            .unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Text("mal".into())],
+                vec![Value::Text("ada".into())]
+            ]
+        );
+        let QueryResult::Rows(rows) = db
+            .execute(&p, "SELECT id FROM users ORDER BY name LIMIT 1")
+            .unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(rows, vec![vec![Value::Int(1)]], "ada sorts first");
+        // LIMIT 0 yields nothing; ORDER BY on a missing column errors.
+        assert_eq!(
+            db.execute(&p, "SELECT * FROM users LIMIT 0").unwrap(),
+            QueryResult::Rows(vec![])
+        );
+        assert!(matches!(
+            db.execute(&p, "SELECT * FROM users ORDER BY ghost"),
+            Err(SqlError::NoSuchColumn(_))
+        ));
+    }
+
+    #[test]
+    fn index_accelerates_point_lookups_and_stays_consistent() {
+        use std::sync::atomic::Ordering;
+        let (_k, p, db) = setup();
+        db.execute(&p, "CREATE TABLE big (id INT, tag TEXT)").unwrap();
+        for i in 0..300 {
+            db.execute(&p, &format!("INSERT INTO big VALUES ({i}, 't{}')", i % 7))
+                .unwrap();
+        }
+        db.execute(&p, "CREATE INDEX ON big (id)").unwrap();
+
+        let before = odf_sqldb_index_lookups();
+        let QueryResult::Rows(rows) = db
+            .execute(&p, "SELECT tag FROM big WHERE id = 123")
+            .unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(rows, vec![vec![Value::Text("t4".into())]]);
+        assert_eq!(odf_sqldb_index_lookups() - before, 1, "index used");
+
+        // Mutations keep the index consistent.
+        db.execute(&p, "DELETE FROM big WHERE id = 123").unwrap();
+        assert_eq!(
+            db.execute(&p, "SELECT tag FROM big WHERE id = 123").unwrap(),
+            QueryResult::Rows(vec![])
+        );
+        db.execute(&p, "INSERT INTO big VALUES (123, 'fresh')").unwrap();
+        db.execute(&p, "UPDATE big SET id = 9000 WHERE id = 123").unwrap();
+        assert_eq!(
+            db.execute(&p, "SELECT tag FROM big WHERE id = 9000").unwrap(),
+            QueryResult::Rows(vec![vec![Value::Text("fresh".into())]])
+        );
+        // Relocating update (value grows) keeps the index pointing right.
+        let long = "x".repeat(500);
+        db.execute(
+            &p,
+            &format!("UPDATE big SET tag = '{long}' WHERE id = 9000"),
+        )
+        .unwrap();
+        let QueryResult::Rows(rows) = db
+            .execute(&p, "SELECT tag FROM big WHERE id = 9000")
+            .unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(rows, vec![vec![Value::Text(long)]]);
+
+        // OR filters must not use the index (a row matching only the
+        // other disjunct would be missed).
+        let before = odf_sqldb_index_lookups();
+        let QueryResult::Rows(rows) = db
+            .execute(&p, "SELECT id FROM big WHERE id = 5 OR tag = 't3'")
+            .unwrap()
+        else {
+            panic!();
+        };
+        assert_eq!(odf_sqldb_index_lookups(), before, "OR disables index");
+        assert!(rows.len() > 1);
+
+        fn odf_sqldb_index_lookups() -> u64 {
+            crate::storage::INDEX_LOOKUPS.load(Ordering::Relaxed)
+        }
+    }
+
+    #[test]
+    fn index_errors_are_reported() {
+        let (_k, p, db) = setup();
+        seed(&db, &p);
+        assert!(matches!(
+            db.execute(&p, "CREATE INDEX ON users (name)"),
+            Err(SqlError::TypeMismatch)
+        ));
+        assert!(matches!(
+            db.execute(&p, "CREATE INDEX ON users (ghost)"),
+            Err(SqlError::NoSuchColumn(_))
+        ));
+        db.execute(&p, "CREATE INDEX ON users (id)").unwrap();
+        assert!(matches!(
+            db.execute(&p, "CREATE INDEX ON users (age)"),
+            Err(SqlError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn forked_children_see_a_frozen_database() {
+        let (_k, p, db) = setup();
+        seed(&db, &p);
+        let child = p.fork_with(ForkPolicy::OnDemand).unwrap();
+        // Child mutates its copy...
+        db.execute(&child, "DELETE FROM users WHERE age > 0").unwrap();
+        assert_eq!(db.row_count(&child, "users").unwrap(), 0);
+        // ...the parent is untouched.
+        assert_eq!(db.row_count(&p, "users").unwrap(), 4);
+        // And vice versa: parent insertions stay invisible to a new child
+        // forked before them.
+        let child2 = p.fork_with(ForkPolicy::OnDemand).unwrap();
+        db.execute(&p, "INSERT INTO users VALUES (9, 'new', 1)").unwrap();
+        assert_eq!(db.row_count(&child2, "users").unwrap(), 4);
+        assert_eq!(db.row_count(&p, "users").unwrap(), 5);
+    }
+}

@@ -1,0 +1,195 @@
+//! SQL tokenizer.
+
+use crate::{SqlError, SqlResult};
+
+/// A SQL token.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Token {
+    /// Keyword or identifier (uppercased keywords are matched by the
+    /// parser; identifiers keep their case).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// A punctuation or operator symbol: `( ) , * = != < <= > >= ;`.
+    Sym(&'static str),
+}
+
+/// Tokenizes a SQL string.
+///
+/// # Examples
+///
+/// ```
+/// use odf_sqldb::{tokenize, Token};
+/// let toks = tokenize("SELECT * FROM t WHERE a >= 10;").unwrap();
+/// assert_eq!(toks[0], Token::Word("SELECT".into()));
+/// assert_eq!(toks[1], Token::Sym("*"));
+/// assert_eq!(toks[6], Token::Sym(">="));
+/// assert_eq!(toks[7], Token::Int(10));
+/// ```
+pub fn tokenize(input: &str) -> SqlResult<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Token::Sym("("));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Sym(")"));
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Sym(","));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Sym("*"));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Sym(";"));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Sym("="));
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Sym("!="));
+                    i += 2;
+                } else {
+                    return Err(SqlError::Parse("lone '!'".into()));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Sym("<="));
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'>') {
+                    out.push(Token::Sym("!="));
+                    i += 2;
+                } else {
+                    out.push(Token::Sym("<"));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Sym(">="));
+                    i += 2;
+                } else {
+                    out.push(Token::Sym(">"));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(SqlError::Parse("unterminated string".into())),
+                        Some(b'\'') if bytes.get(i + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some(b'\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&b) => {
+                            s.push(b as char);
+                            i += 1;
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            '-' | '0'..='9' => {
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                    if !matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                        return Err(SqlError::Parse("lone '-'".into()));
+                    }
+                }
+                while matches!(bytes.get(i), Some(b'0'..=b'9')) {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value = text
+                    .parse::<i64>()
+                    .map_err(|_| SqlError::Parse(format!("bad integer {text}")))?;
+                out.push(Token::Int(value));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while matches!(
+                    bytes.get(i),
+                    Some(b'a'..=b'z') | Some(b'A'..=b'Z') | Some(b'0'..=b'9') | Some(b'_')
+                ) {
+                    i += 1;
+                }
+                out.push(Token::Word(input[start..i].to_string()));
+            }
+            other => {
+                return Err(SqlError::Parse(format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_all_symbol_forms() {
+        let toks = tokenize("a=b a!=b a<b a<=b a>b a>=b a<>b").unwrap();
+        let syms: Vec<&Token> = toks.iter().filter(|t| matches!(t, Token::Sym(_))).collect();
+        assert_eq!(
+            syms,
+            vec![
+                &Token::Sym("="),
+                &Token::Sym("!="),
+                &Token::Sym("<"),
+                &Token::Sym("<="),
+                &Token::Sym(">"),
+                &Token::Sym(">="),
+                &Token::Sym("!="),
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes_unfold() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's".into())]);
+    }
+
+    #[test]
+    fn negative_integers_lex() {
+        assert_eq!(tokenize("-42").unwrap(), vec![Token::Int(-42)]);
+    }
+
+    #[test]
+    fn bad_input_is_an_error_not_a_panic() {
+        assert!(tokenize("'open").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("#").is_err());
+        assert!(tokenize("- ").is_err());
+        assert!(tokenize("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert_eq!(tokenize("   ").unwrap(), vec![]);
+    }
+}

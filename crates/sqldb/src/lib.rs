@@ -1,0 +1,80 @@
+//! A small relational database engine on the simulated kernel.
+//!
+//! This is the SQLite stand-in for the testing and fuzzing experiments of
+//! the paper (§5.3.1, §5.3.2; Figure 9, Tables 2–3). Like the kvstore, its
+//! defining property is that **all durable state — catalog, rows, string
+//! data — lives inside a simulated process's address space**, so fork-based
+//! test isolation and fuzzing snapshots exercise the real copy-on-write
+//! machinery.
+//!
+//! Supported SQL subset (enough for the paper's three unit-test shapes and
+//! for structured fuzzing):
+//!
+//! ```sql
+//! CREATE TABLE users (id INT, name TEXT, age INT);
+//! INSERT INTO users VALUES (1, 'ada', 36);
+//! SELECT id, name FROM users WHERE age >= 30 AND name != 'bob';
+//! UPDATE users SET age = 37 WHERE id = 1;
+//! DELETE FROM users WHERE age < 18;
+//! ```
+//!
+//! Modules: the lexer and parser ([`tokenize`], [`parse`]) produce an AST; [`Database`] executes it
+//! against the in-simulation storage; [`testkit`] packages the paper's
+//! initialize-once / fork-per-test harness.
+
+#![forbid(unsafe_code)]
+
+mod engine;
+mod lexer;
+mod parser;
+mod storage;
+pub mod testkit;
+
+pub use engine::{Database, QueryResult};
+pub use lexer::{tokenize, Token};
+pub use parser::{parse, ColumnDef, ColumnType, Expr, Op, Projection, Statement};
+pub use storage::Value;
+
+/// Errors from parsing or executing SQL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SqlError {
+    /// The statement failed to lex or parse.
+    Parse(String),
+    /// A referenced table does not exist.
+    NoSuchTable(String),
+    /// A referenced column does not exist.
+    NoSuchColumn(String),
+    /// A value or comparison had the wrong type.
+    TypeMismatch,
+    /// Wrong number of values in an INSERT.
+    ArityMismatch,
+    /// A table with that name already exists.
+    TableExists(String),
+    /// The underlying simulated memory operation failed.
+    Vm(odf_core::VmError),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Parse(msg) => write!(f, "parse error: {msg}"),
+            SqlError::NoSuchTable(t) => write!(f, "no such table: {t}"),
+            SqlError::NoSuchColumn(c) => write!(f, "no such column: {c}"),
+            SqlError::TypeMismatch => write!(f, "type mismatch"),
+            SqlError::ArityMismatch => write!(f, "wrong number of values"),
+            SqlError::TableExists(t) => write!(f, "table exists: {t}"),
+            SqlError::Vm(e) => write!(f, "memory error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<odf_core::VmError> for SqlError {
+    fn from(e: odf_core::VmError) -> Self {
+        SqlError::Vm(e)
+    }
+}
+
+/// Result alias for SQL operations.
+pub type SqlResult<T> = std::result::Result<T, SqlError>;

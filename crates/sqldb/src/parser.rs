@@ -1,0 +1,559 @@
+//! Recursive-descent parser for the SQL subset.
+
+use crate::lexer::{tokenize, Token};
+use crate::storage::Value;
+use crate::{SqlError, SqlResult};
+
+/// Column type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ColumnType {
+    /// 64-bit signed integer.
+    Int,
+    /// Variable-length string.
+    Text,
+}
+
+/// A column definition in CREATE TABLE.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ColumnType,
+}
+
+/// Comparison operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// `=`
+    Eq,
+    /// `!=` / `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+/// A WHERE expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// `column op literal`
+    Cmp {
+        /// Column name.
+        column: String,
+        /// Operator.
+        op: Op,
+        /// Literal operand.
+        value: Value,
+    },
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+}
+
+/// What a SELECT projects.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Projection {
+    /// `*`
+    All,
+    /// An explicit column list.
+    Columns(Vec<String>),
+    /// `COUNT(*)`
+    Count,
+}
+
+/// A parsed statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col type, ...)`
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column definitions.
+        columns: Vec<ColumnDef>,
+    },
+    /// `INSERT INTO name VALUES (v, ...)`
+    Insert {
+        /// Table name.
+        table: String,
+        /// Row values.
+        values: Vec<Value>,
+    },
+    /// `SELECT proj FROM name [WHERE expr] [ORDER BY col [DESC]] [LIMIT n]`
+    Select {
+        /// Projection.
+        projection: Projection,
+        /// Table name.
+        table: String,
+        /// Optional filter.
+        filter: Option<Expr>,
+        /// Optional `(column, descending)` sort key.
+        order_by: Option<(String, bool)>,
+        /// Optional row-count cap.
+        limit: Option<u64>,
+    },
+    /// `UPDATE name SET col = v, ... [WHERE expr]`
+    Update {
+        /// Table name.
+        table: String,
+        /// `(column, new value)` assignments.
+        sets: Vec<(String, Value)>,
+        /// Optional filter.
+        filter: Option<Expr>,
+    },
+    /// `DELETE FROM name [WHERE expr]`
+    Delete {
+        /// Table name.
+        table: String,
+        /// Optional filter.
+        filter: Option<Expr>,
+    },
+    /// `CREATE INDEX ON name (column)` — a hash index on one INT column,
+    /// used by equality lookups.
+    CreateIndex {
+        /// Table name.
+        table: String,
+        /// Indexed column.
+        column: String,
+    },
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> SqlResult<Token> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| SqlError::Parse("unexpected end of input".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect_word(&mut self, kw: &str) -> SqlResult<()> {
+        match self.next()? {
+            Token::Word(w) if w.eq_ignore_ascii_case(kw) => Ok(()),
+            other => Err(SqlError::Parse(format!("expected {kw}, found {other:?}"))),
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> SqlResult<()> {
+        match self.next()? {
+            Token::Sym(s) if s == sym => Ok(()),
+            other => Err(SqlError::Parse(format!("expected '{sym}', found {other:?}"))),
+        }
+    }
+
+    fn identifier(&mut self) -> SqlResult<String> {
+        match self.next()? {
+            Token::Word(w) => Ok(w),
+            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn literal(&mut self) -> SqlResult<Value> {
+        match self.next()? {
+            Token::Int(v) => Ok(Value::Int(v)),
+            Token::Str(s) => Ok(Value::Text(s)),
+            other => Err(SqlError::Parse(format!("expected literal, found {other:?}"))),
+        }
+    }
+
+    fn matches_word(&mut self, kw: &str) -> bool {
+        if let Some(Token::Word(w)) = self.peek() {
+            if w.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn matches_sym(&mut self, sym: &str) -> bool {
+        if let Some(Token::Sym(s)) = self.peek() {
+            if *s == sym {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn statement(&mut self) -> SqlResult<Statement> {
+        let head = self.identifier()?;
+        let stmt = if head.eq_ignore_ascii_case("CREATE") {
+            self.create_table()
+        } else if head.eq_ignore_ascii_case("INSERT") {
+            self.insert()
+        } else if head.eq_ignore_ascii_case("SELECT") {
+            self.select()
+        } else if head.eq_ignore_ascii_case("UPDATE") {
+            self.update()
+        } else if head.eq_ignore_ascii_case("DELETE") {
+            self.delete()
+        } else {
+            Err(SqlError::Parse(format!("unknown statement {head}")))
+        }?;
+        let _ = self.matches_sym(";");
+        if self.pos != self.tokens.len() {
+            return Err(SqlError::Parse("trailing tokens".into()));
+        }
+        Ok(stmt)
+    }
+
+    fn create_table(&mut self) -> SqlResult<Statement> {
+        if self.matches_word("INDEX") {
+            self.expect_word("ON")?;
+            let table = self.identifier()?;
+            self.expect_sym("(")?;
+            let column = self.identifier()?;
+            self.expect_sym(")")?;
+            return Ok(Statement::CreateIndex { table, column });
+        }
+        self.expect_word("TABLE")?;
+        let name = self.identifier()?;
+        self.expect_sym("(")?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.identifier()?;
+            let ty_word = self.identifier()?;
+            let ty = if ty_word.eq_ignore_ascii_case("INT")
+                || ty_word.eq_ignore_ascii_case("INTEGER")
+            {
+                ColumnType::Int
+            } else if ty_word.eq_ignore_ascii_case("TEXT") {
+                ColumnType::Text
+            } else {
+                return Err(SqlError::Parse(format!("unknown type {ty_word}")));
+            };
+            columns.push(ColumnDef { name: col, ty });
+            if self.matches_sym(")") {
+                break;
+            }
+            self.expect_sym(",")?;
+        }
+        if columns.is_empty() {
+            return Err(SqlError::Parse("table needs columns".into()));
+        }
+        Ok(Statement::CreateTable { name, columns })
+    }
+
+    fn insert(&mut self) -> SqlResult<Statement> {
+        self.expect_word("INTO")?;
+        let table = self.identifier()?;
+        self.expect_word("VALUES")?;
+        self.expect_sym("(")?;
+        let mut values = Vec::new();
+        loop {
+            values.push(self.literal()?);
+            if self.matches_sym(")") {
+                break;
+            }
+            self.expect_sym(",")?;
+        }
+        Ok(Statement::Insert { table, values })
+    }
+
+    fn select(&mut self) -> SqlResult<Statement> {
+        let projection = if self.matches_sym("*") {
+            Projection::All
+        } else if self.matches_word("COUNT") {
+            self.expect_sym("(")?;
+            self.expect_sym("*")?;
+            self.expect_sym(")")?;
+            Projection::Count
+        } else {
+            let mut columns = Vec::new();
+            loop {
+                columns.push(self.identifier()?);
+                if !self.matches_sym(",") {
+                    break;
+                }
+            }
+            Projection::Columns(columns)
+        };
+        self.expect_word("FROM")?;
+        let table = self.identifier()?;
+        let filter = self.optional_where()?;
+        let order_by = if self.matches_word("ORDER") {
+            self.expect_word("BY")?;
+            let col = self.identifier()?;
+            let desc = if self.matches_word("DESC") {
+                true
+            } else {
+                let _ = self.matches_word("ASC");
+                false
+            };
+            Some((col, desc))
+        } else {
+            None
+        };
+        let limit = if self.matches_word("LIMIT") {
+            match self.next()? {
+                Token::Int(n) if n >= 0 => Some(n as u64),
+                other => {
+                    return Err(SqlError::Parse(format!(
+                        "expected non-negative LIMIT, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+        Ok(Statement::Select {
+            projection,
+            table,
+            filter,
+            order_by,
+            limit,
+        })
+    }
+
+    fn update(&mut self) -> SqlResult<Statement> {
+        let table = self.identifier()?;
+        self.expect_word("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let col = self.identifier()?;
+            self.expect_sym("=")?;
+            sets.push((col, self.literal()?));
+            if !self.matches_sym(",") {
+                break;
+            }
+        }
+        let filter = self.optional_where()?;
+        Ok(Statement::Update {
+            table,
+            sets,
+            filter,
+        })
+    }
+
+    fn delete(&mut self) -> SqlResult<Statement> {
+        self.expect_word("FROM")?;
+        let table = self.identifier()?;
+        let filter = self.optional_where()?;
+        Ok(Statement::Delete { table, filter })
+    }
+
+    fn optional_where(&mut self) -> SqlResult<Option<Expr>> {
+        if self.matches_word("WHERE") {
+            Ok(Some(self.expr()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// `expr := term (OR term)*` — OR binds looser than AND.
+    fn expr(&mut self) -> SqlResult<Expr> {
+        let mut left = self.term()?;
+        while self.matches_word("OR") {
+            let right = self.term()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    /// `term := cmp (AND cmp)*`
+    fn term(&mut self) -> SqlResult<Expr> {
+        let mut left = self.cmp()?;
+        while self.matches_word("AND") {
+            let right = self.cmp()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn cmp(&mut self) -> SqlResult<Expr> {
+        if self.matches_sym("(") {
+            let inner = self.expr()?;
+            self.expect_sym(")")?;
+            return Ok(inner);
+        }
+        let column = self.identifier()?;
+        let op = match self.next()? {
+            Token::Sym("=") => Op::Eq,
+            Token::Sym("!=") => Op::Ne,
+            Token::Sym("<") => Op::Lt,
+            Token::Sym("<=") => Op::Le,
+            Token::Sym(">") => Op::Gt,
+            Token::Sym(">=") => Op::Ge,
+            other => {
+                return Err(SqlError::Parse(format!("expected operator, found {other:?}")))
+            }
+        };
+        let value = self.literal()?;
+        Ok(Expr::Cmp { column, op, value })
+    }
+}
+
+/// Parses one SQL statement.
+///
+/// # Examples
+///
+/// ```
+/// use odf_sqldb::{parse, Statement};
+/// let stmt = parse("DELETE FROM t WHERE a = 1 OR b = 'x'").unwrap();
+/// assert!(matches!(stmt, Statement::Delete { .. }));
+/// ```
+pub fn parse(sql: &str) -> SqlResult<Statement> {
+    let tokens = tokenize(sql)?;
+    if tokens.is_empty() {
+        return Err(SqlError::Parse("empty statement".into()));
+    }
+    Parser { tokens, pos: 0 }.statement()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_table() {
+        let stmt = parse("CREATE TABLE t (id INT, name TEXT)").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::CreateTable {
+                name: "t".into(),
+                columns: vec![
+                    ColumnDef {
+                        name: "id".into(),
+                        ty: ColumnType::Int
+                    },
+                    ColumnDef {
+                        name: "name".into(),
+                        ty: ColumnType::Text
+                    },
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_insert_with_mixed_literals() {
+        let stmt = parse("INSERT INTO t VALUES (1, 'two', -3)").unwrap();
+        assert_eq!(
+            stmt,
+            Statement::Insert {
+                table: "t".into(),
+                values: vec![Value::Int(1), Value::Text("two".into()), Value::Int(-3)],
+            }
+        );
+    }
+
+    #[test]
+    fn parses_select_star_and_projection() {
+        assert!(matches!(
+            parse("SELECT * FROM t").unwrap(),
+            Statement::Select { projection: Projection::All, .. }
+        ));
+        assert!(matches!(
+            parse("SELECT a, b FROM t WHERE a < 5").unwrap(),
+            Statement::Select { projection: Projection::Columns(c), filter: Some(_), .. }
+                if c.len() == 2
+        ));
+    }
+
+    #[test]
+    fn parses_create_index() {
+        assert_eq!(
+            parse("CREATE INDEX ON t (a)").unwrap(),
+            Statement::CreateIndex {
+                table: "t".into(),
+                column: "a".into()
+            }
+        );
+        assert!(parse("CREATE INDEX t (a)").is_err());
+        assert!(parse("CREATE INDEX ON t ()").is_err());
+    }
+
+    #[test]
+    fn parses_count_order_and_limit() {
+        assert!(matches!(
+            parse("SELECT COUNT(*) FROM t WHERE a = 1").unwrap(),
+            Statement::Select { projection: Projection::Count, .. }
+        ));
+        let stmt = parse("SELECT * FROM t ORDER BY a DESC LIMIT 10").unwrap();
+        let Statement::Select { order_by, limit, .. } = stmt else {
+            panic!();
+        };
+        assert_eq!(order_by, Some(("a".into(), true)));
+        assert_eq!(limit, Some(10));
+        let stmt = parse("SELECT * FROM t ORDER BY a ASC").unwrap();
+        let Statement::Select { order_by, limit, .. } = stmt else {
+            panic!();
+        };
+        assert_eq!(order_by, Some(("a".into(), false)));
+        assert_eq!(limit, None);
+        assert!(parse("SELECT COUNT( FROM t").is_err());
+        assert!(parse("SELECT * FROM t LIMIT -3").is_err());
+        assert!(parse("SELECT * FROM t ORDER a").is_err());
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let stmt = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        let Statement::Select { filter: Some(e), .. } = stmt else {
+            panic!("expected select");
+        };
+        // a = 1 OR (b = 2 AND c = 3)
+        assert!(matches!(e, Expr::Or(ref l, ref r)
+            if matches!(**l, Expr::Cmp { .. }) && matches!(**r, Expr::And(_, _))));
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let stmt = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3").unwrap();
+        let Statement::Select { filter: Some(e), .. } = stmt else {
+            panic!("expected select");
+        };
+        assert!(matches!(e, Expr::And(ref l, _) if matches!(**l, Expr::Or(_, _))));
+    }
+
+    #[test]
+    fn parses_update_with_multiple_sets() {
+        let stmt = parse("UPDATE t SET a = 1, b = 'x' WHERE c >= 10").unwrap();
+        let Statement::Update { sets, filter, .. } = stmt else {
+            panic!("expected update");
+        };
+        assert_eq!(sets.len(), 2);
+        assert!(filter.is_some());
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse("select * from t where a = 1").is_ok());
+        assert!(parse("DELETE from T").is_ok());
+    }
+
+    #[test]
+    fn malformed_statements_error_cleanly() {
+        for bad in [
+            "",
+            "DROP TABLE t",
+            "SELECT FROM t",
+            "CREATE TABLE t ()",
+            "INSERT INTO t VALUES ()",
+            "SELECT * FROM t WHERE",
+            "SELECT * FROM t garbage",
+            "UPDATE t SET",
+            "CREATE TABLE t (a FLOAT)",
+        ] {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

@@ -1,0 +1,643 @@
+//! Row storage in simulated process memory.
+//!
+//! Layout (all addresses are simulated virtual addresses inside the
+//! database process):
+//!
+//! ```text
+//! db header      : [catalog head: u64]
+//! table block    : [next table: u64][rows head: u64][row count: u64]
+//!                  [ncols: u32][name len: u32][name bytes]
+//!                  per column: [type: u8][name len: u32][name bytes]
+//! row block      : [next row: u64][encoded values...]
+//! value encoding : Int  -> [0u8][i64 LE]
+//!                  Text -> [1u8][len: u32][bytes]
+//! ```
+//!
+//! Rows are a singly linked list per table, newest first. Updates rewrite
+//! in place when the new encoding fits the block's size class, otherwise
+//! the block is replaced and relinked — the kind of allocator churn a real
+//! engine produces, which is what makes the forked-test and fuzzing
+//! workloads realistic.
+
+use std::sync::atomic::AtomicU64;
+
+use odf_core::{Process, UserHeap};
+
+/// Count of index point lookups (test/diagnostic observability).
+pub static INDEX_LOOKUPS: AtomicU64 = AtomicU64::new(0);
+
+use crate::parser::{ColumnDef, ColumnType};
+use crate::{SqlError, SqlResult};
+
+/// A SQL value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// String.
+    Text(String),
+}
+
+impl Value {
+    /// The value's column type.
+    pub fn column_type(&self) -> ColumnType {
+        match self {
+            Value::Int(_) => ColumnType::Int,
+            Value::Text(_) => ColumnType::Text,
+        }
+    }
+
+    /// Compares two values of the same type.
+    pub fn compare(&self, other: &Value) -> SqlResult<std::cmp::Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Ok(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => Ok(a.cmp(b)),
+            _ => Err(SqlError::TypeMismatch),
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Text(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+/// What to do with a row during a mutating scan.
+pub(crate) enum RowAction {
+    /// Leave the row as is.
+    Keep,
+    /// Unlink and free the row.
+    Delete,
+    /// Replace the row's values.
+    Update(Vec<Value>),
+}
+
+/// Host-side handle to a table: its block address and decoded schema.
+#[derive(Clone, Debug)]
+pub(crate) struct TableHandle {
+    pub addr: u64,
+    pub columns: Vec<ColumnDef>,
+}
+
+const TBL_NEXT: u64 = 0;
+const TBL_ROWS: u64 = 8;
+const TBL_COUNT: u64 = 16;
+const TBL_INDEX: u64 = 24;
+const TBL_NCOLS: u64 = 32;
+const TBL_NAMELEN: u64 = 36;
+const TBL_NAME: u64 = 40;
+
+/// Index block layout (at the address stored in `TBL_INDEX`):
+///
+/// ```text
+/// +0   indexed column (u32)
+/// +4   bucket count   (u32, power of two)
+/// +8   buckets: bucket_count u64 chain heads
+/// ```
+/// Index entry blocks: `[next: u64][key: i64][row addr: u64]`.
+const IDX_COL: u64 = 0;
+const IDX_BUCKETS: u64 = 4;
+const IDX_ARRAY: u64 = 8;
+
+const IE_NEXT: u64 = 0;
+const IE_KEY: u64 = 8;
+const IE_ROW: u64 = 16;
+const IE_SIZE: u64 = 24;
+
+const ROW_NEXT: u64 = 0;
+const ROW_DATA: u64 = 8;
+
+/// The catalog: all tables of one database, in simulated memory.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Catalog {
+    heap: UserHeap,
+    header: u64,
+}
+
+impl Catalog {
+    /// Creates an empty catalog with its own heap.
+    pub fn create(proc: &Process, heap_capacity: u64) -> SqlResult<Catalog> {
+        let heap = UserHeap::create(proc, heap_capacity)?;
+        let header = heap.alloc(proc, 8)?;
+        proc.write_u64(header, 0)?;
+        Ok(Catalog { heap, header })
+    }
+
+    /// The heap backing this catalog (capacity inspection in benches).
+    pub fn heap(&self) -> UserHeap {
+        self.heap
+    }
+
+    /// Creates a table.
+    pub fn create_table(
+        &self,
+        proc: &Process,
+        name: &str,
+        columns: &[ColumnDef],
+    ) -> SqlResult<()> {
+        if self.find_table(proc, name)?.is_some() {
+            return Err(SqlError::TableExists(name.to_string()));
+        }
+        let mut blob = Vec::new();
+        blob.extend_from_slice(&0u64.to_le_bytes()); // next
+        blob.extend_from_slice(&0u64.to_le_bytes()); // rows head
+        blob.extend_from_slice(&0u64.to_le_bytes()); // row count
+        blob.extend_from_slice(&0u64.to_le_bytes()); // index (none)
+        blob.extend_from_slice(&(columns.len() as u32).to_le_bytes());
+        blob.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        blob.extend_from_slice(name.as_bytes());
+        for col in columns {
+            blob.push(match col.ty {
+                ColumnType::Int => 0,
+                ColumnType::Text => 1,
+            });
+            blob.extend_from_slice(&(col.name.len() as u32).to_le_bytes());
+            blob.extend_from_slice(col.name.as_bytes());
+        }
+        let addr = self.heap.alloc_bytes(proc, &blob)?;
+        // Link at catalog head.
+        let head = proc.read_u64(self.header)?;
+        proc.write_u64(addr + TBL_NEXT, head)?;
+        proc.write_u64(self.header, addr)?;
+        Ok(())
+    }
+
+    /// Finds a table by name (case-sensitive, like SQLite identifiers in
+    /// practice).
+    pub fn find_table(&self, proc: &Process, name: &str) -> SqlResult<Option<TableHandle>> {
+        let mut at = proc.read_u64(self.header)?;
+        while at != 0 {
+            let name_len = proc.read_u32(at + TBL_NAMELEN)? as usize;
+            let stored = proc.read_vec(at + TBL_NAME, name_len)?;
+            if stored == name.as_bytes() {
+                let ncols = proc.read_u32(at + TBL_NCOLS)? as usize;
+                let mut columns = Vec::with_capacity(ncols);
+                let mut cursor = at + TBL_NAME + name_len as u64;
+                for _ in 0..ncols {
+                    let ty = match proc.read_vec(cursor, 1)?[0] {
+                        0 => ColumnType::Int,
+                        _ => ColumnType::Text,
+                    };
+                    let len = proc.read_u32(cursor + 1)? as usize;
+                    let col_name = proc.read_vec(cursor + 5, len)?;
+                    columns.push(ColumnDef {
+                        name: String::from_utf8_lossy(&col_name).into_owned(),
+                        ty,
+                    });
+                    cursor += 5 + len as u64;
+                }
+                return Ok(Some(TableHandle { addr: at, columns }));
+            }
+            at = proc.read_u64(at + TBL_NEXT)?;
+        }
+        Ok(None)
+    }
+
+    /// Lists all table names.
+    pub fn table_names(&self, proc: &Process) -> SqlResult<Vec<String>> {
+        let mut names = Vec::new();
+        let mut at = proc.read_u64(self.header)?;
+        while at != 0 {
+            let name_len = proc.read_u32(at + TBL_NAMELEN)? as usize;
+            let stored = proc.read_vec(at + TBL_NAME, name_len)?;
+            names.push(String::from_utf8_lossy(&stored).into_owned());
+            at = proc.read_u64(at + TBL_NEXT)?;
+        }
+        Ok(names)
+    }
+
+    /// Creates a hash index on an INT column, populating it from the
+    /// existing rows. One index per table.
+    pub fn create_index(
+        &self,
+        proc: &Process,
+        table: &TableHandle,
+        column: &str,
+    ) -> SqlResult<()> {
+        if proc.read_u64(table.addr + TBL_INDEX)? != 0 {
+            return Err(SqlError::TableExists(format!("index on {column}")));
+        }
+        let col = table
+            .columns
+            .iter()
+            .position(|c| c.name == column)
+            .ok_or_else(|| SqlError::NoSuchColumn(column.to_string()))?;
+        if table.columns[col].ty != crate::parser::ColumnType::Int {
+            return Err(SqlError::TypeMismatch);
+        }
+        let rows = proc.read_u64(table.addr + TBL_COUNT)?;
+        let buckets = (rows * 2).next_power_of_two().clamp(64, 8192);
+        let idx = self.heap.alloc(proc, IDX_ARRAY + buckets * 8)?;
+        proc.write_u32(idx + IDX_COL as u64, col as u32)?;
+        proc.write_u32(idx + IDX_BUCKETS, buckets as u32)?;
+        proc.fill(idx + IDX_ARRAY, (buckets * 8) as usize, 0)?;
+        proc.write_u64(table.addr + TBL_INDEX, idx)?;
+        // Back-fill from existing rows.
+        let ncols = table.columns.len();
+        let mut at = proc.read_u64(table.addr + TBL_ROWS)?;
+        while at != 0 {
+            let values = Self::decode_row(proc, at, ncols)?;
+            if let Value::Int(key) = values[col] {
+                self.index_insert(proc, idx, key, at)?;
+            }
+            at = proc.read_u64(at + ROW_NEXT)?;
+        }
+        Ok(())
+    }
+
+    /// The indexed column of a table, if an index exists.
+    pub fn index_column(&self, proc: &Process, table: &TableHandle) -> SqlResult<Option<usize>> {
+        let idx = proc.read_u64(table.addr + TBL_INDEX)?;
+        if idx == 0 {
+            return Ok(None);
+        }
+        Ok(Some(proc.read_u32(idx + IDX_COL as u64)? as usize))
+    }
+
+    fn index_bucket(&self, proc: &Process, idx: u64, key: i64) -> SqlResult<u64> {
+        let buckets = u64::from(proc.read_u32(idx + IDX_BUCKETS)?);
+        // Fibonacci hashing spreads sequential ids well.
+        let h = (key as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        Ok(idx + IDX_ARRAY + (h & (buckets - 1)) * 8)
+    }
+
+    fn index_insert(&self, proc: &Process, idx: u64, key: i64, row: u64) -> SqlResult<()> {
+        let bucket = self.index_bucket(proc, idx, key)?;
+        let head = proc.read_u64(bucket)?;
+        let entry = self.heap.alloc(proc, IE_SIZE)?;
+        proc.write_u64(entry + IE_NEXT, head)?;
+        proc.write_u64(entry + IE_KEY, key as u64)?;
+        proc.write_u64(entry + IE_ROW, row)?;
+        proc.write_u64(bucket, entry)?;
+        Ok(())
+    }
+
+    fn index_remove(&self, proc: &Process, idx: u64, key: i64, row: u64) -> SqlResult<()> {
+        let bucket = self.index_bucket(proc, idx, key)?;
+        let mut prev: Option<u64> = None;
+        let mut at = proc.read_u64(bucket)?;
+        while at != 0 {
+            let next = proc.read_u64(at + IE_NEXT)?;
+            if proc.read_u64(at + IE_KEY)? as i64 == key && proc.read_u64(at + IE_ROW)? == row
+            {
+                match prev {
+                    Some(p) => proc.write_u64(p + IE_NEXT, next)?,
+                    None => proc.write_u64(bucket, next)?,
+                }
+                self.heap.free(proc, at)?;
+                return Ok(());
+            }
+            prev = Some(at);
+            at = next;
+        }
+        debug_assert!(false, "index entry missing for key {key}");
+        Ok(())
+    }
+
+    /// Row addresses whose indexed column equals `key` (point lookup).
+    pub fn index_lookup(
+        &self,
+        proc: &Process,
+        table: &TableHandle,
+        key: i64,
+    ) -> SqlResult<Vec<u64>> {
+        INDEX_LOOKUPS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let idx = proc.read_u64(table.addr + TBL_INDEX)?;
+        debug_assert_ne!(idx, 0, "index_lookup without an index");
+        let bucket = self.index_bucket(proc, idx, key)?;
+        let mut rows = Vec::new();
+        let mut at = proc.read_u64(bucket)?;
+        while at != 0 {
+            if proc.read_u64(at + IE_KEY)? as i64 == key {
+                rows.push(proc.read_u64(at + IE_ROW)?);
+            }
+            at = proc.read_u64(at + IE_NEXT)?;
+        }
+        Ok(rows)
+    }
+
+    /// Decodes the row stored at `addr` (for index-driven reads).
+    pub fn read_row_at(
+        &self,
+        proc: &Process,
+        table: &TableHandle,
+        addr: u64,
+    ) -> SqlResult<Vec<Value>> {
+        Self::decode_row(proc, addr, table.columns.len())
+    }
+
+    fn encode_row(values: &[Value]) -> Vec<u8> {
+        let mut blob = Vec::new();
+        for v in values {
+            match v {
+                Value::Int(x) => {
+                    blob.push(0);
+                    blob.extend_from_slice(&x.to_le_bytes());
+                }
+                Value::Text(s) => {
+                    blob.push(1);
+                    blob.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    blob.extend_from_slice(s.as_bytes());
+                }
+            }
+        }
+        blob
+    }
+
+    fn decode_row(proc: &Process, addr: u64, ncols: usize) -> SqlResult<Vec<Value>> {
+        let mut values = Vec::with_capacity(ncols);
+        let mut cursor = addr + ROW_DATA;
+        for _ in 0..ncols {
+            match proc.read_vec(cursor, 1)?[0] {
+                0 => {
+                    let raw = proc.read_u64(cursor + 1)?;
+                    values.push(Value::Int(raw as i64));
+                    cursor += 9;
+                }
+                _ => {
+                    let len = proc.read_u32(cursor + 1)? as usize;
+                    let bytes = proc.read_vec(cursor + 5, len)?;
+                    values.push(Value::Text(String::from_utf8_lossy(&bytes).into_owned()));
+                    cursor += 5 + len as u64;
+                }
+            }
+        }
+        Ok(values)
+    }
+
+    /// Inserts a row (typechecked against the schema).
+    pub fn insert_row(
+        &self,
+        proc: &Process,
+        table: &TableHandle,
+        values: &[Value],
+    ) -> SqlResult<()> {
+        if values.len() != table.columns.len() {
+            return Err(SqlError::ArityMismatch);
+        }
+        for (v, c) in values.iter().zip(&table.columns) {
+            if v.column_type() != c.ty {
+                return Err(SqlError::TypeMismatch);
+            }
+        }
+        let blob = Self::encode_row(values);
+        let row = self.heap.alloc(proc, ROW_DATA + blob.len() as u64)?;
+        let head = proc.read_u64(table.addr + TBL_ROWS)?;
+        proc.write_u64(row + ROW_NEXT, head)?;
+        proc.write(row + ROW_DATA, &blob)?;
+        proc.write_u64(table.addr + TBL_ROWS, row)?;
+        let count = proc.read_u64(table.addr + TBL_COUNT)?;
+        proc.write_u64(table.addr + TBL_COUNT, count + 1)?;
+        let idx = proc.read_u64(table.addr + TBL_INDEX)?;
+        if idx != 0 {
+            let col = proc.read_u32(idx + IDX_COL as u64)? as usize;
+            if let Value::Int(key) = values[col] {
+                self.index_insert(proc, idx, key, row)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self, proc: &Process, table: &TableHandle) -> SqlResult<u64> {
+        Ok(proc.read_u64(table.addr + TBL_COUNT)?)
+    }
+
+    /// Scans all rows, letting `f` keep, delete, or update each; handles
+    /// the link surgery and row-count bookkeeping.
+    pub fn for_each_row(
+        &self,
+        proc: &Process,
+        table: &TableHandle,
+        mut f: impl FnMut(&[Value]) -> SqlResult<RowAction>,
+    ) -> SqlResult<()> {
+        let ncols = table.columns.len();
+        let idx = proc.read_u64(table.addr + TBL_INDEX)?;
+        let idx_col = if idx != 0 {
+            Some(proc.read_u32(idx + IDX_COL as u64)? as usize)
+        } else {
+            None
+        };
+        let key_of = |values: &[Value]| -> Option<i64> {
+            idx_col.and_then(|c| match values[c] {
+                Value::Int(k) => Some(k),
+                _ => None,
+            })
+        };
+        let mut prev: Option<u64> = None;
+        let mut at = proc.read_u64(table.addr + TBL_ROWS)?;
+        while at != 0 {
+            let next = proc.read_u64(at + ROW_NEXT)?;
+            let values = Self::decode_row(proc, at, ncols)?;
+            match f(&values)? {
+                RowAction::Keep => {
+                    prev = Some(at);
+                }
+                RowAction::Delete => {
+                    match prev {
+                        Some(p) => proc.write_u64(p + ROW_NEXT, next)?,
+                        None => proc.write_u64(table.addr + TBL_ROWS, next)?,
+                    }
+                    if let Some(key) = key_of(&values) {
+                        self.index_remove(proc, idx, key, at)?;
+                    }
+                    self.heap.free(proc, at)?;
+                    let count = proc.read_u64(table.addr + TBL_COUNT)?;
+                    proc.write_u64(table.addr + TBL_COUNT, count - 1)?;
+                    // prev stays.
+                }
+                RowAction::Update(new_values) => {
+                    if new_values.len() != ncols {
+                        return Err(SqlError::ArityMismatch);
+                    }
+                    for (v, c) in new_values.iter().zip(&table.columns) {
+                        if v.column_type() != c.ty {
+                            return Err(SqlError::TypeMismatch);
+                        }
+                    }
+                    let blob = Self::encode_row(&new_values);
+                    let capacity = self.heap.size_of(proc, at)? - ROW_DATA;
+                    let old_key = key_of(&values);
+                    let new_key = key_of(&new_values);
+                    if (blob.len() as u64) <= capacity {
+                        proc.write(at + ROW_DATA, &blob)?;
+                        if old_key != new_key {
+                            if let Some(k) = old_key {
+                                self.index_remove(proc, idx, k, at)?;
+                            }
+                            if let Some(k) = new_key {
+                                self.index_insert(proc, idx, k, at)?;
+                            }
+                        }
+                        prev = Some(at);
+                    } else {
+                        // Relocate to a larger block.
+                        let row = self.heap.alloc(proc, ROW_DATA + blob.len() as u64)?;
+                        proc.write_u64(row + ROW_NEXT, next)?;
+                        proc.write(row + ROW_DATA, &blob)?;
+                        match prev {
+                            Some(p) => proc.write_u64(p + ROW_NEXT, row)?,
+                            None => proc.write_u64(table.addr + TBL_ROWS, row)?,
+                        }
+                        if let Some(k) = old_key {
+                            self.index_remove(proc, idx, k, at)?;
+                        }
+                        if let Some(k) = new_key {
+                            self.index_insert(proc, idx, k, row)?;
+                        }
+                        self.heap.free(proc, at)?;
+                        prev = Some(row);
+                    }
+                }
+            }
+            at = next;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odf_core::Kernel;
+
+    fn setup() -> (std::sync::Arc<Kernel>, Process, Catalog) {
+        let k = Kernel::new(128 << 20);
+        let p = k.spawn().unwrap();
+        let c = Catalog::create(&p, 32 << 20).unwrap();
+        (k, p, c)
+    }
+
+    fn cols() -> Vec<ColumnDef> {
+        vec![
+            ColumnDef {
+                name: "id".into(),
+                ty: ColumnType::Int,
+            },
+            ColumnDef {
+                name: "name".into(),
+                ty: ColumnType::Text,
+            },
+        ]
+    }
+
+    #[test]
+    fn create_and_find_tables() {
+        let (_k, p, c) = setup();
+        c.create_table(&p, "users", &cols()).unwrap();
+        c.create_table(&p, "orders", &cols()).unwrap();
+        let t = c.find_table(&p, "users").unwrap().unwrap();
+        assert_eq!(t.columns, cols());
+        assert!(c.find_table(&p, "missing").unwrap().is_none());
+        let mut names = c.table_names(&p).unwrap();
+        names.sort();
+        assert_eq!(names, vec!["orders", "users"]);
+        assert!(matches!(
+            c.create_table(&p, "users", &cols()),
+            Err(SqlError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn rows_round_trip() {
+        let (_k, p, c) = setup();
+        c.create_table(&p, "t", &cols()).unwrap();
+        let t = c.find_table(&p, "t").unwrap().unwrap();
+        for i in 0..50 {
+            c.insert_row(&p, &t, &[Value::Int(i), Value::Text(format!("row{i}"))])
+                .unwrap();
+        }
+        assert_eq!(c.row_count(&p, &t).unwrap(), 50);
+        let mut seen = Vec::new();
+        c.for_each_row(&p, &t, |vals| {
+            seen.push(vals.to_vec());
+            Ok(RowAction::Keep)
+        })
+        .unwrap();
+        assert_eq!(seen.len(), 50);
+        // Newest first.
+        assert_eq!(seen[0], vec![Value::Int(49), Value::Text("row49".into())]);
+    }
+
+    #[test]
+    fn typechecking_rejects_bad_rows() {
+        let (_k, p, c) = setup();
+        c.create_table(&p, "t", &cols()).unwrap();
+        let t = c.find_table(&p, "t").unwrap().unwrap();
+        assert_eq!(
+            c.insert_row(&p, &t, &[Value::Int(1)]),
+            Err(SqlError::ArityMismatch)
+        );
+        assert_eq!(
+            c.insert_row(&p, &t, &[Value::Text("x".into()), Value::Text("y".into())]),
+            Err(SqlError::TypeMismatch)
+        );
+    }
+
+    #[test]
+    fn delete_unlinks_and_preserves_others() {
+        let (_k, p, c) = setup();
+        c.create_table(&p, "t", &cols()).unwrap();
+        let t = c.find_table(&p, "t").unwrap().unwrap();
+        for i in 0..10 {
+            c.insert_row(&p, &t, &[Value::Int(i), Value::Text("x".into())])
+                .unwrap();
+        }
+        c.for_each_row(&p, &t, |vals| {
+            Ok(match vals[0] {
+                Value::Int(i) if i % 2 == 0 => RowAction::Delete,
+                _ => RowAction::Keep,
+            })
+        })
+        .unwrap();
+        assert_eq!(c.row_count(&p, &t).unwrap(), 5);
+        let mut remaining = Vec::new();
+        c.for_each_row(&p, &t, |vals| {
+            if let Value::Int(i) = vals[0] {
+                remaining.push(i);
+            }
+            Ok(RowAction::Keep)
+        })
+        .unwrap();
+        remaining.sort();
+        assert_eq!(remaining, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn update_in_place_and_with_relocation() {
+        let (_k, p, c) = setup();
+        c.create_table(&p, "t", &cols()).unwrap();
+        let t = c.find_table(&p, "t").unwrap().unwrap();
+        c.insert_row(&p, &t, &[Value::Int(1), Value::Text("short".into())])
+            .unwrap();
+        // In-place (same size class).
+        c.for_each_row(&p, &t, |_| {
+            Ok(RowAction::Update(vec![
+                Value::Int(2),
+                Value::Text("tiny".into()),
+            ]))
+        })
+        .unwrap();
+        // Relocating (much larger).
+        let big = "x".repeat(500);
+        c.for_each_row(&p, &t, |_| {
+            Ok(RowAction::Update(vec![
+                Value::Int(3),
+                Value::Text(big.clone()),
+            ]))
+        })
+        .unwrap();
+        let mut rows = Vec::new();
+        c.for_each_row(&p, &t, |vals| {
+            rows.push(vals.to_vec());
+            Ok(RowAction::Keep)
+        })
+        .unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(3), Value::Text(big)]]);
+        assert_eq!(c.row_count(&p, &t).unwrap(), 1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property tests for the SQL engine: parser robustness and a model-based
+//! executor check against an in-host-memory table.
+
+use odf_core::Kernel;
+use odf_sqldb::{parse, tokenize, Database, QueryResult, Value};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The lexer and parser never panic on arbitrary input — the property
+    /// the fuzzing campaign (Figure 9) leans on.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = tokenize(&input);
+        let _ = parse(&input);
+    }
+
+    /// Tokenizing is stable: valid statements re-tokenize identically.
+    #[test]
+    fn tokenize_is_deterministic(input in "[ -~]{0,120}") {
+        let a = tokenize(&input);
+        let b = tokenize(&input);
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}
+
+/// A model row for the executor property test.
+type Row = (i64, String);
+
+fn insert_sql(row: &Row) -> String {
+    // Escape quotes for the SQL literal.
+    format!(
+        "INSERT INTO t VALUES ({}, '{}')",
+        row.0,
+        row.1.replace('\'', "''")
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// SELECT/DELETE/COUNT agree with an in-host-memory model table.
+    #[test]
+    fn executor_matches_model(
+        rows in proptest::collection::vec((any::<i64>(), "[a-z]{0,8}"), 0..40),
+        threshold in any::<i64>(),
+    ) {
+        let kernel = Kernel::new(64 << 20);
+        let proc = kernel.spawn().unwrap();
+        let db = Database::create(&proc, 16 << 20).unwrap();
+        db.execute(&proc, "CREATE TABLE t (a INT, s TEXT)").unwrap();
+        for row in &rows {
+            db.execute(&proc, &insert_sql(row)).unwrap();
+        }
+
+        // COUNT(*) with a threshold filter.
+        let expected = rows.iter().filter(|(a, _)| *a >= threshold).count() as i64;
+        let got = db
+            .execute(&proc, &format!("SELECT COUNT(*) FROM t WHERE a >= {threshold}"))
+            .unwrap();
+        prop_assert_eq!(got, QueryResult::Rows(vec![vec![Value::Int(expected)]]));
+
+        // ORDER BY returns the model's sorted column.
+        let QueryResult::Rows(sorted) = db
+            .execute(&proc, "SELECT a FROM t ORDER BY a")
+            .unwrap()
+        else {
+            panic!();
+        };
+        let mut model: Vec<i64> = rows.iter().map(|(a, _)| *a).collect();
+        model.sort();
+        let got: Vec<i64> = sorted
+            .iter()
+            .map(|r| match r[0] {
+                Value::Int(v) => v,
+                _ => panic!("int column"),
+            })
+            .collect();
+        prop_assert_eq!(got, model);
+
+        // DELETE removes exactly the filtered rows.
+        let deleted = db
+            .execute(&proc, &format!("DELETE FROM t WHERE a < {threshold}"))
+            .unwrap();
+        let expected_deleted = rows.iter().filter(|(a, _)| *a < threshold).count() as u64;
+        prop_assert_eq!(deleted, QueryResult::Deleted(expected_deleted));
+        prop_assert_eq!(
+            db.row_count(&proc, "t").unwrap(),
+            rows.len() as u64 - expected_deleted
+        );
+    }
+
+    /// An indexed table answers point queries identically to a scan.
+    #[test]
+    fn index_agrees_with_scan(
+        keys in proptest::collection::vec(0i64..50, 1..60),
+        probe in 0i64..50,
+    ) {
+        let kernel = Kernel::new(64 << 20);
+        let proc = kernel.spawn().unwrap();
+        let db = Database::create(&proc, 16 << 20).unwrap();
+        db.execute(&proc, "CREATE TABLE t (a INT, b INT)").unwrap();
+        for (i, k) in keys.iter().enumerate() {
+            db.execute(&proc, &format!("INSERT INTO t VALUES ({k}, {i})")).unwrap();
+        }
+        // Scan result first (no index yet).
+        let scan = db
+            .execute(&proc, &format!("SELECT b FROM t WHERE a = {probe} ORDER BY b"))
+            .unwrap();
+        db.execute(&proc, "CREATE INDEX ON t (a)").unwrap();
+        let indexed = db
+            .execute(&proc, &format!("SELECT b FROM t WHERE a = {probe} ORDER BY b"))
+            .unwrap();
+        prop_assert_eq!(scan, indexed);
+    }
+
+    /// String values with embedded quotes survive the round trip.
+    #[test]
+    fn quoted_strings_round_trip(text in "[a-z']{0,20}") {
+        let kernel = Kernel::new(64 << 20);
+        let proc = kernel.spawn().unwrap();
+        let db = Database::create(&proc, 8 << 20).unwrap();
+        db.execute(&proc, "CREATE TABLE t (s TEXT)").unwrap();
+        db.execute(
+            &proc,
+            &format!("INSERT INTO t VALUES ('{}')", text.replace('\'', "''")),
+        )
+        .unwrap();
+        let QueryResult::Rows(rows) = db.execute(&proc, "SELECT s FROM t").unwrap() else {
+            panic!();
+        };
+        prop_assert_eq!(&rows[0][0], &Value::Text(text));
+    }
+}

@@ -1,0 +1,146 @@
+//! The memory access front end (the "MMU" the simulated applications use).
+//!
+//! Reads and writes go through [`Mm::read`] / [`Mm::write`]: each page-sized
+//! piece is translated under the shared `mm` lock (setting accessed/dirty
+//! bits like the hardware walker); a failed translation drops the lock,
+//! runs the page fault handler under the exclusive lock, and retries —
+//! mirroring the fault/retry loop of a real CPU access.
+
+use odf_pagetable::VirtAddr;
+use odf_pmem::PAGE_SIZE;
+
+use crate::error::{Result, VmError};
+use crate::fault;
+use crate::mm::Mm;
+use crate::walk;
+
+/// Retry bound for the translate/fault loop. A handful of iterations
+/// absorbs benign races (e.g. a concurrent table COW); exceeding it means
+/// the handler claims success without establishing the translation, which
+/// is a subsystem bug.
+const MAX_FAULT_RETRIES: usize = 32;
+
+impl Mm {
+    /// Reads `out.len()` bytes from the address space at `addr`.
+    pub fn read(&self, addr: u64, out: &mut [u8]) -> Result<()> {
+        self.access(addr, out.len(), |frame, off, range, pool| {
+            pool.read_frame(frame, off, &mut out[range]);
+        })
+    }
+
+    /// Writes `data` into the address space at `addr`.
+    pub fn write(&self, addr: u64, data: &[u8]) -> Result<()> {
+        self.access_write(addr, data.len(), |frame, off, range, pool| {
+            pool.write_frame(frame, off, &data[range]);
+        })
+    }
+
+    /// Fills `len` bytes at `addr` with `byte`.
+    pub fn fill(&self, addr: u64, len: usize, byte: u8) -> Result<()> {
+        let chunk = [byte; PAGE_SIZE];
+        self.access_write(addr, len, |frame, off, range, pool| {
+            pool.write_frame(frame, off, &chunk[..range.len()]);
+        })
+    }
+
+    /// Reads `len` bytes into a fresh vector.
+    pub fn read_vec(&self, addr: u64, len: usize) -> Result<Vec<u8>> {
+        let mut v = vec![0u8; len];
+        self.read(addr, &mut v)?;
+        Ok(v)
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn read_u64(&self, addr: u64) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.read(addr, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u64`.
+    pub fn write_u64(&self, addr: u64, value: u64) -> Result<()> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn read_u32(&self, addr: u64) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Writes a little-endian `u32`.
+    pub fn write_u32(&self, addr: u64, value: u32) -> Result<()> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    fn access(
+        &self,
+        addr: u64,
+        len: usize,
+        mut op: impl FnMut(odf_pmem::FrameId, usize, std::ops::Range<usize>, &odf_pmem::FramePool),
+    ) -> Result<()> {
+        self.access_inner(addr, len, false, &mut op)
+    }
+
+    fn access_write(
+        &self,
+        addr: u64,
+        len: usize,
+        mut op: impl FnMut(odf_pmem::FrameId, usize, std::ops::Range<usize>, &odf_pmem::FramePool),
+    ) -> Result<()> {
+        self.access_inner(addr, len, true, &mut op)
+    }
+
+    fn access_inner(
+        &self,
+        addr: u64,
+        len: usize,
+        write: bool,
+        op: &mut dyn FnMut(
+            odf_pmem::FrameId,
+            usize,
+            std::ops::Range<usize>,
+            &odf_pmem::FramePool,
+        ),
+    ) -> Result<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        if addr.checked_add(len as u64).is_none_or(|e| e > VirtAddr::LIMIT) {
+            return Err(VmError::Fault { addr, write });
+        }
+        let machine = self.machine().clone();
+        let mut done = 0usize;
+        while done < len {
+            let va = VirtAddr::new(addr + done as u64);
+            let page_off = va.page_offset();
+            let piece = (PAGE_SIZE - page_off).min(len - done);
+            let mut retries = 0;
+            loop {
+                let translated = {
+                    let inner = self.inner.read();
+                    walk::translate(&machine, inner.pgd, va, write)
+                };
+                match translated {
+                    Some(t) => {
+                        debug_assert!(t.writable || !write, "walker permitted a write without effective write permission");
+                        op(t.frame, page_off, done..done + piece, machine.pool());
+                        break;
+                    }
+                    None => {
+                        retries += 1;
+                        assert!(
+                            retries <= MAX_FAULT_RETRIES,
+                            "fault handler failed to establish translation at {va}"
+                        );
+                        let mut inner = self.inner.write();
+                        fault::handle(&machine, &mut inner, va, write)?;
+                    }
+                }
+            }
+            done += piece;
+        }
+        Ok(())
+    }
+}

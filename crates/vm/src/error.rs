@@ -1,0 +1,82 @@
+//! Errors of the virtual memory subsystem.
+//!
+//! Variants mirror the errno values the corresponding Linux system calls
+//! return, so the application substrates can treat the simulated kernel
+//! like the real one.
+
+use odf_pmem::PmemError;
+
+/// Errors returned by address-space operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VmError {
+    /// Out of physical memory (`ENOMEM`).
+    NoMemory,
+    /// Access to an unmapped address or a permission violation (`EFAULT` /
+    /// `SIGSEGV`).
+    Fault {
+        /// The faulting virtual address.
+        addr: u64,
+        /// Whether the access was a write.
+        write: bool,
+    },
+    /// Invalid argument: misaligned address, zero length, or a range that
+    /// violates a mapping constraint (`EINVAL`).
+    InvalidArgument,
+    /// The requested fixed mapping overlaps an existing one (`EEXIST`).
+    Overlap,
+    /// The virtual address space is exhausted.
+    NoVirtualSpace,
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::NoMemory => write!(f, "out of physical memory"),
+            VmError::Fault { addr, write } => write!(
+                f,
+                "segmentation fault: {} access to {addr:#x}",
+                if *write { "write" } else { "read" }
+            ),
+            VmError::InvalidArgument => write!(f, "invalid argument"),
+            VmError::Overlap => write!(f, "mapping overlaps an existing region"),
+            VmError::NoVirtualSpace => write!(f, "virtual address space exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<PmemError> for VmError {
+    fn from(e: PmemError) -> Self {
+        match e {
+            PmemError::OutOfFrames { .. } => VmError::NoMemory,
+            PmemError::BadFrame => VmError::InvalidArgument,
+        }
+    }
+}
+
+/// Result alias for virtual memory operations.
+pub type Result<T> = std::result::Result<T, VmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmem_errors_map_to_enomem() {
+        assert_eq!(
+            VmError::from(PmemError::OutOfFrames { order: 0 }),
+            VmError::NoMemory
+        );
+    }
+
+    #[test]
+    fn fault_display_names_the_address() {
+        let e = VmError::Fault {
+            addr: 0x1000,
+            write: true,
+        };
+        assert!(e.to_string().contains("0x1000"));
+        assert!(e.to_string().contains("write"));
+    }
+}

@@ -1,0 +1,427 @@
+//! The page fault handler.
+//!
+//! This module implements §3.4 of the paper. Beyond the classic duties of a
+//! fault handler (demand paging, data-page copy-on-write, huge-page COW),
+//! it performs the operation On-demand-fork adds: **copy-on-write of a
+//! shared last-level page table**. When a write (or any structural change)
+//! targets a 2 MiB range whose PTE table is shared — detected by reading
+//! the table frame's reference counter — the handler:
+//!
+//! 1. allocates a dedicated PTE table for the faulting process,
+//! 2. copies all 512 entries (preserving accessed bits, §3.2),
+//! 3. performs the refcounting work classic fork would have done at fork
+//!    time: one `compound_head` + `page_ref_inc` per present entry,
+//! 4. write-protects the copied entries (restoring the COW invariant
+//!    "writable PTE ⇒ exclusively owned page"),
+//! 5. decrements the shared table's counter and re-points the PMD entry,
+//!    with its writable bit restored.
+//!
+//! This is why the worst-case On-demand-fork fault costs ~5x a classic COW
+//! fault (Table 1) — and why it can happen only once per process per 2 MiB
+//! range.
+
+use std::sync::Arc;
+
+use odf_pagetable::{Entry, EntryFlags, Level, Table, VirtAddr, ENTRIES_PER_TABLE};
+use odf_pmem::{FrameId, PageKind, PAGE_SIZE};
+
+use crate::error::{Result, VmError};
+use crate::machine::Machine;
+use crate::mm::MmInner;
+use crate::stats::VmStats;
+use crate::vma::{Backing, Vma};
+use crate::walk::{self, PmdSlot};
+
+/// Handles a fault at `va` for the given access kind.
+pub(crate) fn handle(
+    machine: &Machine,
+    inner: &mut MmInner,
+    va: VirtAddr,
+    write: bool,
+) -> Result<()> {
+    let vma = inner
+        .vmas
+        .find(va.as_u64())
+        .ok_or(VmError::Fault {
+            addr: va.as_u64(),
+            write,
+        })?
+        .clone();
+    if !vma.prot.allows(write) {
+        return Err(VmError::Fault {
+            addr: va.as_u64(),
+            write,
+        });
+    }
+    VmStats::bump(&machine.stats().faults);
+
+    let pmd = walk::pmd_slot_create(machine, inner.pgd, va)?;
+    // Huge-page extension (§4): the PMD table itself may be shared. A
+    // read of a present entry proceeds through it (accessed bits only);
+    // anything else needs a dedicated copy first.
+    let need_pmd_modify = write || !pmd.load().is_present();
+    let pmd = ensure_pmd_ownership(machine, pmd, need_pmd_modify)?;
+    let e = pmd.load();
+
+    if !e.is_present() && vma.huge {
+        return fault_in_huge(machine, inner, &vma, &pmd, write);
+    }
+    if e.is_present() && e.is_huge() {
+        return huge_cow(machine, &vma, &pmd, e, write);
+    }
+
+    // 4 KiB path. Resolve (or create) the PTE table, without touching
+    // sharing state yet.
+    let idx = va.index(Level::Pte);
+    let (table_frame, mut table) = resolve_table(machine, &pmd, e)?;
+    let mut pte = table.load(idx);
+
+    if machine.pool().pt_share_count(table_frame) > 1 {
+        if write || !pte.is_present() {
+            // Any structural change — a write, or inserting a missing PTE
+            // (populating a shared table would leak the mapping into every
+            // sharer) — requires a dedicated copy first (§3.4).
+            let (new_frame, new_table) = table_cow_for(machine, &table)?;
+            machine.pool().pt_share_dec(table_frame);
+            pmd.store(Entry::table(new_frame));
+            table = new_table;
+            pte = table.load(idx);
+        } else {
+            // Fast path: read of a present PTE through the shared table.
+            // Only the accessed bit is touched, which §3.2 permits.
+            table.fetch_set(idx, EntryFlags::ACCESSED);
+            return Ok(());
+        }
+    } else if write && !pmd.load().is_writable() {
+        // Previously shared, now solely owned (§3.4: "both the previously
+        // shared table and the new table become dedicated"). A former
+        // sharer may have copied this table and still co-reference its
+        // pages, so restore the COW invariant conservatively before
+        // re-enabling the PMD writable bit.
+        table.wrprotect_all();
+        pmd.store(pmd.load().with_set(EntryFlags::WRITABLE));
+        pte = table.load(idx);
+    }
+
+    if !pte.is_present() {
+        // Demand paging.
+        VmStats::bump(&machine.stats().faults_demand);
+        pte = map_new_page(machine, &vma, va)?;
+        table.store(idx, pte);
+        inner.rss += 1;
+    }
+
+    if write && !pte.is_writable() {
+        cow_or_enable_write(machine, &vma, &table, idx, pte)?;
+    }
+    let mut bits = EntryFlags::ACCESSED;
+    if write {
+        bits |= EntryFlags::DIRTY;
+    }
+    table.fetch_set(idx, bits);
+    Ok(())
+}
+
+/// Resolves the PTE table referenced by a PMD entry, allocating and linking
+/// a fresh one if the entry is absent. No sharing decisions are made here.
+fn resolve_table(
+    machine: &Machine,
+    pmd: &PmdSlot,
+    e: Entry,
+) -> Result<(FrameId, Arc<Table>)> {
+    if e.is_present() {
+        let frame = e.frame();
+        Ok((frame, machine.store().get(frame)))
+    } else {
+        let (frame, table) = machine.alloc_table()?;
+        pmd.store(Entry::table(frame));
+        Ok((frame, table))
+    }
+}
+
+/// Copies a shared PTE table for the faulting process: the deferred
+/// fork-time work (entry copies + per-page refcounting) plus
+/// write-protection of the copy. Also used by the unmap/remap paths
+/// (§3.3).
+pub(crate) fn table_cow_for(machine: &Machine, src: &Table) -> Result<(FrameId, Arc<Table>)> {
+    VmStats::bump(&machine.stats().cow_table_copies);
+    let (frame, table) = machine.alloc_table()?;
+    table.copy_from(src);
+    let pool = machine.pool();
+    for i in 0..ENTRIES_PER_TABLE {
+        let pe = table.load(i);
+        if pe.is_present() {
+            let head = pool.compound_head(pe.frame());
+            pool.ref_inc(head);
+        }
+    }
+    table.wrprotect_all();
+    Ok((frame, table))
+}
+
+/// Ensures the PMD table behind `pmd` may be modified, applying the
+/// huge-page extension of §4: a shared PMD table (one whose entries all
+/// describe 2 MiB pages, shared at fork time through the PUD entry) is
+/// copied on the first modifying fault, with the deferred per-huge-page
+/// refcounting performed during the copy — the exact analog of the
+/// last-level table COW one level up.
+fn ensure_pmd_ownership(
+    machine: &Machine,
+    pmd: walk::PmdSlot,
+    need_modify: bool,
+) -> Result<walk::PmdSlot> {
+    let pool = machine.pool();
+    if pool.pt_share_count(pmd.frame) > 1 {
+        if !need_modify {
+            return Ok(pmd);
+        }
+        let (new_frame, new_table) = pmd_table_cow_for(machine, &pmd.table)?;
+        pool.pt_share_dec(pmd.frame);
+        pmd.store_pud(Entry::table(new_frame));
+        return Ok(walk::PmdSlot {
+            pud_table: pmd.pud_table,
+            pud_idx: pmd.pud_idx,
+            table: new_table,
+            frame: new_frame,
+            idx: pmd.idx,
+        });
+    }
+    if need_modify && !pmd.load_pud().is_writable() {
+        // Sole owner again after sharing: restore the COW invariant on the
+        // entries, then re-enable the PUD writable bit.
+        pmd.table.wrprotect_all();
+        pmd.store_pud(pmd.load_pud().with_set(EntryFlags::WRITABLE));
+    }
+    Ok(pmd)
+}
+
+/// Copies a shared PMD table: entry copies plus the deferred refcount
+/// increments on the described huge pages. Shared PMD tables contain only
+/// huge entries by construction (only all-huge tables are ever shared).
+pub(crate) fn pmd_table_cow_for(
+    machine: &Machine,
+    src: &Table,
+) -> Result<(FrameId, Arc<Table>)> {
+    VmStats::bump(&machine.stats().cow_pmd_table_copies);
+    let (frame, table) = machine.alloc_table()?;
+    table.copy_from(src);
+    let pool = machine.pool();
+    for i in 0..ENTRIES_PER_TABLE {
+        let e = table.load(i);
+        if e.is_present() {
+            debug_assert!(e.is_huge(), "shared PMD tables must be all-huge");
+            let head = pool.compound_head(e.frame());
+            pool.ref_inc(head);
+        }
+    }
+    table.wrprotect_all();
+    Ok((frame, table))
+}
+
+/// Maps a brand-new page for an absent PTE (demand paging).
+fn map_new_page(machine: &Machine, vma: &Vma, va: VirtAddr) -> Result<Entry> {
+    match &vma.backing {
+        Backing::Anonymous => {
+            let frame = machine.alloc_page(PageKind::Anon)?;
+            Ok(Entry::page(frame, vma.prot.write))
+        }
+        Backing::File { file, .. } => {
+            let pgoff = vma
+                .file_pgoff_of(va.as_u64())
+                .expect("file vma has offsets");
+            let frame = file.map_page(machine.pool(), pgoff)?;
+            // File pages always start read-only: the first write faults,
+            // which either marks the page-cache page dirty (shared
+            // mapping, write-through) or COWs it to anonymous memory
+            // (private mapping). This is how the kernel tracks writeback
+            // candidates.
+            Ok(Entry::page(frame, false))
+        }
+    }
+}
+
+/// Grants write access to a present but write-protected PTE: write-through
+/// for shared mappings, COW (or exclusive reuse) for private ones.
+fn cow_or_enable_write(
+    machine: &Machine,
+    vma: &Vma,
+    table: &Table,
+    idx: usize,
+    pte: Entry,
+) -> Result<()> {
+    let pool = machine.pool();
+    if vma.shared {
+        // Shared mapping: the page itself is the shared store. Mark the
+        // page-cache page dirty so writeback picks it up.
+        if let Backing::File { file, .. } = &vma.backing {
+            file.mark_dirty(pool, pte.frame());
+        }
+        table.store(idx, pte.with_set(EntryFlags::WRITABLE));
+        return Ok(());
+    }
+    let head = pool.compound_head(pte.frame());
+    let exclusive_anon =
+        pool.page(head).kind() == PageKind::Anon && pool.ref_count(head) == 1;
+    if exclusive_anon {
+        // Sole owner: reuse in place.
+        VmStats::bump(&machine.stats().cow_reuses);
+        table.store(idx, pte.with_set(EntryFlags::WRITABLE));
+        return Ok(());
+    }
+    // Copy-on-write to a fresh anonymous page.
+    VmStats::bump(&machine.stats().cow_data_copies);
+    let new = machine.alloc_page(PageKind::Anon)?;
+    pool.copy_block(pte.frame(), new, 0);
+    pool.ref_dec(head);
+    table.store(idx, Entry::page(new, true).with_set(EntryFlags::ACCESSED));
+    Ok(())
+}
+
+/// First touch of a huge-mapped 2 MiB range: allocate and map a compound
+/// page.
+fn fault_in_huge(
+    machine: &Machine,
+    inner: &mut MmInner,
+    vma: &Vma,
+    pmd: &PmdSlot,
+    write: bool,
+) -> Result<()> {
+    VmStats::bump(&machine.stats().faults_demand);
+    let frame = machine.alloc_huge(PageKind::Anon)?;
+    let mut entry = Entry::huge_page(frame, vma.prot.write).with_set(EntryFlags::ACCESSED);
+    if write {
+        entry = entry.with_set(EntryFlags::DIRTY);
+    }
+    pmd.store(entry);
+    inner.rss += ENTRIES_PER_TABLE as u64;
+    Ok(())
+}
+
+/// Write access to a write-protected huge mapping: reuse or copy the whole
+/// 2 MiB page.
+fn huge_cow(
+    machine: &Machine,
+    vma: &Vma,
+    pmd: &PmdSlot,
+    e: Entry,
+    write: bool,
+) -> Result<()> {
+    let mut bits = EntryFlags::ACCESSED;
+    if write && !e.is_writable() {
+        if !vma.shared {
+            // The kernel takes the PMD split lock here (to fence THP
+            // operations); modeled by the machine's lock stripes. This is
+            // one of the costs On-demand-fork avoids (§5.2.2).
+            let _guard = machine.pmd_lock(pmd.frame);
+            let pool = machine.pool();
+            let head = pool.compound_head(e.frame());
+            if pool.ref_count(head) == 1 {
+                VmStats::bump(&machine.stats().cow_reuses);
+                pmd.store(e.with_set(EntryFlags::WRITABLE));
+            } else {
+                VmStats::bump(&machine.stats().cow_huge_copies);
+                let new = machine.alloc_huge(PageKind::Anon)?;
+                pool.copy_block(head, new, odf_pmem::HUGE_ORDER);
+                pool.ref_dec(head);
+                pmd.store(Entry::huge_page(new, true).with_set(EntryFlags::ACCESSED));
+            }
+        } else {
+            pmd.store(e.with_set(EntryFlags::WRITABLE));
+        }
+    }
+    if write {
+        bits |= EntryFlags::DIRTY;
+    }
+    pmd.table.fetch_set(pmd.idx, bits);
+    Ok(())
+}
+
+/// Pre-faults a range: the `MAP_POPULATE` / benchmark-fill path.
+///
+/// Equivalent to touching every page (`write` selects the access kind) but
+/// batched per 2 MiB chunk so upper-level walks are amortized, exactly as a
+/// sequential fill would behave.
+pub(crate) fn populate(
+    machine: &Machine,
+    inner: &mut MmInner,
+    addr: u64,
+    len: u64,
+    write: bool,
+) -> Result<()> {
+    if len == 0 {
+        return Ok(());
+    }
+    let start = VirtAddr::new(addr).page_align_down();
+    let end = VirtAddr::new(addr + len - 1).add(1).page_align_up();
+    let mut chunk = start;
+    while chunk < end {
+        let chunk_end = chunk
+            .pte_table_align_down()
+            .add(crate::PTE_TABLE_SPAN)
+            .min(end);
+        let vma = match inner.vmas.find(chunk.as_u64()) {
+            Some(v) => v.clone(),
+            None => {
+                return Err(VmError::Fault {
+                    addr: chunk.as_u64(),
+                    write,
+                })
+            }
+        };
+        if !vma.prot.allows(write) {
+            return Err(VmError::Fault {
+                addr: chunk.as_u64(),
+                write,
+            });
+        }
+        // Clamp the chunk to this VMA (ranges can span VMAs).
+        let stop = chunk_end.min(VirtAddr::new(vma.end));
+        if vma.huge {
+            // Whole-PMD granularity.
+            let mut at = chunk;
+            while at < stop {
+                let pmd = walk::pmd_slot_create(machine, inner.pgd, at)?;
+                if !pmd.load().is_present() {
+                    let pmd = ensure_pmd_ownership(machine, pmd, true)?;
+                    fault_in_huge(machine, inner, &vma, &pmd, write)?;
+                    VmStats::bump(&machine.stats().pages_populated);
+                }
+                at = at.add(crate::HUGE_PAGE_SIZE as u64);
+            }
+        } else {
+            let pmd = walk::pmd_slot_create(machine, inner.pgd, chunk)?;
+            let pmd = ensure_pmd_ownership(machine, pmd, true)?;
+            let e = pmd.load();
+            // Fast bulk path only for a pristine chunk: a fresh (or
+            // absent) dedicated, writable table. Anything touched by
+            // sharing goes through the real fault handler so the
+            // table-COW rules of §3.4 apply.
+            let fast = !e.is_present()
+                || (e.is_writable() && machine.pool().pt_share_count(e.frame()) == 1);
+            if fast {
+                let (_, table) = resolve_table(machine, &pmd, e)?;
+                let mut at = chunk;
+                while at < stop {
+                    let idx = at.index(Level::Pte);
+                    if !table.load(idx).is_present() {
+                        let entry = map_new_page(machine, &vma, at)?;
+                        table.store(idx, entry.with_set(EntryFlags::ACCESSED));
+                        inner.rss += 1;
+                        VmStats::bump(&machine.stats().pages_populated);
+                    } else if write && !table.load(idx).is_writable() {
+                        handle(machine, inner, at, true)?;
+                    }
+                    at = at.add(PAGE_SIZE as u64);
+                }
+            } else {
+                let mut at = chunk;
+                while at < stop {
+                    handle(machine, inner, at, write)?;
+                    at = at.add(PAGE_SIZE as u64);
+                }
+            }
+        }
+        chunk = stop;
+    }
+    Ok(())
+}

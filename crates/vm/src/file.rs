@@ -1,0 +1,229 @@
+//! File-backed mappings: an in-memory file with a page cache.
+//!
+//! The paper notes (§3.7) that On-demand-fork forwards file-backed regions
+//! to the page cache and filesystem, exactly like Fork. The simulation
+//! models a file as a byte vector ("disk") plus a page cache of frames from
+//! the shared pool. Mappings reference cached frames; private mappings COW
+//! them on write, shared mappings write through and mark them dirty.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use odf_pmem::{FrameId, FramePool, PageFlags, PageKind, PAGE_SIZE};
+use parking_lot::Mutex;
+
+use crate::error::Result;
+
+/// An in-memory file with a page cache.
+pub struct VmFile {
+    disk: Mutex<Vec<u8>>,
+    /// Page cache: file page offset → frame. The cache holds one reference
+    /// on each cached frame.
+    cache: Mutex<HashMap<u64, FrameId>>,
+}
+
+impl VmFile {
+    /// Creates a file with the given contents.
+    pub fn from_bytes(contents: Vec<u8>) -> Self {
+        Self {
+            disk: Mutex::new(contents),
+            cache: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Creates an empty file of the given size.
+    pub fn with_len(len: usize) -> Self {
+        Self::from_bytes(vec![0; len])
+    }
+
+    /// File length in bytes.
+    pub fn len(&self) -> usize {
+        self.disk.lock().len()
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the page-cache frame for a file page, populating the cache
+    /// from "disk" on a miss, and takes one extra reference for the caller
+    /// (the mapping being established).
+    ///
+    /// Reads past EOF observe zeros, as with real mmap of a short file.
+    pub fn map_page(self: &Arc<Self>, pool: &FramePool, pgoff: u64) -> Result<FrameId> {
+        let mut cache = self.cache.lock();
+        let frame = match cache.get(&pgoff) {
+            Some(&f) => f,
+            None => {
+                let f = pool.alloc_page(PageKind::File)?;
+                let disk = self.disk.lock();
+                let start = (pgoff as usize).saturating_mul(PAGE_SIZE);
+                if start < disk.len() {
+                    let end = (start + PAGE_SIZE).min(disk.len());
+                    pool.write_frame(f, 0, &disk[start..end]);
+                }
+                cache.insert(pgoff, f);
+                f
+            }
+        };
+        // One reference for the new mapping, on top of the cache's own.
+        pool.ref_inc(frame);
+        Ok(frame)
+    }
+
+    /// Number of pages currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.cache.lock().len()
+    }
+
+    /// Writes all dirty cached pages back to "disk" and clears their dirty
+    /// marks (the `msync`/writeback analog).
+    ///
+    /// Returns the number of pages written.
+    pub fn writeback(&self, pool: &FramePool) -> usize {
+        let cache = self.cache.lock();
+        let mut disk = self.disk.lock();
+        let mut written = 0;
+        for (&pgoff, &frame) in cache.iter() {
+            let page = pool.page(frame);
+            if page.flags() & PageFlags::DIRTY == 0 {
+                continue;
+            }
+            let start = (pgoff as usize) * PAGE_SIZE;
+            if start < disk.len() {
+                let end = (start + PAGE_SIZE).min(disk.len());
+                let mut buf = vec![0u8; end - start];
+                pool.read_frame(frame, 0, &mut buf);
+                disk[start..end].copy_from_slice(&buf);
+            }
+            page.clear_flags(PageFlags::DIRTY);
+            written += 1;
+        }
+        written
+    }
+
+    /// Drops clean cached pages that no mapping references, returning how
+    /// many frames were freed.
+    ///
+    /// This is the reclaim path the fault handler falls back to under
+    /// memory pressure (the paper's "kernel takes appropriate action to
+    /// free more pages", §4 "Robustness").
+    pub fn drop_clean_pages(&self, pool: &FramePool) -> usize {
+        let mut cache = self.cache.lock();
+        let mut dropped = 0;
+        cache.retain(|_, &mut frame| {
+            let page = pool.page(frame);
+            let only_cache_ref = page.ref_count() == 1;
+            let clean = page.flags() & PageFlags::DIRTY == 0;
+            if only_cache_ref && clean {
+                pool.ref_dec(frame);
+                dropped += 1;
+                false
+            } else {
+                true
+            }
+        });
+        dropped
+    }
+
+    /// Reads bytes directly from the backing "disk" (not through mappings).
+    pub fn read_disk(&self, offset: usize, out: &mut [u8]) {
+        let disk = self.disk.lock();
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = disk.get(offset + i).copied().unwrap_or(0);
+        }
+    }
+
+    /// Marks a cached page dirty; called by the fault handler when a shared
+    /// mapping gains write access to it.
+    pub(crate) fn mark_dirty(&self, pool: &FramePool, frame: FrameId) {
+        pool.page(frame).set_flags(PageFlags::DIRTY);
+    }
+
+    /// Releases the cache's own references (called if the file is dropped
+    /// while a pool still exists; test helper).
+    pub fn drop_cache(&self, pool: &FramePool) {
+        let mut cache = self.cache.lock();
+        for (_, frame) in cache.drain() {
+            pool.ref_dec(frame);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_page_reads_disk_contents() {
+        let pool = FramePool::new(64);
+        let mut data = vec![0u8; 3 * PAGE_SIZE];
+        data[PAGE_SIZE] = 0xAB;
+        let file = Arc::new(VmFile::from_bytes(data));
+        let f = file.map_page(&pool, 1).unwrap();
+        let mut b = [0u8; 1];
+        pool.read_frame(f, 0, &mut b);
+        assert_eq!(b[0], 0xAB);
+        // Cache ref + mapping ref.
+        assert_eq!(pool.ref_count(f), 2);
+    }
+
+    #[test]
+    fn repeated_map_page_hits_the_cache() {
+        let pool = FramePool::new(64);
+        let file = Arc::new(VmFile::with_len(PAGE_SIZE));
+        let a = file.map_page(&pool, 0).unwrap();
+        let b = file.map_page(&pool, 0).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(file.cached_pages(), 1);
+        assert_eq!(pool.ref_count(a), 3);
+    }
+
+    #[test]
+    fn eof_pages_read_zero() {
+        let pool = FramePool::new(64);
+        let file = Arc::new(VmFile::from_bytes(vec![7u8; 100]));
+        let f = file.map_page(&pool, 0).unwrap();
+        let mut buf = [1u8; 8];
+        pool.read_frame(f, 100, &mut buf);
+        assert_eq!(buf, [0u8; 8]);
+        let g = file.map_page(&pool, 5).unwrap();
+        let mut buf = [1u8; 8];
+        pool.read_frame(g, 0, &mut buf);
+        assert_eq!(buf, [0u8; 8]);
+    }
+
+    #[test]
+    fn writeback_persists_dirty_pages_only() {
+        let pool = FramePool::new(64);
+        let file = Arc::new(VmFile::with_len(2 * PAGE_SIZE));
+        let f = file.map_page(&pool, 0).unwrap();
+        pool.write_frame(f, 10, b"dirty");
+        assert_eq!(file.writeback(&pool), 0, "clean page not written");
+        file.mark_dirty(&pool, f);
+        assert_eq!(file.writeback(&pool), 1);
+        let mut buf = [0u8; 5];
+        file.read_disk(10, &mut buf);
+        assert_eq!(&buf, b"dirty");
+        // Dirty mark cleared by writeback.
+        assert_eq!(file.writeback(&pool), 0);
+    }
+
+    #[test]
+    fn drop_clean_pages_respects_references_and_dirt() {
+        let pool = FramePool::new(64);
+        let file = Arc::new(VmFile::with_len(3 * PAGE_SIZE));
+        let a = file.map_page(&pool, 0).unwrap(); // mapped: ref 2
+        let b = file.map_page(&pool, 1).unwrap();
+        pool.ref_dec(b); // unmapped again: only cache ref
+        file.mark_dirty(&pool, b);
+        let c = file.map_page(&pool, 2).unwrap();
+        pool.ref_dec(c); // unmapped, clean
+        assert_eq!(file.drop_clean_pages(&pool), 1);
+        assert_eq!(file.cached_pages(), 2);
+        assert_eq!(pool.page(c).kind(), PageKind::Free);
+        assert_ne!(pool.page(a).kind(), PageKind::Free);
+        assert_ne!(pool.page(b).kind(), PageKind::Free);
+    }
+}

@@ -1,0 +1,57 @@
+//! The simulated virtual memory subsystem — where On-demand-fork lives.
+//!
+//! This crate is the heart of the reproduction. It implements, over the
+//! physical substrate of [`odf_pmem`] and the paging structures of
+//! [`odf_pagetable`]:
+//!
+//! - [`Mm`]: a process address space — VMA tree, page-table tree, and
+//!   accounting — protected by a per-process lock (the `mmap_sem` analog).
+//! - A software MMU ([`Mm::read`] / [`Mm::write`]): translations walk the
+//!   page tables, honor **hierarchical attributes** (the effective write
+//!   permission is the AND of the writable bits along the walk, §3.2 of the
+//!   paper), set the accessed/dirty bits, and raise page faults.
+//! - The page fault handler: demand paging, data-page
+//!   copy-on-write, huge-page COW, and — the paper's contribution —
+//!   **copy-on-write of shared last-level page tables** (§3.4).
+//! - Three fork engines ([`ForkPolicy`]):
+//!   [`ForkPolicy::Classic`] (the traditional `copy_page_range` walk that
+//!   refcounts every mapped page — also used over huge-page mappings for
+//!   Figure 4), [`ForkPolicy::OnDemand`] (share last-level tables, clear
+//!   one writable bit per PMD entry, defer everything else to fault time —
+//!   §3.1), and [`ForkPolicy::OnDemandHuge`] (the §4 huge-page extension:
+//!   share PMD tables describing 2 MiB pages through the PUD entry).
+//! - `munmap` / `mremap` / `mprotect` with the shared-table copy-on-write
+//!   rules of §3.3, and file-backed mappings through an in-memory page
+//!   cache (§3.7).
+//!
+//! The fork engines perform the same per-entry work as the kernel paths
+//! they model (per-PTE `compound_head` + atomic refcount for Classic; one
+//! shared-table refcount increment and one PMD bit per 2 MiB for OnDemand),
+//! so measured wall-clock time reproduces the paper's scaling shapes.
+
+#![forbid(unsafe_code)]
+
+mod access;
+mod error;
+mod fault;
+mod file;
+mod fork;
+mod machine;
+mod mm;
+mod prot;
+mod stats;
+mod unmap;
+mod vma;
+mod walk;
+
+pub use error::{Result, VmError};
+pub use file::VmFile;
+pub use fork::ForkPolicy;
+pub use machine::Machine;
+pub use mm::{Mm, MmReport};
+pub use prot::Prot;
+pub use stats::{VmStats, VmStatsSnapshot};
+pub use vma::{Backing, MapParams, Vma};
+
+pub use odf_pagetable::{VirtAddr, PTE_TABLE_SPAN};
+pub use odf_pmem::{FrameId, HUGE_PAGE_SIZE, PAGE_SIZE};

@@ -1,0 +1,198 @@
+//! The simulated machine: shared physical memory, table store, and stats.
+
+use std::sync::{Arc, Weak};
+
+use odf_pagetable::{PtStore, Table};
+use odf_pmem::{FrameId, FramePool, PageKind};
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::error::Result;
+use crate::file::VmFile;
+use crate::stats::VmStats;
+
+/// Number of PMD lock stripes.
+const PMD_LOCK_STRIPES: usize = 256;
+
+/// The shared state of one simulated machine.
+///
+/// Every process ([`Mm`](crate::Mm)) of the same machine shares the frame
+/// pool, the page-table store (required for cross-process table sharing),
+/// the VM statistics, and the PMD lock stripes that model the kernel's
+/// split page-table locks.
+pub struct Machine {
+    pool: Arc<FramePool>,
+    store: PtStore,
+    stats: VmStats,
+    /// Striped locks standing in for the kernel's per-PMD-table spinlocks.
+    ///
+    /// Classic fork and huge-page faults acquire these when manipulating
+    /// PMD-mapped huge entries (needed in the kernel to fence against THP
+    /// splits); On-demand-fork does not — one of the two reasons the paper
+    /// gives for On-demand-fork beating fork-with-huge-pages (§5.2.2).
+    pmd_locks: Vec<Mutex<()>>,
+    /// Files registered for reclaim under memory pressure.
+    files: Mutex<Vec<Weak<VmFile>>>,
+}
+
+impl Machine {
+    /// Creates a machine with `bytes` of simulated physical memory.
+    pub fn new(bytes: u64) -> Arc<Self> {
+        Self::with_pool(FramePool::with_bytes(bytes))
+    }
+
+    /// Creates a machine over an existing frame pool.
+    pub fn with_pool(pool: Arc<FramePool>) -> Arc<Self> {
+        Arc::new(Self {
+            pool,
+            store: PtStore::new(),
+            stats: VmStats::default(),
+            pmd_locks: (0..PMD_LOCK_STRIPES).map(|_| Mutex::new(())).collect(),
+            files: Mutex::new(Vec::new()),
+        })
+    }
+
+    /// The physical frame pool.
+    pub fn pool(&self) -> &FramePool {
+        &self.pool
+    }
+
+    /// The page-table store.
+    pub fn store(&self) -> &PtStore {
+        &self.store
+    }
+
+    /// Virtual-memory operation counters.
+    pub fn stats(&self) -> &VmStats {
+        &self.stats
+    }
+
+    /// Registers a file so reclaim can drop its clean pages under memory
+    /// pressure.
+    pub fn register_file(&self, file: &Arc<VmFile>) {
+        self.files.lock().push(Arc::downgrade(file));
+    }
+
+    /// Acquires the PMD split lock covering the given PMD table frame.
+    pub(crate) fn pmd_lock(&self, pmd_table_frame: FrameId) -> MutexGuard<'_, ()> {
+        self.pmd_locks[pmd_table_frame.index() & (PMD_LOCK_STRIPES - 1)].lock()
+    }
+
+    /// Allocates a page-table frame and registers an empty table for it.
+    pub(crate) fn alloc_table(&self) -> Result<(FrameId, Arc<Table>)> {
+        let frame = self.retry_after_reclaim(|| self.pool.alloc_page_table())?;
+        let table = Arc::new(Table::new());
+        self.store.insert(frame, Arc::clone(&table));
+        Ok((frame, table))
+    }
+
+    /// Frees a page-table frame and drops its table.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the frame's refcount does not drop to
+    /// zero — table frames are owned exclusively by the paging tree.
+    pub(crate) fn free_table(&self, frame: FrameId) {
+        self.store.remove(frame);
+        let freed = self.pool.ref_dec(frame);
+        debug_assert!(freed, "page-table frame {frame:?} still referenced");
+    }
+
+    /// Allocates a data frame, running reclaim and retrying once on
+    /// exhaustion.
+    pub(crate) fn alloc_page(&self, kind: PageKind) -> Result<FrameId> {
+        self.retry_after_reclaim(|| self.pool.alloc_page(kind))
+    }
+
+    /// Allocates a huge compound frame, with reclaim retry.
+    pub(crate) fn alloc_huge(&self, kind: PageKind) -> Result<FrameId> {
+        self.retry_after_reclaim(|| self.pool.alloc_huge(kind))
+    }
+
+    fn retry_after_reclaim(
+        &self,
+        alloc: impl Fn() -> odf_pmem::Result<FrameId>,
+    ) -> Result<FrameId> {
+        match alloc() {
+            Ok(f) => Ok(f),
+            Err(_) => {
+                self.reclaim();
+                alloc().map_err(Into::into)
+            }
+        }
+    }
+
+    /// Drops clean unreferenced page-cache pages from every registered
+    /// file. Returns the number of frames freed.
+    pub fn reclaim(&self) -> usize {
+        VmStats::bump(&self.stats.reclaim_runs);
+        let mut files = self.files.lock();
+        let mut freed = 0;
+        files.retain(|weak| match weak.upgrade() {
+            Some(file) => {
+                freed += file.drop_clean_pages(&self.pool);
+                true
+            }
+            None => false,
+        });
+        freed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_table_registers_in_store() {
+        let m = Machine::new(1 << 20);
+        let (f, t) = m.alloc_table().unwrap();
+        assert!(Arc::ptr_eq(&m.store().get(f), &t));
+        assert_eq!(m.pool().pt_share_count(f), 1);
+        m.free_table(f);
+        assert!(m.store().is_empty());
+        assert_eq!(m.pool().free_frames(), m.pool().total_frames());
+    }
+
+    #[test]
+    fn reclaim_frees_clean_file_pages() {
+        let m = Machine::new(16 * 4096);
+        let file = Arc::new(VmFile::with_len(8 * 4096));
+        m.register_file(&file);
+        // Fill the cache (one mapping ref each, then release the mapping).
+        for pg in 0..8 {
+            let f = file.map_page(m.pool(), pg).unwrap();
+            m.pool().ref_dec(f);
+        }
+        assert_eq!(file.cached_pages(), 8);
+        let freed = m.reclaim();
+        assert_eq!(freed, 8);
+        assert_eq!(file.cached_pages(), 0);
+    }
+
+    #[test]
+    fn alloc_retries_after_reclaim() {
+        let m = Machine::new(4 * 4096);
+        let file = Arc::new(VmFile::with_len(4 * 4096));
+        m.register_file(&file);
+        // Exhaust the pool with clean cache pages.
+        for pg in 0..4 {
+            let f = file.map_page(m.pool(), pg).unwrap();
+            m.pool().ref_dec(f);
+        }
+        assert_eq!(m.pool().free_frames(), 0);
+        // A fresh allocation succeeds because reclaim kicks in.
+        let f = m.alloc_page(PageKind::Anon).unwrap();
+        assert_eq!(m.pool().page(f).kind(), PageKind::Anon);
+    }
+
+    #[test]
+    fn exhaustion_with_nothing_reclaimable_is_an_error() {
+        let m = Machine::new(2 * 4096);
+        let _a = m.alloc_page(PageKind::Anon).unwrap();
+        let _b = m.alloc_page(PageKind::Anon).unwrap();
+        assert_eq!(
+            m.alloc_page(PageKind::Anon),
+            Err(crate::VmError::NoMemory)
+        );
+    }
+}

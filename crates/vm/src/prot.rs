@@ -1,0 +1,56 @@
+//! Memory protection bits.
+
+/// Protection of a mapped region (the `PROT_*` analog).
+///
+/// Execution permission is not modeled; the simulation has no instruction
+/// fetch path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Prot {
+    /// Reads permitted.
+    pub read: bool,
+    /// Writes permitted.
+    pub write: bool,
+}
+
+impl Prot {
+    /// Read-only protection.
+    pub const READ: Prot = Prot {
+        read: true,
+        write: false,
+    };
+
+    /// Read-write protection.
+    pub const READ_WRITE: Prot = Prot {
+        read: true,
+        write: true,
+    };
+
+    /// No access (`PROT_NONE`).
+    pub const NONE: Prot = Prot {
+        read: false,
+        write: false,
+    };
+
+    /// Whether an access of the given kind is permitted.
+    pub fn allows(self, write: bool) -> bool {
+        if write {
+            self.write
+        } else {
+            self.read
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allows_matches_bits() {
+        assert!(Prot::READ.allows(false));
+        assert!(!Prot::READ.allows(true));
+        assert!(Prot::READ_WRITE.allows(true));
+        assert!(!Prot::NONE.allows(false));
+        assert!(!Prot::NONE.allows(true));
+    }
+}

@@ -1,0 +1,150 @@
+//! Virtual-memory subsystem counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters for the virtual-memory operations the evaluation analyzes.
+///
+/// Together with [`odf_pmem::PoolStats`], these let the bench harness
+/// decompose fork and fault costs the way §2.2 and §5.2.3 of the paper do.
+#[derive(Default)]
+pub struct VmStats {
+    /// Page faults handled (all kinds).
+    pub faults: AtomicU64,
+    /// Faults that populated a not-present page (demand paging).
+    pub faults_demand: AtomicU64,
+    /// Faults that performed a 4 KiB data copy-on-write.
+    pub cow_data_copies: AtomicU64,
+    /// Faults that reused an exclusively owned page (no copy).
+    pub cow_reuses: AtomicU64,
+    /// Faults that performed a 2 MiB huge-page copy-on-write.
+    pub cow_huge_copies: AtomicU64,
+    /// Faults that copied a shared last-level page table (the
+    /// On-demand-fork deferred work, §3.4).
+    pub cow_table_copies: AtomicU64,
+    /// Faults that copied a shared PMD table (the huge-page extension of
+    /// §4 "Huge Page Support").
+    pub cow_pmd_table_copies: AtomicU64,
+    /// Classic fork invocations.
+    pub forks_classic: AtomicU64,
+    /// On-demand-fork invocations.
+    pub forks_odf: AtomicU64,
+    /// PTE entries copied by classic fork.
+    pub fork_pte_copies: AtomicU64,
+    /// Last-level tables shared by On-demand-fork instead of copied.
+    pub fork_tables_shared: AtomicU64,
+    /// PMD tables (describing huge pages) shared by the huge-page
+    /// extension instead of copied entry by entry.
+    pub fork_pmd_tables_shared: AtomicU64,
+    /// Huge (PMD) entries copied at fork.
+    pub fork_huge_copies: AtomicU64,
+    /// TLB shootdowns issued (fork, wrprotect, unmap).
+    pub tlb_flushes: AtomicU64,
+    /// Pages populated by `populate` (the benchmark "fill" step).
+    pub pages_populated: AtomicU64,
+    /// Tables copied due to munmap/mremap/mprotect on a shared table
+    /// (§3.3).
+    pub unmap_table_copies: AtomicU64,
+    /// Reclaim passes triggered by allocation failure.
+    pub reclaim_runs: AtomicU64,
+}
+
+impl VmStats {
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add(counter: &AtomicU64, n: u64) {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Takes a point-in-time copy of all counters.
+    pub fn snapshot(&self) -> VmStatsSnapshot {
+        VmStatsSnapshot {
+            faults: self.faults.load(Ordering::Relaxed),
+            faults_demand: self.faults_demand.load(Ordering::Relaxed),
+            cow_data_copies: self.cow_data_copies.load(Ordering::Relaxed),
+            cow_reuses: self.cow_reuses.load(Ordering::Relaxed),
+            cow_huge_copies: self.cow_huge_copies.load(Ordering::Relaxed),
+            cow_table_copies: self.cow_table_copies.load(Ordering::Relaxed),
+            cow_pmd_table_copies: self.cow_pmd_table_copies.load(Ordering::Relaxed),
+            forks_classic: self.forks_classic.load(Ordering::Relaxed),
+            forks_odf: self.forks_odf.load(Ordering::Relaxed),
+            fork_pte_copies: self.fork_pte_copies.load(Ordering::Relaxed),
+            fork_tables_shared: self.fork_tables_shared.load(Ordering::Relaxed),
+            fork_pmd_tables_shared: self.fork_pmd_tables_shared.load(Ordering::Relaxed),
+            fork_huge_copies: self.fork_huge_copies.load(Ordering::Relaxed),
+            tlb_flushes: self.tlb_flushes.load(Ordering::Relaxed),
+            pages_populated: self.pages_populated.load(Ordering::Relaxed),
+            unmap_table_copies: self.unmap_table_copies.load(Ordering::Relaxed),
+            reclaim_runs: self.reclaim_runs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`VmStats`] supporting phase isolation via
+/// subtraction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct VmStatsSnapshot {
+    pub faults: u64,
+    pub faults_demand: u64,
+    pub cow_data_copies: u64,
+    pub cow_reuses: u64,
+    pub cow_huge_copies: u64,
+    pub cow_table_copies: u64,
+    pub cow_pmd_table_copies: u64,
+    pub forks_classic: u64,
+    pub forks_odf: u64,
+    pub fork_pte_copies: u64,
+    pub fork_tables_shared: u64,
+    pub fork_pmd_tables_shared: u64,
+    pub fork_huge_copies: u64,
+    pub tlb_flushes: u64,
+    pub pages_populated: u64,
+    pub unmap_table_copies: u64,
+    pub reclaim_runs: u64,
+}
+
+impl std::ops::Sub for VmStatsSnapshot {
+    type Output = VmStatsSnapshot;
+
+    fn sub(self, rhs: VmStatsSnapshot) -> VmStatsSnapshot {
+        VmStatsSnapshot {
+            faults: self.faults - rhs.faults,
+            faults_demand: self.faults_demand - rhs.faults_demand,
+            cow_data_copies: self.cow_data_copies - rhs.cow_data_copies,
+            cow_reuses: self.cow_reuses - rhs.cow_reuses,
+            cow_huge_copies: self.cow_huge_copies - rhs.cow_huge_copies,
+            cow_table_copies: self.cow_table_copies - rhs.cow_table_copies,
+            cow_pmd_table_copies: self.cow_pmd_table_copies - rhs.cow_pmd_table_copies,
+            forks_classic: self.forks_classic - rhs.forks_classic,
+            forks_odf: self.forks_odf - rhs.forks_odf,
+            fork_pte_copies: self.fork_pte_copies - rhs.fork_pte_copies,
+            fork_tables_shared: self.fork_tables_shared - rhs.fork_tables_shared,
+            fork_pmd_tables_shared: self.fork_pmd_tables_shared - rhs.fork_pmd_tables_shared,
+            fork_huge_copies: self.fork_huge_copies - rhs.fork_huge_copies,
+            tlb_flushes: self.tlb_flushes - rhs.tlb_flushes,
+            pages_populated: self.pages_populated - rhs.pages_populated,
+            unmap_table_copies: self.unmap_table_copies - rhs.unmap_table_copies,
+            reclaim_runs: self.reclaim_runs - rhs.reclaim_runs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_diff_isolates_phase() {
+        let s = VmStats::default();
+        VmStats::bump(&s.faults);
+        let a = s.snapshot();
+        VmStats::bump(&s.faults);
+        VmStats::add(&s.fork_pte_copies, 512);
+        let d = s.snapshot() - a;
+        assert_eq!(d.faults, 1);
+        assert_eq!(d.fork_pte_copies, 512);
+        assert_eq!(d.cow_data_copies, 0);
+    }
+}

@@ -1,0 +1,508 @@
+//! Unmapping, remapping, and reprotection under shared page tables (§3.3).
+//!
+//! When a memory region is unmapped or moved, the kernel must clear the
+//! corresponding page-table entries. With On-demand-fork two cases arise
+//! for a shared last-level table:
+//!
+//! - the operation removes *everything this process maps* through the
+//!   table: the process drops its share (decrement the counter, clear the
+//!   PMD entry) and the entry values are preserved for the remaining
+//!   sharers;
+//! - other VMAs of this process still map through the table: the table is
+//!   copied first (copy-on-write on the unmap path), and the clearing
+//!   happens in the private copy.
+
+use odf_pagetable::{Entry, EntryFlags, Level, Table, VirtAddr, ENTRIES_PER_TABLE};
+use odf_pmem::PAGE_SIZE;
+
+use crate::error::{Result, VmError};
+use crate::fault;
+use crate::machine::Machine;
+use crate::mm::MmInner;
+use crate::prot::Prot;
+use crate::stats::VmStats;
+use crate::walk::{self, PmdSlot};
+use crate::{HUGE_PAGE_SIZE, PTE_TABLE_SPAN};
+
+/// Validates an `(addr, len)` range argument for the given granularity.
+fn checked_range(addr: u64, len: u64, align: u64) -> Result<(u64, u64)> {
+    if len == 0 || addr % align != 0 {
+        return Err(VmError::InvalidArgument);
+    }
+    let len = len.next_multiple_of(align);
+    let end = addr.checked_add(len).ok_or(VmError::InvalidArgument)?;
+    if end > VirtAddr::LIMIT {
+        return Err(VmError::InvalidArgument);
+    }
+    Ok((addr, end))
+}
+
+/// Granularity required for operations on `[start, end)`: 2 MiB when any
+/// huge VMA is touched, 4 KiB otherwise.
+fn range_align(inner: &MmInner, start: u64, end: u64) -> u64 {
+    if inner
+        .vmas
+        .iter_range(start, end)
+        .any(|v| v.huge)
+    {
+        HUGE_PAGE_SIZE as u64
+    } else {
+        PAGE_SIZE as u64
+    }
+}
+
+/// Implements `munmap`.
+pub(crate) fn munmap(machine: &Machine, inner: &mut MmInner, addr: u64, len: u64) -> Result<()> {
+    let (start, end) = checked_range(addr, len, PAGE_SIZE as u64)?;
+    if range_align(inner, start, end) == HUGE_PAGE_SIZE as u64
+        && (start % HUGE_PAGE_SIZE as u64 != 0 || end % HUGE_PAGE_SIZE as u64 != 0)
+    {
+        return Err(VmError::InvalidArgument);
+    }
+    let removed = inner.vmas.remove_range(start, end);
+    for vma in &removed {
+        zap_range(machine, inner, vma.start, vma.end);
+    }
+    Ok(())
+}
+
+/// Clears every translation in `[start, end)`. The VMAs covering the range
+/// must already have been removed from the tree (the shared-table release
+/// test consults the remaining VMAs).
+pub(crate) fn zap_range(machine: &Machine, inner: &mut MmInner, start: u64, end: u64) {
+    let mut at = VirtAddr::new(start);
+    let end_va = VirtAddr::new(end);
+    while at < end_va {
+        let chunk_end = at
+            .pte_table_align_down()
+            .add(PTE_TABLE_SPAN)
+            .min(end_va);
+        if let Some(pmd) = walk::pmd_slot(machine, inner.pgd, at) {
+            // Huge-page extension (§4): the PMD table itself may be
+            // shared; resolve ownership at 1 GiB-span granularity before
+            // touching any of its entries.
+            let pmd = match resolve_shared_pmd(machine, inner, pmd, at) {
+                Some(pmd) => pmd,
+                None => {
+                    // Our share of the whole span was released; nothing
+                    // of it remains mapped in this process.
+                    at = chunk_end;
+                    continue;
+                }
+            };
+            let e = pmd.load();
+            if e.is_present() {
+                if e.is_huge() {
+                    machine.pool().ref_dec(e.frame());
+                    pmd.store(Entry::NONE);
+                    inner.rss = inner.rss.saturating_sub(ENTRIES_PER_TABLE as u64);
+                } else {
+                    zap_table_chunk(machine, inner, &pmd, e, at, chunk_end);
+                }
+            }
+        }
+        at = chunk_end;
+    }
+    VmStats::bump(&machine.stats().tlb_flushes);
+}
+
+/// Applies the §3.3 rules one level up for a shared PMD table: if this
+/// process no longer maps anything in the covered 1 GiB span, release the
+/// share (preserving the table for the other sharers) and return `None`;
+/// otherwise copy the table and return the dedicated slot.
+fn resolve_shared_pmd(
+    machine: &Machine,
+    inner: &mut MmInner,
+    pmd: walk::PmdSlot,
+    at: VirtAddr,
+) -> Option<walk::PmdSlot> {
+    let pool = machine.pool();
+    if pool.pt_share_count(pmd.frame) <= 1 {
+        return Some(pmd);
+    }
+    let span = Level::Pud.entry_span();
+    let span_start = at.as_u64() & !(span - 1);
+    let still_needed = inner.vmas.overlaps(span_start, span_start + span);
+    if !still_needed {
+        // Shared PMD tables are all-huge: account the whole span.
+        let present = pmd.table.count_present() as u64;
+        inner.rss = inner
+            .rss
+            .saturating_sub(present * ENTRIES_PER_TABLE as u64);
+        pool.pt_share_dec(pmd.frame);
+        pmd.store_pud(Entry::NONE);
+        return None;
+    }
+    VmStats::bump(&machine.stats().unmap_table_copies);
+    let Ok((new_frame, new_table)) = fault::pmd_table_cow_for(machine, &pmd.table) else {
+        // Allocation failure: release the span; surviving VMAs re-fault.
+        let present = pmd.table.count_present() as u64;
+        inner.rss = inner
+            .rss
+            .saturating_sub(present * ENTRIES_PER_TABLE as u64);
+        pool.pt_share_dec(pmd.frame);
+        pmd.store_pud(Entry::NONE);
+        return None;
+    };
+    pool.pt_share_dec(pmd.frame);
+    pmd.store_pud(Entry::table(new_frame));
+    Some(walk::PmdSlot {
+        pud_table: pmd.pud_table,
+        pud_idx: pmd.pud_idx,
+        table: new_table,
+        frame: new_frame,
+        idx: pmd.idx,
+    })
+}
+
+
+/// Clears the PTEs of `[at, chunk_end)` within one last-level table,
+/// applying the shared-table rules of §3.3.
+fn zap_table_chunk(
+    machine: &Machine,
+    inner: &mut MmInner,
+    pmd: &PmdSlot,
+    e: Entry,
+    at: VirtAddr,
+    chunk_end: VirtAddr,
+) {
+    let pool = machine.pool();
+    let table_frame = e.frame();
+    let mut table = machine.store().get(table_frame);
+    let mut frame_for_free = table_frame;
+
+    if pool.pt_share_count(table_frame) > 1 {
+        let chunk_start = at.pte_table_align_down();
+        let chunk_full_end = chunk_start.add(PTE_TABLE_SPAN);
+        let still_needed = inner
+            .vmas
+            .overlaps(chunk_start.as_u64(), chunk_full_end.as_u64());
+        if !still_needed {
+            // Fast release: drop our share; entries survive for the other
+            // sharers (§3.5: tables may outlive the creating process).
+            // Every present entry in the chunk belonged to this process's
+            // (now removed) mappings, so account all of them.
+            inner.rss = inner
+                .rss
+                .saturating_sub(table.count_present() as u64);
+            pool.pt_share_dec(table_frame);
+            pmd.store(Entry::NONE);
+            return;
+        }
+        // Copy-on-write on the unmap path: other VMAs of this process
+        // still map through this table.
+        VmStats::bump(&machine.stats().unmap_table_copies);
+        let Ok((new_frame, new_table)) = fault::table_cow_for(machine, &table) else {
+            // Allocation failure while unmapping: fall back to releasing
+            // the whole chunk (the remaining VMAs will re-fault their
+            // pages through fresh tables).
+            inner.rss = inner
+                .rss
+                .saturating_sub(table.count_present() as u64);
+            pool.pt_share_dec(table_frame);
+            pmd.store(Entry::NONE);
+            return;
+        };
+        pool.pt_share_dec(table_frame);
+        pmd.store(Entry::table(new_frame));
+        table = new_table;
+        frame_for_free = new_frame;
+    }
+
+    // Dedicated table: clear the range, dropping page references.
+    let first = at.index(Level::Pte);
+    let pages = ((chunk_end.as_u64() - at.as_u64()) as usize) / PAGE_SIZE;
+    for idx in first..(first + pages).min(ENTRIES_PER_TABLE) {
+        let pte = table.load(idx);
+        if pte.is_present() {
+            pool.ref_dec(pool.compound_head(pte.frame()));
+            table.store(idx, Entry::NONE);
+            inner.rss = inner.rss.saturating_sub(1);
+        }
+    }
+    if table.is_empty() {
+        pmd.store(Entry::NONE);
+        machine.free_table(frame_for_free);
+    }
+}
+
+/// Implements `madvise(MADV_DONTNEED)`: drops the translations of a range
+/// while keeping the mapping itself, so future touches fault in fresh
+/// zero pages. Under On-demand-fork this exercises the same shared-table
+/// rules as unmapping (§3.3): a fully-covered shared table is released,
+/// a partially-covered one is copied first.
+pub(crate) fn madvise_dontneed(
+    machine: &Machine,
+    inner: &mut MmInner,
+    addr: u64,
+    len: u64,
+) -> Result<()> {
+    let (start, end) = checked_range(addr, len, PAGE_SIZE as u64)?;
+    let align = range_align(inner, start, end);
+    if start % align != 0 || end % align != 0 {
+        return Err(VmError::InvalidArgument);
+    }
+    // The whole range must be mapped (madvise on holes is EINVAL here;
+    // Linux returns ENOMEM).
+    let mut cursor = start;
+    for vma in inner.vmas.iter_range(start, end) {
+        if vma.start > cursor {
+            return Err(VmError::InvalidArgument);
+        }
+        cursor = vma.end;
+    }
+    if cursor < end {
+        return Err(VmError::InvalidArgument);
+    }
+    // Zapping consults the remaining VMAs for the shared-table release
+    // test; with DONTNEED the VMAs stay, so a shared table covering any
+    // still-mapped part of its span is copied rather than released —
+    // exactly the conservative branch of §3.3.
+    zap_range(machine, inner, start, end);
+    Ok(())
+}
+
+/// Implements `mremap` (shrink in place; grow by moving).
+pub(crate) fn mremap(
+    machine: &Machine,
+    inner: &mut MmInner,
+    addr: u64,
+    old_len: u64,
+    new_len: u64,
+) -> Result<u64> {
+    let (start, old_end) = checked_range(addr, old_len, PAGE_SIZE as u64)?;
+    if new_len == 0 {
+        return Err(VmError::InvalidArgument);
+    }
+    // The old range must lie within a single VMA.
+    let vma = inner
+        .vmas
+        .find(start)
+        .ok_or(VmError::InvalidArgument)?
+        .clone();
+    if old_end > vma.end {
+        return Err(VmError::InvalidArgument);
+    }
+    let align = if vma.huge {
+        HUGE_PAGE_SIZE as u64
+    } else {
+        PAGE_SIZE as u64
+    };
+    if start % align != 0 || old_len % align != 0 {
+        return Err(VmError::InvalidArgument);
+    }
+    let new_len = new_len.next_multiple_of(align);
+    let old_len = old_end - start;
+
+    if new_len == old_len {
+        return Ok(start);
+    }
+    if new_len < old_len {
+        munmap(machine, inner, start + new_len, old_len - new_len)?;
+        return Ok(start);
+    }
+
+    // Grow: move to a fresh range.
+    let new_start = inner.find_free(new_len, align)?;
+    let mut new_vma = vma.clone();
+    new_vma.start = new_start;
+    new_vma.end = new_start + new_len;
+    if let crate::vma::Backing::File { pgoff, .. } = &mut new_vma.backing {
+        *pgoff += (start - vma.start) / PAGE_SIZE as u64;
+    }
+    inner.vmas.insert(new_vma)?;
+
+    move_mappings(machine, inner, start, old_end, new_start)?;
+
+    // Retire the old range: entries are gone, this reclaims empty tables
+    // and drops the old VMA piece.
+    let removed = inner.vmas.remove_range(start, old_end);
+    for piece in &removed {
+        zap_range(machine, inner, piece.start, piece.end);
+    }
+    Ok(new_start)
+}
+
+/// Moves every present translation of `[start, end)` to the congruent
+/// position at `new_start`, preserving entry bits and page references.
+fn move_mappings(
+    machine: &Machine,
+    inner: &mut MmInner,
+    start: u64,
+    end: u64,
+    new_start: u64,
+) -> Result<()> {
+    let pool = machine.pool();
+    let mut at = VirtAddr::new(start);
+    let end_va = VirtAddr::new(end);
+    while at < end_va {
+        let chunk_end = at
+            .pte_table_align_down()
+            .add(PTE_TABLE_SPAN)
+            .min(end_va);
+        'chunk: {
+            let Some(pmd) = walk::pmd_slot(machine, inner.pgd, at) else {
+                break 'chunk;
+            };
+            // §3.3 one level up: moving entries out of a shared PMD table
+            // requires a dedicated copy first (the old range's VMA still
+            // exists at this point, so release is never an option here).
+            let pmd = if pool.pt_share_count(pmd.frame) > 1 {
+                VmStats::bump(&machine.stats().unmap_table_copies);
+                let (new_frame, new_table) = fault::pmd_table_cow_for(machine, &pmd.table)?;
+                pool.pt_share_dec(pmd.frame);
+                pmd.store_pud(Entry::table(new_frame));
+                walk::PmdSlot {
+                    pud_table: pmd.pud_table,
+                    pud_idx: pmd.pud_idx,
+                    table: new_table,
+                    frame: new_frame,
+                    idx: pmd.idx,
+                }
+            } else {
+                pmd
+            };
+            let e = pmd.load();
+            if !e.is_present() {
+                break 'chunk;
+            }
+            if e.is_huge() {
+                // Huge ranges move at PMD granularity (alignment enforced
+                // by the caller).
+                let dest = VirtAddr::new(new_start + (at.as_u64() - start));
+                let dest_pmd = walk::pmd_slot_create(machine, inner.pgd, dest)?;
+                dest_pmd.store(e);
+                pmd.store(Entry::NONE);
+                break 'chunk;
+            }
+            let table_frame = e.frame();
+            let mut table = machine.store().get(table_frame);
+            if pool.pt_share_count(table_frame) > 1 {
+                // §3.3: remapping a shared table copies it first.
+                VmStats::bump(&machine.stats().unmap_table_copies);
+                let (new_frame, new_table) = fault::table_cow_for(machine, &table)?;
+                pool.pt_share_dec(table_frame);
+                pmd.store(Entry::table(new_frame));
+                table = new_table;
+            }
+
+            let mut page = at;
+            while page < chunk_end {
+                let idx = page.index(Level::Pte);
+                let pte = table.load(idx);
+                if pte.is_present() {
+                    let dest = VirtAddr::new(new_start + (page.as_u64() - start));
+                    let dest_pmd = walk::pmd_slot_create(machine, inner.pgd, dest)?;
+                    let dest_table = match dest_pmd.load() {
+                        de if de.is_present() => machine.store().get(de.frame()),
+                        _ => {
+                            let (f, t) = machine.alloc_table()?;
+                            dest_pmd.store(Entry::table(f));
+                            t
+                        }
+                    };
+                    dest_table.store(dest.index(Level::Pte), pte);
+                    table.store(idx, Entry::NONE);
+                }
+                page = page.add(PAGE_SIZE as u64);
+            }
+        }
+        at = chunk_end;
+    }
+    VmStats::bump(&machine.stats().tlb_flushes);
+    Ok(())
+}
+
+/// Implements `mprotect`.
+pub(crate) fn mprotect(
+    machine: &Machine,
+    inner: &mut MmInner,
+    addr: u64,
+    len: u64,
+    prot: Prot,
+) -> Result<()> {
+    let (start, end) = checked_range(addr, len, PAGE_SIZE as u64)?;
+    let align = range_align(inner, start, end);
+    if start % align != 0 || end % align != 0 {
+        return Err(VmError::InvalidArgument);
+    }
+    // The whole range must be mapped.
+    let mut cursor = start;
+    for vma in inner.vmas.iter_range(start, end) {
+        if vma.start > cursor {
+            return Err(VmError::InvalidArgument);
+        }
+        cursor = vma.end;
+    }
+    if cursor < end {
+        return Err(VmError::InvalidArgument);
+    }
+
+    let losing_write = !prot.write;
+    // Split at the boundaries and apply the new protection.
+    let mut pieces = inner.vmas.remove_range(start, end);
+    for piece in &mut pieces {
+        piece.prot = prot;
+        inner
+            .vmas
+            .insert(piece.clone())
+            .expect("reinserting split piece cannot overlap");
+    }
+
+    if losing_write {
+        wrprotect_range(machine, inner, start, end);
+    }
+    VmStats::bump(&machine.stats().tlb_flushes);
+    Ok(())
+}
+
+/// Write-protects the existing translations of `[start, end)`.
+fn wrprotect_range(machine: &Machine, inner: &mut MmInner, start: u64, end: u64) {
+    let pool = machine.pool();
+    let mut at = VirtAddr::new(start);
+    let end_va = VirtAddr::new(end);
+    while at < end_va {
+        let chunk_end = at
+            .pte_table_align_down()
+            .add(PTE_TABLE_SPAN)
+            .min(end_va);
+        if let Some(pmd) = walk::pmd_slot(machine, inner.pgd, at) {
+            if pool.pt_share_count(pmd.frame) > 1 {
+                // Shared PMD table (huge extension): every sharer is
+                // already write-protected through the PUD bit, and the
+                // eventual dedication write-protects all entries, after
+                // which the VMA protection check governs. Nothing to do.
+                at = chunk_end;
+                continue;
+            }
+            let e = pmd.load();
+            if e.is_present() {
+                if e.is_huge() {
+                    pmd.store(e.with_cleared(EntryFlags::WRITABLE));
+                } else if pool.pt_share_count(e.frame()) > 1 {
+                    // Already effectively read-only through the cleared
+                    // PMD writable bit; the fault path re-checks the VMA
+                    // protection after any future table COW.
+                } else {
+                    wrprotect_table_range(
+                        &machine.store().get(e.frame()),
+                        at,
+                        chunk_end,
+                    );
+                }
+            }
+        }
+        at = chunk_end;
+    }
+}
+
+fn wrprotect_table_range(table: &Table, at: VirtAddr, chunk_end: VirtAddr) {
+    let first = at.index(Level::Pte);
+    let pages = ((chunk_end.as_u64() - at.as_u64()) as usize) / PAGE_SIZE;
+    for idx in first..(first + pages).min(ENTRIES_PER_TABLE) {
+        let pte = table.load(idx);
+        if pte.is_present() && pte.is_writable() {
+            table.store(idx, pte.with_cleared(EntryFlags::WRITABLE));
+        }
+    }
+}

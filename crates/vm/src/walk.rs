@@ -1,0 +1,311 @@
+//! Page-table walkers.
+//!
+//! Three walks cover every need of the subsystem:
+//!
+//! - [`pmd_slot`] / [`pmd_slot_create`]: resolve (or build) the path from
+//!   the PGD down to the PMD entry covering an address. The fork engines
+//!   and the fault handler operate at PMD granularity, because that is
+//!   where On-demand-fork's table sharing lives.
+//! - [`translate`]: the simulated MMU's translation: full walk with
+//!   hierarchical attribute resolution (effective writability is the AND of
+//!   the writable bits along the path, §3.2) and accessed/dirty bit
+//!   updates, exactly like the hardware walker.
+
+use std::sync::Arc;
+
+use odf_pagetable::{Entry, EntryFlags, Level, Table, VirtAddr};
+use odf_pmem::FrameId;
+
+use crate::error::Result;
+use crate::machine::Machine;
+
+/// A handle on one PMD entry: the PMD table, its backing frame, the entry
+/// index for a given address — plus the PUD slot referencing the PMD
+/// table, needed by the huge-page extension to copy-on-write whole PMD
+/// tables (§4 "Huge Page Support").
+pub(crate) struct PmdSlot {
+    /// The PUD table whose entry references this PMD table.
+    pub pud_table: Arc<Table>,
+    /// Index of that entry within the PUD table.
+    pub pud_idx: usize,
+    /// The PMD table containing the entry.
+    pub table: Arc<Table>,
+    /// Frame backing the PMD table (used for split-lock striping and as
+    /// the anchor of the shared-PMD-table reference counter).
+    pub frame: FrameId,
+    /// Entry index within the PMD table.
+    pub idx: usize,
+}
+
+impl PmdSlot {
+    /// Loads the PMD entry.
+    pub fn load(&self) -> Entry {
+        self.table.load(self.idx)
+    }
+
+    /// Stores the PMD entry.
+    pub fn store(&self, e: Entry) {
+        self.table.store(self.idx, e);
+    }
+
+    /// Loads the PUD entry referencing this PMD table.
+    pub fn load_pud(&self) -> Entry {
+        self.pud_table.load(self.pud_idx)
+    }
+
+    /// Stores the PUD entry referencing this PMD table.
+    pub fn store_pud(&self, e: Entry) {
+        self.pud_table.store(self.pud_idx, e);
+    }
+}
+
+/// Resolves the PMD entry covering `va`, without creating tables.
+pub(crate) fn pmd_slot(machine: &Machine, pgd: FrameId, va: VirtAddr) -> Option<PmdSlot> {
+    let pgd_table = machine.store().get(pgd);
+    let pud_e = pgd_table.load(va.index(Level::Pgd));
+    if !pud_e.is_present() {
+        return None;
+    }
+    let pud_table = machine.store().get(pud_e.frame());
+    let pud_idx = va.index(Level::Pud);
+    let pmd_e = pud_table.load(pud_idx);
+    if !pmd_e.is_present() {
+        return None;
+    }
+    let frame = pmd_e.frame();
+    Some(PmdSlot {
+        pud_table,
+        pud_idx,
+        table: machine.store().get(frame),
+        frame,
+        idx: va.index(Level::Pmd),
+    })
+}
+
+/// Resolves the PMD entry covering `va`, creating the PUD/PMD tables on the
+/// way if absent.
+///
+/// Building the upper levels of a child tree at fork time is the only
+/// table-construction work On-demand-fork performs (§3.1: "copies the top
+/// levels of page tables of the parent").
+pub(crate) fn pmd_slot_create(machine: &Machine, pgd: FrameId, va: VirtAddr) -> Result<PmdSlot> {
+    let pgd_table = machine.store().get(pgd);
+    let pud_frame = ensure_child_table(machine, &pgd_table, va.index(Level::Pgd))?;
+    let pud_table = machine.store().get(pud_frame);
+    let pud_idx = va.index(Level::Pud);
+    let pmd_frame = ensure_child_table(machine, &pud_table, pud_idx)?;
+    Ok(PmdSlot {
+        pud_table,
+        pud_idx,
+        table: machine.store().get(pmd_frame),
+        frame: pmd_frame,
+        idx: va.index(Level::Pmd),
+    })
+}
+
+/// Resolves (creating if needed) the PUD table and entry index covering
+/// `va` — the level at which the huge-page extension shares PMD tables.
+pub(crate) fn pud_slot_create(
+    machine: &Machine,
+    pgd: FrameId,
+    va: VirtAddr,
+) -> Result<(Arc<Table>, usize)> {
+    let pgd_table = machine.store().get(pgd);
+    let pud_frame = ensure_child_table(machine, &pgd_table, va.index(Level::Pgd))?;
+    Ok((machine.store().get(pud_frame), va.index(Level::Pud)))
+}
+
+/// Returns the child-table frame of `table[idx]`, allocating and linking a
+/// fresh table if the entry is absent.
+fn ensure_child_table(machine: &Machine, table: &Table, idx: usize) -> Result<FrameId> {
+    let e = table.load(idx);
+    if e.is_present() {
+        return Ok(e.frame());
+    }
+    let (frame, _) = machine.alloc_table()?;
+    table.store(idx, Entry::table(frame));
+    Ok(frame)
+}
+
+/// A successful translation.
+pub(crate) struct Translation {
+    /// The 4 KiB frame holding the byte at the translated address (for a
+    /// huge mapping, the right sub-frame of the compound page).
+    pub frame: FrameId,
+    /// Effective write permission along the whole walk.
+    pub writable: bool,
+}
+
+/// Translates `va` like the hardware walker: returns the backing frame and
+/// effective permissions, setting the accessed (and, for permitted writes,
+/// dirty) bits. Returns `None` when any level is not present — the caller
+/// raises a page fault.
+///
+/// The walk applies hierarchical attributes: a cleared writable bit at
+/// *any* level write-protects everything below it. This is the mechanism
+/// On-demand-fork relies on to protect a shared last-level table with a
+/// single PMD-entry bit (§3.2); the A/D-bit behavior matches the paper too
+/// — the CPU keeps setting accessed bits on entries of shared tables, and
+/// the dirty bit can never be set through one because writes through a
+/// shared table are never permitted.
+pub(crate) fn translate(
+    machine: &Machine,
+    pgd: FrameId,
+    va: VirtAddr,
+    write: bool,
+) -> Option<Translation> {
+    let pgd_table = machine.store().get(pgd);
+    let pud_e = pgd_table.load(va.index(Level::Pgd));
+    if !pud_e.is_present() {
+        return None;
+    }
+    let mut writable = pud_e.is_writable();
+    let pud_table = machine.store().get(pud_e.frame());
+    let pmd_te = pud_table.load(va.index(Level::Pud));
+    if !pmd_te.is_present() {
+        return None;
+    }
+    writable &= pmd_te.is_writable();
+    let pmd_table = machine.store().get(pmd_te.frame());
+    let pmd_idx = va.index(Level::Pmd);
+    let pmd_e = pmd_table.load(pmd_idx);
+    if !pmd_e.is_present() {
+        return None;
+    }
+    writable &= pmd_e.is_writable();
+    if pmd_e.is_huge() {
+        if write && !writable {
+            return None;
+        }
+        let mut bits = EntryFlags::ACCESSED;
+        if write {
+            bits |= EntryFlags::DIRTY;
+        }
+        pmd_table.fetch_set(pmd_idx, bits);
+        return Some(Translation {
+            frame: pmd_e.frame().offset(va.index(Level::Pte)),
+            writable,
+        });
+    }
+    let pte_table = machine.store().get(pmd_e.frame());
+    let pte_idx = va.index(Level::Pte);
+    let pte = pte_table.load(pte_idx);
+    if !pte.is_present() {
+        return None;
+    }
+    writable &= pte.is_writable();
+    if write && !writable {
+        return None;
+    }
+    let mut bits = EntryFlags::ACCESSED;
+    if write {
+        bits |= EntryFlags::DIRTY;
+    }
+    pte_table.fetch_set(pte_idx, bits);
+    Some(Translation {
+        frame: pte.frame(),
+        writable,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odf_pmem::PageKind;
+
+    fn setup() -> (Arc<Machine>, FrameId) {
+        let m = Machine::new(4 << 20);
+        let (pgd, _) = m.alloc_table().unwrap();
+        (m, pgd)
+    }
+
+    #[test]
+    fn create_then_lookup_round_trips() {
+        let (m, pgd) = setup();
+        let va = VirtAddr::new(0x1234_5678_9000);
+        assert!(pmd_slot(&m, pgd, va).is_none());
+        let slot = pmd_slot_create(&m, pgd, va).unwrap();
+        assert!(!slot.load().is_present());
+        let again = pmd_slot(&m, pgd, va).unwrap();
+        assert_eq!(again.frame, slot.frame);
+        assert_eq!(again.idx, slot.idx);
+        // Three tables were created: PGD existed, plus PUD and PMD.
+        assert_eq!(m.store().len(), 3);
+    }
+
+    #[test]
+    fn create_is_idempotent() {
+        let (m, pgd) = setup();
+        let va = VirtAddr::new(0x4000_0000);
+        let a = pmd_slot_create(&m, pgd, va).unwrap();
+        let b = pmd_slot_create(&m, pgd, va).unwrap();
+        assert_eq!(a.frame, b.frame);
+        assert_eq!(m.store().len(), 3);
+    }
+
+    #[test]
+    fn translate_resolves_pte_mappings_and_sets_bits() {
+        let (m, pgd) = setup();
+        let va = VirtAddr::new(0x7000_2000);
+        let slot = pmd_slot_create(&m, pgd, va).unwrap();
+        let (ptf, pte_table) = m.alloc_table().unwrap();
+        slot.store(Entry::table(ptf));
+        let data = m.pool().alloc_page(PageKind::Anon).unwrap();
+        pte_table.store(va.index(Level::Pte), Entry::page(data, true));
+
+        let t = translate(&m, pgd, va, true).unwrap();
+        assert_eq!(t.frame, data);
+        assert!(t.writable);
+        let e = pte_table.load(va.index(Level::Pte));
+        assert!(e.is_accessed());
+        assert!(e.is_dirty());
+    }
+
+    #[test]
+    fn hierarchical_writable_bit_blocks_writes() {
+        let (m, pgd) = setup();
+        let va = VirtAddr::new(0x7000_2000);
+        let slot = pmd_slot_create(&m, pgd, va).unwrap();
+        let (ptf, pte_table) = m.alloc_table().unwrap();
+        // PTE says writable, but the PMD entry write-protects the table —
+        // exactly the On-demand-fork shared-table state.
+        slot.store(Entry::table(ptf).with_cleared(EntryFlags::WRITABLE));
+        let data = m.pool().alloc_page(PageKind::Anon).unwrap();
+        pte_table.store(va.index(Level::Pte), Entry::page(data, true));
+
+        assert!(translate(&m, pgd, va, true).is_none(), "write must fault");
+        let t = translate(&m, pgd, va, false).unwrap();
+        assert!(!t.writable, "effective permission is read-only");
+        // Reads through a shared table still set the accessed bit (§3.2).
+        assert!(pte_table.load(va.index(Level::Pte)).is_accessed());
+        // The dirty bit is never set through a write-protected path.
+        assert!(!pte_table.load(va.index(Level::Pte)).is_dirty());
+    }
+
+    #[test]
+    fn translate_resolves_huge_mappings_to_subframes() {
+        let (m, pgd) = setup();
+        let base = VirtAddr::new(0x4020_0000); // 2 MiB aligned
+        let slot = pmd_slot_create(&m, pgd, base).unwrap();
+        let huge = m.pool().alloc_huge(PageKind::Anon).unwrap();
+        slot.store(Entry::huge_page(huge, true));
+
+        let t = translate(&m, pgd, base.add(5 * 4096 + 7), false).unwrap();
+        assert_eq!(t.frame, huge.offset(5));
+        assert!(slot.load().is_accessed());
+        assert!(!slot.load().is_dirty());
+        let t = translate(&m, pgd, base, true).unwrap();
+        assert_eq!(t.frame, huge);
+        assert!(slot.load().is_dirty());
+    }
+
+    #[test]
+    fn absent_levels_translate_to_none() {
+        let (m, pgd) = setup();
+        assert!(translate(&m, pgd, VirtAddr::new(0x1000), false).is_none());
+        let va = VirtAddr::new(0x5000_0000);
+        let _ = pmd_slot_create(&m, pgd, va).unwrap();
+        // PMD entry still absent.
+        assert!(translate(&m, pgd, va, false).is_none());
+    }
+}

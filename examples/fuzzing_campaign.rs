@@ -1,0 +1,66 @@
+//! An AFL-style fuzzing campaign over the SQL engine (§5.3.1, Figure 9).
+//!
+//! The fork server initializes the target once — database loaded, schema
+//! dictionary extracted — then forks per input. Compare throughput with
+//! classic fork vs On-demand-fork.
+//!
+//! Run with: `cargo run --release --example fuzzing_campaign`
+
+use std::time::Duration;
+
+use odf_core::{ForkPolicy, Kernel};
+use odf_fuzz::targets::SqlTarget;
+use odf_fuzz::{FuzzConfig, Fuzzer};
+use odf_sqldb::testkit::{build_database, DatasetConfig};
+
+fn campaign(policy: ForkPolicy) -> odf_fuzz::CampaignStats {
+    let dataset = DatasetConfig {
+        rows: 1_000,
+        hot_rows: 300,
+        resident_bytes: 256 << 20,
+        heap_capacity: 64 << 20,
+        ..Default::default()
+    };
+    let kernel = Kernel::new(512 << 20);
+    let master = kernel.spawn().expect("spawn");
+    let db = build_database(&master, &dataset).expect("build database");
+
+    let target = SqlTarget::new(db, &["items", "hot", "categories", "id", "score"])
+        .with_per_exec_setup(&["SELECT id FROM hot WHERE score >= 500"]);
+    let seeds = vec![
+        b"SELECT id, score FROM hot WHERE score >= 900".to_vec(),
+        b"UPDATE hot SET score = 0 WHERE category = 3".to_vec(),
+    ];
+    let mut fuzzer = Fuzzer::new(
+        &master,
+        &target,
+        FuzzConfig {
+            policy,
+            max_input_len: 128,
+            seed: 42,
+            ..FuzzConfig::default()
+        },
+        &seeds,
+    )
+    .expect("fuzzer");
+    fuzzer
+        .fuzz_for(Duration::from_secs(5), Duration::from_secs(1))
+        .expect("campaign")
+}
+
+fn main() {
+    println!("AFL-style fuzzing of the SQL engine, 5 s per policy\n");
+    let classic = campaign(ForkPolicy::Classic);
+    let odf = campaign(ForkPolicy::OnDemand);
+    for (name, s) in [("fork", &classic), ("on-demand-fork", &odf)] {
+        println!(
+            "{name:<15} {:>7.1} execs/s  {:>5} paths  {:>5} edges  {:>3} crashes",
+            s.mean_execs_per_sec, s.paths, s.edges, s.crashes
+        );
+    }
+    println!(
+        "\nthroughput improvement: {:.2}x (paper: 2.26x on SQLite with a\n\
+         1 GiB database)",
+        odf.mean_execs_per_sec / classic.mean_execs_per_sec.max(1e-9)
+    );
+}

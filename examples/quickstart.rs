@@ -1,0 +1,56 @@
+//! Quickstart: the On-demand-fork API in one minute.
+//!
+//! Boots a simulated kernel, builds a process with a large populated
+//! region, and compares the invocation latency and semantics of classic
+//! fork against On-demand-fork.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use odf_core::{ForkPolicy, Kernel};
+use odf_metrics::{fmt_bytes, fmt_ns, Stopwatch};
+
+fn main() {
+    // A simulated machine with 2 GiB of physical memory.
+    let kernel = Kernel::new(2 << 30);
+    let parent = kernel.spawn().expect("spawn process");
+
+    // The paper's microbenchmark setup: map and fill a large private
+    // anonymous buffer (Figure 1).
+    let size: u64 = 1 << 30; // 1 GiB
+    let buf = parent.mmap_anon(size).expect("mmap");
+    parent.populate(buf, size, true).expect("fill");
+    parent.write(buf, b"precious pre-fork state").expect("write");
+    println!(
+        "parent ready: {} mapped, {} resident pages",
+        fmt_bytes(size),
+        parent.memory_report().rss_pages
+    );
+
+    // Classic fork: walks and refcounts every mapped page.
+    let sw = Stopwatch::start();
+    let child = parent.fork_with(ForkPolicy::Classic).expect("fork");
+    let classic_ns = sw.elapsed_ns();
+    child.exit();
+
+    // On-demand-fork: shares last-level page tables instead.
+    let sw = Stopwatch::start();
+    let child = parent.fork_with(ForkPolicy::OnDemand).expect("odf fork");
+    let odf_ns = sw.elapsed_ns();
+
+    println!("fork           : {}", fmt_ns(classic_ns));
+    println!("on-demand-fork : {}", fmt_ns(odf_ns));
+    println!(
+        "speedup        : {:.0}x (paper: 65x at 1 GiB)",
+        classic_ns as f64 / odf_ns as f64
+    );
+
+    // Same copy-on-write semantics: the child sees the pre-fork state,
+    // and writes on either side stay private.
+    let mut view = [0u8; 23];
+    child.read(buf, &mut view).expect("child read");
+    assert_eq!(&view, b"precious pre-fork state");
+    child.write(buf, b"child-private mutation ").expect("child write");
+    parent.read(buf, &mut view).expect("parent read");
+    assert_eq!(&view, b"precious pre-fork state");
+    println!("COW semantics verified: parent and child fully isolated");
+}

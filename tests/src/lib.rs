@@ -1,0 +1,305 @@
+//! Shared helpers for the workspace integration tests.
+//!
+//! The central instrument is the **address-space script**: a sequence of
+//! memory operations that can be replayed against processes forked with
+//! different policies. The paper's core claim is that On-demand-fork is a
+//! drop-in replacement for fork (§3, §4); the differential tests assert
+//! that replaying any script produces bit-identical memory images under
+//! [`ForkPolicy::Classic`] and [`ForkPolicy::OnDemand`].
+
+#![forbid(unsafe_code)]
+
+use odf_core::{ForkPolicy, Kernel, Process};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One scripted action against a process tree.
+///
+/// `who` indexes the process list: 0 is the root, and each `Fork` appends
+/// a new process (so scripts are replayable regardless of policy).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Action {
+    /// Fork process `who`, appending the child to the process list.
+    Fork { who: usize },
+    /// Write a deterministic pattern at an offset in the shared region.
+    Write { who: usize, offset: u64, len: usize, seed: u8 },
+    /// Drop (exit) process `who` (the root is never dropped).
+    Exit { who: usize },
+    /// Unmap a sub-range of the region in process `who`.
+    Unmap { who: usize, offset: u64, len: u64 },
+    /// Toggle a sub-range read-only / read-write in process `who`.
+    Mprotect { who: usize, offset: u64, len: u64, writable: bool },
+    /// Discard a sub-range's contents without unmapping (MADV_DONTNEED).
+    Madvise { who: usize, offset: u64, len: u64 },
+}
+
+/// Result of replaying a script: the final memory images (hashes) of the
+/// surviving processes, in process order, with `None` for unmapped reads.
+pub type Replay = Vec<Vec<Option<u64>>>;
+
+/// Generates a random script over a region of `region_pages` pages.
+pub fn random_script(seed: u64, steps: usize, region_pages: u64) -> Vec<Action> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live = 1usize; // process 0 always exists
+    let mut total = 1usize;
+    let mut actions = Vec::new();
+    let region = region_pages * 4096;
+    for _ in 0..steps {
+        let who = rng.gen_range(0..total);
+        match rng.gen_range(0..10) {
+            0..=2 if total < 8 => {
+                actions.push(Action::Fork { who });
+                total += 1;
+                live += 1;
+            }
+            3 if live > 1 && who != 0 => {
+                actions.push(Action::Exit { who });
+                live -= 1;
+            }
+            4 => {
+                let offset = rng.gen_range(0..region_pages) * 4096;
+                let len = rng.gen_range(1..=(2 * 4096)).min((region - offset) as usize);
+                actions.push(Action::Unmap {
+                    who,
+                    offset,
+                    len: (len as u64).next_multiple_of(4096),
+                });
+            }
+            5 => {
+                let offset = rng.gen_range(0..region_pages) * 4096;
+                let len =
+                    (rng.gen_range(1..=4u64) * 4096).min(region - offset).max(4096);
+                actions.push(Action::Mprotect {
+                    who,
+                    offset,
+                    len,
+                    writable: rng.gen_bool(0.5),
+                });
+            }
+            6 => {
+                let offset = rng.gen_range(0..region_pages) * 4096;
+                let len =
+                    (rng.gen_range(1..=4u64) * 4096).min(region - offset).max(4096);
+                actions.push(Action::Madvise { who, offset, len });
+            }
+            _ => {
+                let offset = rng.gen_range(0..region - 8);
+                let len = rng.gen_range(1..512usize).min((region - offset) as usize);
+                actions.push(Action::Write {
+                    who,
+                    offset,
+                    len,
+                    seed: rng.gen(),
+                });
+            }
+        }
+    }
+    actions
+}
+
+/// Replays a script with the given fork policy and returns per-process
+/// page hashes of the region.
+///
+/// Exited processes are represented by empty vectors so the shape is
+/// policy-independent.
+pub fn replay(script: &[Action], policy: ForkPolicy, region_pages: u64) -> Replay {
+    let kernel = Kernel::new((region_pages * 4096) * 16 + (64 << 20));
+    let root = kernel.spawn().expect("spawn");
+    let region = region_pages * 4096;
+    let addr = root
+        .mmap_fixed(0x4000_0000, region, odf_core::MapParams::anon_rw())
+        .expect("mmap");
+    let mut procs: Vec<Option<Process>> = vec![Some(root)];
+
+    for action in script {
+        match action {
+            Action::Fork { who } => {
+                let child = procs[*who]
+                    .as_ref()
+                    .map(|p| p.fork_with(policy).expect("fork"));
+                procs.push(child);
+            }
+            Action::Write {
+                who,
+                offset,
+                len,
+                seed,
+            } => {
+                if let Some(p) = &procs[*who] {
+                    let data: Vec<u8> =
+                        (0..*len).map(|i| seed.wrapping_add(i as u8)).collect();
+                    // Writes into unmapped holes fault; that is part of
+                    // the semantics being compared.
+                    let _ = p.write(addr + offset, &data);
+                }
+            }
+            Action::Exit { who } => {
+                procs[*who] = None;
+            }
+            Action::Unmap { who, offset, len } => {
+                if let Some(p) = &procs[*who] {
+                    let len = (*len).min(region - offset);
+                    if len > 0 {
+                        let _ = p.munmap(addr + offset, len);
+                    }
+                }
+            }
+            Action::Mprotect {
+                who,
+                offset,
+                len,
+                writable,
+            } => {
+                if let Some(p) = &procs[*who] {
+                    let prot = if *writable {
+                        odf_core::Prot::READ_WRITE
+                    } else {
+                        odf_core::Prot::READ
+                    };
+                    let len = (*len).min(region - offset);
+                    let _ = p.mprotect(addr + offset, len, prot);
+                }
+            }
+            Action::Madvise { who, offset, len } => {
+                if let Some(p) = &procs[*who] {
+                    let len = (*len).min(region - offset);
+                    let _ = p.madvise_dontneed(addr + offset, len);
+                }
+            }
+        }
+    }
+
+    procs
+        .iter()
+        .map(|slot| match slot {
+            None => Vec::new(),
+            Some(p) => (0..region_pages)
+                .map(|pg| {
+                    p.read_vec(addr + pg * 4096, 4096)
+                        .ok()
+                        .map(|bytes| fnv(&bytes))
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Replays a script against a **huge-page-backed** region, for
+/// differential testing of the huge extension (`ForkPolicy::OnDemandHuge`
+/// vs the baselines). Unmap offsets are rounded to 2 MiB so they are valid
+/// for huge mappings; all other actions replay as-is.
+pub fn replay_huge(script: &[Action], policy: ForkPolicy, huge_pages: u64) -> Replay {
+    const HUGE: u64 = 2 << 20;
+    let region = huge_pages * HUGE;
+    let kernel = Kernel::new(region * 12 + (64 << 20));
+    let root = kernel.spawn().expect("spawn");
+    let addr = root
+        .mmap_fixed(1 << 31, region, odf_core::MapParams::anon_rw_huge())
+        .expect("mmap huge");
+    let mut procs: Vec<Option<Process>> = vec![Some(root)];
+
+    for action in script {
+        match action {
+            Action::Fork { who } => {
+                let child = procs[*who]
+                    .as_ref()
+                    .map(|p| p.fork_with(policy).expect("fork"));
+                procs.push(child);
+            }
+            Action::Write { who, offset, len, seed } => {
+                if let Some(p) = &procs[*who] {
+                    let offset = offset % region;
+                    let len = (*len).min((region - offset) as usize);
+                    let data: Vec<u8> =
+                        (0..len).map(|i| seed.wrapping_add(i as u8)).collect();
+                    let _ = p.write(addr + offset, &data);
+                }
+            }
+            Action::Exit { who } => {
+                procs[*who] = None;
+            }
+            Action::Unmap { who, offset, len } => {
+                if let Some(p) = &procs[*who] {
+                    let offset = (offset % region) & !(HUGE - 1);
+                    let len = (*len).max(HUGE).next_multiple_of(HUGE);
+                    let len = len.min(region - offset);
+                    if len > 0 {
+                        let _ = p.munmap(addr + offset, len);
+                    }
+                }
+            }
+            Action::Mprotect {
+                who,
+                offset,
+                len,
+                writable,
+            } => {
+                if let Some(p) = &procs[*who] {
+                    let prot = if *writable {
+                        odf_core::Prot::READ_WRITE
+                    } else {
+                        odf_core::Prot::READ
+                    };
+                    let offset = (offset % region) & !(HUGE - 1);
+                    let len = (*len).max(HUGE).next_multiple_of(HUGE).min(region - offset);
+                    let _ = p.mprotect(addr + offset, len, prot);
+                }
+            }
+            Action::Madvise { who, offset, len } => {
+                if let Some(p) = &procs[*who] {
+                    let offset = (offset % region) & !(HUGE - 1);
+                    let len = (*len).max(HUGE).next_multiple_of(HUGE).min(region - offset);
+                    let _ = p.madvise_dontneed(addr + offset, len);
+                }
+            }
+        }
+    }
+
+    // Hash at 64 KiB granularity to keep verification fast.
+    const STRIDE: u64 = 64 << 10;
+    procs
+        .iter()
+        .map(|slot| match slot {
+            None => Vec::new(),
+            Some(p) => (0..region / STRIDE)
+                .map(|i| {
+                    p.read_vec(addr + i * STRIDE, STRIDE as usize)
+                        .ok()
+                        .map(|bytes| fnv(&bytes))
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// FNV-1a hash of a byte slice.
+pub fn fnv(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_deterministic() {
+        assert_eq!(random_script(1, 50, 64), random_script(1, 50, 64));
+        assert_ne!(random_script(1, 50, 64), random_script(2, 50, 64));
+    }
+
+    #[test]
+    fn replay_produces_one_entry_per_process() {
+        let script = random_script(3, 30, 32);
+        let forks = script
+            .iter()
+            .filter(|a| matches!(a, Action::Fork { .. }))
+            .count();
+        let r = replay(&script, ForkPolicy::Classic, 32);
+        assert_eq!(r.len(), forks + 1);
+    }
+}

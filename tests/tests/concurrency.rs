@@ -1,0 +1,206 @@
+//! Multi-threaded stress across the whole stack: one kernel, many host
+//! threads forking, writing, snapshotting, and tearing down concurrently.
+//!
+//! The paper's thread-safety section (§4) reduces to two invariants this
+//! suite hammers: shared page tables are never corrupted (every process
+//! always reads either the pre-fork value or its own writes), and
+//! reference counts balance (all resources return to the pool).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use odf_core::{ForkPolicy, Kernel, Process};
+use odf_kvstore::Store;
+
+const MIB: u64 = 1 << 20;
+
+#[test]
+fn fork_storm_preserves_isolation_and_resources() {
+    let kernel = Kernel::new(512 * MIB);
+    let free0 = kernel.free_bytes();
+    {
+        let root = kernel.spawn().unwrap();
+        let addr = root.mmap_anon(32 * MIB).unwrap();
+        root.populate(addr, 32 * MIB, true).unwrap();
+        // Stamp a generation marker per 2 MiB chunk.
+        for chunk in 0..16u64 {
+            root.write_u64(addr + chunk * 2 * MIB, 0xBA5E_0000 + chunk).unwrap();
+        }
+        let root = Arc::new(root);
+        let violations = AtomicU64::new(0);
+
+        std::thread::scope(|s| {
+            for t in 0..6u64 {
+                let root = Arc::clone(&root);
+                let violations = &violations;
+                s.spawn(move || {
+                    let policies = [
+                        ForkPolicy::Classic,
+                        ForkPolicy::OnDemand,
+                        ForkPolicy::OnDemandHuge,
+                    ];
+                    for round in 0..12u64 {
+                        let policy = policies[(t + round) as usize % policies.len()];
+                        let child = root.fork_with(policy).expect("fork");
+                        // Child checks its inherited view, then mutates.
+                        for chunk in 0..16u64 {
+                            let a = addr + chunk * 2 * MIB;
+                            let v = child.read_u64(a).expect("read");
+                            if v != 0xBA5E_0000 + chunk {
+                                violations.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        let own = addr + (t % 16) * 2 * MIB;
+                        child.write_u64(own, t * 1000 + round).expect("write");
+                        if child.read_u64(own).expect("read back") != t * 1000 + round {
+                            violations.fetch_add(1, Ordering::Relaxed);
+                        }
+                        child.exit();
+                    }
+                });
+            }
+        });
+        assert_eq!(violations.load(Ordering::Relaxed), 0, "isolation violated");
+        // The root was never touched by any child.
+        for chunk in 0..16u64 {
+            assert_eq!(
+                root.read_u64(addr + chunk * 2 * MIB).unwrap(),
+                0xBA5E_0000 + chunk
+            );
+        }
+    }
+    assert_eq!(kernel.free_bytes(), free0, "frames leaked under storm");
+    assert!(kernel.machine().store().is_empty(), "tables leaked");
+}
+
+#[test]
+fn snapshot_children_serialize_on_worker_threads() {
+    // A store mutated by the owner thread while multiple forked children
+    // serialize concurrently on other threads: every snapshot must be a
+    // consistent prefix-generation image.
+    let kernel = Kernel::new(256 * MIB);
+    let proc = Arc::new(kernel.spawn().unwrap());
+    let store = Store::create(&proc, 64 * MIB, 1024).unwrap();
+    // Generation 0 content.
+    for i in 0..500u32 {
+        store
+            .set(&proc, format!("k{i}").as_bytes(), b"gen0")
+            .unwrap();
+    }
+
+    std::thread::scope(|s| {
+        let mut handles = Vec::new();
+        for gen in 1..=4u32 {
+            // Fork a snapshot child, then mutate to the next generation.
+            let child = proc.fork_with(ForkPolicy::OnDemand).unwrap();
+            let expected = format!("gen{}", gen - 1).into_bytes();
+            handles.push(s.spawn(move || {
+                let mut ok = true;
+                for i in (0..500u32).step_by(7) {
+                    let v = store
+                        .get(&child, format!("k{i}").as_bytes())
+                        .unwrap()
+                        .unwrap();
+                    ok &= v == expected;
+                }
+                let dump = store.serialize(&child).unwrap();
+                child.exit();
+                (ok, dump.len())
+            }));
+            for i in 0..500u32 {
+                store
+                    .set(&proc, format!("k{i}").as_bytes(), format!("gen{gen}").as_bytes())
+                    .unwrap();
+            }
+        }
+        for h in handles {
+            let (consistent, dump_len) = h.join().unwrap();
+            assert!(consistent, "snapshot saw a torn generation");
+            assert!(dump_len > 8);
+        }
+    });
+    // The live store ended at the last generation.
+    assert_eq!(store.get(&proc, b"k0").unwrap().unwrap(), b"gen4");
+    assert_eq!(kernel.process_count(), 1);
+}
+
+#[test]
+fn grandchild_trees_built_from_worker_threads() {
+    let kernel = Kernel::new(256 * MIB);
+    let root = kernel.spawn().unwrap();
+    let addr = root.mmap_anon(8 * MIB).unwrap();
+    root.fill(addr, 8 * MIB as usize, 0x11).unwrap();
+
+    // Each thread builds its own 3-deep fork chain from a shared child.
+    let shared = Arc::new(root.fork_with(ForkPolicy::OnDemand).unwrap());
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            let shared = Arc::clone(&shared);
+            s.spawn(move || {
+                let mut chain: Vec<Process> = Vec::new();
+                let mut parent = shared.fork_with(ForkPolicy::OnDemand).unwrap();
+                for depth in 0..3u64 {
+                    parent.write_u64(addr + t * MIB, t * 10 + depth).unwrap();
+                    let next = parent.fork_with(ForkPolicy::OnDemand).unwrap();
+                    chain.push(parent);
+                    parent = next;
+                }
+                // The deepest descendant sees the last ancestor write.
+                assert_eq!(parent.read_u64(addr + t * MIB).unwrap(), t * 10 + 2);
+                // And untouched memory everywhere else.
+                let probe = addr + ((t + 1) % 4) * MIB + 8;
+                let mut b = [0u8; 1];
+                parent.read(probe, &mut b).unwrap();
+                assert_eq!(b[0], 0x11);
+                drop(chain);
+                drop(parent);
+            });
+        }
+    });
+    drop(shared);
+    assert_eq!(kernel.process_count(), 1);
+    // Root unchanged.
+    let v = root.read_vec(addr, 16).unwrap();
+    assert!(v.iter().all(|&b| b == 0x11));
+}
+
+#[test]
+fn mixed_policy_threads_share_one_machine_without_interference() {
+    let kernel = Kernel::new(256 * MIB);
+    let free0 = kernel.free_bytes();
+    std::thread::scope(|s| {
+        for t in 0..3u64 {
+            let kernel = Arc::clone(&kernel);
+            s.spawn(move || {
+                let policy = match t {
+                    0 => ForkPolicy::Classic,
+                    1 => ForkPolicy::OnDemand,
+                    _ => ForkPolicy::OnDemandHuge,
+                };
+                let proc = kernel.spawn().unwrap();
+                let addr = if policy == ForkPolicy::OnDemandHuge {
+                    let a = proc.mmap_anon_huge(8 * MIB).unwrap();
+                    proc.populate(a, 8 * MIB, true).unwrap();
+                    a
+                } else {
+                    let a = proc.mmap_anon(8 * MIB).unwrap();
+                    proc.populate(a, 8 * MIB, true).unwrap();
+                    a
+                };
+                for round in 0..10u64 {
+                    let child = proc.fork_with(policy).unwrap();
+                    child.write_u64(addr + (round % 4) * MIB, round).unwrap();
+                    assert_eq!(
+                        child.read_u64(addr + (round % 4) * MIB).unwrap(),
+                        round
+                    );
+                    child.exit();
+                    // Parent memory stays zero (populate never wrote data).
+                    assert_eq!(proc.read_u64(addr + (round % 4) * MIB).unwrap(), 0);
+                }
+            });
+        }
+    });
+    assert_eq!(kernel.free_bytes(), free0);
+    assert_eq!(kernel.process_count(), 0);
+}
