@@ -64,8 +64,7 @@ fn main() {
         let proc = kernel.spawn().expect("spawn");
         let mut cells = vec![bench::fmt_bytes(size)];
         for &(_, policy) in &policies {
-            let (avg, _) =
-                bench::repeat(|| time_fork_huge(&proc, size, policy)).expect("run");
+            let (avg, _) = bench::repeat(|| time_fork_huge(&proc, size, policy)).expect("run");
             cells.push(bench::ms(avg));
         }
         table.row_owned(cells);

@@ -56,8 +56,7 @@ fn main() {
                         for _ in 0..n {
                             barrier.wait();
                             let sw = odf_metrics::Stopwatch::start();
-                            let child =
-                                proc.fork_with(ForkPolicy::Classic).expect("fork");
+                            let child = proc.fork_with(ForkPolicy::Classic).expect("fork");
                             let ns = sw.elapsed_ns();
                             child.exit();
                             total += ns;

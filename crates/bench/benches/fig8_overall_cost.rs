@@ -87,17 +87,14 @@ fn main() {
     let mut buf = vec![0u8; COPY_BUF];
     let min_of = |proc: &_, policy, accessed, read_pct, buf: &mut Vec<u8>| {
         (0..bench::reps())
-            .map(|_| {
-                run_once(proc, size, policy, accessed, read_pct, buf).expect("run")
-            })
+            .map(|_| run_once(proc, size, policy, accessed, read_pct, buf).expect("run"))
             .min()
             .expect("at least one rep")
     };
     for &accessed in accessed_steps {
         let mut cells = vec![format!("{accessed}%")];
         for &read_pct in mixes {
-            let classic =
-                min_of(&proc, ForkPolicy::Classic, accessed, read_pct, &mut buf);
+            let classic = min_of(&proc, ForkPolicy::Classic, accessed, read_pct, &mut buf);
             let odf = min_of(&proc, ForkPolicy::OnDemand, accessed, read_pct, &mut buf);
             let reduction = 100.0 * (classic as f64 - odf as f64) / classic as f64;
             cells.push(format!("{reduction:+.1}%"));

@@ -27,14 +27,22 @@ fn campaign(policy: ForkPolicy, rows: u64) -> odf_fuzz::CampaignStats {
         heap_capacity: bench::scaled(128 * bench::MIB),
         ..Default::default()
     };
-    let kernel = bench::kernel_for(
-        dataset.heap_capacity + dataset.resident_bytes + 256 * bench::MIB,
-    );
+    let kernel =
+        bench::kernel_for(dataset.heap_capacity + dataset.resident_bytes + 256 * bench::MIB);
     let master = kernel.spawn().expect("spawn");
     let db = build_database(&master, &dataset).expect("build db");
     let target = SqlTarget::new(
         db,
-        &["items", "hot", "categories", "id", "category", "score", "payload", "label"],
+        &[
+            "items",
+            "hot",
+            "categories",
+            "id",
+            "category",
+            "score",
+            "payload",
+            "label",
+        ],
     )
     // The fuzzershell-style per-input setup: connection warmup queries
     // plus one write, executed in the child before the fuzz input.

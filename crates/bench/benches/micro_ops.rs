@@ -18,7 +18,9 @@ fn fork_benches(c: &mut Criterion) {
     proc.populate(addr, size, true).expect("fill");
 
     let mut group = c.benchmark_group("fork_128MiB");
-    group.sample_size(20).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("classic", |b| {
         b.iter(|| {
             let child = proc.fork_with(ForkPolicy::Classic).expect("fork");
@@ -38,7 +40,9 @@ fn fork_benches(c: &mut Criterion) {
     let haddr = proc_huge.mmap_anon_huge(size).expect("mmap");
     proc_huge.populate(haddr, size, true).expect("fill");
     let mut group = c.benchmark_group("fork_128MiB_huge");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("classic_huge", |b| {
         b.iter(|| {
             let child = proc_huge.fork_with(ForkPolicy::Classic).expect("fork");
@@ -51,7 +55,9 @@ fn fork_benches(c: &mut Criterion) {
 fn fault_benches(c: &mut Criterion) {
     let size = 64 * bench::MIB;
     let mut group = c.benchmark_group("write_fault");
-    group.sample_size(20).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3));
 
     // Worst-case On-demand-fork fault: first write in a shared 2 MiB range.
     group.bench_function("odf_table_cow", |b| {
@@ -90,7 +96,9 @@ fn fault_benches(c: &mut Criterion) {
 fn populate_bench(c: &mut Criterion) {
     let size = 64 * bench::MIB;
     let mut group = c.benchmark_group("populate_64MiB");
-    group.sample_size(15).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(15)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("populate", |b| {
         let kernel = Kernel::new(size + 32 * bench::MIB);
         let proc = kernel.spawn().expect("spawn");

@@ -16,12 +16,7 @@ use odf_metrics::Stopwatch;
 
 const RUNS: usize = 10;
 
-fn fault_cost(
-    proc: &Process,
-    size: u64,
-    huge: bool,
-    policy: ForkPolicy,
-) -> odf_core::Result<f64> {
+fn fault_cost(proc: &Process, size: u64, huge: bool, policy: ForkPolicy) -> odf_core::Result<f64> {
     let addr = if huge {
         proc.mmap_anon_huge(size)?
     } else {

@@ -56,8 +56,16 @@ fn main() {
         bench::ms(init_ns as f64),
         pct(init_ns),
     ]);
-    table.row_owned(vec!["Forking".into(), bench::ms(fork_ns as f64), pct(fork_ns)]);
-    table.row_owned(vec!["Testing".into(), bench::ms(test_ns as f64), pct(test_ns)]);
+    table.row_owned(vec![
+        "Forking".into(),
+        bench::ms(fork_ns as f64),
+        pct(fork_ns),
+    ]);
+    table.row_owned(vec![
+        "Testing".into(),
+        bench::ms(test_ns as f64),
+        pct(test_ns),
+    ]);
     table.row_owned(vec!["Total".into(), bench::ms(total as f64), "100%".into()]);
     println!("{table}");
     println!(

@@ -23,10 +23,7 @@ fn measure(policy: ForkPolicy, dataset: &DatasetConfig) -> (f64, f64) {
         fork_ns += run.fork_ns;
         test_ns += run.test_ns;
     }
-    (
-        fork_ns as f64 / RUNS as f64,
-        test_ns as f64 / RUNS as f64,
-    )
+    (fork_ns as f64 / RUNS as f64, test_ns as f64 / RUNS as f64)
 }
 
 fn main() {

@@ -36,6 +36,7 @@ fn session(policy: ForkPolicy, keys: u64, requests: u64, rep: u64) -> Histogram 
             buckets: (keys * 2).next_power_of_two(),
             snapshot_every: 10_000,
             fork_policy: policy,
+            incremental: false,
         },
     )
     .expect("server");
@@ -70,8 +71,12 @@ fn main() {
     let classic = sessions(ForkPolicy::Classic, keys, requests);
     let odf = sessions(ForkPolicy::OnDemand, keys, requests);
 
-    let mut table =
-        bench::Table::new(&["Percentile", "Fork (us)", "On-demand-fork (us)", "Reduction"]);
+    let mut table = bench::Table::new(&[
+        "Percentile",
+        "Fork (us)",
+        "On-demand-fork (us)",
+        "Reduction",
+    ]);
     for p in [50.0, 90.0, 95.0, 99.0, 99.9, 99.99] {
         let f = classic.percentile(p) as f64 / 1e3;
         let o = odf.percentile(p) as f64 / 1e3;

@@ -24,6 +24,7 @@ fn measure(policy: ForkPolicy, keys: u64) -> Summary {
             buckets: (keys * 2).next_power_of_two(),
             snapshot_every: u64::MAX, // snapshots issued explicitly below
             fork_policy: policy,
+            incremental: false,
         },
     )
     .expect("server");
@@ -46,7 +47,10 @@ fn measure(policy: ForkPolicy, keys: u64) -> Summary {
 }
 
 fn main() {
-    bench::banner("Table 5", "Redis snapshot fork time (latest_fork_usec analog)");
+    bench::banner(
+        "Table 5",
+        "Redis snapshot fork time (latest_fork_usec analog)",
+    );
     let keys = if bench::fast_mode() { 20_000 } else { 120_000 };
 
     let classic = measure(ForkPolicy::Classic, keys);

@@ -129,6 +129,19 @@ pub fn ms(ns: f64) -> String {
     format!("{:.3}", ns / 1e6)
 }
 
+/// Human-readable byte count, for table cells.
+pub fn bytes(n: u64) -> String {
+    if n >= GIB {
+        format!("{:.2} GiB", n as f64 / GIB as f64)
+    } else if n >= MIB {
+        format!("{:.2} MiB", n as f64 / MIB as f64)
+    } else if n >= 1024 {
+        format!("{:.1} KiB", n as f64 / 1024.0)
+    } else {
+        format!("{n} B")
+    }
+}
+
 /// Duration for campaign-style benches (fuzzing, Redis sessions).
 pub fn campaign_duration(default_secs: u64) -> Duration {
     if fast_mode() {

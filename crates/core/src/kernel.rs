@@ -88,6 +88,19 @@ impl Kernel {
         Ok(self.adopt(mm))
     }
 
+    /// Creates a fresh process whose address space is rebuilt from a full
+    /// snapshot image (see [`odf_snapshot`]) — bit-identical to the
+    /// checkpointed one. Incremental chains are collapsed first with
+    /// [`odf_snapshot::materialize`].
+    pub fn restore(
+        self: &Arc<Self>,
+        image: &odf_snapshot::SnapshotImage,
+    ) -> odf_snapshot::Result<Process> {
+        let proc = self.spawn()?;
+        odf_snapshot::restore_into(image, proc.mm())?;
+        Ok(proc)
+    }
+
     /// Registers an address space as a new process.
     pub(crate) fn adopt(self: &Arc<Self>, mm: Mm) -> Process {
         let pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed));

@@ -57,3 +57,7 @@ pub use odf_vm::{
     Backing, ForkPolicy, Machine, MapParams, MmReport, Prot, Result, VmError, VmFile,
     HUGE_PAGE_SIZE, PAGE_SIZE,
 };
+
+pub use odf_snapshot::{
+    materialize, ImageKind, Result as SnapshotResult, SnapshotError, SnapshotImage,
+};

@@ -1,7 +1,9 @@
 //! Simulated processes.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use odf_snapshot::{capture_delta, capture_full, SnapshotError, SnapshotImage};
 use odf_vm::{ForkPolicy, MapParams, Mm, MmReport, Prot, Result};
 
 use crate::kernel::{Kernel, Pid};
@@ -19,11 +21,18 @@ pub struct Process {
     kernel: Arc<Kernel>,
     pid: Pid,
     mm: Mm,
+    /// Checkpoint epochs taken so far; epoch `n` diffs against `n - 1`.
+    epoch: AtomicU64,
 }
 
 impl Process {
     pub(crate) fn new(kernel: Arc<Kernel>, pid: Pid, mm: Mm) -> Self {
-        Self { kernel, pid, mm }
+        Self {
+            kernel,
+            pid,
+            mm,
+            epoch: AtomicU64::new(0),
+        }
     }
 
     /// This process's identifier.
@@ -151,7 +160,67 @@ impl Process {
     /// directly.
     pub fn fork_with(&self, policy: ForkPolicy) -> Result<Process> {
         let child_mm = self.mm.fork(policy)?;
-        Ok(self.kernel.adopt(child_mm))
+        let child = self.kernel.adopt(child_mm);
+        // The child continues the parent's checkpoint lineage: its pages
+        // carry the same soft-dirty view, so a delta taken from either side
+        // diffs against the same base epoch.
+        child
+            .epoch
+            .store(self.epoch.load(Ordering::Relaxed), Ordering::Relaxed);
+        Ok(child)
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint/restore
+    // ------------------------------------------------------------------
+
+    /// Checkpoint epochs taken on this process so far.
+    pub fn checkpoint_epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Takes a full checkpoint of the address space and starts a new
+    /// soft-dirty epoch, so a later [`checkpoint_delta`](Self::checkpoint_delta)
+    /// captures exactly the pages written after this call.
+    ///
+    /// For a pause-free checkpoint of a live process, fork first (ideally
+    /// with [`ForkPolicy::OnDemand`]) and checkpoint the frozen child — the
+    /// pattern `odf-kvstore`'s `bgsave` uses.
+    pub fn checkpoint(&self) -> odf_snapshot::Result<SnapshotImage> {
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        let image = capture_full(&self.mm, epoch);
+        self.mm.clear_soft_dirty()?;
+        self.epoch.store(epoch + 1, Ordering::Relaxed);
+        Ok(image)
+    }
+
+    /// Advances this process's checkpoint lineage without serializing:
+    /// clears the soft-dirty state and bumps the epoch; returns the new
+    /// epoch count.
+    ///
+    /// This is the parent half of the bgsave pattern: a forked child
+    /// serializes epoch `n` in the background while the parent — whose
+    /// pages carry the same dirty view — must start accumulating epoch
+    /// `n + 1` *before any post-fork write*, or the next delta silently
+    /// misses those writes.
+    pub fn advance_checkpoint_epoch(&self) -> Result<u64> {
+        self.mm.clear_soft_dirty()?;
+        Ok(self.epoch.fetch_add(1, Ordering::Relaxed) + 1)
+    }
+
+    /// Takes an incremental checkpoint: only pages dirtied since the last
+    /// `checkpoint`/`checkpoint_delta`, as a delta image chained onto that
+    /// epoch. Fails with [`SnapshotError::NoBaseEpoch`] if no base
+    /// checkpoint was ever taken.
+    pub fn checkpoint_delta(&self) -> odf_snapshot::Result<SnapshotImage> {
+        let epoch = self.epoch.load(Ordering::Relaxed);
+        if epoch == 0 {
+            return Err(SnapshotError::NoBaseEpoch);
+        }
+        let image = capture_delta(&self.mm, epoch, epoch - 1);
+        self.mm.clear_soft_dirty()?;
+        self.epoch.store(epoch + 1, Ordering::Relaxed);
+        Ok(image)
     }
 
     /// Exits the process, tearing down its address space now.
@@ -221,6 +290,69 @@ mod tests {
         assert_eq!(r.rss_pages, 256);
         assert_eq!(r.mapped_bytes, 1 << 20);
         assert_eq!(r.vma_count, 1);
+    }
+
+    #[test]
+    fn checkpoint_restore_round_trips_through_the_kernel() {
+        let k = Kernel::new(64 << 20);
+        let p = k.spawn().unwrap();
+        let a = p.mmap_anon(1 << 20).unwrap();
+        p.write(a + 4096, b"checkpointed state").unwrap();
+
+        let img = p.checkpoint().unwrap();
+        assert_eq!(p.checkpoint_epoch(), 1);
+        let q = k.restore(&img).unwrap();
+        assert_eq!(q.read_vec(a + 4096, 18).unwrap(), b"checkpointed state");
+        assert_ne!(p.pid(), q.pid());
+    }
+
+    #[test]
+    fn delta_checkpoints_chain_and_need_a_base() {
+        let k = Kernel::new(64 << 20);
+        let p = k.spawn().unwrap();
+        assert!(matches!(
+            p.checkpoint_delta(),
+            Err(crate::SnapshotError::NoBaseEpoch)
+        ));
+
+        let a = p.mmap_anon(256 << 10).unwrap();
+        p.write(a, b"base").unwrap();
+        let base = p.checkpoint().unwrap();
+        p.write(a + 8192, b"delta-1").unwrap();
+        let d1 = p.checkpoint_delta().unwrap();
+        p.write(a, b"over").unwrap();
+        let d2 = p.checkpoint_delta().unwrap();
+        assert_eq!(p.checkpoint_epoch(), 3);
+
+        let merged = crate::materialize(&base, &[&d1, &d2]).unwrap();
+        let q = k.restore(&merged).unwrap();
+        assert_eq!(q.read_vec(a, 4).unwrap(), b"over");
+        assert_eq!(q.read_vec(a + 8192, 7).unwrap(), b"delta-1");
+    }
+
+    #[test]
+    fn forked_child_checkpoints_on_the_parents_lineage() {
+        // The bgsave pattern: checkpoint a frozen child, keep serving in
+        // the parent, then take a delta from a later child.
+        let k = Kernel::new(64 << 20);
+        let p = k.spawn().unwrap();
+        let a = p.mmap_anon(256 << 10).unwrap();
+        p.write(a, b"v1").unwrap();
+
+        let c1 = p.fork_with(ForkPolicy::OnDemand).unwrap();
+        let base = c1.checkpoint().unwrap();
+        c1.exit();
+        assert_eq!(p.advance_checkpoint_epoch().unwrap(), 1);
+
+        p.write(a, b"v2").unwrap();
+        let c2 = p.fork_with(ForkPolicy::OnDemand).unwrap();
+        assert_eq!(c2.checkpoint_epoch(), 1);
+        let d = c2.checkpoint_delta().unwrap();
+        c2.exit();
+
+        let merged = crate::materialize(&base, &[&d]).unwrap();
+        let q = k.restore(&merged).unwrap();
+        assert_eq!(q.read_vec(a, 2).unwrap(), b"v2");
     }
 
     #[test]

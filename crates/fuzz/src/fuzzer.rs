@@ -327,7 +327,11 @@ mod tests {
                     break;
                 }
             }
-            Ok(if depth == 4 { Outcome::Crash } else { Outcome::Ok })
+            Ok(if depth == 4 {
+                Outcome::Crash
+            } else {
+                Outcome::Ok
+            })
         }
 
         fn dictionary(&self) -> Vec<Vec<u8>> {
@@ -374,10 +378,7 @@ mod tests {
         let s = f.stats();
         assert_eq!(s.execs, 3001);
         assert!(s.crashes > 0, "BOOM not found in 3000 execs");
-        assert!(f
-            .crash_inputs()
-            .iter()
-            .all(|i| i.starts_with(b"BOOM")));
+        assert!(f.crash_inputs().iter().all(|i| i.starts_with(b"BOOM")));
         // Every child exited: only the master remains.
         assert_eq!(k.process_count(), 1);
     }
@@ -388,8 +389,7 @@ mod tests {
         let master = k.spawn().unwrap();
         let target = ToyTarget;
         let mut f =
-            Fuzzer::new(&master, &target, FuzzConfig::default(), &[b"seed".to_vec()])
-                .unwrap();
+            Fuzzer::new(&master, &target, FuzzConfig::default(), &[b"seed".to_vec()]).unwrap();
         let stats = f
             .fuzz_for(Duration::from_millis(50), Duration::from_millis(10))
             .unwrap();
@@ -457,7 +457,7 @@ mod det_tests {
         let target = ByteLadder;
         // A long seed whose interesting part is only the 4-byte prefix.
         let mut seed = vec![0x10, 0x20, 0x40, 0x80];
-        seed.extend(std::iter::repeat(0xAA).take(60));
+        seed.extend(std::iter::repeat_n(0xAA, 60));
         let f = Fuzzer::new(
             &master,
             &target,

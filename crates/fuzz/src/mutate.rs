@@ -6,8 +6,7 @@ use rand::{Rng, SeedableRng};
 /// AFL's "interesting" 8-bit values.
 const INTERESTING_8: [i8; 9] = [-128, -1, 0, 1, 16, 32, 64, 100, 127];
 /// AFL's "interesting" 16-bit values.
-const INTERESTING_16: [i16; 10] =
-    [-32768, -129, 128, 255, 256, 512, 1000, 1024, 4096, 32767];
+const INTERESTING_16: [i16; 10] = [-32768, -129, 128, 255, 256, 512, 1000, 1024, 4096, 32767];
 
 /// A stacked-havoc mutator with optional dictionary and splicing.
 pub struct Mutator {
@@ -56,7 +55,7 @@ impl Mutator {
             0 => {
                 // Flip one bit.
                 let i = self.rng.gen_range(0..buf.len());
-                buf[i] ^= 1 << self.rng.gen_range(0..8);
+                buf[i] ^= 1u8 << self.rng.gen_range(0..8);
             }
             1 => {
                 // Random byte.
@@ -72,8 +71,7 @@ impl Mutator {
                 // Interesting 16-bit.
                 if buf.len() >= 2 {
                     let i = self.rng.gen_range(0..buf.len() - 1);
-                    let v =
-                        INTERESTING_16[self.rng.gen_range(0..INTERESTING_16.len())] as u16;
+                    let v = INTERESTING_16[self.rng.gen_range(0..INTERESTING_16.len())] as u16;
                     buf[i..i + 2].copy_from_slice(&v.to_le_bytes());
                 }
             }
@@ -172,9 +170,7 @@ mod tests {
     fn mutants_differ_from_input_usually() {
         let mut m = Mutator::new(2, vec![], 256);
         let input: Vec<u8> = (0..64u8).collect();
-        let changed = (0..100)
-            .filter(|_| m.mutate(&input, None) != input)
-            .count();
+        let changed = (0..100).filter(|_| m.mutate(&input, None) != input).count();
         assert!(changed > 90, "only {changed} mutants differed");
     }
 
@@ -193,7 +189,9 @@ mod tests {
     fn deterministic_for_fixed_seed() {
         let run = || {
             let mut m = Mutator::new(99, vec![b"x".to_vec()], 128);
-            (0..20).map(|_| m.mutate(b"hello world", None)).collect::<Vec<_>>()
+            (0..20)
+                .map(|_| m.mutate(b"hello world", None))
+                .collect::<Vec<_>>()
         };
         assert_eq!(run(), run());
     }

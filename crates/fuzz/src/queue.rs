@@ -71,7 +71,7 @@ impl Queue {
             let idx = self.next % self.entries.len();
             self.next = self.next.wrapping_add(1);
             let e = &self.entries[idx];
-            if e.favored || skip_roll % 4 == 0 {
+            if e.favored || skip_roll.is_multiple_of(4) {
                 return Some(&self.entries[idx]);
             }
         }
@@ -117,10 +117,7 @@ mod tests {
         q.push(entry(b"ab", 100, 10));
         // Fewer edges, worse score: dominated.
         q.push(entry(b"abcdef", 1000, 5));
-        assert_eq!(
-            q.len(),
-            2
-        );
+        assert_eq!(q.len(), 2);
         let favored: Vec<bool> = (0..2).map(|i| q.entries[i].favored).collect();
         assert_eq!(favored, vec![true, false]);
         // More edges: favored even though slower.
@@ -134,7 +131,10 @@ mod tests {
         q.push(entry(b"fav", 10, 10));
         q.push(entry(b"dom", 1000, 1));
         let picks: Vec<bool> = (0..8).map(|i| q.pick(2 * i + 1).unwrap().favored).collect();
-        assert!(picks.iter().all(|&f| f), "non-favored picked with skip roll");
+        assert!(
+            picks.iter().all(|&f| f),
+            "non-favored picked with skip roll"
+        );
         // With roll % 4 == 0 the non-favored entry can be picked.
         let any_dominated = (0..8).any(|_| !q.pick(4).unwrap().favored);
         assert!(any_dominated);

@@ -26,10 +26,30 @@ impl SqlTarget {
     /// AFL).
     pub fn new(db: Database, schema_tokens: &[&str]) -> Self {
         let mut dictionary: Vec<Vec<u8>> = [
-            "SELECT ", "INSERT INTO ", "DELETE FROM ", "UPDATE ", "CREATE TABLE ",
-            "WHERE ", "VALUES ", "FROM ", "SET ", "AND ", "OR ", " INT", " TEXT", "*",
-            "= ", ">= ", "<= ", "!= ", "; ", "ORDER BY ", " DESC", " LIMIT ",
-            "COUNT(*)", "CREATE INDEX ON ",
+            "SELECT ",
+            "INSERT INTO ",
+            "DELETE FROM ",
+            "UPDATE ",
+            "CREATE TABLE ",
+            "WHERE ",
+            "VALUES ",
+            "FROM ",
+            "SET ",
+            "AND ",
+            "OR ",
+            " INT",
+            " TEXT",
+            "*",
+            "= ",
+            ">= ",
+            "<= ",
+            "!= ",
+            "; ",
+            "ORDER BY ",
+            " DESC",
+            " LIMIT ",
+            "COUNT(*)",
+            "CREATE INDEX ON ",
         ]
         .iter()
         .map(|s| s.as_bytes().to_vec())
@@ -56,7 +76,9 @@ impl SqlTarget {
         if let Ok(tokens) = odf_sqldb::tokenize(sql) {
             for t in tokens.iter().take(64) {
                 trace.hit(match t {
-                    Token::Word(w) => 0x1000 + u64::from(w.as_bytes().first().copied().unwrap_or(0)),
+                    Token::Word(w) => {
+                        0x1000 + u64::from(w.as_bytes().first().copied().unwrap_or(0))
+                    }
                     Token::Int(v) => 0x2000 + (*v as u64) % 16,
                     Token::Str(s) => 0x3000 + (s.len() as u64).min(15),
                     Token::Sym(s) => 0x4000 + u64::from(s.as_bytes()[0]),
@@ -160,10 +182,10 @@ impl GuestVmTarget {
             assemble(Opcode::LoadImm, 1, 0, 1),          // r1 = 1
             assemble(Opcode::LoadImm, 2, 0, 0x20000),    // r2 = scratch
             // loop:
-            assemble(Opcode::Sub, 0, 1, 0),          // r0 -= 1
-            assemble(Opcode::Store, 2, 0, 0x100),    // scratch write
-            assemble(Opcode::Jz, 0, 0, 7 * 8),       // exit when r0 == 0
-            assemble(Opcode::Jmp, 0, 0, 3 * 8),      // back to loop
+            assemble(Opcode::Sub, 0, 1, 0),       // r0 -= 1
+            assemble(Opcode::Store, 2, 0, 0x100), // scratch write
+            assemble(Opcode::Jz, 0, 0, 7 * 8),    // exit when r0 == 0
+            assemble(Opcode::Jmp, 0, 0, 3 * 8),   // back to loop
         ]
     }
 
@@ -192,7 +214,9 @@ impl Target for GuestVmTarget {
         }
         let program = Self::decode(input);
         self.vm.load_program(proc, &program)?;
-        let outcome = self.vm.exec(proc, self.max_steps, &mut |loc| trace.hit(loc))?;
+        let outcome = self
+            .vm
+            .exec(proc, self.max_steps, &mut |loc| trace.hit(loc))?;
         Ok(match outcome {
             ExecOutcome::Halted { steps } => {
                 trace.hit(0x7000 + steps.min(31));
@@ -244,7 +268,11 @@ mod tests {
         let child = master.fork_with(ForkPolicy::OnDemand).unwrap();
         let mut trace = Trace::new();
         let out = target
-            .run(&child, b"SELECT * FROM t WHERE a = 5; DELETE FROM t", &mut trace)
+            .run(
+                &child,
+                b"SELECT * FROM t WHERE a = 5; DELETE FROM t",
+                &mut trace,
+            )
             .unwrap();
         assert_eq!(out, Outcome::Ok);
         assert!(trace.edge_count() > 4);
@@ -305,7 +333,10 @@ mod tests {
                 Outcome::Crash,
             ),
             // Tight infinite loop.
-            (assemble(Opcode::Jmp, 0, 0, 0).encode().to_vec(), Outcome::Hang),
+            (
+                assemble(Opcode::Jmp, 0, 0, 0).encode().to_vec(),
+                Outcome::Hang,
+            ),
         ];
         for (input, want) in cases {
             let child = master.fork_with(ForkPolicy::OnDemand).unwrap();

@@ -109,7 +109,9 @@ impl GuestVm {
     /// Reads a guest u64.
     pub fn read_u64(&self, proc: &Process, guest: u64) -> Result<Option<u64>> {
         let mut b = [0u8; 8];
-        Ok(self.read(proc, guest, &mut b)?.then(|| u64::from_le_bytes(b)))
+        Ok(self
+            .read(proc, guest, &mut b)?
+            .then(|| u64::from_le_bytes(b)))
     }
 
     /// Writes a guest u64.
@@ -205,8 +207,7 @@ impl GuestVm {
                 }
                 Opcode::Syscall => {
                     let args = [regs[0], regs[1], regs[2], regs[3]];
-                    regs[0] =
-                        syscalls::dispatch(proc, self, u64::from(ins.imm), args, cov)?;
+                    regs[0] = syscalls::dispatch(proc, self, u64::from(ins.imm), args, cov)?;
                 }
             }
         }
@@ -253,13 +254,13 @@ mod tests {
             &[
                 assemble(Opcode::LoadImm, 0, 0, 6),
                 assemble(Opcode::LoadImm, 1, 0, 7),
-                assemble(Opcode::Mul, 0, 1, 0),   // r0 = 42
-                assemble(Opcode::Shl, 0, 0, 8),   // r0 = 42 << 8
+                assemble(Opcode::Mul, 0, 1, 0), // r0 = 42
+                assemble(Opcode::Shl, 0, 0, 8), // r0 = 42 << 8
                 assemble(Opcode::LoadImm, 1, 0, 0xFF00),
-                assemble(Opcode::And, 0, 1, 0),   // r0 = 0x2A00
+                assemble(Opcode::And, 0, 1, 0), // r0 = 0x2A00
                 assemble(Opcode::LoadImm, 1, 0, 1),
-                assemble(Opcode::Or, 0, 1, 0),    // r0 |= 1
-                assemble(Opcode::Shr, 0, 0, 4),   // r0 >>= 4
+                assemble(Opcode::Or, 0, 1, 0),  // r0 |= 1
+                assemble(Opcode::Shr, 0, 0, 4), // r0 >>= 4
                 assemble(Opcode::LoadImm, 2, 0, DATA_BASE as u32),
                 assemble(Opcode::Store, 2, 0, 0),
             ],
@@ -326,7 +327,8 @@ mod tests {
     #[test]
     fn infinite_loop_hits_step_limit() {
         let (_k, p, vm) = setup();
-        vm.load_program(&p, &[assemble(Opcode::Jmp, 0, 0, 0)]).unwrap();
+        vm.load_program(&p, &[assemble(Opcode::Jmp, 0, 0, 0)])
+            .unwrap();
         let out = vm.exec(&p, 50, &mut |_| {}).unwrap();
         assert_eq!(out, ExecOutcome::StepLimit);
     }

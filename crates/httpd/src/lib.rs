@@ -88,11 +88,7 @@ impl DocTable {
             let body_addr = heap.alloc(proc, config.document_size as u64)?;
             // A recognizable repeating body.
             let pattern = format!("doc{i}:");
-            let body: Vec<u8> = pattern
-                .bytes()
-                .cycle()
-                .take(config.document_size)
-                .collect();
+            let body: Vec<u8> = pattern.bytes().cycle().take(config.document_size).collect();
             proc.write(body_addr, &body)?;
             let slot = header + 8 + i as u64 * 24;
             proc.write_u64(slot, name_addr)?;
@@ -207,13 +203,24 @@ impl PreforkServer {
         let mut parts = request.split_whitespace();
         let (method, path) = match (parts.next(), parts.next()) {
             (Some(m), Some(p)) => (m, p),
-            _ => return Ok(Response { status: 400, body: b"bad request".to_vec() }),
+            _ => {
+                return Ok(Response {
+                    status: 400,
+                    body: b"bad request".to_vec(),
+                })
+            }
         };
         if method != "GET" {
-            return Ok(Response { status: 405, body: b"method not allowed".to_vec() });
+            return Ok(Response {
+                status: 405,
+                body: b"method not allowed".to_vec(),
+            });
         }
         match self.docs.lookup(proc, path.as_bytes())? {
-            None => Ok(Response { status: 404, body: b"not found".to_vec() }),
+            None => Ok(Response {
+                status: 404,
+                body: b"not found".to_vec(),
+            }),
             Some((body_addr, len)) => {
                 // Assemble the response in worker-private scratch: read the
                 // document through the (possibly COW-shared) image, write

@@ -86,10 +86,7 @@ impl RespValue {
         let consumed_line = line_end + 2;
         let text = std::str::from_utf8(line).ok();
         match first {
-            b'+' => Some((
-                RespValue::Simple(text?.to_string()),
-                consumed_line,
-            )),
+            b'+' => Some((RespValue::Simple(text?.to_string()), consumed_line)),
             b'-' => Some((RespValue::Error(text?.to_string()), consumed_line)),
             b':' => match text.and_then(|t| t.parse().ok()) {
                 Some(v) => Some((RespValue::Integer(v), consumed_line)),
@@ -194,9 +191,7 @@ pub fn dispatch(server: &mut Server, command: &RespValue) -> RespValue {
         b"INCR" => match rest {
             [key] => match server.incr(key) {
                 Ok(v) => RespValue::Integer(v),
-                Err(_) => {
-                    RespValue::Error("ERR value is not an integer or out of range".into())
-                }
+                Err(_) => RespValue::Error("ERR value is not an integer or out of range".into()),
             },
             _ => wrong_arity(),
         },
@@ -340,18 +335,9 @@ mod tests {
             run(&mut s, &[b"INCR", b"bad"]),
             RespValue::Integer(1)
         ));
-        assert!(matches!(
-            run(&mut s, &[b"SET", b"k"]),
-            RespValue::Error(_)
-        ));
-        assert!(matches!(
-            run(&mut s, &[b"FLUSHALL"]),
-            RespValue::Error(_)
-        ));
-        assert!(matches!(
-            run(&mut s, &[b"BGSAVE"]),
-            RespValue::Simple(_)
-        ));
+        assert!(matches!(run(&mut s, &[b"SET", b"k"]), RespValue::Error(_)));
+        assert!(matches!(run(&mut s, &[b"FLUSHALL"]), RespValue::Error(_)));
+        assert!(matches!(run(&mut s, &[b"BGSAVE"]), RespValue::Simple(_)));
         s.wait_snapshots();
     }
 

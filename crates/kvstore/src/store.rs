@@ -94,8 +94,7 @@ impl Store {
 
     /// Inserts or replaces a key.
     pub fn set(&self, proc: &Process, key: &[u8], value: &[u8]) -> Result<()> {
-        if key.is_empty() || key.len() > u32::MAX as usize || value.len() > u32::MAX as usize
-        {
+        if key.is_empty() || key.len() > u32::MAX as usize || value.len() > u32::MAX as usize {
             return Err(VmError::InvalidArgument);
         }
         // Replace = delete + insert at chain head (Redis semantics: SET
@@ -216,20 +215,13 @@ impl Store {
     }
 
     /// Rebuilds a store from a serialized dump (recovery).
-    pub fn restore(
-        proc: &Process,
-        heap_capacity: u64,
-        buckets: u64,
-        dump: &[u8],
-    ) -> Result<Store> {
+    pub fn restore(proc: &Process, heap_capacity: u64, buckets: u64, dump: &[u8]) -> Result<Store> {
         let store = Store::create(proc, heap_capacity, buckets)?;
         let mut at = 8usize;
         let items = u64::from_le_bytes(dump[0..8].try_into().expect("dump header"));
         for _ in 0..items {
-            let klen =
-                u32::from_le_bytes(dump[at..at + 4].try_into().expect("klen")) as usize;
-            let vlen =
-                u32::from_le_bytes(dump[at + 4..at + 8].try_into().expect("vlen")) as usize;
+            let klen = u32::from_le_bytes(dump[at..at + 4].try_into().expect("klen")) as usize;
+            let vlen = u32::from_le_bytes(dump[at + 4..at + 8].try_into().expect("vlen")) as usize;
             at += 8;
             let key = &dump[at..at + klen];
             let value = &dump[at + klen..at + klen + vlen];
@@ -307,8 +299,12 @@ mod tests {
     fn serialize_restore_preserves_content() {
         let (_k, p, s) = setup();
         for i in 0..100u32 {
-            s.set(&p, format!("k{i}").as_bytes(), format!("value-{i}").as_bytes())
-                .unwrap();
+            s.set(
+                &p,
+                format!("k{i}").as_bytes(),
+                format!("value-{i}").as_bytes(),
+            )
+            .unwrap();
         }
         let dump = s.serialize(&p).unwrap();
         let k2 = Kernel::new(128 << 20);

@@ -122,6 +122,7 @@ mod tests {
                 heap_capacity: 16 << 20,
                 snapshot_every: u64::MAX,
                 fork_policy: ForkPolicy::OnDemand,
+                incremental: false,
                 ..Default::default()
             },
         )

@@ -36,7 +36,8 @@ impl Table {
     /// Rows shorter than the header are padded with empty cells; longer rows
     /// extend the table width.
     pub fn row(&mut self, cells: &[&str]) {
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
     }
 
     /// Appends a row from owned strings.
@@ -62,12 +63,12 @@ impl Table {
         }
         let mut out = String::new();
         let emit = |out: &mut String, row: &[String]| {
-            for i in 0..ncols {
+            for (i, width) in widths.iter().enumerate() {
                 let cell = row.get(i).map(String::as_str).unwrap_or("");
                 if i + 1 == ncols {
                     let _ = write!(out, "{cell}");
                 } else {
-                    let _ = write!(out, "{cell:<w$}  ", w = widths[i]);
+                    let _ = write!(out, "{cell:<width$}  ");
                 }
             }
             out.push('\n');

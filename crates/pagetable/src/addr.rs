@@ -74,6 +74,7 @@ impl VirtAddr {
     /// # Panics
     ///
     /// Panics if the result leaves the canonical range.
+    #[allow(clippy::should_implement_trait)] // offset arithmetic, not `Add`
     pub fn add(self, bytes: u64) -> Self {
         Self::new(self.0 + bytes)
     }

@@ -23,10 +23,27 @@ impl EntryFlags {
     pub const DIRTY: u64 = 1 << 6;
     /// At the PMD level: the entry maps a 2 MiB page directly (PS bit).
     pub const HUGE: u64 = 1 << 7;
+    /// Software-tracked dirty bit for incremental snapshots (bit 9, one of
+    /// the ignored bits in the hardware layout — Linux uses bit 58 at PTE
+    /// level for the same purpose).
+    ///
+    /// Unlike `DIRTY`, which COW and write-protection logic may reset,
+    /// this bit is only cleared by an explicit
+    /// `clear_soft_dirty` sweep, so "set" means "written since the last
+    /// snapshot epoch". It is set on writes and whenever a leaf entry is
+    /// newly instantiated or moved (demand paging, populate, mremap), so a
+    /// delta image can never carry stale content forward at a reused
+    /// address.
+    pub const SOFT_DIRTY: u64 = 1 << 9;
 
     /// Mask of all defined flag bits.
-    pub const ALL: u64 =
-        Self::PRESENT | Self::WRITABLE | Self::USER | Self::ACCESSED | Self::DIRTY | Self::HUGE;
+    pub const ALL: u64 = Self::PRESENT
+        | Self::WRITABLE
+        | Self::USER
+        | Self::ACCESSED
+        | Self::DIRTY
+        | Self::HUGE
+        | Self::SOFT_DIRTY;
 }
 
 /// Mask of the frame-number bits (bits 12..48).
@@ -106,6 +123,12 @@ impl Entry {
         self.0 & EntryFlags::DIRTY != 0
     }
 
+    /// Whether the software dirty bit is set (written since the last
+    /// snapshot epoch).
+    pub fn is_soft_dirty(self) -> bool {
+        self.0 & EntryFlags::SOFT_DIRTY != 0
+    }
+
     /// The referenced frame.
     pub fn frame(self) -> FrameId {
         FrameId(((self.0 & FRAME_MASK) >> PAGE_SHIFT) as u32)
@@ -129,13 +152,18 @@ impl std::fmt::Debug for Entry {
         }
         write!(
             f,
-            "Entry({:?}{}{}{}{}{})",
+            "Entry({:?}{}{}{}{}{}{})",
             self.frame(),
             if self.is_writable() { " W" } else { " RO" },
             if self.is_huge() { " HUGE" } else { "" },
             if self.is_accessed() { " A" } else { "" },
             if self.is_dirty() { " D" } else { "" },
-            if self.0 & EntryFlags::USER != 0 { " U" } else { "" },
+            if self.is_soft_dirty() { " SD" } else { "" },
+            if self.0 & EntryFlags::USER != 0 {
+                " U"
+            } else {
+                ""
+            },
         )
     }
 }
@@ -172,6 +200,16 @@ mod tests {
         assert!(!e.is_writable());
         assert!(e.is_present());
         assert!(!Entry::page(FrameId(512), false).is_huge());
+    }
+
+    #[test]
+    fn soft_dirty_is_independent_of_dirty() {
+        let e = Entry::page(FrameId(7), true).with_set(EntryFlags::SOFT_DIRTY);
+        assert!(e.is_soft_dirty());
+        assert!(!e.is_dirty());
+        let cleared = e.with_cleared(EntryFlags::SOFT_DIRTY);
+        assert!(!cleared.is_soft_dirty());
+        assert_eq!(cleared.frame(), FrameId(7));
     }
 
     #[test]

@@ -152,8 +152,14 @@ mod tests {
     #[test]
     fn copy_from_preserves_all_bits() {
         let a = Table::new();
-        a.store(0, Entry::page(FrameId(1), true).with_set(EntryFlags::ACCESSED));
-        a.store(511, Entry::page(FrameId(2), false).with_set(EntryFlags::DIRTY));
+        a.store(
+            0,
+            Entry::page(FrameId(1), true).with_set(EntryFlags::ACCESSED),
+        );
+        a.store(
+            511,
+            Entry::page(FrameId(2), false).with_set(EntryFlags::DIRTY),
+        );
         let b = Table::new();
         b.copy_from(&a);
         assert!(b.load(0).is_accessed());
@@ -164,7 +170,10 @@ mod tests {
     #[test]
     fn wrprotect_all_clears_only_writable() {
         let t = Table::new();
-        t.store(1, Entry::page(FrameId(5), true).with_set(EntryFlags::ACCESSED));
+        t.store(
+            1,
+            Entry::page(FrameId(5), true).with_set(EntryFlags::ACCESSED),
+        );
         t.store(2, Entry::page(FrameId(6), false));
         t.wrprotect_all();
         assert!(!t.load(1).is_writable());

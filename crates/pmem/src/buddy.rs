@@ -54,7 +54,7 @@ impl Buddy {
             let mut order = MAX_ORDER;
             loop {
                 let size = 1usize << order;
-                if at % size == 0 && at + size <= frames {
+                if at.is_multiple_of(size) && at + size <= frames {
                     break;
                 }
                 order -= 1;
@@ -234,7 +234,7 @@ mod tests {
         let mut x = 11u64;
         for step in 0..5000 {
             x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
-            let free_it = !live.is_empty() && (x % 3 == 0);
+            let free_it = !live.is_empty() && x.is_multiple_of(3);
             if free_it {
                 let idx = (x as usize / 7) % live.len();
                 let (f, o) = live.swap_remove(idx);

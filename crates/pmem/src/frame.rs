@@ -64,7 +64,7 @@ mod tests {
     fn constants_are_consistent() {
         assert_eq!(1usize << PAGE_SHIFT, PAGE_SIZE);
         assert_eq!(HUGE_PAGE_SIZE, 2 * 1024 * 1024);
-        assert!(HUGE_ORDER < MAX_ORDER);
+        const { assert!(HUGE_ORDER < MAX_ORDER) };
     }
 
     #[test]

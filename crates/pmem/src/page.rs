@@ -270,10 +270,7 @@ mod tests {
     #[test]
     fn compound_marks_are_distinct() {
         let head = Page::new();
-        head.set_allocated(
-            PageFlags::COMPOUND_HEAD | PageFlags::with_order(9),
-            0,
-        );
+        head.set_allocated(PageFlags::COMPOUND_HEAD | PageFlags::with_order(9), 0);
         assert!(head.is_compound_head());
         assert!(!head.is_compound_tail());
         assert_eq!(head.order(), 9);

@@ -1,0 +1,93 @@
+//! Building images from a live (typically freshly forked) address space.
+
+use std::collections::HashMap;
+
+use odf_pmem::{FrameId, PAGE_SIZE};
+use odf_vm::{AddressSpaceView, Mm, VmaInfo};
+
+use crate::image::{ImageKind, PageRecord, SnapshotImage, VmaRecord};
+
+/// Captures a complete image of the address space at the given epoch.
+///
+/// Zero pages — frames never written, still backed by the demand-zero
+/// store — are elided entirely: restore demand-zeroes any address without
+/// a record, so they cost nothing in the image. Frames mapped at several
+/// addresses are stored once (payload dedup).
+pub fn capture_full(mm: &Mm, epoch: u64) -> SnapshotImage {
+    build(mm, mm.capture_view(), ImageKind::Full, epoch, epoch)
+}
+
+/// Captures only the pages written (or discarded) since `parent_epoch` —
+/// the soft-dirty set plus the epoch's dirty-range log.
+///
+/// Soft-dirty pages whose frame is still unmaterialized are recorded as
+/// explicit zeros: unlike in a full image they must override whatever the
+/// parent chain holds at that address.
+pub fn capture_delta(mm: &Mm, epoch: u64, parent_epoch: u64) -> SnapshotImage {
+    build(mm, mm.capture_view(), ImageKind::Delta, epoch, parent_epoch)
+}
+
+fn build(
+    mm: &Mm,
+    view: AddressSpaceView,
+    kind: ImageKind,
+    epoch: u64,
+    parent_epoch: u64,
+) -> SnapshotImage {
+    let pool = mm.machine().pool();
+    let mut image = SnapshotImage {
+        kind,
+        epoch,
+        parent_epoch,
+        vmas: view.vmas.iter().map(vma_record).collect(),
+        dirty_ranges: if kind == ImageKind::Delta {
+            view.dirty_ranges.clone()
+        } else {
+            Vec::new()
+        },
+        pages: Vec::new(),
+        payloads: Vec::new(),
+    };
+    // Frame → payload index: a frame shared across addresses (COW after
+    // fork, shared mappings) serializes once.
+    let mut dedup: HashMap<FrameId, u32> = HashMap::new();
+    for leaf in &view.pages {
+        if kind == ImageKind::Delta && !leaf.soft_dirty {
+            continue;
+        }
+        for i in 0..leaf.pages as usize {
+            let va = leaf.va + (i * PAGE_SIZE) as u64;
+            let frame = leaf.frame.offset(i);
+            if !pool.is_materialized(frame) {
+                // Demand-zero content. Full images elide it; deltas must
+                // state it explicitly to override the parent chain.
+                if kind == ImageKind::Delta {
+                    image.pages.push(PageRecord { va, payload: None });
+                }
+                continue;
+            }
+            let idx = *dedup.entry(frame).or_insert_with(|| {
+                let mut buf = vec![0u8; PAGE_SIZE];
+                pool.read_frame(frame, 0, &mut buf);
+                image.payloads.push(buf);
+                (image.payloads.len() - 1) as u32
+            });
+            image.pages.push(PageRecord {
+                va,
+                payload: Some(idx),
+            });
+        }
+    }
+    image
+}
+
+fn vma_record(v: &VmaInfo) -> VmaRecord {
+    VmaRecord {
+        start: v.start,
+        end: v.end,
+        prot: v.prot,
+        shared: v.shared,
+        huge: v.huge,
+        file_backed: v.file_backed,
+    }
+}

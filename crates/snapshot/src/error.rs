@@ -1,0 +1,55 @@
+//! Snapshot errors.
+
+use odf_vm::VmError;
+
+/// Errors of the checkpoint/restore subsystem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// An operation on the underlying address space failed.
+    Vm(VmError),
+    /// The image bytes are malformed.
+    Corrupt(&'static str),
+    /// A delta's parent epoch does not continue the chain.
+    ChainMismatch {
+        /// Epoch the chain ends at.
+        expected: u64,
+        /// Parent epoch the delta claims.
+        got: u64,
+    },
+    /// A full image was required (restore target, chain base).
+    NotFull,
+    /// A delta image was required (chain link).
+    NotDelta,
+    /// A delta was requested with no prior checkpoint to diff against.
+    NoBaseEpoch,
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Vm(e) => write!(f, "vm error: {e}"),
+            SnapshotError::Corrupt(why) => write!(f, "corrupt image: {why}"),
+            SnapshotError::ChainMismatch { expected, got } => write!(
+                f,
+                "delta does not continue the chain (chain at epoch {expected}, \
+                 delta parents {got})"
+            ),
+            SnapshotError::NotFull => write!(f, "a full image is required"),
+            SnapshotError::NotDelta => write!(f, "a delta image is required"),
+            SnapshotError::NoBaseEpoch => {
+                write!(f, "no prior checkpoint to take a delta against")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<VmError> for SnapshotError {
+    fn from(e: VmError) -> Self {
+        SnapshotError::Vm(e)
+    }
+}
+
+/// Result alias of this crate.
+pub type Result<T> = std::result::Result<T, SnapshotError>;

@@ -1,0 +1,394 @@
+//! The versioned binary snapshot image format.
+//!
+//! An image is self-contained: VMA layout, page records, and a payload
+//! pool. Page records reference payloads by index, so a frame mapped at
+//! several addresses (COW sharing, shared mappings) is stored once —
+//! the image-level analog of the refcount sharing On-demand fork creates.
+
+use odf_pmem::PAGE_SIZE;
+use odf_vm::Prot;
+
+use crate::error::{Result, SnapshotError};
+
+/// Image format magic: `ODFSNAP` plus a one-byte format version.
+pub const MAGIC: [u8; 8] = *b"ODFSNAP\x01";
+
+/// Sentinel payload index meaning "this page is explicitly zero".
+const ZERO_PAYLOAD: u32 = u32::MAX;
+
+/// Whether an image stands alone or encodes changes since a parent epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ImageKind {
+    /// The complete address-space contents at one epoch.
+    Full,
+    /// Only the pages written (or discarded) since the parent epoch; must
+    /// be materialized against a chain rooted at a full image.
+    Delta,
+}
+
+/// One VMA of the captured layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct VmaRecord {
+    /// Inclusive start address.
+    pub start: u64,
+    /// Exclusive end address.
+    pub end: u64,
+    /// Protection to restore.
+    pub prot: Prot,
+    /// `MAP_SHARED` semantics.
+    pub shared: bool,
+    /// 2 MiB-granular mapping.
+    pub huge: bool,
+    /// Originally file-backed; restored as anonymous memory holding the
+    /// captured contents (the image carries no file reference).
+    pub file_backed: bool,
+}
+
+/// One captured 4 KiB page.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PageRecord {
+    /// Page-aligned virtual address.
+    pub va: u64,
+    /// Index into the payload pool, or `None` for an explicitly zero page
+    /// (only emitted in deltas — a full image simply omits zero pages,
+    /// since restore demand-zeroes anything without a record).
+    pub payload: Option<u32>,
+}
+
+/// Aggregate counters describing an image's compactness.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ImageStats {
+    /// Total page records.
+    pub page_records: usize,
+    /// Records that are explicit zeros (delta-only).
+    pub zero_records: usize,
+    /// Records referencing a payload.
+    pub payload_refs: usize,
+    /// Distinct payloads stored.
+    pub unique_payloads: usize,
+}
+
+impl ImageStats {
+    /// How many payload references each stored payload serves on average
+    /// (1.0 = no sharing; >1.0 = deduplication saved space).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.unique_payloads == 0 {
+            1.0
+        } else {
+            self.payload_refs as f64 / self.unique_payloads as f64
+        }
+    }
+}
+
+/// A serialized (or serializable) address-space snapshot.
+#[derive(Clone, Debug)]
+pub struct SnapshotImage {
+    /// Full or delta.
+    pub kind: ImageKind,
+    /// The epoch this image captures.
+    pub epoch: u64,
+    /// For deltas: the epoch this delta applies on top of. Equal to
+    /// `epoch` for full images.
+    pub parent_epoch: u64,
+    /// The VMA layout at capture time, in address order.
+    pub vmas: Vec<VmaRecord>,
+    /// For deltas: ranges re-created or discarded wholesale during the
+    /// epoch (fresh mmaps, mremap destinations, `MADV_DONTNEED`). During
+    /// materialization, previous-epoch content inside these ranges is
+    /// discarded before this delta's pages are applied.
+    pub dirty_ranges: Vec<(u64, u64)>,
+    /// Captured pages, in address order.
+    pub pages: Vec<PageRecord>,
+    /// Deduplicated page contents; every entry is exactly one page.
+    pub payloads: Vec<Vec<u8>>,
+}
+
+impl SnapshotImage {
+    /// Computes the compactness counters.
+    pub fn stats(&self) -> ImageStats {
+        let zero_records = self.pages.iter().filter(|p| p.payload.is_none()).count();
+        ImageStats {
+            page_records: self.pages.len(),
+            zero_records,
+            payload_refs: self.pages.len() - zero_records,
+            unique_payloads: self.payloads.len(),
+        }
+    }
+
+    /// Exact size of [`SnapshotImage::to_bytes`] output without building it.
+    pub fn serialized_len(&self) -> usize {
+        8 + 1
+            + 8
+            + 8
+            + 8
+            + 4 * 4
+            + self.vmas.len() * 17
+            + self.dirty_ranges.len() * 16
+            + self.payloads.iter().map(|p| 4 + p.len()).sum::<usize>()
+            + self.pages.len() * 12
+    }
+
+    /// Serializes to the versioned binary format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_len());
+        out.extend_from_slice(&MAGIC);
+        out.push(match self.kind {
+            ImageKind::Full => 0,
+            ImageKind::Delta => 1,
+        });
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.parent_epoch.to_le_bytes());
+        let checksum_at = out.len();
+        out.extend_from_slice(&[0u8; 8]); // body checksum, filled in below
+        out.extend_from_slice(&(self.vmas.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.dirty_ranges.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.payloads.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.pages.len() as u32).to_le_bytes());
+        for v in &self.vmas {
+            out.extend_from_slice(&v.start.to_le_bytes());
+            out.extend_from_slice(&v.end.to_le_bytes());
+            let mut flags = 0u8;
+            flags |= v.prot.read as u8;
+            flags |= (v.prot.write as u8) << 1;
+            flags |= (v.shared as u8) << 2;
+            flags |= (v.huge as u8) << 3;
+            flags |= (v.file_backed as u8) << 4;
+            out.push(flags);
+        }
+        for &(s, e) in &self.dirty_ranges {
+            out.extend_from_slice(&s.to_le_bytes());
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        for p in &self.payloads {
+            out.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            out.extend_from_slice(p);
+        }
+        for p in &self.pages {
+            out.extend_from_slice(&p.va.to_le_bytes());
+            out.extend_from_slice(&p.payload.unwrap_or(ZERO_PAYLOAD).to_le_bytes());
+        }
+        let sum = fnv1a(&out[checksum_at + 8..]);
+        out[checksum_at..checksum_at + 8].copy_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Parses the binary format, validating magic, version, and indices.
+    pub fn from_bytes(data: &[u8]) -> Result<SnapshotImage> {
+        let mut r = Reader { data, at: 0 };
+        if r.take(8)? != MAGIC {
+            return Err(SnapshotError::Corrupt("bad magic or format version"));
+        }
+        let kind = match r.u8()? {
+            0 => ImageKind::Full,
+            1 => ImageKind::Delta,
+            _ => return Err(SnapshotError::Corrupt("unknown image kind")),
+        };
+        let epoch = r.u64()?;
+        let parent_epoch = r.u64()?;
+        let checksum = r.u64()?;
+        if fnv1a(&data[r.at..]) != checksum {
+            return Err(SnapshotError::Corrupt("body checksum mismatch"));
+        }
+        let vma_count = r.u32()? as usize;
+        let range_count = r.u32()? as usize;
+        let payload_count = r.u32()? as usize;
+        let page_count = r.u32()? as usize;
+
+        let mut vmas = Vec::with_capacity(vma_count.min(1 << 20));
+        for _ in 0..vma_count {
+            let start = r.u64()?;
+            let end = r.u64()?;
+            let flags = r.u8()?;
+            if end <= start {
+                return Err(SnapshotError::Corrupt("empty or inverted vma"));
+            }
+            vmas.push(VmaRecord {
+                start,
+                end,
+                prot: Prot {
+                    read: flags & 1 != 0,
+                    write: flags & 2 != 0,
+                },
+                shared: flags & 4 != 0,
+                huge: flags & 8 != 0,
+                file_backed: flags & 16 != 0,
+            });
+        }
+        let mut dirty_ranges = Vec::with_capacity(range_count.min(1 << 20));
+        for _ in 0..range_count {
+            dirty_ranges.push((r.u64()?, r.u64()?));
+        }
+        let mut payloads = Vec::with_capacity(payload_count.min(1 << 20));
+        for _ in 0..payload_count {
+            let len = r.u32()? as usize;
+            if len != PAGE_SIZE {
+                return Err(SnapshotError::Corrupt("payload is not one page"));
+            }
+            payloads.push(r.take(len)?.to_vec());
+        }
+        let mut pages = Vec::with_capacity(page_count.min(1 << 20));
+        for _ in 0..page_count {
+            let va = r.u64()?;
+            let raw = r.u32()?;
+            let payload = if raw == ZERO_PAYLOAD {
+                None
+            } else {
+                if raw as usize >= payloads.len() {
+                    return Err(SnapshotError::Corrupt("payload index out of range"));
+                }
+                Some(raw)
+            };
+            pages.push(PageRecord { va, payload });
+        }
+        if r.at != data.len() {
+            return Err(SnapshotError::Corrupt("trailing bytes"));
+        }
+        Ok(SnapshotImage {
+            kind,
+            epoch,
+            parent_epoch,
+            vmas,
+            dirty_ranges,
+            pages,
+            payloads,
+        })
+    }
+}
+
+/// FNV-1a over the image body — guards against bit corruption in stored
+/// payloads, which the structural checks alone cannot see.
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+struct Reader<'a> {
+    data: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.at + n > self.data.len() {
+            return Err(SnapshotError::Corrupt("truncated image"));
+        }
+        let s = &self.data[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SnapshotImage {
+        SnapshotImage {
+            kind: ImageKind::Delta,
+            epoch: 3,
+            parent_epoch: 2,
+            vmas: vec![VmaRecord {
+                start: 0x1000_0000,
+                end: 0x1000_4000,
+                prot: Prot::READ_WRITE,
+                shared: false,
+                huge: false,
+                file_backed: true,
+            }],
+            dirty_ranges: vec![(0x1000_0000, 0x1000_1000)],
+            pages: vec![
+                PageRecord {
+                    va: 0x1000_0000,
+                    payload: Some(0),
+                },
+                PageRecord {
+                    va: 0x1000_1000,
+                    payload: None,
+                },
+                PageRecord {
+                    va: 0x1000_2000,
+                    payload: Some(0),
+                },
+            ],
+            payloads: vec![vec![7u8; PAGE_SIZE]],
+        }
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let img = sample();
+        let bytes = img.to_bytes();
+        assert_eq!(bytes.len(), img.serialized_len());
+        let back = SnapshotImage::from_bytes(&bytes).unwrap();
+        assert_eq!(back.kind, img.kind);
+        assert_eq!(back.epoch, 3);
+        assert_eq!(back.parent_epoch, 2);
+        assert_eq!(back.vmas, img.vmas);
+        assert_eq!(back.dirty_ranges, img.dirty_ranges);
+        assert_eq!(back.pages, img.pages);
+        assert_eq!(back.payloads, img.payloads);
+    }
+
+    #[test]
+    fn stats_count_sharing() {
+        let s = sample().stats();
+        assert_eq!(s.page_records, 3);
+        assert_eq!(s.zero_records, 1);
+        assert_eq!(s.payload_refs, 2);
+        assert_eq!(s.unique_payloads, 1);
+        assert!((s.dedup_ratio() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn corrupt_images_are_rejected() {
+        let img = sample();
+        let good = img.to_bytes();
+
+        assert!(matches!(
+            SnapshotImage::from_bytes(&good[..10]),
+            Err(SnapshotError::Corrupt(_))
+        ));
+
+        let mut bad_magic = good.clone();
+        bad_magic[7] ^= 0xFF; // version byte
+        assert!(SnapshotImage::from_bytes(&bad_magic).is_err());
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(SnapshotImage::from_bytes(&trailing).is_err());
+
+        // A single flipped bit inside a stored payload fails the checksum.
+        let mut bit_rot = good.clone();
+        let mid = bit_rot.len() / 2;
+        bit_rot[mid] ^= 0x01;
+        assert!(matches!(
+            SnapshotImage::from_bytes(&bit_rot),
+            Err(SnapshotError::Corrupt("body checksum mismatch"))
+        ));
+
+        // Point a page record past the payload pool.
+        let mut bad_idx = good;
+        let n = bad_idx.len();
+        bad_idx[n - 4..].copy_from_slice(&5u32.to_le_bytes());
+        assert!(matches!(
+            SnapshotImage::from_bytes(&bad_idx),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+}

@@ -1,0 +1,253 @@
+//! Incremental checkpoint/restore built on On-demand fork.
+//!
+//! A snapshot is taken the way Redis takes one (§5.3.3 of the paper): fork
+//! — microseconds under On-demand fork — then serialize the frozen child
+//! at leisure while the parent keeps serving. This crate owns what happens
+//! after the fork:
+//!
+//! - [`capture_full`] walks the child's address space into a
+//!   self-contained [`SnapshotImage`]: VMA layout plus page payloads, with
+//!   never-written (demand-zero) pages elided and frames mapped at several
+//!   addresses stored once.
+//! - [`capture_delta`] uses the soft-dirty mechanism of `odf-vm`
+//!   ([`Mm::clear_soft_dirty`](odf_vm::Mm::clear_soft_dirty) starts an
+//!   epoch; the write paths re-set the bit) to emit only pages written
+//!   since the parent epoch, plus the log of ranges re-created or
+//!   discarded wholesale (fresh mmaps, `mremap`, `MADV_DONTNEED`).
+//! - [`materialize`] collapses a full base plus a chain of deltas back
+//!   into one full image.
+//! - [`restore_into`] rebuilds an address space from a full image,
+//!   bit-identical to the captured one.
+//!
+//! The image format is versioned binary
+//! ([`SnapshotImage::to_bytes`]/[`SnapshotImage::from_bytes`]); see
+//! [`image`] for the layout.
+
+#![forbid(unsafe_code)]
+
+mod capture;
+mod error;
+pub mod image;
+mod materialize;
+mod restore;
+
+pub use capture::{capture_delta, capture_full};
+pub use error::{Result, SnapshotError};
+pub use image::{ImageKind, ImageStats, PageRecord, SnapshotImage, VmaRecord};
+pub use materialize::materialize;
+pub use restore::restore_into;
+
+#[cfg(test)]
+mod tests {
+    use std::sync::Arc;
+
+    use odf_vm::{ForkPolicy, Machine, MapParams, Mm, Prot, PAGE_SIZE};
+
+    use super::*;
+
+    const PG: u64 = PAGE_SIZE as u64;
+
+    fn mm() -> Mm {
+        Mm::new(Machine::new(128 << 20)).unwrap()
+    }
+
+    /// Canonical content digest: per-page FNV over every mapped page
+    /// (absent translations read as zeros through the normal access path).
+    fn digest(mm: &Mm) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for vma in mm.capture_view().vmas {
+            let mut va = vma.start;
+            while va < vma.end {
+                let page = mm.read_vec(va, PAGE_SIZE).unwrap();
+                let mut h = 0xcbf2_9ce4_8422_2325u64;
+                for b in page {
+                    h ^= b as u64;
+                    h = h.wrapping_mul(0x100_0000_01b3);
+                }
+                out.push((va, h));
+                va += PG;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn full_image_restores_bit_identical() {
+        let src = mm();
+        let a = src.mmap(16 * PG, MapParams::anon_rw()).unwrap();
+        src.write(a, b"alpha").unwrap();
+        src.write(a + 5 * PG + 123, b"beta").unwrap();
+        let img = capture_full(&src, 0);
+
+        let dst = Mm::new(Arc::clone(src.machine())).unwrap();
+        restore_into(&img, &dst).unwrap();
+        assert_eq!(digest(&src), digest(&dst));
+    }
+
+    #[test]
+    fn zero_pages_cost_nothing_in_the_image() {
+        let src = mm();
+        let a = src.mmap(64 * PG, MapParams::anon_rw()).unwrap();
+        src.populate(a, 64 * PG, true).unwrap(); // mapped, never written
+        src.write(a, &[1]).unwrap();
+        let img = capture_full(&src, 0);
+        assert_eq!(img.payloads.len(), 1, "only the written page is stored");
+        assert_eq!(img.pages.len(), 1);
+    }
+
+    #[test]
+    fn cow_shared_frames_are_deduplicated() {
+        let src = mm();
+        let a = src.mmap(8 * PG, MapParams::anon_rw()).unwrap();
+        for i in 0..8 {
+            src.write(a + i * PG, &[i as u8 + 1]).unwrap();
+        }
+        // Forking COW-shares every frame; the child maps the same frames.
+        let child = src.fork(ForkPolicy::OnDemand).unwrap();
+        let img = capture_full(&child, 0);
+        assert_eq!(img.payloads.len(), 8);
+        // A restored copy matches even though payloads came from shared
+        // frames.
+        let dst = Mm::new(Arc::clone(src.machine())).unwrap();
+        restore_into(&img, &dst).unwrap();
+        assert_eq!(digest(&child), digest(&dst));
+    }
+
+    #[test]
+    fn delta_contains_only_dirtied_pages() {
+        let src = mm();
+        let a = src.mmap(32 * PG, MapParams::anon_rw()).unwrap();
+        for i in 0..32 {
+            src.write(a + i * PG, &[0xAB]).unwrap();
+        }
+        let base = capture_full(&src, 0);
+        src.clear_soft_dirty().unwrap();
+        src.write(a + 3 * PG, &[0xCD]).unwrap();
+        src.write(a + 9 * PG, &[0xEF]).unwrap();
+        let delta = capture_delta(&src, 1, 0);
+        assert_eq!(delta.pages.len(), 2);
+        assert!(delta.serialized_len() < base.serialized_len() / 4);
+
+        let merged = materialize(&base, &[&delta]).unwrap();
+        let dst = Mm::new(Arc::clone(src.machine())).unwrap();
+        restore_into(&merged, &dst).unwrap();
+        assert_eq!(digest(&src), digest(&dst));
+    }
+
+    #[test]
+    fn chain_of_two_deltas_round_trips() {
+        let src = mm();
+        let a = src.mmap(16 * PG, MapParams::anon_rw()).unwrap();
+        src.write(a, &[1u8; 64]).unwrap();
+        let base = capture_full(&src, 0);
+        src.clear_soft_dirty().unwrap();
+
+        src.write(a + 4 * PG, &[2u8; 64]).unwrap();
+        let d1 = capture_delta(&src, 1, 0);
+        src.clear_soft_dirty().unwrap();
+
+        src.write(a, &[3u8; 64]).unwrap(); // overwrite the base page
+        src.madvise_dontneed(a + 4 * PG, PG).unwrap(); // discard d1's page
+        let d2 = capture_delta(&src, 2, 1);
+        src.clear_soft_dirty().unwrap();
+
+        let merged = materialize(&base, &[&d1, &d2]).unwrap();
+        assert_eq!(merged.epoch, 2);
+        let dst = Mm::new(Arc::clone(src.machine())).unwrap();
+        restore_into(&merged, &dst).unwrap();
+        assert_eq!(digest(&src), digest(&dst));
+    }
+
+    #[test]
+    fn unmapped_ranges_drop_out_of_the_chain() {
+        let src = mm();
+        let a = src.mmap(8 * PG, MapParams::anon_rw()).unwrap();
+        src.write(a, &[7u8; 16]).unwrap();
+        src.write(a + 6 * PG, &[8u8; 16]).unwrap();
+        let base = capture_full(&src, 0);
+        src.clear_soft_dirty().unwrap();
+        src.munmap(a + 4 * PG, 4 * PG).unwrap();
+        let delta = capture_delta(&src, 1, 0);
+
+        let merged = materialize(&base, &[&delta]).unwrap();
+        assert!(merged.pages.iter().all(|p| p.va < a + 4 * PG));
+        let dst = Mm::new(Arc::clone(src.machine())).unwrap();
+        restore_into(&merged, &dst).unwrap();
+        assert_eq!(digest(&src), digest(&dst));
+    }
+
+    #[test]
+    fn chain_validation_rejects_wrong_order() {
+        let src = mm();
+        let a = src.mmap(2 * PG, MapParams::anon_rw()).unwrap();
+        src.write(a, &[1]).unwrap();
+        let base = capture_full(&src, 0);
+        src.clear_soft_dirty().unwrap();
+        src.write(a, &[2]).unwrap();
+        let d1 = capture_delta(&src, 1, 0);
+        src.clear_soft_dirty().unwrap();
+        src.write(a, &[3]).unwrap();
+        let d2 = capture_delta(&src, 2, 1);
+
+        assert!(matches!(
+            materialize(&base, &[&d2]),
+            Err(SnapshotError::ChainMismatch {
+                expected: 0,
+                got: 1
+            })
+        ));
+        assert!(matches!(
+            materialize(&base, &[&d1, &d1]),
+            Err(SnapshotError::ChainMismatch { .. })
+        ));
+        assert!(matches!(materialize(&d1, &[]), Err(SnapshotError::NotFull)));
+        assert!(matches!(
+            materialize(&base, &[&base]),
+            Err(SnapshotError::NotDelta)
+        ));
+    }
+
+    #[test]
+    fn readonly_vmas_restore_with_their_protection() {
+        let src = mm();
+        let a = src.mmap(2 * PG, MapParams::anon_rw()).unwrap();
+        src.write(a, b"locked").unwrap();
+        src.mprotect(a, 2 * PG, Prot::READ).unwrap();
+        let img = capture_full(&src, 0);
+
+        let dst = Mm::new(Arc::clone(src.machine())).unwrap();
+        restore_into(&img, &dst).unwrap();
+        assert_eq!(dst.read_vec(a, 6).unwrap(), b"locked");
+        assert!(dst.write(a, b"x").is_err(), "protection was restored");
+    }
+
+    #[test]
+    fn huge_mappings_round_trip() {
+        let src = mm();
+        let h = odf_vm::HUGE_PAGE_SIZE as u64;
+        let a = src.mmap(2 * h, MapParams::anon_rw_huge()).unwrap();
+        src.write(a + 12345, b"huge-content").unwrap();
+        src.write(a + h + 999, b"second").unwrap();
+        let img = capture_full(&src, 0);
+        let restored_vma = img.vmas[0];
+        assert!(restored_vma.huge);
+
+        let dst = Mm::new(Arc::clone(src.machine())).unwrap();
+        restore_into(&img, &dst).unwrap();
+        assert_eq!(digest(&src), digest(&dst));
+        assert_eq!(dst.read_vec(a + 12345, 12).unwrap(), b"huge-content");
+    }
+
+    #[test]
+    fn serialized_image_round_trips_end_to_end() {
+        let src = mm();
+        let a = src.mmap(4 * PG, MapParams::anon_rw()).unwrap();
+        src.write(a + PG, b"wire").unwrap();
+        let img = capture_full(&src, 0);
+        let wire = img.to_bytes();
+        let back = SnapshotImage::from_bytes(&wire).unwrap();
+        let dst = Mm::new(Arc::clone(src.machine())).unwrap();
+        restore_into(&back, &dst).unwrap();
+        assert_eq!(digest(&src), digest(&dst));
+    }
+}

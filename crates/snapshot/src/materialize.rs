@@ -1,0 +1,96 @@
+//! Collapsing a base-plus-deltas chain into one full image.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::error::{Result, SnapshotError};
+use crate::image::{ImageKind, PageRecord, SnapshotImage};
+
+/// Collapses `base` plus `deltas` (oldest first) into a full image of the
+/// final epoch.
+///
+/// Per address, the youngest information wins, with three states:
+///
+/// 1. a delta page record (soft-dirty at capture) supplies the content —
+///    payload or explicit zero;
+/// 2. an address inside a delta's dirty-range log with no record was
+///    discarded and re-read as zero (or was never touched again): drop
+///    whatever the chain held there;
+/// 3. otherwise the content carries forward from the previous state.
+///
+/// Addresses falling outside a delta's VMA layout are dropped at that
+/// link (the unmap case); the final layout is the last delta's.
+pub fn materialize(base: &SnapshotImage, deltas: &[&SnapshotImage]) -> Result<SnapshotImage> {
+    if base.kind != ImageKind::Full {
+        return Err(SnapshotError::NotFull);
+    }
+    // (image index, payload index) — image 0 is the base.
+    let mut state: BTreeMap<u64, (usize, u32)> = BTreeMap::new();
+    for p in &base.pages {
+        if let Some(idx) = p.payload {
+            state.insert(p.va, (0, idx));
+        }
+    }
+
+    let mut prev_epoch = base.epoch;
+    for (k, delta) in deltas.iter().enumerate() {
+        if delta.kind != ImageKind::Delta {
+            return Err(SnapshotError::NotDelta);
+        }
+        if delta.parent_epoch != prev_epoch {
+            return Err(SnapshotError::ChainMismatch {
+                expected: prev_epoch,
+                got: delta.parent_epoch,
+            });
+        }
+        prev_epoch = delta.epoch;
+
+        // Unmapped addresses drop out of the chain.
+        state.retain(|&va, _| delta.vmas.iter().any(|v| v.start <= va && va < v.end));
+        // Discarded ranges read as zero unless a record below re-sets them.
+        for &(s, e) in &delta.dirty_ranges {
+            let stale: Vec<u64> = state.range(s..e).map(|(&va, _)| va).collect();
+            for va in stale {
+                state.remove(&va);
+            }
+        }
+        for p in &delta.pages {
+            match p.payload {
+                Some(idx) => {
+                    state.insert(p.va, (k + 1, idx));
+                }
+                None => {
+                    state.remove(&p.va);
+                }
+            }
+        }
+    }
+
+    // Rebuild a compact payload pool holding only still-referenced data.
+    let images: Vec<&SnapshotImage> = std::iter::once(base)
+        .chain(deltas.iter().copied())
+        .collect();
+    let mut remap: HashMap<(usize, u32), u32> = HashMap::new();
+    let mut payloads: Vec<Vec<u8>> = Vec::new();
+    let mut pages: Vec<PageRecord> = Vec::with_capacity(state.len());
+    for (va, (img, idx)) in state {
+        let new_idx = *remap.entry((img, idx)).or_insert_with(|| {
+            payloads.push(images[img].payloads[idx as usize].clone());
+            (payloads.len() - 1) as u32
+        });
+        pages.push(PageRecord {
+            va,
+            payload: Some(new_idx),
+        });
+    }
+
+    let last = deltas.last().map_or(base, |d| *d);
+    Ok(SnapshotImage {
+        kind: ImageKind::Full,
+        epoch: last.epoch,
+        parent_epoch: last.epoch,
+        vmas: last.vmas.clone(),
+        dirty_ranges: Vec::new(),
+        pages,
+        payloads,
+    })
+}

@@ -1,0 +1,45 @@
+//! Rebuilding an address space from a full image.
+
+use odf_vm::{Backing, MapParams, Mm, Prot};
+
+use crate::error::{Result, SnapshotError};
+use crate::image::{ImageKind, SnapshotImage};
+
+/// Restores a full image into `mm`, which must be a fresh (empty) address
+/// space.
+///
+/// Every VMA is mapped at its recorded address — read-write at first, so
+/// payloads can be written through the normal access path — then pages
+/// without a record demand-zero on first touch, and finally each VMA is
+/// re-protected to its recorded protection. File-backed VMAs come back as
+/// anonymous memory holding the captured contents: the image carries no
+/// file reference, which trades fidelity of the backing object for a
+/// self-contained format.
+pub fn restore_into(image: &SnapshotImage, mm: &Mm) -> Result<()> {
+    if image.kind != ImageKind::Full {
+        return Err(SnapshotError::NotFull);
+    }
+    for v in &image.vmas {
+        mm.mmap_fixed(
+            v.start,
+            v.end - v.start,
+            MapParams {
+                prot: Prot::READ_WRITE,
+                shared: v.shared,
+                huge: v.huge,
+                backing: Backing::Anonymous,
+            },
+        )?;
+    }
+    for p in &image.pages {
+        if let Some(idx) = p.payload {
+            mm.write(p.va, &image.payloads[idx as usize])?;
+        }
+    }
+    for v in &image.vmas {
+        if v.prot != Prot::READ_WRITE {
+            mm.mprotect(v.start, v.end - v.start, v.prot)?;
+        }
+    }
+    Ok(())
+}

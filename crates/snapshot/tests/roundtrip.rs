@@ -1,0 +1,145 @@
+//! Property test: random mutation scripts survive checkpoint → restore
+//! bit-identically, both as one full image and as a base-plus-deltas
+//! chain, under Classic and On-demand fork (the bgsave flow: each
+//! checkpoint serializes a forked child while the parent's epoch is
+//! reset).
+
+use std::sync::Arc;
+
+use odf_snapshot::{capture_delta, capture_full, materialize, restore_into, SnapshotImage};
+use odf_vm::{ForkPolicy, Machine, MapParams, Mm, PAGE_SIZE};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const PG: u64 = PAGE_SIZE as u64;
+const REGION_PAGES: u64 = 64;
+
+/// One mutation: (kind, page, len_pages, seed).
+type Op = (u8, u64, u64, u64);
+
+fn apply(mm: &Mm, base: u64, op: Op) {
+    let (kind, page, len_pages, seed) = op;
+    let page = page % REGION_PAGES;
+    let len_pages = 1 + len_pages % 4;
+    let addr = base + page * PG;
+    let end_pages = (page + len_pages).min(REGION_PAGES);
+    let len = (end_pages - page) * PG;
+    match kind % 3 {
+        0 => {
+            // Seeded write of a few hundred bytes.
+            let n = 64 + (seed % 1500) as usize;
+            let data: Vec<u8> = (0..n)
+                .map(|i| (seed.wrapping_mul(31).wrapping_add(i as u64)) as u8)
+                .collect();
+            let off = seed % (PG - n as u64);
+            mm.write(addr + off, &data).unwrap();
+        }
+        1 => mm.madvise_dontneed(addr, len).unwrap(),
+        _ => mm.populate(addr, len, true).unwrap(),
+    }
+}
+
+/// Per-page FNV digest of every mapped byte.
+fn digest(mm: &Mm) -> Vec<(u64, u64)> {
+    let mut out = Vec::new();
+    for vma in mm.capture_view().vmas {
+        let mut va = vma.start;
+        while va < vma.end {
+            let bytes = mm.read_vec(va, PAGE_SIZE).unwrap();
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            out.push((va, h));
+            va += PG;
+        }
+    }
+    out
+}
+
+/// The bgsave capture: fork, serialize the frozen child through the wire
+/// format, clear the parent's epoch, drop the child.
+fn checkpoint(mm: &Mm, policy: ForkPolicy, epoch: u64, full: bool) -> SnapshotImage {
+    let child = mm.fork(policy).unwrap();
+    mm.clear_soft_dirty().unwrap();
+    let img = if full {
+        capture_full(&child, epoch)
+    } else {
+        capture_delta(&child, epoch, epoch - 1)
+    };
+    SnapshotImage::from_bytes(&img.to_bytes()).unwrap()
+}
+
+fn run_script(policy: ForkPolicy, epochs: &[Vec<Op>]) {
+    let machine = Machine::new(256 << 20);
+    let mm = Mm::new(Arc::clone(&machine)).unwrap();
+    let base = mm.mmap(REGION_PAGES * PG, MapParams::anon_rw()).unwrap();
+
+    let mut images = Vec::new();
+    for (e, ops) in epochs.iter().enumerate() {
+        for &op in ops {
+            apply(&mm, base, op);
+        }
+        images.push(checkpoint(&mm, policy, e as u64, e == 0));
+    }
+    let want = digest(&mm);
+
+    // Restore from the materialized chain.
+    let (first, rest) = images.split_first().unwrap();
+    let deltas: Vec<&SnapshotImage> = rest.iter().collect();
+    let merged = materialize(first, &deltas).unwrap();
+    let restored = Mm::new(Arc::clone(&machine)).unwrap();
+    restore_into(&merged, &restored).unwrap();
+    assert_eq!(
+        want,
+        digest(&restored),
+        "chain restore must be bit-identical"
+    );
+
+    // And from a single full image of the final state.
+    let full = checkpoint(&mm, policy, epochs.len() as u64, true);
+    let restored2 = Mm::new(Arc::clone(&machine)).unwrap();
+    restore_into(&full, &restored2).unwrap();
+    assert_eq!(
+        want,
+        digest(&restored2),
+        "full restore must be bit-identical"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn random_scripts_round_trip_classic(
+        e0 in vec((0u8..3, 0u64..64, 0u64..4, 0u64..u64::MAX), 1..8),
+        e1 in vec((0u8..3, 0u64..64, 0u64..4, 0u64..u64::MAX), 0..8),
+        e2 in vec((0u8..3, 0u64..64, 0u64..4, 0u64..u64::MAX), 0..8),
+    ) {
+        run_script(ForkPolicy::Classic, &[e0, e1, e2]);
+    }
+
+    #[test]
+    fn random_scripts_round_trip_on_demand(
+        e0 in vec((0u8..3, 0u64..64, 0u64..4, 0u64..u64::MAX), 1..8),
+        e1 in vec((0u8..3, 0u64..64, 0u64..4, 0u64..u64::MAX), 0..8),
+        e2 in vec((0u8..3, 0u64..64, 0u64..4, 0u64..u64::MAX), 0..8),
+    ) {
+        run_script(ForkPolicy::OnDemand, &[e0, e1, e2]);
+    }
+}
+
+#[test]
+fn deterministic_mixed_script_round_trips_both_policies() {
+    for policy in [ForkPolicy::Classic, ForkPolicy::OnDemand] {
+        run_script(
+            policy,
+            &[
+                vec![(0, 0, 1, 1), (0, 13, 1, 2), (2, 20, 3, 0)],
+                vec![(1, 0, 2, 0), (0, 40, 1, 3)],
+                vec![(0, 13, 1, 4), (1, 40, 1, 0)],
+            ],
+        );
+    }
+}

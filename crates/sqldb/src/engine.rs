@@ -48,11 +48,7 @@ impl Database {
     }
 
     /// Executes an already-parsed statement.
-    pub fn execute_statement(
-        &self,
-        proc: &Process,
-        stmt: &Statement,
-    ) -> SqlResult<QueryResult> {
+    pub fn execute_statement(&self, proc: &Process, stmt: &Statement) -> SqlResult<QueryResult> {
         match stmt {
             Statement::CreateTable { name, columns } => {
                 self.catalog.create_table(proc, name, columns)?;
@@ -114,9 +110,7 @@ impl Database {
                 }
                 if let Some((idx, desc)) = sort_idx {
                     rows.sort_by(|a, b| {
-                        let ord = a[idx]
-                            .compare(&b[idx])
-                            .unwrap_or(std::cmp::Ordering::Equal);
+                        let ord = a[idx].compare(&b[idx]).unwrap_or(std::cmp::Ordering::Equal);
                         if desc {
                             ord.reverse()
                         } else {
@@ -251,11 +245,7 @@ impl Database {
             .ok_or_else(|| SqlError::NoSuchColumn(name.to_string()))
     }
 
-    fn projection(
-        &self,
-        table: &TableHandle,
-        projection: &Projection,
-    ) -> SqlResult<Vec<usize>> {
+    fn projection(&self, table: &TableHandle, projection: &Projection) -> SqlResult<Vec<usize>> {
         match projection {
             Projection::All | Projection::Count => Ok((0..table.columns.len()).collect()),
             Projection::Columns(columns) => columns
@@ -368,15 +358,17 @@ mod tests {
     fn select_star_returns_all_columns() {
         let (_k, p, db) = setup();
         seed(&db, &p);
-        let QueryResult::Rows(rows) = db
-            .execute(&p, "SELECT * FROM users WHERE id = 1")
-            .unwrap()
+        let QueryResult::Rows(rows) = db.execute(&p, "SELECT * FROM users WHERE id = 1").unwrap()
         else {
             panic!("expected rows");
         };
         assert_eq!(
             rows,
-            vec![vec![Value::Int(1), Value::Text("ada".into()), Value::Int(36)]]
+            vec![vec![
+                Value::Int(1),
+                Value::Text("ada".into()),
+                Value::Int(36)
+            ]]
         );
     }
 
@@ -395,8 +387,9 @@ mod tests {
             panic!();
         };
         assert_eq!(rows, vec![vec![Value::Int(100)]]);
-        let QueryResult::Rows(rows) =
-            db.execute(&p, "SELECT age FROM users WHERE id = 1").unwrap()
+        let QueryResult::Rows(rows) = db
+            .execute(&p, "SELECT age FROM users WHERE id = 1")
+            .unwrap()
         else {
             panic!();
         };
@@ -407,9 +400,7 @@ mod tests {
     fn delete_removes_matching_rows() {
         let (_k, p, db) = setup();
         seed(&db, &p);
-        let r = db
-            .execute(&p, "DELETE FROM users WHERE age < 30")
-            .unwrap();
+        let r = db.execute(&p, "DELETE FROM users WHERE age < 30").unwrap();
         assert_eq!(r, QueryResult::Deleted(2));
         assert_eq!(db.row_count(&p, "users").unwrap(), 2);
     }
@@ -512,7 +503,8 @@ mod tests {
     fn index_accelerates_point_lookups_and_stays_consistent() {
         use std::sync::atomic::Ordering;
         let (_k, p, db) = setup();
-        db.execute(&p, "CREATE TABLE big (id INT, tag TEXT)").unwrap();
+        db.execute(&p, "CREATE TABLE big (id INT, tag TEXT)")
+            .unwrap();
         for i in 0..300 {
             db.execute(&p, &format!("INSERT INTO big VALUES ({i}, 't{}')", i % 7))
                 .unwrap();
@@ -532,13 +524,17 @@ mod tests {
         // Mutations keep the index consistent.
         db.execute(&p, "DELETE FROM big WHERE id = 123").unwrap();
         assert_eq!(
-            db.execute(&p, "SELECT tag FROM big WHERE id = 123").unwrap(),
+            db.execute(&p, "SELECT tag FROM big WHERE id = 123")
+                .unwrap(),
             QueryResult::Rows(vec![])
         );
-        db.execute(&p, "INSERT INTO big VALUES (123, 'fresh')").unwrap();
-        db.execute(&p, "UPDATE big SET id = 9000 WHERE id = 123").unwrap();
+        db.execute(&p, "INSERT INTO big VALUES (123, 'fresh')")
+            .unwrap();
+        db.execute(&p, "UPDATE big SET id = 9000 WHERE id = 123")
+            .unwrap();
         assert_eq!(
-            db.execute(&p, "SELECT tag FROM big WHERE id = 9000").unwrap(),
+            db.execute(&p, "SELECT tag FROM big WHERE id = 9000")
+                .unwrap(),
             QueryResult::Rows(vec![vec![Value::Text("fresh".into())]])
         );
         // Relocating update (value grows) keeps the index pointing right.
@@ -598,14 +594,16 @@ mod tests {
         seed(&db, &p);
         let child = p.fork_with(ForkPolicy::OnDemand).unwrap();
         // Child mutates its copy...
-        db.execute(&child, "DELETE FROM users WHERE age > 0").unwrap();
+        db.execute(&child, "DELETE FROM users WHERE age > 0")
+            .unwrap();
         assert_eq!(db.row_count(&child, "users").unwrap(), 0);
         // ...the parent is untouched.
         assert_eq!(db.row_count(&p, "users").unwrap(), 4);
         // And vice versa: parent insertions stay invisible to a new child
         // forked before them.
         let child2 = p.fork_with(ForkPolicy::OnDemand).unwrap();
-        db.execute(&p, "INSERT INTO users VALUES (9, 'new', 1)").unwrap();
+        db.execute(&p, "INSERT INTO users VALUES (9, 'new', 1)")
+            .unwrap();
         assert_eq!(db.row_count(&child2, "users").unwrap(), 4);
         assert_eq!(db.row_count(&p, "users").unwrap(), 5);
     }

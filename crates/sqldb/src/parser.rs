@@ -154,14 +154,18 @@ impl Parser {
     fn expect_sym(&mut self, sym: &str) -> SqlResult<()> {
         match self.next()? {
             Token::Sym(s) if s == sym => Ok(()),
-            other => Err(SqlError::Parse(format!("expected '{sym}', found {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected '{sym}', found {other:?}"
+            ))),
         }
     }
 
     fn identifier(&mut self) -> SqlResult<String> {
         match self.next()? {
             Token::Word(w) => Ok(w),
-            other => Err(SqlError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -169,7 +173,9 @@ impl Parser {
         match self.next()? {
             Token::Int(v) => Ok(Value::Int(v)),
             Token::Str(s) => Ok(Value::Text(s)),
-            other => Err(SqlError::Parse(format!("expected literal, found {other:?}"))),
+            other => Err(SqlError::Parse(format!(
+                "expected literal, found {other:?}"
+            ))),
         }
     }
 
@@ -231,15 +237,14 @@ impl Parser {
         loop {
             let col = self.identifier()?;
             let ty_word = self.identifier()?;
-            let ty = if ty_word.eq_ignore_ascii_case("INT")
-                || ty_word.eq_ignore_ascii_case("INTEGER")
-            {
-                ColumnType::Int
-            } else if ty_word.eq_ignore_ascii_case("TEXT") {
-                ColumnType::Text
-            } else {
-                return Err(SqlError::Parse(format!("unknown type {ty_word}")));
-            };
+            let ty =
+                if ty_word.eq_ignore_ascii_case("INT") || ty_word.eq_ignore_ascii_case("INTEGER") {
+                    ColumnType::Int
+                } else if ty_word.eq_ignore_ascii_case("TEXT") {
+                    ColumnType::Text
+                } else {
+                    return Err(SqlError::Parse(format!("unknown type {ty_word}")));
+                };
             columns.push(ColumnDef { name: col, ty });
             if self.matches_sym(")") {
                 break;
@@ -393,7 +398,9 @@ impl Parser {
             Token::Sym(">") => Op::Gt,
             Token::Sym(">=") => Op::Ge,
             other => {
-                return Err(SqlError::Parse(format!("expected operator, found {other:?}")))
+                return Err(SqlError::Parse(format!(
+                    "expected operator, found {other:?}"
+                )))
             }
         };
         let value = self.literal()?;
@@ -459,7 +466,10 @@ mod tests {
     fn parses_select_star_and_projection() {
         assert!(matches!(
             parse("SELECT * FROM t").unwrap(),
-            Statement::Select { projection: Projection::All, .. }
+            Statement::Select {
+                projection: Projection::All,
+                ..
+            }
         ));
         assert!(matches!(
             parse("SELECT a, b FROM t WHERE a < 5").unwrap(),
@@ -485,16 +495,25 @@ mod tests {
     fn parses_count_order_and_limit() {
         assert!(matches!(
             parse("SELECT COUNT(*) FROM t WHERE a = 1").unwrap(),
-            Statement::Select { projection: Projection::Count, .. }
+            Statement::Select {
+                projection: Projection::Count,
+                ..
+            }
         ));
         let stmt = parse("SELECT * FROM t ORDER BY a DESC LIMIT 10").unwrap();
-        let Statement::Select { order_by, limit, .. } = stmt else {
+        let Statement::Select {
+            order_by, limit, ..
+        } = stmt
+        else {
             panic!();
         };
         assert_eq!(order_by, Some(("a".into(), true)));
         assert_eq!(limit, Some(10));
         let stmt = parse("SELECT * FROM t ORDER BY a ASC").unwrap();
-        let Statement::Select { order_by, limit, .. } = stmt else {
+        let Statement::Select {
+            order_by, limit, ..
+        } = stmt
+        else {
             panic!();
         };
         assert_eq!(order_by, Some(("a".into(), false)));
@@ -507,7 +526,10 @@ mod tests {
     #[test]
     fn and_binds_tighter_than_or() {
         let stmt = parse("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3").unwrap();
-        let Statement::Select { filter: Some(e), .. } = stmt else {
+        let Statement::Select {
+            filter: Some(e), ..
+        } = stmt
+        else {
             panic!("expected select");
         };
         // a = 1 OR (b = 2 AND c = 3)
@@ -518,7 +540,10 @@ mod tests {
     #[test]
     fn parentheses_override_precedence() {
         let stmt = parse("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3").unwrap();
-        let Statement::Select { filter: Some(e), .. } = stmt else {
+        let Statement::Select {
+            filter: Some(e), ..
+        } = stmt
+        else {
             panic!("expected select");
         };
         assert!(matches!(e, Expr::And(ref l, _) if matches!(**l, Expr::Or(_, _))));

@@ -133,12 +133,7 @@ impl Catalog {
     }
 
     /// Creates a table.
-    pub fn create_table(
-        &self,
-        proc: &Process,
-        name: &str,
-        columns: &[ColumnDef],
-    ) -> SqlResult<()> {
+    pub fn create_table(&self, proc: &Process, name: &str, columns: &[ColumnDef]) -> SqlResult<()> {
         if self.find_table(proc, name)?.is_some() {
             return Err(SqlError::TableExists(name.to_string()));
         }
@@ -212,12 +207,7 @@ impl Catalog {
 
     /// Creates a hash index on an INT column, populating it from the
     /// existing rows. One index per table.
-    pub fn create_index(
-        &self,
-        proc: &Process,
-        table: &TableHandle,
-        column: &str,
-    ) -> SqlResult<()> {
+    pub fn create_index(&self, proc: &Process, table: &TableHandle, column: &str) -> SqlResult<()> {
         if proc.read_u64(table.addr + TBL_INDEX)? != 0 {
             return Err(SqlError::TableExists(format!("index on {column}")));
         }
@@ -232,7 +222,7 @@ impl Catalog {
         let rows = proc.read_u64(table.addr + TBL_COUNT)?;
         let buckets = (rows * 2).next_power_of_two().clamp(64, 8192);
         let idx = self.heap.alloc(proc, IDX_ARRAY + buckets * 8)?;
-        proc.write_u32(idx + IDX_COL as u64, col as u32)?;
+        proc.write_u32(idx + IDX_COL, col as u32)?;
         proc.write_u32(idx + IDX_BUCKETS, buckets as u32)?;
         proc.fill(idx + IDX_ARRAY, (buckets * 8) as usize, 0)?;
         proc.write_u64(table.addr + TBL_INDEX, idx)?;
@@ -255,7 +245,7 @@ impl Catalog {
         if idx == 0 {
             return Ok(None);
         }
-        Ok(Some(proc.read_u32(idx + IDX_COL as u64)? as usize))
+        Ok(Some(proc.read_u32(idx + IDX_COL)? as usize))
     }
 
     fn index_bucket(&self, proc: &Process, idx: u64, key: i64) -> SqlResult<u64> {
@@ -282,8 +272,7 @@ impl Catalog {
         let mut at = proc.read_u64(bucket)?;
         while at != 0 {
             let next = proc.read_u64(at + IE_NEXT)?;
-            if proc.read_u64(at + IE_KEY)? as i64 == key && proc.read_u64(at + IE_ROW)? == row
-            {
+            if proc.read_u64(at + IE_KEY)? as i64 == key && proc.read_u64(at + IE_ROW)? == row {
                 match prev {
                     Some(p) => proc.write_u64(p + IE_NEXT, next)?,
                     None => proc.write_u64(bucket, next)?,
@@ -394,7 +383,7 @@ impl Catalog {
         proc.write_u64(table.addr + TBL_COUNT, count + 1)?;
         let idx = proc.read_u64(table.addr + TBL_INDEX)?;
         if idx != 0 {
-            let col = proc.read_u32(idx + IDX_COL as u64)? as usize;
+            let col = proc.read_u32(idx + IDX_COL)? as usize;
             if let Value::Int(key) = values[col] {
                 self.index_insert(proc, idx, key, row)?;
             }
@@ -418,7 +407,7 @@ impl Catalog {
         let ncols = table.columns.len();
         let idx = proc.read_u64(table.addr + TBL_INDEX)?;
         let idx_col = if idx != 0 {
-            Some(proc.read_u32(idx + IDX_COL as u64)? as usize)
+            Some(proc.read_u32(idx + IDX_COL)? as usize)
         } else {
             None
         };

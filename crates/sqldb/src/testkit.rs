@@ -63,10 +63,7 @@ impl Default for DatasetConfig {
 /// `categories` table whose ids `items.category` references.
 pub fn build_database(proc: &Process, config: &DatasetConfig) -> SqlResult<Database> {
     let db = Database::create(proc, config.heap_capacity)?;
-    db.execute(
-        proc,
-        "CREATE TABLE categories (id INT, label TEXT)",
-    )?;
+    db.execute(proc, "CREATE TABLE categories (id INT, label TEXT)")?;
     let n_categories = 64.min(config.rows.max(1));
     for c in 0..n_categories {
         db.execute(
@@ -94,9 +91,7 @@ pub fn build_database(proc: &Process, config: &DatasetConfig) -> SqlResult<Datab
                 .collect();
             db.execute(
                 proc,
-                &format!(
-                    "INSERT INTO {table} VALUES ({id}, {category}, {score}, '{payload}')"
-                ),
+                &format!("INSERT INTO {table} VALUES ({id}, {category}, {score}, '{payload}')"),
             )?;
         }
     }

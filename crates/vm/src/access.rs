@@ -14,6 +14,11 @@ use crate::fault;
 use crate::mm::Mm;
 use crate::walk;
 
+/// Per-page visitor for `access_inner`: frame, in-page offset, buffer
+/// range, and the pool to read/write through.
+type AccessOp<'a> =
+    dyn FnMut(odf_pmem::FrameId, usize, std::ops::Range<usize>, &odf_pmem::FramePool) + 'a;
+
 /// Retry bound for the translate/fault loop. A handful of iterations
 /// absorbs benign races (e.g. a concurrent table COW); exceeding it means
 /// the handler claims success without establishing the translation, which
@@ -97,17 +102,15 @@ impl Mm {
         addr: u64,
         len: usize,
         write: bool,
-        op: &mut dyn FnMut(
-            odf_pmem::FrameId,
-            usize,
-            std::ops::Range<usize>,
-            &odf_pmem::FramePool,
-        ),
+        op: &mut AccessOp<'_>,
     ) -> Result<()> {
         if len == 0 {
             return Ok(());
         }
-        if addr.checked_add(len as u64).is_none_or(|e| e > VirtAddr::LIMIT) {
+        if addr
+            .checked_add(len as u64)
+            .is_none_or(|e| e > VirtAddr::LIMIT)
+        {
             return Err(VmError::Fault { addr, write });
         }
         let machine = self.machine().clone();
@@ -124,7 +127,10 @@ impl Mm {
                 };
                 match translated {
                     Some(t) => {
-                        debug_assert!(t.writable || !write, "walker permitted a write without effective write permission");
+                        debug_assert!(
+                            t.writable || !write,
+                            "walker permitted a write without effective write permission"
+                        );
                         op(t.frame, page_off, done..done + piece, machine.pool());
                         break;
                     }

@@ -116,7 +116,7 @@ pub(crate) fn handle(
     }
     let mut bits = EntryFlags::ACCESSED;
     if write {
-        bits |= EntryFlags::DIRTY;
+        bits |= EntryFlags::DIRTY | EntryFlags::SOFT_DIRTY;
     }
     table.fetch_set(idx, bits);
     Ok(())
@@ -124,11 +124,7 @@ pub(crate) fn handle(
 
 /// Resolves the PTE table referenced by a PMD entry, allocating and linking
 /// a fresh one if the entry is absent. No sharing decisions are made here.
-fn resolve_table(
-    machine: &Machine,
-    pmd: &PmdSlot,
-    e: Entry,
-) -> Result<(FrameId, Arc<Table>)> {
+fn resolve_table(machine: &Machine, pmd: &PmdSlot, e: Entry) -> Result<(FrameId, Arc<Table>)> {
     if e.is_present() {
         let frame = e.frame();
         Ok((frame, machine.store().get(frame)))
@@ -198,10 +194,7 @@ fn ensure_pmd_ownership(
 /// Copies a shared PMD table: entry copies plus the deferred refcount
 /// increments on the described huge pages. Shared PMD tables contain only
 /// huge entries by construction (only all-huge tables are ever shared).
-pub(crate) fn pmd_table_cow_for(
-    machine: &Machine,
-    src: &Table,
-) -> Result<(FrameId, Arc<Table>)> {
+pub(crate) fn pmd_table_cow_for(machine: &Machine, src: &Table) -> Result<(FrameId, Arc<Table>)> {
     VmStats::bump(&machine.stats().cow_pmd_table_copies);
     let (frame, table) = machine.alloc_table()?;
     table.copy_from(src);
@@ -219,11 +212,16 @@ pub(crate) fn pmd_table_cow_for(
 }
 
 /// Maps a brand-new page for an absent PTE (demand paging).
+///
+/// Newly instantiated entries carry `SOFT_DIRTY`: the page's content (zero
+/// or file-backed) is only now observable at this address, so an
+/// incremental snapshot must not carry the previous epoch's content
+/// forward here.
 fn map_new_page(machine: &Machine, vma: &Vma, va: VirtAddr) -> Result<Entry> {
     match &vma.backing {
         Backing::Anonymous => {
             let frame = machine.alloc_page(PageKind::Anon)?;
-            Ok(Entry::page(frame, vma.prot.write))
+            Ok(Entry::page(frame, vma.prot.write).with_set(EntryFlags::SOFT_DIRTY))
         }
         Backing::File { file, .. } => {
             let pgoff = vma
@@ -235,7 +233,7 @@ fn map_new_page(machine: &Machine, vma: &Vma, va: VirtAddr) -> Result<Entry> {
             // mapping, write-through) or COWs it to anonymous memory
             // (private mapping). This is how the kernel tracks writeback
             // candidates.
-            Ok(Entry::page(frame, false))
+            Ok(Entry::page(frame, false).with_set(EntryFlags::SOFT_DIRTY))
         }
     }
 }
@@ -260,8 +258,7 @@ fn cow_or_enable_write(
         return Ok(());
     }
     let head = pool.compound_head(pte.frame());
-    let exclusive_anon =
-        pool.page(head).kind() == PageKind::Anon && pool.ref_count(head) == 1;
+    let exclusive_anon = pool.page(head).kind() == PageKind::Anon && pool.ref_count(head) == 1;
     if exclusive_anon {
         // Sole owner: reuse in place.
         VmStats::bump(&machine.stats().cow_reuses);
@@ -288,7 +285,8 @@ fn fault_in_huge(
 ) -> Result<()> {
     VmStats::bump(&machine.stats().faults_demand);
     let frame = machine.alloc_huge(PageKind::Anon)?;
-    let mut entry = Entry::huge_page(frame, vma.prot.write).with_set(EntryFlags::ACCESSED);
+    let mut entry = Entry::huge_page(frame, vma.prot.write)
+        .with_set(EntryFlags::ACCESSED | EntryFlags::SOFT_DIRTY);
     if write {
         entry = entry.with_set(EntryFlags::DIRTY);
     }
@@ -299,13 +297,7 @@ fn fault_in_huge(
 
 /// Write access to a write-protected huge mapping: reuse or copy the whole
 /// 2 MiB page.
-fn huge_cow(
-    machine: &Machine,
-    vma: &Vma,
-    pmd: &PmdSlot,
-    e: Entry,
-    write: bool,
-) -> Result<()> {
+fn huge_cow(machine: &Machine, vma: &Vma, pmd: &PmdSlot, e: Entry, write: bool) -> Result<()> {
     let mut bits = EntryFlags::ACCESSED;
     if write && !e.is_writable() {
         if !vma.shared {
@@ -330,7 +322,7 @@ fn huge_cow(
         }
     }
     if write {
-        bits |= EntryFlags::DIRTY;
+        bits |= EntryFlags::DIRTY | EntryFlags::SOFT_DIRTY;
     }
     pmd.table.fetch_set(pmd.idx, bits);
     Ok(())

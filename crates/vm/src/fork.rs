@@ -56,22 +56,20 @@ pub enum ForkPolicy {
 
 /// Forks `parent` under `policy`, returning the child's address space
 /// contents. The caller holds the parent's `mm` lock exclusively.
-pub(crate) fn run(
-    machine: &Machine,
-    parent: &mut MmInner,
-    policy: ForkPolicy,
-) -> Result<MmInner> {
+pub(crate) fn run(machine: &Machine, parent: &mut MmInner, policy: ForkPolicy) -> Result<MmInner> {
     let stats = machine.stats();
     match policy {
         ForkPolicy::Classic => VmStats::bump(&stats.forks_classic),
-        ForkPolicy::OnDemand | ForkPolicy::OnDemandHuge => {
-            VmStats::bump(&stats.forks_odf)
-        }
+        ForkPolicy::OnDemand | ForkPolicy::OnDemandHuge => VmStats::bump(&stats.forks_odf),
     }
     let mut child = MmInner::empty(machine)?;
     child.vmas = parent.vmas.clone();
     child.rss = parent.rss;
     child.next_mmap = parent.next_mmap;
+    // The child inherits the epoch dirty-range log: relative to the last
+    // snapshot epoch, everything logged in the parent has changed in the
+    // child too (fork also copies every SOFT_DIRTY PTE bit below).
+    child.dirty_ranges = parent.dirty_ranges.clone();
 
     let result = copy_all(machine, parent, &mut child, policy);
     if let Err(e) = result {
@@ -100,10 +98,7 @@ fn copy_all(
         let mut at = VirtAddr::new(vma.start);
         let end = VirtAddr::new(vma.end);
         while at < end {
-            let chunk_end = at
-                .pte_table_align_down()
-                .add(PTE_TABLE_SPAN)
-                .min(end);
+            let chunk_end = at.pte_table_align_down().add(PTE_TABLE_SPAN).min(end);
             copy_chunk(machine, parent, child, policy, vma, at, chunk_end)?;
             at = chunk_end;
         }
@@ -143,9 +138,7 @@ fn copy_chunk(
         ForkPolicy::OnDemand | ForkPolicy::OnDemandHuge => {
             share_pte_table(machine, child, &parent_pmd, pe, at)
         }
-        ForkPolicy::Classic => {
-            copy_pte_range(machine, child, vma, pe.frame(), at, chunk_end)
-        }
+        ForkPolicy::Classic => copy_pte_range(machine, child, vma, pe.frame(), at, chunk_end),
     }
 }
 
@@ -179,11 +172,7 @@ fn try_share_pmd_table(
         return Ok(false);
     }
     machine.pool().pt_share_inc(parent_pmd.frame);
-    parent_pmd.store_pud(
-        parent_pmd
-            .load_pud()
-            .with_cleared(EntryFlags::WRITABLE),
-    );
+    parent_pmd.store_pud(parent_pmd.load_pud().with_cleared(EntryFlags::WRITABLE));
     child_pud.store(
         child_idx,
         Entry::table(parent_pmd.frame).with_cleared(EntryFlags::WRITABLE),
@@ -243,9 +232,7 @@ fn copy_pte_range(
     };
 
     let first = at.index(Level::Pte);
-    let last = first + ((chunk_end.as_u64() - at.as_u64()) as usize).div_ceil(
-        odf_pmem::PAGE_SIZE,
-    );
+    let last = first + ((chunk_end.as_u64() - at.as_u64()) as usize).div_ceil(odf_pmem::PAGE_SIZE);
     let mut copied = 0u64;
     for idx in first..last.min(ENTRIES_PER_TABLE) {
         let pte = parent_table.load(idx);

@@ -39,6 +39,7 @@ mod fork;
 mod machine;
 mod mm;
 mod prot;
+mod snapshot;
 mod stats;
 mod unmap;
 mod vma;
@@ -50,6 +51,7 @@ pub use fork::ForkPolicy;
 pub use machine::Machine;
 pub use mm::{Mm, MmReport};
 pub use prot::Prot;
+pub use snapshot::{AddressSpaceView, LeafPage, VmaInfo};
 pub use stats::{VmStats, VmStatsSnapshot};
 pub use vma::{Backing, MapParams, Vma};
 

@@ -190,9 +190,6 @@ mod tests {
         let m = Machine::new(2 * 4096);
         let _a = m.alloc_page(PageKind::Anon).unwrap();
         let _b = m.alloc_page(PageKind::Anon).unwrap();
-        assert_eq!(
-            m.alloc_page(PageKind::Anon),
-            Err(crate::VmError::NoMemory)
-        );
+        assert_eq!(m.alloc_page(PageKind::Anon), Err(crate::VmError::NoMemory));
     }
 }

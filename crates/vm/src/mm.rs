@@ -30,6 +30,14 @@ pub(crate) struct MmInner {
     pub next_mmap: u64,
     /// Set once the address space has been torn down.
     pub dead: bool,
+    /// Epoch log of ranges whose contents were (re)created or discarded
+    /// wholesale since the last [`Mm::clear_soft_dirty`] sweep: fresh
+    /// mmaps, mremap destinations, `MADV_DONTNEED` ranges. Incremental
+    /// snapshots treat any page inside these ranges as changed (its
+    /// current content is either soft-dirty — carried as payload — or
+    /// demand-zero), so stale content from the previous epoch can never be
+    /// carried forward across a discard-and-reuse of an address.
+    pub dirty_ranges: Vec<(u64, u64)>,
 }
 
 impl MmInner {
@@ -41,7 +49,22 @@ impl MmInner {
             rss: 0,
             next_mmap: MMAP_BASE,
             dead: false,
+            dirty_ranges: Vec::new(),
         })
+    }
+
+    /// Records `[start, end)` in the epoch dirty-range log, merging with
+    /// the previous record when they touch (the common mmap-after-mmap
+    /// pattern) to keep the log compact.
+    pub(crate) fn log_dirty_range(&mut self, start: u64, end: u64) {
+        if let Some(last) = self.dirty_ranges.last_mut() {
+            if start <= last.1 && end >= last.0 {
+                last.0 = last.0.min(start);
+                last.1 = last.1.max(end);
+                return;
+            }
+        }
+        self.dirty_ranges.push((start, end));
     }
 
     /// Finds a free, suitably aligned address range of `len` bytes.
@@ -157,13 +180,14 @@ impl Mm {
         let mut inner = self.inner.write();
         let addr = inner.find_free(len, align)?;
         inner.vmas.insert(Self::build_vma(addr, len, params))?;
+        inner.log_dirty_range(addr, addr + len);
         Ok(addr)
     }
 
     /// Maps `len` bytes at the exact address `addr`.
     pub fn mmap_fixed(&self, addr: u64, len: u64, params: MapParams) -> Result<u64> {
         let align = Self::validate_params(&params)?;
-        if len == 0 || addr % align != 0 {
+        if len == 0 || !addr.is_multiple_of(align) {
             return Err(VmError::InvalidArgument);
         }
         let len = len.next_multiple_of(align);
@@ -172,6 +196,7 @@ impl Mm {
         }
         let mut inner = self.inner.write();
         inner.vmas.insert(Self::build_vma(addr, len, params))?;
+        inner.log_dirty_range(addr, addr + len);
         Ok(addr)
     }
 
@@ -280,7 +305,11 @@ impl Mm {
         if e.is_huge() {
             return Some(e.frame().offset(va.index(Level::Pte)));
         }
-        let pte = self.machine.store().get(e.frame()).load(va.index(Level::Pte));
+        let pte = self
+            .machine
+            .store()
+            .get(e.frame())
+            .load(va.index(Level::Pte));
         pte.is_present().then(|| pte.frame())
     }
 
@@ -355,7 +384,10 @@ mod tests {
     #[test]
     fn zero_length_and_misaligned_requests_fail() {
         let mm = Mm::new(machine()).unwrap();
-        assert_eq!(mm.mmap(0, MapParams::anon_rw()), Err(VmError::InvalidArgument));
+        assert_eq!(
+            mm.mmap(0, MapParams::anon_rw()),
+            Err(VmError::InvalidArgument)
+        );
         assert_eq!(
             mm.mmap_fixed(0x123, 0x1000, MapParams::anon_rw()),
             Err(VmError::InvalidArgument)

@@ -26,7 +26,7 @@ use crate::{HUGE_PAGE_SIZE, PTE_TABLE_SPAN};
 
 /// Validates an `(addr, len)` range argument for the given granularity.
 fn checked_range(addr: u64, len: u64, align: u64) -> Result<(u64, u64)> {
-    if len == 0 || addr % align != 0 {
+    if len == 0 || !addr.is_multiple_of(align) {
         return Err(VmError::InvalidArgument);
     }
     let len = len.next_multiple_of(align);
@@ -40,11 +40,7 @@ fn checked_range(addr: u64, len: u64, align: u64) -> Result<(u64, u64)> {
 /// Granularity required for operations on `[start, end)`: 2 MiB when any
 /// huge VMA is touched, 4 KiB otherwise.
 fn range_align(inner: &MmInner, start: u64, end: u64) -> u64 {
-    if inner
-        .vmas
-        .iter_range(start, end)
-        .any(|v| v.huge)
-    {
+    if inner.vmas.iter_range(start, end).any(|v| v.huge) {
         HUGE_PAGE_SIZE as u64
     } else {
         PAGE_SIZE as u64
@@ -73,10 +69,7 @@ pub(crate) fn zap_range(machine: &Machine, inner: &mut MmInner, start: u64, end:
     let mut at = VirtAddr::new(start);
     let end_va = VirtAddr::new(end);
     while at < end_va {
-        let chunk_end = at
-            .pte_table_align_down()
-            .add(PTE_TABLE_SPAN)
-            .min(end_va);
+        let chunk_end = at.pte_table_align_down().add(PTE_TABLE_SPAN).min(end_va);
         if let Some(pmd) = walk::pmd_slot(machine, inner.pgd, at) {
             // Huge-page extension (§4): the PMD table itself may be
             // shared; resolve ownership at 1 GiB-span granularity before
@@ -126,9 +119,7 @@ fn resolve_shared_pmd(
     if !still_needed {
         // Shared PMD tables are all-huge: account the whole span.
         let present = pmd.table.count_present() as u64;
-        inner.rss = inner
-            .rss
-            .saturating_sub(present * ENTRIES_PER_TABLE as u64);
+        inner.rss = inner.rss.saturating_sub(present * ENTRIES_PER_TABLE as u64);
         pool.pt_share_dec(pmd.frame);
         pmd.store_pud(Entry::NONE);
         return None;
@@ -137,9 +128,7 @@ fn resolve_shared_pmd(
     let Ok((new_frame, new_table)) = fault::pmd_table_cow_for(machine, &pmd.table) else {
         // Allocation failure: release the span; surviving VMAs re-fault.
         let present = pmd.table.count_present() as u64;
-        inner.rss = inner
-            .rss
-            .saturating_sub(present * ENTRIES_PER_TABLE as u64);
+        inner.rss = inner.rss.saturating_sub(present * ENTRIES_PER_TABLE as u64);
         pool.pt_share_dec(pmd.frame);
         pmd.store_pud(Entry::NONE);
         return None;
@@ -154,7 +143,6 @@ fn resolve_shared_pmd(
         idx: pmd.idx,
     })
 }
-
 
 /// Clears the PTEs of `[at, chunk_end)` within one last-level table,
 /// applying the shared-table rules of §3.3.
@@ -182,9 +170,7 @@ fn zap_table_chunk(
             // sharers (§3.5: tables may outlive the creating process).
             // Every present entry in the chunk belonged to this process's
             // (now removed) mappings, so account all of them.
-            inner.rss = inner
-                .rss
-                .saturating_sub(table.count_present() as u64);
+            inner.rss = inner.rss.saturating_sub(table.count_present() as u64);
             pool.pt_share_dec(table_frame);
             pmd.store(Entry::NONE);
             return;
@@ -196,9 +182,7 @@ fn zap_table_chunk(
             // Allocation failure while unmapping: fall back to releasing
             // the whole chunk (the remaining VMAs will re-fault their
             // pages through fresh tables).
-            inner.rss = inner
-                .rss
-                .saturating_sub(table.count_present() as u64);
+            inner.rss = inner.rss.saturating_sub(table.count_present() as u64);
             pool.pt_share_dec(table_frame);
             pmd.store(Entry::NONE);
             return;
@@ -259,6 +243,9 @@ pub(crate) fn madvise_dontneed(
     // still-mapped part of its span is copied rather than released —
     // exactly the conservative branch of §3.3.
     zap_range(machine, inner, start, end);
+    // The surviving mapping now reads as zeros: record the discard so a
+    // delta snapshot does not carry the pre-DONTNEED contents forward.
+    inner.log_dirty_range(start, end);
     Ok(())
 }
 
@@ -288,7 +275,7 @@ pub(crate) fn mremap(
     } else {
         PAGE_SIZE as u64
     };
-    if start % align != 0 || old_len % align != 0 {
+    if start % align != 0 || !old_len.is_multiple_of(align) {
         return Err(VmError::InvalidArgument);
     }
     let new_len = new_len.next_multiple_of(align);
@@ -311,6 +298,10 @@ pub(crate) fn mremap(
         *pgoff += (start - vma.start) / PAGE_SIZE as u64;
     }
     inner.vmas.insert(new_vma)?;
+    // The destination range's previous-epoch content (none — it was
+    // unmapped) must not be carried forward; moved entries get SOFT_DIRTY
+    // below so their real contents are captured.
+    inner.log_dirty_range(new_start, new_start + new_len);
 
     move_mappings(machine, inner, start, old_end, new_start)?;
 
@@ -336,10 +327,7 @@ fn move_mappings(
     let mut at = VirtAddr::new(start);
     let end_va = VirtAddr::new(end);
     while at < end_va {
-        let chunk_end = at
-            .pte_table_align_down()
-            .add(PTE_TABLE_SPAN)
-            .min(end_va);
+        let chunk_end = at.pte_table_align_down().add(PTE_TABLE_SPAN).min(end_va);
         'chunk: {
             let Some(pmd) = walk::pmd_slot(machine, inner.pgd, at) else {
                 break 'chunk;
@@ -371,7 +359,10 @@ fn move_mappings(
                 // by the caller).
                 let dest = VirtAddr::new(new_start + (at.as_u64() - start));
                 let dest_pmd = walk::pmd_slot_create(machine, inner.pgd, dest)?;
-                dest_pmd.store(e);
+                // Mark moved entries soft-dirty: the destination range is
+                // in the epoch dirty-range log, and without the bit a delta
+                // snapshot would materialize these pages as zeros.
+                dest_pmd.store(e.with_set(EntryFlags::SOFT_DIRTY));
                 pmd.store(Entry::NONE);
                 break 'chunk;
             }
@@ -401,7 +392,7 @@ fn move_mappings(
                             t
                         }
                     };
-                    dest_table.store(dest.index(Level::Pte), pte);
+                    dest_table.store(dest.index(Level::Pte), pte.with_set(EntryFlags::SOFT_DIRTY));
                     table.store(idx, Entry::NONE);
                 }
                 page = page.add(PAGE_SIZE as u64);
@@ -462,10 +453,7 @@ fn wrprotect_range(machine: &Machine, inner: &mut MmInner, start: u64, end: u64)
     let mut at = VirtAddr::new(start);
     let end_va = VirtAddr::new(end);
     while at < end_va {
-        let chunk_end = at
-            .pte_table_align_down()
-            .add(PTE_TABLE_SPAN)
-            .min(end_va);
+        let chunk_end = at.pte_table_align_down().add(PTE_TABLE_SPAN).min(end_va);
         if let Some(pmd) = walk::pmd_slot(machine, inner.pgd, at) {
             if pool.pt_share_count(pmd.frame) > 1 {
                 // Shared PMD table (huge extension): every sharer is
@@ -484,11 +472,7 @@ fn wrprotect_range(machine: &Machine, inner: &mut MmInner, start: u64, end: u64)
                     // PMD writable bit; the fault path re-checks the VMA
                     // protection after any future table COW.
                 } else {
-                    wrprotect_table_range(
-                        &machine.store().get(e.frame()),
-                        at,
-                        chunk_end,
-                    );
+                    wrprotect_table_range(&machine.store().get(e.frame()), at, chunk_end);
                 }
             }
         }

@@ -207,10 +207,7 @@ impl VmaTree {
     /// Removes the parts of all VMAs inside `[start, end)`, splitting
     /// boundary VMAs, and returns the removed pieces.
     pub fn remove_range(&mut self, start: u64, end: u64) -> Vec<Vma> {
-        let keys: Vec<u64> = self
-            .iter_range(start, end)
-            .map(|v| v.start)
-            .collect();
+        let keys: Vec<u64> = self.iter_range(start, end).map(|v| v.start).collect();
         let mut removed = Vec::new();
         for key in keys {
             let mut vma = self.map.remove(&key).expect("key fetched above");
@@ -322,10 +319,7 @@ mod tests {
             prot: Prot::READ,
             shared: false,
             huge: false,
-            backing: Backing::File {
-                file,
-                pgoff: 2,
-            },
+            backing: Backing::File { file, pgoff: 2 },
         };
         let upper = v.split_at(0x14000);
         assert_eq!(v.file_pgoff_of(0x10000), Some(2));

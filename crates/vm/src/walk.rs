@@ -179,7 +179,7 @@ pub(crate) fn translate(
         }
         let mut bits = EntryFlags::ACCESSED;
         if write {
-            bits |= EntryFlags::DIRTY;
+            bits |= EntryFlags::DIRTY | EntryFlags::SOFT_DIRTY;
         }
         pmd_table.fetch_set(pmd_idx, bits);
         return Some(Translation {
@@ -199,7 +199,7 @@ pub(crate) fn translate(
     }
     let mut bits = EntryFlags::ACCESSED;
     if write {
-        bits |= EntryFlags::DIRTY;
+        bits |= EntryFlags::DIRTY | EntryFlags::SOFT_DIRTY;
     }
     pte_table.fetch_set(pte_idx, bits);
     Some(Translation {

@@ -93,11 +93,17 @@ fn fork_and_unmap_issue_tlb_flushes() {
     let before = m.stats().snapshot();
     let child = mm.fork(ForkPolicy::OnDemand).unwrap();
     let after_fork = m.stats().snapshot();
-    assert!(after_fork.tlb_flushes > before.tlb_flushes, "fork wrprotect flushes");
+    assert!(
+        after_fork.tlb_flushes > before.tlb_flushes,
+        "fork wrprotect flushes"
+    );
     drop(child);
     mm.munmap(addr, 4 * MIB).unwrap();
     let after_unmap = m.stats().snapshot();
-    assert!(after_unmap.tlb_flushes > after_fork.tlb_flushes, "unmap flushes");
+    assert!(
+        after_unmap.tlb_flushes > after_fork.tlb_flushes,
+        "unmap flushes"
+    );
 }
 
 #[test]

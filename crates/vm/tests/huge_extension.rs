@@ -44,7 +44,10 @@ fn odf_huge_fork_isolates_parent_and_child() {
     assert_eq!(child.read_u64(addr).unwrap(), 1);
     assert_eq!(parent.read_u64(addr).unwrap(), 0xBEEF_0000);
     assert_eq!(parent.read_u64(addr + 2 * MIB).unwrap(), 2);
-    assert_eq!(child.read_u64(addr + 2 * MIB).unwrap(), 0xBEEF_0000 + 2 * MIB);
+    assert_eq!(
+        child.read_u64(addr + 2 * MIB).unwrap(),
+        0xBEEF_0000 + 2 * MIB
+    );
 }
 
 #[test]
@@ -206,9 +209,7 @@ fn mprotect_on_shared_huge_span_blocks_writes() {
     let parent = new_mm(&m);
     let addr = huge_region(&parent, 4 * MIB);
     let child = parent.fork(ForkPolicy::OnDemandHuge).unwrap();
-    child
-        .mprotect(addr, 4 * MIB, odf_vm::Prot::READ)
-        .unwrap();
+    child.mprotect(addr, 4 * MIB, odf_vm::Prot::READ).unwrap();
     assert!(child.write_u64(addr, 1).is_err());
     check_region(&child, addr, 4 * MIB);
     parent.write_u64(addr, 2).unwrap();

@@ -203,7 +203,11 @@ fn many_processes_can_share_one_table() {
         assert_eq!(c.read_u64(addr).unwrap(), i as u64);
     }
     assert_eq!(parent.read_u64(addr).unwrap(), 0xA5A5_0000);
-    assert_eq!(m.pool().pt_share_count(table), 1, "all children went private");
+    assert_eq!(
+        m.pool().pt_share_count(table),
+        1,
+        "all children went private"
+    );
 }
 
 #[test]
@@ -242,7 +246,10 @@ fn mixed_policies_compose() {
     assert_eq!(classic_child.read_u64(addr).unwrap(), 1);
     assert_eq!(odf_child.read_u64(addr).unwrap(), 2);
     assert_eq!(parent.read_u64(addr).unwrap(), 3);
-    assert_eq!(classic_child.read_u64(addr + PAGE).unwrap(), 0xA5A5_0000 + PAGE);
+    assert_eq!(
+        classic_child.read_u64(addr + PAGE).unwrap(),
+        0xA5A5_0000 + PAGE
+    );
 }
 
 #[test]
@@ -279,10 +286,7 @@ fn munmap_full_range_releases_shared_table_fast() {
     assert_eq!(m.pool().pt_share_count(table), 1);
     // The child still reads the data through the surviving table.
     check_pattern(&child, addr, 2 * MIB);
-    assert!(matches!(
-        parent.read_u64(addr),
-        Err(VmError::Fault { .. })
-    ));
+    assert!(matches!(parent.read_u64(addr), Err(VmError::Fault { .. })));
 }
 
 #[test]
@@ -498,7 +502,11 @@ fn huge_mappings_fork_and_cow_whole_pages() {
     child.write_u64(addr + 8 * PAGE, 1).unwrap();
     let delta = m.pool().stats().snapshot() - before;
     assert_eq!(delta.bytes_copied, 2 * MIB, "huge COW copies 2 MiB");
-    assert_eq!(child.read_u64(addr).unwrap(), 0xC0FFEE, "rest of page copied");
+    assert_eq!(
+        child.read_u64(addr).unwrap(),
+        0xC0FFEE,
+        "rest of page copied"
+    );
     assert_eq!(child.read_u64(addr + 8 * PAGE).unwrap(), 1);
     assert_eq!(parent.read_u64(addr + 8 * PAGE).unwrap(), 0);
     // Untouched second huge page still shared: refcount 2.
@@ -572,7 +580,10 @@ fn cross_page_accesses_are_assembled_correctly() {
     let mut buf = [0u8; 8];
     mm.read(addr + PAGE - 3, &mut buf).unwrap();
     assert_eq!(&buf, b"ABCDEFGH");
-    assert_eq!(mm.read_u64(addr + PAGE - 3).unwrap(), u64::from_le_bytes(*b"ABCDEFGH"));
+    assert_eq!(
+        mm.read_u64(addr + PAGE - 3).unwrap(),
+        u64::from_le_bytes(*b"ABCDEFGH")
+    );
 }
 
 #[test]

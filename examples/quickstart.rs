@@ -19,7 +19,9 @@ fn main() {
     let size: u64 = 1 << 30; // 1 GiB
     let buf = parent.mmap_anon(size).expect("mmap");
     parent.populate(buf, size, true).expect("fill");
-    parent.write(buf, b"precious pre-fork state").expect("write");
+    parent
+        .write(buf, b"precious pre-fork state")
+        .expect("write");
     println!(
         "parent ready: {} mapped, {} resident pages",
         fmt_bytes(size),
@@ -49,7 +51,9 @@ fn main() {
     let mut view = [0u8; 23];
     child.read(buf, &mut view).expect("child read");
     assert_eq!(&view, b"precious pre-fork state");
-    child.write(buf, b"child-private mutation ").expect("child write");
+    child
+        .write(buf, b"child-private mutation ")
+        .expect("child write");
     parent.read(buf, &mut view).expect("parent read");
     assert_eq!(&view, b"precious pre-fork state");
     println!("COW semantics verified: parent and child fully isolated");

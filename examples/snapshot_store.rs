@@ -20,6 +20,7 @@ fn session(policy: ForkPolicy) {
             buckets: 1 << 14,
             snapshot_every: 5_000,
             fork_policy: policy,
+            incremental: false,
         },
     )
     .expect("server");

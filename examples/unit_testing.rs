@@ -23,8 +23,7 @@ fn main() {
     for policy in [ForkPolicy::Classic, ForkPolicy::OnDemand] {
         let kernel = Kernel::new(512 << 20);
         let sw = odf_metrics::Stopwatch::start();
-        let harness =
-            ForkTestHarness::initialize(&kernel, &dataset, policy).expect("initialize");
+        let harness = ForkTestHarness::initialize(&kernel, &dataset, policy).expect("initialize");
         println!(
             "--- {policy:?}: initialized {} rows (+{} resident) in {} ---",
             dataset.rows,

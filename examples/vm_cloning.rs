@@ -24,21 +24,21 @@ fn main() {
     // A guest program: spawn a task, open a file, write to it in a loop,
     // then read the size back into guest scratch memory.
     let program = [
-        assemble(Opcode::LoadImm, 0, 0, 7),        // r0 = pid 7
-        assemble(Opcode::Syscall, 0, 0, 5),        // spawn(7)
-        assemble(Opcode::LoadImm, 0, 0, 0xFEED),   // r0 = file name hash
-        assemble(Opcode::Syscall, 0, 0, 1),        // r0 = open(0xFEED)
-        assemble(Opcode::Mov, 4, 0, 0),            // r4 = fd
-        assemble(Opcode::LoadImm, 1, 0, 0x1234),   // r1 = value
-        assemble(Opcode::LoadImm, 2, 0, 100),      // r2 = len
-        assemble(Opcode::Mov, 0, 4, 0),            // r0 = fd
-        assemble(Opcode::Syscall, 0, 0, 3),        // write(fd, value, 100)
+        assemble(Opcode::LoadImm, 0, 0, 7),      // r0 = pid 7
+        assemble(Opcode::Syscall, 0, 0, 5),      // spawn(7)
+        assemble(Opcode::LoadImm, 0, 0, 0xFEED), // r0 = file name hash
+        assemble(Opcode::Syscall, 0, 0, 1),      // r0 = open(0xFEED)
+        assemble(Opcode::Mov, 4, 0, 0),          // r4 = fd
+        assemble(Opcode::LoadImm, 1, 0, 0x1234), // r1 = value
+        assemble(Opcode::LoadImm, 2, 0, 100),    // r2 = len
+        assemble(Opcode::Mov, 0, 4, 0),          // r0 = fd
+        assemble(Opcode::Syscall, 0, 0, 3),      // write(fd, value, 100)
         assemble(Opcode::Mov, 0, 4, 0),
-        assemble(Opcode::Syscall, 0, 0, 3),        // write again
+        assemble(Opcode::Syscall, 0, 0, 3), // write again
         assemble(Opcode::Mov, 0, 4, 0),
-        assemble(Opcode::Syscall, 0, 0, 4),        // r0 = read(fd) -> size
-        assemble(Opcode::LoadImm, 2, 0, 0x20000),  // r2 = scratch
-        assemble(Opcode::Store, 2, 0, 0),          // [scratch] = size
+        assemble(Opcode::Syscall, 0, 0, 4), // r0 = read(fd) -> size
+        assemble(Opcode::LoadImm, 2, 0, 0x20000), // r2 = scratch
+        assemble(Opcode::Store, 2, 0, 0),   // [scratch] = size
     ];
 
     let mut clone_times = Summary::new();

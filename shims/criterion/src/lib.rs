@@ -1,0 +1,181 @@
+//! Offline stand-in for `criterion` 0.5: times closures with
+//! `std::time::Instant` and prints mean wall-clock per iteration. There is
+//! no statistical analysis or report output. Honours `ODF_BENCH_FAST=1`
+//! by capping every group at a handful of iterations. See
+//! `shims/README.md`.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    fast: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            fast: std::env::var("ODF_BENCH_FAST").is_ok_and(|v| v != "0"),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            fast: self.fast,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group(id.to_string());
+        group.bench_function("", f);
+        group.finish();
+        self
+    }
+
+    /// Upstream runs post-measurement analysis here; nothing to do.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Batching policies for [`Bencher::iter_batched`]; the shim times every
+/// batch identically, so the variants only exist for source compatibility.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    fast: bool,
+    // Tie to the parent lifetime as upstream does.
+    _marker: std::marker::PhantomData<&'a mut ()>,
+}
+
+// Allow struct construction above without threading the marker around.
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let (samples, budget) = if self.fast {
+            (2, Duration::from_millis(100))
+        } else {
+            (self.sample_size, self.measurement_time)
+        };
+        let mut bencher = Bencher {
+            samples,
+            budget,
+            total: Duration::ZERO,
+            iters: 0,
+        };
+        f(&mut bencher);
+        let label = if id.is_empty() {
+            self.name.clone()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        if bencher.iters == 0 {
+            println!("{label}: no iterations recorded");
+        } else {
+            let mean = bencher.total.as_nanos() as f64 / bencher.iters as f64;
+            println!(
+                "{label}: mean {:.0} ns/iter ({} iters)",
+                mean, bencher.iters
+            );
+        }
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Times the body closures handed to `bench_function`.
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.samples.max(1) {
+            let start = Instant::now();
+            black_box(f());
+            self.total += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        black_box(routine(setup())); // warm-up, untimed
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.samples.max(1) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,116 @@
+//! Case driver and configuration.
+
+use std::fmt;
+
+/// Subset of the upstream configuration; only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Accepted for source compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_shrink_iters: 0,
+        }
+    }
+}
+
+/// A failed (or rejected) test case.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    Fail(String),
+    Reject(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        Self::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        Self::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Fail(m) => write!(f, "{m}"),
+            Self::Reject(m) => write!(f, "rejected: {m}"),
+        }
+    }
+}
+
+/// Deterministic SplitMix64 generator used to drive strategies.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; modulo bias is acceptable here.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "below(0)");
+        self.next_u64() % bound
+    }
+}
+
+/// Runs the configured number of cases with per-case deterministic seeds.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+}
+
+impl TestRunner {
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        Self { config, name }
+    }
+
+    /// Drives `f` once per case, panicking on the first failure. Unlike
+    /// upstream there is no shrinking: the failing case index (= seed
+    /// input) is reported for reproduction.
+    pub fn run_cases<F>(&mut self, mut f: F)
+    where
+        F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    {
+        // Hash the test name into the seed stream so different tests in
+        // one file do not replay identical value sequences.
+        let mut name_hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.name.bytes() {
+            name_hash ^= u64::from(b);
+            name_hash = name_hash.wrapping_mul(0x0100_0000_01b3);
+        }
+        for case in 0..self.config.cases {
+            let mut rng = TestRng::from_seed(name_hash ^ u64::from(case));
+            match f(&mut rng) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest case #{case}/{total} of `{name}` failed \
+                         (no shrinking in offline shim): {msg}",
+                        total = self.config.cases,
+                        name = self.name,
+                    );
+                }
+            }
+        }
+    }
+}

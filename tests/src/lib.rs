@@ -22,13 +22,23 @@ pub enum Action {
     /// Fork process `who`, appending the child to the process list.
     Fork { who: usize },
     /// Write a deterministic pattern at an offset in the shared region.
-    Write { who: usize, offset: u64, len: usize, seed: u8 },
+    Write {
+        who: usize,
+        offset: u64,
+        len: usize,
+        seed: u8,
+    },
     /// Drop (exit) process `who` (the root is never dropped).
     Exit { who: usize },
     /// Unmap a sub-range of the region in process `who`.
     Unmap { who: usize, offset: u64, len: u64 },
     /// Toggle a sub-range read-only / read-write in process `who`.
-    Mprotect { who: usize, offset: u64, len: u64, writable: bool },
+    Mprotect {
+        who: usize,
+        offset: u64,
+        len: u64,
+        writable: bool,
+    },
     /// Discard a sub-range's contents without unmapping (MADV_DONTNEED).
     Madvise { who: usize, offset: u64, len: u64 },
 }
@@ -58,7 +68,9 @@ pub fn random_script(seed: u64, steps: usize, region_pages: u64) -> Vec<Action> 
             }
             4 => {
                 let offset = rng.gen_range(0..region_pages) * 4096;
-                let len = rng.gen_range(1..=(2 * 4096)).min((region - offset) as usize);
+                let len = rng
+                    .gen_range(1..=(2usize * 4096))
+                    .min((region - offset) as usize);
                 actions.push(Action::Unmap {
                     who,
                     offset,
@@ -67,8 +79,9 @@ pub fn random_script(seed: u64, steps: usize, region_pages: u64) -> Vec<Action> 
             }
             5 => {
                 let offset = rng.gen_range(0..region_pages) * 4096;
-                let len =
-                    (rng.gen_range(1..=4u64) * 4096).min(region - offset).max(4096);
+                let len = (rng.gen_range(1..=4u64) * 4096)
+                    .min(region - offset)
+                    .max(4096);
                 actions.push(Action::Mprotect {
                     who,
                     offset,
@@ -78,8 +91,9 @@ pub fn random_script(seed: u64, steps: usize, region_pages: u64) -> Vec<Action> 
             }
             6 => {
                 let offset = rng.gen_range(0..region_pages) * 4096;
-                let len =
-                    (rng.gen_range(1..=4u64) * 4096).min(region - offset).max(4096);
+                let len = (rng.gen_range(1..=4u64) * 4096)
+                    .min(region - offset)
+                    .max(4096);
                 actions.push(Action::Madvise { who, offset, len });
             }
             _ => {
@@ -126,8 +140,7 @@ pub fn replay(script: &[Action], policy: ForkPolicy, region_pages: u64) -> Repla
                 seed,
             } => {
                 if let Some(p) = &procs[*who] {
-                    let data: Vec<u8> =
-                        (0..*len).map(|i| seed.wrapping_add(i as u8)).collect();
+                    let data: Vec<u8> = (0..*len).map(|i| seed.wrapping_add(i as u8)).collect();
                     // Writes into unmapped holes fault; that is part of
                     // the semantics being compared.
                     let _ = p.write(addr + offset, &data);
@@ -206,12 +219,16 @@ pub fn replay_huge(script: &[Action], policy: ForkPolicy, huge_pages: u64) -> Re
                     .map(|p| p.fork_with(policy).expect("fork"));
                 procs.push(child);
             }
-            Action::Write { who, offset, len, seed } => {
+            Action::Write {
+                who,
+                offset,
+                len,
+                seed,
+            } => {
                 if let Some(p) = &procs[*who] {
                     let offset = offset % region;
                     let len = (*len).min((region - offset) as usize);
-                    let data: Vec<u8> =
-                        (0..len).map(|i| seed.wrapping_add(i as u8)).collect();
+                    let data: Vec<u8> = (0..len).map(|i| seed.wrapping_add(i as u8)).collect();
                     let _ = p.write(addr + offset, &data);
                 }
             }

@@ -25,6 +25,7 @@ fn kvstore_snapshots_are_consistent_under_live_writes() {
                 buckets: 1024,
                 snapshot_every: 500,
                 fork_policy: policy,
+                incremental: false,
             },
         )
         .unwrap();
@@ -109,7 +110,8 @@ fn sql_database_survives_fuzzing_campaign() {
     let kernel = Kernel::new(128 * MIB);
     let master = kernel.spawn().unwrap();
     let db = Database::create(&master, 32 * MIB).unwrap();
-    db.execute(&master, "CREATE TABLE t (a INT, b TEXT)").unwrap();
+    db.execute(&master, "CREATE TABLE t (a INT, b TEXT)")
+        .unwrap();
     for i in 0..100 {
         db.execute(&master, &format!("INSERT INTO t VALUES ({i}, 'v{i}')"))
             .unwrap();
@@ -131,9 +133,7 @@ fn sql_database_survives_fuzzing_campaign() {
     // Whatever the fuzzer mutated ran in children; the master's database
     // is intact.
     assert_eq!(db.row_count(&master, "t").unwrap(), 100);
-    let QueryResult::Rows(rows) = db
-        .execute(&master, "SELECT b FROM t WHERE a = 42")
-        .unwrap()
+    let QueryResult::Rows(rows) = db.execute(&master, "SELECT b FROM t WHERE a = 42").unwrap()
     else {
         panic!("expected rows");
     };
@@ -147,7 +147,8 @@ fn guest_vm_clones_never_corrupt_the_master_guest() {
     let master = kernel.spawn().unwrap();
     let vm = GuestVm::install(&master, 8 * MIB).unwrap();
     // Record a marker in guest memory.
-    vm.write_u64(&master, 0x20000, 0xC0FF_EE00_DEAD_BEEF).unwrap();
+    vm.write_u64(&master, 0x20000, 0xC0FF_EE00_DEAD_BEEF)
+        .unwrap();
     let target = GuestVmTarget::new(vm, 500).with_driver_iterations(10);
     let mut fuzzer = Fuzzer::new(
         &master,

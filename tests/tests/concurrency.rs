@@ -24,7 +24,8 @@ fn fork_storm_preserves_isolation_and_resources() {
         root.populate(addr, 32 * MIB, true).unwrap();
         // Stamp a generation marker per 2 MiB chunk.
         for chunk in 0..16u64 {
-            root.write_u64(addr + chunk * 2 * MIB, 0xBA5E_0000 + chunk).unwrap();
+            root.write_u64(addr + chunk * 2 * MIB, 0xBA5E_0000 + chunk)
+                .unwrap();
         }
         let root = Arc::new(root);
         let violations = AtomicU64::new(0);
@@ -109,7 +110,11 @@ fn snapshot_children_serialize_on_worker_threads() {
             }));
             for i in 0..500u32 {
                 store
-                    .set(&proc, format!("k{i}").as_bytes(), format!("gen{gen}").as_bytes())
+                    .set(
+                        &proc,
+                        format!("k{i}").as_bytes(),
+                        format!("gen{gen}").as_bytes(),
+                    )
                     .unwrap();
             }
         }
@@ -190,10 +195,7 @@ fn mixed_policy_threads_share_one_machine_without_interference() {
                 for round in 0..10u64 {
                     let child = proc.fork_with(policy).unwrap();
                     child.write_u64(addr + (round % 4) * MIB, round).unwrap();
-                    assert_eq!(
-                        child.read_u64(addr + (round % 4) * MIB).unwrap(),
-                        round
-                    );
+                    assert_eq!(child.read_u64(addr + (round % 4) * MIB).unwrap(), round);
                     child.exit();
                     // Parent memory stays zero (populate never wrote data).
                     assert_eq!(proc.read_u64(addr + (round % 4) * MIB).unwrap(), 0);

@@ -50,14 +50,36 @@ fn deep_fork_chains_agree() {
 #[test]
 fn unmap_heavy_scripts_agree() {
     let mut script = vec![
-        Action::Write { who: 0, offset: 0, len: 4096 * 4, seed: 1 },
+        Action::Write {
+            who: 0,
+            offset: 0,
+            len: 4096 * 4,
+            seed: 1,
+        },
         Action::Fork { who: 0 },
-        Action::Unmap { who: 0, offset: 4096, len: 4096 },
-        Action::Unmap { who: 1, offset: 8192, len: 8192 },
+        Action::Unmap {
+            who: 0,
+            offset: 4096,
+            len: 4096,
+        },
+        Action::Unmap {
+            who: 1,
+            offset: 8192,
+            len: 8192,
+        },
         Action::Fork { who: 1 },
-        Action::Write { who: 2, offset: 3 * 4096, len: 100, seed: 9 },
+        Action::Write {
+            who: 2,
+            offset: 3 * 4096,
+            len: 100,
+            seed: 9,
+        },
     ];
-    script.push(Action::Unmap { who: 2, offset: 0, len: 4096 });
+    script.push(Action::Unmap {
+        who: 2,
+        offset: 0,
+        len: 4096,
+    });
     let classic = replay(&script, ForkPolicy::Classic, 8);
     let odf = replay(&script, ForkPolicy::OnDemand, 8);
     assert_eq!(classic, odf);

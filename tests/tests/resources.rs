@@ -13,10 +13,7 @@ fn conserves(kernel: &Arc<Kernel>, f: impl FnOnce()) {
     let before = kernel.free_bytes();
     f();
     assert_eq!(kernel.free_bytes(), before, "physical frames leaked");
-    assert!(
-        kernel.machine().store().is_empty(),
-        "page tables leaked"
-    );
+    assert!(kernel.machine().store().is_empty(), "page tables leaked");
 }
 
 #[test]
@@ -32,8 +29,7 @@ fn random_scripts_conserve_resources() {
                 let root = kernel.spawn().unwrap();
                 let addr = root.mmap_anon(8 * MIB).unwrap();
                 root.populate(addr, 8 * MIB, true).unwrap();
-                let kids: Vec<Process> =
-                    (0..4).map(|_| root.fork_with(policy).unwrap()).collect();
+                let kids: Vec<Process> = (0..4).map(|_| root.fork_with(policy).unwrap()).collect();
                 for (i, k) in kids.iter().enumerate() {
                     k.write_u64(addr + i as u64 * MIB, i as u64).unwrap();
                 }
