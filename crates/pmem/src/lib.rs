@@ -37,5 +37,5 @@ mod stats;
 pub use error::{PmemError, Result};
 pub use frame::{FrameId, HUGE_ORDER, HUGE_PAGE_SIZE, MAX_ORDER, PAGE_SHIFT, PAGE_SIZE};
 pub use page::{Page, PageFlags, PageKind};
-pub use pool::FramePool;
+pub use pool::{assert_pool_balanced, FramePool, PoolBalance};
 pub use stats::{PoolStats, StatsSnapshot};

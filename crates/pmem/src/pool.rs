@@ -16,6 +16,59 @@ type FrameData = RwLock<Option<Box<[u8; PAGE_SIZE]>>>;
 /// The all-zeros page used as the source for reads of unmaterialized frames.
 static ZERO_PAGE: [u8; PAGE_SIZE] = [0; PAGE_SIZE];
 
+/// A point-in-time frame-accounting snapshot of a [`FramePool`].
+///
+/// Captured via [`FramePool::balance`] before a test scenario and compared
+/// with [`assert_pool_balanced`] after every process involved has exited.
+/// Because every page and page-table reference ultimately pins frames in the
+/// buddy allocator, free-frame equality is a whole-system refcount-balance
+/// check: a leaked reference shows up as missing free frames, a double
+/// decrement as extra ones.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PoolBalance {
+    /// Frames free in the buddy allocator at capture time.
+    pub free_frames: usize,
+    /// Total frames managed by the pool (invariant for a pool's lifetime).
+    pub total_frames: usize,
+}
+
+/// Asserts that the pool's frame accounting matches `baseline`.
+///
+/// Panics with a leak/over-free diagnostic when the free-frame count moved,
+/// which means some reference count did not return to its starting value
+/// (e.g. a COW path pinned a source page and never released it, or a shared
+/// page table was decremented twice).
+///
+/// # Panics
+///
+/// Panics if the current balance differs from `baseline`.
+pub fn assert_pool_balanced(pool: &FramePool, baseline: PoolBalance) {
+    let now = pool.balance();
+    assert_eq!(
+        now.total_frames, baseline.total_frames,
+        "pool size changed mid-test: {} -> {} total frames",
+        baseline.total_frames, now.total_frames
+    );
+    match now.free_frames.cmp(&baseline.free_frames) {
+        std::cmp::Ordering::Equal => {}
+        std::cmp::Ordering::Less => panic!(
+            "frame leak: {} frames still referenced after teardown \
+             ({} free at baseline, {} free now)",
+            baseline.free_frames - now.free_frames,
+            baseline.free_frames,
+            now.free_frames
+        ),
+        std::cmp::Ordering::Greater => panic!(
+            "over-free: {} more frames free than at baseline \
+             ({} free at baseline, {} free now) — some reference was \
+             decremented twice",
+            now.free_frames - baseline.free_frames,
+            baseline.free_frames,
+            now.free_frames
+        ),
+    }
+}
+
 /// A fixed-size pool of simulated physical frames.
 ///
 /// The pool is the single authority over physical memory in the simulation:
@@ -71,6 +124,15 @@ impl FramePool {
     /// Currently free frames.
     pub fn free_frames(&self) -> usize {
         self.buddy.lock().free_frames()
+    }
+
+    /// Point-in-time frame-accounting snapshot, for leak assertions.
+    pub fn balance(&self) -> PoolBalance {
+        let buddy = self.buddy.lock();
+        PoolBalance {
+            free_frames: buddy.free_frames(),
+            total_frames: buddy.total_frames(),
+        }
     }
 
     /// Operation counters.
@@ -351,6 +413,26 @@ mod tests {
         pool.pt_share_inc(t);
         assert_eq!(pool.pt_share_count(t), 2);
         assert_eq!(pool.pt_share_dec(t), 1);
+    }
+
+    #[test]
+    fn balance_round_trips_and_detects_leaks() {
+        let pool = FramePool::new(64);
+        let baseline = pool.balance();
+        assert_eq!(baseline.total_frames, 64);
+        let f = pool.alloc_page(PageKind::Anon).unwrap();
+        assert_eq!(pool.balance().free_frames, baseline.free_frames - 1);
+        assert!(pool.ref_dec(f));
+        assert_pool_balanced(&pool, baseline);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame leak: 1 frames")]
+    fn unbalanced_pool_panics_with_leak_diagnostic() {
+        let pool = FramePool::new(64);
+        let baseline = pool.balance();
+        let _leaked = pool.alloc_page(PageKind::Anon).unwrap();
+        assert_pool_balanced(&pool, baseline);
     }
 
     #[test]

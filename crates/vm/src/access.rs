@@ -1,17 +1,32 @@
 //! The memory access front end (the "MMU" the simulated applications use).
 //!
 //! Reads and writes go through [`Mm::read`] / [`Mm::write`]: each page-sized
-//! piece is translated under the shared `mm` lock (setting accessed/dirty
-//! bits like the hardware walker); a failed translation drops the lock,
-//! runs the page fault handler under the exclusive lock, and retries —
-//! mirroring the fault/retry loop of a real CPU access.
+//! piece is translated under the **shared** `mm` lock (setting accessed/dirty
+//! bits like the hardware walker); a failed translation runs the page fault
+//! handler under the *same shared guard* and retries — mirroring the
+//! fault/retry loop of a real CPU access.
+//!
+//! # Concurrency
+//!
+//! Faults no longer upgrade to the exclusive `mm` lock. The handler in
+//! [`crate::fault`] serialises structural page-table transitions through
+//! per-table split locks and CAS entry installs, so any number of threads may
+//! fault concurrently under shared guards; only mapping changes
+//! (`mmap`/`munmap`/`mprotect`/`fork`/...) take the lock exclusively. A
+//! thread that loses an install race simply re-translates: the retry loop
+//! here absorbs both benign races (a concurrent table COW replacing the
+//! entry we just installed) and the handler's own `Raced` outcomes. The
+//! bound exists to convert a livelocked or buggy handler into a typed
+//! [`VmError::FaultRetriesExhausted`] instead of spinning forever.
 
 use odf_pagetable::VirtAddr;
 use odf_pmem::PAGE_SIZE;
 
 use crate::error::{Result, VmError};
 use crate::fault;
-use crate::mm::Mm;
+use crate::machine::Machine;
+use crate::mm::{Mm, MmInner};
+use crate::stats::VmStats;
 use crate::walk;
 
 /// Per-page visitor for `access_inner`: frame, in-page offset, buffer
@@ -19,11 +34,15 @@ use crate::walk;
 type AccessOp<'a> =
     dyn FnMut(odf_pmem::FrameId, usize, std::ops::Range<usize>, &odf_pmem::FramePool) + 'a;
 
+/// Fault handler invoked when a translation is missing. Injectable so tests
+/// can exercise the retry-exhaustion path deterministically.
+type FaultFn<'a> = dyn Fn(&Machine, &MmInner, VirtAddr, bool) -> Result<()> + 'a;
+
 /// Retry bound for the translate/fault loop. A handful of iterations
 /// absorbs benign races (e.g. a concurrent table COW); exceeding it means
-/// the handler claims success without establishing the translation, which
-/// is a subsystem bug.
-const MAX_FAULT_RETRIES: usize = 32;
+/// the handler keeps claiming success without establishing the translation,
+/// which is surfaced as [`VmError::FaultRetriesExhausted`].
+const MAX_FAULT_RETRIES: u32 = 32;
 
 impl Mm {
     /// Reads `out.len()` bytes from the address space at `addr`.
@@ -104,6 +123,25 @@ impl Mm {
         write: bool,
         op: &mut AccessOp<'_>,
     ) -> Result<()> {
+        self.access_with_handler(addr, len, write, op, &|machine, inner, va, w| {
+            fault::handle(machine, inner, va, w)
+        })
+    }
+
+    /// The translate/fault/retry loop, parameterised over the fault handler.
+    ///
+    /// Each iteration holds one shared guard spanning both the walk and (on a
+    /// miss) the handler call, so the mapping the handler sees is the mapping
+    /// the walk failed against. The guard is released between iterations to
+    /// let exclusive operations (munmap, fork, ...) make progress.
+    fn access_with_handler(
+        &self,
+        addr: u64,
+        len: usize,
+        write: bool,
+        op: &mut AccessOp<'_>,
+        handler: &FaultFn<'_>,
+    ) -> Result<()> {
         if len == 0 {
             return Ok(());
         }
@@ -119,34 +157,79 @@ impl Mm {
             let va = VirtAddr::new(addr + done as u64);
             let page_off = va.page_offset();
             let piece = (PAGE_SIZE - page_off).min(len - done);
-            let mut retries = 0;
+            let mut retries: u32 = 0;
             loop {
-                let translated = {
-                    let inner = self.inner.read();
-                    walk::translate(&machine, inner.pgd, va, write)
-                };
-                match translated {
-                    Some(t) => {
-                        debug_assert!(
-                            t.writable || !write,
-                            "walker permitted a write without effective write permission"
-                        );
-                        op(t.frame, page_off, done..done + piece, machine.pool());
-                        break;
-                    }
-                    None => {
-                        retries += 1;
-                        assert!(
-                            retries <= MAX_FAULT_RETRIES,
-                            "fault handler failed to establish translation at {va}"
-                        );
-                        let mut inner = self.inner.write();
-                        fault::handle(&machine, &mut inner, va, write)?;
-                    }
+                let inner = self.inner.read();
+                if let Some(t) = walk::translate(&machine, inner.pgd, va, write) {
+                    debug_assert!(
+                        t.writable || !write,
+                        "walker permitted a write without effective write permission"
+                    );
+                    op(t.frame, page_off, done..done + piece, machine.pool());
+                    break;
                 }
+                if retries == MAX_FAULT_RETRIES {
+                    return Err(VmError::FaultRetriesExhausted {
+                        addr: va.as_u64(),
+                        retries,
+                    });
+                }
+                if retries > 0 {
+                    VmStats::bump(&machine.stats().fault_retries);
+                }
+                retries += 1;
+                VmStats::bump(&machine.stats().faults_shared_lock);
+                handler(&machine, &inner, va, write)?;
             }
             done += piece;
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vma::MapParams;
+    use std::sync::Arc;
+
+    #[test]
+    fn retry_exhaustion_returns_typed_error() {
+        let machine = Machine::new(16 << 20);
+        let mm = Mm::new(Arc::clone(&machine)).unwrap();
+        let addr = mm.mmap(PAGE_SIZE as u64, MapParams::anon_rw()).unwrap();
+
+        // A handler that claims success without ever establishing the
+        // translation: the loop must bail out with the typed error rather
+        // than asserting or spinning.
+        let mut op =
+            |_: odf_pmem::FrameId, _: usize, _: std::ops::Range<usize>, _: &odf_pmem::FramePool| {};
+        let err = mm
+            .access_with_handler(addr, 1, true, &mut op, &|_, _, _, _| Ok(()))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            VmError::FaultRetriesExhausted {
+                addr,
+                retries: MAX_FAULT_RETRIES,
+            }
+        );
+
+        // The retry counter saw every re-iteration after the first fault.
+        let snap = machine.stats().snapshot();
+        assert_eq!(snap.fault_retries, MAX_FAULT_RETRIES as u64 - 1);
+        assert_eq!(snap.faults_shared_lock, MAX_FAULT_RETRIES as u64);
+    }
+
+    #[test]
+    fn real_handler_establishes_translation_first_try() {
+        let machine = Machine::new(16 << 20);
+        let mm = Mm::new(Arc::clone(&machine)).unwrap();
+        let addr = mm.mmap(PAGE_SIZE as u64, MapParams::anon_rw()).unwrap();
+        mm.write(addr, &[0xAB; 64]).unwrap();
+        let mut back = [0u8; 64];
+        mm.read(addr, &mut back).unwrap();
+        assert_eq!(back, [0xAB; 64]);
+        assert_eq!(machine.stats().snapshot().fault_retries, 0);
     }
 }

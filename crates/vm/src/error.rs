@@ -26,6 +26,15 @@ pub enum VmError {
     Overlap,
     /// The virtual address space is exhausted.
     NoVirtualSpace,
+    /// The fault/retry loop gave up: the handler kept losing install races
+    /// (or claimed success without establishing the translation) for more
+    /// consecutive attempts than any benign schedule can produce.
+    FaultRetriesExhausted {
+        /// The faulting virtual address.
+        addr: u64,
+        /// How many attempts were made before giving up.
+        retries: u32,
+    },
 }
 
 impl std::fmt::Display for VmError {
@@ -40,6 +49,10 @@ impl std::fmt::Display for VmError {
             VmError::InvalidArgument => write!(f, "invalid argument"),
             VmError::Overlap => write!(f, "mapping overlaps an existing region"),
             VmError::NoVirtualSpace => write!(f, "virtual address space exhausted"),
+            VmError::FaultRetriesExhausted { addr, retries } => write!(
+                f,
+                "fault handler failed to establish a translation for {addr:#x} after {retries} retries"
+            ),
         }
     }
 }
@@ -68,6 +81,16 @@ mod tests {
             VmError::from(PmemError::OutOfFrames { order: 0 }),
             VmError::NoMemory
         );
+    }
+
+    #[test]
+    fn retry_exhaustion_reports_address_and_count() {
+        let e = VmError::FaultRetriesExhausted {
+            addr: 0x4000,
+            retries: 64,
+        };
+        assert!(e.to_string().contains("0x4000"));
+        assert!(e.to_string().contains("64"));
     }
 
     #[test]

@@ -19,7 +19,34 @@
 //! This is why the worst-case On-demand-fork fault costs ~5x a classic COW
 //! fault (Table 1) — and why it can happen only once per process per 2 MiB
 //! range.
+//!
+//! # Concurrency
+//!
+//! Faults run while holding the owning `mm` lock only **shared** (Linux's
+//! `mmap_sem`-held-for-read fault path), so many threads resolve faults in
+//! parallel. Mutual exclusion comes from two mechanisms:
+//!
+//! - **Split locks** ([`Machine::split_lock`]): every structural
+//!   transition — installing a table into an empty PMD/PUD slot, COWing a
+//!   shared table, restoring sole ownership, installing or COWing a huge
+//!   entry, installing a PTE — happens under the stripe keyed by the frame
+//!   of the table holding the entry, and *revalidates* the walk after
+//!   acquiring (the upper-level entry must still point where it did).
+//! - **Monotone share counts**: fork (the only incrementer of
+//!   `pt_share_count`) holds the `mm` lock exclusively, so during a fault
+//!   a table's share count can only *decrease*. A count observed as 1
+//!   under the split lock is final, which is what makes the
+//!   "collapsed-to-sole-owner" rechecks sound and prevents two sharers
+//!   from double-decrementing a count of 2 down to 0.
+//!
+//! Expensive data copies (the 4 KiB COW) happen *outside* the lock against
+//! a pinned source page, with a revalidate-and-install step afterwards —
+//! the `wp_page_copy` structure of the kernel. A thread that loses any
+//! install race returns [`Outcome::Raced`] and the fault is retried from
+//! the top; every transition is conservative toward write-protection, so
+//! transient over-protection self-heals on retry.
 
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 use odf_pagetable::{Entry, EntryFlags, Level, Table, VirtAddr, ENTRIES_PER_TABLE};
@@ -32,13 +59,54 @@ use crate::stats::VmStats;
 use crate::vma::{Backing, Vma};
 use crate::walk::{self, PmdSlot};
 
+/// Bound on consecutive lost install races for one fault. Losing a race
+/// requires another thread to have made progress on the same entry, so any
+/// benign schedule resolves far sooner; exhausting this means the handler
+/// is livelocked or broken, reported as a typed error.
+const MAX_INSTALL_RETRIES: u32 = 64;
+
+/// What one fault attempt achieved.
+enum Outcome {
+    /// The translation was established (or found already established).
+    Done,
+    /// A concurrent fault changed the walk under us; retry from the top.
+    Raced,
+}
+
 /// Handles a fault at `va` for the given access kind.
-pub(crate) fn handle(
+///
+/// Runs under the **shared** `mm` lock (`populate` also calls it under the
+/// exclusive lock, which trivially satisfies the contract). Retries
+/// internally when an attempt loses an install race to a concurrent fault.
+pub(crate) fn handle(machine: &Machine, inner: &MmInner, va: VirtAddr, write: bool) -> Result<()> {
+    let mut counted = false;
+    let mut attempts = 0u32;
+    loop {
+        match try_handle(machine, inner, va, write, &mut counted)? {
+            Outcome::Done => return Ok(()),
+            Outcome::Raced => {
+                VmStats::bump(&machine.stats().install_races_lost);
+                attempts += 1;
+                if attempts >= MAX_INSTALL_RETRIES {
+                    return Err(VmError::FaultRetriesExhausted {
+                        addr: va.as_u64(),
+                        retries: attempts,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// One fault attempt: walk, acquire ownership of the relevant table,
+/// resolve the access — revalidating after each split-lock acquisition.
+fn try_handle(
     machine: &Machine,
-    inner: &mut MmInner,
+    inner: &MmInner,
     va: VirtAddr,
     write: bool,
-) -> Result<()> {
+    counted: &mut bool,
+) -> Result<Outcome> {
     let vma = inner
         .vmas
         .find(va.as_u64())
@@ -53,92 +121,170 @@ pub(crate) fn handle(
             write,
         });
     }
-    VmStats::bump(&machine.stats().faults);
+    if !*counted {
+        VmStats::bump(&machine.stats().faults);
+        *counted = true;
+    }
 
     let pmd = walk::pmd_slot_create(machine, inner.pgd, va)?;
     // Huge-page extension (§4): the PMD table itself may be shared. A
     // read of a present entry proceeds through it (accessed bits only);
     // anything else needs a dedicated copy first.
     let need_pmd_modify = write || !pmd.load().is_present();
-    let pmd = ensure_pmd_ownership(machine, pmd, need_pmd_modify)?;
+    let Some(pmd) = ensure_pmd_ownership(machine, pmd, need_pmd_modify)? else {
+        return Ok(Outcome::Raced);
+    };
     let e = pmd.load();
 
     if !e.is_present() && vma.huge {
         return fault_in_huge(machine, inner, &vma, &pmd, write);
     }
     if e.is_present() && e.is_huge() {
-        return huge_cow(machine, &vma, &pmd, e, write);
+        return huge_cow(machine, &vma, &pmd, write);
     }
 
     // 4 KiB path. Resolve (or create) the PTE table, without touching
     // sharing state yet.
     let idx = va.index(Level::Pte);
-    let (table_frame, mut table) = resolve_table(machine, &pmd, e)?;
-    let mut pte = table.load(idx);
+    let Some((table_frame, table)) = resolve_table(machine, &pmd, e)? else {
+        return Ok(Outcome::Raced);
+    };
+    let pte = table.load(idx);
 
-    if machine.pool().pt_share_count(table_frame) > 1 {
+    // The share count can only decrease during a fault (fork holds the
+    // exclusive lock), so a count of 1 observed here is final; a count > 1
+    // is rechecked under the split lock inside `acquire_table_ownership`.
+    let (table_frame, table) = if machine.pool().pt_share_count(table_frame) > 1 {
         if write || !pte.is_present() {
             // Any structural change — a write, or inserting a missing PTE
             // (populating a shared table would leak the mapping into every
             // sharer) — requires a dedicated copy first (§3.4).
-            let (new_frame, new_table) = table_cow_for(machine, &table)?;
-            machine.pool().pt_share_dec(table_frame);
-            pmd.store(Entry::table(new_frame));
-            table = new_table;
-            pte = table.load(idx);
+            match acquire_table_ownership(machine, &pmd, table_frame)? {
+                Some(owned) => owned,
+                None => return Ok(Outcome::Raced),
+            }
         } else {
             // Fast path: read of a present PTE through the shared table.
             // Only the accessed bit is touched, which §3.2 permits.
             table.fetch_set(idx, EntryFlags::ACCESSED);
-            return Ok(());
+            return Ok(Outcome::Done);
         }
-    } else if write && !pmd.load().is_writable() {
-        // Previously shared, now solely owned (§3.4: "both the previously
-        // shared table and the new table become dedicated"). A former
-        // sharer may have copied this table and still co-reference its
-        // pages, so restore the COW invariant conservatively before
-        // re-enabling the PMD writable bit.
-        table.wrprotect_all();
-        pmd.store(pmd.load().with_set(EntryFlags::WRITABLE));
-        pte = table.load(idx);
-    }
+    } else {
+        if write && !pmd.load().is_writable() {
+            // Previously shared, now solely owned (§3.4: "both the
+            // previously shared table and the new table become dedicated").
+            // A former sharer may have copied this table and still
+            // co-reference its pages, so restore the COW invariant
+            // conservatively before re-enabling the PMD writable bit.
+            let _guard = machine.split_lock(table_frame);
+            let cur = pmd.load();
+            if !cur.is_present() || cur.is_huge() || cur.frame() != table_frame {
+                return Ok(Outcome::Raced);
+            }
+            if !cur.is_writable() {
+                table.wrprotect_all();
+                pmd.set_flags(EntryFlags::WRITABLE);
+            }
+        }
+        (table_frame, table)
+    };
 
+    let mut pte = table.load(idx);
     if !pte.is_present() {
-        // Demand paging.
-        VmStats::bump(&machine.stats().faults_demand);
-        pte = map_new_page(machine, &vma, va)?;
-        table.store(idx, pte);
-        inner.rss += 1;
+        // Demand paging: install under the split lock of the (dedicated)
+        // table so two threads faulting the same absent page agree on one
+        // frame.
+        let _guard = machine.split_lock(table_frame);
+        let cur = pmd.load();
+        if !cur.is_present() || cur.is_huge() || cur.frame() != table_frame {
+            return Ok(Outcome::Raced);
+        }
+        pte = table.load(idx);
+        if !pte.is_present() {
+            VmStats::bump(&machine.stats().faults_demand);
+            pte = map_new_page(machine, &vma, va)?;
+            table.store(idx, pte);
+            inner.rss.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     if write && !pte.is_writable() {
-        cow_or_enable_write(machine, &vma, &table, idx, pte)?;
+        if let Outcome::Raced = cow_or_enable_write(machine, &vma, &pmd, &table, table_frame, idx)?
+        {
+            return Ok(Outcome::Raced);
+        }
     }
     let mut bits = EntryFlags::ACCESSED;
     if write {
         bits |= EntryFlags::DIRTY | EntryFlags::SOFT_DIRTY;
     }
     table.fetch_set(idx, bits);
-    Ok(())
+    Ok(Outcome::Done)
 }
 
 /// Resolves the PTE table referenced by a PMD entry, allocating and linking
-/// a fresh one if the entry is absent. No sharing decisions are made here.
-fn resolve_table(machine: &Machine, pmd: &PmdSlot, e: Entry) -> Result<(FrameId, Arc<Table>)> {
+/// a fresh one under the split lock if the entry is absent. No sharing
+/// decisions are made here. Returns `None` when the slot turned huge
+/// meanwhile (dispatch must be redone).
+fn resolve_table(
+    machine: &Machine,
+    pmd: &PmdSlot,
+    e: Entry,
+) -> Result<Option<(FrameId, Arc<Table>)>> {
     if e.is_present() {
         let frame = e.frame();
-        Ok((frame, machine.store().get(frame)))
-    } else {
-        let (frame, table) = machine.alloc_table()?;
-        pmd.store(Entry::table(frame));
-        Ok((frame, table))
+        return Ok(Some((frame, machine.store().get(frame))));
     }
+    let _guard = machine.split_lock(pmd.frame);
+    let cur = pmd.load();
+    if cur.is_present() {
+        if cur.is_huge() {
+            return Ok(None);
+        }
+        let frame = cur.frame();
+        return Ok(Some((frame, machine.store().get(frame))));
+    }
+    let (frame, table) = machine.alloc_table()?;
+    pmd.store(Entry::table(frame));
+    Ok(Some((frame, table)))
+}
+
+/// Acquires a dedicated, writable-at-PMD table for a slot whose table was
+/// observed shared: COWs the shared table, or — if the count collapsed to 1
+/// while racing — restores sole ownership in place. Returns `None` when
+/// the PMD entry no longer points at `table_frame` (another thread of this
+/// process already replaced it).
+fn acquire_table_ownership(
+    machine: &Machine,
+    pmd: &PmdSlot,
+    table_frame: FrameId,
+) -> Result<Option<(FrameId, Arc<Table>)>> {
+    let _guard = machine.split_lock(table_frame);
+    let cur = pmd.load();
+    if !cur.is_present() || cur.is_huge() || cur.frame() != table_frame {
+        return Ok(None);
+    }
+    let table = machine.store().get(table_frame);
+    if machine.pool().pt_share_count(table_frame) > 1 {
+        let (new_frame, new_table) = table_cow_for(machine, &table)?;
+        machine.pool().pt_share_dec(table_frame);
+        pmd.store(Entry::table(new_frame));
+        return Ok(Some((new_frame, new_table)));
+    }
+    // The other sharer COWed first and the count collapsed to 1: this
+    // table is ours alone now. Restore the COW invariant like the
+    // dedicated path does, then proceed through it.
+    if !cur.is_writable() {
+        table.wrprotect_all();
+        pmd.set_flags(EntryFlags::WRITABLE);
+    }
+    Ok(Some((table_frame, table)))
 }
 
 /// Copies a shared PTE table for the faulting process: the deferred
 /// fork-time work (entry copies + per-page refcounting) plus
 /// write-protection of the copy. Also used by the unmap/remap paths
-/// (§3.3).
+/// (§3.3). Callers hold the split lock of the shared table's frame.
 pub(crate) fn table_cow_for(machine: &Machine, src: &Table) -> Result<(FrameId, Arc<Table>)> {
     VmStats::bump(&machine.stats().cow_table_copies);
     let (frame, table) = machine.alloc_table()?;
@@ -161,34 +307,44 @@ pub(crate) fn table_cow_for(machine: &Machine, src: &Table) -> Result<(FrameId, 
 /// copied on the first modifying fault, with the deferred per-huge-page
 /// refcounting performed during the copy — the exact analog of the
 /// last-level table COW one level up.
+///
+/// Returns `None` when the PUD entry stopped pointing at this PMD table
+/// (a concurrent fault already performed the copy): retry from the top.
 fn ensure_pmd_ownership(
     machine: &Machine,
-    pmd: walk::PmdSlot,
+    pmd: PmdSlot,
     need_modify: bool,
-) -> Result<walk::PmdSlot> {
+) -> Result<Option<PmdSlot>> {
     let pool = machine.pool();
+    // Unlocked fast paths: reads may go through a shared table (§3.2), and
+    // a dedicated + writable path needs no transition at all.
+    if !need_modify || (pool.pt_share_count(pmd.frame) == 1 && pmd.load_pud().is_writable()) {
+        return Ok(Some(pmd));
+    }
+    let _guard = machine.split_lock(pmd.frame);
+    let pud_e = pmd.load_pud();
+    if !pud_e.is_present() || pud_e.frame() != pmd.frame {
+        return Ok(None);
+    }
     if pool.pt_share_count(pmd.frame) > 1 {
-        if !need_modify {
-            return Ok(pmd);
-        }
         let (new_frame, new_table) = pmd_table_cow_for(machine, &pmd.table)?;
         pool.pt_share_dec(pmd.frame);
         pmd.store_pud(Entry::table(new_frame));
-        return Ok(walk::PmdSlot {
+        return Ok(Some(PmdSlot {
             pud_table: pmd.pud_table,
             pud_idx: pmd.pud_idx,
             table: new_table,
             frame: new_frame,
             idx: pmd.idx,
-        });
+        }));
     }
-    if need_modify && !pmd.load_pud().is_writable() {
-        // Sole owner again after sharing: restore the COW invariant on the
-        // entries, then re-enable the PUD writable bit.
+    // Sole owner again after sharing: restore the COW invariant on the
+    // entries, then re-enable the PUD writable bit.
+    if !pud_e.is_writable() {
         pmd.table.wrprotect_all();
-        pmd.store_pud(pmd.load_pud().with_set(EntryFlags::WRITABLE));
+        pmd.set_pud_flags(EntryFlags::WRITABLE);
     }
-    Ok(pmd)
+    Ok(Some(pmd))
 }
 
 /// Copies a shared PMD table: entry copies plus the deferred refcount
@@ -240,49 +396,98 @@ fn map_new_page(machine: &Machine, vma: &Vma, va: VirtAddr) -> Result<Entry> {
 
 /// Grants write access to a present but write-protected PTE: write-through
 /// for shared mappings, COW (or exclusive reuse) for private ones.
+///
+/// The COW copy follows the kernel's `wp_page_copy` shape: decide and pin
+/// the source under the split lock, copy *outside* it, then revalidate the
+/// entry and install (or undo and report the lost race).
 fn cow_or_enable_write(
     machine: &Machine,
     vma: &Vma,
-    table: &Table,
+    pmd: &PmdSlot,
+    table: &Arc<Table>,
+    table_frame: FrameId,
     idx: usize,
-    pte: Entry,
-) -> Result<()> {
+) -> Result<Outcome> {
     let pool = machine.pool();
     if vma.shared {
         // Shared mapping: the page itself is the shared store. Mark the
         // page-cache page dirty so writeback picks it up.
+        let _guard = machine.split_lock(table_frame);
+        let pte = table.load(idx);
+        if !pte.is_present() {
+            return Ok(Outcome::Raced);
+        }
         if let Backing::File { file, .. } = &vma.backing {
             file.mark_dirty(pool, pte.frame());
         }
-        table.store(idx, pte.with_set(EntryFlags::WRITABLE));
-        return Ok(());
+        table.fetch_set(idx, EntryFlags::WRITABLE);
+        return Ok(Outcome::Done);
     }
-    let head = pool.compound_head(pte.frame());
-    let exclusive_anon = pool.page(head).kind() == PageKind::Anon && pool.ref_count(head) == 1;
-    if exclusive_anon {
-        // Sole owner: reuse in place.
-        VmStats::bump(&machine.stats().cow_reuses);
-        table.store(idx, pte.with_set(EntryFlags::WRITABLE));
-        return Ok(());
-    }
-    // Copy-on-write to a fresh anonymous page.
+    let (pte, head) = {
+        let _guard = machine.split_lock(table_frame);
+        let cur = pmd.load();
+        if !cur.is_present() || cur.is_huge() || cur.frame() != table_frame {
+            return Ok(Outcome::Raced);
+        }
+        let pte = table.load(idx);
+        if !pte.is_present() {
+            return Ok(Outcome::Raced);
+        }
+        if pte.is_writable() {
+            // Another thread of this process resolved the write meanwhile.
+            return Ok(Outcome::Done);
+        }
+        let head = pool.compound_head(pte.frame());
+        if pool.page(head).kind() == PageKind::Anon && pool.ref_count(head) == 1 {
+            // Sole owner: reuse in place.
+            VmStats::bump(&machine.stats().cow_reuses);
+            table.fetch_set(idx, EntryFlags::WRITABLE);
+            return Ok(Outcome::Done);
+        }
+        // Pin the source so no concurrent COW-and-release elsewhere can
+        // free it while we copy outside the lock.
+        pool.ref_inc(head);
+        (pte, head)
+    };
+    // Copy-on-write to a fresh anonymous page, outside the lock.
     VmStats::bump(&machine.stats().cow_data_copies);
-    let new = machine.alloc_page(PageKind::Anon)?;
+    let new = match machine.alloc_page(PageKind::Anon) {
+        Ok(f) => f,
+        Err(err) => {
+            pool.ref_dec(head);
+            return Err(err);
+        }
+    };
     pool.copy_block(pte.frame(), new, 0);
-    pool.ref_dec(head);
+    let _guard = machine.split_lock(table_frame);
+    let cur = table.load(idx);
+    const MUTABLE_BITS: u64 = EntryFlags::ACCESSED | EntryFlags::DIRTY | EntryFlags::SOFT_DIRTY;
+    if (cur.0 & !MUTABLE_BITS) != (pte.0 & !MUTABLE_BITS) {
+        // Lost the install race: discard the copy and our pin.
+        pool.ref_dec(new);
+        pool.ref_dec(head);
+        return Ok(Outcome::Raced);
+    }
     table.store(idx, Entry::page(new, true).with_set(EntryFlags::ACCESSED));
-    Ok(())
+    pool.ref_dec(head); // the displaced PTE's reference
+    pool.ref_dec(head); // our pin
+    Ok(Outcome::Done)
 }
 
 /// First touch of a huge-mapped 2 MiB range: allocate and map a compound
-/// page.
+/// page, under the split lock of the PMD table so concurrent first
+/// touches agree on one compound page.
 fn fault_in_huge(
     machine: &Machine,
-    inner: &mut MmInner,
+    inner: &MmInner,
     vma: &Vma,
     pmd: &PmdSlot,
     write: bool,
-) -> Result<()> {
+) -> Result<Outcome> {
+    let _guard = machine.split_lock(pmd.frame);
+    if pmd.load().is_present() {
+        return Ok(Outcome::Raced);
+    }
     VmStats::bump(&machine.stats().faults_demand);
     let frame = machine.alloc_huge(PageKind::Anon)?;
     let mut entry = Entry::huge_page(frame, vma.prot.write)
@@ -291,51 +496,63 @@ fn fault_in_huge(
         entry = entry.with_set(EntryFlags::DIRTY);
     }
     pmd.store(entry);
-    inner.rss += ENTRIES_PER_TABLE as u64;
-    Ok(())
+    inner
+        .rss
+        .fetch_add(ENTRIES_PER_TABLE as u64, Ordering::Relaxed);
+    Ok(Outcome::Done)
 }
 
 /// Write access to a write-protected huge mapping: reuse or copy the whole
 /// 2 MiB page.
-fn huge_cow(machine: &Machine, vma: &Vma, pmd: &PmdSlot, e: Entry, write: bool) -> Result<()> {
+///
+/// The 2 MiB copy runs while *holding* the split lock (unlike the 4 KiB
+/// path) — the kernel does the same under the PMD lock to fence THP
+/// operations, and it is one of the costs On-demand-fork avoids (§5.2.2).
+/// Our own PMD reference keeps the source compound page alive for the
+/// duration, so no pin is needed.
+fn huge_cow(machine: &Machine, vma: &Vma, pmd: &PmdSlot, write: bool) -> Result<Outcome> {
     let mut bits = EntryFlags::ACCESSED;
-    if write && !e.is_writable() {
-        if !vma.shared {
-            // The kernel takes the PMD split lock here (to fence THP
-            // operations); modeled by the machine's lock stripes. This is
-            // one of the costs On-demand-fork avoids (§5.2.2).
-            let _guard = machine.pmd_lock(pmd.frame);
-            let pool = machine.pool();
-            let head = pool.compound_head(e.frame());
-            if pool.ref_count(head) == 1 {
-                VmStats::bump(&machine.stats().cow_reuses);
-                pmd.store(e.with_set(EntryFlags::WRITABLE));
-            } else {
-                VmStats::bump(&machine.stats().cow_huge_copies);
-                let new = machine.alloc_huge(PageKind::Anon)?;
-                pool.copy_block(head, new, odf_pmem::HUGE_ORDER);
-                pool.ref_dec(head);
-                pmd.store(Entry::huge_page(new, true).with_set(EntryFlags::ACCESSED));
-            }
-        } else {
-            pmd.store(e.with_set(EntryFlags::WRITABLE));
-        }
-    }
     if write {
+        let _guard = machine.split_lock(pmd.frame);
+        let e = pmd.load();
+        if !e.is_present() || !e.is_huge() {
+            return Ok(Outcome::Raced);
+        }
+        if !e.is_writable() {
+            if !vma.shared {
+                let pool = machine.pool();
+                let head = pool.compound_head(e.frame());
+                if pool.ref_count(head) == 1 {
+                    VmStats::bump(&machine.stats().cow_reuses);
+                    pmd.set_flags(EntryFlags::WRITABLE);
+                } else {
+                    VmStats::bump(&machine.stats().cow_huge_copies);
+                    let new = machine.alloc_huge(PageKind::Anon)?;
+                    pool.copy_block(head, new, odf_pmem::HUGE_ORDER);
+                    pool.ref_dec(head);
+                    pmd.store(Entry::huge_page(new, true).with_set(EntryFlags::ACCESSED));
+                }
+            } else {
+                pmd.set_flags(EntryFlags::WRITABLE);
+            }
+        }
         bits |= EntryFlags::DIRTY | EntryFlags::SOFT_DIRTY;
     }
     pmd.table.fetch_set(pmd.idx, bits);
-    Ok(())
+    Ok(Outcome::Done)
 }
 
 /// Pre-faults a range: the `MAP_POPULATE` / benchmark-fill path.
 ///
 /// Equivalent to touching every page (`write` selects the access kind) but
 /// batched per 2 MiB chunk so upper-level walks are amortized, exactly as a
-/// sequential fill would behave.
+/// sequential fill would behave. Runs under the **exclusive** `mm` lock, so
+/// no fault can race it — the race-aware helpers it shares with the fault
+/// path cannot report `Raced` here, and the per-page fallback keeps it
+/// robust regardless.
 pub(crate) fn populate(
     machine: &Machine,
-    inner: &mut MmInner,
+    inner: &MmInner,
     addr: u64,
     len: u64,
     write: bool,
@@ -374,42 +591,57 @@ pub(crate) fn populate(
             while at < stop {
                 let pmd = walk::pmd_slot_create(machine, inner.pgd, at)?;
                 if !pmd.load().is_present() {
-                    let pmd = ensure_pmd_ownership(machine, pmd, true)?;
-                    fault_in_huge(machine, inner, &vma, &pmd, write)?;
-                    VmStats::bump(&machine.stats().pages_populated);
+                    if let Some(pmd) = ensure_pmd_ownership(machine, pmd, true)? {
+                        if let Outcome::Done = fault_in_huge(machine, inner, &vma, &pmd, write)? {
+                            VmStats::bump(&machine.stats().pages_populated);
+                        }
+                    }
                 }
                 at = at.add(crate::HUGE_PAGE_SIZE as u64);
             }
         } else {
             let pmd = walk::pmd_slot_create(machine, inner.pgd, chunk)?;
-            let pmd = ensure_pmd_ownership(machine, pmd, true)?;
-            let e = pmd.load();
             // Fast bulk path only for a pristine chunk: a fresh (or
             // absent) dedicated, writable table. Anything touched by
             // sharing goes through the real fault handler so the
             // table-COW rules of §3.4 apply.
-            let fast = !e.is_present()
-                || (e.is_writable() && machine.pool().pt_share_count(e.frame()) == 1);
-            if fast {
-                let (_, table) = resolve_table(machine, &pmd, e)?;
-                let mut at = chunk;
-                while at < stop {
-                    let idx = at.index(Level::Pte);
-                    if !table.load(idx).is_present() {
-                        let entry = map_new_page(machine, &vma, at)?;
-                        table.store(idx, entry.with_set(EntryFlags::ACCESSED));
-                        inner.rss += 1;
-                        VmStats::bump(&machine.stats().pages_populated);
-                    } else if write && !table.load(idx).is_writable() {
-                        handle(machine, inner, at, true)?;
+            let fast_table = match ensure_pmd_ownership(machine, pmd, true)? {
+                Some(pmd) => {
+                    let e = pmd.load();
+                    let fast = !e.is_present()
+                        || (!e.is_huge()
+                            && e.is_writable()
+                            && machine.pool().pt_share_count(e.frame()) == 1);
+                    if fast {
+                        resolve_table(machine, &pmd, e)?.map(|(_, t)| t)
+                    } else {
+                        None
                     }
-                    at = at.add(PAGE_SIZE as u64);
                 }
-            } else {
-                let mut at = chunk;
-                while at < stop {
-                    handle(machine, inner, at, write)?;
-                    at = at.add(PAGE_SIZE as u64);
+                None => None,
+            };
+            match fast_table {
+                Some(table) => {
+                    let mut at = chunk;
+                    while at < stop {
+                        let idx = at.index(Level::Pte);
+                        if !table.load(idx).is_present() {
+                            let entry = map_new_page(machine, &vma, at)?;
+                            table.store(idx, entry.with_set(EntryFlags::ACCESSED));
+                            inner.rss.fetch_add(1, Ordering::Relaxed);
+                            VmStats::bump(&machine.stats().pages_populated);
+                        } else if write && !table.load(idx).is_writable() {
+                            handle(machine, inner, at, true)?;
+                        }
+                        at = at.add(PAGE_SIZE as u64);
+                    }
+                }
+                None => {
+                    let mut at = chunk;
+                    while at < stop {
+                        handle(machine, inner, at, write)?;
+                        at = at.add(PAGE_SIZE as u64);
+                    }
                 }
             }
         }

@@ -23,6 +23,8 @@
 //!   to one counter increment and two entry stores, which is the ~65x–270x
 //!   invocation speedup of §5.2.2.
 
+use std::sync::atomic::Ordering;
+
 use odf_pagetable::{Entry, EntryFlags, Level, VirtAddr, ENTRIES_PER_TABLE};
 use odf_pmem::FrameId;
 
@@ -55,7 +57,17 @@ pub enum ForkPolicy {
 }
 
 /// Forks `parent` under `policy`, returning the child's address space
-/// contents. The caller holds the parent's `mm` lock exclusively.
+/// contents. The caller holds the parent's `mm` lock exclusively — which
+/// excludes every concurrent *parent* fault, so the sharing transitions
+/// below (`pt_share_inc` + clearing the PMD/PUD writable bits) need no
+/// split locks. Table pointers are published safely: the child's tree is
+/// private until this function returns, and the child `Mm` is handed to
+/// other threads only through the `RwLock` the caller wraps it in.
+///
+/// Concurrent faults in *other* processes already sharing the parent's
+/// tables are harmless: they only ever COW *away* from a shared table
+/// (decrementing its count), never mutate it, and `pt_share_inc`/`dec` are
+/// atomic.
 pub(crate) fn run(machine: &Machine, parent: &mut MmInner, policy: ForkPolicy) -> Result<MmInner> {
     let stats = machine.stats();
     match policy {
@@ -64,7 +76,9 @@ pub(crate) fn run(machine: &Machine, parent: &mut MmInner, policy: ForkPolicy) -
     }
     let mut child = MmInner::empty(machine)?;
     child.vmas = parent.vmas.clone();
-    child.rss = parent.rss;
+    child
+        .rss
+        .store(parent.rss.load(Ordering::Relaxed), Ordering::Relaxed);
     child.next_mmap = parent.next_mmap;
     // The child inherits the epoch dirty-range log: relative to the last
     // snapshot epoch, everything logged in the parent has changed in the
@@ -77,7 +91,7 @@ pub(crate) fn run(machine: &Machine, parent: &mut MmInner, policy: ForkPolicy) -
         // The wholesale rss copy above over-counts the pages actually
         // transferred before the failure; reset it so teardown accounting
         // (which only subtracts what is really mapped) balances.
-        child.rss = 0;
+        child.rss.store(0, Ordering::Relaxed);
         child.destroy(machine);
         return Err(e);
     }
@@ -274,7 +288,7 @@ fn copy_huge_entry(
     // The kernel must hold the PMD split lock while copying huge entries
     // (to fence THP splits/merges) — a cost On-demand-fork's 4 KiB path
     // avoids (§5.2.2).
-    let _guard = machine.pmd_lock(parent_pmd.frame);
+    let _guard = machine.split_lock(parent_pmd.frame);
     let pool = machine.pool();
     // If the parent's PMD table is itself shared (a previous huge-
     // extension fork), its entries are read-only sources: the parent is

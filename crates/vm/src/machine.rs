@@ -10,8 +10,8 @@ use crate::error::Result;
 use crate::file::VmFile;
 use crate::stats::VmStats;
 
-/// Number of PMD lock stripes.
-const PMD_LOCK_STRIPES: usize = 256;
+/// Number of split-lock stripes.
+const SPLIT_LOCK_STRIPES: usize = 256;
 
 /// The shared state of one simulated machine.
 ///
@@ -23,12 +23,20 @@ pub struct Machine {
     pool: Arc<FramePool>,
     store: PtStore,
     stats: VmStats,
-    /// Striped locks standing in for the kernel's per-PMD-table spinlocks.
+    /// Striped locks standing in for the kernel's split page-table
+    /// spinlocks (per-PMD `page->ptl`).
     ///
-    /// Classic fork and huge-page faults acquire these when manipulating
-    /// PMD-mapped huge entries (needed in the kernel to fence against THP
-    /// splits); On-demand-fork does not — one of the two reasons the paper
-    /// gives for On-demand-fork beating fork-with-huge-pages (§5.2.2).
+    /// The concurrent fault path holds the owning `mm` lock only *shared*,
+    /// so every structural page-table transition — installing a table into
+    /// an empty slot, COWing a shared table, restoring sole ownership,
+    /// installing or COWing a huge entry — serializes on the stripe keyed
+    /// by the frame of the table being transitioned, and revalidates the
+    /// walk after acquiring it.
+    ///
+    /// Lock order: `mm` lock (shared or exclusive) → at most **one**
+    /// split-lock stripe. Stripes are keyed by frame index modulo the
+    /// stripe count, so two distinct frames may share a stripe — nesting
+    /// stripes would deadlock and is never done.
     pmd_locks: Vec<Mutex<()>>,
     /// Files registered for reclaim under memory pressure.
     files: Mutex<Vec<Weak<VmFile>>>,
@@ -46,7 +54,7 @@ impl Machine {
             pool,
             store: PtStore::new(),
             stats: VmStats::default(),
-            pmd_locks: (0..PMD_LOCK_STRIPES).map(|_| Mutex::new(())).collect(),
+            pmd_locks: (0..SPLIT_LOCK_STRIPES).map(|_| Mutex::new(())).collect(),
             files: Mutex::new(Vec::new()),
         })
     }
@@ -72,9 +80,14 @@ impl Machine {
         self.files.lock().push(Arc::downgrade(file));
     }
 
-    /// Acquires the PMD split lock covering the given PMD table frame.
-    pub(crate) fn pmd_lock(&self, pmd_table_frame: FrameId) -> MutexGuard<'_, ()> {
-        self.pmd_locks[pmd_table_frame.index() & (PMD_LOCK_STRIPES - 1)].lock()
+    /// Acquires the split lock covering `table_frame` — the frame of the
+    /// page table (or huge-entry-holding PMD table) being transitioned.
+    ///
+    /// Callers hold the `mm` lock (shared suffices) and must not hold any
+    /// other stripe; after acquiring, re-load the upper-level entry that
+    /// led here and bail out if it no longer points at `table_frame`.
+    pub(crate) fn split_lock(&self, table_frame: FrameId) -> MutexGuard<'_, ()> {
+        self.pmd_locks[table_frame.index() & (SPLIT_LOCK_STRIPES - 1)].lock()
     }
 
     /// Allocates a page-table frame and registers an empty table for it.

@@ -1,5 +1,6 @@
 //! The per-process address space (`mm_struct` analog).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use odf_pagetable::{Entry, Level, VirtAddr};
@@ -24,8 +25,10 @@ pub(crate) struct MmInner {
     pub pgd: FrameId,
     /// The VMA tree.
     pub vmas: VmaTree,
-    /// Resident pages, in 4 KiB units (a huge page counts 512).
-    pub rss: u64,
+    /// Resident pages, in 4 KiB units (a huge page counts 512). Atomic
+    /// because the fault path updates it while holding the `mm` lock only
+    /// shared.
+    pub rss: AtomicU64,
     /// Search cursor of the address allocator.
     pub next_mmap: u64,
     /// Set once the address space has been torn down.
@@ -46,11 +49,20 @@ impl MmInner {
         Ok(Self {
             pgd,
             vmas: VmaTree::new(),
-            rss: 0,
+            rss: AtomicU64::new(0),
             next_mmap: MMAP_BASE,
             dead: false,
             dirty_ranges: Vec::new(),
         })
+    }
+
+    /// Subtracts `n` resident pages, saturating at zero. Callers hold the
+    /// exclusive `mm` lock (the unmap/teardown paths), so the load/store
+    /// pair is race-free; the atomic type exists for the shared-lock fault
+    /// path's increments.
+    pub(crate) fn rss_sub(&self, n: u64) {
+        let cur = self.rss.load(Ordering::Relaxed);
+        self.rss.store(cur.saturating_sub(n), Ordering::Relaxed);
     }
 
     /// Records `[start, end)` in the epoch dirty-range log, merging with
@@ -111,7 +123,7 @@ impl MmInner {
         debug_assert!(self.vmas.is_empty(), "vma tree drained at teardown");
         // Free the (now childless at the leaf level) upper tables.
         Self::free_upper(machine, self.pgd, Level::Pgd);
-        debug_assert_eq!(self.rss, 0, "rss leak at teardown");
+        debug_assert_eq!(self.rss.load(Ordering::Relaxed), 0, "rss leak at teardown");
     }
 
     fn free_upper(machine: &Machine, table_frame: FrameId, level: Level) {
@@ -144,11 +156,24 @@ pub struct MmReport {
 /// A process address space.
 ///
 /// All operations are internally synchronized by a per-`Mm` readers-writer
-/// lock (the `mmap_sem` analog): translations take it shared, faults and
-/// mapping changes take it exclusive. `fork` takes the **parent's** lock
-/// exclusively for the duration of the call — which is precisely the window
-/// during which, e.g., Redis cannot serve requests (§5.3.3), and what the
-/// latency benchmarks measure.
+/// lock (the `mmap_sem` analog), with Linux's discipline:
+///
+/// - **Shared**: translations *and page faults*. Concurrent faults from
+///   many threads resolve in parallel; every structural page-table
+///   transition the fault path makes is serialized by the machine's split
+///   locks ([`Machine::split_lock`](crate::machine)) and revalidated after
+///   acquiring, and entry installs are atomic, so a fault that loses an
+///   install race simply retries.
+/// - **Exclusive**: everything that changes the mapping picture or walks
+///   the whole tree assuming quiescence — `mmap`/`munmap`/`mremap`/
+///   `mprotect`/`madvise`/`populate`/`fork`/`clear_soft_dirty`/`destroy`.
+///
+/// Lock order is `mm` lock → at most one split-lock stripe; nothing ever
+/// takes a second `mm` lock or a second stripe while holding one.
+///
+/// `fork` takes the **parent's** lock exclusively for the duration of the
+/// call — which is precisely the window during which, e.g., Redis cannot
+/// serve requests (§5.3.3), and what the latency benchmarks measure.
 pub struct Mm {
     machine: Arc<Machine>,
     pub(crate) inner: RwLock<MmInner>,
@@ -260,15 +285,18 @@ impl Mm {
     /// paper-scale fill-then-fork sweeps without 4 KiB of host memory per
     /// simulated page.
     pub fn populate(&self, addr: u64, len: u64, write: bool) -> Result<()> {
-        let mut inner = self.inner.write();
-        fault::populate(&self.machine, &mut inner, addr, len, write)
+        let inner = self.inner.write();
+        fault::populate(&self.machine, &inner, addr, len, write)
     }
 
     /// Handles a page fault at `addr` (normally invoked internally by
     /// [`Mm::read`]/[`Mm::write`]; public for fault-injection tests).
+    ///
+    /// Runs under the **shared** `mm` lock, like every fault.
     pub fn fault(&self, addr: u64, write: bool) -> Result<()> {
-        let mut inner = self.inner.write();
-        fault::handle(&self.machine, &mut inner, VirtAddr::new(addr), write)
+        let inner = self.inner.read();
+        VmStats::bump(&self.machine.stats().faults_shared_lock);
+        fault::handle(&self.machine, &inner, VirtAddr::new(addr), write)
     }
 
     /// Forks this address space under the given policy, returning the
@@ -287,7 +315,7 @@ impl Mm {
         let inner = self.inner.read();
         MmReport {
             mapped_bytes: inner.vmas.mapped_bytes(),
-            rss_pages: inner.rss,
+            rss_pages: inner.rss.load(Ordering::Relaxed),
             vma_count: inner.vmas.len(),
         }
     }

@@ -87,7 +87,11 @@ impl Mm {
     /// Captures the VMA layout and all present leaf translations.
     ///
     /// Takes the address-space lock shared: the view is consistent with
-    /// respect to mapping changes and faults.
+    /// respect to mapping changes. Faults also run under the shared lock,
+    /// so a capture of a *live* address space may interleave with them —
+    /// each leaf is read atomically, but concurrently faulted-in or COWed
+    /// pages may or may not appear. The bgsave pattern captures a frozen
+    /// forked child, whose view is exact.
     pub fn capture_view(&self) -> AddressSpaceView {
         let inner = self.inner.read();
         let mut view = AddressSpaceView {
@@ -184,20 +188,28 @@ impl Mm {
             return Ok(0);
         };
         // Huge-page extension: the PMD table itself may be shared through
-        // the PUD entry. Copy it only if it carries soft-dirty bits.
+        // the PUD entry. Copy it only if it carries soft-dirty bits — the
+        // transition runs under the split lock with a count recheck, like
+        // every shared-table transition, because the *other* sharer may be
+        // COWing the same table from its fault path concurrently.
         let pmd = if pool.pt_share_count(pmd.frame) > 1 {
-            if !table_has_soft_dirty(&pmd.table) {
-                return Ok(0);
-            }
-            let (new_frame, new_table) = fault::pmd_table_cow_for(machine, &pmd.table)?;
-            pool.pt_share_dec(pmd.frame);
-            pmd.store_pud(Entry::table(new_frame));
-            walk::PmdSlot {
-                pud_table: pmd.pud_table,
-                pud_idx: pmd.pud_idx,
-                table: new_table,
-                frame: new_frame,
-                idx: pmd.idx,
+            let _guard = machine.split_lock(pmd.frame);
+            if pool.pt_share_count(pmd.frame) > 1 {
+                if !table_has_soft_dirty(&pmd.table) {
+                    return Ok(0);
+                }
+                let (new_frame, new_table) = fault::pmd_table_cow_for(machine, &pmd.table)?;
+                pool.pt_share_dec(pmd.frame);
+                pmd.store_pud(Entry::table(new_frame));
+                walk::PmdSlot {
+                    pud_table: pmd.pud_table,
+                    pud_idx: pmd.pud_idx,
+                    table: new_table,
+                    frame: new_frame,
+                    idx: pmd.idx,
+                }
+            } else {
+                pmd
             }
         } else {
             pmd
@@ -213,13 +225,16 @@ impl Mm {
         let table_frame = e.frame();
         let mut table = machine.store().get(table_frame);
         if pool.pt_share_count(table_frame) > 1 {
-            if !table_has_soft_dirty(&table) {
-                return Ok(0);
+            let _guard = machine.split_lock(table_frame);
+            if pool.pt_share_count(table_frame) > 1 {
+                if !table_has_soft_dirty(&table) {
+                    return Ok(0);
+                }
+                let (new_frame, new_table) = fault::table_cow_for(machine, &table)?;
+                pool.pt_share_dec(table_frame);
+                pmd.store(Entry::table(new_frame));
+                table = new_table;
             }
-            let (new_frame, new_table) = fault::table_cow_for(machine, &table)?;
-            pool.pt_share_dec(table_frame);
-            pmd.store(Entry::table(new_frame));
-            table = new_table;
         }
         // The table is now exclusively ours: clear every entry's bit.
         let mut cleared = 0u64;

@@ -46,6 +46,16 @@ pub struct VmStats {
     pub unmap_table_copies: AtomicU64,
     /// Reclaim passes triggered by allocation failure.
     pub reclaim_runs: AtomicU64,
+    /// Faults resolved while holding the `mm` lock *shared* (the
+    /// concurrent fault path; Linux's `mmap_sem`-held-for-read faults).
+    pub faults_shared_lock: AtomicU64,
+    /// Fault attempts that lost an install race to a concurrent fault on
+    /// the same entry/table and had to re-walk.
+    pub install_races_lost: AtomicU64,
+    /// Translate/fault loop iterations that re-faulted because a benign
+    /// race (e.g. a concurrent wrprotect sweep) invalidated the
+    /// just-established translation.
+    pub fault_retries: AtomicU64,
 }
 
 impl VmStats {
@@ -77,6 +87,9 @@ impl VmStats {
             pages_populated: self.pages_populated.load(Ordering::Relaxed),
             unmap_table_copies: self.unmap_table_copies.load(Ordering::Relaxed),
             reclaim_runs: self.reclaim_runs.load(Ordering::Relaxed),
+            faults_shared_lock: self.faults_shared_lock.load(Ordering::Relaxed),
+            install_races_lost: self.install_races_lost.load(Ordering::Relaxed),
+            fault_retries: self.fault_retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -103,6 +116,9 @@ pub struct VmStatsSnapshot {
     pub pages_populated: u64,
     pub unmap_table_copies: u64,
     pub reclaim_runs: u64,
+    pub faults_shared_lock: u64,
+    pub install_races_lost: u64,
+    pub fault_retries: u64,
 }
 
 impl std::ops::Sub for VmStatsSnapshot {
@@ -127,6 +143,9 @@ impl std::ops::Sub for VmStatsSnapshot {
             pages_populated: self.pages_populated - rhs.pages_populated,
             unmap_table_copies: self.unmap_table_copies - rhs.unmap_table_copies,
             reclaim_runs: self.reclaim_runs - rhs.reclaim_runs,
+            faults_shared_lock: self.faults_shared_lock - rhs.faults_shared_lock,
+            install_races_lost: self.install_races_lost - rhs.install_races_lost,
+            fault_retries: self.fault_retries - rhs.fault_retries,
         }
     }
 }

@@ -88,7 +88,7 @@ pub(crate) fn zap_range(machine: &Machine, inner: &mut MmInner, start: u64, end:
                 if e.is_huge() {
                     machine.pool().ref_dec(e.frame());
                     pmd.store(Entry::NONE);
-                    inner.rss = inner.rss.saturating_sub(ENTRIES_PER_TABLE as u64);
+                    inner.rss_sub(ENTRIES_PER_TABLE as u64);
                 } else {
                     zap_table_chunk(machine, inner, &pmd, e, at, chunk_end);
                 }
@@ -113,13 +113,21 @@ fn resolve_shared_pmd(
     if pool.pt_share_count(pmd.frame) <= 1 {
         return Some(pmd);
     }
+    // Serialize against concurrent faults in *other* sharer processes
+    // transitioning the same table, and recheck the count under the lock:
+    // if the last other sharer COWed away meanwhile, the table is ours and
+    // must be torn down entry by entry, not released.
+    let _guard = machine.split_lock(pmd.frame);
+    if pool.pt_share_count(pmd.frame) <= 1 {
+        return Some(pmd);
+    }
     let span = Level::Pud.entry_span();
     let span_start = at.as_u64() & !(span - 1);
     let still_needed = inner.vmas.overlaps(span_start, span_start + span);
     if !still_needed {
         // Shared PMD tables are all-huge: account the whole span.
         let present = pmd.table.count_present() as u64;
-        inner.rss = inner.rss.saturating_sub(present * ENTRIES_PER_TABLE as u64);
+        inner.rss_sub(present * ENTRIES_PER_TABLE as u64);
         pool.pt_share_dec(pmd.frame);
         pmd.store_pud(Entry::NONE);
         return None;
@@ -128,7 +136,7 @@ fn resolve_shared_pmd(
     let Ok((new_frame, new_table)) = fault::pmd_table_cow_for(machine, &pmd.table) else {
         // Allocation failure: release the span; surviving VMAs re-fault.
         let present = pmd.table.count_present() as u64;
-        inner.rss = inner.rss.saturating_sub(present * ENTRIES_PER_TABLE as u64);
+        inner.rss_sub(present * ENTRIES_PER_TABLE as u64);
         pool.pt_share_dec(pmd.frame);
         pmd.store_pud(Entry::NONE);
         return None;
@@ -160,37 +168,45 @@ fn zap_table_chunk(
     let mut frame_for_free = table_frame;
 
     if pool.pt_share_count(table_frame) > 1 {
-        let chunk_start = at.pte_table_align_down();
-        let chunk_full_end = chunk_start.add(PTE_TABLE_SPAN);
-        let still_needed = inner
-            .vmas
-            .overlaps(chunk_start.as_u64(), chunk_full_end.as_u64());
-        if !still_needed {
-            // Fast release: drop our share; entries survive for the other
-            // sharers (§3.5: tables may outlive the creating process).
-            // Every present entry in the chunk belonged to this process's
-            // (now removed) mappings, so account all of them.
-            inner.rss = inner.rss.saturating_sub(table.count_present() as u64);
+        // Serialize against the other sharers' concurrent fault-time
+        // transitions of this table, and recheck: a count collapsed to 1
+        // means the table (and one reference per present page) is now ours
+        // alone and must be torn down below, not released.
+        let _guard = machine.split_lock(table_frame);
+        if pool.pt_share_count(table_frame) > 1 {
+            let chunk_start = at.pte_table_align_down();
+            let chunk_full_end = chunk_start.add(PTE_TABLE_SPAN);
+            let still_needed = inner
+                .vmas
+                .overlaps(chunk_start.as_u64(), chunk_full_end.as_u64());
+            if !still_needed {
+                // Fast release: drop our share; entries survive for the
+                // other sharers (§3.5: tables may outlive the creating
+                // process). Every present entry in the chunk belonged to
+                // this process's (now removed) mappings, so account all of
+                // them.
+                inner.rss_sub(table.count_present() as u64);
+                pool.pt_share_dec(table_frame);
+                pmd.store(Entry::NONE);
+                return;
+            }
+            // Copy-on-write on the unmap path: other VMAs of this process
+            // still map through this table.
+            VmStats::bump(&machine.stats().unmap_table_copies);
+            let Ok((new_frame, new_table)) = fault::table_cow_for(machine, &table) else {
+                // Allocation failure while unmapping: fall back to
+                // releasing the whole chunk (the remaining VMAs will
+                // re-fault their pages through fresh tables).
+                inner.rss_sub(table.count_present() as u64);
+                pool.pt_share_dec(table_frame);
+                pmd.store(Entry::NONE);
+                return;
+            };
             pool.pt_share_dec(table_frame);
-            pmd.store(Entry::NONE);
-            return;
+            pmd.store(Entry::table(new_frame));
+            table = new_table;
+            frame_for_free = new_frame;
         }
-        // Copy-on-write on the unmap path: other VMAs of this process
-        // still map through this table.
-        VmStats::bump(&machine.stats().unmap_table_copies);
-        let Ok((new_frame, new_table)) = fault::table_cow_for(machine, &table) else {
-            // Allocation failure while unmapping: fall back to releasing
-            // the whole chunk (the remaining VMAs will re-fault their
-            // pages through fresh tables).
-            inner.rss = inner.rss.saturating_sub(table.count_present() as u64);
-            pool.pt_share_dec(table_frame);
-            pmd.store(Entry::NONE);
-            return;
-        };
-        pool.pt_share_dec(table_frame);
-        pmd.store(Entry::table(new_frame));
-        table = new_table;
-        frame_for_free = new_frame;
     }
 
     // Dedicated table: clear the range, dropping page references.
@@ -201,7 +217,7 @@ fn zap_table_chunk(
         if pte.is_present() {
             pool.ref_dec(pool.compound_head(pte.frame()));
             table.store(idx, Entry::NONE);
-            inner.rss = inner.rss.saturating_sub(1);
+            inner.rss_sub(1);
         }
     }
     if table.is_empty() {
@@ -336,16 +352,24 @@ fn move_mappings(
             // requires a dedicated copy first (the old range's VMA still
             // exists at this point, so release is never an option here).
             let pmd = if pool.pt_share_count(pmd.frame) > 1 {
-                VmStats::bump(&machine.stats().unmap_table_copies);
-                let (new_frame, new_table) = fault::pmd_table_cow_for(machine, &pmd.table)?;
-                pool.pt_share_dec(pmd.frame);
-                pmd.store_pud(Entry::table(new_frame));
-                walk::PmdSlot {
-                    pud_table: pmd.pud_table,
-                    pud_idx: pmd.pud_idx,
-                    table: new_table,
-                    frame: new_frame,
-                    idx: pmd.idx,
+                // Same discipline as the fault path: transition under the
+                // split lock, recheck the count (it may have collapsed to
+                // sole ownership while we raced another sharer's fault).
+                let _guard = machine.split_lock(pmd.frame);
+                if pool.pt_share_count(pmd.frame) > 1 {
+                    VmStats::bump(&machine.stats().unmap_table_copies);
+                    let (new_frame, new_table) = fault::pmd_table_cow_for(machine, &pmd.table)?;
+                    pool.pt_share_dec(pmd.frame);
+                    pmd.store_pud(Entry::table(new_frame));
+                    walk::PmdSlot {
+                        pud_table: pmd.pud_table,
+                        pud_idx: pmd.pud_idx,
+                        table: new_table,
+                        frame: new_frame,
+                        idx: pmd.idx,
+                    }
+                } else {
+                    pmd
                 }
             } else {
                 pmd
@@ -369,12 +393,17 @@ fn move_mappings(
             let table_frame = e.frame();
             let mut table = machine.store().get(table_frame);
             if pool.pt_share_count(table_frame) > 1 {
-                // §3.3: remapping a shared table copies it first.
-                VmStats::bump(&machine.stats().unmap_table_copies);
-                let (new_frame, new_table) = fault::table_cow_for(machine, &table)?;
-                pool.pt_share_dec(table_frame);
-                pmd.store(Entry::table(new_frame));
-                table = new_table;
+                // §3.3: remapping a shared table copies it first — under
+                // the split lock, with a count recheck (a collapse to sole
+                // ownership means the table is already ours to mutate).
+                let _guard = machine.split_lock(table_frame);
+                if pool.pt_share_count(table_frame) > 1 {
+                    VmStats::bump(&machine.stats().unmap_table_copies);
+                    let (new_frame, new_table) = fault::table_cow_for(machine, &table)?;
+                    pool.pt_share_dec(table_frame);
+                    pmd.store(Entry::table(new_frame));
+                    table = new_table;
+                }
             }
 
             let mut page = at;

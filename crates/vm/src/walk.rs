@@ -57,6 +57,18 @@ impl PmdSlot {
     pub fn store_pud(&self, e: Entry) {
         self.pud_table.store(self.pud_idx, e);
     }
+
+    /// Atomically sets flag bits on the PMD entry (preserves A/D bits set
+    /// concurrently by the walker).
+    pub fn set_flags(&self, bits: u64) -> Entry {
+        self.table.fetch_set(self.idx, bits)
+    }
+
+    /// Atomically sets flag bits on the PUD entry referencing this PMD
+    /// table.
+    pub fn set_pud_flags(&self, bits: u64) -> Entry {
+        self.pud_table.fetch_set(self.pud_idx, bits)
+    }
 }
 
 /// Resolves the PMD entry covering `va`, without creating tables.
@@ -117,14 +129,26 @@ pub(crate) fn pud_slot_create(
 
 /// Returns the child-table frame of `table[idx]`, allocating and linking a
 /// fresh table if the entry is absent.
+///
+/// The link is published with a compare-exchange so concurrent faults under
+/// the shared `mm` lock can race to build the same path: the loser frees
+/// its table and adopts the winner's. Upper-level tables are only ever
+/// *freed* under the exclusive lock (unmap/teardown), so a frame observed
+/// here cannot disappear mid-fault.
 fn ensure_child_table(machine: &Machine, table: &Table, idx: usize) -> Result<FrameId> {
     let e = table.load(idx);
     if e.is_present() {
         return Ok(e.frame());
     }
     let (frame, _) = machine.alloc_table()?;
-    table.store(idx, Entry::table(frame));
-    Ok(frame)
+    match table.compare_exchange(idx, e, Entry::table(frame)) {
+        Ok(_) => Ok(frame),
+        Err(winner) => {
+            machine.free_table(frame);
+            debug_assert!(winner.is_present(), "raced install left slot empty");
+            Ok(winner.frame())
+        }
+    }
 }
 
 /// A successful translation.

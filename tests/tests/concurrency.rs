@@ -5,19 +5,28 @@
 //! suite hammers: shared page tables are never corrupted (every process
 //! always reads either the pre-fork value or its own writes), and
 //! reference counts balance (all resources return to the pool).
+//!
+//! Since faults run under the *shared* mm lock (split locks + CAS installs
+//! provide mutual exclusion for table transitions), this suite also aims
+//! racing faults directly at the transitions themselves: concurrent COW of
+//! one shared PTE table, faults overlapping `fork`, and faults overlapping
+//! `clear_soft_dirty`. Every test ends with [`assert_pool_balanced`], which
+//! turns any leaked or double-released reference into a test failure.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 
 use odf_core::{ForkPolicy, Kernel, Process};
 use odf_kvstore::Store;
+use odf_pmem::assert_pool_balanced;
 
 const MIB: u64 = 1 << 20;
+const PAGE: u64 = 4096;
 
 #[test]
 fn fork_storm_preserves_isolation_and_resources() {
     let kernel = Kernel::new(512 * MIB);
-    let free0 = kernel.free_bytes();
+    let baseline = kernel.machine().pool().balance();
     {
         let root = kernel.spawn().unwrap();
         let addr = root.mmap_anon(32 * MIB).unwrap();
@@ -70,7 +79,7 @@ fn fork_storm_preserves_isolation_and_resources() {
             );
         }
     }
-    assert_eq!(kernel.free_bytes(), free0, "frames leaked under storm");
+    assert_pool_balanced(kernel.machine().pool(), baseline);
     assert!(kernel.machine().store().is_empty(), "tables leaked");
 }
 
@@ -80,6 +89,7 @@ fn snapshot_children_serialize_on_worker_threads() {
     // serialize concurrently on other threads: every snapshot must be a
     // consistent prefix-generation image.
     let kernel = Kernel::new(256 * MIB);
+    let baseline = kernel.machine().pool().balance();
     let proc = Arc::new(kernel.spawn().unwrap());
     let store = Store::create(&proc, 64 * MIB, 1024).unwrap();
     // Generation 0 content.
@@ -127,11 +137,14 @@ fn snapshot_children_serialize_on_worker_threads() {
     // The live store ended at the last generation.
     assert_eq!(store.get(&proc, b"k0").unwrap().unwrap(), b"gen4");
     assert_eq!(kernel.process_count(), 1);
+    Arc::try_unwrap(proc).ok().unwrap().exit();
+    assert_pool_balanced(kernel.machine().pool(), baseline);
 }
 
 #[test]
 fn grandchild_trees_built_from_worker_threads() {
     let kernel = Kernel::new(256 * MIB);
+    let baseline = kernel.machine().pool().balance();
     let root = kernel.spawn().unwrap();
     let addr = root.mmap_anon(8 * MIB).unwrap();
     root.fill(addr, 8 * MIB as usize, 0x11).unwrap();
@@ -167,12 +180,14 @@ fn grandchild_trees_built_from_worker_threads() {
     // Root unchanged.
     let v = root.read_vec(addr, 16).unwrap();
     assert!(v.iter().all(|&b| b == 0x11));
+    root.exit();
+    assert_pool_balanced(kernel.machine().pool(), baseline);
 }
 
 #[test]
 fn mixed_policy_threads_share_one_machine_without_interference() {
     let kernel = Kernel::new(256 * MIB);
-    let free0 = kernel.free_bytes();
+    let baseline = kernel.machine().pool().balance();
     std::thread::scope(|s| {
         for t in 0..3u64 {
             let kernel = Arc::clone(&kernel);
@@ -203,6 +218,187 @@ fn mixed_policy_threads_share_one_machine_without_interference() {
             });
         }
     });
-    assert_eq!(kernel.free_bytes(), free0);
+    assert_pool_balanced(kernel.machine().pool(), baseline);
     assert_eq!(kernel.process_count(), 0);
+}
+
+#[test]
+fn same_pmd_fault_race_installs_exactly_one_table_copy() {
+    // Four threads write four different pages covered by the SAME shared
+    // last-level page table at once. Each fault sees the shared table and
+    // tries to COW it; the split lock must let exactly one copy win, with
+    // the losers retrying onto the winner's table.
+    let kernel = Kernel::new(256 * MIB);
+    let baseline = kernel.machine().pool().balance();
+    {
+        let root = kernel.spawn().unwrap();
+        // Carve a 2 MiB-aligned span so all pages below share one PTE table.
+        let raw = root.mmap_anon(4 * MIB).unwrap();
+        let span = (raw + 2 * MIB - 1) & !(2 * MIB - 1);
+        for i in 0..512u64 {
+            root.write_u64(span + i * PAGE, 0xAAAA_0000 + i).unwrap();
+        }
+        let stats = kernel.machine().stats();
+        for round in 0..8u64 {
+            let child = Arc::new(root.fork_with(ForkPolicy::OnDemand).unwrap());
+            let before = stats.snapshot();
+            let barrier = Barrier::new(4);
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let child = Arc::clone(&child);
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        barrier.wait();
+                        let page = span + (t * 128 + round) * PAGE;
+                        child.write_u64(page, 0xC0_0000 + t).unwrap();
+                        assert_eq!(child.read_u64(page).unwrap(), 0xC0_0000 + t);
+                    });
+                }
+            });
+            let after = stats.snapshot();
+            assert_eq!(
+                after.cow_table_copies - before.cow_table_copies,
+                1,
+                "exactly one table copy must win the install race (round {round})"
+            );
+            // Parent view untouched by any of the racing writers.
+            for t in 0..4u64 {
+                let idx = t * 128 + round;
+                assert_eq!(root.read_u64(span + idx * PAGE).unwrap(), 0xAAAA_0000 + idx);
+            }
+            Arc::try_unwrap(child).ok().unwrap().exit();
+        }
+        root.exit();
+    }
+    assert_pool_balanced(kernel.machine().pool(), baseline);
+}
+
+#[test]
+fn faults_race_forks_on_the_same_address_space() {
+    // One thread writes (faulting COW pages) while another forks the same
+    // address space in a loop. Fork holds the mm lock exclusively, faults
+    // hold it shared: each child must be a frozen, internally consistent
+    // image no matter how the two interleave.
+    let kernel = Kernel::new(256 * MIB);
+    let baseline = kernel.machine().pool().balance();
+    {
+        const SLOTS: usize = 32;
+        const ROUNDS: u64 = 200;
+        let proc = Arc::new(kernel.spawn().unwrap());
+        let addr = proc.mmap_anon(SLOTS as u64 * PAGE).unwrap();
+        for slot in 0..SLOTS as u64 {
+            proc.write_u64(addr + slot * PAGE, 0).unwrap();
+        }
+        let published: Vec<AtomicU64> = (0..SLOTS).map(|_| AtomicU64::new(0)).collect();
+        std::thread::scope(|s| {
+            {
+                let proc = Arc::clone(&proc);
+                let published = &published;
+                s.spawn(move || {
+                    for round in 1..=ROUNDS {
+                        for (slot, publish) in published.iter().enumerate() {
+                            proc.write_u64(addr + slot as u64 * PAGE, round).unwrap();
+                            publish.store(round, Ordering::Release);
+                        }
+                    }
+                });
+            }
+            {
+                let proc = Arc::clone(&proc);
+                let published = &published;
+                s.spawn(move || {
+                    for f in 0..25u64 {
+                        let floors: Vec<u64> = published
+                            .iter()
+                            .map(|p| p.load(Ordering::Acquire))
+                            .collect();
+                        let child = proc.fork_with(ForkPolicy::OnDemand).unwrap();
+                        let first: Vec<u64> = (0..SLOTS as u64)
+                            .map(|slot| child.read_u64(addr + slot * PAGE).unwrap())
+                            .collect();
+                        for (slot, (&v, &floor)) in first.iter().zip(&floors).enumerate() {
+                            assert!(
+                                v >= floor && v <= ROUNDS,
+                                "slot {slot} read {v}, outside [{floor}, {ROUNDS}]"
+                            );
+                        }
+                        // The child diverges, then its frozen view must stay
+                        // frozen while the parent keeps faulting.
+                        child.write_u64(addr, 0xDEAD_0000 + f).unwrap();
+                        assert_eq!(child.read_u64(addr).unwrap(), 0xDEAD_0000 + f);
+                        for slot in 1..SLOTS as u64 {
+                            assert_eq!(
+                                child.read_u64(addr + slot * PAGE).unwrap(),
+                                first[slot as usize],
+                                "frozen child image changed under parent faults"
+                            );
+                        }
+                        child.exit();
+                    }
+                });
+            }
+        });
+        // No child write ever leaked into the parent.
+        for slot in 0..SLOTS as u64 {
+            assert_eq!(proc.read_u64(addr + slot * PAGE).unwrap(), ROUNDS);
+        }
+        Arc::try_unwrap(proc).ok().unwrap().exit();
+    }
+    assert_pool_balanced(kernel.machine().pool(), baseline);
+}
+
+#[test]
+fn faults_race_soft_dirty_clears_without_corruption() {
+    // Writers fault pages (setting soft-dirty bits under the shared lock)
+    // while another thread repeatedly clears soft-dirty state under the
+    // exclusive lock. Data must survive, and tracking must still be exact
+    // once the race quiesces.
+    let kernel = Kernel::new(256 * MIB);
+    let baseline = kernel.machine().pool().balance();
+    {
+        let proc = Arc::new(kernel.spawn().unwrap());
+        let addr = proc.mmap_anon(4 * MIB).unwrap();
+        let _base = proc.checkpoint().unwrap();
+        std::thread::scope(|s| {
+            {
+                let proc = Arc::clone(&proc);
+                s.spawn(move || {
+                    for round in 1..=100u64 {
+                        for page in 0..64u64 {
+                            proc.write_u64(addr + page * 8 * PAGE, round).unwrap();
+                        }
+                    }
+                });
+            }
+            {
+                let proc = Arc::clone(&proc);
+                s.spawn(move || {
+                    for _ in 0..50 {
+                        proc.advance_checkpoint_epoch().unwrap();
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        });
+        // Every write landed despite the concurrent sweeps.
+        for page in 0..64u64 {
+            assert_eq!(proc.read_u64(addr + page * 8 * PAGE).unwrap(), 100);
+        }
+        // Tracking is exact again: a fresh epoch captures exactly the pages
+        // written after it (3 and 9 are not multiples of 8, so the writer
+        // never touched them).
+        proc.advance_checkpoint_epoch().unwrap();
+        proc.write_u64(addr + 3 * PAGE, 0xD1).unwrap();
+        proc.write_u64(addr + 9 * PAGE, 0xD2).unwrap();
+        let delta = proc.checkpoint_delta().unwrap();
+        let mut vas: Vec<u64> = delta.pages.iter().map(|p| p.va).collect();
+        vas.sort_unstable();
+        assert_eq!(
+            vas,
+            vec![addr + 3 * PAGE, addr + 9 * PAGE],
+            "soft-dirty tracking diverged after racing clears"
+        );
+        Arc::try_unwrap(proc).ok().unwrap().exit();
+    }
+    assert_pool_balanced(kernel.machine().pool(), baseline);
 }
