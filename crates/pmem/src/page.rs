@@ -152,6 +152,22 @@ impl Page {
         self.refcount.fetch_add(1, Ordering::AcqRel)
     }
 
+    /// Atomically increments the reference count unless it is zero — the
+    /// `get_page_unless_zero` of the kernel's lock-free GUP path. Returns
+    /// whether a reference was taken; a dead (count-zero) page must never
+    /// be revived by a racing reader.
+    pub(crate) fn try_ref_inc(&self) -> bool {
+        self.refcount
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                if cur == 0 {
+                    None
+                } else {
+                    Some(cur + 1)
+                }
+            })
+            .is_ok()
+    }
+
     /// Atomically decrements the reference count and returns the new value.
     pub(crate) fn ref_dec(&self) -> u32 {
         let prev = self.refcount.fetch_sub(1, Ordering::AcqRel);

@@ -236,6 +236,22 @@ impl FramePool {
         self.meta[frame.index()].ref_inc();
     }
 
+    /// Takes a reference on a frame only if it is still live (reference
+    /// count non-zero) — the `get_page_unless_zero` step of a lock-free
+    /// page pin (GUP-fast). Returns whether the reference was taken.
+    ///
+    /// Callers pass the compound head and must revalidate afterwards that
+    /// the mapping they resolved the frame through still exists: a `true`
+    /// return alone only guarantees the block will not be freed (or
+    /// recycled) until the matching [`FramePool::ref_dec`].
+    pub fn try_ref_inc(&self, frame: FrameId) -> bool {
+        let taken = self.meta[frame.index()].try_ref_inc();
+        if taken {
+            PoolStats::bump(&self.stats.page_ref_incs);
+        }
+        taken
+    }
+
     /// Decrements a frame's reference count, freeing the block when it
     /// reaches zero. Returns `true` if the block was freed.
     pub fn ref_dec(&self, frame: FrameId) -> bool {
@@ -376,6 +392,21 @@ mod tests {
         assert!(!pool.ref_dec(f));
         assert!(pool.ref_dec(f));
         assert_eq!(pool.page(f).kind(), PageKind::Free);
+        assert_eq!(pool.free_frames(), 64);
+    }
+
+    #[test]
+    fn try_ref_inc_pins_live_frames_and_refuses_dead_ones() {
+        let pool = FramePool::new(64);
+        let f = pool.alloc_page(PageKind::Anon).unwrap();
+        assert!(pool.try_ref_inc(f));
+        assert_eq!(pool.ref_count(f), 2);
+        // The pin keeps the frame alive past the owner's release...
+        assert!(!pool.ref_dec(f));
+        assert!(pool.ref_dec(f));
+        // ...and a dead frame is never revived by a racing pin.
+        assert!(!pool.try_ref_inc(f));
+        assert_eq!(pool.ref_count(f), 0);
         assert_eq!(pool.free_frames(), 64);
     }
 

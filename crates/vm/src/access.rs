@@ -18,6 +18,15 @@
 //! entry we just installed) and the handler's own `Raced` outcomes. The
 //! bound exists to convert a livelocked or buggy handler into a typed
 //! [`VmError::FaultRetriesExhausted`] instead of spinning forever.
+//!
+//! Because the walk is lock-free, a successful translation can be
+//! invalidated before the copy runs: a sibling thread's COW swaps the PTE
+//! and drops its reference, and once the other sharing process drops its
+//! own the frame is freed (and possibly recycled). Each access therefore
+//! *pins* the translated frame GUP-fast style — take a reference on the
+//! compound head unless the page is already dead, re-walk and require the
+//! same frame and head, copy, unpin — so `op` always reads a live frame:
+//! either the current mapping or an intact pre-COW snapshot.
 
 use odf_pagetable::VirtAddr;
 use odf_pmem::PAGE_SIZE;
@@ -165,8 +174,45 @@ impl Mm {
                         t.writable || !write,
                         "walker permitted a write without effective write permission"
                     );
-                    op(t.frame, page_off, done..done + piece, machine.pool());
-                    break;
+                    // Pin the frame for the duration of `op` (GUP-fast).
+                    // Faults run under the shared lock, so a sibling
+                    // thread's COW can swap this PTE and drop its
+                    // reference concurrently with the other sharing
+                    // process dropping its own — without a pin the frame
+                    // could reach refcount zero and be recycled while
+                    // `op` is still copying. Take a reference unless the
+                    // page is already dead, then re-walk and require the
+                    // same frame with the same compound head: a changed
+                    // walk means the pin landed after the translation was
+                    // invalidated, so drop it and re-translate.
+                    let pool = machine.pool();
+                    let head = pool.compound_head(t.frame);
+                    if pool.try_ref_inc(head) {
+                        let live =
+                            walk::translate(&machine, inner.pgd, va, write).is_some_and(|t2| {
+                                t2.frame == t.frame && pool.compound_head(t2.frame) == head
+                            });
+                        if live {
+                            op(t.frame, page_off, done..done + piece, pool);
+                            pool.ref_dec(head);
+                            break;
+                        }
+                        pool.ref_dec(head);
+                    }
+                    // Benign race: a concurrent COW invalidated the
+                    // translation between the walk and the pin. Counted
+                    // against the retry bound so a buggy walk cannot spin
+                    // forever, but no fault handler runs — the next
+                    // iteration simply re-translates.
+                    VmStats::bump(&machine.stats().access_pin_retries);
+                    retries += 1;
+                    if retries >= MAX_FAULT_RETRIES {
+                        return Err(VmError::FaultRetriesExhausted {
+                            addr: va.as_u64(),
+                            retries,
+                        });
+                    }
+                    continue;
                 }
                 if retries == MAX_FAULT_RETRIES {
                     return Err(VmError::FaultRetriesExhausted {

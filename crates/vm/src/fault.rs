@@ -316,9 +316,22 @@ fn ensure_pmd_ownership(
     need_modify: bool,
 ) -> Result<Option<PmdSlot>> {
     let pool = machine.pool();
-    // Unlocked fast paths: reads may go through a shared table (§3.2), and
-    // a dedicated + writable path needs no transition at all.
-    if !need_modify || (pool.pt_share_count(pmd.frame) == 1 && pmd.load_pud().is_writable()) {
+    // Unlocked fast path: reads may go through a shared table (§3.2).
+    if !need_modify {
+        return Ok(Some(pmd));
+    }
+    // Unlocked fast path for a dedicated + writable slot. All facts must
+    // be read against one load of the PUD entry, and the entry must still
+    // reference *this* PMD table: a concurrent fault may have COWed the
+    // shared table (collapsing the count to 1 and installing a writable
+    // entry pointing at the copy), in which case the stale slot must not
+    // be returned — the locked path below revalidates the same linkage.
+    let pud_e = pmd.load_pud();
+    if pud_e.is_present()
+        && pud_e.frame() == pmd.frame
+        && pud_e.is_writable()
+        && pool.pt_share_count(pmd.frame) == 1
+    {
         return Ok(Some(pmd));
     }
     let _guard = machine.split_lock(pmd.frame);
@@ -485,7 +498,24 @@ fn fault_in_huge(
     write: bool,
 ) -> Result<Outcome> {
     let _guard = machine.split_lock(pmd.frame);
-    if pmd.load().is_present() {
+    let pud_e = pmd.load_pud();
+    if !pud_e.is_present() || pud_e.frame() != pmd.frame {
+        // The PMD table was COWed out from under us; ours is stale.
+        return Ok(Outcome::Raced);
+    }
+    let e = pmd.load();
+    if e.is_present() {
+        // A concurrent fault won the install race. If it established the
+        // translation this access needs, finish its A/D bookkeeping and
+        // report success instead of forcing a full re-walk.
+        if e.is_huge() && (!write || e.is_writable()) {
+            let mut bits = EntryFlags::ACCESSED;
+            if write {
+                bits |= EntryFlags::DIRTY | EntryFlags::SOFT_DIRTY;
+            }
+            pmd.table.fetch_set(pmd.idx, bits);
+            return Ok(Outcome::Done);
+        }
         return Ok(Outcome::Raced);
     }
     VmStats::bump(&machine.stats().faults_demand);
@@ -514,6 +544,11 @@ fn huge_cow(machine: &Machine, vma: &Vma, pmd: &PmdSlot, write: bool) -> Result<
     let mut bits = EntryFlags::ACCESSED;
     if write {
         let _guard = machine.split_lock(pmd.frame);
+        let pud_e = pmd.load_pud();
+        if !pud_e.is_present() || pud_e.frame() != pmd.frame {
+            // The PMD table was COWed out from under us; ours is stale.
+            return Ok(Outcome::Raced);
+        }
         let e = pmd.load();
         if !e.is_present() || !e.is_huge() {
             return Ok(Outcome::Raced);
@@ -648,4 +683,111 @@ pub(crate) fn populate(
         chunk = stop;
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mm::Mm;
+    use crate::vma::MapParams;
+
+    /// A fault that arrives at `fault_in_huge` after a concurrent fault
+    /// already installed a satisfying huge translation must finish the
+    /// fault (`Done`), not force a full re-walk; an unsatisfying one (a
+    /// write against a write-protected entry) must still re-walk.
+    #[test]
+    fn huge_install_race_that_satisfies_the_access_resolves_in_place() {
+        let machine = Machine::new(32 << 20);
+        let mm = Mm::new(Arc::clone(&machine)).unwrap();
+        let addr = mm
+            .mmap(crate::HUGE_PAGE_SIZE as u64, MapParams::anon_rw_huge())
+            .unwrap();
+        // Install the huge translation (the racing "winner").
+        mm.write_u64(addr, 7).unwrap();
+
+        let inner = mm.inner.read();
+        let va = VirtAddr::new(addr);
+        let vma = inner.vmas.find(addr).unwrap().clone();
+        let pmd = walk::pmd_slot(&machine, inner.pgd, va).unwrap();
+        assert!(pmd.load().is_present() && pmd.load().is_huge());
+
+        let rss_before = inner.rss.load(Ordering::Relaxed);
+        let demand_before = machine.stats().snapshot().faults_demand;
+        assert!(matches!(
+            fault_in_huge(&machine, &inner, &vma, &pmd, false).unwrap(),
+            Outcome::Done
+        ));
+        assert!(matches!(
+            fault_in_huge(&machine, &inner, &vma, &pmd, true).unwrap(),
+            Outcome::Done
+        ));
+        // The loser neither installed a page nor charged rss.
+        assert_eq!(inner.rss.load(Ordering::Relaxed), rss_before);
+        assert_eq!(machine.stats().snapshot().faults_demand, demand_before);
+
+        // Write-protect the entry: a racing write is no longer satisfied.
+        pmd.store(pmd.load().with_cleared(EntryFlags::WRITABLE));
+        assert!(matches!(
+            fault_in_huge(&machine, &inner, &vma, &pmd, true).unwrap(),
+            Outcome::Raced
+        ));
+        // A read through the protected entry still is.
+        assert!(matches!(
+            fault_in_huge(&machine, &inner, &vma, &pmd, false).unwrap(),
+            Outcome::Done
+        ));
+    }
+
+    /// `fault_in_huge` and `huge_cow` must refuse to operate through a
+    /// stale `PmdSlot` whose PMD table the PUD entry no longer references
+    /// (a concurrent shared-PMD-table COW replaced it).
+    #[test]
+    fn stale_pmd_slot_is_rejected_under_the_split_lock() {
+        let machine = Machine::new(32 << 20);
+        let mm = Mm::new(Arc::clone(&machine)).unwrap();
+        let addr = mm
+            .mmap(crate::HUGE_PAGE_SIZE as u64, MapParams::anon_rw_huge())
+            .unwrap();
+        mm.write_u64(addr, 7).unwrap();
+
+        let inner = mm.inner.read();
+        let va = VirtAddr::new(addr);
+        let vma = inner.vmas.find(addr).unwrap().clone();
+        let stale = walk::pmd_slot(&machine, inner.pgd, va).unwrap();
+        // Simulate the concurrent COW: repoint the PUD entry at a copy.
+        let (new_frame, new_table) = pmd_table_cow_for(&machine, &stale.table).unwrap();
+        stale.store_pud(Entry::table(new_frame));
+
+        // The unlocked fast path must not hand the stale slot back even
+        // though its table's share count is 1 and the (replaced) PUD entry
+        // is writable — the entry no longer references this table.
+        let stale_again = PmdSlot {
+            pud_table: Arc::clone(&stale.pud_table),
+            pud_idx: stale.pud_idx,
+            table: Arc::clone(&stale.table),
+            frame: stale.frame,
+            idx: stale.idx,
+        };
+        assert!(ensure_pmd_ownership(&machine, stale_again, true)
+            .unwrap()
+            .is_none());
+        assert!(matches!(
+            fault_in_huge(&machine, &inner, &vma, &stale, true).unwrap(),
+            Outcome::Raced
+        ));
+        assert!(matches!(
+            huge_cow(&machine, &vma, &stale, true).unwrap(),
+            Outcome::Raced
+        ));
+        // Undo the simulated copy so teardown accounting balances.
+        stale.store_pud(Entry::table(stale.frame));
+        let pool = machine.pool();
+        for i in 0..ENTRIES_PER_TABLE {
+            let e = new_table.load(i);
+            if e.is_present() {
+                pool.ref_dec(pool.compound_head(e.frame()));
+            }
+        }
+        machine.free_table(new_frame);
+    }
 }

@@ -56,6 +56,10 @@ pub struct VmStats {
     /// race (e.g. a concurrent wrprotect sweep) invalidated the
     /// just-established translation.
     pub fault_retries: AtomicU64,
+    /// Accesses whose GUP-fast frame pin failed revalidation (the frame
+    /// died or the translation moved between the walk and the pin) and
+    /// had to re-translate.
+    pub access_pin_retries: AtomicU64,
 }
 
 impl VmStats {
@@ -90,6 +94,7 @@ impl VmStats {
             faults_shared_lock: self.faults_shared_lock.load(Ordering::Relaxed),
             install_races_lost: self.install_races_lost.load(Ordering::Relaxed),
             fault_retries: self.fault_retries.load(Ordering::Relaxed),
+            access_pin_retries: self.access_pin_retries.load(Ordering::Relaxed),
         }
     }
 }
@@ -119,6 +124,7 @@ pub struct VmStatsSnapshot {
     pub faults_shared_lock: u64,
     pub install_races_lost: u64,
     pub fault_retries: u64,
+    pub access_pin_retries: u64,
 }
 
 impl std::ops::Sub for VmStatsSnapshot {
@@ -146,6 +152,7 @@ impl std::ops::Sub for VmStatsSnapshot {
             faults_shared_lock: self.faults_shared_lock - rhs.faults_shared_lock,
             install_races_lost: self.install_races_lost - rhs.install_races_lost,
             fault_retries: self.fault_retries - rhs.fault_retries,
+            access_pin_retries: self.access_pin_retries - rhs.access_pin_retries,
         }
     }
 }

@@ -274,6 +274,132 @@ fn same_pmd_fault_race_installs_exactly_one_table_copy() {
 }
 
 #[test]
+fn same_shared_pmd_table_race_installs_exactly_one_huge_copy() {
+    // The huge-page analog of the test above, one level up: four threads
+    // write four different 2 MiB pages described by the SAME shared PMD
+    // table at once. Every fault must take ownership of the PMD table
+    // first; exactly one table copy may win, and no loser may modify the
+    // parent's (stale) table through an outdated walk — the unlocked
+    // ownership fast path must revalidate the PUD linkage, not just the
+    // share count and writable bit.
+    let kernel = Kernel::new(512 * MIB);
+    let baseline = kernel.machine().pool().balance();
+    {
+        let root = kernel.spawn().unwrap();
+        let addr = root.mmap_anon_huge(16 * MIB).unwrap();
+        root.populate(addr, 16 * MIB, true).unwrap();
+        let stats = kernel.machine().stats();
+        for round in 0..16u64 {
+            let child = Arc::new(root.fork_with(ForkPolicy::OnDemandHuge).unwrap());
+            let before = stats.snapshot();
+            let barrier = Barrier::new(4);
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let child = Arc::clone(&child);
+                    let barrier = &barrier;
+                    s.spawn(move || {
+                        barrier.wait();
+                        let page = addr + ((t * 2 + round % 2) % 8) * 2 * MIB;
+                        child.write_u64(page + t * PAGE, 0xFACE_0000 + t).unwrap();
+                        assert_eq!(child.read_u64(page + t * PAGE).unwrap(), 0xFACE_0000 + t);
+                    });
+                }
+            });
+            let after = stats.snapshot();
+            assert_eq!(
+                after.cow_pmd_table_copies - before.cow_pmd_table_copies,
+                1,
+                "exactly one PMD table copy must win the install race (round {round})"
+            );
+            // The parent's view (zero-filled by populate) is untouched: a
+            // loser writing through a stale PMD slot would land its huge
+            // COW in the parent's table.
+            for t in 0..4u64 {
+                let page = addr + ((t * 2 + round % 2) % 8) * 2 * MIB;
+                assert_eq!(root.read_u64(page + t * PAGE).unwrap(), 0);
+            }
+            Arc::try_unwrap(child).ok().unwrap().exit();
+        }
+        root.exit();
+    }
+    assert_pool_balanced(kernel.machine().pool(), baseline);
+    assert!(kernel.machine().store().is_empty(), "tables leaked");
+}
+
+#[test]
+fn reads_pin_frames_against_concurrent_cow_and_release() {
+    // A reader races a writer of the same pages in one process while a
+    // forked child COWs and exits, so the pre-fork frames keep getting
+    // released and recycled mid-race. The writer rewrites the seed values,
+    // so every read must observe exactly the seed: anything else means the
+    // access path copied from a frame that was freed (and possibly
+    // reallocated) between translation and the copy — the race the
+    // GUP-fast pin in `access_inner` exists to close.
+    let kernel = Kernel::new(256 * MIB);
+    let baseline = kernel.machine().pool().balance();
+    {
+        const PAGES: u64 = 48;
+        const ROUNDS: u64 = 120;
+        let proc = Arc::new(kernel.spawn().unwrap());
+        let addr = proc.mmap_anon(PAGES * PAGE).unwrap();
+        for page in 0..PAGES {
+            proc.write_u64(addr + page * PAGE, 0x5EED_0000 + page)
+                .unwrap();
+        }
+        let bad_reads = AtomicU64::new(0);
+        for _ in 0..ROUNDS {
+            let child = proc.fork_with(ForkPolicy::OnDemand).unwrap();
+            std::thread::scope(|s| {
+                {
+                    // Reader: sweeps every page while the frames churn.
+                    let proc = Arc::clone(&proc);
+                    let bad_reads = &bad_reads;
+                    s.spawn(move || {
+                        for _ in 0..4 {
+                            for page in 0..PAGES {
+                                let v = proc.read_u64(addr + page * PAGE).unwrap();
+                                if v != 0x5EED_0000 + page {
+                                    bad_reads.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                    });
+                }
+                {
+                    // Writer: re-faults every page writable (COW), keeping
+                    // the content identical so the reader's oracle holds.
+                    let proc = Arc::clone(&proc);
+                    s.spawn(move || {
+                        for page in 0..PAGES {
+                            proc.write_u64(addr + page * PAGE, 0x5EED_0000 + page)
+                                .unwrap();
+                        }
+                    });
+                }
+                {
+                    // Child: diverges on every page, then exits — dropping
+                    // the last references to the pre-fork frames so they
+                    // return to the pool mid-race and can be recycled.
+                    s.spawn(move || {
+                        for page in 0..PAGES {
+                            child.write_u64(addr + page * PAGE, 0xDEAD_BEEF).unwrap();
+                        }
+                        child.exit();
+                    });
+                }
+            });
+        }
+        assert_eq!(
+            bad_reads.load(Ordering::Relaxed),
+            0,
+            "a read observed data from a freed or recycled frame"
+        );
+        Arc::try_unwrap(proc).ok().unwrap().exit();
+    }
+    assert_pool_balanced(kernel.machine().pool(), baseline);
+}
+
+#[test]
 fn faults_race_forks_on_the_same_address_space() {
     // One thread writes (faulting COW pages) while another forks the same
     // address space in a loop. Fork holds the mm lock exclusively, faults
