@@ -46,6 +46,7 @@
 #![forbid(unsafe_code)]
 
 mod kernel;
+mod metrics;
 mod process;
 mod ualloc;
 
@@ -54,8 +55,8 @@ pub use process::Process;
 pub use ualloc::UserHeap;
 
 pub use odf_vm::{
-    Backing, ForkPolicy, Machine, MapParams, MmReport, Prot, Result, VmError, VmFile,
-    HUGE_PAGE_SIZE, PAGE_SIZE,
+    Backing, ForkPolicy, Machine, MapParams, MmReport, PagemapEntry, Prot, Result, Smaps,
+    SmapsEntry, VmError, VmFile, HUGE_PAGE_SIZE, PAGE_SIZE,
 };
 
 pub use odf_snapshot::{

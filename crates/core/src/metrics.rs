@@ -1,0 +1,128 @@
+//! Kernel-wide metrics exporters.
+//!
+//! One place turns every counter the simulation keeps — the VM-layer
+//! [`odf_vm::VmStats`], the physical-layer [`odf_pmem::PoolStats`], and
+//! the per-event-class latency summaries of [`odf_trace`] — into the two
+//! wire formats the application substrates serve: Prometheus text
+//! exposition (`GET /metrics` in `odf-httpd`, the node-exporter shape) and
+//! JSON (`STATS`/`INFO` in `odf-kvstore`, the `INFO` shape).
+//!
+//! Counter enumeration rides on the `fields()` method the
+//! [`odf_trace::counters!`] macro generates, so a counter added to either
+//! stats block shows up in both exports with no exporter change.
+
+use odf_trace::{PromText, TraceSummary};
+
+use crate::kernel::Kernel;
+
+impl Kernel {
+    /// All kernel counters plus trace latency summaries in Prometheus
+    /// text exposition format.
+    ///
+    /// Counter metrics are prefixed `odf_vm_` / `odf_pool_`; gauge metrics
+    /// cover memory occupancy; when tracing is enabled
+    /// (`ODF_TRACE=1`), per-class latency quantiles are appended.
+    pub fn metrics_prometheus(&self) -> String {
+        let stats = self.stats();
+        let mut p = PromText::new();
+        for (name, value) in stats.vm.fields() {
+            p.counter(
+                &format!("odf_vm_{name}_total"),
+                "VM-subsystem operation counter",
+                value,
+            );
+        }
+        for (name, value) in stats.pool.fields() {
+            p.counter(
+                &format!("odf_pool_{name}_total"),
+                "Frame-pool operation counter",
+                value,
+            );
+        }
+        p.gauge(
+            "odf_mem_free_bytes",
+            "Free simulated physical memory",
+            self.free_bytes() as f64,
+        );
+        p.gauge(
+            "odf_mem_total_bytes",
+            "Total simulated physical memory",
+            self.total_bytes() as f64,
+        );
+        p.gauge(
+            "odf_processes",
+            "Live simulated processes",
+            self.process_count() as f64,
+        );
+        let mut out = p.finish();
+        if odf_trace::enabled() {
+            out.push_str(&TraceSummary::build(&odf_trace::snapshot()).prometheus());
+        }
+        out
+    }
+
+    /// All kernel counters plus trace latency summaries as one JSON
+    /// object: `{"vm": {...}, "pool": {...}, "mem": {...}, "trace": {...}}`.
+    pub fn metrics_json(&self) -> String {
+        let stats = self.stats();
+        let field_obj = |fields: Vec<(&'static str, u64)>| {
+            let parts: Vec<String> = fields
+                .iter()
+                .map(|(name, value)| format!("\"{name}\":{value}"))
+                .collect();
+            format!("{{{}}}", parts.join(","))
+        };
+        let mut parts = vec![
+            format!("\"vm\":{}", field_obj(stats.vm.fields())),
+            format!("\"pool\":{}", field_obj(stats.pool.fields())),
+            format!(
+                "\"mem\":{{\"free_bytes\":{},\"total_bytes\":{},\"processes\":{}}}",
+                self.free_bytes(),
+                self.total_bytes(),
+                self.process_count()
+            ),
+        ];
+        if odf_trace::enabled() {
+            parts.push(format!(
+                "\"trace\":{}",
+                TraceSummary::build(&odf_trace::snapshot()).to_json()
+            ));
+        }
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prometheus_export_covers_every_counter() {
+        let k = Kernel::new(16 << 20);
+        let p = k.spawn().unwrap();
+        let a = p.mmap_anon(64 << 10).unwrap();
+        p.populate(a, 64 << 10, true).unwrap();
+        let text = k.metrics_prometheus();
+        let vm_fields = k.stats().vm.fields().len();
+        let pool_fields = k.stats().pool.fields().len();
+        let samples = text
+            .lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .count();
+        assert!(samples >= vm_fields + pool_fields + 3);
+        assert!(text.contains("odf_vm_faults_total"));
+        assert!(text.contains("odf_pool_allocs_total"));
+        assert!(text.contains("odf_processes 1"));
+    }
+
+    #[test]
+    fn json_export_is_balanced_and_nested() {
+        let k = Kernel::new(16 << 20);
+        let j = k.metrics_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"vm\":{"));
+        assert!(j.contains("\"pool\":{"));
+        assert!(j.contains("\"faults\":"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

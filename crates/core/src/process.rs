@@ -235,6 +235,24 @@ impl Process {
     pub fn memory_report(&self) -> MmReport {
         self.mm.report()
     }
+
+    // ------------------------------------------------------------------
+    // Introspection (the /proc/<pid>/ surface)
+    // ------------------------------------------------------------------
+
+    /// Per-VMA resident-set breakdown — the `/proc/<pid>/smaps` analog,
+    /// walked from the real page tables under the shared `mm` lock. Unlike
+    /// real smaps, it also reports pages reached through tables still
+    /// shared by an On-demand fork (see [`odf_vm::SmapsEntry::shared`]).
+    pub fn smaps(&self) -> odf_vm::Smaps {
+        self.mm.smaps()
+    }
+
+    /// Per-page translation state for `[addr, addr+len)` — the
+    /// `/proc/<pid>/pagemap` analog (plus each page's refcount).
+    pub fn pagemap(&self, addr: u64, len: u64) -> Vec<odf_vm::PagemapEntry> {
+        self.mm.pagemap(addr, len)
+    }
 }
 
 impl Drop for Process {

@@ -216,6 +216,27 @@ impl PreforkServer {
                 body: b"method not allowed".to_vec(),
             });
         }
+        // Observability endpoints, resolved before the document tree —
+        // the moral equivalent of Apache's mod_status scoreboard.
+        match path {
+            // Machine-wide counters in Prometheus text exposition format.
+            "/metrics" => {
+                return Ok(Response {
+                    status: 200,
+                    body: proc.kernel().metrics_prometheus().into_bytes(),
+                });
+            }
+            // The serving worker's own address space, `/proc/self/smaps`
+            // style: shows how much of the document tree it still shares
+            // with the control process.
+            "/smaps" => {
+                return Ok(Response {
+                    status: 200,
+                    body: proc.smaps().render().into_bytes(),
+                });
+            }
+            _ => {}
+        }
         match self.docs.lookup(proc, path.as_bytes())? {
             None => Ok(Response {
                 status: 404,
@@ -343,6 +364,31 @@ mod tests {
         // Recycled workers serve correctly.
         let r = s.handle("GET /doc-3 HTTP/1.1").unwrap();
         assert!(r.body.starts_with(b"doc3:"));
+    }
+
+    #[test]
+    fn metrics_and_smaps_endpoints_report_server_state() {
+        let k = Kernel::new(128 << 20);
+        let mut s = PreforkServer::start(&k, config(ForkPolicy::OnDemand)).unwrap();
+        // Generate some traffic first so the counters are non-zero.
+        for i in 0..8 {
+            let _ = s.handle(&format!("GET /doc-{i} HTTP/1.1")).unwrap();
+        }
+
+        let r = s.handle("GET /metrics HTTP/1.1").unwrap();
+        assert_eq!(r.status, 200);
+        let text = String::from_utf8(r.body).unwrap();
+        assert!(text.contains("# TYPE odf_vm_faults_total counter"));
+        assert!(text.contains("odf_vm_forks_odf_total 4"));
+
+        let r = s.handle("GET /smaps HTTP/1.1").unwrap();
+        assert_eq!(r.status, 200);
+        let text = String::from_utf8(r.body).unwrap();
+        // The worker shares the control process's document tree.
+        assert!(text.contains("Shared:"), "{text}");
+
+        // The endpoints do not shadow real documents.
+        assert_eq!(s.handle("GET /doc-0 HTTP/1.1").unwrap().status, 200);
     }
 
     #[test]

@@ -4,7 +4,9 @@
 //! TCP. This module provides the wire layer for the reproduction's server:
 //! RESP2 value encoding/decoding and the command surface the workloads
 //! use (`GET`, `SET`, `DEL`, `EXISTS`, `INCR`, `APPEND`, `DBSIZE`,
-//! `BGSAVE`, `PING`).
+//! `BGSAVE`, `PING`), plus the observability commands `INFO [section]`
+//! (Redis-style sectioned report) and `STATS [JSON]` (Prometheus text or
+//! JSON export of every kernel counter and trace latency class).
 
 use crate::server::Server;
 
@@ -210,6 +212,21 @@ pub fn dispatch(server: &mut Server, command: &RespValue) -> RespValue {
             Ok(()) => RespValue::Simple("Background saving started".into()),
             Err(e) => vm_err(e),
         },
+        b"INFO" => match rest {
+            [] => RespValue::Bulk(Some(server.info(None).into_bytes())),
+            [section] => {
+                let section = String::from_utf8_lossy(section).to_string();
+                RespValue::Bulk(Some(server.info(Some(&section)).into_bytes()))
+            }
+            _ => wrong_arity(),
+        },
+        b"STATS" => match rest {
+            [] => RespValue::Bulk(Some(server.metrics_prometheus().into_bytes())),
+            [fmt] if fmt.eq_ignore_ascii_case(b"json") => {
+                RespValue::Bulk(Some(server.metrics_json().into_bytes()))
+            }
+            _ => wrong_arity(),
+        },
         _ => RespValue::Error(format!(
             "ERR unknown command '{}'",
             String::from_utf8_lossy(name)
@@ -339,6 +356,42 @@ mod tests {
         assert!(matches!(run(&mut s, &[b"FLUSHALL"]), RespValue::Error(_)));
         assert!(matches!(run(&mut s, &[b"BGSAVE"]), RespValue::Simple(_)));
         s.wait_snapshots();
+    }
+
+    #[test]
+    fn info_and_stats_report_kernel_state() {
+        let mut s = server();
+        let run = |s: &mut Server, parts: &[&[u8]]| {
+            let wire = encode_command(parts);
+            let (v, _) = RespValue::decode(&wire).unwrap();
+            dispatch(s, &v)
+        };
+        s.set(b"k", b"v").unwrap();
+        let RespValue::Bulk(Some(info)) = run(&mut s, &[b"INFO"]) else {
+            panic!("INFO must return a bulk string");
+        };
+        let info = String::from_utf8(info).unwrap();
+        assert!(info.contains("# Server"));
+        assert!(info.contains("# Memory"));
+        assert!(info.contains("vm_faults:"));
+
+        let RespValue::Bulk(Some(mem)) = run(&mut s, &[b"INFO", b"memory"]) else {
+            panic!("INFO memory must return a bulk string");
+        };
+        let mem = String::from_utf8(mem).unwrap();
+        assert!(mem.contains("rss_bytes:") && !mem.contains("# Server"));
+
+        let RespValue::Bulk(Some(prom)) = run(&mut s, &[b"STATS"]) else {
+            panic!("STATS must return a bulk string");
+        };
+        let prom = String::from_utf8(prom).unwrap();
+        assert!(prom.contains("# TYPE odf_vm_faults_total counter"));
+
+        let RespValue::Bulk(Some(json)) = run(&mut s, &[b"STATS", b"json"]) else {
+            panic!("STATS JSON must return a bulk string");
+        };
+        let json = String::from_utf8(json).unwrap();
+        assert!(json.starts_with('{') && json.contains("\"pool\":{"));
     }
 
     #[test]

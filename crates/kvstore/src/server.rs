@@ -242,6 +242,86 @@ impl Server {
     pub fn snapshots_started(&self) -> u64 {
         self.fork_times.count()
     }
+
+    /// Kernel + trace metrics in Prometheus text exposition format (the
+    /// `STATS` command payload).
+    pub fn metrics_prometheus(&self) -> String {
+        self.proc.kernel().metrics_prometheus()
+    }
+
+    /// Kernel + trace metrics as one JSON object (`STATS JSON`).
+    pub fn metrics_json(&self) -> String {
+        self.proc.kernel().metrics_json()
+    }
+
+    /// Redis-`INFO`-style report. `section` filters to one section
+    /// (case-insensitive); `None` renders all of them.
+    ///
+    /// Sections: `server` (process table, fork policy), `memory`
+    /// (occupancy plus this process's smaps totals), `persistence`
+    /// (snapshot fork latencies), `stats` (every kernel counter), and —
+    /// when tracing is enabled — `trace` (per-event-class latency table).
+    pub fn info(&self, section: Option<&str>) -> String {
+        let kernel = self.proc.kernel();
+        let smaps = self.proc.smaps();
+        let mut sections: Vec<(&str, String)> = Vec::new();
+        sections.push((
+            "server",
+            format!(
+                "processes:{}\r\nfork_policy:{:?}\r\n",
+                kernel.process_count(),
+                self.config.fork_policy
+            ),
+        ));
+        sections.push((
+            "memory",
+            format!(
+                "used_memory:{}\r\ntotal_memory:{}\r\nrss_bytes:{}\r\nshared_bytes:{}\r\nprivate_bytes:{}\r\nshared_pt_tables:{}\r\n",
+                kernel.total_bytes() - kernel.free_bytes(),
+                kernel.total_bytes(),
+                smaps.rss(),
+                smaps.shared(),
+                smaps.private(),
+                smaps.shared_tables(),
+            ),
+        ));
+        let f = &self.fork_times;
+        sections.push((
+            "persistence",
+            format!(
+                "bgsave_in_progress:{}\r\nsnapshots_started:{}\r\nlatest_fork_usec:{}\r\nmean_fork_usec:{}\r\n",
+                u64::from(!self.pending.is_empty()),
+                self.snapshots_started(),
+                (f.max() / 1_000.0) as u64,
+                (f.mean() / 1_000.0) as u64,
+            ),
+        ));
+        let stats = kernel.stats();
+        let mut body = String::new();
+        for (name, value) in stats.vm.fields() {
+            body.push_str(&format!("vm_{name}:{value}\r\n"));
+        }
+        for (name, value) in stats.pool.fields() {
+            body.push_str(&format!("pool_{name}:{value}\r\n"));
+        }
+        sections.push(("stats", body));
+        if odf_trace::enabled() {
+            let summary = odf_trace::TraceSummary::build(&odf_trace::snapshot());
+            sections.push(("trace", summary.render_text().replace('\n', "\r\n")));
+        }
+        let mut out = String::new();
+        for (name, body) in sections {
+            if let Some(want) = section {
+                if !want.eq_ignore_ascii_case(name) {
+                    continue;
+                }
+            }
+            let mut title: String = name.to_string();
+            title[..1].make_ascii_uppercase();
+            out.push_str(&format!("# {title}\r\n{body}\r\n"));
+        }
+        out
+    }
 }
 
 #[cfg(test)]

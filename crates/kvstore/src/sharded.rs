@@ -114,12 +114,18 @@ pub enum Request {
     Get(Vec<u8>),
     /// Delete a key.
     Del(Vec<u8>),
+    /// Export kernel + trace metrics (the `STATS` command). Keyless:
+    /// always routed to shard 0, so its position relative to same-batch
+    /// data requests on other shards is unordered — like `INFO` racing
+    /// data commands on a threaded Redis.
+    Stats,
 }
 
 impl Request {
-    fn key(&self) -> &[u8] {
+    fn key(&self) -> Option<&[u8]> {
         match self {
-            Request::Set(k, _) | Request::Get(k) | Request::Del(k) => k,
+            Request::Set(k, _) | Request::Get(k) | Request::Del(k) => Some(k),
+            Request::Stats => None,
         }
     }
 }
@@ -133,6 +139,8 @@ pub enum Response {
     Value(Option<Vec<u8>>),
     /// Whether `Del` removed anything.
     Deleted(bool),
+    /// A `Stats` export (Prometheus text).
+    Stats(String),
 }
 
 /// Report from one background snapshot of the whole sharded store.
@@ -198,7 +206,11 @@ impl ThreadedServer {
         let mut by_shard: Vec<Vec<(usize, &Request)>> =
             (0..self.store.shard_count()).map(|_| Vec::new()).collect();
         for (i, req) in requests.iter().enumerate() {
-            by_shard[self.store.shard_for(req.key())].push((i, req));
+            let shard = match req.key() {
+                Some(key) => self.store.shard_for(key),
+                None => 0,
+            };
+            by_shard[shard].push((i, req));
         }
         let mut out: Vec<Option<Response>> = vec![None; requests.len()];
         std::thread::scope(|s| -> Result<()> {
@@ -219,6 +231,9 @@ impl ThreadedServer {
                                 }
                                 Request::Get(k) => Response::Value(store.get(&proc, k)?),
                                 Request::Del(k) => Response::Deleted(store.del(&proc, k)?),
+                                Request::Stats => {
+                                    Response::Stats(proc.kernel().metrics_prometheus())
+                                }
                             };
                             Ok((i, resp))
                         })
@@ -330,6 +345,24 @@ mod tests {
             dels.unwrap(),
             vec![Response::Deleted(true), Response::Deleted(false)]
         );
+    }
+
+    #[test]
+    fn stats_request_rides_a_batch() {
+        let k = Kernel::new(128 << 20);
+        let server = ThreadedServer::new(&k, 2, 8 << 20, 128, ForkPolicy::OnDemand).unwrap();
+        let responses = server
+            .run_batch(&[
+                Request::Set(b"a".to_vec(), b"1".to_vec()),
+                Request::Stats,
+                Request::Get(b"a".to_vec()),
+            ])
+            .unwrap();
+        let Response::Stats(text) = &responses[1] else {
+            panic!("stats response in batch position");
+        };
+        assert!(text.contains("odf_vm_faults_total"));
+        assert!(text.contains("odf_pool_allocs_total"));
     }
 
     #[test]

@@ -257,5 +257,28 @@ mod tests {
         h.record(0);
         assert_eq!(h.count(), 2);
         assert_eq!(h.max(), u64::MAX);
+        // Percentiles stay within the recorded range even at the extremes
+        // of the bucket scale.
+        assert_eq!(h.percentile(100.0), u64::MAX);
+        assert!(h.percentile(50.0) <= h.percentile(99.0));
+        // 0 lands in the first occupied bucket (index 1, the v.max(1)
+        // clamp), so p0 is within one bucket of exact.
+        assert!(h.percentile(0.0) <= 1);
+    }
+
+    #[test]
+    fn identical_samples_collapse_to_one_bucket() {
+        // Every sample in a single bucket: all percentiles must return the
+        // one recorded value exactly (the min/max clamp removes the bucket
+        // rounding), and the mean must be exact.
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(777_777);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.mean(), 777_777.0);
+        for p in [0.0, 1.0, 50.0, 99.0, 99.9, 100.0] {
+            assert_eq!(h.percentile(p), 777_777, "p{p}");
+        }
     }
 }

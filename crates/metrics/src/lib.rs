@@ -87,6 +87,16 @@ mod tests {
     }
 
     #[test]
+    fn fmt_ns_unit_boundaries_are_exact() {
+        // One below / exactly at each unit switch.
+        assert_eq!(fmt_ns(0), "0ns");
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_000_000), "1.000ms");
+        assert_eq!(fmt_ns(999_999_999), "1000.000ms"); // %.3 rounding, still ms
+        assert_eq!(fmt_ns(u64::MAX), format!("{:.3}s", u64::MAX as f64 / 1e9));
+    }
+
+    #[test]
     fn fmt_bytes_covers_all_magnitudes() {
         assert_eq!(fmt_bytes(100), "100B");
         assert_eq!(fmt_bytes(2048), "2.0KiB");

@@ -64,15 +64,28 @@ impl PtStore {
     ///
     /// # Panics
     ///
-    /// Panics if the frame has no registered table — page table walks only
-    /// follow entries that were installed by this simulation, so a miss is a
-    /// paging-structure corruption bug, not a recoverable condition.
+    /// Panics if the frame has no registered table. For walks whose locks
+    /// pin the path (a fresh entry read under the lock that excludes the
+    /// table's release), a miss is a paging-structure corruption bug, not
+    /// a recoverable condition.
     pub fn get(&self, frame: FrameId) -> Arc<Table> {
-        self.shard(frame)
-            .read()
-            .get(&frame.0)
-            .cloned()
+        self.try_get(frame)
             .unwrap_or_else(|| panic!("no table registered for {frame:?}"))
+    }
+
+    /// Resolves a backing frame to its table, or `None` if none is
+    /// registered.
+    ///
+    /// For walkers that can hold a *stale* table reference: a lock-free
+    /// translation, or a fault's pre-split-lock read, may still see an
+    /// entry whose shared table a sibling thread has COWed away — and once
+    /// the last co-referencing process drops it, the table is gone from
+    /// the store entirely. (The kernel frees page tables through an RCU
+    /// grace period so lockless GUP walkers survive exactly this; here the
+    /// walker observes the miss directly.) Such callers treat `None` as a
+    /// raced walk and retry against the live tree.
+    pub fn try_get(&self, frame: FrameId) -> Option<Arc<Table>> {
+        self.shard(frame).read().get(&frame.0).cloned()
     }
 
     /// Removes a table when its backing frame is freed.

@@ -51,21 +51,72 @@ pub fn assert_pool_balanced(pool: &FramePool, baseline: PoolBalance) {
     );
     match now.free_frames.cmp(&baseline.free_frames) {
         std::cmp::Ordering::Equal => {}
-        std::cmp::Ordering::Less => panic!(
-            "frame leak: {} frames still referenced after teardown \
-             ({} free at baseline, {} free now)",
-            baseline.free_frames - now.free_frames,
-            baseline.free_frames,
-            now.free_frames
-        ),
-        std::cmp::Ordering::Greater => panic!(
-            "over-free: {} more frames free than at baseline \
-             ({} free at baseline, {} free now) — some reference was \
-             decremented twice",
-            now.free_frames - baseline.free_frames,
-            baseline.free_frames,
-            now.free_frames
-        ),
+        std::cmp::Ordering::Less => {
+            dump_frame_history(pool);
+            panic!(
+                "frame leak: {} frames still referenced after teardown \
+                 ({} free at baseline, {} free now)",
+                baseline.free_frames - now.free_frames,
+                baseline.free_frames,
+                now.free_frames
+            )
+        }
+        std::cmp::Ordering::Greater => {
+            dump_frame_history(pool);
+            panic!(
+                "over-free: {} more frames free than at baseline \
+                 ({} free at baseline, {} free now) — some reference was \
+                 decremented twice",
+                now.free_frames - baseline.free_frames,
+                baseline.free_frames,
+                now.free_frames
+            )
+        }
+    }
+}
+
+/// How many still-allocated frames (and events per frame) the failure dump
+/// covers.
+const DUMP_FRAMES: usize = 8;
+const DUMP_EVENTS_PER_FRAME: usize = 16;
+
+/// On an imbalance, prints the per-frame trace history of the frames still
+/// allocated — the alloc/COW/free event sequence that shows *which* path
+/// took the unreturned reference. Only does work when tracing is enabled
+/// (`ODF_TRACE=1`), and only runs on the failure path.
+fn dump_frame_history(pool: &FramePool) {
+    if !odf_trace::enabled() {
+        eprintln!("(set ODF_TRACE=1 to dump per-frame trace history on imbalance)");
+        return;
+    }
+    if !odf_trace::class_enabled(odf_trace::EventClass::Kmem) {
+        // Frame alloc/free events are masked by default for fault-path
+        // overhead; the per-frame history needs them.
+        eprintln!(
+            "(enable odf_trace::EventClass::Kmem to record per-frame \
+             alloc/free history for this dump)"
+        );
+    }
+    let trace = odf_trace::snapshot();
+    let suspects: Vec<FrameId> = (0..pool.total_frames())
+        .map(|i| FrameId(i as u32))
+        .filter(|f| {
+            let p = pool.page(*f);
+            p.kind() != PageKind::Free && !p.is_compound_tail()
+        })
+        .collect();
+    eprintln!(
+        "pool imbalance: {} blocks still allocated; last {} trace events for \
+         up to {} of them:",
+        suspects.len(),
+        DUMP_EVENTS_PER_FRAME,
+        DUMP_FRAMES
+    );
+    for f in suspects.iter().rev().take(DUMP_FRAMES) {
+        eprintln!("  frame {} ({:?}):", f.index(), pool.page(*f).kind());
+        for r in trace.for_frame(f.index() as u64, DUMP_EVENTS_PER_FRAME) {
+            eprintln!("    [{} t{}] {:?}", r.ts_ns, r.thread, r.event);
+        }
     }
 }
 
@@ -178,6 +229,10 @@ impl FramePool {
             .alloc(order)
             .ok_or(PmemError::OutOfFrames { order })?;
         PoolStats::bump(&self.stats.allocs);
+        odf_trace::emit_hot(odf_trace::Event::FrameAlloc {
+            frame: head.index() as u64,
+            order,
+        });
         if order == 0 {
             self.meta[head.index()].set_allocated(kind_flags, 0);
         } else {
@@ -302,6 +357,10 @@ impl FramePool {
             *self.data[head.index() + i].write() = None;
         }
         PoolStats::bump(&self.stats.frees);
+        odf_trace::emit_hot(odf_trace::Event::FrameFree {
+            frame: head.index() as u64,
+            order,
+        });
         self.buddy.lock().free(head, order);
     }
 
@@ -460,6 +519,20 @@ mod tests {
     #[test]
     #[should_panic(expected = "frame leak: 1 frames")]
     fn unbalanced_pool_panics_with_leak_diagnostic() {
+        let pool = FramePool::new(64);
+        let baseline = pool.balance();
+        let _leaked = pool.alloc_page(PageKind::Anon).unwrap();
+        assert_pool_balanced(&pool, baseline);
+    }
+
+    #[test]
+    #[should_panic(expected = "frame leak: 1 frames")]
+    fn imbalance_dump_walks_the_leaked_frames_trace_history() {
+        // With tracing on and the kmem class unmasked, the failure path
+        // prints each still-allocated frame's event history (alloc/COW/
+        // free) before panicking.
+        odf_trace::set_enabled(true);
+        odf_trace::set_class_enabled(odf_trace::EventClass::Kmem, true);
         let pool = FramePool::new(64);
         let baseline = pool.balance();
         let _leaked = pool.alloc_page(PageKind::Anon).unwrap();

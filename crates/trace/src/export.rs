@@ -1,0 +1,313 @@
+//! Export formats: Prometheus text exposition, JSON string escaping, and
+//! the chrome://tracing JSON event array.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use odf_metrics::Histogram;
+
+use crate::{Event, Trace};
+
+/// Incremental Prometheus text-format writer.
+///
+/// Guarantees the invariants the CI export check relies on: each metric
+/// name gets exactly one `# HELP`/`# TYPE` header (emitted on first use),
+/// and an exact duplicate sample (same name and label set) is a panic —
+/// a duplicate would make the exposition ambiguous, and every call site
+/// is under our control, so it is a bug, not an input error.
+#[derive(Default)]
+pub struct PromText {
+    out: String,
+    declared: BTreeMap<String, &'static str>,
+    samples: BTreeSet<String>,
+}
+
+impl PromText {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn declare(&mut self, name: &str, help: &str, kind: &'static str) {
+        match self.declared.get(name) {
+            Some(prev) => assert_eq!(
+                *prev, kind,
+                "metric {name} declared as both {prev} and {kind}"
+            ),
+            None => {
+                self.out
+                    .push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+                self.declared.insert(name.to_string(), kind);
+            }
+        }
+    }
+
+    fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        let rendered = if labels.is_empty() {
+            String::new()
+        } else {
+            let inner: Vec<String> = labels
+                .iter()
+                .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
+                .collect();
+            format!("{{{}}}", inner.join(","))
+        };
+        let key = format!("{name}{rendered}");
+        assert!(
+            self.samples.insert(key.clone()),
+            "duplicate Prometheus sample {key}"
+        );
+        // Integral values render without a fractional part, like node_exporter.
+        if value.fract() == 0.0 && value.abs() < 1e15 {
+            self.out.push_str(&format!("{key} {}\n", value as i64));
+        } else {
+            self.out.push_str(&format!("{key} {value}\n"));
+        }
+    }
+
+    /// Emits an unlabeled counter.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.declare(name, help, "counter");
+        self.sample(name, &[], value as f64);
+    }
+
+    /// Emits a counter sample with labels.
+    pub fn labeled_counter(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: u64) {
+        self.declare(name, help, "counter");
+        self.sample(name, labels, value as f64);
+    }
+
+    /// Emits an unlabeled gauge.
+    pub fn gauge(&mut self, name: &str, help: &str, value: f64) {
+        self.declare(name, help, "gauge");
+        self.sample(name, &[], value);
+    }
+
+    /// Emits a gauge sample with labels.
+    pub fn labeled_gauge(&mut self, name: &str, help: &str, labels: &[(&str, &str)], value: f64) {
+        self.declare(name, help, "gauge");
+        self.sample(name, labels, value);
+    }
+
+    /// Emits a histogram as a Prometheus `summary`: quantile samples plus
+    /// `_sum` and `_count`, all carrying `labels`.
+    pub fn quantiles(&mut self, name: &str, help: &str, labels: &[(&str, &str)], h: &Histogram) {
+        self.declare(name, help, "summary");
+        for (q, p) in [("0.5", 50.0), ("0.99", 99.0), ("0.999", 99.9)] {
+            let mut l: Vec<(&str, &str)> = labels.to_vec();
+            l.push(("quantile", q));
+            self.sample(name, &l, h.percentile(p) as f64);
+        }
+        let sum = h.mean() * h.count() as f64;
+        self.declare_suffix(name, "_sum");
+        self.sample(&format!("{name}_sum"), labels, sum);
+        self.declare_suffix(name, "_count");
+        self.sample(&format!("{name}_count"), labels, h.count() as f64);
+    }
+
+    /// `_sum`/`_count` series belong to the parent summary declaration;
+    /// record them so duplicate-name detection still covers them without
+    /// emitting a second header.
+    fn declare_suffix(&mut self, name: &str, suffix: &str) {
+        let full = format!("{name}{suffix}");
+        self.declared.entry(full).or_insert("summary");
+    }
+
+    /// Finishes and returns the rendered exposition.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Escapes a Prometheus label value (`\`, `"`, newline).
+fn prom_escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a trace as chrome://tracing's JSON object format.
+///
+/// Events carrying a duration (`Fault`, `ForkEnd`) become complete
+/// (`"ph":"X"`) events whose span ends at the record timestamp; the rest
+/// become thread-scoped instants (`"ph":"i"`). Timestamps are microseconds
+/// as the format requires.
+pub(crate) fn chrome_json(trace: &Trace) -> String {
+    let mut rows = Vec::with_capacity(trace.events.len());
+    for r in &trace.events {
+        let tid = r.thread;
+        let ts_us = r.ts_ns as f64 / 1000.0;
+        let row = match r.event {
+            Event::Fault {
+                kind,
+                latency_ns,
+                retries,
+                addr,
+            } => format!(
+                "{{\"name\":\"fault:{}\",\"cat\":\"fault\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"retries\":{retries},\"addr\":{addr}}}}}",
+                kind.label(),
+                (r.ts_ns.saturating_sub(latency_ns)) as f64 / 1000.0,
+                latency_ns as f64 / 1000.0,
+            ),
+            Event::ForkEnd {
+                policy,
+                pte_copies,
+                tables_shared,
+                latency_ns,
+            } => format!(
+                "{{\"name\":\"fork:{}\",\"cat\":\"fork\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"pte_copies\":{pte_copies},\"tables_shared\":{tables_shared}}}}}",
+                policy.label(),
+                (r.ts_ns.saturating_sub(latency_ns)) as f64 / 1000.0,
+                latency_ns as f64 / 1000.0,
+            ),
+            Event::ForkStart { policy } => format!(
+                "{{\"name\":\"fork_start:{}\",\"cat\":\"fork\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3}}}",
+                policy.label(),
+            ),
+            Event::CowCopy {
+                order,
+                bytes,
+                frame,
+            } => format!(
+                "{{\"name\":\"cow_copy\",\"cat\":\"cow\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3},\"args\":{{\"order\":{order},\"bytes\":{bytes},\"frame\":{frame}}}}}",
+            ),
+            Event::TlbFlush => format!(
+                "{{\"name\":\"tlb_flush\",\"cat\":\"tlb\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3}}}",
+            ),
+            Event::LockRetry { site } => format!(
+                "{{\"name\":\"lock_retry:{}\",\"cat\":\"lock\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3}}}",
+                site.label(),
+            ),
+            Event::Reclaim { frames_freed } => format!(
+                "{{\"name\":\"reclaim\",\"cat\":\"mm\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3},\"args\":{{\"frames_freed\":{frames_freed}}}}}",
+            ),
+            Event::FrameAlloc { frame, order } => format!(
+                "{{\"name\":\"frame_alloc\",\"cat\":\"mm\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3},\"args\":{{\"frame\":{frame},\"order\":{order}}}}}",
+            ),
+            Event::FrameFree { frame, order } => format!(
+                "{{\"name\":\"frame_free\",\"cat\":\"mm\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3},\"args\":{{\"frame\":{frame},\"order\":{order}}}}}",
+            ),
+        };
+        rows.push(row);
+    }
+    format!(
+        "{{\"displayTimeUnit\":\"ns\",\"traceEvents\":[{}]}}",
+        rows.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FaultKind, ForkPolicyKind, TraceRecord};
+
+    #[test]
+    fn prom_headers_emitted_once() {
+        let mut p = PromText::new();
+        p.labeled_counter("odf_x_total", "x", &[("k", "a")], 1);
+        p.labeled_counter("odf_x_total", "x", &[("k", "b")], 2);
+        let text = p.finish();
+        assert_eq!(text.matches("# TYPE odf_x_total counter").count(), 1);
+        assert!(text.contains("odf_x_total{k=\"a\"} 1"));
+        assert!(text.contains("odf_x_total{k=\"b\"} 2"));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate Prometheus sample")]
+    fn prom_duplicate_sample_panics() {
+        let mut p = PromText::new();
+        p.counter("odf_dup_total", "d", 1);
+        p.counter("odf_dup_total", "d", 2);
+    }
+
+    #[test]
+    fn prom_label_values_escaped() {
+        let mut p = PromText::new();
+        p.labeled_gauge("odf_g", "g", &[("path", "a\"b\\c\nd")], 1.5);
+        let text = p.finish();
+        assert!(text.contains("path=\"a\\\"b\\\\c\\nd\""));
+        assert!(text.contains("} 1.5"));
+    }
+
+    #[test]
+    fn quantiles_emit_summary_series() {
+        let mut h = Histogram::new();
+        for v in 1..=1000 {
+            h.record(v);
+        }
+        let mut p = PromText::new();
+        p.quantiles("odf_lat_ns", "latency", &[("kind", "x")], &h);
+        let text = p.finish();
+        assert!(text.contains("odf_lat_ns{kind=\"x\",quantile=\"0.5\"}"));
+        assert!(text.contains("odf_lat_ns{kind=\"x\",quantile=\"0.999\"}"));
+        assert!(text.contains("odf_lat_ns_count{kind=\"x\"} 1000"));
+        assert!(text.contains("odf_lat_ns_sum{kind=\"x\"} 500500"));
+    }
+
+    #[test]
+    fn json_escape_handles_controls() {
+        assert_eq!(
+            json_escape("a\"b\\c\nd\te\u{1}"),
+            "a\\\"b\\\\c\\nd\\te\\u0001"
+        );
+    }
+
+    #[test]
+    fn chrome_json_shapes_duration_and_instant_events() {
+        let trace = Trace {
+            events: vec![
+                TraceRecord {
+                    ts_ns: 5000,
+                    thread: 2,
+                    event: Event::Fault {
+                        kind: FaultKind::TableCow,
+                        latency_ns: 3000,
+                        retries: 1,
+                        addr: 0x1000,
+                    },
+                },
+                TraceRecord {
+                    ts_ns: 6000,
+                    thread: 0,
+                    event: Event::ForkEnd {
+                        policy: ForkPolicyKind::OnDemand,
+                        pte_copies: 0,
+                        tables_shared: 4,
+                        latency_ns: 2000,
+                    },
+                },
+                TraceRecord {
+                    ts_ns: 7000,
+                    thread: 1,
+                    event: Event::TlbFlush,
+                },
+            ],
+            dropped: 0,
+        };
+        let j = trace.chrome_json();
+        assert!(j.contains("\"traceEvents\":["));
+        assert!(j.contains("\"name\":\"fault:table_cow\""));
+        // Fault span: starts at (5000-3000)ns = 2us, lasts 3us.
+        assert!(j.contains("\"ts\":2.000,\"dur\":3.000"));
+        assert!(j.contains("\"name\":\"fork:odf\""));
+        assert!(j.contains("\"tables_shared\":4"));
+        assert!(j.contains("\"ph\":\"i\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+}

@@ -1,0 +1,1075 @@
+//! Kernel-tracepoint-style event tracing for the on-demand-fork stack.
+//!
+//! Linux decomposes mm behaviour with *tracepoints*: typed, timestamped
+//! events written from the hot path into per-CPU ring buffers (ftrace), read
+//! out asynchronously and post-processed into histograms. This crate is that
+//! layer for the simulator: the fork/fault/COW paths [`emit`] typed [`Event`]s
+//! into **per-thread bounded ring buffers** that
+//!
+//! - never block the producer (one atomic store sequence, no locks),
+//! - drop the *oldest* record on overflow and count the loss in an explicit
+//!   `dropped_events` counter (ftrace's `overrun`),
+//! - cost a single relaxed atomic load when tracing is disabled, and
+//! - gate each event family behind a per-class switch ([`EventClass`],
+//!   ftrace's per-event `enable` files); the high-volume frame alloc/free
+//!   class starts off, like the kernel's `kmem` events.
+//!
+//! A [`snapshot`] collects every thread's live records into a [`Trace`],
+//! which can be summarised into per-event-class latency histograms
+//! ([`Trace::summary`]), rendered as a chrome://tracing-compatible JSON dump
+//! ([`Trace::chrome_json`]), or filtered to the history of a single physical
+//! frame ([`Trace::for_frame`]) for post-mortem leak debugging.
+//!
+//! # Ring-buffer design
+//!
+//! Each thread owns one ring (created on first emit, registered globally).
+//! Only the owning thread writes; any thread may read concurrently. Every
+//! slot is a tiny seqlock: the writer publishes `seq = 2*index + 1` (odd =
+//! in flight), stores the payload into plain `AtomicU64` words, then
+//! publishes `seq = 2*index + 2`. A reader accepts a slot only when it
+//! observes the same even sequence before and after copying the payload, so
+//! torn records are detected and skipped, never surfaced. Because the crate
+//! is `#![forbid(unsafe_code)]`, the payload words are atomics rather than a
+//! raw byte area — a torn *logical* record is detectable, and no read is
+//! ever undefined behaviour.
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+mod export;
+mod summary;
+
+pub use export::{json_escape, PromText};
+pub use summary::{ClassSummary, TraceSummary};
+
+/// Fork policy tag carried by fork events.
+///
+/// Mirrors `odf_vm::ForkPolicy` without depending on it (the vm crate
+/// depends on this one, not vice versa).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ForkPolicyKind {
+    /// Eager PTE-copying fork (`fork()`).
+    Classic,
+    /// Last-level page-table sharing fork (`odfork()`).
+    OnDemand,
+    /// On-demand fork extended with PMD-table sharing for huge pages.
+    OnDemandHuge,
+}
+
+impl ForkPolicyKind {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            1 => Self::OnDemand,
+            2 => Self::OnDemandHuge,
+            _ => Self::Classic,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            Self::Classic => 0,
+            Self::OnDemand => 1,
+            Self::OnDemandHuge => 2,
+        }
+    }
+
+    /// Short lowercase label used in metric names and trace dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Classic => "classic",
+            Self::OnDemand => "odf",
+            Self::OnDemandHuge => "odf_huge",
+        }
+    }
+}
+
+/// What work a page fault performed — the per-fault classification the
+/// paper's Table 7 breaks latency down by.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Demand-paged a zero page (not-present, 4 KiB).
+    DemandZero,
+    /// Demand-paged a 2 MiB huge page.
+    DemandHuge,
+    /// Copied a 4 KiB page on write (COW break).
+    CowData,
+    /// Reused an exclusively owned page instead of copying.
+    CowReuse,
+    /// Copied a 2 MiB huge page on write.
+    CowHuge,
+    /// Copied a shared last-level page table (the deferred fork work).
+    TableCow,
+    /// Copied a shared PMD table (huge-page extension).
+    PmdTableCow,
+    /// The fault found the translation already established (a sibling
+    /// thread won the race); no work was done.
+    Spurious,
+}
+
+impl FaultKind {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => Self::DemandZero,
+            1 => Self::DemandHuge,
+            2 => Self::CowData,
+            3 => Self::CowReuse,
+            4 => Self::CowHuge,
+            5 => Self::TableCow,
+            6 => Self::PmdTableCow,
+            _ => Self::Spurious,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            Self::DemandZero => 0,
+            Self::DemandHuge => 1,
+            Self::CowData => 2,
+            Self::CowReuse => 3,
+            Self::CowHuge => 4,
+            Self::TableCow => 5,
+            Self::PmdTableCow => 6,
+            Self::Spurious => 7,
+        }
+    }
+
+    /// Short lowercase label used in metric names and trace dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::DemandZero => "demand_zero",
+            Self::DemandHuge => "demand_huge",
+            Self::CowData => "cow_data",
+            Self::CowReuse => "cow_reuse",
+            Self::CowHuge => "cow_huge",
+            Self::TableCow => "table_cow",
+            Self::PmdTableCow => "pmd_table_cow",
+            Self::Spurious => "spurious",
+        }
+    }
+
+    /// Every kind, for exhaustive summaries.
+    pub const ALL: [FaultKind; 8] = [
+        Self::DemandZero,
+        Self::DemandHuge,
+        Self::CowData,
+        Self::CowReuse,
+        Self::CowHuge,
+        Self::TableCow,
+        Self::PmdTableCow,
+        Self::Spurious,
+    ];
+}
+
+/// Which CAS install / ownership handoff lost a race and retried.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LockSite {
+    /// PTE-level entry install.
+    PteInstall,
+    /// PMD-level entry install (huge page or table pointer).
+    PmdInstall,
+    /// PUD-level entry install.
+    PudInstall,
+    /// Shared last-level table ownership transition.
+    TableOwnership,
+    /// Shared PMD table ownership transition.
+    PmdOwnership,
+}
+
+impl LockSite {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => Self::PteInstall,
+            1 => Self::PmdInstall,
+            2 => Self::PudInstall,
+            3 => Self::TableOwnership,
+            _ => Self::PmdOwnership,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            Self::PteInstall => 0,
+            Self::PmdInstall => 1,
+            Self::PudInstall => 2,
+            Self::TableOwnership => 3,
+            Self::PmdOwnership => 4,
+        }
+    }
+
+    /// Short lowercase label used in metric names and trace dumps.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::PteInstall => "pte_install",
+            Self::PmdInstall => "pmd_install",
+            Self::PudInstall => "pud_install",
+            Self::TableOwnership => "table_ownership",
+            Self::PmdOwnership => "pmd_ownership",
+        }
+    }
+}
+
+/// A typed tracepoint event. Each variant is one kernel-tracepoint analog
+/// (e.g. `Fault` ~ `mm_fault`, `TlbFlush` ~ `tlb_flush`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A fork began.
+    ForkStart {
+        /// Which fork path ran.
+        policy: ForkPolicyKind,
+    },
+    /// A fork completed.
+    ForkEnd {
+        /// Which fork path ran.
+        policy: ForkPolicyKind,
+        /// PTE entries eagerly copied (classic fork work).
+        pte_copies: u64,
+        /// Last-level/PMD tables shared instead of copied (ODF work).
+        tables_shared: u64,
+        /// Wall time of the fork call.
+        latency_ns: u64,
+    },
+    /// A page fault was resolved.
+    Fault {
+        /// What the handler did.
+        kind: FaultKind,
+        /// Wall time from entry to established translation.
+        latency_ns: u64,
+        /// Install races lost before the fault succeeded.
+        retries: u32,
+        /// Faulting virtual address.
+        addr: u64,
+    },
+    /// Data was physically copied for COW (page or huge page).
+    CowCopy {
+        /// Allocation order: 0 = 4 KiB page, 9 = 2 MiB huge page.
+        order: u8,
+        /// Bytes copied.
+        bytes: u64,
+        /// Destination frame of the copy.
+        frame: u64,
+    },
+    /// A TLB shootdown was issued.
+    TlbFlush,
+    /// A CAS install or ownership transition lost a race and retried.
+    LockRetry {
+        /// Which site retried.
+        site: LockSite,
+    },
+    /// A reclaim pass ran.
+    Reclaim {
+        /// Frames recovered by the pass.
+        frames_freed: u64,
+    },
+    /// A frame left the free pool.
+    FrameAlloc {
+        /// The frame id.
+        frame: u64,
+        /// Allocation order (0 = single frame, 9 = 2 MiB block).
+        order: u8,
+    },
+    /// A frame returned to the free pool.
+    FrameFree {
+        /// The frame id.
+        frame: u64,
+        /// Allocation order of the freed block.
+        order: u8,
+    },
+}
+
+impl Event {
+    /// Physical frame this event is about, when it has one — the key for
+    /// [`Trace::for_frame`] post-mortem filtering.
+    pub fn frame(&self) -> Option<u64> {
+        match *self {
+            Event::CowCopy { frame, .. }
+            | Event::FrameAlloc { frame, .. }
+            | Event::FrameFree { frame, .. } => Some(frame),
+            _ => None,
+        }
+    }
+
+    /// Stable lowercase class name (metric/label friendly).
+    pub fn class(&self) -> &'static str {
+        match self {
+            Event::ForkStart { .. } => "fork_start",
+            Event::ForkEnd { .. } => "fork_end",
+            Event::Fault { .. } => "fault",
+            Event::CowCopy { .. } => "cow_copy",
+            Event::TlbFlush => "tlb_flush",
+            Event::LockRetry { .. } => "lock_retry",
+            Event::Reclaim { .. } => "reclaim",
+            Event::FrameAlloc { .. } => "frame_alloc",
+            Event::FrameFree { .. } => "frame_free",
+        }
+    }
+
+    /// Packs the event into `(tag, sub, a, b, c)` ring words.
+    fn encode(&self) -> (u8, u8, u64, u64, u64) {
+        match *self {
+            Event::ForkStart { policy } => (1, policy.as_u8(), 0, 0, 0),
+            Event::ForkEnd {
+                policy,
+                pte_copies,
+                tables_shared,
+                latency_ns,
+            } => (2, policy.as_u8(), pte_copies, tables_shared, latency_ns),
+            Event::Fault {
+                kind,
+                latency_ns,
+                retries,
+                addr,
+            } => (3, kind.as_u8(), latency_ns, u64::from(retries), addr),
+            Event::CowCopy {
+                order,
+                bytes,
+                frame,
+            } => (4, order, bytes, frame, 0),
+            Event::TlbFlush => (5, 0, 0, 0, 0),
+            Event::LockRetry { site } => (6, site.as_u8(), 0, 0, 0),
+            Event::Reclaim { frames_freed } => (7, 0, frames_freed, 0, 0),
+            Event::FrameAlloc { frame, order } => (8, order, frame, 0, 0),
+            Event::FrameFree { frame, order } => (9, order, frame, 0, 0),
+        }
+    }
+
+    /// Inverse of [`Event::encode`]; `None` for an unknown tag (a record
+    /// written by a newer producer than this reader).
+    fn decode(tag: u8, sub: u8, a: u64, b: u64, c: u64) -> Option<Event> {
+        Some(match tag {
+            1 => Event::ForkStart {
+                policy: ForkPolicyKind::from_u8(sub),
+            },
+            2 => Event::ForkEnd {
+                policy: ForkPolicyKind::from_u8(sub),
+                pte_copies: a,
+                tables_shared: b,
+                latency_ns: c,
+            },
+            3 => Event::Fault {
+                kind: FaultKind::from_u8(sub),
+                latency_ns: a,
+                retries: b as u32,
+                addr: c,
+            },
+            4 => Event::CowCopy {
+                order: sub,
+                bytes: a,
+                frame: b,
+            },
+            5 => Event::TlbFlush,
+            6 => Event::LockRetry {
+                site: LockSite::from_u8(sub),
+            },
+            7 => Event::Reclaim { frames_freed: a },
+            8 => Event::FrameAlloc {
+                frame: a,
+                order: sub,
+            },
+            9 => Event::FrameFree {
+                frame: a,
+                order: sub,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// One collected record: an [`Event`] plus when and where it happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Nanoseconds since the process trace epoch.
+    pub ts_ns: u64,
+    /// Small sequential id of the emitting thread.
+    pub thread: u32,
+    /// The event payload.
+    pub event: Event,
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread seqlock ring
+// ---------------------------------------------------------------------------
+
+/// Words per slot: seq, ts, meta (tag|sub|thread), a, b, c.
+const SLOT_WORDS: usize = 6;
+
+/// Default per-thread capacity in events (48 KiB per ring). Sized for the
+/// fault path's overhead budget, not for depth: a streaming COW workload
+/// cycles the whole ring, so ring footprint is cache pollution charged to
+/// every fault — measured on the fault microbenchmark, 48 KiB costs ~1.5
+/// points of overhead less than 190 KiB. Deep captures should raise
+/// `ODF_TRACE_CAPACITY` instead.
+const DEFAULT_CAPACITY: usize = 1024;
+
+struct Ring {
+    /// Flat `capacity * SLOT_WORDS` atomics; slot `i` starts at
+    /// `i * SLOT_WORDS`.
+    words: Vec<AtomicU64>,
+    capacity: usize,
+    /// Monotone count of records ever written by the owner thread.
+    head: AtomicU64,
+    /// Records below this logical index are invisible to readers
+    /// (advanced by [`clear`]).
+    floor: AtomicU64,
+    /// Timestamp of the owner thread's most recent record, reused by
+    /// [`emit_hot`] to keep sub-events off the clock.
+    last_ts: AtomicU64,
+    /// Small sequential id of the owning thread.
+    thread: u32,
+}
+
+impl Ring {
+    fn new(capacity: usize, thread: u32) -> Self {
+        let mut words = Vec::with_capacity(capacity * SLOT_WORDS);
+        words.resize_with(capacity * SLOT_WORDS, || AtomicU64::new(0));
+        Ring {
+            words,
+            capacity,
+            head: AtomicU64::new(0),
+            floor: AtomicU64::new(0),
+            last_ts: AtomicU64::new(0),
+            thread,
+        }
+    }
+
+    /// Records lost to drop-oldest overwrites. Derived rather than
+    /// counted: every push past `capacity` overwrites exactly one record,
+    /// so the count is `head - capacity` — keeping an explicit counter
+    /// would put an atomic read-modify-write on the hot path for a value
+    /// the ring geometry already knows.
+    fn dropped(&self) -> u64 {
+        self.head
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.capacity as u64)
+    }
+
+    /// Writer side (owning thread only): claim the next slot, mark it
+    /// in-flight (odd seq), store the payload, publish (even seq).
+    fn push(&self, ts: u64, event: &Event) {
+        let h = self.head.load(Ordering::Relaxed);
+        let base = (h as usize % self.capacity) * SLOT_WORDS;
+        let (tag, sub, a, b, c) = event.encode();
+        let meta = u64::from(tag) | (u64::from(sub) << 8) | (u64::from(self.thread) << 32);
+        self.words[base].store(2 * h + 1, Ordering::Release);
+        self.words[base + 1].store(ts, Ordering::Release);
+        self.words[base + 2].store(meta, Ordering::Release);
+        self.words[base + 3].store(a, Ordering::Release);
+        self.words[base + 4].store(b, Ordering::Release);
+        self.words[base + 5].store(c, Ordering::Release);
+        self.words[base].store(2 * h + 2, Ordering::Release);
+        self.head.store(h + 1, Ordering::Release);
+        self.last_ts.store(ts, Ordering::Relaxed);
+    }
+
+    /// Reader side (any thread): collect every record that is still intact.
+    /// A record being overwritten concurrently fails its sequence check and
+    /// is skipped — it was the oldest, so losing it is the drop policy, not
+    /// corruption.
+    fn collect(&self, out: &mut Vec<TraceRecord>) {
+        let head = self.head.load(Ordering::Acquire);
+        let floor = self.floor.load(Ordering::Acquire);
+        let live = head.min(self.capacity as u64);
+        let start = (head - live).max(floor);
+        for idx in start..head {
+            let base = (idx as usize % self.capacity) * SLOT_WORDS;
+            let want = 2 * idx + 2;
+            if self.words[base].load(Ordering::Acquire) != want {
+                continue;
+            }
+            let ts = self.words[base + 1].load(Ordering::Acquire);
+            let meta = self.words[base + 2].load(Ordering::Acquire);
+            let a = self.words[base + 3].load(Ordering::Acquire);
+            let b = self.words[base + 4].load(Ordering::Acquire);
+            let c = self.words[base + 5].load(Ordering::Acquire);
+            if self.words[base].load(Ordering::Acquire) != want {
+                continue; // torn: overwritten mid-read
+            }
+            let tag = (meta & 0xFF) as u8;
+            let sub = ((meta >> 8) & 0xFF) as u8;
+            let thread = (meta >> 32) as u32;
+            if let Some(event) = Event::decode(tag, sub, a, b, c) {
+                out.push(TraceRecord {
+                    ts_ns: ts,
+                    thread,
+                    event,
+                });
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Global state: enable flag, epoch, registry
+// ---------------------------------------------------------------------------
+
+/// Tri-state so the `ODF_TRACE` environment variable is consulted exactly
+/// once, lazily: 0 = unresolved, 1 = off, 2 = on.
+static ENABLED: AtomicU8 = AtomicU8::new(0);
+const STATE_OFF: u8 = 1;
+const STATE_ON: u8 = 2;
+
+static NEXT_THREAD: AtomicU32 = AtomicU32::new(0);
+
+fn registry() -> &'static Mutex<Vec<Arc<Ring>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<Ring>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process-wide trace epoch (first use).
+#[inline]
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+#[cold]
+fn resolve_env() -> bool {
+    let on = std::env::var("ODF_TRACE").is_ok_and(|v| v != "0" && !v.is_empty());
+    let state = if on { STATE_ON } else { STATE_OFF };
+    // A concurrent `set_enabled` wins: only replace the unresolved state.
+    let _ = ENABLED.compare_exchange(0, state, Ordering::Relaxed, Ordering::Relaxed);
+    ENABLED.load(Ordering::Relaxed) == STATE_ON
+}
+
+/// Is tracing on? One relaxed atomic load on the hot path.
+#[inline]
+pub fn enabled() -> bool {
+    match ENABLED.load(Ordering::Relaxed) {
+        STATE_ON => true,
+        STATE_OFF => false,
+        _ => resolve_env(),
+    }
+}
+
+/// Turns tracing on or off at runtime (overrides `ODF_TRACE`).
+pub fn set_enabled(on: bool) {
+    ENABLED.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
+}
+
+/// Event families that can be switched individually while tracing is on —
+/// ftrace's per-event `enable` files next to the master `tracing_on`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventClass {
+    /// `ForkStart` / `ForkEnd`.
+    Fork,
+    /// `Fault`.
+    Fault,
+    /// `CowCopy` (compound copies).
+    CowCopy,
+    /// `TlbFlush`.
+    TlbFlush,
+    /// `LockRetry`.
+    LockRetry,
+    /// `Reclaim`.
+    Reclaim,
+    /// `FrameAlloc` / `FrameFree` — **off by default**, like the kernel's
+    /// `kmem:mm_page_alloc`/`free` events: every COW fault allocates a
+    /// frame, so per-frame records double the fault path's event volume
+    /// (and its tracing overhead) while the latency story is already told
+    /// by the `Fault` record. Enable for per-frame leak post-mortems
+    /// ([`Trace::for_frame`], `assert_pool_balanced` dumps).
+    Kmem,
+}
+
+impl EventClass {
+    /// Mask bits, indexed by the encode tags of the member variants.
+    const fn bits(self) -> u64 {
+        match self {
+            EventClass::Fork => (1 << 1) | (1 << 2),
+            EventClass::Fault => 1 << 3,
+            EventClass::CowCopy => 1 << 4,
+            EventClass::TlbFlush => 1 << 5,
+            EventClass::LockRetry => 1 << 6,
+            EventClass::Reclaim => 1 << 7,
+            EventClass::Kmem => (1 << 8) | (1 << 9),
+        }
+    }
+}
+
+/// Everything on except the high-volume kmem (frame alloc/free) class.
+const DEFAULT_CLASS_MASK: u64 = !EventClass::Kmem.bits();
+
+static CLASS_MASK: AtomicU64 = AtomicU64::new(DEFAULT_CLASS_MASK);
+
+/// Switches one event class on or off (tracing itself must also be on for
+/// records to land — [`set_enabled`] is the master switch).
+pub fn set_class_enabled(class: EventClass, on: bool) {
+    if on {
+        CLASS_MASK.fetch_or(class.bits(), Ordering::Relaxed);
+    } else {
+        CLASS_MASK.fetch_and(!class.bits(), Ordering::Relaxed);
+    }
+}
+
+/// Is every event in `class` currently recorded (given tracing is on)?
+pub fn class_enabled(class: EventClass) -> bool {
+    CLASS_MASK.load(Ordering::Relaxed) & class.bits() == class.bits()
+}
+
+/// Hot-path mask test for one concrete event.
+#[inline]
+fn class_on(event: &Event) -> bool {
+    CLASS_MASK.load(Ordering::Relaxed) & (1 << event.encode().0) != 0
+}
+
+fn capacity_from_env() -> usize {
+    std::env::var("ODF_TRACE_CAPACITY")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(DEFAULT_CAPACITY)
+}
+
+thread_local! {
+    static THREAD_RING: Arc<Ring> = {
+        let ring = Arc::new(Ring::new(
+            capacity_from_env(),
+            NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
+        ));
+        registry().lock().unwrap().push(Arc::clone(&ring));
+        ring
+    };
+}
+
+/// Records one event in the calling thread's ring buffer.
+///
+/// When tracing is disabled this is a single relaxed load and a branch;
+/// when enabled it never blocks (drop-oldest on overflow) and never
+/// allocates after the thread's first event.
+#[inline]
+pub fn emit(event: Event) {
+    if !enabled() || !class_on(&event) {
+        return;
+    }
+    emit_slow(event);
+}
+
+#[inline(never)]
+fn emit_slow(event: Event) {
+    let ts = now_ns();
+    THREAD_RING.with(|ring| ring.push(ts, &event));
+}
+
+/// Records one event with a caller-supplied timestamp (nanoseconds on the
+/// [`now_ns`] clock). For sites that already read the clock — e.g. to
+/// compute a latency payload — so the record does not pay a second read.
+#[inline]
+pub fn emit_at(ts_ns: u64, event: Event) {
+    if !enabled() || !class_on(&event) {
+        return;
+    }
+    THREAD_RING.with(|ring| ring.push(ts_ns, &event));
+}
+
+/// Records a hot-path sub-event without reading the clock: the timestamp
+/// is borrowed from this thread's most recent record (0 if there is none
+/// yet). Intended for events that always occur inside an enclosing traced
+/// operation (frame alloc/free and COW copies inside a fault or fork):
+/// the clock read is the single most expensive part of a record, and a
+/// sub-event's ordering is already pinned by its position in the ring, so
+/// borrowing the neighbouring timestamp keeps instrumented fault latency
+/// within the <5% overhead budget.
+#[inline]
+pub fn emit_hot(event: Event) {
+    if !enabled() || !class_on(&event) {
+        return;
+    }
+    THREAD_RING.with(|ring| {
+        let ts = ring.last_ts.load(Ordering::Relaxed);
+        ring.push(ts, &event);
+    });
+}
+
+/// Total records lost to drop-oldest overwrites across all rings.
+pub fn dropped_events() -> u64 {
+    registry().lock().unwrap().iter().map(|r| r.dropped()).sum()
+}
+
+/// Hides all currently-recorded events from future snapshots (the rings
+/// themselves are reused). Dropped-event counters are not reset.
+pub fn clear() {
+    for ring in registry().lock().unwrap().iter() {
+        ring.floor
+            .store(ring.head.load(Ordering::Acquire), Ordering::Release);
+    }
+}
+
+/// Collects every live record from every thread's ring, sorted by
+/// timestamp, together with the global drop count.
+pub fn snapshot() -> Trace {
+    let mut events = Vec::new();
+    let mut dropped = 0;
+    for ring in registry().lock().unwrap().iter() {
+        ring.collect(&mut events);
+        dropped += ring.dropped();
+    }
+    events.sort_by_key(|r| r.ts_ns);
+    Trace { events, dropped }
+}
+
+/// A collected set of trace records (the output of [`snapshot`]).
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Records sorted by timestamp.
+    pub events: Vec<TraceRecord>,
+    /// Records lost to ring overwrites before collection.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Number of collected records.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no records were collected.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The last `n` events that reference physical frame `frame`
+    /// (COW copies, allocations, frees), oldest first.
+    pub fn for_frame(&self, frame: u64, n: usize) -> Vec<TraceRecord> {
+        let mut hits: Vec<TraceRecord> = self
+            .events
+            .iter()
+            .filter(|r| r.event.frame() == Some(frame))
+            .copied()
+            .collect();
+        if hits.len() > n {
+            hits.drain(..hits.len() - n);
+        }
+        hits
+    }
+
+    /// Builds per-event-class latency/size histograms (p50/p99/p999).
+    pub fn summary(&self) -> TraceSummary {
+        TraceSummary::build(self)
+    }
+
+    /// Renders the trace in the chrome://tracing JSON array format
+    /// (load via `chrome://tracing` or <https://ui.perfetto.dev>).
+    ///
+    /// `Fault` and `ForkEnd` records carry durations and become complete
+    /// (`"ph":"X"`) events spanning their latency; everything else becomes
+    /// an instant (`"ph":"i"`) event.
+    pub fn chrome_json(&self) -> String {
+        export::chrome_json(self)
+    }
+}
+
+/// Generates a set of relaxed `AtomicU64` counters plus its snapshot type
+/// from a single field list, so adding a counter is a one-line change and a
+/// forgotten field is *impossible* rather than a silent zero:
+///
+/// - the live struct (`AtomicU64` per field, `Default`),
+/// - `snapshot()` loading every field,
+/// - a plain-`u64` snapshot struct with `saturating_sub`-based `Sub`
+///   (snapshots taken across a reset difference to zero instead of
+///   panicking in debug builds), and
+/// - `fields()` returning `(name, value)` pairs in declaration order,
+///   which exporters iterate so new counters surface automatically.
+///
+/// ```
+/// odf_trace::counters! {
+///     /// Demo counters.
+///     pub struct Demo / DemoSnapshot {
+///         /// Things seen.
+///         seen,
+///         /// Things dropped.
+///         dropped,
+///     }
+/// }
+/// let d = Demo::default();
+/// d.seen.fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+/// let a = d.snapshot();
+/// let b = d.snapshot() - a;
+/// assert_eq!(b.seen, 0);
+/// assert_eq!(a.fields()[0], ("seen", 3));
+/// ```
+#[macro_export]
+macro_rules! counters {
+    (
+        $(#[$struct_meta:meta])*
+        $vis:vis struct $name:ident / $snap:ident {
+            $(
+                $(#[$field_meta:meta])*
+                $field:ident
+            ),+ $(,)?
+        }
+    ) => {
+        $(#[$struct_meta])*
+        #[derive(Default)]
+        $vis struct $name {
+            $(
+                $(#[$field_meta])*
+                pub $field: ::std::sync::atomic::AtomicU64,
+            )+
+        }
+
+        impl $name {
+            /// Takes a point-in-time copy of all counters.
+            pub fn snapshot(&self) -> $snap {
+                $snap {
+                    $(
+                        $field: self
+                            .$field
+                            .load(::std::sync::atomic::Ordering::Relaxed),
+                    )+
+                }
+            }
+        }
+
+        /// A point-in-time copy of the counters supporting phase isolation
+        /// via (saturating) subtraction.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        #[allow(missing_docs)]
+        $vis struct $snap {
+            $(pub $field: u64,)+
+        }
+
+        impl $snap {
+            /// Number of counters in the set.
+            pub const FIELD_COUNT: usize =
+                [$(stringify!($field)),+].len();
+
+            /// Every counter as a `(name, value)` pair, in declaration
+            /// order. Exporters iterate this, so a newly added counter is
+            /// exported without touching any exporter.
+            pub fn fields(&self) -> ::std::vec::Vec<(&'static str, u64)> {
+                ::std::vec![
+                    $((stringify!($field), self.$field),)+
+                ]
+            }
+        }
+
+        impl ::std::ops::Sub for $snap {
+            type Output = $snap;
+
+            /// Field-wise difference. Saturating: a snapshot pair that
+            /// straddles a counter reset yields zeros, not a debug-build
+            /// underflow panic.
+            fn sub(self, rhs: $snap) -> $snap {
+                $snap {
+                    $($field: self.$field.saturating_sub(rhs.$field),)+
+                }
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fault(kind: FaultKind, latency_ns: u64) -> Event {
+        Event::Fault {
+            kind,
+            latency_ns,
+            retries: 0,
+            addr: 0x1000,
+        }
+    }
+
+    #[test]
+    fn disabled_tracing_records_nothing() {
+        set_enabled(false);
+        clear();
+        emit(Event::TlbFlush);
+        assert!(snapshot().is_empty() || !enabled());
+    }
+
+    #[test]
+    fn roundtrip_all_event_kinds() {
+        let cases = [
+            Event::ForkStart {
+                policy: ForkPolicyKind::OnDemand,
+            },
+            Event::ForkEnd {
+                policy: ForkPolicyKind::Classic,
+                pte_copies: 512,
+                tables_shared: 7,
+                latency_ns: 1234,
+            },
+            fault(FaultKind::TableCow, 999),
+            Event::CowCopy {
+                order: 9,
+                bytes: 2 << 20,
+                frame: 42,
+            },
+            Event::TlbFlush,
+            Event::LockRetry {
+                site: LockSite::PmdOwnership,
+            },
+            Event::Reclaim { frames_freed: 3 },
+            Event::FrameAlloc { frame: 7, order: 0 },
+            Event::FrameFree { frame: 7, order: 0 },
+        ];
+        for ev in cases {
+            let (tag, sub, a, b, c) = ev.encode();
+            assert_eq!(Event::decode(tag, sub, a, b, c), Some(ev));
+        }
+        assert_eq!(Event::decode(0, 0, 0, 0, 0), None);
+        assert_eq!(Event::decode(200, 0, 0, 0, 0), None);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let ring = Ring::new(4, 0);
+        for i in 0..10u64 {
+            ring.push(i, &Event::Reclaim { frames_freed: i });
+        }
+        assert_eq!(ring.dropped(), 6);
+        let mut out = Vec::new();
+        ring.collect(&mut out);
+        assert_eq!(out.len(), 4);
+        // Only the newest four survive, in order.
+        let freed: Vec<u64> = out
+            .iter()
+            .map(|r| match r.event {
+                Event::Reclaim { frames_freed } => frames_freed,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(freed, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn concurrent_writer_reader_never_sees_torn_records() {
+        let ring = Arc::new(Ring::new(64, 0));
+        let w = Arc::clone(&ring);
+        let writer = std::thread::spawn(move || {
+            for i in 0..200_000u64 {
+                // Payload fields deliberately correlated so a torn read is
+                // detectable in the decoded record.
+                w.push(
+                    i,
+                    &Event::CowCopy {
+                        order: 0,
+                        bytes: i,
+                        frame: i,
+                    },
+                );
+            }
+        });
+        let mut out = Vec::new();
+        for _ in 0..2000 {
+            out.clear();
+            ring.collect(&mut out);
+            for r in &out {
+                if let Event::CowCopy { bytes, frame, .. } = r.event {
+                    assert_eq!(bytes, frame, "torn record surfaced");
+                    assert_eq!(bytes, r.ts_ns, "ts from a different record");
+                }
+            }
+        }
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn emit_snapshot_clear_cycle() {
+        set_enabled(true);
+        clear();
+        emit(fault(FaultKind::CowData, 100));
+        emit(Event::TlbFlush);
+        let t = snapshot();
+        assert!(t.len() >= 2);
+        assert!(t
+            .events
+            .iter()
+            .any(|r| matches!(r.event, Event::Fault { .. })));
+        clear();
+        set_enabled(false);
+        // After clear, this thread's prior events are gone. (Other test
+        // threads may be emitting concurrently, so only check our own.)
+        let t2 = snapshot();
+        assert!(!t2
+            .events
+            .iter()
+            .any(|r| r.event == fault(FaultKind::CowData, 100) && r.ts_ns <= t.events[0].ts_ns));
+    }
+
+    /// Serializes tests that flip the global class mask.
+    fn mask_gate() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: OnceLock<Mutex<()>> = OnceLock::new();
+        GATE.get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn emit_at_and_emit_hot_share_timestamps() {
+        let _gate = mask_gate();
+        set_enabled(true);
+        set_class_enabled(EventClass::Kmem, true);
+        clear();
+        // emit_at stamps the caller's timestamp; emit_hot borrows the
+        // thread's most recent one instead of reading the clock.
+        emit_at(7777, fault(FaultKind::DemandZero, 55));
+        emit_hot(Event::FrameAlloc {
+            frame: 123,
+            order: 0,
+        });
+        let t = snapshot();
+        set_enabled(false);
+        let at = t
+            .events
+            .iter()
+            .find(|r| r.event == fault(FaultKind::DemandZero, 55))
+            .expect("emit_at record");
+        assert_eq!(at.ts_ns, 7777);
+        let hot = t
+            .events
+            .iter()
+            .find(|r| r.event.frame() == Some(123))
+            .expect("emit_hot record");
+        assert_eq!(hot.ts_ns, 7777, "sub-event borrows the last timestamp");
+        set_class_enabled(EventClass::Kmem, false);
+    }
+
+    #[test]
+    fn kmem_class_is_masked_by_default() {
+        // Per-class switches: frame alloc/free events are dropped at the
+        // emit boundary unless EventClass::Kmem is enabled, even with the
+        // master switch on. The sentinel frame id must not appear.
+        let _gate = mask_gate();
+        set_enabled(true);
+        assert!(!class_enabled(EventClass::Kmem));
+        assert!(class_enabled(EventClass::Fault));
+        emit(Event::FrameAlloc {
+            frame: 0xDEAD_F00D,
+            order: 0,
+        });
+        let t = snapshot();
+        set_enabled(false);
+        assert!(t.for_frame(0xDEAD_F00D, 1).is_empty());
+    }
+
+    #[test]
+    fn for_frame_filters_and_bounds() {
+        let t = Trace {
+            events: (0..10)
+                .map(|i| TraceRecord {
+                    ts_ns: i,
+                    thread: 0,
+                    event: Event::FrameAlloc {
+                        frame: i % 2,
+                        order: 0,
+                    },
+                })
+                .collect(),
+            dropped: 0,
+        };
+        let hits = t.for_frame(1, 3);
+        assert_eq!(hits.len(), 3);
+        assert!(hits.iter().all(|r| r.event.frame() == Some(1)));
+        assert_eq!(hits.last().unwrap().ts_ns, 9);
+        assert!(t.for_frame(99, 3).is_empty());
+    }
+}

@@ -1,0 +1,345 @@
+//! Post-processing a collected [`Trace`] into per-event-class histograms —
+//! the analog of `perf script | flamegraph` / ftrace's `hist` triggers:
+//! raw events go in, p50/p99/p999 latency decompositions come out.
+
+use std::collections::BTreeMap;
+
+use odf_metrics::{fmt_ns, Histogram};
+
+use crate::export::{json_escape, PromText};
+use crate::{Event, FaultKind, ForkPolicyKind, Trace};
+
+/// A named latency/size distribution extracted from a trace.
+#[derive(Clone)]
+pub struct ClassSummary {
+    /// Stable class name, e.g. `fault_cow_data` or `fork_odf`.
+    pub name: String,
+    /// The sample distribution (nanoseconds for latency classes).
+    pub hist: Histogram,
+}
+
+impl ClassSummary {
+    /// p50 of the distribution.
+    pub fn p50(&self) -> u64 {
+        self.hist.percentile(50.0)
+    }
+
+    /// p99 of the distribution.
+    pub fn p99(&self) -> u64 {
+        self.hist.percentile(99.0)
+    }
+
+    /// p99.9 of the distribution.
+    pub fn p999(&self) -> u64 {
+        self.hist.percentile(99.9)
+    }
+}
+
+/// Per-event-class rollup of one [`Trace`].
+#[derive(Clone, Default)]
+pub struct TraceSummary {
+    /// Fault latency per [`FaultKind`] (only kinds that occurred).
+    pub faults: Vec<(FaultKind, Histogram)>,
+    /// Fork latency per policy (only policies that occurred).
+    pub forks: Vec<(ForkPolicyKind, Histogram)>,
+    /// Bytes physically copied per COW event.
+    pub cow_bytes: Histogram,
+    /// Install races lost per fault (the `retries` field distribution).
+    pub fault_retries: Histogram,
+    /// Instant-event counts keyed by class (`tlb_flush`,
+    /// `lock_retry_<site>`, `reclaim`, ...).
+    pub counts: BTreeMap<String, u64>,
+    /// Records lost to ring overwrites before collection.
+    pub dropped: u64,
+}
+
+impl TraceSummary {
+    /// Rolls `trace` up into per-class distributions.
+    pub fn build(trace: &Trace) -> TraceSummary {
+        let mut faults: BTreeMap<u8, (FaultKind, Histogram)> = BTreeMap::new();
+        let mut forks: BTreeMap<u8, (ForkPolicyKind, Histogram)> = BTreeMap::new();
+        let mut s = TraceSummary {
+            dropped: trace.dropped,
+            ..TraceSummary::default()
+        };
+        let bump = |counts: &mut BTreeMap<String, u64>, key: &str| {
+            *counts.entry(key.to_string()).or_insert(0) += 1;
+        };
+        for r in &trace.events {
+            match r.event {
+                Event::Fault {
+                    kind,
+                    latency_ns,
+                    retries,
+                    ..
+                } => {
+                    faults
+                        .entry(kind.as_u8())
+                        .or_insert_with(|| (kind, Histogram::new()))
+                        .1
+                        .record(latency_ns);
+                    s.fault_retries.record(u64::from(retries));
+                }
+                Event::ForkStart { .. } => bump(&mut s.counts, "fork_start"),
+                Event::ForkEnd {
+                    policy, latency_ns, ..
+                } => {
+                    forks
+                        .entry(policy.as_u8())
+                        .or_insert_with(|| (policy, Histogram::new()))
+                        .1
+                        .record(latency_ns);
+                }
+                Event::CowCopy { bytes, .. } => {
+                    s.cow_bytes.record(bytes);
+                    bump(&mut s.counts, "cow_copy");
+                }
+                Event::TlbFlush => bump(&mut s.counts, "tlb_flush"),
+                Event::LockRetry { site } => {
+                    bump(&mut s.counts, &format!("lock_retry_{}", site.label()));
+                    bump(&mut s.counts, "lock_retry_total");
+                }
+                Event::Reclaim { .. } => bump(&mut s.counts, "reclaim"),
+                Event::FrameAlloc { .. } => bump(&mut s.counts, "frame_alloc"),
+                Event::FrameFree { .. } => bump(&mut s.counts, "frame_free"),
+            }
+        }
+        s.faults = faults.into_values().collect();
+        s.forks = forks.into_values().collect();
+        s
+    }
+
+    /// Latency histogram for one fault kind, if any such fault was traced.
+    pub fn fault_hist(&self, kind: FaultKind) -> Option<&Histogram> {
+        self.faults.iter().find(|(k, _)| *k == kind).map(|(_, h)| h)
+    }
+
+    /// Latency histogram for one fork policy, if any such fork was traced.
+    pub fn fork_hist(&self, policy: ForkPolicyKind) -> Option<&Histogram> {
+        self.forks
+            .iter()
+            .find(|(p, _)| *p == policy)
+            .map(|(_, h)| h)
+    }
+
+    /// Install races lost, as observed by the trace. `LockRetry` events
+    /// and the per-fault `retries` tallies cover the same races from two
+    /// angles (site-level vs. fault-level), so take whichever view saw
+    /// more rather than summing them.
+    pub fn lost_install_races(&self) -> u64 {
+        let explicit = self.counts.get("lock_retry_total").copied().unwrap_or(0);
+        explicit.max(self.retry_sum())
+    }
+
+    /// Sum of per-fault retry counts (mean × count, exact because the mean
+    /// is sum/count of integers).
+    fn retry_sum(&self) -> u64 {
+        (self.fault_retries.mean() * self.fault_retries.count() as f64).round() as u64
+    }
+
+    /// All latency classes, flattened with stable names (for exporters).
+    pub fn classes(&self) -> Vec<ClassSummary> {
+        let mut out = Vec::new();
+        for (kind, hist) in &self.faults {
+            out.push(ClassSummary {
+                name: format!("fault_{}", kind.label()),
+                hist: hist.clone(),
+            });
+        }
+        for (policy, hist) in &self.forks {
+            out.push(ClassSummary {
+                name: format!("fork_{}", policy.label()),
+                hist: hist.clone(),
+            });
+        }
+        out
+    }
+
+    /// Renders the summary in Prometheus text exposition format.
+    pub fn prometheus(&self) -> String {
+        let mut p = PromText::new();
+        for (kind, hist) in &self.faults {
+            p.quantiles(
+                "odf_trace_fault_latency_ns",
+                "Page-fault latency by fault kind",
+                &[("kind", kind.label())],
+                hist,
+            );
+        }
+        for (policy, hist) in &self.forks {
+            p.quantiles(
+                "odf_trace_fork_latency_ns",
+                "Fork latency by policy",
+                &[("policy", policy.label())],
+                hist,
+            );
+        }
+        if self.cow_bytes.count() > 0 {
+            p.quantiles(
+                "odf_trace_cow_bytes",
+                "Bytes physically copied per COW event",
+                &[],
+                &self.cow_bytes,
+            );
+        }
+        for (class, count) in &self.counts {
+            p.labeled_counter(
+                "odf_trace_events_total",
+                "Instant trace events by class",
+                &[("class", class)],
+                *count,
+            );
+        }
+        p.counter(
+            "odf_trace_dropped_events_total",
+            "Trace records lost to ring-buffer drop-oldest overwrites",
+            self.dropped,
+        );
+        p.finish()
+    }
+
+    /// Renders the summary as a JSON object (class → stats).
+    pub fn to_json(&self) -> String {
+        let mut parts = Vec::new();
+        for c in self.classes() {
+            parts.push(format!(
+                "\"{}\":{{\"count\":{},\"mean_ns\":{:.1},\"p50_ns\":{},\"p99_ns\":{},\"p999_ns\":{},\"max_ns\":{}}}",
+                json_escape(&c.name),
+                c.hist.count(),
+                c.hist.mean(),
+                c.p50(),
+                c.p99(),
+                c.p999(),
+                c.hist.max(),
+            ));
+        }
+        let counts: Vec<String> = self
+            .counts
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{}", json_escape(k), v))
+            .collect();
+        parts.push(format!("\"counts\":{{{}}}", counts.join(",")));
+        parts.push(format!("\"dropped_events\":{}", self.dropped));
+        format!("{{{}}}", parts.join(","))
+    }
+
+    /// Renders a human-readable table (for bench output and `STATS`).
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            "class                     count       mean        p50        p99      p99.9\n",
+        );
+        for c in self.classes() {
+            out.push_str(&format!(
+                "{:<24} {:>6} {:>10} {:>10} {:>10} {:>10}\n",
+                c.name,
+                c.hist.count(),
+                fmt_ns(c.hist.mean() as u64),
+                fmt_ns(c.p50()),
+                fmt_ns(c.p99()),
+                fmt_ns(c.p999()),
+            ));
+        }
+        for (class, count) in &self.counts {
+            out.push_str(&format!("{:<24} {:>6}\n", class, count));
+        }
+        out.push_str(&format!("dropped_events           {:>6}\n", self.dropped));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceRecord;
+
+    fn rec(ts: u64, event: Event) -> TraceRecord {
+        TraceRecord {
+            ts_ns: ts,
+            thread: 0,
+            event,
+        }
+    }
+
+    fn sample_trace() -> Trace {
+        let mut events = Vec::new();
+        for i in 0..100u64 {
+            events.push(rec(
+                i,
+                Event::Fault {
+                    kind: FaultKind::CowData,
+                    latency_ns: 1000 + i * 10,
+                    retries: u32::from(i % 7 == 0),
+                    addr: 0x4000 + i * 4096,
+                },
+            ));
+        }
+        events.push(rec(
+            200,
+            Event::ForkEnd {
+                policy: ForkPolicyKind::OnDemand,
+                pte_copies: 0,
+                tables_shared: 9,
+                latency_ns: 5_000,
+            },
+        ));
+        events.push(rec(201, Event::TlbFlush));
+        events.push(rec(
+            202,
+            Event::LockRetry {
+                site: crate::LockSite::PteInstall,
+            },
+        ));
+        Trace { events, dropped: 3 }
+    }
+
+    #[test]
+    fn summary_buckets_by_class() {
+        let s = sample_trace().summary();
+        let h = s.fault_hist(FaultKind::CowData).unwrap();
+        assert_eq!(h.count(), 100);
+        assert!(h.percentile(50.0) >= 1000);
+        assert!(s.fault_hist(FaultKind::DemandZero).is_none());
+        assert_eq!(s.fork_hist(ForkPolicyKind::OnDemand).unwrap().count(), 1);
+        assert_eq!(s.counts["tlb_flush"], 1);
+        assert_eq!(s.counts["lock_retry_pte_install"], 1);
+        assert_eq!(s.dropped, 3);
+        // 15 faults had one retry each (i % 7 == 0 for i in 0..100),
+        // plus one explicit LockRetry event.
+        assert!(s.lost_install_races() >= 15);
+    }
+
+    #[test]
+    fn prometheus_output_has_unique_headers() {
+        let text = sample_trace().summary().prometheus();
+        assert!(text.contains("# TYPE odf_trace_fault_latency_ns summary"));
+        assert!(text.contains("odf_trace_fault_latency_ns{kind=\"cow_data\",quantile=\"0.5\"}"));
+        assert!(text.contains("odf_trace_dropped_events_total 3"));
+        let headers: Vec<&str> = text.lines().filter(|l| l.starts_with("# TYPE")).collect();
+        let mut dedup = headers.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(headers.len(), dedup.len(), "duplicate TYPE headers");
+    }
+
+    #[test]
+    fn json_output_is_well_formed_enough() {
+        let j = sample_trace().summary().to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"fault_cow_data\""));
+        assert!(j.contains("\"dropped_events\":3"));
+        assert_eq!(
+            j.matches('{').count(),
+            j.matches('}').count(),
+            "unbalanced braces"
+        );
+    }
+
+    #[test]
+    fn render_text_lists_every_class() {
+        let t = sample_trace().summary().render_text();
+        assert!(t.contains("fault_cow_data"));
+        assert!(t.contains("fork_odf"));
+        assert!(t.contains("dropped_events"));
+    }
+}

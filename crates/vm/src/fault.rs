@@ -51,6 +51,7 @@ use std::sync::Arc;
 
 use odf_pagetable::{Entry, EntryFlags, Level, Table, VirtAddr, ENTRIES_PER_TABLE};
 use odf_pmem::{FrameId, PageKind, PAGE_SIZE};
+use odf_trace::{Event, FaultKind, LockSite};
 
 use crate::error::{Result, VmError};
 use crate::machine::Machine;
@@ -67,10 +68,36 @@ const MAX_INSTALL_RETRIES: u32 = 64;
 
 /// What one fault attempt achieved.
 enum Outcome {
-    /// The translation was established (or found already established).
-    Done,
+    /// The translation was established (or found already established),
+    /// classified by the dominant work the attempt performed.
+    Done(FaultKind),
     /// A concurrent fault changed the walk under us; retry from the top.
     Raced,
+}
+
+/// Relative cost rank of a fault classification: when one attempt performs
+/// several operations (a table COW followed by demand paging, say), the
+/// emitted `Fault` event is attributed to the most expensive one.
+fn rank(kind: FaultKind) -> u8 {
+    match kind {
+        FaultKind::Spurious => 0,
+        FaultKind::CowReuse => 1,
+        FaultKind::DemandZero => 2,
+        FaultKind::DemandHuge => 3,
+        FaultKind::CowData => 4,
+        FaultKind::CowHuge => 5,
+        FaultKind::TableCow => 6,
+        FaultKind::PmdTableCow => 7,
+    }
+}
+
+/// The costlier of two classifications (see [`rank`]).
+fn stronger(a: FaultKind, b: FaultKind) -> FaultKind {
+    if rank(b) > rank(a) {
+        b
+    } else {
+        a
+    }
 }
 
 /// Handles a fault at `va` for the given access kind.
@@ -79,11 +106,26 @@ enum Outcome {
 /// exclusive lock, which trivially satisfies the contract). Retries
 /// internally when an attempt loses an install race to a concurrent fault.
 pub(crate) fn handle(machine: &Machine, inner: &MmInner, va: VirtAddr, write: bool) -> Result<()> {
+    let start_ns = odf_trace::enabled().then(odf_trace::now_ns);
     let mut counted = false;
     let mut attempts = 0u32;
     loop {
         match try_handle(machine, inner, va, write, &mut counted)? {
-            Outcome::Done => return Ok(()),
+            Outcome::Done(kind) => {
+                if let Some(t0) = start_ns {
+                    let end = odf_trace::now_ns();
+                    odf_trace::emit_at(
+                        end,
+                        Event::Fault {
+                            kind,
+                            latency_ns: end.saturating_sub(t0),
+                            retries: attempts,
+                            addr: va.as_u64(),
+                        },
+                    );
+                }
+                return Ok(());
+            }
             Outcome::Raced => {
                 VmStats::bump(&machine.stats().install_races_lost);
                 attempts += 1;
@@ -131,22 +173,36 @@ fn try_handle(
     // read of a present entry proceeds through it (accessed bits only);
     // anything else needs a dedicated copy first.
     let need_pmd_modify = write || !pmd.load().is_present();
+    let pmd_frame_before = pmd.frame;
     let Some(pmd) = ensure_pmd_ownership(machine, pmd, need_pmd_modify)? else {
         return Ok(Outcome::Raced);
+    };
+    // A changed frame means the attempt just paid for a PMD-table COW —
+    // the dominant cost unless something rarer follows.
+    let mut kind = if pmd.frame != pmd_frame_before {
+        FaultKind::PmdTableCow
+    } else {
+        FaultKind::Spurious
     };
     let e = pmd.load();
 
     if !e.is_present() && vma.huge {
-        return fault_in_huge(machine, inner, &vma, &pmd, write);
+        return Ok(merge(
+            fault_in_huge(machine, inner, &vma, &pmd, write)?,
+            kind,
+        ));
     }
     if e.is_present() && e.is_huge() {
-        return huge_cow(machine, &vma, &pmd, write);
+        return Ok(merge(huge_cow(machine, &vma, &pmd, write)?, kind));
     }
 
     // 4 KiB path. Resolve (or create) the PTE table, without touching
     // sharing state yet.
     let idx = va.index(Level::Pte);
     let Some((table_frame, table)) = resolve_table(machine, &pmd, e)? else {
+        odf_trace::emit(Event::LockRetry {
+            site: LockSite::PmdInstall,
+        });
         return Ok(Outcome::Raced);
     };
     let pte = table.load(idx);
@@ -160,14 +216,19 @@ fn try_handle(
             // (populating a shared table would leak the mapping into every
             // sharer) — requires a dedicated copy first (§3.4).
             match acquire_table_ownership(machine, &pmd, table_frame)? {
-                Some(owned) => owned,
+                Some(owned) => {
+                    if owned.0 != table_frame {
+                        kind = stronger(kind, FaultKind::TableCow);
+                    }
+                    owned
+                }
                 None => return Ok(Outcome::Raced),
             }
         } else {
             // Fast path: read of a present PTE through the shared table.
             // Only the accessed bit is touched, which §3.2 permits.
             table.fetch_set(idx, EntryFlags::ACCESSED);
-            return Ok(Outcome::Done);
+            return Ok(Outcome::Done(kind));
         }
     } else {
         if write && !pmd.load().is_writable() {
@@ -179,6 +240,9 @@ fn try_handle(
             let _guard = machine.split_lock(table_frame);
             let cur = pmd.load();
             if !cur.is_present() || cur.is_huge() || cur.frame() != table_frame {
+                odf_trace::emit(Event::LockRetry {
+                    site: LockSite::PmdInstall,
+                });
                 return Ok(Outcome::Raced);
             }
             if !cur.is_writable() {
@@ -197,6 +261,9 @@ fn try_handle(
         let _guard = machine.split_lock(table_frame);
         let cur = pmd.load();
         if !cur.is_present() || cur.is_huge() || cur.frame() != table_frame {
+            odf_trace::emit(Event::LockRetry {
+                site: LockSite::PmdInstall,
+            });
             return Ok(Outcome::Raced);
         }
         pte = table.load(idx);
@@ -205,13 +272,14 @@ fn try_handle(
             pte = map_new_page(machine, &vma, va)?;
             table.store(idx, pte);
             inner.rss.fetch_add(1, Ordering::Relaxed);
+            kind = stronger(kind, FaultKind::DemandZero);
         }
     }
 
     if write && !pte.is_writable() {
-        if let Outcome::Raced = cow_or_enable_write(machine, &vma, &pmd, &table, table_frame, idx)?
-        {
-            return Ok(Outcome::Raced);
+        match cow_or_enable_write(machine, &vma, &pmd, &table, table_frame, idx)? {
+            Outcome::Done(k) => kind = stronger(kind, k),
+            Outcome::Raced => return Ok(Outcome::Raced),
         }
     }
     let mut bits = EntryFlags::ACCESSED;
@@ -219,13 +287,31 @@ fn try_handle(
         bits |= EntryFlags::DIRTY | EntryFlags::SOFT_DIRTY;
     }
     table.fetch_set(idx, bits);
-    Ok(Outcome::Done)
+    Ok(Outcome::Done(kind))
+}
+
+/// Folds the classification accumulated *before* a sub-handler ran into
+/// the sub-handler's outcome.
+fn merge(outcome: Outcome, earlier: FaultKind) -> Outcome {
+    match outcome {
+        Outcome::Done(k) => Outcome::Done(stronger(earlier, k)),
+        Outcome::Raced => Outcome::Raced,
+    }
 }
 
 /// Resolves the PTE table referenced by a PMD entry, allocating and linking
 /// a fresh one under the split lock if the entry is absent. No sharing
 /// decisions are made here. Returns `None` when the slot turned huge
-/// meanwhile (dispatch must be redone).
+/// meanwhile, or when the referenced table vanished mid-walk (either way
+/// dispatch must be redone).
+///
+/// Both lookups use `try_get`: `e` is a pre-lock read, and the split lock
+/// taken below stripes on the *PMD table's* frame — it does not exclude a
+/// sibling thread's table-COW of this slot, which stripes on the PTE
+/// table's frame. Either way the referenced table can be COWed away and,
+/// once its last co-referencing process exits, freed before the lookup. A
+/// miss is that race (the kernel RCU-frees page tables to bridge the same
+/// window), surfaced as `Outcome::Raced` so the attempt re-walks.
 fn resolve_table(
     machine: &Machine,
     pmd: &PmdSlot,
@@ -233,7 +319,7 @@ fn resolve_table(
 ) -> Result<Option<(FrameId, Arc<Table>)>> {
     if e.is_present() {
         let frame = e.frame();
-        return Ok(Some((frame, machine.store().get(frame))));
+        return Ok(machine.store().try_get(frame).map(|t| (frame, t)));
     }
     let _guard = machine.split_lock(pmd.frame);
     let cur = pmd.load();
@@ -242,7 +328,7 @@ fn resolve_table(
             return Ok(None);
         }
         let frame = cur.frame();
-        return Ok(Some((frame, machine.store().get(frame))));
+        return Ok(machine.store().try_get(frame).map(|t| (frame, t)));
     }
     let (frame, table) = machine.alloc_table()?;
     pmd.store(Entry::table(frame));
@@ -262,6 +348,9 @@ fn acquire_table_ownership(
     let _guard = machine.split_lock(table_frame);
     let cur = pmd.load();
     if !cur.is_present() || cur.is_huge() || cur.frame() != table_frame {
+        odf_trace::emit(Event::LockRetry {
+            site: LockSite::TableOwnership,
+        });
         return Ok(None);
     }
     let table = machine.store().get(table_frame);
@@ -337,6 +426,9 @@ fn ensure_pmd_ownership(
     let _guard = machine.split_lock(pmd.frame);
     let pud_e = pmd.load_pud();
     if !pud_e.is_present() || pud_e.frame() != pmd.frame {
+        odf_trace::emit(Event::LockRetry {
+            site: LockSite::PmdOwnership,
+        });
         return Ok(None);
     }
     if pool.pt_share_count(pmd.frame) > 1 {
@@ -428,34 +520,43 @@ fn cow_or_enable_write(
         let _guard = machine.split_lock(table_frame);
         let pte = table.load(idx);
         if !pte.is_present() {
+            odf_trace::emit(Event::LockRetry {
+                site: LockSite::PteInstall,
+            });
             return Ok(Outcome::Raced);
         }
         if let Backing::File { file, .. } = &vma.backing {
             file.mark_dirty(pool, pte.frame());
         }
         table.fetch_set(idx, EntryFlags::WRITABLE);
-        return Ok(Outcome::Done);
+        return Ok(Outcome::Done(FaultKind::CowReuse));
     }
     let (pte, head) = {
         let _guard = machine.split_lock(table_frame);
         let cur = pmd.load();
         if !cur.is_present() || cur.is_huge() || cur.frame() != table_frame {
+            odf_trace::emit(Event::LockRetry {
+                site: LockSite::PteInstall,
+            });
             return Ok(Outcome::Raced);
         }
         let pte = table.load(idx);
         if !pte.is_present() {
+            odf_trace::emit(Event::LockRetry {
+                site: LockSite::PteInstall,
+            });
             return Ok(Outcome::Raced);
         }
         if pte.is_writable() {
             // Another thread of this process resolved the write meanwhile.
-            return Ok(Outcome::Done);
+            return Ok(Outcome::Done(FaultKind::Spurious));
         }
         let head = pool.compound_head(pte.frame());
         if pool.page(head).kind() == PageKind::Anon && pool.ref_count(head) == 1 {
             // Sole owner: reuse in place.
             VmStats::bump(&machine.stats().cow_reuses);
             table.fetch_set(idx, EntryFlags::WRITABLE);
-            return Ok(Outcome::Done);
+            return Ok(Outcome::Done(FaultKind::CowReuse));
         }
         // Pin the source so no concurrent COW-and-release elsewhere can
         // free it while we copy outside the lock.
@@ -479,12 +580,20 @@ fn cow_or_enable_write(
         // Lost the install race: discard the copy and our pin.
         pool.ref_dec(new);
         pool.ref_dec(head);
+        odf_trace::emit(Event::LockRetry {
+            site: LockSite::PteInstall,
+        });
         return Ok(Outcome::Raced);
     }
     table.store(idx, Entry::page(new, true).with_set(EntryFlags::ACCESSED));
     pool.ref_dec(head); // the displaced PTE's reference
     pool.ref_dec(head); // our pin
-    Ok(Outcome::Done)
+                        // No separate CowCopy record here: a `Fault { kind: CowData }` is
+                        // exactly one 4 KiB copy (the FrameAlloc record carries the new
+                        // frame), so a dedicated copy event would double the hot-path record
+                        // volume without adding information. CowCopy is reserved for compound
+                        // copies, where order/bytes vary.
+    Ok(Outcome::Done(FaultKind::CowData))
 }
 
 /// First touch of a huge-mapped 2 MiB range: allocate and map a compound
@@ -501,6 +610,9 @@ fn fault_in_huge(
     let pud_e = pmd.load_pud();
     if !pud_e.is_present() || pud_e.frame() != pmd.frame {
         // The PMD table was COWed out from under us; ours is stale.
+        odf_trace::emit(Event::LockRetry {
+            site: LockSite::PmdOwnership,
+        });
         return Ok(Outcome::Raced);
     }
     let e = pmd.load();
@@ -514,8 +626,11 @@ fn fault_in_huge(
                 bits |= EntryFlags::DIRTY | EntryFlags::SOFT_DIRTY;
             }
             pmd.table.fetch_set(pmd.idx, bits);
-            return Ok(Outcome::Done);
+            return Ok(Outcome::Done(FaultKind::Spurious));
         }
+        odf_trace::emit(Event::LockRetry {
+            site: LockSite::PmdInstall,
+        });
         return Ok(Outcome::Raced);
     }
     VmStats::bump(&machine.stats().faults_demand);
@@ -529,7 +644,7 @@ fn fault_in_huge(
     inner
         .rss
         .fetch_add(ENTRIES_PER_TABLE as u64, Ordering::Relaxed);
-    Ok(Outcome::Done)
+    Ok(Outcome::Done(FaultKind::DemandHuge))
 }
 
 /// Write access to a write-protected huge mapping: reuse or copy the whole
@@ -542,15 +657,22 @@ fn fault_in_huge(
 /// duration, so no pin is needed.
 fn huge_cow(machine: &Machine, vma: &Vma, pmd: &PmdSlot, write: bool) -> Result<Outcome> {
     let mut bits = EntryFlags::ACCESSED;
+    let mut kind = FaultKind::Spurious;
     if write {
         let _guard = machine.split_lock(pmd.frame);
         let pud_e = pmd.load_pud();
         if !pud_e.is_present() || pud_e.frame() != pmd.frame {
             // The PMD table was COWed out from under us; ours is stale.
+            odf_trace::emit(Event::LockRetry {
+                site: LockSite::PmdOwnership,
+            });
             return Ok(Outcome::Raced);
         }
         let e = pmd.load();
         if !e.is_present() || !e.is_huge() {
+            odf_trace::emit(Event::LockRetry {
+                site: LockSite::PmdInstall,
+            });
             return Ok(Outcome::Raced);
         }
         if !e.is_writable() {
@@ -560,21 +682,29 @@ fn huge_cow(machine: &Machine, vma: &Vma, pmd: &PmdSlot, write: bool) -> Result<
                 if pool.ref_count(head) == 1 {
                     VmStats::bump(&machine.stats().cow_reuses);
                     pmd.set_flags(EntryFlags::WRITABLE);
+                    kind = FaultKind::CowReuse;
                 } else {
                     VmStats::bump(&machine.stats().cow_huge_copies);
                     let new = machine.alloc_huge(PageKind::Anon)?;
                     pool.copy_block(head, new, odf_pmem::HUGE_ORDER);
                     pool.ref_dec(head);
                     pmd.store(Entry::huge_page(new, true).with_set(EntryFlags::ACCESSED));
+                    odf_trace::emit_hot(Event::CowCopy {
+                        order: odf_pmem::HUGE_ORDER,
+                        bytes: crate::HUGE_PAGE_SIZE as u64,
+                        frame: new.index() as u64,
+                    });
+                    kind = FaultKind::CowHuge;
                 }
             } else {
                 pmd.set_flags(EntryFlags::WRITABLE);
+                kind = FaultKind::CowReuse;
             }
         }
         bits |= EntryFlags::DIRTY | EntryFlags::SOFT_DIRTY;
     }
     pmd.table.fetch_set(pmd.idx, bits);
-    Ok(Outcome::Done)
+    Ok(Outcome::Done(kind))
 }
 
 /// Pre-faults a range: the `MAP_POPULATE` / benchmark-fill path.
@@ -627,7 +757,8 @@ pub(crate) fn populate(
                 let pmd = walk::pmd_slot_create(machine, inner.pgd, at)?;
                 if !pmd.load().is_present() {
                     if let Some(pmd) = ensure_pmd_ownership(machine, pmd, true)? {
-                        if let Outcome::Done = fault_in_huge(machine, inner, &vma, &pmd, write)? {
+                        if let Outcome::Done(_) = fault_in_huge(machine, inner, &vma, &pmd, write)?
+                        {
                             VmStats::bump(&machine.stats().pages_populated);
                         }
                     }
@@ -715,11 +846,11 @@ mod tests {
         let demand_before = machine.stats().snapshot().faults_demand;
         assert!(matches!(
             fault_in_huge(&machine, &inner, &vma, &pmd, false).unwrap(),
-            Outcome::Done
+            Outcome::Done(FaultKind::Spurious)
         ));
         assert!(matches!(
             fault_in_huge(&machine, &inner, &vma, &pmd, true).unwrap(),
-            Outcome::Done
+            Outcome::Done(FaultKind::Spurious)
         ));
         // The loser neither installed a page nor charged rss.
         assert_eq!(inner.rss.load(Ordering::Relaxed), rss_before);
@@ -734,7 +865,7 @@ mod tests {
         // A read through the protected entry still is.
         assert!(matches!(
             fault_in_huge(&machine, &inner, &vma, &pmd, false).unwrap(),
-            Outcome::Done
+            Outcome::Done(FaultKind::Spurious)
         ));
     }
 

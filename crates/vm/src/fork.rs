@@ -27,6 +27,7 @@ use std::sync::atomic::Ordering;
 
 use odf_pagetable::{Entry, EntryFlags, Level, VirtAddr, ENTRIES_PER_TABLE};
 use odf_pmem::FrameId;
+use odf_trace::Event;
 
 use crate::error::Result;
 use crate::machine::Machine;
@@ -56,6 +57,30 @@ pub enum ForkPolicy {
     OnDemandHuge,
 }
 
+impl ForkPolicy {
+    /// The trace-layer tag for this policy (stable labels for exporters).
+    pub fn trace_kind(self) -> odf_trace::ForkPolicyKind {
+        match self {
+            ForkPolicy::Classic => odf_trace::ForkPolicyKind::Classic,
+            ForkPolicy::OnDemand => odf_trace::ForkPolicyKind::OnDemand,
+            ForkPolicy::OnDemandHuge => odf_trace::ForkPolicyKind::OnDemandHuge,
+        }
+    }
+}
+
+/// Per-invocation fork work tally, reported in the `ForkEnd` trace event.
+///
+/// Kept local to the invocation (rather than differencing the global
+/// [`VmStats`]) so concurrent forks of other processes on the same
+/// machine cannot pollute the numbers.
+#[derive(Default)]
+struct ForkTally {
+    /// Leaf entries copied the classic way (PTEs and huge PMD entries).
+    pte_copies: u64,
+    /// Last-level tables shared instead of copied (PTE and PMD tables).
+    tables_shared: u64,
+}
+
 /// Forks `parent` under `policy`, returning the child's address space
 /// contents. The caller holds the parent's `mm` lock exclusively — which
 /// excludes every concurrent *parent* fault, so the sharing transitions
@@ -74,6 +99,11 @@ pub(crate) fn run(machine: &Machine, parent: &mut MmInner, policy: ForkPolicy) -
         ForkPolicy::Classic => VmStats::bump(&stats.forks_classic),
         ForkPolicy::OnDemand | ForkPolicy::OnDemandHuge => VmStats::bump(&stats.forks_odf),
     }
+    let start_ns = odf_trace::enabled().then(odf_trace::now_ns);
+    odf_trace::emit(Event::ForkStart {
+        policy: policy.trace_kind(),
+    });
+    let mut tally = ForkTally::default();
     let mut child = MmInner::empty(machine)?;
     child.vmas = parent.vmas.clone();
     child
@@ -85,7 +115,7 @@ pub(crate) fn run(machine: &Machine, parent: &mut MmInner, policy: ForkPolicy) -
     // child too (fork also copies every SOFT_DIRTY PTE bit below).
     child.dirty_ranges = parent.dirty_ranges.clone();
 
-    let result = copy_all(machine, parent, &mut child, policy);
+    let result = copy_all(machine, parent, &mut child, policy, &mut tally);
     if let Err(e) = result {
         // Failed mid-copy (allocation failure): unwind the partial child.
         // The wholesale rss copy above over-counts the pages actually
@@ -97,6 +127,19 @@ pub(crate) fn run(machine: &Machine, parent: &mut MmInner, policy: ForkPolicy) -
     }
     // The parent's write-protection changes require a TLB shootdown.
     VmStats::bump(&stats.tlb_flushes);
+    odf_trace::emit(Event::TlbFlush);
+    if let Some(t0) = start_ns {
+        let end = odf_trace::now_ns();
+        odf_trace::emit_at(
+            end,
+            Event::ForkEnd {
+                policy: policy.trace_kind(),
+                pte_copies: tally.pte_copies,
+                tables_shared: tally.tables_shared,
+                latency_ns: end - t0,
+            },
+        );
+    }
     Ok(child)
 }
 
@@ -105,6 +148,7 @@ fn copy_all(
     parent: &MmInner,
     child: &mut MmInner,
     policy: ForkPolicy,
+    tally: &mut ForkTally,
 ) -> Result<()> {
     // Iterate VMAs in address order, chunked at PTE-table (2 MiB) spans.
     let vmas: Vec<_> = parent.vmas.iter().cloned().collect();
@@ -113,7 +157,7 @@ fn copy_all(
         let end = VirtAddr::new(vma.end);
         while at < end {
             let chunk_end = at.pte_table_align_down().add(PTE_TABLE_SPAN).min(end);
-            copy_chunk(machine, parent, child, policy, vma, at, chunk_end)?;
+            copy_chunk(machine, parent, child, policy, vma, at, chunk_end, tally)?;
             at = chunk_end;
         }
     }
@@ -122,6 +166,7 @@ fn copy_all(
 
 /// Copies (or shares) the translations of one 2 MiB chunk restricted to
 /// `[at, chunk_end)` of one VMA.
+#[allow(clippy::too_many_arguments)]
 fn copy_chunk(
     machine: &Machine,
     parent: &MmInner,
@@ -130,6 +175,7 @@ fn copy_chunk(
     vma: &crate::vma::Vma,
     at: VirtAddr,
     chunk_end: VirtAddr,
+    tally: &mut ForkTally,
 ) -> Result<()> {
     let Some(parent_pmd) = walk::pmd_slot(machine, parent.pgd, at) else {
         return Ok(());
@@ -141,18 +187,20 @@ fn copy_chunk(
 
     if pe.is_huge() {
         if policy == ForkPolicy::OnDemandHuge
-            && try_share_pmd_table(machine, child, &parent_pmd, at)?
+            && try_share_pmd_table(machine, child, &parent_pmd, at, tally)?
         {
             return Ok(());
         }
-        return copy_huge_entry(machine, child, vma, &parent_pmd, pe, at);
+        return copy_huge_entry(machine, child, vma, &parent_pmd, pe, at, tally);
     }
 
     match policy {
         ForkPolicy::OnDemand | ForkPolicy::OnDemandHuge => {
-            share_pte_table(machine, child, &parent_pmd, pe, at)
+            share_pte_table(machine, child, &parent_pmd, pe, at, tally)
         }
-        ForkPolicy::Classic => copy_pte_range(machine, child, vma, pe.frame(), at, chunk_end),
+        ForkPolicy::Classic => {
+            copy_pte_range(machine, child, vma, pe.frame(), at, chunk_end, tally)
+        }
     }
 }
 
@@ -165,6 +213,7 @@ fn try_share_pmd_table(
     child: &mut MmInner,
     parent_pmd: &walk::PmdSlot,
     at: VirtAddr,
+    tally: &mut ForkTally,
 ) -> Result<bool> {
     let (child_pud, child_idx) = walk::pud_slot_create(machine, child.pgd, at)?;
     let existing = child_pud.load(child_idx);
@@ -192,6 +241,7 @@ fn try_share_pmd_table(
         Entry::table(parent_pmd.frame).with_cleared(EntryFlags::WRITABLE),
     );
     VmStats::bump(&machine.stats().fork_pmd_tables_shared);
+    tally.tables_shared += 1;
     Ok(true)
 }
 
@@ -202,6 +252,7 @@ fn share_pte_table(
     parent_pmd: &walk::PmdSlot,
     pe: Entry,
     at: VirtAddr,
+    tally: &mut ForkTally,
 ) -> Result<()> {
     let child_pmd = walk::pmd_slot_create(machine, child.pgd, at)?;
     if child_pmd.load().is_present() {
@@ -216,10 +267,12 @@ fn share_pte_table(
     // ...and the child references the same table, equally protected.
     child_pmd.store(Entry::table(table_frame).with_cleared(EntryFlags::WRITABLE));
     VmStats::bump(&machine.stats().fork_tables_shared);
+    tally.tables_shared += 1;
     Ok(())
 }
 
 /// Classic per-PTE copy of one chunk (the `copy_one_pte` loop of Figure 3).
+#[allow(clippy::too_many_arguments)]
 fn copy_pte_range(
     machine: &Machine,
     child: &mut MmInner,
@@ -227,6 +280,7 @@ fn copy_pte_range(
     parent_table_frame: FrameId,
     at: VirtAddr,
     chunk_end: VirtAddr,
+    tally: &mut ForkTally,
 ) -> Result<()> {
     let pool = machine.pool();
     let parent_table = machine.store().get(parent_table_frame);
@@ -267,6 +321,7 @@ fn copy_pte_range(
         copied += 1;
     }
     VmStats::add(&machine.stats().fork_pte_copies, copied);
+    tally.pte_copies += copied;
     Ok(())
 }
 
@@ -280,6 +335,7 @@ fn copy_huge_entry(
     parent_pmd: &walk::PmdSlot,
     pe: Entry,
     at: VirtAddr,
+    tally: &mut ForkTally,
 ) -> Result<()> {
     let child_pmd = walk::pmd_slot_create(machine, child.pgd, at)?;
     if child_pmd.load().is_present() {
@@ -305,5 +361,6 @@ fn copy_huge_entry(
     }
     child_pmd.store(ce);
     VmStats::bump(&machine.stats().fork_huge_copies);
+    tally.pte_copies += 1;
     Ok(())
 }

@@ -1,0 +1,397 @@
+//! Address-space introspection: the `/proc/<pid>/smaps` and
+//! `/proc/<pid>/pagemap` analogs.
+//!
+//! Both walk the real page tables under the shared `mm` lock, so they see
+//! exactly what the fault handler sees — including tables still shared
+//! from an On-demand fork, which `/proc` on a stock kernel cannot show.
+//! The paper's evaluation relies on this visibility to verify that fork
+//! deferred the copies it claims to defer (§5.2.3): `smaps()` splits each
+//! VMA's resident set into pages reached through *shared* versus
+//! *dedicated* tables, and `pagemap()` exposes per-page refcounts.
+
+use odf_pagetable::{Level, VirtAddr, ENTRIES_PER_TABLE};
+use odf_pmem::PAGE_SIZE;
+
+use crate::mm::Mm;
+use crate::walk;
+use crate::PTE_TABLE_SPAN;
+
+/// Per-VMA resident-set breakdown, one `/proc/<pid>/smaps` record.
+///
+/// All byte totals count 4 KiB page frames actually present in the page
+/// tables (huge mappings contribute their clamped sub-range).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SmapsEntry {
+    /// Inclusive VMA start address.
+    pub start: u64,
+    /// Exclusive VMA end address.
+    pub end: u64,
+    /// Reads permitted.
+    pub read: bool,
+    /// Writes permitted.
+    pub write: bool,
+    /// `MAP_SHARED` semantics.
+    pub map_shared: bool,
+    /// Resident bytes (`Rss:`).
+    pub rss: u64,
+    /// Resident bytes whose page is referenced by more than one mapping,
+    /// or reached through a page table still shared from an On-demand
+    /// fork — ODF defers the refcount increments, so table sharing *is*
+    /// logical page sharing (`Shared_Clean + Shared_Dirty` analog).
+    pub shared: u64,
+    /// Resident bytes exclusive to this address space (`Private_*`).
+    pub private: u64,
+    /// Resident bytes mapped by 2 MiB PMD entries (`AnonHugePages:`).
+    pub huge: u64,
+    /// Last-level tables in this VMA still shared from an On-demand fork
+    /// (no `/proc` equivalent; the deferred-copy backlog of §3.1).
+    pub shared_tables: u64,
+}
+
+/// A full `smaps()` report: per-VMA entries plus whole-space totals.
+#[derive(Clone, Debug, Default)]
+pub struct Smaps {
+    /// One entry per VMA, in address order.
+    pub entries: Vec<SmapsEntry>,
+}
+
+impl Smaps {
+    /// Total resident bytes across all VMAs.
+    pub fn rss(&self) -> u64 {
+        self.entries.iter().map(|e| e.rss).sum()
+    }
+
+    /// Total shared resident bytes.
+    pub fn shared(&self) -> u64 {
+        self.entries.iter().map(|e| e.shared).sum()
+    }
+
+    /// Total private resident bytes.
+    pub fn private(&self) -> u64 {
+        self.entries.iter().map(|e| e.private).sum()
+    }
+
+    /// Total huge-mapped resident bytes.
+    pub fn huge(&self) -> u64 {
+        self.entries.iter().map(|e| e.huge).sum()
+    }
+
+    /// Total last-level tables still shared from an On-demand fork.
+    pub fn shared_tables(&self) -> u64 {
+        self.entries.iter().map(|e| e.shared_tables).sum()
+    }
+
+    /// Renders the report in `/proc/<pid>/smaps` style.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.entries {
+            out.push_str(&format!(
+                "{:012x}-{:012x} {}{}{}\n",
+                e.start,
+                e.end,
+                if e.read { 'r' } else { '-' },
+                if e.write { 'w' } else { '-' },
+                if e.map_shared { 's' } else { 'p' },
+            ));
+            out.push_str(&format!(
+                "Size:           {:8} kB\n",
+                (e.end - e.start) / 1024
+            ));
+            out.push_str(&format!("Rss:            {:8} kB\n", e.rss / 1024));
+            out.push_str(&format!("Shared:         {:8} kB\n", e.shared / 1024));
+            out.push_str(&format!("Private:        {:8} kB\n", e.private / 1024));
+            out.push_str(&format!("AnonHugePages:  {:8} kB\n", e.huge / 1024));
+            out.push_str(&format!("SharedPtTables: {:8}\n", e.shared_tables));
+        }
+        out.push_str(&format!(
+            "Total Rss: {} kB, Shared: {} kB, Private: {} kB, SharedPtTables: {}\n",
+            self.rss() / 1024,
+            self.shared() / 1024,
+            self.private() / 1024,
+            self.shared_tables(),
+        ));
+        out
+    }
+}
+
+/// One page's translation state, a `/proc/<pid>/pagemap` record (plus the
+/// refcount, which real pagemap keeps in `/proc/kpagecount`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PagemapEntry {
+    /// Virtual address of the 4 KiB page.
+    pub va: u64,
+    /// Whether a translation is present.
+    pub present: bool,
+    /// Effective writability: the AND of the PUD, PMD, and PTE writable
+    /// bits (hierarchical attributes, §3.2) — false for a resident page
+    /// whose write would fault (COW or shared-table write-protection).
+    pub writable: bool,
+    /// Mapped by a 2 MiB PMD entry.
+    pub huge: bool,
+    /// Written since the last soft-dirty epoch.
+    pub soft_dirty: bool,
+    /// Backing frame index (0 when not present).
+    pub frame: u64,
+    /// Reference count of the backing page's compound head (0 when not
+    /// present). Under ODF this stays at the pre-fork value until the
+    /// shared table is COWed, which is exactly the deferral the paper
+    /// measures.
+    pub refcount: u64,
+}
+
+impl Mm {
+    /// Builds the `/proc/<pid>/smaps` analog: per-VMA resident-set
+    /// breakdowns, computed by walking the page tables under the shared
+    /// `mm` lock.
+    pub fn smaps(&self) -> Smaps {
+        let inner = self.inner.read();
+        let machine = self.machine();
+        let pool = machine.pool();
+        let mut report = Smaps::default();
+        for vma in inner.vmas.iter() {
+            let mut e = SmapsEntry {
+                start: vma.start,
+                end: vma.end,
+                read: vma.prot.read,
+                write: vma.prot.write,
+                map_shared: vma.shared,
+                ..SmapsEntry::default()
+            };
+            let mut at = VirtAddr::new(vma.start);
+            let end = VirtAddr::new(vma.end);
+            while at < end {
+                let chunk_end = at.pte_table_align_down().add(PTE_TABLE_SPAN).min(end);
+                if let Some(pmd) = walk::pmd_slot(machine, inner.pgd, at) {
+                    let pmd_shared = pool.pt_share_count(pmd.frame) > 1;
+                    let pe = pmd.load();
+                    if pe.is_present() {
+                        if pe.is_huge() {
+                            let bytes = chunk_end.as_u64() - at.as_u64();
+                            let head = pool.compound_head(pe.frame());
+                            let shared = pmd_shared || pool.ref_count(head) > 1;
+                            e.rss += bytes;
+                            e.huge += bytes;
+                            if shared {
+                                e.shared += bytes;
+                            } else {
+                                e.private += bytes;
+                            }
+                        } else {
+                            let table_shared = pool.pt_share_count(pe.frame()) > 1;
+                            if table_shared {
+                                e.shared_tables += 1;
+                            }
+                            // The walk holds only the shared mm lock, so a
+                            // sibling fault can COW this slot and the old
+                            // table can vanish between the entry read and
+                            // the lookup. Skip the span mid-transition —
+                            // /proc/<pid>/smaps is the same kind of racy
+                            // snapshot.
+                            let Some(table) = machine.store().try_get(pe.frame()) else {
+                                at = chunk_end;
+                                continue;
+                            };
+                            let first = at.index(Level::Pte);
+                            let count = ((chunk_end.as_u64() - at.as_u64()) as usize) / PAGE_SIZE;
+                            for idx in first..(first + count).min(ENTRIES_PER_TABLE) {
+                                let pte = table.load(idx);
+                                if !pte.is_present() {
+                                    continue;
+                                }
+                                let head = pool.compound_head(pte.frame());
+                                let shared = table_shared || pool.ref_count(head) > 1;
+                                e.rss += PAGE_SIZE as u64;
+                                if shared {
+                                    e.shared += PAGE_SIZE as u64;
+                                } else {
+                                    e.private += PAGE_SIZE as u64;
+                                }
+                            }
+                        }
+                    }
+                }
+                at = chunk_end;
+            }
+            report.entries.push(e);
+        }
+        report
+    }
+
+    /// Builds the `/proc/<pid>/pagemap` analog for `[start, start+len)`:
+    /// one entry per 4 KiB page, walked under the shared `mm` lock.
+    /// Addresses are page-aligned down/up; unmapped pages report
+    /// `present: false`.
+    pub fn pagemap(&self, start: u64, len: u64) -> Vec<PagemapEntry> {
+        let mut out = Vec::new();
+        if len == 0 {
+            return out;
+        }
+        let inner = self.inner.read();
+        let machine = self.machine();
+        let pool = machine.pool();
+        let first = VirtAddr::new(start).page_align_down();
+        let end = VirtAddr::new(start + len - 1).add(1).page_align_up();
+        let mut at = first;
+        while at < end {
+            let chunk_end = at.pte_table_align_down().add(PTE_TABLE_SPAN).min(end);
+            let absent = |at: VirtAddr| PagemapEntry {
+                va: at.as_u64(),
+                present: false,
+                writable: false,
+                huge: false,
+                soft_dirty: false,
+                frame: 0,
+                refcount: 0,
+            };
+            let Some(pmd) = walk::pmd_slot(machine, inner.pgd, at) else {
+                while at < chunk_end {
+                    out.push(absent(at));
+                    at = at.add(PAGE_SIZE as u64);
+                }
+                continue;
+            };
+            let pud_writable = pmd.load_pud().is_writable();
+            let pe = pmd.load();
+            if !pe.is_present() {
+                while at < chunk_end {
+                    out.push(absent(at));
+                    at = at.add(PAGE_SIZE as u64);
+                }
+                continue;
+            }
+            if pe.is_huge() {
+                let head = pool.compound_head(pe.frame());
+                let refcount = u64::from(pool.ref_count(head));
+                while at < chunk_end {
+                    let sub = at.index(Level::Pte);
+                    out.push(PagemapEntry {
+                        va: at.as_u64(),
+                        present: true,
+                        writable: pud_writable && pe.is_writable(),
+                        huge: true,
+                        soft_dirty: pe.is_soft_dirty(),
+                        frame: pe.frame().offset(sub).index() as u64,
+                        refcount,
+                    });
+                    at = at.add(PAGE_SIZE as u64);
+                }
+                continue;
+            }
+            let pmd_writable = pe.is_writable();
+            // Shared-mm-lock walk: the slot can be COWed (and the old
+            // table freed) between the entry read and this lookup. Report
+            // the span absent for this racy snapshot rather than panic.
+            let Some(table) = machine.store().try_get(pe.frame()) else {
+                while at < chunk_end {
+                    out.push(absent(at));
+                    at = at.add(PAGE_SIZE as u64);
+                }
+                continue;
+            };
+            while at < chunk_end {
+                let pte = table.load(at.index(Level::Pte));
+                if pte.is_present() {
+                    let head = pool.compound_head(pte.frame());
+                    out.push(PagemapEntry {
+                        va: at.as_u64(),
+                        present: true,
+                        writable: pud_writable && pmd_writable && pte.is_writable(),
+                        huge: false,
+                        soft_dirty: pte.is_soft_dirty(),
+                        frame: pte.frame().index() as u64,
+                        refcount: u64::from(pool.ref_count(head)),
+                    });
+                } else {
+                    out.push(absent(at));
+                }
+                at = at.add(PAGE_SIZE as u64);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fork::ForkPolicy;
+    use crate::machine::Machine;
+    use crate::vma::MapParams;
+    use crate::HUGE_PAGE_SIZE;
+
+    fn mm() -> Mm {
+        Mm::new(Machine::new(128 << 20)).unwrap()
+    }
+
+    #[test]
+    fn smaps_rss_matches_report_and_splits_private() {
+        let mm = mm();
+        let a = mm.mmap(8 * PAGE_SIZE as u64, MapParams::anon_rw()).unwrap();
+        mm.write(a, &[1]).unwrap();
+        mm.write(a + 5 * PAGE_SIZE as u64, &[2]).unwrap();
+        let s = mm.smaps();
+        assert_eq!(s.entries.len(), 1);
+        assert_eq!(s.rss(), 2 * PAGE_SIZE as u64);
+        assert_eq!(s.rss(), mm.report().rss_pages * PAGE_SIZE as u64);
+        assert_eq!(s.private(), s.rss(), "no fork yet: everything private");
+        assert_eq!(s.shared(), 0);
+        assert_eq!(s.shared_tables(), 0);
+    }
+
+    #[test]
+    fn odf_fork_flips_resident_pages_to_shared_via_table_sharing() {
+        let mm = mm();
+        let a = mm.mmap(4 * PAGE_SIZE as u64, MapParams::anon_rw()).unwrap();
+        mm.write(a, &[7]).unwrap();
+        let child = mm.fork(ForkPolicy::OnDemand).unwrap();
+        // ODF deferred the refcounts; sharing is visible via the table.
+        let s = mm.smaps();
+        assert_eq!(s.shared(), PAGE_SIZE as u64);
+        assert_eq!(s.private(), 0);
+        assert_eq!(s.shared_tables(), 1);
+        // The child COWs its table on write; the parent's page then shows
+        // genuinely shared (refcount 2) until the child's data COW.
+        child.write_u64(a, 9).unwrap();
+        let s = mm.smaps();
+        assert_eq!(s.shared_tables(), 0, "child copied the table away");
+        drop(child);
+        assert_eq!(mm.smaps().private(), PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn pagemap_reports_translation_state_per_page() {
+        let mm = mm();
+        let a = mm.mmap(4 * PAGE_SIZE as u64, MapParams::anon_rw()).unwrap();
+        mm.write(a + PAGE_SIZE as u64, &[3]).unwrap();
+        let pm = mm.pagemap(a, 4 * PAGE_SIZE as u64);
+        assert_eq!(pm.len(), 4);
+        assert!(!pm[0].present);
+        assert!(pm[1].present && pm[1].writable && pm[1].soft_dirty);
+        assert_eq!(pm[1].refcount, 1);
+        assert_eq!(pm[1].va, a + PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn pagemap_sees_odf_write_protection_and_huge_mappings() {
+        let mm = mm();
+        let a = mm.mmap(4 * PAGE_SIZE as u64, MapParams::anon_rw()).unwrap();
+        mm.write(a, &[7]).unwrap();
+        let child = mm.fork(ForkPolicy::OnDemand).unwrap();
+        let pm = mm.pagemap(a, PAGE_SIZE as u64);
+        assert!(pm[0].present);
+        assert!(
+            !pm[0].writable,
+            "fork write-protected the chunk through the PMD bit"
+        );
+        drop(child);
+
+        let h = mm
+            .mmap(HUGE_PAGE_SIZE as u64, MapParams::anon_rw_huge())
+            .unwrap();
+        mm.write(h, &[1]).unwrap();
+        let pm = mm.pagemap(h, HUGE_PAGE_SIZE as u64);
+        assert_eq!(pm.len(), ENTRIES_PER_TABLE);
+        assert!(pm.iter().all(|p| p.present && p.huge));
+        assert_eq!(pm[1].frame, pm[0].frame + 1, "consecutive sub-frames");
+    }
+}

@@ -36,6 +36,7 @@ mod error;
 mod fault;
 mod file;
 mod fork;
+mod introspect;
 mod machine;
 mod mm;
 mod prot;
@@ -48,6 +49,7 @@ mod walk;
 pub use error::{Result, VmError};
 pub use file::VmFile;
 pub use fork::ForkPolicy;
+pub use introspect::{PagemapEntry, Smaps, SmapsEntry};
 pub use machine::Machine;
 pub use mm::{Mm, MmReport};
 pub use prot::Prot;

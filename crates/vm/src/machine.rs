@@ -147,6 +147,9 @@ impl Machine {
             }
             None => false,
         });
+        odf_trace::emit(odf_trace::Event::Reclaim {
+            frames_freed: freed as u64,
+        });
         freed
     }
 }

@@ -359,6 +359,7 @@ impl Mm {
         let mut inner = self.inner.write();
         inner.destroy(&self.machine);
         VmStats::bump(&self.machine.stats().tlb_flushes);
+        odf_trace::emit(odf_trace::Event::TlbFlush);
     }
 }
 

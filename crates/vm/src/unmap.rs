@@ -97,6 +97,7 @@ pub(crate) fn zap_range(machine: &Machine, inner: &mut MmInner, start: u64, end:
         at = chunk_end;
     }
     VmStats::bump(&machine.stats().tlb_flushes);
+    odf_trace::emit(odf_trace::Event::TlbFlush);
 }
 
 /// Applies the §3.3 rules one level up for a shared PMD table: if this
@@ -430,6 +431,7 @@ fn move_mappings(
         at = chunk_end;
     }
     VmStats::bump(&machine.stats().tlb_flushes);
+    odf_trace::emit(odf_trace::Event::TlbFlush);
     Ok(())
 }
 
@@ -473,6 +475,7 @@ pub(crate) fn mprotect(
         wrprotect_range(machine, inner, start, end);
     }
     VmStats::bump(&machine.stats().tlb_flushes);
+    odf_trace::emit(odf_trace::Event::TlbFlush);
     Ok(())
 }
 

@@ -172,6 +172,14 @@ pub(crate) struct Translation {
 /// — the CPU keeps setting accessed bits on entries of shared tables, and
 /// the dirty bit can never be set through one because writes through a
 /// shared table are never permitted.
+///
+/// The walk is lock-free, so every level below the PGD resolves with
+/// `try_get`: an entry read here can go stale before its table is looked
+/// up — a sibling fault COWs the slot, the table's last co-referent exits,
+/// and the table vanishes from the store (the kernel RCU-frees page tables
+/// so its lockless walkers survive the same window). A vanished table
+/// reads as "not present": the caller raises a fault, which re-resolves
+/// under the mm lock, and the access loop retries.
 pub(crate) fn translate(
     machine: &Machine,
     pgd: FrameId,
@@ -184,13 +192,13 @@ pub(crate) fn translate(
         return None;
     }
     let mut writable = pud_e.is_writable();
-    let pud_table = machine.store().get(pud_e.frame());
+    let pud_table = machine.store().try_get(pud_e.frame())?;
     let pmd_te = pud_table.load(va.index(Level::Pud));
     if !pmd_te.is_present() {
         return None;
     }
     writable &= pmd_te.is_writable();
-    let pmd_table = machine.store().get(pmd_te.frame());
+    let pmd_table = machine.store().try_get(pmd_te.frame())?;
     let pmd_idx = va.index(Level::Pmd);
     let pmd_e = pmd_table.load(pmd_idx);
     if !pmd_e.is_present() {
@@ -211,7 +219,7 @@ pub(crate) fn translate(
             writable,
         });
     }
-    let pte_table = machine.store().get(pmd_e.frame());
+    let pte_table = machine.store().try_get(pmd_e.frame())?;
     let pte_idx = va.index(Level::Pte);
     let pte = pte_table.load(pte_idx);
     if !pte.is_present() {

@@ -1,0 +1,190 @@
+//! Workspace-level observability acceptance: the trace layer, the
+//! introspection surface, and the exporters, exercised by the same
+//! concurrent fault workloads the correctness suites use.
+//!
+//! The tracing layer is process-global (per-thread rings behind one enable
+//! flag), so every test that toggles it serializes on [`TRACE_GATE`].
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use odf_core::{ForkPolicy, Kernel};
+use odf_pmem::assert_pool_balanced;
+use odf_trace::FaultKind;
+
+const MIB: u64 = 1 << 20;
+const PAGE: u64 = 4096;
+
+fn trace_gate() -> std::sync::MutexGuard<'static, ()> {
+    static TRACE_GATE: OnceLock<Mutex<()>> = OnceLock::new();
+    TRACE_GATE
+        .get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+/// The acceptance workload: fork with shared tables, then four threads
+/// write-fault interleaved slices of the child concurrently. Every first
+/// touch of a 2 MiB span pays a table COW, every page a data COW, and
+/// threads racing on the same span exercise the lost-install-race path.
+#[test]
+fn concurrent_fault_workload_yields_per_kind_latency_and_chrome_dump() {
+    let _gate = trace_gate();
+    odf_trace::set_enabled(true);
+    odf_trace::clear();
+
+    let kernel = Kernel::new(256 * MIB);
+    let baseline = kernel.machine().pool().balance();
+    let parent = kernel.spawn().unwrap();
+    let size = 32 * MIB;
+    let addr = parent.mmap_anon(size).unwrap();
+    parent.populate(addr, size, true).unwrap();
+
+    let before = kernel.stats();
+    let child = Arc::new(parent.fork_with(ForkPolicy::OnDemand).unwrap());
+    let threads = 4u64;
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let child = Arc::clone(&child);
+            s.spawn(move || {
+                // Interleaved pages: all threads touch every 2 MiB span,
+                // so table-COW install races are actually contended.
+                for page in (t..size / PAGE).step_by(threads as usize) {
+                    child.write_u64(addr + page * PAGE, page).unwrap();
+                }
+            });
+        }
+    });
+    let delta = kernel.stats() - before;
+
+    let trace = odf_trace::snapshot();
+    odf_trace::set_enabled(false);
+    let summary = trace.summary();
+
+    // Per-fault-kind latency percentiles exist for the kinds the workload
+    // must have produced (data COW on every page; table COW per span).
+    for kind in [FaultKind::CowData, FaultKind::TableCow] {
+        let hist = summary
+            .fault_hist(kind)
+            .unwrap_or_else(|| panic!("no {kind:?} histogram"));
+        assert!(hist.count() > 0, "{kind:?} count");
+        assert!(hist.percentile(50.0) > 0, "{kind:?} p50");
+        assert!(
+            hist.percentile(99.0) >= hist.percentile(50.0),
+            "{kind:?} p99"
+        );
+    }
+
+    // Lost install races surfaced by the trace agree with the kernel
+    // counters: the ring is lossy (drop-oldest), so the trace can only
+    // undercount, never invent races.
+    assert!(summary.lost_install_races() <= delta.vm.install_races_lost);
+
+    // The same trace renders as a chrome://tracing document.
+    let chrome = trace.chrome_json();
+    assert!(
+        chrome.starts_with(r#"{"displayTimeUnit":"ns","traceEvents":["#),
+        "{}",
+        &chrome[..40]
+    );
+    assert!(chrome.contains(r#""name":"fault:cow_data""#));
+
+    drop(child);
+    drop(parent);
+    assert_pool_balanced(kernel.machine().pool(), baseline);
+}
+
+/// smaps totals must agree *exactly* with the kernel's own accounting on a
+/// deterministic single-threaded workload: RSS with the VM report, and the
+/// shared/private split with what a COW fork implies.
+#[test]
+fn smaps_totals_agree_with_kernel_accounting() {
+    let kernel = Kernel::new(128 * MIB);
+    let baseline = kernel.machine().pool().balance();
+    let parent = kernel.spawn().unwrap();
+    let size = 8 * MIB;
+    let addr = parent.mmap_anon(size).unwrap();
+    parent.populate(addr, size, true).unwrap();
+
+    // Before the fork: everything resident is private.
+    let s = parent.smaps();
+    assert_eq!(s.rss(), parent.memory_report().rss_pages * PAGE);
+    assert_eq!(s.shared(), 0);
+    assert_eq!(s.private(), s.rss());
+
+    // After an on-demand fork the whole region is reachable through
+    // shared tables: resident bytes flip to shared, none are private.
+    let child = parent.fork_with(ForkPolicy::OnDemand).unwrap();
+    let s = parent.smaps();
+    assert_eq!(s.rss(), parent.memory_report().rss_pages * PAGE);
+    assert_eq!(s.rss(), s.shared() + s.private());
+    assert!(
+        s.shared() >= size,
+        "post-fork shared {} < {size}",
+        s.shared()
+    );
+
+    // The child privatizes half the region; its smaps must show exactly
+    // the COW'd pages as private, and the kernel's COW counter must agree
+    // with that page count.
+    let before = kernel.stats();
+    let half = size / 2;
+    for page in 0..half / PAGE {
+        child.write_u64(addr + page * PAGE, page).unwrap();
+    }
+    let delta = kernel.stats() - before;
+    let cs = child.smaps();
+    assert_eq!(cs.private(), delta.vm.cow_data_copies * PAGE);
+    assert_eq!(cs.rss(), child.memory_report().rss_pages * PAGE);
+
+    child.exit();
+    parent.exit();
+    assert_pool_balanced(kernel.machine().pool(), baseline);
+}
+
+/// The exporters agree with each other: every counter in the Prometheus
+/// text shows up in the JSON document, and the kvstore INFO text carries
+/// the same RSS the process's smaps reports.
+#[test]
+fn exporters_are_mutually_consistent() {
+    let kernel = Kernel::new(128 * MIB);
+    let proc = kernel.spawn().unwrap();
+    let addr = proc.mmap_anon(2 * MIB).unwrap();
+    proc.populate(addr, 2 * MIB, true).unwrap();
+
+    let prom = kernel.metrics_prometheus();
+    let json = kernel.metrics_json();
+    for line in prom.lines() {
+        if let Some(name) = line
+            .strip_prefix("odf_vm_")
+            .and_then(|r| r.split_whitespace().next())
+        {
+            let key = name.trim_end_matches("_total");
+            assert!(
+                json.contains(&format!("\"{key}\"")),
+                "{key} missing in JSON"
+            );
+        }
+    }
+    // No duplicate sample names (the PromText builder panics on exact
+    // duplicates; this checks the assembled document end-to-end).
+    let mut names: Vec<&str> = prom
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .filter_map(|l| l.split([' ', '{']).next())
+        .collect();
+    let total = names.len();
+    names.sort_unstable();
+    names.dedup();
+    assert!(total > 0);
+    // Quantile summaries repeat the name with different labels; dedup by
+    // full sample key instead for the un-labeled lines.
+    let mut plain: Vec<&str> = prom
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty() && !l.contains('{'))
+        .map(|l| l.split(' ').next().unwrap())
+        .collect();
+    let plain_total = plain.len();
+    plain.sort_unstable();
+    plain.dedup();
+    assert_eq!(plain_total, plain.len(), "duplicate plain sample names");
+}
