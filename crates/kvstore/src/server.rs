@@ -48,6 +48,12 @@ impl Default for ServerConfig {
 /// Outcome of one background snapshot.
 #[derive(Clone, Debug)]
 pub struct SnapshotReport {
+    /// Submission index of the `bgsave` that produced this report
+    /// (0-based). Serializer threads finish in arbitrary order — a small
+    /// delta image completes before the full base it follows — so
+    /// [`Server::wait_snapshots`] sorts by this field to hand reports back
+    /// in the order the snapshots were taken.
+    pub seq: u64,
     /// Time spent inside the fork call, in nanoseconds (the
     /// `latest_fork_usec` analog — the window during which the server
     /// cannot serve).
@@ -177,6 +183,7 @@ impl Server {
         let child = self.proc.fork_with(self.config.fork_policy)?;
         let fork_ns = sw.elapsed_ns();
         self.fork_times.record(fork_ns as f64);
+        let seq = self.fork_times.count() - 1;
 
         // The child carries the parent's soft-dirty view frozen at fork
         // time; it serializes epoch `n` while the parent starts
@@ -206,6 +213,7 @@ impl Server {
             if let Ok(dump) = store.serialize(&child) {
                 let items = u64::from_le_bytes(dump[0..8].try_into().expect("header"));
                 let _ = tx.send(SnapshotReport {
+                    seq,
                     fork_ns,
                     dump_bytes: dump.len(),
                     items,
@@ -221,7 +229,8 @@ impl Server {
     }
 
     /// Waits for all in-flight snapshots and returns every completed
-    /// report so far.
+    /// report so far, in the order the snapshots were submitted (the
+    /// channel delivers in *completion* order, which races).
     pub fn wait_snapshots(&mut self) -> &[SnapshotReport] {
         for h in self.pending.drain(..) {
             let _ = h.join();
@@ -229,6 +238,7 @@ impl Server {
         while let Ok(r) = self.results_rx.try_recv() {
             self.completed.push(r);
         }
+        self.completed.sort_by_key(|r| r.seq);
         &self.completed
     }
 

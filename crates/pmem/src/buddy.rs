@@ -71,7 +71,9 @@ impl Buddy {
         self.free_frames
     }
 
-    /// Total base frames managed.
+    /// Total base frames managed. Production accounting uses the pool's
+    /// cached size; this stays for the allocator's own tests.
+    #[cfg(test)]
     pub(crate) fn total_frames(&self) -> usize {
         self.total_frames
     }
@@ -125,6 +127,34 @@ impl Buddy {
         }
         self.free_frames -= 1usize << order;
         Some(FrameId(frame))
+    }
+
+    /// Allocates up to `max` blocks of `2^order` frames in one pass,
+    /// appending them to `out`. Returns how many blocks were obtained.
+    ///
+    /// This is the magazine-refill entry point: one lock acquisition (held
+    /// by the caller) is amortized over the whole batch instead of being
+    /// paid per block.
+    pub(crate) fn alloc_bulk(&mut self, order: u8, max: usize, out: &mut Vec<FrameId>) -> usize {
+        let mut got = 0;
+        while got < max {
+            match self.alloc(order) {
+                Some(f) => {
+                    out.push(f);
+                    got += 1;
+                }
+                None => break,
+            }
+        }
+        got
+    }
+
+    /// Frees a batch of blocks in one pass (the magazine-drain /
+    /// mmu_gather-flush entry point). Each entry is `(head, order)`.
+    pub(crate) fn free_bulk(&mut self, blocks: &[(FrameId, u8)]) {
+        for &(frame, order) in blocks {
+            self.free(frame, order);
+        }
     }
 
     /// Frees a block previously returned by [`Buddy::alloc`] with the same
@@ -225,6 +255,29 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 1000);
+    }
+
+    #[test]
+    fn bulk_alloc_and_free_round_trip() {
+        let mut b = Buddy::new(256);
+        let mut batch = Vec::new();
+        assert_eq!(b.alloc_bulk(0, 32, &mut batch), 32);
+        assert_eq!(batch.len(), 32);
+        assert_eq!(b.free_frames(), 256 - 32);
+        let blocks: Vec<(FrameId, u8)> = batch.iter().map(|&f| (f, 0)).collect();
+        b.free_bulk(&blocks);
+        assert_eq!(b.free_frames(), 256);
+        // Everything merged back; the largest block is allocatable again.
+        assert!(b.alloc(8).is_some());
+    }
+
+    #[test]
+    fn bulk_alloc_is_truncated_by_exhaustion() {
+        let mut b = Buddy::new(8);
+        let mut batch = Vec::new();
+        assert_eq!(b.alloc_bulk(0, 32, &mut batch), 8);
+        assert_eq!(b.free_frames(), 0);
+        assert_eq!(b.alloc_bulk(0, 4, &mut batch), 0);
     }
 
     #[test]

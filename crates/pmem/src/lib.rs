@@ -7,9 +7,12 @@
 //! Figure 3 of the paper). This crate reproduces that substrate in user
 //! space:
 //!
-//! - [`FramePool`]: a fixed-size pool of 4 KiB physical frames with a buddy
-//!   allocator supporting orders 0 (4 KiB) through 9 (2 MiB compound pages,
-//!   the "huge page" backing).
+//! - [`FramePool`]: a fixed-size pool of 4 KiB physical frames with a
+//!   tiered allocator — per-thread frame magazines (the pcplist analog,
+//!   bulk refill/drain) in front of a buddy allocator supporting orders 0
+//!   (4 KiB) through 9 (2 MiB compound pages, the "huge page" backing) —
+//!   plus [`FreeBatch`], the mmu_gather analog that returns whole unmap
+//!   sweeps to the pool under one lock.
 //! - [`Page`]: per-frame metadata with a **real atomic reference counter**
 //!   and a field that, exactly like the paper's implementation trick (§4,
 //!   "Memory Usage"), is reused as the shared-page-table reference counter
@@ -30,12 +33,16 @@
 mod buddy;
 mod error;
 mod frame;
+mod gather;
 mod page;
+mod pcp;
 mod pool;
+mod spin;
 mod stats;
 
 pub use error::{PmemError, Result};
 pub use frame::{FrameId, HUGE_ORDER, HUGE_PAGE_SIZE, MAX_ORDER, PAGE_SHIFT, PAGE_SIZE};
+pub use gather::FreeBatch;
 pub use page::{Page, PageFlags, PageKind};
 pub use pool::{assert_pool_balanced, FramePool, PoolBalance};
 pub use stats::{PoolStats, StatsSnapshot};

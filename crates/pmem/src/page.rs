@@ -25,6 +25,11 @@ impl PageFlags {
     pub const FILE: u32 = 1 << 5;
     /// The frame content diverged from its backing file.
     pub const DIRTY: u32 = 1 << 6;
+    /// The frame has a materialized data buffer. Set under the frame's
+    /// data lock on first write; lets teardown of never-written frames
+    /// (page tables, clean sweeps, allocator churn) skip the data lock
+    /// entirely. Cleared with the rest of the flags on free.
+    pub const HAS_DATA: u32 = 1 << 7;
 
     /// Bit offset where the compound order is stored (head frames only).
     const ORDER_SHIFT: u32 = 24;
@@ -152,6 +157,16 @@ impl Page {
         self.refcount.fetch_add(1, Ordering::AcqRel)
     }
 
+    /// Atomically adds `n` to the reference count and returns the previous
+    /// value. One `fetch_add` covers a run of references taken on the same
+    /// page (the batched-fork path): the RMW is indivisible, so concurrent
+    /// `ref_dec`s observe either none or all of the run — the same set of
+    /// observable states `n` separate `ref_inc` calls permit, minus the
+    /// interleavings where a decrement lands mid-run.
+    pub(crate) fn ref_add(&self, n: u32) -> u32 {
+        self.refcount.fetch_add(n, Ordering::AcqRel)
+    }
+
     /// Atomically increments the reference count unless it is zero — the
     /// `get_page_unless_zero` of the kernel's lock-free GUP path. Returns
     /// whether a reference was taken; a dead (count-zero) page must never
@@ -262,6 +277,17 @@ mod tests {
         assert_eq!(p.ref_count(), 2);
         assert_eq!(p.ref_dec(), 1);
         assert_eq!(p.ref_dec(), 0);
+    }
+
+    #[test]
+    fn ref_add_is_equivalent_to_n_incs() {
+        let p = Page::new();
+        p.set_allocated(0, 0);
+        assert_eq!(p.ref_add(5), 1);
+        assert_eq!(p.ref_count(), 6);
+        for expect in (0..6u32).rev() {
+            assert_eq!(p.ref_dec(), expect);
+        }
     }
 
     #[test]

@@ -1,0 +1,325 @@
+//! Per-thread frame magazines: the pcplist analog in front of the buddy.
+//!
+//! Linux keeps order-0 (and, since 5.13, pageblock-order) free pages on
+//! per-CPU lists (`struct per_cpu_pages`) so the page allocator fast path
+//! never touches the zone lock; refill and spill move pages between the
+//! pcplist and the buddy in batches, amortizing one lock acquisition over
+//! `pcp->batch` pages. This module reproduces that tier in user space:
+//!
+//! - [`PcpCache`] holds a fixed array of cache-line-padded, mutex-guarded
+//!   [`Magazine`]s. Threads are assigned a slot round-robin on first use,
+//!   so with up to [`SLOTS`] concurrently allocating threads every thread
+//!   has an uncontended fast path (a slot mutex nobody else holds).
+//! - Each magazine has two lanes: order-0 frames (data pages and page
+//!   tables) and order-[`HUGE_ORDER`] blocks (2 MiB compound pages) — the
+//!   two orders the fork/fault paths allocate.
+//! - An empty lane refills from the buddy via [`Buddy::alloc_bulk`] (one
+//!   lock for the whole batch); a lane past its watermark spills the
+//!   coldest half back via [`Buddy::free_bulk`].
+//! - [`PcpCache::drain_all`] returns every cached block to the buddy so
+//!   whole-pool accounting ([`crate::PoolBalance`]) stays exact and
+//!   fragmented order-0 frames can merge back into huge blocks.
+//!
+//! Frames parked in a magazine are *free*: their [`crate::Page`] metadata
+//! is in the `Free` state and their data buffers are dropped, exactly as
+//! if they sat in the buddy. Only the pool's bookkeeping knows which tier
+//! a free frame is in, which is why magazine transfers emit the dedicated
+//! `MagRefill`/`MagDrain` trace events instead of per-frame
+//! `FrameAlloc`/`FrameFree` records.
+//!
+//! Lock order: a slot mutex is always acquired before the buddy spinlock,
+//! and never two slot mutexes at once (drain iterates slots one at a
+//! time), so the hierarchy is two levels deep and cycle-free. The slot
+//! mutexes stay sleeping locks (the kernel's pcplists are per-CPU and
+//! lock-free; an uncontended futex mutex is the closest cheap analog),
+//! while the buddy behind them carries the kernel's spinning `zone->lock`
+//! cost model ([`crate::spin`]).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use parking_lot::Mutex;
+
+use crate::buddy::Buddy;
+use crate::frame::{FrameId, HUGE_ORDER};
+use crate::spin::SpinMutex;
+use crate::stats::PoolStats;
+
+/// Number of magazine slots (the per-CPU analog). More slots than the
+/// machine has cores costs only idle memory; fewer would re-serialize
+/// threads that hash to the same slot.
+pub(crate) const SLOTS: usize = 16;
+
+/// Blocks moved per order-0 refill/spill (`pcp->batch`).
+const SMALL_BATCH: usize = 32;
+
+/// Blocks moved per huge-order refill/spill. Huge blocks are 512 frames
+/// each, so a small batch already amortizes the lock while keeping at most
+/// a few MiB of simulated memory parked per thread.
+const HUGE_BATCH: usize = 4;
+
+/// A lane spills back to the buddy when it grows past `2 * batch` blocks
+/// (the kernel's `pcp->high` watermark).
+fn high_watermark(batch: usize) -> usize {
+    2 * batch
+}
+
+/// Round-robin slot assignment: each thread claims an index on first
+/// allocator use and keeps it for life. Shared across pools — the index
+/// is just a stripe selector.
+static NEXT_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static MY_SLOT: usize = NEXT_SLOT.fetch_add(1, Ordering::Relaxed) % SLOTS;
+}
+
+/// One thread-slot's cached free blocks, LIFO per lane (the most recently
+/// freed block is the warmest and is handed out first).
+#[derive(Default)]
+struct Magazine {
+    small: Vec<FrameId>,
+    huge: Vec<FrameId>,
+}
+
+impl Magazine {
+    fn lane_mut(&mut self, order: u8) -> &mut Vec<FrameId> {
+        if order == 0 {
+            &mut self.small
+        } else {
+            debug_assert_eq!(order, HUGE_ORDER);
+            &mut self.huge
+        }
+    }
+}
+
+/// Pad each slot to its own cache line so neighbouring slots' mutexes do
+/// not false-share.
+#[repr(align(64))]
+struct Slot(Mutex<Magazine>);
+
+/// The striped per-thread magazine tier. See the module docs.
+pub(crate) struct PcpCache {
+    slots: Vec<Slot>,
+}
+
+impl PcpCache {
+    pub(crate) fn new() -> Self {
+        Self {
+            slots: (0..SLOTS)
+                .map(|_| Slot(Mutex::new(Magazine::default())))
+                .collect(),
+        }
+    }
+
+    /// Whether this order is served by a magazine lane at all.
+    pub(crate) fn caches(order: u8) -> bool {
+        order == 0 || order == HUGE_ORDER
+    }
+
+    fn batch(order: u8) -> usize {
+        if order == 0 {
+            SMALL_BATCH
+        } else {
+            HUGE_BATCH
+        }
+    }
+
+    /// Pops one free block of `order` for the calling thread.
+    ///
+    /// Fast path: pop from the thread's own magazine lane (no buddy lock).
+    /// On a miss, refill the lane from the buddy in one bulk call. When the
+    /// buddy itself is empty, drain *all* magazines back (merging stranded
+    /// order-0 frames into larger blocks, and making every cached block
+    /// reachable) and retry once — the analog of the kernel draining
+    /// pcplists before declaring OOM — so exhaustion behaviour is
+    /// indistinguishable from a flat buddy-only pool.
+    pub(crate) fn alloc(
+        &self,
+        buddy: &SpinMutex<Buddy>,
+        order: u8,
+        stats: &PoolStats,
+    ) -> Option<FrameId> {
+        debug_assert!(Self::caches(order));
+        let slot = MY_SLOT.with(|s| *s);
+        {
+            let mut mag = self.slots[slot].0.lock();
+            let lane = mag.lane_mut(order);
+            if let Some(f) = lane.pop() {
+                PoolStats::bump(&stats.pcp_hits);
+                return Some(f);
+            }
+            PoolStats::bump(&stats.pcp_misses);
+            let got = buddy.lock().alloc_bulk(order, Self::batch(order), lane);
+            if got > 0 {
+                PoolStats::bump(&stats.pcp_refills);
+                odf_trace::emit(odf_trace::Event::MagRefill {
+                    order,
+                    blocks: got as u64,
+                });
+                return lane.pop();
+            }
+        }
+        // Buddy empty. Release our slot lock (drain takes them in turn),
+        // push every cached block back, and retry for a single block so a
+        // scarce pool is not re-hoarded by one thread's refill.
+        self.drain_all(buddy);
+        let mut mag = self.slots[slot].0.lock();
+        let lane = mag.lane_mut(order);
+        if let Some(f) = lane.pop() {
+            // A racing free landed in our magazine since the drain.
+            PoolStats::bump(&stats.pcp_hits);
+            return Some(f);
+        }
+        if buddy.lock().alloc_bulk(order, 1, lane) > 0 {
+            return lane.pop();
+        }
+        None
+    }
+
+    /// Returns one free block of `order` to the calling thread's magazine,
+    /// spilling the coldest `batch` blocks to the buddy past the watermark.
+    pub(crate) fn free(
+        &self,
+        buddy: &SpinMutex<Buddy>,
+        head: FrameId,
+        order: u8,
+        stats: &PoolStats,
+    ) {
+        debug_assert!(Self::caches(order));
+        let slot = MY_SLOT.with(|s| *s);
+        let mut mag = self.slots[slot].0.lock();
+        let lane = mag.lane_mut(order);
+        lane.push(head);
+        let batch = Self::batch(order);
+        if lane.len() > high_watermark(batch) {
+            PoolStats::bump(&stats.pcp_spills);
+            let spill: Vec<(FrameId, u8)> = lane.drain(..batch).map(|f| (f, order)).collect();
+            buddy.lock().free_bulk(&spill);
+            odf_trace::emit(odf_trace::Event::MagDrain {
+                order,
+                blocks: batch as u64,
+            });
+        }
+    }
+
+    /// Moves every cached block in every slot back to the buddy. Called
+    /// before exact accounting reads ([`crate::FramePool::balance`]) and on
+    /// allocation failure; afterwards (and absent concurrent traffic) the
+    /// buddy's free count is the pool's free count.
+    pub(crate) fn drain_all(&self, buddy: &SpinMutex<Buddy>) {
+        for slot in &self.slots {
+            let mut mag = slot.0.lock();
+            let small = mag.small.len();
+            let huge = mag.huge.len();
+            if small == 0 && huge == 0 {
+                continue;
+            }
+            let mut blocks: Vec<(FrameId, u8)> = Vec::with_capacity(small + huge);
+            blocks.extend(mag.small.drain(..).map(|f| (f, 0u8)));
+            blocks.extend(mag.huge.drain(..).map(|f| (f, HUGE_ORDER)));
+            buddy.lock().free_bulk(&blocks);
+            if small > 0 {
+                odf_trace::emit(odf_trace::Event::MagDrain {
+                    order: 0,
+                    blocks: small as u64,
+                });
+            }
+            if huge > 0 {
+                odf_trace::emit(odf_trace::Event::MagDrain {
+                    order: HUGE_ORDER,
+                    blocks: huge as u64,
+                });
+            }
+        }
+    }
+
+    /// Free base frames currently parked across all magazines. Takes each
+    /// slot lock in turn (none held across iterations), feeding the
+    /// read-side sum in [`crate::FramePool::free_frames`].
+    pub(crate) fn cached_frames(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| {
+                let mag = s.0.lock();
+                mag.small.len() + (mag.huge.len() << HUGE_ORDER)
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_refills_a_batch_then_hits() {
+        let buddy = SpinMutex::new(Buddy::new(256));
+        let pcp = PcpCache::new();
+        let stats = PoolStats::default();
+        let f = pcp.alloc(&buddy, 0, &stats).unwrap();
+        // One bulk refill took SMALL_BATCH frames from the buddy...
+        assert_eq!(buddy.lock().free_frames(), 256 - SMALL_BATCH);
+        // ...and the rest of the batch is parked for this thread.
+        assert_eq!(pcp.cached_frames(), SMALL_BATCH - 1);
+        for _ in 0..SMALL_BATCH - 1 {
+            pcp.alloc(&buddy, 0, &stats).unwrap();
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.pcp_refills, 1);
+        assert_eq!(snap.pcp_hits, SMALL_BATCH as u64 - 1);
+        pcp.free(&buddy, f, 0, &stats);
+        assert_eq!(pcp.cached_frames(), 1);
+    }
+
+    #[test]
+    fn watermark_spills_cold_blocks_back() {
+        let buddy = SpinMutex::new(Buddy::new(512));
+        let pcp = PcpCache::new();
+        let stats = PoolStats::default();
+        let frames: Vec<FrameId> = (0..=high_watermark(SMALL_BATCH))
+            .map(|_| buddy.lock().alloc(0).unwrap())
+            .collect();
+        for f in frames {
+            pcp.free(&buddy, f, 0, &stats);
+        }
+        // Crossing the watermark pushed one batch back to the buddy.
+        assert_eq!(stats.snapshot().pcp_spills, 1);
+        assert_eq!(
+            pcp.cached_frames(),
+            high_watermark(SMALL_BATCH) + 1 - SMALL_BATCH
+        );
+    }
+
+    #[test]
+    fn drain_returns_everything_and_merges() {
+        let buddy = SpinMutex::new(Buddy::new(1 << 11));
+        let pcp = PcpCache::new();
+        let stats = PoolStats::default();
+        let small = pcp.alloc(&buddy, 0, &stats).unwrap();
+        let huge = pcp.alloc(&buddy, HUGE_ORDER, &stats).unwrap();
+        pcp.free(&buddy, small, 0, &stats);
+        pcp.free(&buddy, huge, HUGE_ORDER, &stats);
+        pcp.drain_all(&buddy);
+        assert_eq!(pcp.cached_frames(), 0);
+        assert_eq!(buddy.lock().free_frames(), 1 << 11);
+        // Order-0 residue merged back: the full pool is one max-order run.
+        assert!(buddy.lock().alloc(crate::frame::MAX_ORDER).is_some());
+    }
+
+    #[test]
+    fn exhaustion_drains_magazines_before_failing() {
+        // Pool of exactly one batch: the first alloc parks everything in
+        // this thread's magazine; after freeing, a huge-order alloc can
+        // only succeed if the drain path gives the frames back.
+        let buddy = SpinMutex::new(Buddy::new(512));
+        let pcp = PcpCache::new();
+        let stats = PoolStats::default();
+        let f = pcp.alloc(&buddy, 0, &stats).unwrap();
+        pcp.free(&buddy, f, 0, &stats);
+        assert_eq!(buddy.lock().free_frames(), 512 - SMALL_BATCH);
+        let huge = pcp.alloc(&buddy, HUGE_ORDER, &stats).unwrap();
+        assert_eq!(huge.0 % 512, 0);
+        // And true exhaustion still reports failure.
+        assert!(pcp.alloc(&buddy, HUGE_ORDER, &stats).is_none());
+        pcp.free(&buddy, huge, HUGE_ORDER, &stats);
+    }
+}

@@ -1,13 +1,16 @@
-//! The frame pool: metadata, buddy allocation, and lazily materialized data.
+//! The frame pool: metadata, tiered (magazine + buddy) allocation, and
+//! lazily materialized data.
 
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::RwLock;
 
 use crate::buddy::Buddy;
 use crate::error::{PmemError, Result};
 use crate::frame::{FrameId, HUGE_ORDER, MAX_ORDER, PAGE_SIZE};
 use crate::page::{Page, PageFlags, PageKind};
+use crate::pcp::PcpCache;
+use crate::spin::SpinMutex;
 use crate::stats::PoolStats;
 
 /// One frame's lazily materialized backing store.
@@ -135,10 +138,26 @@ fn dump_frame_history(pool: &FramePool) {
 ///
 /// All operations are thread-safe; the pool is shared via [`Arc`] between
 /// every simulated process.
+///
+/// Allocation is tiered: a striped per-thread magazine cache
+/// ([`crate::pcp`]) sits in front of the buddy allocator, so the alloc/free
+/// fast path touches only the calling thread's own magazine mutex and the
+/// global buddy lock is taken once per ~32-block batch. Construct with
+/// [`FramePool::new_flat`] to disable the magazine tier (every operation
+/// goes straight through the buddy lock) — used as the differential-test
+/// oracle and as the single-global-lock baseline in benchmarks.
 pub struct FramePool {
     meta: Box<[Page]>,
     data: Box<[FrameData]>,
-    buddy: Mutex<Buddy>,
+    /// The buddy allocator behind a *spinning* lock — the `zone->lock`
+    /// analog (see [`crate::spin`]). Alloc/free traffic mostly stays in
+    /// the magazine tier and takes this lock once per batch.
+    buddy: SpinMutex<Buddy>,
+    /// The magazine tier; `None` for flat (buddy-only) pools.
+    pcp: Option<PcpCache>,
+    /// Pool size, invariant for the pool's lifetime — monitoring reads it
+    /// without touching the buddy lock.
+    total: usize,
     stats: PoolStats,
 }
 
@@ -149,6 +168,19 @@ impl FramePool {
     ///
     /// Panics if `frames` is zero or exceeds `u32::MAX`.
     pub fn new(frames: usize) -> Arc<Self> {
+        Self::build(frames, true)
+    }
+
+    /// Creates a pool with the magazine tier disabled: every alloc/free
+    /// serializes on the buddy lock, as the pool did before the tiered
+    /// allocator existed. Observable behaviour (metadata, refcounts, data,
+    /// accounting, exhaustion) is identical to [`FramePool::new`]; only
+    /// the locking/placement strategy differs.
+    pub fn new_flat(frames: usize) -> Arc<Self> {
+        Self::build(frames, false)
+    }
+
+    fn build(frames: usize, tiered: bool) -> Arc<Self> {
         assert!(frames > 0, "pool must have at least one frame");
         assert!(frames <= u32::MAX as usize, "pool too large for u32 ids");
         let meta: Box<[Page]> = (0..frames).map(|_| Page::new()).collect();
@@ -156,7 +188,9 @@ impl FramePool {
         Arc::new(Self {
             meta,
             data,
-            buddy: Mutex::new(Buddy::new(frames)),
+            buddy: SpinMutex::new(Buddy::new(frames)),
+            pcp: tiered.then(PcpCache::new),
+            total: frames,
             stats: PoolStats::default(),
         })
     }
@@ -167,22 +201,53 @@ impl FramePool {
         Self::new(bytes.div_ceil(PAGE_SIZE as u64) as usize)
     }
 
-    /// Total frames managed by the pool.
+    /// Total frames managed by the pool. Lock-free: the size is fixed at
+    /// construction, so metric exporters never touch the buddy lock here.
     pub fn total_frames(&self) -> usize {
-        self.buddy.lock().total_frames()
+        self.total
     }
 
-    /// Currently free frames.
+    /// Currently free base frames, summed over both tiers: blocks in the
+    /// buddy allocator *plus* blocks parked in per-thread magazines (which
+    /// are free memory — only their placement differs). The two tiers are
+    /// read one lock at a time (never nested, preserving the slot-before-
+    /// buddy lock order), so the sum is exact when the pool is quiescent
+    /// and transiently stale by in-flight operations otherwise. Leak
+    /// checks that need exactness under any history go through
+    /// [`FramePool::balance`], which drains the magazines first and then
+    /// reads the buddy alone. Keeping this a read-side sum (rather than a
+    /// counter bumped on every alloc/free) keeps the hot path free of
+    /// accounting atomics.
     pub fn free_frames(&self) -> usize {
-        self.buddy.lock().free_frames()
+        let cached = match &self.pcp {
+            Some(pcp) => pcp.cached_frames(),
+            None => 0,
+        };
+        cached + self.buddy.lock().free_frames()
     }
 
     /// Point-in-time frame-accounting snapshot, for leak assertions.
+    ///
+    /// Drains every per-thread magazine back into the buddy first, so the
+    /// count reflects *reachable* free memory and magazine residue can
+    /// never mask a leak (or fake one): after the drain, buddy-free equals
+    /// pool-free exactly.
     pub fn balance(&self) -> PoolBalance {
+        self.drain_magazines();
         let buddy = self.buddy.lock();
         PoolBalance {
             free_frames: buddy.free_frames(),
-            total_frames: buddy.total_frames(),
+            total_frames: self.total,
+        }
+    }
+
+    /// Returns every magazine-cached block to the buddy allocator (the
+    /// explicit `drain_all` of the pcplist analog). Merges stranded
+    /// order-0 frames back into larger blocks; called automatically by
+    /// [`FramePool::balance`] and on allocation failure.
+    pub fn drain_magazines(&self) {
+        if let Some(pcp) = &self.pcp {
+            pcp.drain_all(&self.buddy);
         }
     }
 
@@ -220,14 +285,30 @@ impl FramePool {
     // Allocation
     // ------------------------------------------------------------------
 
+    /// Obtains one free block of `2^order` frames from the tiered
+    /// allocator: magazine fast path for the cached orders (0 and huge),
+    /// buddy directly otherwise, draining the magazines and retrying once
+    /// before reporting exhaustion so parked-but-free memory is never the
+    /// reason an allocation fails.
+    fn alloc_block(&self, order: u8) -> Result<FrameId> {
+        let head = match &self.pcp {
+            Some(pcp) if PcpCache::caches(order) => pcp.alloc(&self.buddy, order, &self.stats),
+            _ => match self.buddy.lock().alloc(order) {
+                Some(f) => Some(f),
+                None if self.pcp.is_some() => {
+                    self.drain_magazines();
+                    self.buddy.lock().alloc(order)
+                }
+                None => None,
+            },
+        };
+        head.ok_or(PmemError::OutOfFrames { order })
+    }
+
     /// Allocates a block of `2^order` frames with raw metadata.
     fn alloc_order(&self, order: u8, kind_flags: u32) -> Result<FrameId> {
         assert!(order <= MAX_ORDER);
-        let head = self
-            .buddy
-            .lock()
-            .alloc(order)
-            .ok_or(PmemError::OutOfFrames { order })?;
+        let head = self.alloc_block(order)?;
         PoolStats::bump(&self.stats.allocs);
         odf_trace::emit_hot(odf_trace::Event::FrameAlloc {
             frame: head.index() as u64,
@@ -291,6 +372,54 @@ impl FramePool {
         self.meta[frame.index()].ref_inc();
     }
 
+    /// Batched [`FramePool::ref_inc`]: takes one reference on every frame
+    /// in `heads` (already compound-head-resolved), with a single stats
+    /// update for the whole slice and one atomic `fetch_add` per *run* of
+    /// consecutive identical heads. A page-table sweep over a huge-page
+    /// region resolves 512 PTEs to the same compound head, so the run
+    /// grouping turns 512 contended RMWs into one.
+    ///
+    /// Per-entry atomic semantics are preserved: each run's `fetch_add(n)`
+    /// is indivisible, so a concurrent `ref_dec`/`try_ref_inc` observes a
+    /// subset of the states `n` sequential `ref_inc` calls could produce —
+    /// never a torn or intermediate count. Callers hold the same locks
+    /// (the parent's mm write lock during fork) they would for the
+    /// per-entry path.
+    pub fn ref_inc_many(&self, heads: &[FrameId]) {
+        if heads.is_empty() {
+            return;
+        }
+        PoolStats::add(&self.stats.page_ref_incs, heads.len() as u64);
+        let mut i = 0;
+        while i < heads.len() {
+            let head = heads[i];
+            let mut n = 1;
+            while i + n < heads.len() && heads[i + n] == head {
+                n += 1;
+            }
+            self.meta[head.index()].ref_add(n as u32);
+            i += n;
+        }
+    }
+
+    /// Batched [`FramePool::compound_head`]: resolves every frame in the
+    /// slice to its compound head in place, with a single stats update for
+    /// the whole slice. Each entry still performs the real per-frame
+    /// metadata load (the Figure 3 cache-miss cost is physical, not
+    /// bookkeeping); only the counter traffic is amortized.
+    pub fn compound_heads(&self, frames: &mut [FrameId]) {
+        if frames.is_empty() {
+            return;
+        }
+        PoolStats::add(&self.stats.compound_head_lookups, frames.len() as u64);
+        for f in frames.iter_mut() {
+            let page = &self.meta[f.index()];
+            if page.is_compound_tail() {
+                *f = FrameId(page.compound_head_index());
+            }
+        }
+    }
+
     /// Takes a reference on a frame only if it is still live (reference
     /// count non-zero) — the `get_page_unless_zero` step of a lock-free
     /// page pin (GUP-fast). Returns whether the reference was taken.
@@ -348,20 +477,82 @@ impl FramePool {
         self.meta[frame.index()].pt_share_count()
     }
 
-    /// Returns the block to the buddy allocator and drops its data.
+    /// Returns the block to the free tier and drops its data.
     fn release(&self, head: FrameId) {
+        let order = self.release_prepare(head);
+        self.free_block(head, order);
+    }
+
+    /// Tears down a zero-refcount block's identity — metadata to the free
+    /// state, data buffers dropped, per-frame `FrameFree` provenance
+    /// emitted, `frees` counted — *without* returning it to an allocator
+    /// tier yet. Split out so [`crate::FreeBatch`] can defer the tier
+    /// return and amortize one buddy lock over a whole unmap sweep.
+    /// Returns the block's order; the caller owes a matching
+    /// [`FramePool::free_block`]-equivalent hand-back.
+    pub(crate) fn release_prepare(&self, head: FrameId) -> u8 {
         let order = self.meta[head.index()].order();
         let n = 1usize << order;
         for i in 0..n {
-            self.meta[head.index() + i].set_free();
-            *self.data[head.index() + i].write() = None;
+            let page = &self.meta[head.index() + i];
+            // Only frames that were actually written own a buffer; the
+            // HAS_DATA flag (set under the data lock at materialization)
+            // lets clean frames skip the per-frame data lock here.
+            if page.flags() & PageFlags::HAS_DATA != 0 {
+                *self.data[head.index() + i].write() = None;
+            }
+            page.set_free();
         }
         PoolStats::bump(&self.stats.frees);
         odf_trace::emit_hot(odf_trace::Event::FrameFree {
             frame: head.index() as u64,
             order,
         });
-        self.buddy.lock().free(head, order);
+        order
+    }
+
+    /// Hands a torn-down block back to the free tier: the calling thread's
+    /// magazine for cached orders, the buddy otherwise.
+    fn free_block(&self, head: FrameId, order: u8) {
+        match &self.pcp {
+            Some(pcp) if PcpCache::caches(order) => pcp.free(&self.buddy, head, order, &self.stats),
+            _ => self.buddy.lock().free(head, order),
+        }
+    }
+
+    /// Returns a batch of torn-down blocks (from [`FreeBatch`] flushes) to
+    /// the buddy in one lock acquisition.
+    pub(crate) fn free_blocks_bulk(&self, blocks: &[(FrameId, u8)]) {
+        if blocks.is_empty() {
+            return;
+        }
+        self.buddy.lock().free_bulk(blocks);
+    }
+
+    /// Crate-internal stats handle (for [`crate::FreeBatch`], which lives
+    /// in a sibling module and batches its counter updates at flush time).
+    pub(crate) fn stats_ref(&self) -> &PoolStats {
+        &self.stats
+    }
+
+    /// Reference-count decrement with *deferred* free: drops one reference
+    /// and, when the block dies, tears its identity down immediately
+    /// (metadata, data, provenance) but does **not** hand it back to an
+    /// allocator tier — the caller collects `(head, order)` and returns the
+    /// batch via [`FramePool::free_blocks_bulk`]. The stats bump for the
+    /// decrement is also left to the caller so a 512-entry sweep is one
+    /// counter add. Used only by [`crate::FreeBatch`].
+    pub(crate) fn ref_dec_deferred(&self, head: FrameId) -> Option<u8> {
+        let page = &self.meta[head.index()];
+        debug_assert!(
+            !page.is_compound_tail(),
+            "refcount operations must target the compound head"
+        );
+        if page.ref_dec() == 0 {
+            Some(self.release_prepare(head))
+        } else {
+            None
+        }
     }
 
     // ------------------------------------------------------------------
@@ -392,10 +583,12 @@ impl FramePool {
     pub fn write_frame(&self, frame: FrameId, offset: usize, src: &[u8]) {
         assert!(offset + src.len() <= PAGE_SIZE, "write crosses frame end");
         let mut slot = self.data[frame.index()].write();
-        let buf = slot.get_or_insert_with(|| {
+        if slot.is_none() {
             PoolStats::bump(&self.stats.materializations);
-            Box::new([0; PAGE_SIZE])
-        });
+            self.meta[frame.index()].set_flags(PageFlags::HAS_DATA);
+            *slot = Some(Box::new([0; PAGE_SIZE]));
+        }
+        let buf = slot.as_deref_mut().expect("just materialized");
         buf[offset..offset + src.len()].copy_from_slice(src);
     }
 
@@ -420,10 +613,12 @@ impl FramePool {
                 None => &ZERO_PAGE,
             };
             let mut dst_slot = self.data[dst.index() + i].write();
-            let dst_buf = dst_slot.get_or_insert_with(|| {
+            if dst_slot.is_none() {
                 PoolStats::bump(&self.stats.materializations);
-                Box::new([0; PAGE_SIZE])
-            });
+                self.meta[dst.index() + i].set_flags(PageFlags::HAS_DATA);
+                *dst_slot = Some(Box::new([0; PAGE_SIZE]));
+            }
+            let dst_buf = dst_slot.as_deref_mut().expect("just materialized");
             dst_buf.copy_from_slice(src_buf);
         }
         PoolStats::add(&self.stats.bytes_copied, (n * PAGE_SIZE) as u64);
@@ -610,6 +805,90 @@ mod tests {
         let delta = pool.stats().snapshot() - before;
         assert_eq!(delta.compound_head_lookups, 1);
         assert_eq!(delta.page_ref_incs, 1);
+    }
+
+    #[test]
+    fn free_frames_counts_magazine_residue() {
+        // After a tiered alloc, part of the refill batch is parked in the
+        // calling thread's magazine. The lock-free gauge must count those
+        // parked frames as free (they are — just placed differently), and
+        // balance() must drain them so buddy-free equals pool-free.
+        let pool = FramePool::new(256);
+        let f = pool.alloc_page(PageKind::Anon).unwrap();
+        assert_eq!(pool.free_frames(), 255);
+        assert!(pool.ref_dec(f));
+        assert_eq!(pool.free_frames(), 256);
+        let b = pool.balance();
+        assert_eq!(b.free_frames, 256);
+        assert_eq!(pool.free_frames(), 256);
+    }
+
+    #[test]
+    fn flat_pool_matches_tiered_observables() {
+        for pool in [FramePool::new(128), FramePool::new_flat(128)] {
+            let f = pool.alloc_page(PageKind::Anon).unwrap();
+            let h = pool.alloc_page_table().unwrap();
+            assert_eq!(pool.free_frames(), 126);
+            assert_eq!(pool.page(f).kind(), PageKind::Anon);
+            assert_eq!(pool.pt_share_count(h), 1);
+            pool.write_frame(f, 0, b"abc");
+            assert!(pool.ref_dec(f));
+            assert!(pool.ref_dec(h));
+            assert_eq!(pool.balance().free_frames, 128);
+            // Freed data never leaks into the next allocation.
+            let g = pool.alloc_page(PageKind::Anon).unwrap();
+            let mut buf = [0xFFu8; 3];
+            pool.read_frame(g, 0, &mut buf);
+            assert_eq!(buf, [0, 0, 0]);
+        }
+    }
+
+    #[test]
+    fn ref_inc_many_groups_runs_per_compound_head() {
+        let pool = FramePool::new(2048);
+        let h = pool.alloc_huge(PageKind::Anon).unwrap();
+        let p = pool.alloc_page(PageKind::Anon).unwrap();
+        // A PTE sweep over a huge region: 512 tail frames resolve to one
+        // head, then a lone small page.
+        let mut frames: Vec<FrameId> = (0..512).map(|i| h.offset(i)).collect();
+        frames.push(p);
+        let before = pool.stats().snapshot();
+        pool.compound_heads(&mut frames);
+        assert!(frames[..512].iter().all(|&f| f == h));
+        pool.ref_inc_many(&frames);
+        let delta = pool.stats().snapshot() - before;
+        // One bulk stats update each, covering all 513 entries.
+        assert_eq!(delta.compound_head_lookups, 513);
+        assert_eq!(delta.page_ref_incs, 513);
+        assert_eq!(pool.ref_count(h), 513);
+        assert_eq!(pool.ref_count(p), 2);
+        for _ in 0..512 {
+            pool.ref_dec(h);
+        }
+        pool.ref_dec(p);
+        assert_eq!(pool.ref_count(h), 1);
+    }
+
+    #[test]
+    fn tiered_exhaustion_reclaims_parked_frames_first() {
+        // 512 frames, all churned through a magazine; a huge-page request
+        // must succeed by draining the magazines (merging the order-0
+        // residue), not fail while free memory sits parked.
+        let pool = FramePool::new(512);
+        let frames: Vec<FrameId> = (0..16)
+            .map(|_| pool.alloc_page(PageKind::Anon).unwrap())
+            .collect();
+        for f in frames {
+            assert!(pool.ref_dec(f));
+        }
+        let h = pool.alloc_huge(PageKind::Anon).unwrap();
+        assert_eq!(pool.free_frames(), 0);
+        assert_eq!(
+            pool.alloc_page(PageKind::Anon),
+            Err(PmemError::OutOfFrames { order: 0 })
+        );
+        assert!(pool.ref_dec(h));
+        assert_eq!(pool.balance().free_frames, 512);
     }
 
     #[test]

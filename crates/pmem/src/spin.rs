@@ -1,0 +1,101 @@
+//! A spinning mutex for the buddy allocator: the `zone->lock` analog.
+//!
+//! The kernel lock this pool models is a *spinlock* — `zone->lock` is
+//! taken with `spin_lock_irqsave` on every buddy operation, and pcplists
+//! exist precisely because hammering a spinlock from every CPU is ruinous.
+//! A sleeping mutex (the `parking_lot` shim) hides that cost model: a
+//! waiter parks on a futex and the holder is handed the CPU back almost
+//! for free, so a single global lock looks nearly harmless even at high
+//! thread counts. With a true spin, waiters burn their timeslices while a
+//! preempted holder waits to run again (the classic lock-holder-preemption
+//! pathology), which is exactly the behaviour the magazine tier
+//! ([`crate::pcp`]) is built to avoid — so the buddy tier uses this lock,
+//! and benchmarks comparing tiered vs flat pools measure the contention
+//! the kernel actually suffers.
+//!
+//! Implementation: safe code only — an inner `std::sync::Mutex` acquired
+//! exclusively through `try_lock`, so a contended acquire never sleeps;
+//! it retries with [`std::hint::spin_loop`] until the CAS succeeds. The
+//! uncontended path is the same single CAS as a normal lock.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+
+/// A mutual-exclusion lock whose waiters spin instead of sleeping.
+pub(crate) struct SpinMutex<T>(std::sync::Mutex<T>);
+
+impl<T> SpinMutex<T> {
+    pub(crate) const fn new(value: T) -> Self {
+        Self(std::sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, spinning until it is available.
+    pub(crate) fn lock(&self) -> SpinGuard<'_, T> {
+        loop {
+            match self.0.try_lock() {
+                Ok(g) => return SpinGuard(g),
+                Err(std::sync::TryLockError::Poisoned(e)) => return SpinGuard(e.into_inner()),
+                Err(std::sync::TryLockError::WouldBlock) => std::hint::spin_loop(),
+            }
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SpinMutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0.try_lock() {
+            Ok(g) => f.debug_tuple("SpinMutex").field(&&*g).finish(),
+            Err(_) => f.write_str("SpinMutex(<locked>)"),
+        }
+    }
+}
+
+/// RAII guard for [`SpinMutex`].
+pub(crate) struct SpinGuard<'a, T>(std::sync::MutexGuard<'a, T>);
+
+impl<T> Deref for SpinGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> DerefMut for SpinGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn excludes_concurrent_writers() {
+        let m = Arc::new(SpinMutex::new(0u64));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..10_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 40_000);
+    }
+
+    #[test]
+    fn survives_a_panicking_holder() {
+        let m = Arc::new(SpinMutex::new(7));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7);
+    }
+}

@@ -203,6 +203,15 @@ pub(crate) fn chrome_json(trace: &Trace) -> String {
             Event::FrameFree { frame, order } => format!(
                 "{{\"name\":\"frame_free\",\"cat\":\"mm\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3},\"args\":{{\"frame\":{frame},\"order\":{order}}}}}",
             ),
+            Event::MagRefill { order, blocks } => format!(
+                "{{\"name\":\"mag_refill\",\"cat\":\"mm\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3},\"args\":{{\"order\":{order},\"blocks\":{blocks}}}}}",
+            ),
+            Event::MagDrain { order, blocks } => format!(
+                "{{\"name\":\"mag_drain\",\"cat\":\"mm\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3},\"args\":{{\"order\":{order},\"blocks\":{blocks}}}}}",
+            ),
+            Event::BulkFree { blocks, frames } => format!(
+                "{{\"name\":\"bulk_free\",\"cat\":\"mm\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3},\"args\":{{\"blocks\":{blocks},\"frames\":{frames}}}}}",
+            ),
         };
         rows.push(row);
     }

@@ -277,6 +277,36 @@ pub enum Event {
         /// Allocation order of the freed block.
         order: u8,
     },
+    /// A per-thread magazine pulled a batch of blocks from the buddy
+    /// allocator (one lock acquisition for the whole batch). The blocks
+    /// stay *free* — per-frame provenance is still carried by the
+    /// `FrameAlloc` each block emits when it actually leaves the pool, so
+    /// this transfer must not be counted as an allocation.
+    MagRefill {
+        /// Block order of the refilled lane (0 or 9).
+        order: u8,
+        /// Blocks moved from the buddy into the magazine.
+        blocks: u64,
+    },
+    /// A per-thread magazine returned a batch of blocks to the buddy
+    /// allocator (watermark spill or an explicit drain). Free-to-free
+    /// transfer: no `FrameFree` is emitted for the member blocks here.
+    MagDrain {
+        /// Block order of the drained lane (0 or 9).
+        order: u8,
+        /// Blocks moved from the magazine back to the buddy.
+        blocks: u64,
+    },
+    /// An mmu_gather-style batched free flushed: blocks whose refcount
+    /// reached zero during an unmap/teardown sweep went back to the buddy
+    /// under one lock. Each member block already emitted its own
+    /// `FrameFree` when its metadata was torn down.
+    BulkFree {
+        /// Zero-refcount blocks returned in this flush.
+        blocks: u64,
+        /// Total base frames those blocks span.
+        frames: u64,
+    },
 }
 
 impl Event {
@@ -303,6 +333,9 @@ impl Event {
             Event::Reclaim { .. } => "reclaim",
             Event::FrameAlloc { .. } => "frame_alloc",
             Event::FrameFree { .. } => "frame_free",
+            Event::MagRefill { .. } => "mag_refill",
+            Event::MagDrain { .. } => "mag_drain",
+            Event::BulkFree { .. } => "bulk_free",
         }
     }
 
@@ -332,6 +365,9 @@ impl Event {
             Event::Reclaim { frames_freed } => (7, 0, frames_freed, 0, 0),
             Event::FrameAlloc { frame, order } => (8, order, frame, 0, 0),
             Event::FrameFree { frame, order } => (9, order, frame, 0, 0),
+            Event::MagRefill { order, blocks } => (10, order, blocks, 0, 0),
+            Event::MagDrain { order, blocks } => (11, order, blocks, 0, 0),
+            Event::BulkFree { blocks, frames } => (12, 0, blocks, frames, 0),
         }
     }
 
@@ -371,6 +407,18 @@ impl Event {
             9 => Event::FrameFree {
                 frame: a,
                 order: sub,
+            },
+            10 => Event::MagRefill {
+                order: sub,
+                blocks: a,
+            },
+            11 => Event::MagDrain {
+                order: sub,
+                blocks: a,
+            },
+            12 => Event::BulkFree {
+                blocks: a,
+                frames: b,
             },
             _ => return None,
         })
@@ -568,12 +616,13 @@ pub enum EventClass {
     LockRetry,
     /// `Reclaim`.
     Reclaim,
-    /// `FrameAlloc` / `FrameFree` — **off by default**, like the kernel's
-    /// `kmem:mm_page_alloc`/`free` events: every COW fault allocates a
-    /// frame, so per-frame records double the fault path's event volume
-    /// (and its tracing overhead) while the latency story is already told
-    /// by the `Fault` record. Enable for per-frame leak post-mortems
-    /// ([`Trace::for_frame`], `assert_pool_balanced` dumps).
+    /// `FrameAlloc` / `FrameFree` plus the batched allocator transfers
+    /// (`MagRefill` / `MagDrain` / `BulkFree`) — **off by default**, like
+    /// the kernel's `kmem:mm_page_alloc`/`free` events: every COW fault
+    /// allocates a frame, so per-frame records double the fault path's
+    /// event volume (and its tracing overhead) while the latency story is
+    /// already told by the `Fault` record. Enable for per-frame leak
+    /// post-mortems ([`Trace::for_frame`], `assert_pool_balanced` dumps).
     Kmem,
 }
 
@@ -587,7 +636,7 @@ impl EventClass {
             EventClass::TlbFlush => 1 << 5,
             EventClass::LockRetry => 1 << 6,
             EventClass::Reclaim => 1 << 7,
-            EventClass::Kmem => (1 << 8) | (1 << 9),
+            EventClass::Kmem => (1 << 8) | (1 << 9) | (1 << 10) | (1 << 11) | (1 << 12),
         }
     }
 }
@@ -768,8 +817,81 @@ impl Trace {
 /// from a single field list, so adding a counter is a one-line change and a
 /// forgotten field is *impossible* rather than a silent zero:
 ///
-/// - the live struct (`AtomicU64` per field, `Default`),
-/// - `snapshot()` loading every field,
+/// Stripes per [`Counter`]. Sized like a small machine's CPU count: more
+/// stripes than concurrently counting threads costs only idle memory,
+/// fewer puts two hot threads on one cache line.
+const COUNTER_STRIPES: usize = 16;
+
+/// Round-robin stripe assignment, claimed once per thread. Deliberately
+/// separate from the trace ring's thread ids: counters are bumped on
+/// paths where tracing may be compiled out or masked.
+static NEXT_STRIPE: AtomicU32 = AtomicU32::new(0);
+
+thread_local! {
+    static MY_STRIPE: usize =
+        NEXT_STRIPE.fetch_add(1, Ordering::Relaxed) as usize % COUNTER_STRIPES;
+}
+
+/// One cache line per stripe so neighbouring stripes never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct CounterStripe(AtomicU64);
+
+/// A striped statistics counter — the user-space analog of the kernel's
+/// per-CPU `vmstat` counters.
+///
+/// Hot paths bump statistics on every allocation, free, fault, and
+/// refcount operation; a single shared `AtomicU64` would put a
+/// lock-prefixed RMW (and, on real SMP, a bouncing cache line) on each.
+/// Like `this_cpu_inc()`, an update here touches only the calling
+/// thread's own stripe, and does so with a plain load/store pair instead
+/// of an atomic RMW; [`Counter::get`] folds the stripes at read time.
+///
+/// The tolerance is also vmstat's: per-thread updates are exact, reads
+/// are exact whenever each stripe has a single writer (threads are
+/// assigned stripes round-robin, so this holds up to
+/// `COUNTER_STRIPES` concurrent threads), and an update can be lost only
+/// when two threads *sharing a stripe* race the same counter. These are
+/// diagnostics, not synchronization — the frame accounting that
+/// correctness tests assert on lives in the allocator, not here.
+pub struct Counter {
+    stripes: [CounterStripe; COUNTER_STRIPES],
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Self {
+            stripes: std::array::from_fn(|_| CounterStripe::default()),
+        }
+    }
+}
+
+impl Counter {
+    /// Adds `n` to the calling thread's stripe.
+    pub fn add(&self, n: u64) {
+        let cell = MY_STRIPE.with(|s| &self.stripes[*s].0);
+        cell.store(
+            cell.load(Ordering::Relaxed).wrapping_add(n),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Increments the calling thread's stripe by one.
+    pub fn bump(&self) {
+        self.add(1);
+    }
+
+    /// Folds all stripes into the counter's current value.
+    pub fn get(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .fold(0u64, u64::wrapping_add)
+    }
+}
+
+/// - the live struct ([`Counter`] per field, `Default`),
+/// - `snapshot()` folding every field,
 /// - a plain-`u64` snapshot struct with `saturating_sub`-based `Sub`
 ///   (snapshots taken across a reset difference to zero instead of
 ///   panicking in debug builds), and
@@ -787,7 +909,7 @@ impl Trace {
 ///     }
 /// }
 /// let d = Demo::default();
-/// d.seen.fetch_add(3, std::sync::atomic::Ordering::Relaxed);
+/// d.seen.add(3);
 /// let a = d.snapshot();
 /// let b = d.snapshot() - a;
 /// assert_eq!(b.seen, 0);
@@ -809,7 +931,7 @@ macro_rules! counters {
         $vis struct $name {
             $(
                 $(#[$field_meta])*
-                pub $field: ::std::sync::atomic::AtomicU64,
+                pub $field: $crate::Counter,
             )+
         }
 
@@ -817,11 +939,7 @@ macro_rules! counters {
             /// Takes a point-in-time copy of all counters.
             pub fn snapshot(&self) -> $snap {
                 $snap {
-                    $(
-                        $field: self
-                            .$field
-                            .load(::std::sync::atomic::Ordering::Relaxed),
-                    )+
+                    $($field: self.$field.get(),)+
                 }
             }
         }
@@ -910,6 +1028,18 @@ mod tests {
             Event::Reclaim { frames_freed: 3 },
             Event::FrameAlloc { frame: 7, order: 0 },
             Event::FrameFree { frame: 7, order: 0 },
+            Event::MagRefill {
+                order: 0,
+                blocks: 32,
+            },
+            Event::MagDrain {
+                order: 9,
+                blocks: 4,
+            },
+            Event::BulkFree {
+                blocks: 17,
+                frames: 4113,
+            },
         ];
         for ev in cases {
             let (tag, sub, a, b, c) = ev.encode();
@@ -1049,6 +1179,36 @@ mod tests {
         let t = snapshot();
         set_enabled(false);
         assert!(t.for_frame(0xDEAD_F00D, 1).is_empty());
+    }
+
+    #[test]
+    fn bulk_transfer_events_carry_no_frame() {
+        // MagRefill/MagDrain/BulkFree move blocks between free tiers;
+        // `for_frame` provenance must come only from the per-block
+        // FrameAlloc/FrameFree records, never be double-counted by the
+        // batched transfer records.
+        for ev in [
+            Event::MagRefill {
+                order: 0,
+                blocks: 32,
+            },
+            Event::MagDrain {
+                order: 0,
+                blocks: 32,
+            },
+            Event::BulkFree {
+                blocks: 2,
+                frames: 513,
+            },
+        ] {
+            assert_eq!(ev.frame(), None, "{ev:?} must not alias a frame id");
+            let bit = 1u64 << ev.encode().0;
+            assert_eq!(
+                EventClass::Kmem.bits() & bit,
+                bit,
+                "{ev:?} must be gated by the kmem class"
+            );
+        }
     }
 
     #[test]

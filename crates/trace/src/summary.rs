@@ -46,6 +46,10 @@ pub struct TraceSummary {
     pub cow_bytes: Histogram,
     /// Install races lost per fault (the `retries` field distribution).
     pub fault_retries: Histogram,
+    /// Blocks moved per magazine refill/drain (batch-size distribution).
+    pub mag_transfer_blocks: Histogram,
+    /// Blocks returned per mmu_gather-style batched free flush.
+    pub bulk_free_blocks: Histogram,
     /// Instant-event counts keyed by class (`tlb_flush`,
     /// `lock_retry_<site>`, `reclaim`, ...).
     pub counts: BTreeMap<String, u64>,
@@ -102,6 +106,18 @@ impl TraceSummary {
                 Event::Reclaim { .. } => bump(&mut s.counts, "reclaim"),
                 Event::FrameAlloc { .. } => bump(&mut s.counts, "frame_alloc"),
                 Event::FrameFree { .. } => bump(&mut s.counts, "frame_free"),
+                Event::MagRefill { blocks, .. } => {
+                    bump(&mut s.counts, "mag_refill");
+                    s.mag_transfer_blocks.record(blocks);
+                }
+                Event::MagDrain { blocks, .. } => {
+                    bump(&mut s.counts, "mag_drain");
+                    s.mag_transfer_blocks.record(blocks);
+                }
+                Event::BulkFree { blocks, .. } => {
+                    bump(&mut s.counts, "bulk_free");
+                    s.bulk_free_blocks.record(blocks);
+                }
             }
         }
         s.faults = faults.into_values().collect();
@@ -180,6 +196,22 @@ impl TraceSummary {
                 "Bytes physically copied per COW event",
                 &[],
                 &self.cow_bytes,
+            );
+        }
+        if self.mag_transfer_blocks.count() > 0 {
+            p.quantiles(
+                "odf_trace_mag_transfer_blocks",
+                "Blocks moved per magazine refill/drain",
+                &[],
+                &self.mag_transfer_blocks,
+            );
+        }
+        if self.bulk_free_blocks.count() > 0 {
+            p.quantiles(
+                "odf_trace_bulk_free_blocks",
+                "Blocks returned per batched free flush",
+                &[],
+                &self.bulk_free_blocks,
             );
         }
         for (class, count) in &self.counts {

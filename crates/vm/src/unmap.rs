@@ -65,7 +65,15 @@ pub(crate) fn munmap(machine: &Machine, inner: &mut MmInner, addr: u64, len: u64
 /// Clears every translation in `[start, end)`. The VMAs covering the range
 /// must already have been removed from the tree (the shared-table release
 /// test consults the remaining VMAs).
+///
+/// Frees are gathered mmu_gather-style: each dying page's reference drop
+/// and identity teardown happen in place (so racing GUP-fast pins observe
+/// the kernel-equivalent states), but the dead blocks rejoin the buddy in
+/// one batched call per sweep — the allocator lock is taken once per
+/// `zap_range`, not once per page — flushed before the TLB shootdown that
+/// ends the sweep, mirroring `tlb_finish_mmu`.
 pub(crate) fn zap_range(machine: &Machine, inner: &mut MmInner, start: u64, end: u64) {
+    let mut batch = machine.pool().free_batch();
     let mut at = VirtAddr::new(start);
     let end_va = VirtAddr::new(end);
     while at < end_va {
@@ -86,16 +94,17 @@ pub(crate) fn zap_range(machine: &Machine, inner: &mut MmInner, start: u64, end:
             let e = pmd.load();
             if e.is_present() {
                 if e.is_huge() {
-                    machine.pool().ref_dec(e.frame());
+                    batch.ref_dec(e.frame());
                     pmd.store(Entry::NONE);
                     inner.rss_sub(ENTRIES_PER_TABLE as u64);
                 } else {
-                    zap_table_chunk(machine, inner, &pmd, e, at, chunk_end);
+                    zap_table_chunk(machine, inner, &pmd, e, at, chunk_end, &mut batch);
                 }
             }
         }
         at = chunk_end;
     }
+    batch.flush();
     VmStats::bump(&machine.stats().tlb_flushes);
     odf_trace::emit(odf_trace::Event::TlbFlush);
 }
@@ -154,7 +163,8 @@ fn resolve_shared_pmd(
 }
 
 /// Clears the PTEs of `[at, chunk_end)` within one last-level table,
-/// applying the shared-table rules of §3.3.
+/// applying the shared-table rules of §3.3. Dying pages are parked in
+/// `batch`; the caller flushes once per sweep.
 fn zap_table_chunk(
     machine: &Machine,
     inner: &mut MmInner,
@@ -162,6 +172,7 @@ fn zap_table_chunk(
     e: Entry,
     at: VirtAddr,
     chunk_end: VirtAddr,
+    batch: &mut odf_pmem::FreeBatch<'_>,
 ) {
     let pool = machine.pool();
     let table_frame = e.frame();
@@ -216,7 +227,7 @@ fn zap_table_chunk(
     for idx in first..(first + pages).min(ENTRIES_PER_TABLE) {
         let pte = table.load(idx);
         if pte.is_present() {
-            pool.ref_dec(pool.compound_head(pte.frame()));
+            batch.ref_dec(pool.compound_head(pte.frame()));
             table.store(idx, Entry::NONE);
             inner.rss_sub(1);
         }

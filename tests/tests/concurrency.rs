@@ -528,3 +528,128 @@ fn faults_race_soft_dirty_clears_without_corruption() {
     }
     assert_pool_balanced(kernel.machine().pool(), baseline);
 }
+
+#[test]
+fn raw_pool_churn_crosses_magazine_tiers_and_threads() {
+    // Hammer the tiered allocator directly: every worker churns enough
+    // order-0 and huge blocks to drive magazine refills, watermark spills,
+    // and drains, and half the traffic is freed by a *different* thread
+    // than the one that allocated it (so blocks migrate between magazine
+    // slots through the shared exchange). The pool must account for every
+    // frame afterwards.
+    use odf_pmem::{FramePool, PageKind};
+    use std::sync::Mutex;
+
+    let pool = FramePool::new(1 << 14);
+    let baseline = pool.balance();
+    let exchange: Mutex<Vec<odf_pmem::FrameId>> = Mutex::new(Vec::new());
+    let threads = 8;
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let pool = &pool;
+            let exchange = &exchange;
+            let barrier = &barrier;
+            s.spawn(move || {
+                barrier.wait();
+                let mut mine: Vec<odf_pmem::FrameId> = Vec::new();
+                let mut hugs: Vec<odf_pmem::FrameId> = Vec::new();
+                for i in 0..2_000usize {
+                    match (i + t) % 5 {
+                        // Keep a private working set churning (magazine
+                        // fast path, refills on misses).
+                        0 | 1 => mine.push(pool.alloc_page(PageKind::Anon).unwrap()),
+                        2 => {
+                            if let Some(f) = mine.pop() {
+                                assert!(pool.ref_dec(f));
+                            }
+                        }
+                        // Push frames to whoever frees them (cross-slot
+                        // traffic: freed into a different magazine than
+                        // they were allocated from).
+                        3 => {
+                            let f = pool.alloc_page(PageKind::Anon).unwrap();
+                            exchange.lock().unwrap().push(f);
+                            if let Some(f) = exchange.lock().unwrap().pop() {
+                                assert!(pool.ref_dec(f));
+                            }
+                        }
+                        // Huge blocks exercise the second magazine lane
+                        // and, on spills, buddy merge paths.
+                        _ => {
+                            if let Ok(h) = pool.alloc_huge(PageKind::Anon) {
+                                hugs.push(h);
+                            }
+                            if hugs.len() > 2 {
+                                assert!(pool.ref_dec(hugs.swap_remove(0)));
+                            }
+                        }
+                    }
+                }
+                for f in mine.drain(..).chain(hugs.drain(..)) {
+                    assert!(pool.ref_dec(f));
+                }
+            });
+        }
+    });
+    for f in exchange.into_inner().unwrap() {
+        assert!(pool.ref_dec(f));
+    }
+    let snap = pool.stats().snapshot();
+    assert!(snap.pcp_hits > 0, "magazine fast path never hit");
+    assert!(snap.pcp_refills > 0, "no bulk refill happened");
+    assert_pool_balanced(&pool, baseline);
+}
+
+#[test]
+fn cow_fault_storm_rebalances_the_tiered_pool() {
+    // Post-fork write-fault storm from many threads: every COW fault
+    // allocates through the magazine tier while unrelated threads churn
+    // the same pool, and child teardown returns frames through the
+    // batched (mmu_gather-style) free path. The combination must leave
+    // the pool exactly as it started.
+    use odf_pmem::PageKind;
+
+    let kernel = Kernel::new(256 * MIB);
+    let baseline = kernel.machine().pool().balance();
+    {
+        let proc = kernel.spawn().unwrap();
+        let addr = proc.mmap_anon(16 * MIB).unwrap();
+        proc.populate(addr, 16 * MIB, true).unwrap();
+        proc.write_u64(addr, 0xA5).unwrap();
+        let child = Arc::new(proc.fork_with(ForkPolicy::OnDemand).unwrap());
+        let threads = 4u64;
+        let pages_per = 16 * MIB / PAGE / threads;
+        std::thread::scope(|s| {
+            for t in 0..threads {
+                let child = Arc::clone(&child);
+                let base = addr + t * pages_per * PAGE;
+                s.spawn(move || {
+                    for p in 0..pages_per {
+                        child.write_u64(base + p * PAGE, t ^ p).unwrap();
+                    }
+                });
+            }
+            // Concurrent raw churn keeps the magazines hot and contended
+            // while the faults run.
+            let pool = kernel.machine().pool();
+            s.spawn(move || {
+                for _ in 0..10_000 {
+                    let f = pool.alloc_page(PageKind::Anon).unwrap();
+                    assert!(pool.ref_dec(f));
+                }
+            });
+        });
+        // Spot-check isolation survived the storm.
+        assert_eq!(child.read_u64(addr).unwrap(), 0);
+        assert_eq!(proc.read_u64(addr).unwrap(), 0xA5);
+        Arc::try_unwrap(child).ok().unwrap().exit();
+        proc.exit();
+    }
+    let snap = kernel.machine().pool().stats().snapshot();
+    assert!(
+        snap.bulk_free_batches > 0,
+        "teardown never used batched frees"
+    );
+    assert_pool_balanced(kernel.machine().pool(), baseline);
+}
