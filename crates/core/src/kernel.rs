@@ -6,6 +6,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use odf_pmem::StatsSnapshot;
+use odf_reclaim::{DaemonConfig, DaemonStats, ReclaimDaemon, ReclaimPolicy};
 use odf_vm::{ForkPolicy, Machine, Mm, Result, VmStatsSnapshot};
 use parking_lot::Mutex;
 
@@ -63,6 +64,9 @@ pub struct Kernel {
     policies: Mutex<HashMap<Pid, ForkPolicy>>,
     /// Policy used when a process has no override.
     default_policy: Mutex<ForkPolicy>,
+    /// The background reclaim daemon (kswapd analog), when started.
+    /// Stopped and joined when the last kernel handle drops.
+    reclaim_daemon: Mutex<Option<ReclaimDaemon>>,
 }
 
 impl Kernel {
@@ -74,6 +78,7 @@ impl Kernel {
             live_processes: AtomicU64::new(0),
             policies: Mutex::new(HashMap::new()),
             default_policy: Mutex::new(ForkPolicy::Classic),
+            reclaim_daemon: Mutex::new(None),
         })
     }
 
@@ -101,10 +106,15 @@ impl Kernel {
         Ok(proc)
     }
 
-    /// Registers an address space as a new process.
+    /// Registers an address space as a new process. Every process's
+    /// address space is registered with the machine as an eviction
+    /// target, so reclaim (direct and the background daemon) can push
+    /// its cold anonymous pages to swap under memory pressure.
     pub(crate) fn adopt(self: &Arc<Self>, mm: Mm) -> Process {
         let pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed));
         self.live_processes.fetch_add(1, Ordering::Relaxed);
+        let mm = Arc::new(mm);
+        self.machine.register_mm(&mm);
         Process::new(Arc::clone(self), pid, mm)
     }
 
@@ -145,6 +155,47 @@ impl Kernel {
             .get(&pid)
             .copied()
             .unwrap_or(*self.default_policy.lock())
+    }
+
+    // ------------------------------------------------------------------
+    // Memory-pressure daemon (kswapd analog)
+    // ------------------------------------------------------------------
+
+    /// Starts the background reclaim daemon with the given policy and
+    /// config, replacing (stopping) any daemon already running.
+    ///
+    /// Without a daemon, memory pressure is handled purely by direct
+    /// reclaim inside failed allocations — correct but paid for on the
+    /// fault path. The daemon moves that work to the background, which is
+    /// what keeps fault latency flat under sustained pressure.
+    pub fn start_reclaim_daemon(&self, policy: Box<dyn ReclaimPolicy>, config: DaemonConfig) {
+        let daemon = ReclaimDaemon::spawn(Arc::clone(&self.machine), policy, config);
+        *self.reclaim_daemon.lock() = Some(daemon);
+    }
+
+    /// Starts the reclaim daemon with the default clock policy and config.
+    pub fn start_default_reclaim_daemon(&self) {
+        self.start_reclaim_daemon(Box::new(odf_reclaim::ClockPolicy), DaemonConfig::default());
+    }
+
+    /// Stops (and joins) the reclaim daemon, if one is running.
+    pub fn stop_reclaim_daemon(&self) {
+        self.reclaim_daemon.lock().take();
+    }
+
+    /// Wakes the reclaim daemon immediately, if one is running.
+    pub fn kick_reclaim_daemon(&self) {
+        if let Some(d) = self.reclaim_daemon.lock().as_ref() {
+            d.kick();
+        }
+    }
+
+    /// Activity counters of the running reclaim daemon, if any.
+    pub fn reclaim_daemon_stats(&self) -> Option<DaemonStats> {
+        self.reclaim_daemon
+            .lock()
+            .as_ref()
+            .map(ReclaimDaemon::stats)
     }
 
     /// Snapshot of all kernel counters.
@@ -194,6 +245,38 @@ mod tests {
         assert_eq!(k.effective_fork_policy(p.pid()), ForkPolicy::Classic);
         k.set_fork_policy(p.pid(), None);
         assert_eq!(k.effective_fork_policy(p.pid()), ForkPolicy::OnDemand);
+    }
+
+    #[test]
+    fn daemon_keeps_an_oversized_working_set_alive() {
+        // Working set 2x physical memory: only reclaim (background daemon
+        // plus direct-reclaim fallback) lets this complete.
+        let k = Kernel::new(64 << 12); // 64 frames
+        k.start_default_reclaim_daemon();
+        let p = k.spawn().unwrap();
+        let len = 128u64 << 12;
+        let a = p.mmap_anon(len).unwrap();
+        for pg in 0..128u64 {
+            p.write_u64(a + (pg << 12), pg ^ 0xface).unwrap();
+        }
+        for pg in 0..128u64 {
+            assert_eq!(p.read_u64(a + (pg << 12)).unwrap(), pg ^ 0xface);
+        }
+        let stats = k.stats();
+        assert!(stats.vm.pages_swapped_out > 0, "eviction must have run");
+        assert!(
+            stats.vm.pages_swapped_in > 0,
+            "swap-in faults must have run"
+        );
+        k.stop_reclaim_daemon();
+        assert!(k.reclaim_daemon_stats().is_none());
+        drop(p);
+        // Teardown released every frame and every swap slot.
+        assert_eq!(
+            k.machine().pool().free_frames(),
+            k.machine().pool().total_frames()
+        );
+        assert_eq!(k.machine().swap().used_slots(), 0);
     }
 
     #[test]

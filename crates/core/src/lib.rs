@@ -55,8 +55,13 @@ pub use process::Process;
 pub use ualloc::UserHeap;
 
 pub use odf_vm::{
-    Backing, ForkPolicy, Machine, MapParams, MmReport, PagemapEntry, Prot, Result, Smaps,
-    SmapsEntry, VmError, VmFile, HUGE_PAGE_SIZE, PAGE_SIZE,
+    Backing, EvictCandidate, EvictDecision, EvictStats, ForkPolicy, Machine, MapParams, MmReport,
+    PagemapEntry, Prot, Result, Smaps, SmapsEntry, VmError, VmFile, HUGE_PAGE_SIZE, PAGE_SIZE,
+};
+
+pub use odf_reclaim::{
+    policy_by_name as reclaim_policy_by_name, ClockPolicy, DaemonConfig, DaemonStats, FifoPolicy,
+    LruPolicy, ReclaimPolicy,
 };
 
 pub use odf_snapshot::{

@@ -20,13 +20,15 @@ use crate::kernel::{Kernel, Pid};
 pub struct Process {
     kernel: Arc<Kernel>,
     pid: Pid,
-    mm: Mm,
+    /// Shared so the machine's reclaim machinery can hold a weak
+    /// registration (eviction target list) without pinning the process.
+    mm: Arc<Mm>,
     /// Checkpoint epochs taken so far; epoch `n` diffs against `n - 1`.
     epoch: AtomicU64,
 }
 
 impl Process {
-    pub(crate) fn new(kernel: Arc<Kernel>, pid: Pid, mm: Mm) -> Self {
+    pub(crate) fn new(kernel: Arc<Kernel>, pid: Pid, mm: Arc<Mm>) -> Self {
         Self {
             kernel,
             pid,
@@ -48,6 +50,24 @@ impl Process {
     /// Direct access to the address space (advanced use and tests).
     pub fn mm(&self) -> &Mm {
         &self.mm
+    }
+
+    /// Pins this process's memory resident (the `mlockall` analog):
+    /// removes its address space from the machine's eviction-target list
+    /// so reclaim never swaps its pages out. Without eviction targets to
+    /// make progress on, allocations once the pool is exhausted fail with
+    /// [`odf_vm::VmError::NoMemory`] instead of overcommitting into swap.
+    ///
+    /// Like `mlock`, the pin is per-address-space and is not inherited by
+    /// forked children.
+    pub fn mlockall(&self) {
+        self.kernel.machine().unregister_mm(&self.mm);
+    }
+
+    /// Undoes [`Process::mlockall`], making the address space an eviction
+    /// target again.
+    pub fn munlockall(&self) {
+        self.kernel.machine().register_mm(&self.mm);
     }
 
     // ------------------------------------------------------------------

@@ -36,6 +36,12 @@ impl EntryFlags {
     /// address.
     pub const SOFT_DIRTY: u64 = 1 << 9;
 
+    /// The entry is a typed swap entry: not present, its frame bits hold a
+    /// swap-slot index instead of a frame number (bit 62, outside both the
+    /// frame mask and the hardware-defined flags — Linux overloads the
+    /// non-present encoding the same way via `swp_entry_t`).
+    pub const SWAP: u64 = 1 << 62;
+
     /// Mask of all defined flag bits.
     pub const ALL: u64 = Self::PRESENT
         | Self::WRITABLE
@@ -89,6 +95,20 @@ impl Entry {
         Entry(Entry::page(frame, writable).0 | EntryFlags::HUGE)
     }
 
+    /// Builds a swap entry: a non-present PTE whose frame bits carry the
+    /// index of the swap slot holding the evicted page's contents.
+    ///
+    /// `soft_dirty` carries the evicted PTE's soft-dirty bit across the
+    /// round trip, so an incremental snapshot taken while (or after) the
+    /// page is swapped out still knows it changed in this epoch.
+    pub fn swap(slot: u32, soft_dirty: bool) -> Entry {
+        let mut raw = ((slot as u64) << PAGE_SHIFT) | EntryFlags::SWAP;
+        if soft_dirty {
+            raw |= EntryFlags::SOFT_DIRTY;
+        }
+        Entry(raw)
+    }
+
     /// Builds a non-leaf entry referencing a lower-level table.
     ///
     /// Table references are created writable; write protection of shared
@@ -111,6 +131,18 @@ impl Entry {
     /// Whether this PMD entry maps a huge page.
     pub fn is_huge(self) -> bool {
         self.0 & EntryFlags::HUGE != 0
+    }
+
+    /// Whether this is a swap entry (not present, contents evicted to a
+    /// swap slot).
+    pub fn is_swap(self) -> bool {
+        self.0 & (EntryFlags::SWAP | EntryFlags::PRESENT) == EntryFlags::SWAP
+    }
+
+    /// The swap-slot index of a swap entry (the frame-bit field reused as
+    /// a slot number). Meaningless unless [`Entry::is_swap`].
+    pub fn swap_slot(self) -> u32 {
+        ((self.0 & FRAME_MASK) >> PAGE_SHIFT) as u32
     }
 
     /// Whether the accessed bit is set.
@@ -147,6 +179,14 @@ impl Entry {
 
 impl std::fmt::Debug for Entry {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_swap() {
+            return write!(
+                f,
+                "Entry(swap slot {}{})",
+                self.swap_slot(),
+                if self.is_soft_dirty() { " SD" } else { "" },
+            );
+        }
         if !self.is_present() {
             return write!(f, "Entry(none)");
         }
@@ -216,6 +256,28 @@ mod tests {
     fn none_entry_is_not_present() {
         assert!(!Entry::NONE.is_present());
         assert_eq!(format!("{:?}", Entry::NONE), "Entry(none)");
+    }
+
+    #[test]
+    fn swap_entries_round_trip_and_are_not_present() {
+        let e = Entry::swap(0xBEEF, true);
+        assert!(e.is_swap());
+        assert!(!e.is_present());
+        assert!(e.is_soft_dirty());
+        assert_eq!(e.swap_slot(), 0xBEEF);
+        let clean = Entry::swap(7, false);
+        assert!(!clean.is_soft_dirty());
+        assert_eq!(clean.swap_slot(), 7);
+        // A racing A-bit OR (hardware walker semantics) must not disturb
+        // the slot index.
+        assert_eq!(
+            clean.with_set(EntryFlags::ACCESSED).swap_slot(),
+            7,
+            "flag bits must not alias slot bits"
+        );
+        assert!(!Entry::NONE.is_swap());
+        assert!(!Entry::page(FrameId(7), true).is_swap());
+        assert!(format!("{:?}", e).contains("swap slot 48879"));
     }
 
     #[test]

@@ -91,9 +91,16 @@ impl Table {
             .count()
     }
 
-    /// Whether no entry is present.
+    /// Whether the table holds no entries at all — not even non-present
+    /// ones such as swap entries.
+    ///
+    /// This is deliberately stricter than "no present entry": a table
+    /// whose only contents are swap entries still owns swap-slot
+    /// references, and freeing it would leak them. Unmap paths that want
+    /// to reclaim a table must first clear (and account) every entry,
+    /// swap entries included.
     pub fn is_empty(&self) -> bool {
-        (0..ENTRIES_PER_TABLE).all(|i| !self.load(i).is_present())
+        (0..ENTRIES_PER_TABLE).all(|i| self.load(i) == Entry::NONE)
     }
 
     /// Copies every raw entry of `src` into this table.

@@ -6,10 +6,18 @@ pub enum PmemError {
     /// The pool has no free block of the requested order.
     ///
     /// This is the analog of the kernel's allocation failure under memory
-    /// pressure; the virtual-memory layer maps it to `ENOMEM`.
+    /// pressure; the virtual-memory layer maps it to `ENOMEM` after its
+    /// direct-reclaim retry. The watermark state captured at failure time
+    /// tells the caller (and the error message) how far below the reclaim
+    /// trigger the pool was.
     OutOfFrames {
         /// The allocation order that could not be satisfied.
         order: u8,
+        /// Free base frames at failure time (both allocator tiers).
+        free_frames: u64,
+        /// The pool's low watermark — the free-frame count below which the
+        /// background reclaim daemon is expected to run.
+        low_watermark: u64,
     },
     /// A frame id was outside the pool.
     BadFrame,
@@ -18,8 +26,16 @@ pub enum PmemError {
 impl std::fmt::Display for PmemError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            PmemError::OutOfFrames { order } => {
-                write!(f, "out of physical frames (order {order})")
+            PmemError::OutOfFrames {
+                order,
+                free_frames,
+                low_watermark,
+            } => {
+                write!(
+                    f,
+                    "out of physical frames (order {order}, {free_frames} free, \
+                     low watermark {low_watermark})"
+                )
             }
             PmemError::BadFrame => write!(f, "frame id outside the pool"),
         }
@@ -36,8 +52,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn display_mentions_order() {
-        let e = PmemError::OutOfFrames { order: 9 };
-        assert!(e.to_string().contains("order 9"));
+    fn display_mentions_order_and_watermark_state() {
+        let e = PmemError::OutOfFrames {
+            order: 9,
+            free_frames: 3,
+            low_watermark: 128,
+        };
+        let s = e.to_string();
+        assert!(s.contains("order 9"));
+        assert!(s.contains("3 free"));
+        assert!(s.contains("low watermark 128"));
     }
 }

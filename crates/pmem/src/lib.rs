@@ -39,10 +39,12 @@ mod pcp;
 mod pool;
 mod spin;
 mod stats;
+mod swap;
 
 pub use error::{PmemError, Result};
 pub use frame::{FrameId, HUGE_ORDER, HUGE_PAGE_SIZE, MAX_ORDER, PAGE_SHIFT, PAGE_SIZE};
 pub use gather::FreeBatch;
 pub use page::{Page, PageFlags, PageKind};
-pub use pool::{assert_pool_balanced, FramePool, PoolBalance};
+pub use pool::{assert_pool_balanced, FramePool, PoolBalance, Watermarks};
 pub use stats::{PoolStats, StatsSnapshot};
+pub use swap::{CompressedBackend, FileBackend, SwapBackend, SwapMap};

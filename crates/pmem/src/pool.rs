@@ -19,6 +19,32 @@ type FrameData = RwLock<Option<Box<[u8; PAGE_SIZE]>>>;
 /// The all-zeros page used as the source for reads of unmaterialized frames.
 static ZERO_PAGE: [u8; PAGE_SIZE] = [0; PAGE_SIZE];
 
+/// Free-frame thresholds that drive the reclaim subsystem — the
+/// `zone->watermark[]` analog.
+///
+/// The background daemon wakes when free frames drop below `low` and scans
+/// until they recover above `high`; an allocation that fails outright
+/// triggers direct reclaim regardless of the watermarks. Both are in base
+/// (order-0) frames, fixed at pool construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Watermarks {
+    /// Wake the background reclaim daemon below this many free frames.
+    pub low: usize,
+    /// The daemon stops scanning once free frames recover above this.
+    pub high: usize,
+}
+
+impl Watermarks {
+    /// Derives the default watermarks for a pool of `total` frames:
+    /// low ≈ total/32 (clamped to stay meaningful for tiny test pools),
+    /// high = 2 × low.
+    fn for_pool(total: usize) -> Self {
+        let low = (total / 32).max(8).min(total / 4).max(1);
+        let high = (low * 2).min(total / 2).max(low);
+        Self { low, high }
+    }
+}
+
 /// A point-in-time frame-accounting snapshot of a [`FramePool`].
 ///
 /// Captured via [`FramePool::balance`] before a test scenario and compared
@@ -158,6 +184,8 @@ pub struct FramePool {
     /// Pool size, invariant for the pool's lifetime — monitoring reads it
     /// without touching the buddy lock.
     total: usize,
+    /// Reclaim trigger thresholds, fixed at construction.
+    watermarks: Watermarks,
     stats: PoolStats,
 }
 
@@ -191,6 +219,7 @@ impl FramePool {
             buddy: SpinMutex::new(Buddy::new(frames)),
             pcp: tiered.then(PcpCache::new),
             total: frames,
+            watermarks: Watermarks::for_pool(frames),
             stats: PoolStats::default(),
         })
     }
@@ -205,6 +234,17 @@ impl FramePool {
     /// construction, so metric exporters never touch the buddy lock here.
     pub fn total_frames(&self) -> usize {
         self.total
+    }
+
+    /// The pool's reclaim watermarks (fixed at construction, lock-free).
+    pub fn watermarks(&self) -> Watermarks {
+        self.watermarks
+    }
+
+    /// Whether free frames have dropped below the low watermark — the
+    /// background reclaim daemon's wake condition.
+    pub fn below_low_watermark(&self) -> bool {
+        self.free_frames() < self.watermarks.low
     }
 
     /// Currently free base frames, summed over both tiers: blocks in the
@@ -302,7 +342,14 @@ impl FramePool {
                 None => None,
             },
         };
-        head.ok_or(PmemError::OutOfFrames { order })
+        head.ok_or_else(|| {
+            PoolStats::bump(&self.stats.alloc_failures);
+            PmemError::OutOfFrames {
+                order,
+                free_frames: self.free_frames() as u64,
+                low_watermark: self.watermarks.low as u64,
+            }
+        })
     }
 
     /// Allocates a block of `2^order` frames with raw metadata.
@@ -789,10 +836,37 @@ mod tests {
         for _ in 0..4 {
             pool.alloc_page(PageKind::Anon).unwrap();
         }
+        let before = pool.stats().snapshot();
+        let err = pool.alloc_page(PageKind::Anon).unwrap_err();
+        // The error carries the watermark state observed at failure time,
+        // and the failure is counted.
         assert_eq!(
-            pool.alloc_page(PageKind::Anon),
-            Err(PmemError::OutOfFrames { order: 0 })
+            err,
+            PmemError::OutOfFrames {
+                order: 0,
+                free_frames: 0,
+                low_watermark: pool.watermarks().low as u64,
+            }
         );
+        let delta = pool.stats().snapshot() - before;
+        assert_eq!(delta.alloc_failures, 1);
+    }
+
+    #[test]
+    fn watermarks_scale_with_pool_size_and_stay_sane_when_tiny() {
+        let big = FramePool::new(65536);
+        let w = big.watermarks();
+        assert_eq!(w.low, 65536 / 32);
+        assert_eq!(w.high, 2 * w.low);
+        assert!(!big.below_low_watermark());
+        let tiny = FramePool::new(4);
+        let w = tiny.watermarks();
+        assert!(w.low >= 1 && w.low <= 4);
+        assert!(w.high >= w.low);
+        for _ in 0..4 {
+            tiny.alloc_page(PageKind::Anon).unwrap();
+        }
+        assert!(tiny.below_low_watermark());
     }
 
     #[test]
@@ -883,10 +957,14 @@ mod tests {
         }
         let h = pool.alloc_huge(PageKind::Anon).unwrap();
         assert_eq!(pool.free_frames(), 0);
-        assert_eq!(
+        assert!(matches!(
             pool.alloc_page(PageKind::Anon),
-            Err(PmemError::OutOfFrames { order: 0 })
-        );
+            Err(PmemError::OutOfFrames {
+                order: 0,
+                free_frames: 0,
+                ..
+            })
+        ));
         assert!(pool.ref_dec(h));
         assert_eq!(pool.balance().free_frames, 512);
     }

@@ -212,6 +212,26 @@ pub(crate) fn chrome_json(trace: &Trace) -> String {
             Event::BulkFree { blocks, frames } => format!(
                 "{{\"name\":\"bulk_free\",\"cat\":\"mm\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3},\"args\":{{\"blocks\":{blocks},\"frames\":{frames}}}}}",
             ),
+            Event::ReclaimScanStart {
+                free_frames,
+                low_watermark,
+            } => format!(
+                "{{\"name\":\"reclaim_scan\",\"cat\":\"reclaim\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3},\"args\":{{\"free_frames\":{free_frames},\"low_watermark\":{low_watermark}}}}}",
+            ),
+            Event::Evicted {
+                frame,
+                slot,
+                latency_ns,
+            } => format!(
+                "{{\"name\":\"evict\",\"cat\":\"reclaim\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"frame\":{frame},\"slot\":{slot}}}}}",
+                (r.ts_ns.saturating_sub(latency_ns)) as f64 / 1000.0,
+                latency_ns as f64 / 1000.0,
+            ),
+            Event::SwappedIn { slot, latency_ns } => format!(
+                "{{\"name\":\"swap_in\",\"cat\":\"reclaim\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"slot\":{slot}}}}}",
+                (r.ts_ns.saturating_sub(latency_ns)) as f64 / 1000.0,
+                latency_ns as f64 / 1000.0,
+            ),
         };
         rows.push(row);
     }

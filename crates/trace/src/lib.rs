@@ -107,6 +107,8 @@ pub enum FaultKind {
     /// The fault found the translation already established (a sibling
     /// thread won the race); no work was done.
     Spurious,
+    /// Read an evicted page back from a swap slot (major fault analog).
+    SwapIn,
 }
 
 impl FaultKind {
@@ -119,6 +121,7 @@ impl FaultKind {
             4 => Self::CowHuge,
             5 => Self::TableCow,
             6 => Self::PmdTableCow,
+            8 => Self::SwapIn,
             _ => Self::Spurious,
         }
     }
@@ -133,6 +136,7 @@ impl FaultKind {
             Self::TableCow => 5,
             Self::PmdTableCow => 6,
             Self::Spurious => 7,
+            Self::SwapIn => 8,
         }
     }
 
@@ -147,11 +151,12 @@ impl FaultKind {
             Self::TableCow => "table_cow",
             Self::PmdTableCow => "pmd_table_cow",
             Self::Spurious => "spurious",
+            Self::SwapIn => "swap_in",
         }
     }
 
     /// Every kind, for exhaustive summaries.
-    pub const ALL: [FaultKind; 8] = [
+    pub const ALL: [FaultKind; 9] = [
         Self::DemandZero,
         Self::DemandHuge,
         Self::CowData,
@@ -160,6 +165,7 @@ impl FaultKind {
         Self::TableCow,
         Self::PmdTableCow,
         Self::Spurious,
+        Self::SwapIn,
     ];
 }
 
@@ -307,6 +313,30 @@ pub enum Event {
         /// Total base frames those blocks span.
         frames: u64,
     },
+    /// A reclaim scan pass started (the `mm_vmscan_kswapd_wake` /
+    /// direct-reclaim-begin analog).
+    ReclaimScanStart {
+        /// Free base frames at scan start.
+        free_frames: u64,
+        /// The pool's low watermark that triggered (or gated) the scan.
+        low_watermark: u64,
+    },
+    /// The reclaim scan evicted one page to a swap slot.
+    Evicted {
+        /// The frame whose data was written out (freed by the eviction).
+        frame: u64,
+        /// The swap slot now holding the data.
+        slot: u64,
+        /// Wall time of the eviction (copy-out + slot write + PTE store).
+        latency_ns: u64,
+    },
+    /// A fault read an evicted page back from its swap slot.
+    SwappedIn {
+        /// The swap slot the data came from.
+        slot: u64,
+        /// Wall time of the swap-in data path (slot read + frame write).
+        latency_ns: u64,
+    },
 }
 
 impl Event {
@@ -316,7 +346,8 @@ impl Event {
         match *self {
             Event::CowCopy { frame, .. }
             | Event::FrameAlloc { frame, .. }
-            | Event::FrameFree { frame, .. } => Some(frame),
+            | Event::FrameFree { frame, .. }
+            | Event::Evicted { frame, .. } => Some(frame),
             _ => None,
         }
     }
@@ -336,6 +367,9 @@ impl Event {
             Event::MagRefill { .. } => "mag_refill",
             Event::MagDrain { .. } => "mag_drain",
             Event::BulkFree { .. } => "bulk_free",
+            Event::ReclaimScanStart { .. } => "reclaim_scan_start",
+            Event::Evicted { .. } => "evicted",
+            Event::SwappedIn { .. } => "swapped_in",
         }
     }
 
@@ -368,6 +402,16 @@ impl Event {
             Event::MagRefill { order, blocks } => (10, order, blocks, 0, 0),
             Event::MagDrain { order, blocks } => (11, order, blocks, 0, 0),
             Event::BulkFree { blocks, frames } => (12, 0, blocks, frames, 0),
+            Event::ReclaimScanStart {
+                free_frames,
+                low_watermark,
+            } => (13, 0, free_frames, low_watermark, 0),
+            Event::Evicted {
+                frame,
+                slot,
+                latency_ns,
+            } => (14, 0, frame, slot, latency_ns),
+            Event::SwappedIn { slot, latency_ns } => (15, 0, slot, latency_ns, 0),
         }
     }
 
@@ -420,6 +464,19 @@ impl Event {
                 blocks: a,
                 frames: b,
             },
+            13 => Event::ReclaimScanStart {
+                free_frames: a,
+                low_watermark: b,
+            },
+            14 => Event::Evicted {
+                frame: a,
+                slot: b,
+                latency_ns: c,
+            },
+            15 => Event::SwappedIn {
+                slot: a,
+                latency_ns: b,
+            },
             _ => return None,
         })
     }
@@ -443,13 +500,15 @@ pub struct TraceRecord {
 /// Words per slot: seq, ts, meta (tag|sub|thread), a, b, c.
 const SLOT_WORDS: usize = 6;
 
-/// Default per-thread capacity in events (48 KiB per ring). Sized for the
-/// fault path's overhead budget, not for depth: a streaming COW workload
-/// cycles the whole ring, so ring footprint is cache pollution charged to
-/// every fault — measured on the fault microbenchmark, 48 KiB costs ~1.5
-/// points of overhead less than 190 KiB. Deep captures should raise
-/// `ODF_TRACE_CAPACITY` instead.
-const DEFAULT_CAPACITY: usize = 1024;
+/// Default per-thread capacity in events (24 KiB per ring). Sized for the
+/// fault path's overhead budget, not for depth: a streaming COW or swap-in
+/// workload cycles the whole ring, so ring footprint is cache pollution
+/// charged to every fault — measured on the fault microbenchmarks, 48 KiB
+/// costs ~1.5 points of overhead less than 190 KiB, and 24 KiB keeps the
+/// ring L1-resident next to the working set (two records per major fault
+/// would cycle a 48 KiB ring through L1 every few hundred faults). Deep
+/// captures should raise `ODF_TRACE_CAPACITY` instead.
+const DEFAULT_CAPACITY: usize = 512;
 
 struct Ring {
     /// Flat `capacity * SLOT_WORDS` atomics; slot `i` starts at
@@ -470,6 +529,10 @@ struct Ring {
 
 impl Ring {
     fn new(capacity: usize, thread: u32) -> Self {
+        // Power-of-two capacity lets the push path index with a mask; a
+        // `%` by a runtime divisor is an integer division on the hottest
+        // store sequence in the crate.
+        let capacity = capacity.next_power_of_two();
         let mut words = Vec::with_capacity(capacity * SLOT_WORDS);
         words.resize_with(capacity * SLOT_WORDS, || AtomicU64::new(0));
         Ring {
@@ -497,7 +560,7 @@ impl Ring {
     /// in-flight (odd seq), store the payload, publish (even seq).
     fn push(&self, ts: u64, event: &Event) {
         let h = self.head.load(Ordering::Relaxed);
-        let base = (h as usize % self.capacity) * SLOT_WORDS;
+        let base = (h as usize & (self.capacity - 1)) * SLOT_WORDS;
         let (tag, sub, a, b, c) = event.encode();
         let meta = u64::from(tag) | (u64::from(sub) << 8) | (u64::from(self.thread) << 32);
         self.words[base].store(2 * h + 1, Ordering::Release);
@@ -521,7 +584,7 @@ impl Ring {
         let live = head.min(self.capacity as u64);
         let start = (head - live).max(floor);
         for idx in start..head {
-            let base = (idx as usize % self.capacity) * SLOT_WORDS;
+            let base = (idx as usize & (self.capacity - 1)) * SLOT_WORDS;
             let want = 2 * idx + 2;
             if self.words[base].load(Ordering::Acquire) != want {
                 continue;
@@ -614,7 +677,8 @@ pub enum EventClass {
     TlbFlush,
     /// `LockRetry`.
     LockRetry,
-    /// `Reclaim`.
+    /// `Reclaim` (pass summaries) plus the per-decision reclaim events
+    /// (`ReclaimScanStart` / `Evicted` / `SwappedIn`).
     Reclaim,
     /// `FrameAlloc` / `FrameFree` plus the batched allocator transfers
     /// (`MagRefill` / `MagDrain` / `BulkFree`) — **off by default**, like
@@ -635,7 +699,7 @@ impl EventClass {
             EventClass::CowCopy => 1 << 4,
             EventClass::TlbFlush => 1 << 5,
             EventClass::LockRetry => 1 << 6,
-            EventClass::Reclaim => 1 << 7,
+            EventClass::Reclaim => (1 << 7) | (1 << 13) | (1 << 14) | (1 << 15),
             EventClass::Kmem => (1 << 8) | (1 << 9) | (1 << 10) | (1 << 11) | (1 << 12),
         }
     }
@@ -1040,6 +1104,20 @@ mod tests {
                 blocks: 17,
                 frames: 4113,
             },
+            Event::ReclaimScanStart {
+                free_frames: 12,
+                low_watermark: 64,
+            },
+            Event::Evicted {
+                frame: 99,
+                slot: 5,
+                latency_ns: 1234,
+            },
+            Event::SwappedIn {
+                slot: 5,
+                latency_ns: 4321,
+            },
+            fault(FaultKind::SwapIn, 777),
         ];
         for ev in cases {
             let (tag, sub, a, b, c) = ev.encode();

@@ -50,6 +50,11 @@ pub struct TraceSummary {
     pub mag_transfer_blocks: Histogram,
     /// Blocks returned per mmu_gather-style batched free flush.
     pub bulk_free_blocks: Histogram,
+    /// Per-page eviction latency (copy-out + swap-slot write + PTE store).
+    pub evict_latency: Histogram,
+    /// Swap-in data-path latency (slot read + frame write), excluding the
+    /// fault-dispatch overhead already covered by the `Fault` record.
+    pub swapin_latency: Histogram,
     /// Instant-event counts keyed by class (`tlb_flush`,
     /// `lock_retry_<site>`, `reclaim`, ...).
     pub counts: BTreeMap<String, u64>,
@@ -118,6 +123,15 @@ impl TraceSummary {
                     bump(&mut s.counts, "bulk_free");
                     s.bulk_free_blocks.record(blocks);
                 }
+                Event::ReclaimScanStart { .. } => bump(&mut s.counts, "reclaim_scan_start"),
+                Event::Evicted { latency_ns, .. } => {
+                    bump(&mut s.counts, "evicted");
+                    s.evict_latency.record(latency_ns);
+                }
+                Event::SwappedIn { latency_ns, .. } => {
+                    bump(&mut s.counts, "swapped_in");
+                    s.swapin_latency.record(latency_ns);
+                }
             }
         }
         s.faults = faults.into_values().collect();
@@ -168,6 +182,18 @@ impl TraceSummary {
                 hist: hist.clone(),
             });
         }
+        if self.evict_latency.count() > 0 {
+            out.push(ClassSummary {
+                name: "reclaim_evict".to_string(),
+                hist: self.evict_latency.clone(),
+            });
+        }
+        if self.swapin_latency.count() > 0 {
+            out.push(ClassSummary {
+                name: "reclaim_swapin".to_string(),
+                hist: self.swapin_latency.clone(),
+            });
+        }
         out
     }
 
@@ -212,6 +238,22 @@ impl TraceSummary {
                 "Blocks returned per batched free flush",
                 &[],
                 &self.bulk_free_blocks,
+            );
+        }
+        if self.evict_latency.count() > 0 {
+            p.quantiles(
+                "odf_trace_evict_latency_ns",
+                "Per-page eviction latency (copy-out + slot write)",
+                &[],
+                &self.evict_latency,
+            );
+        }
+        if self.swapin_latency.count() > 0 {
+            p.quantiles(
+                "odf_trace_swapin_latency_ns",
+                "Swap-in data-path latency (slot read + frame write)",
+                &[],
+                &self.swapin_latency,
             );
         }
         for (class, count) in &self.counts {

@@ -78,7 +78,11 @@ mod tests {
     #[test]
     fn pmem_errors_map_to_enomem() {
         assert_eq!(
-            VmError::from(PmemError::OutOfFrames { order: 0 }),
+            VmError::from(PmemError::OutOfFrames {
+                order: 0,
+                free_frames: 0,
+                low_watermark: 8,
+            }),
             VmError::NoMemory
         );
     }

@@ -85,9 +85,10 @@ fn rank(kind: FaultKind) -> u8 {
         FaultKind::DemandZero => 2,
         FaultKind::DemandHuge => 3,
         FaultKind::CowData => 4,
-        FaultKind::CowHuge => 5,
-        FaultKind::TableCow => 6,
-        FaultKind::PmdTableCow => 7,
+        FaultKind::SwapIn => 5,
+        FaultKind::CowHuge => 6,
+        FaultKind::TableCow => 7,
+        FaultKind::PmdTableCow => 8,
     }
 }
 
@@ -108,21 +109,31 @@ fn stronger(a: FaultKind, b: FaultKind) -> FaultKind {
 pub(crate) fn handle(machine: &Machine, inner: &MmInner, va: VirtAddr, write: bool) -> Result<()> {
     let start_ns = odf_trace::enabled().then(odf_trace::now_ns);
     let mut counted = false;
+    let mut swapped_slot = None;
     let mut attempts = 0u32;
     loop {
-        match try_handle(machine, inner, va, write, &mut counted)? {
+        match try_handle(machine, inner, va, write, &mut counted, &mut swapped_slot)? {
             Outcome::Done(kind) => {
                 if let Some(t0) = start_ns {
                     let end = odf_trace::now_ns();
+                    let latency_ns = end.saturating_sub(t0);
                     odf_trace::emit_at(
                         end,
                         Event::Fault {
                             kind,
-                            latency_ns: end.saturating_sub(t0),
+                            latency_ns,
                             retries: attempts,
                             addr: va.as_u64(),
                         },
                     );
+                    // The swap-in record shares the fault's clock reads:
+                    // the latency an application observes for a major
+                    // fault *is* the swap-in latency, and a second
+                    // timestamp pair inside `swap_in` would put two extra
+                    // clock reads on the hot path for the same number.
+                    if let Some(slot) = swapped_slot {
+                        odf_trace::emit_at(end, Event::SwappedIn { slot, latency_ns });
+                    }
                 }
                 return Ok(());
             }
@@ -148,6 +159,7 @@ fn try_handle(
     va: VirtAddr,
     write: bool,
     counted: &mut bool,
+    swapped_slot: &mut Option<u64>,
 ) -> Result<Outcome> {
     let vma = inner
         .vmas
@@ -255,24 +267,39 @@ fn try_handle(
 
     let mut pte = table.load(idx);
     if !pte.is_present() {
-        // Demand paging: install under the split lock of the (dedicated)
-        // table so two threads faulting the same absent page agree on one
-        // frame.
+        // Demand paging or swap-in. The backing frame is prepared
+        // *outside* the split lock — like `do_anonymous_page` allocating
+        // the folio before taking the PTE lock — so a direct-reclaim pass
+        // triggered by this very allocation can still evict from this
+        // table (its stripe is free). The locked re-check below detects a
+        // racing install, releasing the prepared frame.
+        let prepared = map_new_page(machine, &vma, va)?;
         let _guard = machine.split_lock(table_frame);
         let cur = pmd.load();
         if !cur.is_present() || cur.is_huge() || cur.frame() != table_frame {
+            machine.pool().ref_dec(prepared.frame());
             odf_trace::emit(Event::LockRetry {
                 site: LockSite::PmdInstall,
             });
             return Ok(Outcome::Raced);
         }
         pte = table.load(idx);
-        if !pte.is_present() {
+        if pte.is_swap() {
+            // Major fault: read the evicted page back from its swap slot
+            // into the prepared frame (swap entries only occur in
+            // anonymous VMAs, so `prepared` is a fresh anonymous frame).
+            *swapped_slot = Some(u64::from(pte.swap_slot()));
+            pte = swap_in(machine, inner, &vma, &table, idx, pte, prepared.frame());
+            kind = stronger(kind, FaultKind::SwapIn);
+        } else if !pte.is_present() {
             VmStats::bump(&machine.stats().faults_demand);
-            pte = map_new_page(machine, &vma, va)?;
+            pte = prepared;
             table.store(idx, pte);
             inner.rss.fetch_add(1, Ordering::Relaxed);
             kind = stronger(kind, FaultKind::DemandZero);
+        } else {
+            // Another thread installed the page meanwhile; drop ours.
+            machine.pool().ref_dec(prepared.frame());
         }
     }
 
@@ -384,6 +411,10 @@ pub(crate) fn table_cow_for(machine: &Machine, src: &Table) -> Result<(FrameId, 
         if pe.is_present() {
             let head = pool.compound_head(pe.frame());
             pool.ref_inc(head);
+        } else if pe.is_swap() {
+            // The copy holds a second reference to the swap slot; each
+            // copy swaps in (or is zapped) independently.
+            machine.swap().slot_get(pe.swap_slot());
         }
     }
     table.wrprotect_all();
@@ -497,6 +528,48 @@ fn map_new_page(machine: &Machine, vma: &Vma, va: VirtAddr) -> Result<Entry> {
             Ok(Entry::page(frame, false).with_set(EntryFlags::SOFT_DIRTY))
         }
     }
+}
+
+/// Swaps an evicted page back in: reads the slot contents into the
+/// caller-prepared frame and installs the present PTE. Caller holds the
+/// split lock of the (dedicated) table, so the swap entry cannot change
+/// underneath; the frame was allocated outside that lock.
+///
+/// Every faulting process gets its own frame — there is no swap cache.
+/// That is COW-correct without sharing machinery: two processes holding
+/// references to the same slot (after a table COW or classic fork) were
+/// COW-sharing identical contents, and each copy read from the slot is
+/// byte-identical; any divergence after the swap-in is exactly the
+/// divergence COW would have produced.
+fn swap_in(
+    machine: &Machine,
+    inner: &MmInner,
+    vma: &Vma,
+    table: &Arc<Table>,
+    idx: usize,
+    pte: Entry,
+    frame: FrameId,
+) -> Entry {
+    let slot = pte.swap_slot();
+    let mut buf = vec![0u8; PAGE_SIZE];
+    machine.swap().read(slot, &mut buf);
+    if buf.iter().any(|&b| b != 0) {
+        machine.pool().write_frame(frame, 0, &buf);
+    }
+    let mut entry = Entry::page(frame, vma.prot.write).with_set(EntryFlags::ACCESSED);
+    if pte.is_soft_dirty() {
+        // Soft-dirty survives the round trip: a page dirtied since the
+        // last epoch sweep stays dirty for the next snapshot even if it
+        // spent the interim in swap.
+        entry = entry.with_set(EntryFlags::SOFT_DIRTY);
+    }
+    table.store(idx, entry);
+    machine.swap().slot_put(slot);
+    inner.rss.fetch_add(1, Ordering::Relaxed);
+    VmStats::bump(&machine.stats().pages_swapped_in);
+    // The `SwappedIn` trace record is emitted by the enclosing fault
+    // handler, sharing the fault's timestamp pair (see `handle`).
+    entry
 }
 
 /// Grants write access to a present but write-protected PTE: write-through
@@ -791,12 +864,18 @@ pub(crate) fn populate(
                     let mut at = chunk;
                     while at < stop {
                         let idx = at.index(Level::Pte);
-                        if !table.load(idx).is_present() {
+                        let cur = table.load(idx);
+                        if cur.is_swap() {
+                            // Evicted page: the bulk path must not clobber
+                            // the swap entry with a zero page — route
+                            // through the fault handler's swap-in.
+                            handle(machine, inner, at, write)?;
+                        } else if !cur.is_present() {
                             let entry = map_new_page(machine, &vma, at)?;
                             table.store(idx, entry.with_set(EntryFlags::ACCESSED));
                             inner.rss.fetch_add(1, Ordering::Relaxed);
                             VmStats::bump(&machine.stats().pages_populated);
-                        } else if write && !table.load(idx).is_writable() {
+                        } else if write && !cur.is_writable() {
                             handle(machine, inner, at, true)?;
                         }
                         at = at.add(PAGE_SIZE as u64);

@@ -345,6 +345,16 @@ fn copy_pte_range(
     let last = first + ((chunk_end.as_u64() - at.as_u64()) as usize).div_ceil(odf_pmem::PAGE_SIZE);
     for idx in first..last.min(ENTRIES_PER_TABLE) {
         let pte = parent_table.load(idx);
+        if pte.is_swap() {
+            // Evicted pages are inherited as swap entries: the child takes
+            // its own slot reference and swaps in independently (the
+            // `copy_one_pte` swap arm).
+            machine.swap().slot_get(pte.swap_slot());
+            child_table.store(idx, pte);
+            tally.pte_copies += 1;
+            VmStats::bump(&machine.stats().fork_pte_copies);
+            continue;
+        }
         if !pte.is_present() {
             continue;
         }

@@ -43,6 +43,9 @@ pub struct SmapsEntry {
     pub private: u64,
     /// Resident bytes mapped by 2 MiB PMD entries (`AnonHugePages:`).
     pub huge: u64,
+    /// Bytes evicted to the swap tier (`Swap:`) — pages whose PTE is a
+    /// typed swap entry. Not counted in `rss`.
+    pub swap: u64,
     /// Last-level tables in this VMA still shared from an On-demand fork
     /// (no `/proc` equivalent; the deferred-copy backlog of §3.1).
     pub shared_tables: u64,
@@ -76,6 +79,11 @@ impl Smaps {
         self.entries.iter().map(|e| e.huge).sum()
     }
 
+    /// Total bytes evicted to swap.
+    pub fn swap(&self) -> u64 {
+        self.entries.iter().map(|e| e.swap).sum()
+    }
+
     /// Total last-level tables still shared from an On-demand fork.
     pub fn shared_tables(&self) -> u64 {
         self.entries.iter().map(|e| e.shared_tables).sum()
@@ -101,13 +109,15 @@ impl Smaps {
             out.push_str(&format!("Shared:         {:8} kB\n", e.shared / 1024));
             out.push_str(&format!("Private:        {:8} kB\n", e.private / 1024));
             out.push_str(&format!("AnonHugePages:  {:8} kB\n", e.huge / 1024));
+            out.push_str(&format!("Swap:           {:8} kB\n", e.swap / 1024));
             out.push_str(&format!("SharedPtTables: {:8}\n", e.shared_tables));
         }
         out.push_str(&format!(
-            "Total Rss: {} kB, Shared: {} kB, Private: {} kB, SharedPtTables: {}\n",
+            "Total Rss: {} kB, Shared: {} kB, Private: {} kB, Swap: {} kB, SharedPtTables: {}\n",
             self.rss() / 1024,
             self.shared() / 1024,
             self.private() / 1024,
+            self.swap() / 1024,
             self.shared_tables(),
         ));
         out
@@ -128,9 +138,14 @@ pub struct PagemapEntry {
     pub writable: bool,
     /// Mapped by a 2 MiB PMD entry.
     pub huge: bool,
+    /// The page is evicted to swap (real pagemap's bit 62). `present` is
+    /// false; `frame` holds the swap slot, mirroring how pagemap packs
+    /// the swap offset into the PFN bits.
+    pub swapped: bool,
     /// Written since the last soft-dirty epoch.
     pub soft_dirty: bool,
-    /// Backing frame index (0 when not present).
+    /// Backing frame index (0 when not present; the swap slot when
+    /// `swapped`).
     pub frame: u64,
     /// Reference count of the backing page's compound head (0 when not
     /// present). Under ODF this stays at the pre-fork value until the
@@ -195,6 +210,10 @@ impl Mm {
                             let count = ((chunk_end.as_u64() - at.as_u64()) as usize) / PAGE_SIZE;
                             for idx in first..(first + count).min(ENTRIES_PER_TABLE) {
                                 let pte = table.load(idx);
+                                if pte.is_swap() {
+                                    e.swap += PAGE_SIZE as u64;
+                                    continue;
+                                }
                                 if !pte.is_present() {
                                     continue;
                                 }
@@ -239,6 +258,7 @@ impl Mm {
                 present: false,
                 writable: false,
                 huge: false,
+                swapped: false,
                 soft_dirty: false,
                 frame: 0,
                 refcount: 0,
@@ -269,6 +289,7 @@ impl Mm {
                         present: true,
                         writable: pud_writable && pe.is_writable(),
                         huge: true,
+                        swapped: false,
                         soft_dirty: pe.is_soft_dirty(),
                         frame: pe.frame().offset(sub).index() as u64,
                         refcount,
@@ -297,9 +318,21 @@ impl Mm {
                         present: true,
                         writable: pud_writable && pmd_writable && pte.is_writable(),
                         huge: false,
+                        swapped: false,
                         soft_dirty: pte.is_soft_dirty(),
                         frame: pte.frame().index() as u64,
                         refcount: u64::from(pool.ref_count(head)),
+                    });
+                } else if pte.is_swap() {
+                    out.push(PagemapEntry {
+                        va: at.as_u64(),
+                        present: false,
+                        writable: false,
+                        huge: false,
+                        swapped: true,
+                        soft_dirty: pte.is_soft_dirty(),
+                        frame: u64::from(pte.swap_slot()),
+                        refcount: 0,
                     });
                 } else {
                     out.push(absent(at));

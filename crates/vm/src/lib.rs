@@ -40,6 +40,7 @@ mod introspect;
 mod machine;
 mod mm;
 mod prot;
+mod reclaim;
 mod snapshot;
 mod stats;
 mod unmap;
@@ -53,6 +54,7 @@ pub use introspect::{PagemapEntry, Smaps, SmapsEntry};
 pub use machine::Machine;
 pub use mm::{Mm, MmReport};
 pub use prot::Prot;
+pub use reclaim::{EvictCandidate, EvictDecision, EvictStats};
 pub use snapshot::{AddressSpaceView, LeafPage, VmaInfo};
 pub use stats::{VmStats, VmStatsSnapshot};
 pub use vma::{Backing, MapParams, Vma};

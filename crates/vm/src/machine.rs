@@ -3,15 +3,22 @@
 use std::sync::{Arc, Weak};
 
 use odf_pagetable::{PtStore, Table};
-use odf_pmem::{FrameId, FramePool, PageKind};
+use odf_pmem::{FrameId, FramePool, PageKind, SwapMap};
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::error::Result;
 use crate::file::VmFile;
+use crate::mm::Mm;
 use crate::stats::VmStats;
 
 /// Number of split-lock stripes.
 const SPLIT_LOCK_STRIPES: usize = 256;
+
+/// Upper bound on frames evicted by one direct-reclaim pass. Direct
+/// reclaim runs synchronously inside a failed allocation, so it evicts
+/// just enough to let the allocation (and a short burst after it)
+/// succeed; restoring the watermarks is the background daemon's job.
+const DIRECT_RECLAIM_BATCH: usize = 32;
 
 /// The shared state of one simulated machine.
 ///
@@ -40,6 +47,13 @@ pub struct Machine {
     pmd_locks: Vec<Mutex<()>>,
     /// Files registered for reclaim under memory pressure.
     files: Mutex<Vec<Weak<VmFile>>>,
+    /// The swap tier: evicted anonymous pages live here until a swap-in
+    /// fault brings them back.
+    swap: Arc<SwapMap>,
+    /// Address spaces registered for anonymous-page eviction (the LRU
+    /// list analog). Weak: registration must not keep a dead process's
+    /// address space alive.
+    mms: Mutex<Vec<Weak<Mm>>>,
 }
 
 impl Machine {
@@ -48,14 +62,23 @@ impl Machine {
         Self::with_pool(FramePool::with_bytes(bytes))
     }
 
-    /// Creates a machine over an existing frame pool.
+    /// Creates a machine over an existing frame pool, with the default
+    /// compressed in-memory swap tier (the zswap analog).
     pub fn with_pool(pool: Arc<FramePool>) -> Arc<Self> {
+        Self::with_swap(pool, SwapMap::compressed())
+    }
+
+    /// Creates a machine over an existing frame pool and a specific swap
+    /// tier (compressed in-memory or file-backed).
+    pub fn with_swap(pool: Arc<FramePool>, swap: SwapMap) -> Arc<Self> {
         Arc::new(Self {
             pool,
             store: PtStore::new(),
             stats: VmStats::default(),
             pmd_locks: (0..SPLIT_LOCK_STRIPES).map(|_| Mutex::new(())).collect(),
             files: Mutex::new(Vec::new()),
+            swap: Arc::new(swap),
+            mms: Mutex::new(Vec::new()),
         })
     }
 
@@ -74,10 +97,50 @@ impl Machine {
         &self.stats
     }
 
+    /// The swap tier holding evicted anonymous pages.
+    pub fn swap(&self) -> &Arc<SwapMap> {
+        &self.swap
+    }
+
     /// Registers a file so reclaim can drop its clean pages under memory
     /// pressure.
     pub fn register_file(&self, file: &Arc<VmFile>) {
         self.files.lock().push(Arc::downgrade(file));
+    }
+
+    /// Registers an address space as an eviction target: reclaim (direct
+    /// and the background daemon) scans registered spaces for anonymous
+    /// pages to push to swap. Unregistered spaces are never evicted from.
+    pub fn register_mm(&self, mm: &Arc<Mm>) {
+        let mut mms = self.mms.lock();
+        mms.retain(|w| w.strong_count() > 0);
+        // Idempotent: re-registering (e.g. `munlockall` after `mlockall`)
+        // must not make the daemon scan the space twice per pass.
+        if !mms
+            .iter()
+            .any(|w| std::ptr::eq(w.as_ptr(), Arc::as_ptr(mm)))
+        {
+            mms.push(Arc::downgrade(mm));
+        }
+    }
+
+    /// Removes an address space from the eviction-target list (the
+    /// `mlockall` analog): reclaim will no longer swap its pages out, so
+    /// allocations fail with a hard out-of-memory error once the pool and
+    /// the remaining eviction targets are exhausted.
+    pub fn unregister_mm(&self, mm: &Arc<Mm>) {
+        let target = Arc::as_ptr(mm);
+        self.mms
+            .lock()
+            .retain(|w| w.strong_count() > 0 && !std::ptr::eq(w.as_ptr(), target));
+    }
+
+    /// Snapshot of the currently registered (still-live) eviction targets.
+    /// The background reclaim daemon iterates these for its scan passes.
+    pub fn eviction_targets(&self) -> Vec<Arc<Mm>> {
+        let mut mms = self.mms.lock();
+        mms.retain(|w| w.strong_count() > 0);
+        mms.iter().filter_map(Weak::upgrade).collect()
     }
 
     /// Acquires the split lock covering `table_frame` — the frame of the
@@ -88,6 +151,18 @@ impl Machine {
     /// led here and bail out if it no longer points at `table_frame`.
     pub(crate) fn split_lock(&self, table_frame: FrameId) -> MutexGuard<'_, ()> {
         self.pmd_locks[table_frame.index() & (SPLIT_LOCK_STRIPES - 1)].lock()
+    }
+
+    /// Non-blocking variant of [`Machine::split_lock`], for direct reclaim.
+    ///
+    /// Direct reclaim runs inside a failed allocation, which may itself be
+    /// under a split-lock stripe (e.g. a demand fault allocating under the
+    /// table's stripe). Blocking on a second stripe there would violate
+    /// the one-stripe lock order; trying and skipping contended tables
+    /// keeps direct reclaim deadlock-free at the cost of missing some
+    /// candidates.
+    pub(crate) fn try_split_lock(&self, table_frame: FrameId) -> Option<MutexGuard<'_, ()>> {
+        self.pmd_locks[table_frame.index() & (SPLIT_LOCK_STRIPES - 1)].try_lock()
     }
 
     /// Allocates a page-table frame and registers an empty table for it.
@@ -125,28 +200,64 @@ impl Machine {
         &self,
         alloc: impl Fn() -> odf_pmem::Result<FrameId>,
     ) -> Result<FrameId> {
-        match alloc() {
-            Ok(f) => Ok(f),
-            Err(_) => {
-                self.reclaim();
-                alloc().map_err(Into::into)
+        let mut last = match alloc() {
+            Ok(f) => return Ok(f),
+            Err(e) => e,
+        };
+        // Keep reclaiming while progress is being made. A pass that frees
+        // nothing can be a transient — the background daemon may hold the
+        // very stripes direct reclaim needs while it is itself freeing
+        // frames — so exhaustion is declared only after two consecutive
+        // zero-progress passes.
+        let mut zero_streak = 0;
+        for _ in 0..32 {
+            let freed = self.reclaim();
+            match alloc() {
+                Ok(f) => return Ok(f),
+                Err(e) => last = e,
+            }
+            if freed == 0 {
+                zero_streak += 1;
+                if zero_streak >= 2 {
+                    break;
+                }
+                std::thread::yield_now();
+            } else {
+                zero_streak = 0;
             }
         }
+        Err(last.into())
     }
 
-    /// Drops clean unreferenced page-cache pages from every registered
-    /// file. Returns the number of frames freed.
+    /// Direct reclaim: drops clean unreferenced page-cache pages from
+    /// every registered file, then — if the pool is still at or below its
+    /// low watermark — evicts anonymous pages from registered address
+    /// spaces to the swap tier. Returns the number of frames freed.
     pub fn reclaim(&self) -> usize {
         VmStats::bump(&self.stats.reclaim_runs);
-        let mut files = self.files.lock();
         let mut freed = 0;
-        files.retain(|weak| match weak.upgrade() {
-            Some(file) => {
-                freed += file.drop_clean_pages(&self.pool);
-                true
+        {
+            let mut files = self.files.lock();
+            files.retain(|weak| match weak.upgrade() {
+                Some(file) => {
+                    freed += file.drop_clean_pages(&self.pool);
+                    true
+                }
+                None => false,
+            });
+        }
+        if self.pool.free_frames() <= self.pool.watermarks().low {
+            let budget = DIRECT_RECLAIM_BATCH
+                .min(self.pool.total_frames() / 2)
+                .max(1);
+            for mm in self.eviction_targets() {
+                let remaining = budget.saturating_sub(freed);
+                if remaining == 0 {
+                    break;
+                }
+                freed += mm.try_evict_direct(remaining);
             }
-            None => false,
-        });
+        }
         odf_trace::emit(odf_trace::Event::Reclaim {
             frames_freed: freed as u64,
         });

@@ -177,6 +177,11 @@ pub struct MmReport {
 pub struct Mm {
     machine: Arc<Machine>,
     pub(crate) inner: RwLock<MmInner>,
+    /// Resume address of the clock-reclaim scanner (the kswapd scan
+    /// cursor): the next eviction scan picks up where the previous one
+    /// stopped, so pressure rotates through the whole address space
+    /// instead of hammering the lowest VMAs.
+    pub(crate) clock_hand: AtomicU64,
 }
 
 impl Mm {
@@ -186,6 +191,7 @@ impl Mm {
         Ok(Self {
             machine,
             inner: RwLock::new(inner),
+            clock_hand: AtomicU64::new(0),
         })
     }
 
@@ -302,11 +308,18 @@ impl Mm {
     /// Forks this address space under the given policy, returning the
     /// child.
     pub fn fork(&self, policy: ForkPolicy) -> Result<Mm> {
+        // Fork allocates child tables while holding this lock exclusively
+        // — a state in which neither direct reclaim nor the background
+        // daemon can scan this address space (both need at least the
+        // shared lock). Replenish the pool up front instead, while
+        // eviction is still possible.
+        while self.machine.pool().below_low_watermark() && self.machine.reclaim() > 0 {}
         let mut inner = self.inner.write();
         let child = fork::run(&self.machine, &mut inner, policy)?;
         Ok(Mm {
             machine: Arc::clone(&self.machine),
             inner: RwLock::new(child),
+            clock_hand: AtomicU64::new(0),
         })
     }
 

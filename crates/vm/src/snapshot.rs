@@ -125,11 +125,34 @@ impl Mm {
                                 soft_dirty: e.is_soft_dirty(),
                             });
                         } else {
-                            let table = self.machine().store().get(e.frame());
+                            let mut table = self.machine().store().get(e.frame());
                             let first = at.index(Level::Pte);
                             let count = ((chunk_end.as_u64() - at.as_u64()) as usize) / PAGE_SIZE;
                             for idx in first..(first + count).min(ENTRIES_PER_TABLE) {
-                                let pte = table.load(idx);
+                                let mut pte = table.load(idx);
+                                if pte.is_swap() {
+                                    // An evicted page still belongs in the
+                                    // snapshot: fault it back in (capture
+                                    // holds the shared lock, same as any
+                                    // fault). On allocation failure the
+                                    // page is skipped — best effort, like
+                                    // a racing unmap.
+                                    let va = VirtAddr::new(
+                                        at.as_u64() + ((idx - first) * PAGE_SIZE) as u64,
+                                    );
+                                    if crate::fault::handle(self.machine(), &inner, va, false)
+                                        .is_ok()
+                                    {
+                                        // The swap-in may have COWed a
+                                        // shared table away; re-resolve so
+                                        // the fresh entry is visible.
+                                        let cur = pmd.load();
+                                        if cur.is_present() && !cur.is_huge() {
+                                            table = self.machine().store().get(cur.frame());
+                                        }
+                                        pte = table.load(idx);
+                                    }
+                                }
                                 if pte.is_present() {
                                     view.pages.push(LeafPage {
                                         va: at.as_u64() + ((idx - first) * PAGE_SIZE) as u64,

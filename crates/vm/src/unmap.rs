@@ -221,7 +221,9 @@ fn zap_table_chunk(
         }
     }
 
-    // Dedicated table: clear the range, dropping page references.
+    // Dedicated table: clear the range, dropping page references and
+    // swap-slot references (an evicted page dies with its mapping, like
+    // `free_swap_and_cache` on the kernel's zap path).
     let first = at.index(Level::Pte);
     let pages = ((chunk_end.as_u64() - at.as_u64()) as usize) / PAGE_SIZE;
     for idx in first..(first + pages).min(ENTRIES_PER_TABLE) {
@@ -230,6 +232,9 @@ fn zap_table_chunk(
             batch.ref_dec(pool.compound_head(pte.frame()));
             table.store(idx, Entry::NONE);
             inner.rss_sub(1);
+        } else if pte.is_swap() {
+            machine.swap().slot_put(pte.swap_slot());
+            table.store(idx, Entry::NONE);
         }
     }
     if table.is_empty() {
@@ -422,7 +427,9 @@ fn move_mappings(
             while page < chunk_end {
                 let idx = page.index(Level::Pte);
                 let pte = table.load(idx);
-                if pte.is_present() {
+                // Swap entries move with the mapping — dropping one would
+                // leak its slot and lose the page contents.
+                if pte.is_present() || pte.is_swap() {
                     let dest = VirtAddr::new(new_start + (page.as_u64() - start));
                     let dest_pmd = walk::pmd_slot_create(machine, inner.pgd, dest)?;
                     let dest_table = match dest_pmd.load() {

@@ -118,6 +118,39 @@ pub fn random_script(seed: u64, steps: usize, region_pages: u64) -> Vec<Action> 
 /// policy-independent.
 pub fn replay(script: &[Action], policy: ForkPolicy, region_pages: u64) -> Replay {
     let kernel = Kernel::new((region_pages * 4096) * 16 + (64 << 20));
+    replay_on(&kernel, script, policy, region_pages)
+}
+
+/// Replays a script under **memory pressure**: the pool is a fraction of
+/// the worst-case working set and the background reclaim daemon evicts
+/// aggressively throughout, so pages continuously round-trip through the
+/// swap tier mid-script. The returned images must be bit-identical to
+/// [`replay`]'s — reclaim being observable would be a kernel bug.
+pub fn replay_pressured(script: &[Action], policy: ForkPolicy, region_pages: u64) -> Replay {
+    // Room for page tables of up to 8 processes plus a resident fraction
+    // of the data pages; the rest must live in swap.
+    let frames = (region_pages * 3).max(96);
+    let kernel = Kernel::new(frames * 4096);
+    kernel.start_reclaim_daemon(
+        Box::new(odf_core::FifoPolicy),
+        odf_core::DaemonConfig {
+            interval: std::time::Duration::from_micros(200),
+            batch: 16,
+        },
+    );
+    let images = replay_on(&kernel, script, policy, region_pages);
+    kernel.stop_reclaim_daemon();
+    images
+}
+
+/// Replays a script against an existing kernel (the core of [`replay`];
+/// public so tests can pre-configure pressure or policies).
+pub fn replay_on(
+    kernel: &std::sync::Arc<Kernel>,
+    script: &[Action],
+    policy: ForkPolicy,
+    region_pages: u64,
+) -> Replay {
     let root = kernel.spawn().expect("spawn");
     let region = region_pages * 4096;
     let addr = root

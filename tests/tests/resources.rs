@@ -87,8 +87,11 @@ fn deep_chain_conserves_resources() {
 #[test]
 fn failed_forks_do_not_leak() {
     // A pool just big enough for the parent; classic forks fail mid-copy.
+    // mlockall keeps direct reclaim from quietly swapping the parent's
+    // pages out to satisfy the fork — this test is about the failure path.
     let kernel = Kernel::new(2060 * 4096);
     let root = kernel.spawn().unwrap();
+    root.mlockall();
     let addr = root.mmap_anon(8 * MIB).unwrap();
     root.populate(addr, 8 * MIB, true).unwrap();
     let free = kernel.free_bytes();
@@ -107,14 +110,18 @@ fn failed_forks_do_not_leak() {
 
 #[test]
 fn oom_during_fault_is_reported_not_fatal() {
+    // With the address space pinned resident (mlockall), reclaim has no
+    // eviction target and exhausting the pool is a hard, reported error.
     let kernel = Kernel::new(600 * 4096);
     let root = kernel.spawn().unwrap();
+    root.mlockall();
     let addr = root.mmap_anon(16 * MIB).unwrap();
     // Touch pages until the pool runs dry.
     let mut err = None;
+    let mut mapped = 0u64;
     for pg in 0..4096u64 {
         match root.write_u64(addr + pg * 4096, pg) {
-            Ok(()) => {}
+            Ok(()) => mapped += 1,
             Err(e) => {
                 err = Some(e);
                 break;
@@ -126,6 +133,12 @@ fn oom_during_fault_is_reported_not_fatal() {
     assert_eq!(root.read_u64(addr).unwrap(), 0);
     root.write_u64(addr, 42).unwrap();
     assert_eq!(root.read_u64(addr).unwrap(), 42);
+
+    // Unpinning makes the space an eviction target again: the very same
+    // fault now succeeds by swapping a cold page out (overcommit).
+    root.munlockall();
+    root.write_u64(addr + mapped * 4096, mapped).unwrap();
+    assert!(kernel.stats().vm.pages_swapped_out > 0);
 }
 
 #[test]
