@@ -7,6 +7,7 @@ use std::sync::Arc;
 
 use odf_pmem::StatsSnapshot;
 use odf_reclaim::{DaemonConfig, DaemonStats, ReclaimDaemon, ReclaimPolicy};
+use odf_thp::{PromotionPolicy, ThpDaemon, ThpDaemonConfig, ThpDaemonStats};
 use odf_vm::{ForkPolicy, Machine, Mm, Result, VmStatsSnapshot};
 use parking_lot::Mutex;
 
@@ -67,6 +68,10 @@ pub struct Kernel {
     /// The background reclaim daemon (kswapd analog), when started.
     /// Stopped and joined when the last kernel handle drops.
     reclaim_daemon: Mutex<Option<ReclaimDaemon>>,
+    /// The background huge-page promotion daemon (khugepaged analog),
+    /// when started. Stopped and joined when the last kernel handle
+    /// drops.
+    thp_daemon: Mutex<Option<ThpDaemon>>,
 }
 
 impl Kernel {
@@ -79,6 +84,7 @@ impl Kernel {
             policies: Mutex::new(HashMap::new()),
             default_policy: Mutex::new(ForkPolicy::Classic),
             reclaim_daemon: Mutex::new(None),
+            thp_daemon: Mutex::new(None),
         })
     }
 
@@ -198,6 +204,48 @@ impl Kernel {
             .map(ReclaimDaemon::stats)
     }
 
+    // ------------------------------------------------------------------
+    // Huge-page promotion daemon (khugepaged analog)
+    // ------------------------------------------------------------------
+
+    /// Starts the background huge-page promotion daemon with the given
+    /// policy and config, replacing (stopping) any daemon already running.
+    ///
+    /// The daemon collapses hot 4 KiB ranges into huge pages in the
+    /// background — the `transparent_hugepage` switch of this simulation.
+    /// Promoted ranges make subsequent On-demand forks cheaper (the §4
+    /// huge-page extension shares whole PMD tables over them) and faults
+    /// coarser; demotion hands cold ranges back to reclaim.
+    pub fn start_thp_daemon(&self, policy: Box<dyn PromotionPolicy>, config: ThpDaemonConfig) {
+        let daemon = ThpDaemon::spawn(Arc::clone(&self.machine), policy, config);
+        *self.thp_daemon.lock() = Some(daemon);
+    }
+
+    /// Starts the THP daemon with the default heat policy and config.
+    pub fn start_default_thp_daemon(&self) {
+        self.start_thp_daemon(
+            Box::new(odf_thp::HeatPolicy::default()),
+            ThpDaemonConfig::default(),
+        );
+    }
+
+    /// Stops (and joins) the THP daemon, if one is running.
+    pub fn stop_thp_daemon(&self) {
+        self.thp_daemon.lock().take();
+    }
+
+    /// Wakes the THP daemon immediately, if one is running.
+    pub fn kick_thp_daemon(&self) {
+        if let Some(d) = self.thp_daemon.lock().as_ref() {
+            d.kick();
+        }
+    }
+
+    /// Activity counters of the running THP daemon, if any.
+    pub fn thp_daemon_stats(&self) -> Option<ThpDaemonStats> {
+        self.thp_daemon.lock().as_ref().map(ThpDaemon::stats)
+    }
+
     /// Snapshot of all kernel counters.
     pub fn stats(&self) -> KernelStats {
         KernelStats {
@@ -277,6 +325,55 @@ mod tests {
             k.machine().pool().total_frames()
         );
         assert_eq!(k.machine().swap().used_slots(), 0);
+    }
+
+    #[test]
+    fn thp_daemon_collapses_in_the_background_and_smaps_is_exact() {
+        use odf_vm::MapParams;
+
+        let k = Kernel::new(64 << 20);
+        let p = k.spawn().unwrap();
+        // Two 2 MiB-aligned chunks, fully populated by writes.
+        let len = 4u64 << 20;
+        let a = p
+            .mmap_fixed(0x4000_0000, len, MapParams::anon_rw())
+            .unwrap();
+        p.populate(a, len, true).unwrap();
+        assert_eq!(p.smaps().huge(), 0, "nothing huge before promotion");
+
+        k.start_thp_daemon(
+            Box::new(odf_thp::GreedyPolicy),
+            odf_thp::ThpDaemonConfig {
+                interval: std::time::Duration::from_millis(1),
+                ..Default::default()
+            },
+        );
+        k.kick_thp_daemon();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while k.thp_daemon_stats().unwrap().collapses < 2 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "daemon failed to collapse both chunks: {:?}",
+                k.thp_daemon_stats()
+            );
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        k.stop_thp_daemon();
+        assert!(k.thp_daemon_stats().is_none());
+
+        // Satellite exactness check: the VMA's AnonHugePages equals the
+        // promoted bytes exactly — not rounded to the VMA size, not
+        // double-counted in rss.
+        let smaps = p.smaps();
+        let entry = smaps
+            .entries
+            .iter()
+            .find(|e| e.start == a)
+            .expect("the mapped VMA is reported");
+        assert_eq!(entry.huge, len, "AnonHugePages is exact");
+        assert_eq!(entry.rss, len, "huge bytes are part of rss, not extra");
+        assert!(smaps.render().contains("AnonHugePages:"));
+        assert_eq!(k.stats().vm.thp_collapses, 2);
     }
 
     #[test]

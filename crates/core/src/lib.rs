@@ -56,12 +56,18 @@ pub use ualloc::UserHeap;
 
 pub use odf_vm::{
     Backing, EvictCandidate, EvictDecision, EvictStats, ForkPolicy, Machine, MapParams, MmReport,
-    PagemapEntry, Prot, Result, Smaps, SmapsEntry, VmError, VmFile, HUGE_PAGE_SIZE, PAGE_SIZE,
+    PagemapEntry, Prot, Result, Smaps, SmapsEntry, ThpCandidate, ThpOutcome, VmError, VmFile,
+    HUGE_PAGE_SIZE, PAGE_SIZE,
 };
 
 pub use odf_reclaim::{
     policy_by_name as reclaim_policy_by_name, ClockPolicy, DaemonConfig, DaemonStats, FifoPolicy,
     LruPolicy, ReclaimPolicy,
+};
+
+pub use odf_thp::{
+    policy_by_name as thp_policy_by_name, GreedyPolicy, HeatPolicy, NeverPolicy, PromotionPolicy,
+    ThpDaemonConfig, ThpDaemonStats, ThpDecision,
 };
 
 pub use odf_snapshot::{

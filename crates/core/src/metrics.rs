@@ -39,6 +39,34 @@ impl Kernel {
                 value,
             );
         }
+        let pool = self.machine().pool();
+        // Buddy-allocator health, the node-exporter `buddyinfo` shape:
+        // one sample per order, plus the external-fragmentation index for
+        // huge allocations — the number the THP collapse path lives or
+        // dies by.
+        for (order, count) in pool.free_blocks_per_order().iter().enumerate() {
+            p.labeled_gauge(
+                "odf_pool_free_blocks",
+                "Free buddy blocks by order (/proc/buddyinfo analog)",
+                &[("order", &order.to_string())],
+                *count as f64,
+            );
+        }
+        p.gauge(
+            "odf_pool_external_fragmentation",
+            "Fraction of buddy-free memory unusable for an order-9 block",
+            pool.external_fragmentation(odf_pmem::HUGE_ORDER),
+        );
+        p.counter(
+            "odf_pool_mt_fallbacks_total",
+            "Allocations served from the other migratetype's free lists",
+            pool.mt_fallbacks(),
+        );
+        p.counter(
+            "odf_pool_mt_steals_total",
+            "Pageblocks re-tagged to the requesting migratetype",
+            pool.mt_steals(),
+        );
         p.gauge(
             "odf_mem_free_bytes",
             "Free simulated physical memory",
@@ -72,9 +100,22 @@ impl Kernel {
                 .collect();
             format!("{{{}}}", parts.join(","))
         };
+        let pool = self.machine().pool();
+        let free_blocks: Vec<String> = pool
+            .free_blocks_per_order()
+            .iter()
+            .map(u64::to_string)
+            .collect();
         let mut parts = vec![
             format!("\"vm\":{}", field_obj(stats.vm.fields())),
             format!("\"pool\":{}", field_obj(stats.pool.fields())),
+            format!(
+                "\"buddy\":{{\"free_blocks_per_order\":[{}],\"external_fragmentation\":{:.6},\"mt_fallbacks\":{},\"mt_steals\":{}}}",
+                free_blocks.join(","),
+                pool.external_fragmentation(odf_pmem::HUGE_ORDER),
+                pool.mt_fallbacks(),
+                pool.mt_steals()
+            ),
             format!(
                 "\"mem\":{{\"free_bytes\":{},\"total_bytes\":{},\"processes\":{}}}",
                 self.free_bytes(),
@@ -116,6 +157,24 @@ mod tests {
     }
 
     #[test]
+    fn prometheus_export_reports_buddy_health() {
+        let k = Kernel::new(16 << 20);
+        let text = k.metrics_prometheus();
+        // One buddyinfo sample per order, 0 through MAX_ORDER.
+        for order in 0..=odf_pmem::MAX_ORDER {
+            assert!(
+                text.contains(&format!("odf_pool_free_blocks{{order=\"{order}\"}}")),
+                "missing per-order sample for order {order}"
+            );
+        }
+        assert!(text.contains("odf_pool_external_fragmentation"));
+        assert!(text.contains("odf_pool_mt_fallbacks_total"));
+        assert!(text.contains("odf_pool_mt_steals_total"));
+        // A fresh pool is unfragmented.
+        assert!(text.contains("odf_pool_external_fragmentation 0"));
+    }
+
+    #[test]
     fn json_export_is_balanced_and_nested() {
         let k = Kernel::new(16 << 20);
         let j = k.metrics_json();
@@ -123,6 +182,21 @@ mod tests {
         assert!(j.contains("\"vm\":{"));
         assert!(j.contains("\"pool\":{"));
         assert!(j.contains("\"faults\":"));
+        assert!(j.contains("\"buddy\":{"));
+        assert!(j.contains("\"free_blocks_per_order\":["));
+        assert!(j.contains("\"external_fragmentation\":"));
+        assert!(j.contains("\"mt_fallbacks\":"));
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+        // The per-order vector covers orders 0..=MAX_ORDER.
+        let arr = j
+            .split("\"free_blocks_per_order\":[")
+            .nth(1)
+            .and_then(|s| s.split(']').next())
+            .unwrap();
+        assert_eq!(
+            arr.split(',').count(),
+            odf_pmem::MAX_ORDER as usize + 1,
+            "one entry per buddy order"
+        );
     }
 }

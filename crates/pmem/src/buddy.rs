@@ -4,33 +4,84 @@
 //! that allocation, split, free, and merge are all O(1) per level. The
 //! allocator serves order-0 frames for data pages and page tables, and
 //! order-9 (2 MiB) compound frames for the huge-page experiments.
+//!
+//! # Migratetypes and anti-fragmentation
+//!
+//! Free lists are segregated by *migratetype*, the kernel's pageblock-level
+//! anti-fragmentation mechanism: movable allocations (anonymous/file data,
+//! which reclaim or a THP collapse can relocate) and unmovable ones (page
+//! tables, pinned metadata) are steered to different 2 MiB pageblocks, so a
+//! stray page table does not permanently break up an otherwise-coalescible
+//! huge-page candidate block. When the preferred type's lists are empty an
+//! allocation *falls back* to the other type; a fallback large enough to
+//! cover whole pageblocks (order >= [`PAGEBLOCK_ORDER`]) steals them —
+//! re-tags them to the requested type — mirroring `steal_suitable_fallback`.
+//! Per-order free-block counts are maintained on every list operation so
+//! the external-fragmentation index is O(orders) to compute, never a sweep.
 
-use crate::frame::{FrameId, MAX_ORDER};
+use crate::frame::{FrameId, HUGE_ORDER, MAX_ORDER};
 
 /// Sentinel index meaning "no frame" in the linked lists.
 const NIL: u32 = u32::MAX;
 
+/// Pageblock granularity for migratetype tagging: one huge page (2 MiB),
+/// as in the kernel (`pageblock_order == HPAGE_PMD_ORDER`).
+pub(crate) const PAGEBLOCK_ORDER: u8 = HUGE_ORDER;
+
+/// Allocation mobility class, deciding which free lists serve a request
+/// and how its pageblock is tagged.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub(crate) enum MigrateType {
+    /// Data pages: reclaim can evict them and a THP collapse can migrate
+    /// their contents, so their pageblocks can always be re-assembled.
+    Movable = 0,
+    /// Page tables and other pinned frames that nothing can relocate.
+    Unmovable = 1,
+}
+
+/// Number of migratetypes (free-list lanes per order).
+const MIGRATE_TYPES: usize = 2;
+
+impl MigrateType {
+    fn other(self) -> Self {
+        match self {
+            MigrateType::Movable => MigrateType::Unmovable,
+            MigrateType::Unmovable => MigrateType::Movable,
+        }
+    }
+}
+
 /// Per-frame allocator state.
 ///
 /// Only the first frame of a free block carries its order; every other frame
-/// is `Body`.
+/// is `Body`. The free head also records which migratetype lane the block is
+/// linked on, so `unlink` never has to guess (a pageblock can be re-tagged
+/// while one of its sub-blocks still sits on the old lane).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum SlotState {
-    /// First frame of a free block of the given order.
-    FreeHead(u8),
+    /// First frame of a free block of the given order, on the given lane.
+    FreeHead(u8, MigrateType),
     /// Allocated or interior frame.
     Body,
 }
 
 /// The buddy allocator. All fields are guarded by the pool's mutex.
 pub(crate) struct Buddy {
-    /// Head of the free list per order.
-    free_heads: Vec<u32>,
+    /// Head of the free list per order, one lane per migratetype.
+    free_heads: Vec<[u32; MIGRATE_TYPES]>,
     /// Intrusive list links, indexed by frame.
     next: Vec<u32>,
     prev: Vec<u32>,
     /// Allocation state, indexed by frame.
     state: Vec<SlotState>,
+    /// Migratetype tag per 2 MiB pageblock.
+    pageblock_mt: Vec<MigrateType>,
+    /// Free blocks per order (both lanes), maintained incrementally.
+    counts: Vec<usize>,
+    /// Cross-migratetype fallback allocations served so far.
+    fallbacks: u64,
+    /// Pageblocks stolen (re-tagged) by large fallbacks.
+    steals: u64,
     /// Number of free base frames.
     free_frames: usize,
     total_frames: usize,
@@ -40,11 +91,16 @@ impl Buddy {
     /// Creates an allocator managing `frames` base frames, all initially
     /// free.
     pub(crate) fn new(frames: usize) -> Self {
+        let blocks = frames.div_ceil(1 << PAGEBLOCK_ORDER);
         let mut b = Self {
-            free_heads: vec![NIL; usize::from(MAX_ORDER) + 1],
+            free_heads: vec![[NIL; MIGRATE_TYPES]; usize::from(MAX_ORDER) + 1],
             next: vec![NIL; frames],
             prev: vec![NIL; frames],
             state: vec![SlotState::Body; frames],
+            pageblock_mt: vec![MigrateType::Movable; blocks],
+            counts: vec![0; usize::from(MAX_ORDER) + 1],
+            fallbacks: 0,
+            steals: 0,
             free_frames: 0,
             total_frames: frames,
         };
@@ -78,38 +134,122 @@ impl Buddy {
         self.total_frames
     }
 
+    /// Free blocks currently linked per order (both migratetype lanes).
+    pub(crate) fn free_blocks_per_order(&self) -> Vec<u64> {
+        self.counts.iter().map(|&c| c as u64).collect()
+    }
+
+    /// Cross-migratetype fallback allocations served so far.
+    pub(crate) fn mt_fallbacks(&self) -> u64 {
+        self.fallbacks
+    }
+
+    /// Pageblocks re-tagged by large fallbacks so far.
+    pub(crate) fn mt_steals(&self) -> u64 {
+        self.steals
+    }
+
+    /// Migratetype tag of the pageblock containing `frame`.
+    fn block_mt(&self, frame: u32) -> MigrateType {
+        self.pageblock_mt[frame as usize >> PAGEBLOCK_ORDER]
+    }
+
+    /// Links a free block on its pageblock's current lane.
     fn push_free(&mut self, frame: u32, order: u8) {
-        let head = self.free_heads[usize::from(order)];
+        let mt = self.block_mt(frame);
+        self.push_free_on(frame, order, mt);
+    }
+
+    /// Links a free block on a specific lane (split halves stay on the lane
+    /// the parent block was taken from).
+    fn push_free_on(&mut self, frame: u32, order: u8, mt: MigrateType) {
+        let head = self.free_heads[usize::from(order)][mt as usize];
         self.next[frame as usize] = head;
         self.prev[frame as usize] = NIL;
         if head != NIL {
             self.prev[head as usize] = frame;
         }
-        self.free_heads[usize::from(order)] = frame;
-        self.state[frame as usize] = SlotState::FreeHead(order);
+        self.free_heads[usize::from(order)][mt as usize] = frame;
+        self.state[frame as usize] = SlotState::FreeHead(order, mt);
+        self.counts[usize::from(order)] += 1;
     }
 
     fn unlink(&mut self, frame: u32, order: u8) {
+        let SlotState::FreeHead(o, mt) = self.state[frame as usize] else {
+            unreachable!("unlink of a non-free-head frame {frame}");
+        };
+        debug_assert_eq!(o, order, "unlink order mismatch for frame {frame}");
         let next = self.next[frame as usize];
         let prev = self.prev[frame as usize];
         if prev != NIL {
             self.next[prev as usize] = next;
         } else {
-            self.free_heads[usize::from(order)] = next;
+            self.free_heads[usize::from(order)][mt as usize] = next;
         }
         if next != NIL {
             self.prev[next as usize] = prev;
         }
         self.state[frame as usize] = SlotState::Body;
+        self.counts[usize::from(order)] -= 1;
     }
 
-    /// Allocates a block of `2^order` contiguous frames.
-    pub(crate) fn alloc(&mut self, order: u8) -> Option<FrameId> {
+    /// Allocates a block of `2^order` contiguous frames, preferring the
+    /// lists of `want` and falling back to the other migratetype when they
+    /// are empty.
+    pub(crate) fn alloc(&mut self, order: u8, want: MigrateType) -> Option<FrameId> {
         assert!(order <= MAX_ORDER, "order {order} exceeds MAX_ORDER");
+        if let Some(f) = self.alloc_from(order, want) {
+            return Some(f);
+        }
+        self.alloc_fallback(order, want)
+    }
+
+    /// Cross-migratetype fallback: takes the *largest* available block of
+    /// the other type — the kernel's `__rmqueue_fallback` searches high
+    /// orders first so one steal claims as much contiguity as possible —
+    /// re-tags any whole pageblocks the block covers to the requesting
+    /// type, and keeps the split remainder on the requesting type's lists.
+    /// This is what makes one bootstrap fallback claim a whole pageblock
+    /// for page tables instead of sprinkling them across movable blocks.
+    fn alloc_fallback(&mut self, order: u8, want: MigrateType) -> Option<FrameId> {
+        let other = want.other() as usize;
+        let mut have = MAX_ORDER;
+        loop {
+            if self.free_heads[usize::from(have)][other] != NIL {
+                break;
+            }
+            if have == order {
+                return None;
+            }
+            have -= 1;
+        }
+        let frame = self.free_heads[usize::from(have)][other];
+        self.unlink(frame, have);
+        self.fallbacks += 1;
+        if have >= PAGEBLOCK_ORDER {
+            // The stolen block is 2^have-aligned with have >= the
+            // pageblock order, so it covers whole pageblocks exactly.
+            for pb in (frame as usize >> PAGEBLOCK_ORDER)
+                ..((frame as usize + (1usize << have)) >> PAGEBLOCK_ORDER)
+            {
+                self.pageblock_mt[pb] = want;
+            }
+            self.steals += 1;
+        }
+        while have > order {
+            have -= 1;
+            self.push_free_on(frame + (1u32 << have), have, want);
+        }
+        self.free_frames -= 1usize << order;
+        Some(FrameId(frame))
+    }
+
+    /// Allocates from one migratetype's lists only.
+    fn alloc_from(&mut self, order: u8, mt: MigrateType) -> Option<FrameId> {
         // Find the smallest populated order >= the request.
         let mut have = order;
         loop {
-            if self.free_heads[usize::from(have)] != NIL {
+            if self.free_heads[usize::from(have)][mt as usize] != NIL {
                 break;
             }
             if have == MAX_ORDER {
@@ -117,13 +257,14 @@ impl Buddy {
             }
             have += 1;
         }
-        let frame = self.free_heads[usize::from(have)];
+        let frame = self.free_heads[usize::from(have)][mt as usize];
         self.unlink(frame, have);
-        // Split down, returning the upper halves to the free lists.
+        // Split down, returning the upper halves to the lane the block was
+        // taken from.
         while have > order {
             have -= 1;
             let buddy = frame + (1u32 << have);
-            self.push_free(buddy, have);
+            self.push_free_on(buddy, have, mt);
         }
         self.free_frames -= 1usize << order;
         Some(FrameId(frame))
@@ -135,10 +276,16 @@ impl Buddy {
     /// This is the magazine-refill entry point: one lock acquisition (held
     /// by the caller) is amortized over the whole batch instead of being
     /// paid per block.
-    pub(crate) fn alloc_bulk(&mut self, order: u8, max: usize, out: &mut Vec<FrameId>) -> usize {
+    pub(crate) fn alloc_bulk(
+        &mut self,
+        order: u8,
+        want: MigrateType,
+        max: usize,
+        out: &mut Vec<FrameId>,
+    ) -> usize {
         let mut got = 0;
         while got < max {
-            match self.alloc(order) {
+            match self.alloc(order, want) {
                 Some(f) => {
                     out.push(f);
                     got += 1;
@@ -173,7 +320,7 @@ impl Buddy {
             if (buddy as usize) >= self.total_frames {
                 break;
             }
-            if self.state[buddy as usize] != SlotState::FreeHead(order) {
+            if !matches!(self.state[buddy as usize], SlotState::FreeHead(o, _) if o == order) {
                 break;
             }
             self.unlink(buddy, order);
@@ -188,6 +335,9 @@ impl Buddy {
 mod tests {
     use super::*;
 
+    const MOV: MigrateType = MigrateType::Movable;
+    const UNMOV: MigrateType = MigrateType::Unmovable;
+
     #[test]
     fn all_frames_start_free() {
         let b = Buddy::new(1024);
@@ -198,27 +348,27 @@ mod tests {
     #[test]
     fn alloc_free_round_trip_restores_capacity() {
         let mut b = Buddy::new(1 << 12);
-        let f = b.alloc(0).unwrap();
+        let f = b.alloc(0, MOV).unwrap();
         assert_eq!(b.free_frames(), (1 << 12) - 1);
         b.free(f, 0);
         assert_eq!(b.free_frames(), 1 << 12);
         // After full merge, a max-order block is allocatable again.
-        assert!(b.alloc(MAX_ORDER).is_some());
+        assert!(b.alloc(MAX_ORDER, MOV).is_some());
     }
 
     #[test]
     fn exhaustion_returns_none() {
         let mut b = Buddy::new(4);
-        assert!(b.alloc(2).is_some());
-        assert!(b.alloc(0).is_none());
+        assert!(b.alloc(2, MOV).is_some());
+        assert!(b.alloc(0, MOV).is_none());
     }
 
     #[test]
     fn huge_order_blocks_are_aligned() {
         let mut b = Buddy::new(1 << 11);
-        let f = b.alloc(9).unwrap();
+        let f = b.alloc(9, MOV).unwrap();
         assert_eq!(f.0 % 512, 0, "order-9 block must be 512-frame aligned");
-        let g = b.alloc(9).unwrap();
+        let g = b.alloc(9, MOV).unwrap();
         assert_ne!(f, g);
     }
 
@@ -227,31 +377,31 @@ mod tests {
         let mut b = Buddy::new(64);
         let mut seen = std::collections::HashSet::new();
         for _ in 0..16 {
-            let f = b.alloc(2).unwrap();
+            let f = b.alloc(2, MOV).unwrap();
             for i in 0..4 {
                 assert!(seen.insert(f.0 + i), "frame {} handed out twice", f.0 + i);
             }
         }
-        assert!(b.alloc(0).is_none());
+        assert!(b.alloc(0, MOV).is_none());
     }
 
     #[test]
     fn merging_coalesces_fragmented_pool() {
         let mut b = Buddy::new(512);
-        let frames: Vec<FrameId> = (0..512).map(|_| b.alloc(0).unwrap()).collect();
-        assert!(b.alloc(0).is_none());
+        let frames: Vec<FrameId> = (0..512).map(|_| b.alloc(0, MOV).unwrap()).collect();
+        assert!(b.alloc(0, MOV).is_none());
         for f in frames {
             b.free(f, 0);
         }
         // Everything merged back; an order-9 block fits.
-        assert!(b.alloc(9).is_some());
+        assert!(b.alloc(9, MOV).is_some());
     }
 
     #[test]
     fn non_power_of_two_pool_is_fully_usable() {
         let mut b = Buddy::new(1000);
         let mut n = 0;
-        while b.alloc(0).is_some() {
+        while b.alloc(0, MOV).is_some() {
             n += 1;
         }
         assert_eq!(n, 1000);
@@ -261,23 +411,23 @@ mod tests {
     fn bulk_alloc_and_free_round_trip() {
         let mut b = Buddy::new(256);
         let mut batch = Vec::new();
-        assert_eq!(b.alloc_bulk(0, 32, &mut batch), 32);
+        assert_eq!(b.alloc_bulk(0, MOV, 32, &mut batch), 32);
         assert_eq!(batch.len(), 32);
         assert_eq!(b.free_frames(), 256 - 32);
         let blocks: Vec<(FrameId, u8)> = batch.iter().map(|&f| (f, 0)).collect();
         b.free_bulk(&blocks);
         assert_eq!(b.free_frames(), 256);
         // Everything merged back; the largest block is allocatable again.
-        assert!(b.alloc(8).is_some());
+        assert!(b.alloc(8, MOV).is_some());
     }
 
     #[test]
     fn bulk_alloc_is_truncated_by_exhaustion() {
         let mut b = Buddy::new(8);
         let mut batch = Vec::new();
-        assert_eq!(b.alloc_bulk(0, 32, &mut batch), 8);
+        assert_eq!(b.alloc_bulk(0, MOV, 32, &mut batch), 8);
         assert_eq!(b.free_frames(), 0);
-        assert_eq!(b.alloc_bulk(0, 4, &mut batch), 0);
+        assert_eq!(b.alloc_bulk(0, MOV, 4, &mut batch), 0);
     }
 
     #[test]
@@ -294,7 +444,8 @@ mod tests {
                 b.free(f, o);
             } else {
                 let order = (x % 4) as u8;
-                if let Some(f) = b.alloc(order) {
+                let mt = if x.is_multiple_of(5) { UNMOV } else { MOV };
+                if let Some(f) = b.alloc(order, mt) {
                     live.push((f, order));
                 } else {
                     assert!(step > 0);
@@ -303,5 +454,80 @@ mod tests {
         }
         let used: usize = live.iter().map(|&(_, o)| 1usize << o).sum();
         assert_eq!(b.free_frames(), (1 << 10) - used);
+    }
+
+    #[test]
+    fn per_order_counts_track_list_membership() {
+        let mut b = Buddy::new(1 << 11); // two max-order (order-10) blocks
+        let counts = b.free_blocks_per_order();
+        assert_eq!(counts[usize::from(MAX_ORDER)], 2);
+        assert_eq!(counts[..usize::from(MAX_ORDER)].iter().sum::<u64>(), 0);
+        // One order-0 allocation splits a block all the way down: one free
+        // block appears at every order below the split source.
+        let f = b.alloc(0, MOV).unwrap();
+        let counts = b.free_blocks_per_order();
+        assert_eq!(counts[usize::from(MAX_ORDER)], 1);
+        for (o, &c) in counts.iter().enumerate().take(usize::from(MAX_ORDER)) {
+            assert_eq!(c, 1, "order {o} should hold one split half");
+        }
+        b.free(f, 0);
+        let counts = b.free_blocks_per_order();
+        assert_eq!(counts[usize::from(MAX_ORDER)], 2);
+        assert_eq!(counts[..usize::from(MAX_ORDER)].iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn fallback_crosses_migratetypes_and_counts() {
+        // Populate only sub-pageblock movable lists (split residue of one
+        // pageblock, its order-9 sibling held), so an unmovable request
+        // must fall back but has nothing pageblock-sized to steal.
+        let mut b = Buddy::new(1 << 10);
+        let a = b.alloc(9, MOV).unwrap();
+        let _hold = b.alloc(9, MOV).unwrap();
+        b.free(a, 9);
+        let _small = b.alloc(0, MOV).unwrap(); // splits a into o0..o8 residue
+        assert_eq!(b.mt_fallbacks(), 0);
+        let f = b.alloc(0, UNMOV).unwrap();
+        assert_eq!(b.mt_fallbacks(), 1);
+        // A sub-pageblock fallback does not steal the pageblock.
+        assert_eq!(b.mt_steals(), 0);
+        assert_eq!(b.block_mt(f.0), MOV);
+    }
+
+    #[test]
+    fn pageblock_sized_fallback_steals_the_block() {
+        let mut b = Buddy::new(1 << 10);
+        // Everything starts movable; an unmovable huge request must fall
+        // back and re-tag the pageblock it took.
+        let f = b.alloc(9, UNMOV).unwrap();
+        assert_eq!(b.mt_fallbacks(), 1);
+        assert_eq!(b.mt_steals(), 1);
+        assert_eq!(b.block_mt(f.0), UNMOV);
+        // Freeing it lands the block back on the unmovable lane...
+        b.free(f, 9);
+        // ...so a movable huge request now falls back the other way.
+        let before = b.mt_fallbacks();
+        let g = b.alloc(9, MOV).unwrap();
+        assert_eq!(f, g);
+        assert_eq!(b.mt_fallbacks(), before + 1);
+    }
+
+    #[test]
+    fn retagged_pageblock_does_not_corrupt_stale_lane_links() {
+        // A sub-block freed on the movable lane must unlink correctly even
+        // after its pageblock is stolen (re-tagged) by a later fallback:
+        // the lane is recorded in the free head's state, not re-derived.
+        let mut b = Buddy::new(1 << 10);
+        let small = b.alloc(0, MOV).unwrap(); // splits pageblock 0 across movable lists
+        let huge = b.alloc(9, UNMOV).unwrap(); // steals pageblock 1
+        assert_eq!(huge.0 >> PAGEBLOCK_ORDER, 1);
+        // Force an allocation that unlinks one of pageblock 0's split
+        // halves while its lane tag predates any re-tagging.
+        let f = b.alloc(8, MOV).unwrap();
+        b.free(f, 8);
+        b.free(small, 0);
+        b.free(huge, 9);
+        assert_eq!(b.free_frames(), 1 << 10);
+        assert!(b.alloc(MAX_ORDER, MOV).is_some());
     }
 }

@@ -19,6 +19,22 @@ pub enum PmemError {
         /// background reclaim daemon is expected to run.
         low_watermark: u64,
     },
+    /// Compaction could not assemble a contiguous block of the requested
+    /// order.
+    ///
+    /// Raised by the defragmentation path
+    /// ([`FramePool::alloc_huge_compact`](crate::FramePool::alloc_huge_compact))
+    /// when, even after draining the magazine tier back into the buddy so
+    /// every free frame can merge, no block of the requested order exists:
+    /// the remaining free frames are scattered below unmovable allocations.
+    /// Unlike [`PmemError::OutOfFrames`], free memory may be plentiful —
+    /// it is contiguity, not capacity, that ran out.
+    CompactionFailed {
+        /// The allocation order that could not be assembled.
+        order: u8,
+        /// Free base frames at failure time — typically well above zero.
+        free_frames: u64,
+    },
     /// A frame id was outside the pool.
     BadFrame,
 }
@@ -35,6 +51,13 @@ impl std::fmt::Display for PmemError {
                     f,
                     "out of physical frames (order {order}, {free_frames} free, \
                      low watermark {low_watermark})"
+                )
+            }
+            PmemError::CompactionFailed { order, free_frames } => {
+                write!(
+                    f,
+                    "compaction failed: no contiguous order-{order} block \
+                     assemblable ({free_frames} frames free but fragmented)"
                 )
             }
             PmemError::BadFrame => write!(f, "frame id outside the pool"),
@@ -62,5 +85,25 @@ mod tests {
         assert!(s.contains("order 9"));
         assert!(s.contains("3 free"));
         assert!(s.contains("low watermark 128"));
+    }
+
+    #[test]
+    fn compaction_failure_distinguishes_fragmentation_from_exhaustion() {
+        let e = PmemError::CompactionFailed {
+            order: 9,
+            free_frames: 700,
+        };
+        let s = e.to_string();
+        assert!(s.contains("order-9"));
+        assert!(s.contains("700 frames free"));
+        assert!(s.contains("fragmented"));
+        assert_ne!(
+            e,
+            PmemError::OutOfFrames {
+                order: 9,
+                free_frames: 700,
+                low_watermark: 128,
+            }
+        );
     }
 }

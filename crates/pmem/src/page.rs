@@ -183,6 +183,23 @@ impl Page {
             .is_ok()
     }
 
+    /// Atomically freezes the page: transitions the reference count from
+    /// exactly 1 to 0 — the `page_ref_freeze` of the kernel's THP split.
+    /// Returns whether the freeze won.
+    ///
+    /// A frozen page looks dead to [`Page::try_ref_inc`]
+    /// (`get_page_unless_zero` fails on 0), so no lock-free reader can pin
+    /// it while its metadata is being redistributed; the freezer holds the
+    /// only logical reference and is free to rewrite the compound
+    /// structure before re-publishing non-zero counts.
+    pub(crate) fn try_freeze(&self) -> bool {
+        self.refcount
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |cur| {
+                (cur == 1).then_some(0)
+            })
+            .is_ok()
+    }
+
     /// Atomically decrements the reference count and returns the new value.
     pub(crate) fn ref_dec(&self) -> u32 {
         let prev = self.refcount.fetch_sub(1, Ordering::AcqRel);
@@ -288,6 +305,18 @@ mod tests {
         for expect in (0..6u32).rev() {
             assert_eq!(p.ref_dec(), expect);
         }
+    }
+
+    #[test]
+    fn freeze_requires_sole_ownership_and_blocks_pins() {
+        let p = Page::new();
+        p.set_allocated(0, 0);
+        p.ref_inc();
+        assert!(!p.try_freeze(), "freeze must fail with 2 references");
+        p.ref_dec();
+        assert!(p.try_freeze());
+        assert_eq!(p.ref_count(), 0);
+        assert!(!p.try_ref_inc(), "a frozen page must not be revivable");
     }
 
     #[test]

@@ -39,7 +39,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use parking_lot::Mutex;
 
-use crate::buddy::Buddy;
+use crate::buddy::{Buddy, MigrateType};
 use crate::frame::{FrameId, HUGE_ORDER};
 use crate::spin::SpinMutex;
 use crate::stats::PoolStats;
@@ -132,10 +132,17 @@ impl PcpCache {
     /// reachable) and retry once — the analog of the kernel draining
     /// pcplists before declaring OOM — so exhaustion behaviour is
     /// indistinguishable from a flat buddy-only pool.
+    ///
+    /// Magazine lanes are migratetype-blind (the kernel splits pcplists by
+    /// migratetype; one shared lane is a documented approximation): `mt`
+    /// only steers the *refill*, so a movable refill can hand a parked
+    /// frame to a later unmovable request from the same thread. The buddy's
+    /// pageblock tags — which drive compaction — remain exact.
     pub(crate) fn alloc(
         &self,
         buddy: &SpinMutex<Buddy>,
         order: u8,
+        mt: MigrateType,
         stats: &PoolStats,
     ) -> Option<FrameId> {
         debug_assert!(Self::caches(order));
@@ -148,7 +155,7 @@ impl PcpCache {
                 return Some(f);
             }
             PoolStats::bump(&stats.pcp_misses);
-            let got = buddy.lock().alloc_bulk(order, Self::batch(order), lane);
+            let got = buddy.lock().alloc_bulk(order, mt, Self::batch(order), lane);
             if got > 0 {
                 PoolStats::bump(&stats.pcp_refills);
                 odf_trace::emit(odf_trace::Event::MagRefill {
@@ -169,7 +176,7 @@ impl PcpCache {
             PoolStats::bump(&stats.pcp_hits);
             return Some(f);
         }
-        if buddy.lock().alloc_bulk(order, 1, lane) > 0 {
+        if buddy.lock().alloc_bulk(order, mt, 1, lane) > 0 {
             return lane.pop();
         }
         None
@@ -250,18 +257,20 @@ impl PcpCache {
 mod tests {
     use super::*;
 
+    const MOV: MigrateType = MigrateType::Movable;
+
     #[test]
     fn miss_refills_a_batch_then_hits() {
         let buddy = SpinMutex::new(Buddy::new(256));
         let pcp = PcpCache::new();
         let stats = PoolStats::default();
-        let f = pcp.alloc(&buddy, 0, &stats).unwrap();
+        let f = pcp.alloc(&buddy, 0, MOV, &stats).unwrap();
         // One bulk refill took SMALL_BATCH frames from the buddy...
         assert_eq!(buddy.lock().free_frames(), 256 - SMALL_BATCH);
         // ...and the rest of the batch is parked for this thread.
         assert_eq!(pcp.cached_frames(), SMALL_BATCH - 1);
         for _ in 0..SMALL_BATCH - 1 {
-            pcp.alloc(&buddy, 0, &stats).unwrap();
+            pcp.alloc(&buddy, 0, MOV, &stats).unwrap();
         }
         let snap = stats.snapshot();
         assert_eq!(snap.pcp_refills, 1);
@@ -276,7 +285,7 @@ mod tests {
         let pcp = PcpCache::new();
         let stats = PoolStats::default();
         let frames: Vec<FrameId> = (0..=high_watermark(SMALL_BATCH))
-            .map(|_| buddy.lock().alloc(0).unwrap())
+            .map(|_| buddy.lock().alloc(0, MOV).unwrap())
             .collect();
         for f in frames {
             pcp.free(&buddy, f, 0, &stats);
@@ -294,15 +303,15 @@ mod tests {
         let buddy = SpinMutex::new(Buddy::new(1 << 11));
         let pcp = PcpCache::new();
         let stats = PoolStats::default();
-        let small = pcp.alloc(&buddy, 0, &stats).unwrap();
-        let huge = pcp.alloc(&buddy, HUGE_ORDER, &stats).unwrap();
+        let small = pcp.alloc(&buddy, 0, MOV, &stats).unwrap();
+        let huge = pcp.alloc(&buddy, HUGE_ORDER, MOV, &stats).unwrap();
         pcp.free(&buddy, small, 0, &stats);
         pcp.free(&buddy, huge, HUGE_ORDER, &stats);
         pcp.drain_all(&buddy);
         assert_eq!(pcp.cached_frames(), 0);
         assert_eq!(buddy.lock().free_frames(), 1 << 11);
         // Order-0 residue merged back: the full pool is one max-order run.
-        assert!(buddy.lock().alloc(crate::frame::MAX_ORDER).is_some());
+        assert!(buddy.lock().alloc(crate::frame::MAX_ORDER, MOV).is_some());
     }
 
     #[test]
@@ -313,13 +322,13 @@ mod tests {
         let buddy = SpinMutex::new(Buddy::new(512));
         let pcp = PcpCache::new();
         let stats = PoolStats::default();
-        let f = pcp.alloc(&buddy, 0, &stats).unwrap();
+        let f = pcp.alloc(&buddy, 0, MOV, &stats).unwrap();
         pcp.free(&buddy, f, 0, &stats);
         assert_eq!(buddy.lock().free_frames(), 512 - SMALL_BATCH);
-        let huge = pcp.alloc(&buddy, HUGE_ORDER, &stats).unwrap();
+        let huge = pcp.alloc(&buddy, HUGE_ORDER, MOV, &stats).unwrap();
         assert_eq!(huge.0 % 512, 0);
         // And true exhaustion still reports failure.
-        assert!(pcp.alloc(&buddy, HUGE_ORDER, &stats).is_none());
+        assert!(pcp.alloc(&buddy, HUGE_ORDER, MOV, &stats).is_none());
         pcp.free(&buddy, huge, HUGE_ORDER, &stats);
     }
 }

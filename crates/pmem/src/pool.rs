@@ -5,7 +5,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 
-use crate::buddy::Buddy;
+use crate::buddy::{Buddy, MigrateType};
 use crate::error::{PmemError, Result};
 use crate::frame::{FrameId, HUGE_ORDER, MAX_ORDER, PAGE_SIZE};
 use crate::page::{Page, PageFlags, PageKind};
@@ -330,14 +330,14 @@ impl FramePool {
     /// buddy directly otherwise, draining the magazines and retrying once
     /// before reporting exhaustion so parked-but-free memory is never the
     /// reason an allocation fails.
-    fn alloc_block(&self, order: u8) -> Result<FrameId> {
+    fn alloc_block(&self, order: u8, mt: MigrateType) -> Result<FrameId> {
         let head = match &self.pcp {
-            Some(pcp) if PcpCache::caches(order) => pcp.alloc(&self.buddy, order, &self.stats),
-            _ => match self.buddy.lock().alloc(order) {
+            Some(pcp) if PcpCache::caches(order) => pcp.alloc(&self.buddy, order, mt, &self.stats),
+            _ => match self.buddy.lock().alloc(order, mt) {
                 Some(f) => Some(f),
                 None if self.pcp.is_some() => {
                     self.drain_magazines();
-                    self.buddy.lock().alloc(order)
+                    self.buddy.lock().alloc(order, mt)
                 }
                 None => None,
             },
@@ -353,9 +353,19 @@ impl FramePool {
     }
 
     /// Allocates a block of `2^order` frames with raw metadata.
+    ///
+    /// Page-table frames are unmovable (nothing can relocate a live table;
+    /// entries point at it by frame number), so they are steered to
+    /// unmovable pageblocks; every data kind is movable — reclaim can
+    /// evict it and a collapse can migrate it.
     fn alloc_order(&self, order: u8, kind_flags: u32) -> Result<FrameId> {
         assert!(order <= MAX_ORDER);
-        let head = self.alloc_block(order)?;
+        let mt = if kind_flags & PageFlags::PAGETABLE != 0 {
+            MigrateType::Unmovable
+        } else {
+            MigrateType::Movable
+        };
+        let head = self.alloc_block(order, mt)?;
         PoolStats::bump(&self.stats.allocs);
         odf_trace::emit_hot(odf_trace::Event::FrameAlloc {
             frame: head.index() as u64,
@@ -404,6 +414,94 @@ impl FramePool {
             PageKind::PageTable => PageFlags::PAGETABLE,
             PageKind::Raw | PageKind::Free => 0,
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Compaction
+    // ------------------------------------------------------------------
+
+    /// Allocates a 2 MiB compound page, running a compaction pass when the
+    /// fast path cannot find a contiguous block — the THP collapse
+    /// allocation entry point.
+    ///
+    /// The compaction pass drains every per-thread magazine back into the
+    /// buddy so stranded order-0 frames merge into larger blocks (the
+    /// dominant source of assemblable contiguity here: a collapse frees
+    /// 512 scattered movable frames, and they must coalesce to serve the
+    /// *next* collapse), then retries. Failure is reported as
+    /// [`PmemError::CompactionFailed`], distinguishing "fragmented" from
+    /// "empty": the caller can tell whether reclaim would help (it would
+    /// not — only demotion/teardown of unmovable pins would).
+    ///
+    /// Migration happens one level up: the VM layer's collapse copies 512
+    /// movable frames into the new compound and frees the originals, which
+    /// *is* the migration step — the pool itself never moves live data.
+    pub fn alloc_huge_compact(&self, kind: PageKind) -> Result<FrameId> {
+        match self.alloc_huge(kind) {
+            Ok(f) => return Ok(f),
+            Err(PmemError::OutOfFrames { .. }) => {}
+            Err(e) => return Err(e),
+        }
+        PoolStats::bump(&self.stats.compact_scans);
+        self.drain_magazines();
+        odf_trace::emit(odf_trace::Event::CompactScan {
+            free_frames: self.free_frames() as u64,
+            frag_milli: (self.external_fragmentation(HUGE_ORDER) * 1000.0) as u64,
+        });
+        match self.alloc_huge(kind) {
+            Ok(f) => Ok(f),
+            Err(PmemError::OutOfFrames { free_frames, .. }) => {
+                PoolStats::bump(&self.stats.compact_failures);
+                Err(PmemError::CompactionFailed {
+                    order: HUGE_ORDER,
+                    free_frames,
+                })
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Free blocks currently on the buddy free lists, indexed by order.
+    /// Magazine-parked frames are not included (they sit outside the buddy
+    /// until spilled or drained); exporters pair this with
+    /// [`FramePool::free_frames`] for the total.
+    pub fn free_blocks_per_order(&self) -> Vec<u64> {
+        self.buddy.lock().free_blocks_per_order()
+    }
+
+    /// External-fragmentation index for allocations of `order`, in `0.0
+    /// ..= 1.0`: the fraction of buddy-free memory that is *unusable* for
+    /// a block of that order because it sits in smaller fragments.
+    /// `0.0` means every free frame is reachable through a block of the
+    /// requested order (or the pool is simply empty, where fragmentation
+    /// is meaningless); `1.0` means plenty may be free but none of it
+    /// contiguous enough — the `CompactionFailed` regime.
+    pub fn external_fragmentation(&self, order: u8) -> f64 {
+        let counts = self.buddy.lock().free_blocks_per_order();
+        let total: u64 = counts.iter().enumerate().map(|(o, &c)| c << o as u64).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let usable: u64 = counts
+            .iter()
+            .enumerate()
+            .skip(usize::from(order))
+            .map(|(o, &c)| c << o as u64)
+            .sum();
+        1.0 - (usable as f64 / total as f64)
+    }
+
+    /// Cross-migratetype fallback allocations served so far (movable
+    /// request from unmovable lists or vice versa) — the leading indicator
+    /// of future fragmentation.
+    pub fn mt_fallbacks(&self) -> u64 {
+        self.buddy.lock().mt_fallbacks()
+    }
+
+    /// Pageblocks stolen (re-tagged to the requesting migratetype) by
+    /// pageblock-sized fallbacks so far.
+    pub fn mt_steals(&self) -> u64 {
+        self.buddy.lock().mt_steals()
     }
 
     // ------------------------------------------------------------------
@@ -483,6 +581,56 @@ impl FramePool {
         taken
     }
 
+    /// Adds `n` references to a frame in one atomic add (the batched
+    /// `page_ref_add`). Used when one holder fans out into many — e.g. a
+    /// huge-page demotion that could not split the compound turns the
+    /// single PMD reference into 512 per-PTE references on the same head.
+    pub fn ref_add(&self, frame: FrameId, n: u32) {
+        if n == 0 {
+            return;
+        }
+        PoolStats::add(&self.stats.page_ref_incs, u64::from(n));
+        self.meta[frame.index()].ref_add(n);
+    }
+
+    /// Freezes a sole-owner page: atomically takes its reference count
+    /// from exactly 1 to 0, so no lock-free pin ([`FramePool::try_ref_inc`]
+    /// fails on 0) can land while the caller rewrites compound metadata —
+    /// the `page_ref_freeze` of the kernel's THP split. Returns whether
+    /// the freeze won; on `false` the caller saw a concurrent reference
+    /// (GUP pin, COW share) and must fall back to a non-destructive path.
+    pub fn try_freeze(&self, frame: FrameId) -> bool {
+        self.meta[frame.index()].try_freeze()
+    }
+
+    /// Splits a frozen compound page into independent order-0 frames — the
+    /// THP-demotion analog of `__split_huge_page`. Each constituent frame
+    /// keeps the data-bearing flags it had as part of the compound (kind,
+    /// dirty, materialization) but loses its head/tail mark and gets its
+    /// own reference count of 1, matching the 512 PTEs the demotion is
+    /// about to install. Returns the compound's order.
+    ///
+    /// The caller must have won [`FramePool::try_freeze`] on the head:
+    /// with the count at zero no pin can land mid-split, so the metadata
+    /// rewrite needs no lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `head` is not a frozen (refcount-zero) compound head.
+    pub fn split_frozen_compound(&self, head: FrameId) -> u8 {
+        let hp = &self.meta[head.index()];
+        assert!(hp.is_compound_head(), "split of a non-compound frame");
+        assert_eq!(hp.ref_count(), 0, "split of an unfrozen compound");
+        let order = hp.order();
+        let keep = PageFlags::ANON | PageFlags::FILE | PageFlags::DIRTY | PageFlags::HAS_DATA;
+        for i in 0..(1usize << order) {
+            let flags = self.meta[head.index() + i].flags() & keep;
+            self.meta[head.index() + i].set_allocated(flags, 0);
+        }
+        PoolStats::bump(&self.stats.compound_splits);
+        order
+    }
+
     /// Decrements a frame's reference count, freeing the block when it
     /// reaches zero. Returns `true` if the block was freed.
     pub fn ref_dec(&self, frame: FrameId) -> bool {
@@ -540,8 +688,29 @@ impl FramePool {
     pub(crate) fn release_prepare(&self, head: FrameId) -> u8 {
         let order = self.meta[head.index()].order();
         let n = 1usize << order;
+        // A compound must leave through its head and as one whole block —
+        // never sub-frame by sub-frame into the order-0 lane, which would
+        // strand its tails as permanently allocated metadata and corrupt
+        // buddy merging. Freeing through the head with the order read from
+        // its metadata guarantees that structurally; these asserts pin the
+        // head/tail invariants it depends on.
+        debug_assert!(
+            !self.meta[head.index()].is_compound_tail(),
+            "compound {head:?} freed through a tail frame"
+        );
+        debug_assert!(
+            order == 0 || self.meta[head.index()].is_compound_head(),
+            "block {head:?} has order {order} but no compound-head mark"
+        );
         for i in 0..n {
             let page = &self.meta[head.index() + i];
+            debug_assert!(
+                i == 0 || (page.is_compound_tail() && page.compound_head_index() == head.0),
+                "compound {head:?} tail {i} inconsistent at free \
+                 (flags {:#x}, head link {})",
+                page.flags(),
+                page.compound_head_index(),
+            );
             // Only frames that were actually written own a buffer; the
             // HAS_DATA flag (set under the data lock at materialization)
             // lets clean frames skip the per-frame data lock here.
@@ -967,6 +1136,157 @@ mod tests {
         ));
         assert!(pool.ref_dec(h));
         assert_eq!(pool.balance().free_frames, 512);
+    }
+
+    #[test]
+    fn compaction_assembles_huge_block_from_magazine_residue() {
+        // Churn order-0 allocations so free frames sit parked in a
+        // magazine, fragmenting the buddy's view. The compact path must
+        // drain and merge them into an order-9 block instead of failing.
+        let pool = FramePool::new(512);
+        let frames: Vec<FrameId> = (0..16)
+            .map(|_| pool.alloc_page(PageKind::Anon).unwrap())
+            .collect();
+        for f in frames {
+            assert!(pool.ref_dec(f));
+        }
+        let before = pool.stats().snapshot();
+        let h = pool.alloc_huge_compact(PageKind::Anon).unwrap();
+        assert_eq!(h.0 % 512, 0);
+        assert!(pool.ref_dec(h));
+        assert_eq!(pool.balance().free_frames, 512);
+        let delta = pool.stats().snapshot() - before;
+        assert!(delta.compact_scans <= 1);
+        assert_eq!(delta.compact_failures, 0);
+    }
+
+    #[test]
+    fn compaction_failure_is_typed_and_counted() {
+        // Pin one unmovable frame inside each 512-frame pageblock so no
+        // order-9 block can ever be assembled, then ask for one: the
+        // failure must be CompactionFailed (fragmented), not OutOfFrames
+        // (empty), and free memory must indeed be plentiful.
+        let pool = FramePool::new_flat(1024);
+        let mut pins = Vec::new();
+        let mut scattered = Vec::new();
+        // Allocate everything, then free all but one frame per pageblock.
+        for _ in 0..1024 {
+            scattered.push(pool.alloc_page_table().unwrap());
+        }
+        for (i, f) in scattered.iter().enumerate() {
+            if f.0 == 0 || f.0 == 512 {
+                pins.push(*f);
+            } else {
+                assert!(pool.ref_dec(scattered[i]));
+            }
+        }
+        assert_eq!(pins.len(), 2);
+        let before = pool.stats().snapshot();
+        let err = pool.alloc_huge_compact(PageKind::Anon).unwrap_err();
+        assert_eq!(
+            err,
+            PmemError::CompactionFailed {
+                order: HUGE_ORDER,
+                free_frames: 1022,
+            }
+        );
+        let delta = pool.stats().snapshot() - before;
+        assert_eq!(delta.compact_scans, 1);
+        assert_eq!(delta.compact_failures, 1);
+        assert!(pool.external_fragmentation(HUGE_ORDER) > 0.9);
+        for f in pins {
+            assert!(pool.ref_dec(f));
+        }
+        assert_eq!(pool.balance().free_frames, 1024);
+    }
+
+    #[test]
+    fn fragmentation_index_tracks_per_order_counts() {
+        let pool = FramePool::new_flat(1024);
+        // Pristine pool: all free memory is huge-reachable.
+        assert_eq!(pool.external_fragmentation(HUGE_ORDER), 0.0);
+        let counts = pool.free_blocks_per_order();
+        assert_eq!(counts.iter().sum::<u64>(), 1);
+        assert_eq!(counts[usize::from(MAX_ORDER)], 1);
+        // One order-0 bite splits a chain of halves off the big block.
+        let f = pool.alloc_page(PageKind::Anon).unwrap();
+        let frag = pool.external_fragmentation(HUGE_ORDER);
+        assert!(frag > 0.0 && frag < 1.0, "frag index {frag} out of range");
+        let counts = pool.free_blocks_per_order();
+        assert_eq!(counts[0], 1);
+        assert!(pool.ref_dec(f));
+        assert_eq!(pool.external_fragmentation(HUGE_ORDER), 0.0);
+        // Fully allocated: zero free is defined as zero fragmentation.
+        let all: Vec<FrameId> = (0..1024)
+            .map(|_| pool.alloc_page(PageKind::Anon).unwrap())
+            .collect();
+        assert_eq!(pool.external_fragmentation(HUGE_ORDER), 0.0);
+        for f in all {
+            pool.ref_dec(f);
+        }
+    }
+
+    #[test]
+    fn unmovable_tables_and_movable_data_segregate_pageblocks() {
+        let pool = FramePool::new_flat(2048);
+        let t = pool.alloc_page_table().unwrap();
+        let d = pool.alloc_page(PageKind::Anon).unwrap();
+        // With 4 pristine pageblocks there is room to honour both types:
+        // the table and the data page must land in different pageblocks.
+        // The table's bootstrap fallback (everything starts movable) steals
+        // a whole pageblock for the unmovable type rather than lodging the
+        // table inside a movable one.
+        assert_ne!(t.0 / 512, d.0 / 512, "migratetypes not segregated");
+        assert_eq!(pool.mt_fallbacks(), 1);
+        assert_eq!(pool.mt_steals(), 1);
+        assert!(pool.ref_dec(t));
+        assert!(pool.ref_dec(d));
+    }
+
+    #[test]
+    fn split_frozen_compound_yields_independent_frames() {
+        let pool = FramePool::new(1024);
+        let baseline = pool.balance();
+        let h = pool.alloc_huge(PageKind::Anon).unwrap();
+        pool.write_frame(h.offset(7), 0, b"tail-data");
+        assert!(pool.try_freeze(h));
+        let order = pool.split_frozen_compound(h);
+        assert_eq!(order, HUGE_ORDER);
+        // Every former tail is now its own order-0 anon frame, refcount 1,
+        // data preserved.
+        for i in 0..512usize {
+            let f = h.offset(i);
+            assert!(!pool.page(f).is_compound_tail());
+            assert!(!pool.page(f).is_compound_head());
+            assert_eq!(pool.page(f).kind(), PageKind::Anon);
+            assert_eq!(pool.ref_count(f), 1);
+            assert_eq!(pool.compound_head(f), f);
+        }
+        let mut buf = [0u8; 9];
+        pool.read_frame(h.offset(7), 0, &mut buf);
+        assert_eq!(&buf, b"tail-data");
+        // Freeing them one by one returns every frame: no leak, no
+        // over-free, and the buddy merges the block back together.
+        for i in 0..512usize {
+            assert!(pool.ref_dec(h.offset(i)));
+        }
+        assert_pool_balanced(&pool, baseline);
+        assert_eq!(pool.stats().snapshot().compound_splits, 1);
+    }
+
+    #[test]
+    fn freeze_fails_on_shared_compound() {
+        let pool = FramePool::new(1024);
+        let h = pool.alloc_huge(PageKind::Anon).unwrap();
+        pool.ref_inc(h); // a second mapping (COW share)
+        assert!(!pool.try_freeze(h));
+        // The fallback: fan the sharer's single reference out per-PTE.
+        pool.ref_add(h, 511);
+        assert_eq!(pool.ref_count(h), 513);
+        for _ in 0..513 {
+            pool.ref_dec(h);
+        }
+        assert_eq!(pool.balance().free_frames, 1024);
     }
 
     #[test]

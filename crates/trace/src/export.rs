@@ -232,6 +232,27 @@ pub(crate) fn chrome_json(trace: &Trace) -> String {
                 (r.ts_ns.saturating_sub(latency_ns)) as f64 / 1000.0,
                 latency_ns as f64 / 1000.0,
             ),
+            Event::CollapseStart { va } => format!(
+                "{{\"name\":\"collapse_start\",\"cat\":\"thp\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3},\"args\":{{\"va\":{va}}}}}",
+            ),
+            Event::CollapseEnd {
+                va,
+                frame,
+                latency_ns,
+            } => format!(
+                "{{\"name\":\"collapse\",\"cat\":\"thp\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"va\":{va},\"frame\":{frame}}}}}",
+                (r.ts_ns.saturating_sub(latency_ns)) as f64 / 1000.0,
+                latency_ns as f64 / 1000.0,
+            ),
+            Event::Demote { va, frame } => format!(
+                "{{\"name\":\"demote\",\"cat\":\"thp\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3},\"args\":{{\"va\":{va},\"frame\":{frame}}}}}",
+            ),
+            Event::CompactScan {
+                free_frames,
+                frag_milli,
+            } => format!(
+                "{{\"name\":\"compact_scan\",\"cat\":\"thp\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3},\"args\":{{\"free_frames\":{free_frames},\"frag_milli\":{frag_milli}}}}}",
+            ),
         };
         rows.push(row);
     }

@@ -337,6 +337,36 @@ pub enum Event {
         /// Wall time of the swap-in data path (slot read + frame write).
         latency_ns: u64,
     },
+    /// A huge-page collapse (khugepaged promotion) began.
+    CollapseStart {
+        /// 2 MiB-aligned base virtual address of the candidate range.
+        va: u64,
+    },
+    /// A huge-page collapse completed: 512 PTEs became one PMD entry.
+    CollapseEnd {
+        /// 2 MiB-aligned base virtual address of the promoted range.
+        va: u64,
+        /// Head frame of the new order-9 compound page.
+        frame: u64,
+        /// Wall time from candidate validation to installed PMD.
+        latency_ns: u64,
+    },
+    /// A huge page was demoted back to 512 base PTEs.
+    Demote {
+        /// 2 MiB-aligned base virtual address of the demoted range.
+        va: u64,
+        /// Head frame of the (former) compound page.
+        frame: u64,
+    },
+    /// A compaction pass ran to assemble a huge block from a fragmented
+    /// pool (magazine drain + buddy merge + retry).
+    CompactScan {
+        /// Free base frames at scan time.
+        free_frames: u64,
+        /// External-fragmentation index for the huge order, in milli
+        /// (0 = fully coalescible, 1000 = nothing huge-reachable).
+        frag_milli: u64,
+    },
 }
 
 impl Event {
@@ -347,7 +377,9 @@ impl Event {
             Event::CowCopy { frame, .. }
             | Event::FrameAlloc { frame, .. }
             | Event::FrameFree { frame, .. }
-            | Event::Evicted { frame, .. } => Some(frame),
+            | Event::Evicted { frame, .. }
+            | Event::CollapseEnd { frame, .. }
+            | Event::Demote { frame, .. } => Some(frame),
             _ => None,
         }
     }
@@ -370,6 +402,10 @@ impl Event {
             Event::ReclaimScanStart { .. } => "reclaim_scan_start",
             Event::Evicted { .. } => "evicted",
             Event::SwappedIn { .. } => "swapped_in",
+            Event::CollapseStart { .. } => "collapse_start",
+            Event::CollapseEnd { .. } => "collapse_end",
+            Event::Demote { .. } => "demote",
+            Event::CompactScan { .. } => "compact_scan",
         }
     }
 
@@ -412,6 +448,17 @@ impl Event {
                 latency_ns,
             } => (14, 0, frame, slot, latency_ns),
             Event::SwappedIn { slot, latency_ns } => (15, 0, slot, latency_ns, 0),
+            Event::CollapseStart { va } => (16, 0, va, 0, 0),
+            Event::CollapseEnd {
+                va,
+                frame,
+                latency_ns,
+            } => (17, 0, va, frame, latency_ns),
+            Event::Demote { va, frame } => (18, 0, va, frame, 0),
+            Event::CompactScan {
+                free_frames,
+                frag_milli,
+            } => (19, 0, free_frames, frag_milli, 0),
         }
     }
 
@@ -476,6 +523,17 @@ impl Event {
             15 => Event::SwappedIn {
                 slot: a,
                 latency_ns: b,
+            },
+            16 => Event::CollapseStart { va: a },
+            17 => Event::CollapseEnd {
+                va: a,
+                frame: b,
+                latency_ns: c,
+            },
+            18 => Event::Demote { va: a, frame: b },
+            19 => Event::CompactScan {
+                free_frames: a,
+                frag_milli: b,
             },
             _ => return None,
         })
@@ -688,6 +746,11 @@ pub enum EventClass {
     /// already told by the `Fault` record. Enable for per-frame leak
     /// post-mortems ([`Trace::for_frame`], `assert_pool_balanced` dumps).
     Kmem,
+    /// The huge-page lifecycle events (`CollapseStart` / `CollapseEnd` /
+    /// `Demote` / `CompactScan`) — the khugepaged tracepoints. On by
+    /// default: promotions/demotions are rare (background-daemon cadence),
+    /// so their records cost nothing on the fault path.
+    Thp,
 }
 
 impl EventClass {
@@ -701,6 +764,7 @@ impl EventClass {
             EventClass::LockRetry => 1 << 6,
             EventClass::Reclaim => (1 << 7) | (1 << 13) | (1 << 14) | (1 << 15),
             EventClass::Kmem => (1 << 8) | (1 << 9) | (1 << 10) | (1 << 11) | (1 << 12),
+            EventClass::Thp => (1 << 16) | (1 << 17) | (1 << 18) | (1 << 19),
         }
     }
 }
@@ -1118,6 +1182,20 @@ mod tests {
                 latency_ns: 4321,
             },
             fault(FaultKind::SwapIn, 777),
+            Event::CollapseStart { va: 0x20_0000 },
+            Event::CollapseEnd {
+                va: 0x20_0000,
+                frame: 512,
+                latency_ns: 88_000,
+            },
+            Event::Demote {
+                va: 0x40_0000,
+                frame: 1024,
+            },
+            Event::CompactScan {
+                free_frames: 700,
+                frag_milli: 930,
+            },
         ];
         for ev in cases {
             let (tag, sub, a, b, c) = ev.encode();

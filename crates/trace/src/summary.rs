@@ -55,6 +55,8 @@ pub struct TraceSummary {
     /// Swap-in data-path latency (slot read + frame write), excluding the
     /// fault-dispatch overhead already covered by the `Fault` record.
     pub swapin_latency: Histogram,
+    /// Huge-page collapse latency (candidate validation to installed PMD).
+    pub collapse_latency: Histogram,
     /// Instant-event counts keyed by class (`tlb_flush`,
     /// `lock_retry_<site>`, `reclaim`, ...).
     pub counts: BTreeMap<String, u64>,
@@ -132,6 +134,13 @@ impl TraceSummary {
                     bump(&mut s.counts, "swapped_in");
                     s.swapin_latency.record(latency_ns);
                 }
+                Event::CollapseStart { .. } => bump(&mut s.counts, "collapse_start"),
+                Event::CollapseEnd { latency_ns, .. } => {
+                    bump(&mut s.counts, "collapse");
+                    s.collapse_latency.record(latency_ns);
+                }
+                Event::Demote { .. } => bump(&mut s.counts, "demote"),
+                Event::CompactScan { .. } => bump(&mut s.counts, "compact_scan"),
             }
         }
         s.faults = faults.into_values().collect();
@@ -194,6 +203,12 @@ impl TraceSummary {
                 hist: self.swapin_latency.clone(),
             });
         }
+        if self.collapse_latency.count() > 0 {
+            out.push(ClassSummary {
+                name: "thp_collapse".to_string(),
+                hist: self.collapse_latency.clone(),
+            });
+        }
         out
     }
 
@@ -254,6 +269,14 @@ impl TraceSummary {
                 "Swap-in data-path latency (slot read + frame write)",
                 &[],
                 &self.swapin_latency,
+            );
+        }
+        if self.collapse_latency.count() > 0 {
+            p.quantiles(
+                "odf_trace_collapse_latency_ns",
+                "Huge-page collapse latency (validate + copy + install)",
+                &[],
+                &self.collapse_latency,
             );
         }
         for (class, count) in &self.counts {

@@ -63,6 +63,10 @@ impl From<PmemError> for VmError {
     fn from(e: PmemError) -> Self {
         match e {
             PmemError::OutOfFrames { .. } => VmError::NoMemory,
+            // Compaction failure means contiguity (not capacity) ran out;
+            // callers that cannot fall back to 4 KiB pages see it as ENOMEM,
+            // exactly like a failed `alloc_pages(order=9)` in Linux.
+            PmemError::CompactionFailed { .. } => VmError::NoMemory,
             PmemError::BadFrame => VmError::InvalidArgument,
         }
     }

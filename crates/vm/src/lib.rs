@@ -43,6 +43,7 @@ mod prot;
 mod reclaim;
 mod snapshot;
 mod stats;
+mod thp;
 mod unmap;
 mod vma;
 mod walk;
@@ -57,6 +58,7 @@ pub use prot::Prot;
 pub use reclaim::{EvictCandidate, EvictDecision, EvictStats};
 pub use snapshot::{AddressSpaceView, LeafPage, VmaInfo};
 pub use stats::{VmStats, VmStatsSnapshot};
+pub use thp::{ThpCandidate, ThpOutcome};
 pub use vma::{Backing, MapParams, Vma};
 
 pub use odf_pagetable::{VirtAddr, PTE_TABLE_SPAN};

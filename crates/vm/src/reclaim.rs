@@ -191,7 +191,33 @@ impl Mm {
             return;
         };
         let e = pmd.load();
-        if !e.is_present() || e.is_huge() {
+        if !e.is_present() {
+            return;
+        }
+        if e.is_huge() {
+            // Demote-before-evict handshake with the THP layer: pressure
+            // never splits a huge page directly. An accessed one gets its
+            // second chance (clock semantics at huge granularity); a cold
+            // one is demoted to 512 PTEs so the *next* pass can evict them
+            // page by page. Direct reclaim (`try_locks`) skips entirely —
+            // demotion allocates a PTE table, and allocating while already
+            // inside an allocation's reclaim pass could recurse.
+            if try_locks || pool.pt_share_count(pmd.frame) > 1 {
+                return;
+            }
+            stats.scanned += 1;
+            if e.is_accessed() {
+                pmd.table.fetch_clear(pmd.idx, EntryFlags::ACCESSED);
+                stats.cleared += 1;
+            } else {
+                let demoted =
+                    crate::thp::demote_at(machine, inner, at.pte_table_align_down().as_u64())
+                        .map(|o| o == crate::thp::ThpOutcome::Demoted)
+                        .unwrap_or(false);
+                if !demoted {
+                    stats.skipped += 1;
+                }
+            }
             return;
         }
         let table_frame = e.frame();

@@ -94,9 +94,39 @@ pub(crate) fn zap_range(machine: &Machine, inner: &mut MmInner, start: u64, end:
             let e = pmd.load();
             if e.is_present() {
                 if e.is_huge() {
-                    batch.ref_dec(e.frame());
-                    pmd.store(Entry::NONE);
-                    inner.rss_sub(ENTRIES_PER_TABLE as u64);
+                    let chunk_base = at.pte_table_align_down();
+                    let full = at == chunk_base && chunk_end == chunk_base.add(PTE_TABLE_SPAN);
+                    if full {
+                        batch.ref_dec(e.frame());
+                        pmd.store(Entry::NONE);
+                        inner.rss_sub(ENTRIES_PER_TABLE as u64);
+                    } else {
+                        // A collapsed chunk partially covered by the zap
+                        // (huge VMAs never get here — their ranges are
+                        // 2 MiB-aligned by construction): demote first,
+                        // then clear only the covered PTEs. A compound
+                        // must never leak page by page into the order-0
+                        // free lane.
+                        match crate::thp::demote_at(machine, inner, chunk_base.as_u64()) {
+                            Ok(crate::thp::ThpOutcome::Demoted) => {
+                                let ne = pmd.load();
+                                debug_assert!(ne.is_present() && !ne.is_huge());
+                                zap_table_chunk(
+                                    machine, inner, &pmd, ne, at, chunk_end, &mut batch,
+                                );
+                            }
+                            _ => {
+                                // Demotion failed (no frame for the PTE
+                                // table): drop the whole huge page. The
+                                // surviving sub-range re-faults as zeros —
+                                // the same last-resort fallback the
+                                // shared-table OOM paths take.
+                                batch.ref_dec(e.frame());
+                                pmd.store(Entry::NONE);
+                                inner.rss_sub(ENTRIES_PER_TABLE as u64);
+                            }
+                        }
+                    }
                 } else {
                     zap_table_chunk(machine, inner, &pmd, e, at, chunk_end, &mut batch);
                 }
@@ -391,21 +421,41 @@ fn move_mappings(
             } else {
                 pmd
             };
-            let e = pmd.load();
+            let mut e = pmd.load();
             if !e.is_present() {
                 break 'chunk;
             }
             if e.is_huge() {
-                // Huge ranges move at PMD granularity (alignment enforced
-                // by the caller).
-                let dest = VirtAddr::new(new_start + (at.as_u64() - start));
-                let dest_pmd = walk::pmd_slot_create(machine, inner.pgd, dest)?;
-                // Mark moved entries soft-dirty: the destination range is
-                // in the epoch dirty-range log, and without the bit a delta
-                // snapshot would materialize these pages as zeros.
-                dest_pmd.store(e.with_set(EntryFlags::SOFT_DIRTY));
-                pmd.store(Entry::NONE);
-                break 'chunk;
+                let chunk_base = at.pte_table_align_down();
+                let dest_u = new_start + (at.as_u64() - start);
+                if at == chunk_base
+                    && chunk_end == chunk_base.add(PTE_TABLE_SPAN)
+                    && dest_u.is_multiple_of(HUGE_PAGE_SIZE as u64)
+                {
+                    // Whole chunk, congruent destination: move at PMD
+                    // granularity (huge VMAs always hit this arm — the
+                    // caller enforces their alignment).
+                    let dest = VirtAddr::new(dest_u);
+                    let dest_pmd = walk::pmd_slot_create(machine, inner.pgd, dest)?;
+                    // Mark moved entries soft-dirty: the destination range is
+                    // in the epoch dirty-range log, and without the bit a delta
+                    // snapshot would materialize these pages as zeros.
+                    dest_pmd.store(e.with_set(EntryFlags::SOFT_DIRTY));
+                    pmd.store(Entry::NONE);
+                    break 'chunk;
+                }
+                // A collapsed chunk moving partially or to a non-2 MiB-
+                // aligned destination: demote, then fall through to the
+                // per-PTE move below.
+                if crate::thp::demote_at(machine, inner, chunk_base.as_u64())?
+                    != crate::thp::ThpOutcome::Demoted
+                {
+                    break 'chunk;
+                }
+                e = pmd.load();
+                if !e.is_present() || e.is_huge() {
+                    break 'chunk;
+                }
             }
             let table_frame = e.frame();
             let mut table = machine.store().get(table_frame);
@@ -516,7 +566,26 @@ fn wrprotect_range(machine: &Machine, inner: &mut MmInner, start: u64, end: u64)
             let e = pmd.load();
             if e.is_present() {
                 if e.is_huge() {
-                    pmd.store(e.with_cleared(EntryFlags::WRITABLE));
+                    let chunk_base = at.pte_table_align_down();
+                    if at == chunk_base && chunk_end == chunk_base.add(PTE_TABLE_SPAN) {
+                        pmd.store(e.with_cleared(EntryFlags::WRITABLE));
+                    } else if crate::thp::demote_at(machine, inner, chunk_base.as_u64())
+                        .map(|o| o == crate::thp::ThpOutcome::Demoted)
+                        .unwrap_or(false)
+                    {
+                        // Collapsed chunk partially reprotected: split to
+                        // PTE granularity so the rest of the chunk keeps
+                        // its write permission.
+                        let ne = pmd.load();
+                        if ne.is_present() && !ne.is_huge() {
+                            wrprotect_table_range(&machine.store().get(ne.frame()), at, chunk_end);
+                        }
+                    } else {
+                        // Demotion failed (OOM): conservatively protect the
+                        // whole entry; writes to the still-writable part
+                        // COW-fault and are re-validated against their VMA.
+                        pmd.store(e.with_cleared(EntryFlags::WRITABLE));
+                    }
                 } else if pool.pt_share_count(e.frame()) > 1 {
                     // Already effectively read-only through the cleared
                     // PMD writable bit; the fault path re-checks the VMA

@@ -151,11 +151,28 @@ pub fn replay_on(
     policy: ForkPolicy,
     region_pages: u64,
 ) -> Replay {
+    replay_on_with(kernel, script, policy, region_pages, false)
+}
+
+/// [`replay_on`] with control over whether the region is made fully
+/// resident before the first action. Populating is residency-only (all
+/// pages exist, zero-filled) and never changes contents, so populated and
+/// unpopulated replays of the same script stay bit-identical.
+pub fn replay_on_with(
+    kernel: &std::sync::Arc<Kernel>,
+    script: &[Action],
+    policy: ForkPolicy,
+    region_pages: u64,
+    populate: bool,
+) -> Replay {
     let root = kernel.spawn().expect("spawn");
     let region = region_pages * 4096;
     let addr = root
         .mmap_fixed(0x4000_0000, region, odf_core::MapParams::anon_rw())
         .expect("mmap");
+    if populate {
+        root.populate(addr, region, true).expect("populate");
+    }
     let mut procs: Vec<Option<Process>> = vec![Some(root)];
 
     for action in script {
@@ -320,6 +337,53 @@ pub fn replay_huge(script: &[Action], policy: ForkPolicy, huge_pages: u64) -> Re
                 .collect(),
         })
         .collect()
+}
+
+/// A deliberately thrashing promotion policy for differential tests:
+/// every fully resident 4 KiB range is collapsed on sight and every huge
+/// range is demoted on sight, so ranges continuously flip granularity
+/// while the script replays. Maximum THP churn, zero THP benefit — which
+/// is the point: the churn must be invisible to memory contents.
+#[derive(Debug, Default)]
+pub struct ChurnPolicy;
+
+impl odf_core::PromotionPolicy for ChurnPolicy {
+    fn decide(&mut self, c: &odf_core::ThpCandidate) -> odf_core::ThpDecision {
+        if c.huge {
+            odf_core::ThpDecision::Demote
+        } else if c.resident as u64 == odf_core::HUGE_PAGE_SIZE as u64 / 4096 {
+            odf_core::ThpDecision::Collapse
+        } else {
+            odf_core::ThpDecision::Skip
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "churn"
+    }
+}
+
+/// Replays a script with the THP daemon collapsing and demoting ranges
+/// underneath it the whole time (the [`ChurnPolicy`]). The region is
+/// populated first so 2 MiB chunks start fully resident and collapsible
+/// (populating is residency-only — all pages exist, zero-filled — so the
+/// images stay comparable with an unpopulated oracle). The returned
+/// images must be bit-identical to [`replay`]'s on the same script — a
+/// huge-page granularity change being observable in memory contents would
+/// be a THP bug.
+pub fn replay_thp(script: &[Action], policy: ForkPolicy, region_pages: u64) -> Replay {
+    let kernel = Kernel::new((region_pages * 4096) * 16 + (64 << 20));
+    kernel.start_thp_daemon(
+        Box::new(ChurnPolicy),
+        odf_core::ThpDaemonConfig {
+            interval: std::time::Duration::from_micros(200),
+            max_ops: 16,
+            clear_accessed: false,
+        },
+    );
+    let images = replay_on_with(&kernel, script, policy, region_pages, true);
+    kernel.stop_thp_daemon();
+    images
 }
 
 /// FNV-1a hash of a byte slice.
