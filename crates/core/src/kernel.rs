@@ -103,12 +103,51 @@ impl Kernel {
     /// snapshot image (see [`odf_snapshot`]) — bit-identical to the
     /// checkpointed one. Incremental chains are collapsed first with
     /// [`odf_snapshot::materialize`].
+    ///
+    /// Runs a frame-accounting audit in the spirit of
+    /// [`odf_pmem::assert_pool_balanced`]: on failure every frame the
+    /// aborted restore touched must be back in the pool, and on success
+    /// the pool must have paid out *exactly* the restored space's
+    /// [`odf_vm::FrameFootprint`] — a leaked COW pin or double free in the
+    /// restore path panics here instead of surfacing as a slow leak.
+    ///
+    /// # Panics
+    ///
+    /// Panics if frame accounting does not balance around the restore.
     pub fn restore(
         self: &Arc<Self>,
         image: &odf_snapshot::SnapshotImage,
     ) -> odf_snapshot::Result<Process> {
+        let pool = self.machine.pool();
+        let baseline = pool.balance();
+        let stats_before = self.machine.stats().snapshot();
         let proc = self.spawn()?;
-        odf_snapshot::restore_into(image, proc.mm())?;
+        if let Err(e) = odf_snapshot::restore_into(image, proc.mm()) {
+            drop(proc);
+            odf_pmem::assert_pool_balanced(pool, baseline);
+            return Err(e);
+        }
+        // Background reclaim or THP daemons moving pages mid-restore
+        // legitimately changes the pin count; audit only a quiet restore.
+        let stats_after = self.machine.stats().snapshot();
+        let quiet = stats_before.pages_swapped_out == stats_after.pages_swapped_out
+            && stats_before.thp_collapses == stats_after.thp_collapses
+            && stats_before.thp_demotions == stats_after.thp_demotions;
+        if quiet {
+            let footprint = proc.mm().frame_footprint();
+            let now = pool.balance();
+            let pinned = baseline.free_frames - now.free_frames;
+            assert_eq!(
+                pinned as u64,
+                footprint.total(),
+                "restore frame accounting is unbalanced: the pool paid out \
+                 {pinned} frames but the restored space pins {} \
+                 ({} data + {} table)",
+                footprint.total(),
+                footprint.data_frames,
+                footprint.table_frames
+            );
+        }
         Ok(proc)
     }
 
@@ -293,6 +332,48 @@ mod tests {
         assert_eq!(k.effective_fork_policy(p.pid()), ForkPolicy::Classic);
         k.set_fork_policy(p.pid(), None);
         assert_eq!(k.effective_fork_policy(p.pid()), ForkPolicy::OnDemand);
+    }
+
+    #[test]
+    fn restore_accounting_balances_and_frees_cleanly() {
+        let k = Kernel::new(64 << 20);
+        let p = k.spawn().unwrap();
+        let a = p.mmap_anon(512 << 10).unwrap();
+        for pg in 0..16u64 {
+            p.write_u64(a + pg * 8192, pg).unwrap();
+        }
+        let img = p.checkpoint().unwrap();
+
+        // restore() itself asserts pool-delta == footprint; then tearing
+        // the restored process down must return every frame.
+        let before = k.machine().pool().balance();
+        let q = k.restore(&img).unwrap();
+        let footprint = q.mm().frame_footprint();
+        assert!(footprint.data_frames >= 16, "restored pages are resident");
+        drop(q);
+        odf_pmem::assert_pool_balanced(k.machine().pool(), before);
+    }
+
+    #[test]
+    fn failed_restore_returns_every_frame_to_the_pool() {
+        let k = Kernel::new(64 << 20);
+        let p = k.spawn().unwrap();
+        let a = p.mmap_anon(256 << 10).unwrap();
+        for pg in 0..32u64 {
+            p.write_u64(a + pg * 4096, pg).unwrap();
+        }
+        let mut img = p.checkpoint().unwrap();
+        // A page record outside every VMA makes restore_into die *after*
+        // the earlier pages were already populated — the aborted process
+        // must hand every frame back (asserted inside restore()).
+        img.pages.push(odf_snapshot::PageRecord {
+            va: 0x7fff_0000_0000,
+            payload: Some(0),
+        });
+
+        let before = k.machine().pool().balance();
+        assert!(k.restore(&img).is_err(), "restore must report the fault");
+        odf_pmem::assert_pool_balanced(k.machine().pool(), before);
     }
 
     #[test]

@@ -67,6 +67,13 @@ impl Kernel {
             "Pageblocks re-tagged to the requesting migratetype",
             pool.mt_steals(),
         );
+        for (name, value) in odf_durability::stats().snapshot().fields() {
+            p.counter(
+                &format!("odf_durability_{name}_total"),
+                "Durability-subsystem operation counter (WAL/chain/recovery)",
+                value,
+            );
+        }
         p.gauge(
             "odf_mem_free_bytes",
             "Free simulated physical memory",
@@ -117,6 +124,10 @@ impl Kernel {
                 pool.mt_steals()
             ),
             format!(
+                "\"durability\":{}",
+                field_obj(odf_durability::stats().snapshot().fields())
+            ),
+            format!(
                 "\"mem\":{{\"free_bytes\":{},\"total_bytes\":{},\"processes\":{}}}",
                 self.free_bytes(),
                 self.total_bytes(),
@@ -146,13 +157,16 @@ mod tests {
         let text = k.metrics_prometheus();
         let vm_fields = k.stats().vm.fields().len();
         let pool_fields = k.stats().pool.fields().len();
+        let durability_fields = odf_durability::stats().snapshot().fields().len();
         let samples = text
             .lines()
             .filter(|l| !l.starts_with('#') && !l.is_empty())
             .count();
-        assert!(samples >= vm_fields + pool_fields + 3);
+        assert!(samples >= vm_fields + pool_fields + durability_fields + 3);
         assert!(text.contains("odf_vm_faults_total"));
         assert!(text.contains("odf_pool_allocs_total"));
+        assert!(text.contains("odf_durability_wal_fsyncs_total"));
+        assert!(text.contains("odf_durability_recoveries_total"));
         assert!(text.contains("odf_processes 1"));
     }
 
@@ -183,6 +197,9 @@ mod tests {
         assert!(j.contains("\"pool\":{"));
         assert!(j.contains("\"faults\":"));
         assert!(j.contains("\"buddy\":{"));
+        assert!(j.contains("\"durability\":{"));
+        assert!(j.contains("\"wal_appends\":"));
+        assert!(j.contains("\"snapshots_published\":"));
         assert!(j.contains("\"free_blocks_per_order\":["));
         assert!(j.contains("\"external_fragmentation\":"));
         assert!(j.contains("\"mt_fallbacks\":"));

@@ -1,0 +1,608 @@
+//! The on-disk snapshot chain store.
+//!
+//! Each bgsave publishes one [`SnapshotImage`] — full or delta — as
+//! `snap-<epoch>-<kind>.img`, written tmp-first, fsynced, then renamed
+//! into place, followed by an atomic republish of the `manifest` file that
+//! indexes every image (epoch, kind, parent pointer, length, checksum, the
+//! WAL sequence number the image covers, and opaque caller metadata). The
+//! publish order is the recovery invariant: an image is *reachable* only
+//! once the manifest naming it is durable, and the caller truncates the
+//! WAL only after `publish` returns — so at every crash point either the
+//! old chain + full WAL or the new chain + (possibly truncated) WAL
+//! recovers.
+//!
+//! The manifest is line-oriented text with a trailing whole-file checksum:
+//!
+//! ```text
+//! odf-chain v1
+//! img <epoch> <full|delta> <parent_epoch> <file> <len> <fnv64> <wal_seq> <meta-hex>
+//! sum <fnv64-of-all-previous-lines>
+//! ```
+
+use std::sync::Arc;
+
+use odf_metrics::Stopwatch;
+use odf_snapshot::{materialize, ImageKind, SnapshotImage};
+use odf_trace::Event;
+
+use crate::fs::{FsError, StorageFs};
+use crate::stats;
+
+/// Manifest file name.
+pub const MANIFEST: &str = "manifest";
+
+/// Longest delta chain recovery will follow before declaring a cycle.
+const MAX_CHAIN_LINKS: usize = 64;
+
+/// One manifest row: a published image and how to validate it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// Checkpoint epoch the image captures.
+    pub epoch: u64,
+    /// Full or delta.
+    pub kind: ImageKind,
+    /// For deltas, the epoch this applies on top of (== `epoch` for full).
+    pub parent_epoch: u64,
+    /// Image file name.
+    pub file: String,
+    /// Expected file length.
+    pub len: u64,
+    /// FNV-1a of the file bytes.
+    pub checksum: u64,
+    /// Highest WAL sequence number already reflected in the image; replay
+    /// resumes after it.
+    pub wal_seq: u64,
+    /// Opaque caller metadata (the kvstore stores heap geometry here).
+    pub meta: Vec<u8>,
+}
+
+/// A chain the store managed to fully materialize.
+#[derive(Clone, Debug)]
+pub struct LoadedChain {
+    /// The materialized (always full) image.
+    pub image: SnapshotImage,
+    /// Epoch of the chain tip.
+    pub tip_epoch: u64,
+    /// WAL sequence covered by the tip; replay starts after it.
+    pub wal_seq: u64,
+    /// The tip's caller metadata.
+    pub meta: Vec<u8>,
+    /// Images read to materialize (1 = a bare full image).
+    pub links: usize,
+    /// Candidate tips skipped (corrupt/missing links) before this one.
+    pub skipped: usize,
+}
+
+/// The chain store: publish side and recovery side.
+pub struct ChainStore {
+    fs: Arc<dyn StorageFs>,
+    entries: Vec<ManifestEntry>,
+    /// True when a manifest existed but failed validation; its entries
+    /// were ignored (treated as no chain) rather than trusted.
+    manifest_corrupt: bool,
+}
+
+impl ChainStore {
+    /// Opens the store, parsing the manifest if one is durable.
+    pub fn open(fs: Arc<dyn StorageFs>) -> Result<ChainStore, FsError> {
+        let (entries, manifest_corrupt) = if fs.exists(MANIFEST)? {
+            match parse_manifest(&fs.read(MANIFEST)?) {
+                Some(entries) => (entries, false),
+                None => (Vec::new(), true),
+            }
+        } else {
+            (Vec::new(), false)
+        };
+        Ok(ChainStore {
+            fs,
+            entries,
+            manifest_corrupt,
+        })
+    }
+
+    /// Did open find a manifest it could not trust?
+    pub fn manifest_was_corrupt(&self) -> bool {
+        self.manifest_corrupt
+    }
+
+    /// The current manifest rows, epoch-ascending.
+    pub fn entries(&self) -> &[ManifestEntry] {
+        &self.entries
+    }
+
+    /// Atomically publishes one image: tmp-write + fsync + rename the
+    /// image file, then republish the manifest the same way, then
+    /// `sync_dir`. Returns the entry written.
+    pub fn publish(
+        &mut self,
+        image: &SnapshotImage,
+        wal_seq: u64,
+        meta: &[u8],
+    ) -> Result<ManifestEntry, FsError> {
+        let sw = Stopwatch::start();
+        let bytes = image.to_bytes();
+        let kind_str = match image.kind {
+            ImageKind::Full => "full",
+            ImageKind::Delta => "delta",
+        };
+        let file = format!("snap-{:010}-{}.img", image.epoch, kind_str);
+        let tmp = format!("{file}.tmp");
+        self.fs.create(&tmp)?;
+        self.fs.append(&tmp, &bytes)?;
+        self.fs.fsync(&tmp)?;
+        self.fs.rename(&tmp, &file)?;
+
+        let entry = ManifestEntry {
+            epoch: image.epoch,
+            kind: image.kind,
+            parent_epoch: image.parent_epoch,
+            file,
+            len: bytes.len() as u64,
+            checksum: fnv1a(&bytes),
+            wal_seq,
+            meta: meta.to_vec(),
+        };
+        // Replace any same-epoch same-kind row (a re-publish wins), keep
+        // epoch order.
+        self.entries
+            .retain(|e| !(e.epoch == entry.epoch && e.kind == entry.kind));
+        self.entries.push(entry.clone());
+        self.entries
+            .sort_by_key(|e| (e.epoch, e.kind == ImageKind::Delta));
+        self.write_manifest()?;
+        self.fs.sync_dir()?;
+
+        odf_trace::emit(Event::SnapshotPublish {
+            epoch: image.epoch,
+            bytes: bytes.len() as u64,
+            latency_ns: sw.elapsed_ns(),
+        });
+        stats::stats().snapshots_published.bump();
+        stats::stats()
+            .snapshot_bytes_published
+            .add(bytes.len() as u64);
+        Ok(entry)
+    }
+
+    fn write_manifest(&self) -> Result<(), FsError> {
+        let body = render_manifest(&self.entries);
+        let tmp = format!("{MANIFEST}.tmp");
+        self.fs.create(&tmp)?;
+        self.fs.append(&tmp, body.as_bytes())?;
+        self.fs.fsync(&tmp)?;
+        self.fs.rename(&tmp, MANIFEST)?;
+        Ok(())
+    }
+
+    /// Finds the newest chain that fully materializes: candidate tips are
+    /// tried epoch-descending; each is walked back through parent pointers
+    /// to a full image, every file read and checksummed, and the chain
+    /// materialized. The first success wins; broken candidates are counted,
+    /// never fatal.
+    pub fn load_best(&self) -> Result<Option<LoadedChain>, FsError> {
+        let mut tips: Vec<&ManifestEntry> = self.entries.iter().collect();
+        // Newest epoch first; at equal epochs a full image is the cheaper
+        // tip (both encode the same state).
+        tips.sort_by_key(|e| (std::cmp::Reverse(e.epoch), e.kind == ImageKind::Delta));
+        let mut skipped = 0usize;
+        for tip in tips {
+            match self.try_chain(tip)? {
+                Some(mut loaded) => {
+                    loaded.skipped = skipped;
+                    return Ok(Some(loaded));
+                }
+                None => skipped += 1,
+            }
+        }
+        stats::stats().recovery_chains_skipped.add(skipped as u64);
+        Ok(None)
+    }
+
+    /// Attempts to materialize the chain ending at `tip`. `Ok(None)` means
+    /// this candidate is broken (missing/corrupt link, bad parent order);
+    /// `Err` only for a storage failure.
+    fn try_chain(&self, tip: &ManifestEntry) -> Result<Option<LoadedChain>, FsError> {
+        // Walk tip -> ... -> full, newest first.
+        let mut links: Vec<&ManifestEntry> = vec![tip];
+        let mut cur = tip;
+        while cur.kind == ImageKind::Delta {
+            if links.len() > MAX_CHAIN_LINKS {
+                return Ok(None);
+            }
+            let parent = match self.find_parent(cur) {
+                Some(p) => p,
+                None => return Ok(None),
+            };
+            // Parent pointers must strictly decrease: a cycle or a
+            // forward pointer is manifest damage, not a chain.
+            if parent.epoch >= cur.epoch {
+                return Ok(None);
+            }
+            links.push(parent);
+            cur = parent;
+        }
+        links.reverse(); // base full first
+        let mut images = Vec::with_capacity(links.len());
+        for entry in &links {
+            match self.read_image(entry)? {
+                Some(img) => images.push(img),
+                None => return Ok(None),
+            }
+        }
+        let deltas: Vec<&SnapshotImage> = images[1..].iter().collect();
+        let image = match materialize(&images[0], &deltas) {
+            Ok(img) => img,
+            Err(_) => return Ok(None),
+        };
+        Ok(Some(LoadedChain {
+            image,
+            tip_epoch: tip.epoch,
+            wal_seq: tip.wal_seq,
+            meta: tip.meta.clone(),
+            links: links.len(),
+            skipped: 0,
+        }))
+    }
+
+    /// The entry a delta chains onto: an image at `parent_epoch`,
+    /// preferring a full one (it terminates the chain sooner).
+    fn find_parent(&self, delta: &ManifestEntry) -> Option<&ManifestEntry> {
+        let mut found: Option<&ManifestEntry> = None;
+        for e in &self.entries {
+            if e.epoch == delta.parent_epoch {
+                if e.kind == ImageKind::Full {
+                    return Some(e);
+                }
+                found = Some(e);
+            }
+        }
+        found
+    }
+
+    /// Reads and validates one image file; `Ok(None)` when missing,
+    /// mis-sized, checksum-mismatched, undecodable, or not the image the
+    /// manifest row claims.
+    fn read_image(&self, entry: &ManifestEntry) -> Result<Option<SnapshotImage>, FsError> {
+        if !self.fs.exists(&entry.file)? {
+            return Ok(None);
+        }
+        let bytes = self.fs.read(&entry.file)?;
+        if bytes.len() as u64 != entry.len || fnv1a(&bytes) != entry.checksum {
+            return Ok(None);
+        }
+        let img = match SnapshotImage::from_bytes(&bytes) {
+            Ok(img) => img,
+            Err(_) => return Ok(None),
+        };
+        if img.epoch != entry.epoch || img.kind != entry.kind {
+            return Ok(None);
+        }
+        Ok(Some(img))
+    }
+}
+
+fn render_manifest(entries: &[ManifestEntry]) -> String {
+    let mut body = String::from("odf-chain v1\n");
+    for e in entries {
+        let kind = match e.kind {
+            ImageKind::Full => "full",
+            ImageKind::Delta => "delta",
+        };
+        body.push_str(&format!(
+            "img {} {} {} {} {} {:016x} {} {}\n",
+            e.epoch,
+            kind,
+            e.parent_epoch,
+            e.file,
+            e.len,
+            e.checksum,
+            e.wal_seq,
+            hex_encode(&e.meta),
+        ));
+    }
+    let sum = fnv1a(body.as_bytes());
+    body.push_str(&format!("sum {sum:016x}\n"));
+    body
+}
+
+/// Parses and validates a manifest; `None` on any structural or checksum
+/// failure (the caller treats that as "no chain").
+fn parse_manifest(bytes: &[u8]) -> Option<Vec<ManifestEntry>> {
+    let text = std::str::from_utf8(bytes).ok()?;
+    let sum_at = text.rfind("sum ")?;
+    let (body, sum_line) = text.split_at(sum_at);
+    let claimed = u64::from_str_radix(sum_line.trim().strip_prefix("sum ")?, 16).ok()?;
+    if fnv1a(body.as_bytes()) != claimed {
+        return None;
+    }
+    let mut lines = body.lines();
+    if lines.next()? != "odf-chain v1" {
+        return None;
+    }
+    let mut entries = Vec::new();
+    for line in lines {
+        let mut f = line.split(' ');
+        if f.next()? != "img" {
+            return None;
+        }
+        let epoch = f.next()?.parse().ok()?;
+        let kind = match f.next()? {
+            "full" => ImageKind::Full,
+            "delta" => ImageKind::Delta,
+            _ => return None,
+        };
+        let parent_epoch = f.next()?.parse().ok()?;
+        let file = f.next()?.to_string();
+        let len = f.next()?.parse().ok()?;
+        let checksum = u64::from_str_radix(f.next()?, 16).ok()?;
+        let wal_seq = f.next()?.parse().ok()?;
+        let meta = hex_decode(f.next()?)?;
+        if f.next().is_some() {
+            return None;
+        }
+        entries.push(ManifestEntry {
+            epoch,
+            kind,
+            parent_epoch,
+            file,
+            len,
+            checksum,
+            wal_seq,
+            meta,
+        });
+    }
+    Some(entries)
+}
+
+fn hex_encode(data: &[u8]) -> String {
+    if data.is_empty() {
+        return "-".to_string();
+    }
+    let mut s = String::with_capacity(data.len() * 2);
+    for b in data {
+        s.push_str(&format!("{b:02x}"));
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if s == "-" {
+        return Some(Vec::new());
+    }
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&s[i..i + 2], 16).ok())
+        .collect()
+}
+
+/// FNV-1a, the same hash the snapshot image format uses for its body.
+pub(crate) fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fs::CrashFs;
+    use odf_snapshot::{PageRecord, VmaRecord};
+
+    const PAGE: usize = 4096;
+
+    fn page(byte: u8) -> Vec<u8> {
+        vec![byte; PAGE]
+    }
+
+    fn full(epoch: u64, byte: u8) -> SnapshotImage {
+        SnapshotImage {
+            kind: ImageKind::Full,
+            epoch,
+            parent_epoch: epoch,
+            vmas: vec![VmaRecord {
+                start: 0x1000_0000,
+                end: 0x1000_0000 + PAGE as u64 * 4,
+                prot: odf_vm_prot(),
+                shared: false,
+                huge: false,
+                file_backed: false,
+            }],
+            dirty_ranges: vec![],
+            pages: vec![PageRecord {
+                va: 0x1000_0000,
+                payload: Some(0),
+            }],
+            payloads: vec![page(byte)],
+        }
+    }
+
+    fn delta(epoch: u64, parent: u64, byte: u8) -> SnapshotImage {
+        SnapshotImage {
+            kind: ImageKind::Delta,
+            epoch,
+            parent_epoch: parent,
+            vmas: full(epoch, 0).vmas,
+            dirty_ranges: vec![],
+            pages: vec![PageRecord {
+                va: 0x1000_1000,
+                payload: Some(0),
+            }],
+            payloads: vec![page(byte)],
+        }
+    }
+
+    fn odf_vm_prot() -> odf_vm::Prot {
+        odf_vm::Prot::READ_WRITE
+    }
+
+    fn store() -> (Arc<CrashFs>, ChainStore) {
+        let fs = Arc::new(CrashFs::new());
+        let cs = ChainStore::open(Arc::clone(&fs) as Arc<dyn StorageFs>).unwrap();
+        (fs, cs)
+    }
+
+    #[test]
+    fn publish_then_load_round_trips() {
+        let (fs, mut cs) = store();
+        cs.publish(&full(0, 7), 5, b"meta!").unwrap();
+        let cs2 = ChainStore::open(fs as Arc<dyn StorageFs>).unwrap();
+        let loaded = cs2.load_best().unwrap().expect("chain present");
+        assert_eq!(loaded.tip_epoch, 0);
+        assert_eq!(loaded.wal_seq, 5);
+        assert_eq!(loaded.meta, b"meta!");
+        assert_eq!(loaded.links, 1);
+        assert_eq!(loaded.image.payloads[0], page(7));
+    }
+
+    #[test]
+    fn newest_materializable_chain_wins() {
+        let (fs, mut cs) = store();
+        cs.publish(&full(0, 1), 10, b"").unwrap();
+        cs.publish(&delta(1, 0, 2), 20, b"").unwrap();
+        cs.publish(&delta(2, 1, 3), 30, b"").unwrap();
+        let cs2 = ChainStore::open(fs as Arc<dyn StorageFs>).unwrap();
+        let loaded = cs2.load_best().unwrap().unwrap();
+        assert_eq!(loaded.tip_epoch, 2);
+        assert_eq!(loaded.wal_seq, 30);
+        assert_eq!(loaded.links, 3);
+    }
+
+    #[test]
+    fn corrupt_tip_falls_back_to_previous_chain() {
+        let (fs, mut cs) = store();
+        cs.publish(&full(0, 1), 10, b"").unwrap();
+        let entry = cs.publish(&delta(1, 0, 2), 20, b"").unwrap();
+        // Flip a byte in the delta's file: its chain must be skipped.
+        let mut bytes = fs.read(&entry.file).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs.create(&entry.file).unwrap();
+        fs.append(&entry.file, &bytes).unwrap();
+        fs.fsync(&entry.file).unwrap();
+        let cs2 = ChainStore::open(fs as Arc<dyn StorageFs>).unwrap();
+        let loaded = cs2.load_best().unwrap().unwrap();
+        assert_eq!(loaded.tip_epoch, 0, "fell back to the intact full image");
+        assert_eq!(loaded.skipped, 1);
+    }
+
+    #[test]
+    fn corrupt_manifest_is_no_chain_not_a_crash() {
+        let (fs, mut cs) = store();
+        cs.publish(&full(0, 1), 10, b"").unwrap();
+        let mut m = fs.read(MANIFEST).unwrap();
+        let n = m.len();
+        m[n - 3] ^= 0xFF; // damage the checksum line
+        fs.create(MANIFEST).unwrap();
+        fs.append(MANIFEST, &m).unwrap();
+        fs.fsync(MANIFEST).unwrap();
+        let cs2 = ChainStore::open(fs as Arc<dyn StorageFs>).unwrap();
+        assert!(cs2.manifest_was_corrupt());
+        assert!(cs2.load_best().unwrap().is_none());
+    }
+
+    #[test]
+    fn missing_parent_image_skips_the_chain() {
+        let (fs, mut cs) = store();
+        let base = cs.publish(&full(0, 1), 10, b"").unwrap();
+        cs.publish(&delta(1, 0, 2), 20, b"").unwrap();
+        // The tip's parent file vanishes (e.g. a stray cleanup): the delta
+        // chain can no longer materialize, and nothing else survives
+        // either because the full image IS the missing file.
+        fs.remove(&base.file).unwrap();
+        let cs2 = ChainStore::open(fs as Arc<dyn StorageFs>).unwrap();
+        assert!(
+            cs2.load_best().unwrap().is_none(),
+            "no materializable chain"
+        );
+    }
+
+    #[test]
+    fn corrupt_parent_image_falls_back_to_an_older_tip() {
+        let (fs, mut cs) = store();
+        cs.publish(&full(0, 1), 10, b"").unwrap();
+        let mid = cs.publish(&full(1, 9), 15, b"").unwrap();
+        cs.publish(&delta(2, 1, 2), 20, b"").unwrap();
+        // Damage the *parent* of the newest tip, not the tip itself: the
+        // epoch-2 chain dies at link 2, and recovery lands on epoch 0.
+        let mut bytes = fs.read(&mid.file).unwrap();
+        let at = bytes.len() / 2;
+        bytes[at] ^= 0x40;
+        fs.create(&mid.file).unwrap();
+        fs.append(&mid.file, &bytes).unwrap();
+        fs.fsync(&mid.file).unwrap();
+        let cs2 = ChainStore::open(fs as Arc<dyn StorageFs>).unwrap();
+        let loaded = cs2.load_best().unwrap().unwrap();
+        assert_eq!(loaded.tip_epoch, 0);
+        assert!(loaded.skipped >= 1, "the broken chains were counted");
+    }
+
+    #[test]
+    fn duplicate_epoch_republish_replaces_the_row() {
+        let (fs, mut cs) = store();
+        cs.publish(&full(0, 1), 10, b"old").unwrap();
+        cs.publish(&full(0, 8), 12, b"new").unwrap();
+        let cs2 = ChainStore::open(fs as Arc<dyn StorageFs>).unwrap();
+        assert_eq!(
+            cs2.entries()
+                .iter()
+                .filter(|e| e.epoch == 0 && e.kind == ImageKind::Full)
+                .count(),
+            1,
+            "same epoch+kind must not accumulate rows"
+        );
+        let loaded = cs2.load_best().unwrap().unwrap();
+        assert_eq!(loaded.image.payloads[0], page(8), "last publish wins");
+        assert_eq!(loaded.wal_seq, 12);
+        assert_eq!(loaded.meta, b"new");
+    }
+
+    #[test]
+    fn chain_longer_than_eight_links_round_trips() {
+        let (fs, mut cs) = store();
+        cs.publish(&full(0, 0), 0, b"").unwrap();
+        for e in 1..=10u64 {
+            cs.publish(&delta(e, e - 1, e as u8), e * 10, b"").unwrap();
+        }
+        let cs2 = ChainStore::open(fs as Arc<dyn StorageFs>).unwrap();
+        let loaded = cs2.load_best().unwrap().unwrap();
+        assert_eq!(loaded.tip_epoch, 10);
+        assert_eq!(loaded.links, 11);
+        assert_eq!(loaded.wal_seq, 100);
+        // The materialized image carries the youngest delta's payload.
+        let tip_page = loaded
+            .image
+            .pages
+            .iter()
+            .find(|p| p.va == 0x1000_1000)
+            .and_then(|p| p.payload)
+            .expect("delta page survives the collapse");
+        assert_eq!(loaded.image.payloads[tip_page as usize], page(10));
+    }
+
+    #[test]
+    fn manifest_round_trips_meta_bytes() {
+        let entries = vec![ManifestEntry {
+            epoch: 3,
+            kind: ImageKind::Delta,
+            parent_epoch: 2,
+            file: "snap-0000000003-delta.img".into(),
+            len: 1234,
+            checksum: 0xDEAD_BEEF,
+            wal_seq: 99,
+            meta: vec![0, 1, 254, 255],
+        }];
+        let parsed = parse_manifest(render_manifest(&entries).as_bytes()).unwrap();
+        assert_eq!(parsed, entries);
+        // Empty meta round-trips through the "-" placeholder.
+        let mut e2 = entries;
+        e2[0].meta.clear();
+        let parsed2 = parse_manifest(render_manifest(&e2).as_bytes()).unwrap();
+        assert_eq!(parsed2, e2);
+    }
+}

@@ -1,0 +1,534 @@
+//! The storage abstraction the durability layer writes through.
+//!
+//! Everything in this crate — WAL segments, snapshot images, the chain
+//! manifest — goes through [`StorageFs`], a deliberately small flat-namespace
+//! file API with *explicit* durability points (`fsync`, `sync_dir`). Two
+//! implementations exist:
+//!
+//! - [`DiskFs`]: the real thing, a directory on the host filesystem.
+//! - [`CrashFs`]: an in-memory model of a journaling filesystem that tracks,
+//!   per file, which prefix has reached "stable storage" and which directory
+//!   entries have been persisted. It can be armed to simulate power loss at
+//!   any mutating-operation boundary, which is what the crash-injection
+//!   harness in `tests/` enumerates. The model follows ext4-like semantics:
+//!   `fsync(file)` persists both the file's contents and its directory entry;
+//!   `rename`/`remove` become durable only after `sync_dir`; un-fsynced
+//!   appends may survive *partially* (torn tail) — see [`CrashMode`].
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Errors surfaced by a [`StorageFs`] operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsError {
+    /// The simulated machine lost power: this handle is dead, every
+    /// subsequent operation fails. Recover via [`CrashFs::crash`].
+    Crashed,
+    /// The named file does not exist.
+    NotFound(String),
+    /// A host I/O error (real backend only).
+    Io(String),
+}
+
+impl std::fmt::Display for FsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FsError::Crashed => write!(f, "storage crashed (simulated power loss)"),
+            FsError::NotFound(name) => write!(f, "file not found: {name}"),
+            FsError::Io(msg) => write!(f, "i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FsError {}
+
+/// A flat-namespace file store with explicit durability points.
+///
+/// Names are plain file names (no path separators). Reads observe the
+/// *live* state — a process always sees its own un-fsynced writes; only a
+/// crash reveals what was actually durable.
+pub trait StorageFs: Send + Sync {
+    /// Creates (or truncates) a file.
+    fn create(&self, name: &str) -> Result<(), FsError>;
+    /// Appends bytes to an existing file.
+    fn append(&self, name: &str, data: &[u8]) -> Result<(), FsError>;
+    /// Forces the file's contents — and, ext4-like, its directory entry —
+    /// to stable storage.
+    fn fsync(&self, name: &str) -> Result<(), FsError>;
+    /// Reads the whole file (live view).
+    fn read(&self, name: &str) -> Result<Vec<u8>, FsError>;
+    /// Atomically renames `from` to `to`, replacing any existing `to`.
+    /// Durable only after [`StorageFs::sync_dir`] (or an fsync of the file
+    /// under its new name).
+    fn rename(&self, from: &str, to: &str) -> Result<(), FsError>;
+    /// Unlinks a file. Durable only after [`StorageFs::sync_dir`].
+    fn remove(&self, name: &str) -> Result<(), FsError>;
+    /// Forces the directory itself (the set of live names) to stable
+    /// storage.
+    fn sync_dir(&self) -> Result<(), FsError>;
+    /// All live file names, sorted.
+    fn list(&self) -> Result<Vec<String>, FsError>;
+    /// Does the named file exist (live view)?
+    fn exists(&self, name: &str) -> Result<bool, FsError>;
+}
+
+// ---------------------------------------------------------------------------
+// DiskFs — the real backend
+// ---------------------------------------------------------------------------
+
+/// [`StorageFs`] over a real directory.
+pub struct DiskFs {
+    root: PathBuf,
+}
+
+impl DiskFs {
+    /// Opens (creating if needed) `root` as the store's directory.
+    pub fn open(root: impl Into<PathBuf>) -> Result<DiskFs, FsError> {
+        let root = root.into();
+        std::fs::create_dir_all(&root).map_err(|e| FsError::Io(e.to_string()))?;
+        Ok(DiskFs { root })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        debug_assert!(!name.contains('/'), "flat namespace only: {name}");
+        self.root.join(name)
+    }
+}
+
+impl StorageFs for DiskFs {
+    fn create(&self, name: &str) -> Result<(), FsError> {
+        std::fs::File::create(self.path(name))
+            .map(|_| ())
+            .map_err(|e| FsError::Io(e.to_string()))
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> Result<(), FsError> {
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(self.path(name))
+            .map_err(|e| match e.kind() {
+                std::io::ErrorKind::NotFound => FsError::NotFound(name.to_string()),
+                _ => FsError::Io(e.to_string()),
+            })?;
+        f.write_all(data).map_err(|e| FsError::Io(e.to_string()))
+    }
+
+    fn fsync(&self, name: &str) -> Result<(), FsError> {
+        let f = std::fs::File::open(self.path(name)).map_err(|e| match e.kind() {
+            std::io::ErrorKind::NotFound => FsError::NotFound(name.to_string()),
+            _ => FsError::Io(e.to_string()),
+        })?;
+        f.sync_all().map_err(|e| FsError::Io(e.to_string()))
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>, FsError> {
+        std::fs::read(self.path(name)).map_err(|e| match e.kind() {
+            std::io::ErrorKind::NotFound => FsError::NotFound(name.to_string()),
+            _ => FsError::Io(e.to_string()),
+        })
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), FsError> {
+        std::fs::rename(self.path(from), self.path(to)).map_err(|e| match e.kind() {
+            std::io::ErrorKind::NotFound => FsError::NotFound(from.to_string()),
+            _ => FsError::Io(e.to_string()),
+        })
+    }
+
+    fn remove(&self, name: &str) -> Result<(), FsError> {
+        std::fs::remove_file(self.path(name)).map_err(|e| match e.kind() {
+            std::io::ErrorKind::NotFound => FsError::NotFound(name.to_string()),
+            _ => FsError::Io(e.to_string()),
+        })
+    }
+
+    fn sync_dir(&self) -> Result<(), FsError> {
+        let d = std::fs::File::open(&self.root).map_err(|e| FsError::Io(e.to_string()))?;
+        d.sync_all().map_err(|e| FsError::Io(e.to_string()))
+    }
+
+    fn list(&self) -> Result<Vec<String>, FsError> {
+        let mut names = Vec::new();
+        for entry in std::fs::read_dir(&self.root).map_err(|e| FsError::Io(e.to_string()))? {
+            let entry = entry.map_err(|e| FsError::Io(e.to_string()))?;
+            if entry.path().is_file() {
+                names.push(entry.file_name().to_string_lossy().into_owned());
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn exists(&self, name: &str) -> Result<bool, FsError> {
+        Ok(self.path(name).is_file())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CrashFs — the crash-injection model
+// ---------------------------------------------------------------------------
+
+/// The kind of a mutating operation, as recorded in the op log. The
+/// crash-injection harness replays a workload once to collect this log,
+/// then re-runs it once per boundary with a [`CrashPlan`] armed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// `create`.
+    Create,
+    /// `append`.
+    Append,
+    /// `fsync`.
+    Fsync,
+    /// `rename`.
+    Rename,
+    /// `remove`.
+    Remove,
+    /// `sync_dir`.
+    SyncDir,
+}
+
+/// How the armed crash fires at its boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Power is lost *before* the operation takes any effect.
+    Before,
+    /// Only meaningful on an `fsync`: the writeback was in flight when
+    /// power failed, so half of the un-synced bytes (rounded up) reach the
+    /// platter — and the directory entry is persisted — but the rest is
+    /// lost. This is what produces torn WAL tails.
+    TornFsync,
+}
+
+/// An armed crash: power fails at the `at`-th mutating operation.
+#[derive(Clone, Copy, Debug)]
+pub struct CrashPlan {
+    /// Mutating-op index (0-based, as counted by [`CrashFs::ops`]) at
+    /// which to fail.
+    pub at: u64,
+    /// What the failing operation leaves behind.
+    pub mode: CrashMode,
+}
+
+#[derive(Clone, Default)]
+struct Inode {
+    data: Vec<u8>,
+    /// Bytes of `data` that have reached stable storage.
+    synced: usize,
+}
+
+#[derive(Default)]
+struct CrashState {
+    inodes: Vec<Inode>,
+    /// Live directory: what the running process sees.
+    live: BTreeMap<String, usize>,
+    /// Durable directory: the entries that survive power loss.
+    durable: BTreeMap<String, usize>,
+    /// Mutating operations performed so far.
+    ops: u64,
+    /// Kinds of the mutating operations, in order.
+    op_log: Vec<OpKind>,
+    plan: Option<CrashPlan>,
+    dead: bool,
+}
+
+/// In-memory journaling-filesystem model with simulated power loss.
+///
+/// Cloning shares the underlying state (it is a handle). See the module
+/// docs for the durability semantics modeled.
+#[derive(Clone)]
+pub struct CrashFs {
+    state: Arc<Mutex<CrashState>>,
+}
+
+impl Default for CrashFs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CrashFs {
+    /// An empty store, no crash armed.
+    pub fn new() -> CrashFs {
+        CrashFs {
+            state: Arc::new(Mutex::new(CrashState::default())),
+        }
+    }
+
+    /// Arms a crash at mutating-op index `plan.at`.
+    pub fn arm(&self, plan: CrashPlan) {
+        self.state.lock().unwrap().plan = Some(plan);
+    }
+
+    /// Mutating operations performed so far.
+    pub fn ops(&self) -> u64 {
+        self.state.lock().unwrap().ops
+    }
+
+    /// The kinds of all mutating operations performed, in order.
+    pub fn op_log(&self) -> Vec<OpKind> {
+        self.state.lock().unwrap().op_log.clone()
+    }
+
+    /// Has the armed crash fired?
+    pub fn is_dead(&self) -> bool {
+        self.state.lock().unwrap().dead
+    }
+
+    /// The state a fresh boot would find: only durable directory entries,
+    /// each file truncated to its synced prefix. Returns a new, live,
+    /// un-armed store ("the disk after the machine restarts").
+    pub fn crash(&self) -> CrashFs {
+        let s = self.state.lock().unwrap();
+        let mut next = CrashState::default();
+        for (name, &ino) in &s.durable {
+            let src = &s.inodes[ino];
+            let idx = next.inodes.len();
+            next.inodes.push(Inode {
+                data: src.data[..src.synced].to_vec(),
+                synced: src.synced,
+            });
+            next.live.insert(name.clone(), idx);
+            next.durable.insert(name.clone(), idx);
+        }
+        CrashFs {
+            state: Arc::new(Mutex::new(next)),
+        }
+    }
+
+    /// Gate for every mutating op: counts the op, fires the armed crash at
+    /// its boundary. On a [`CrashMode::TornFsync`] firing for `name`, the
+    /// partial writeback is applied before the handle dies.
+    fn enter_op(
+        s: &mut CrashState,
+        kind: OpKind,
+        fsync_target: Option<&str>,
+    ) -> Result<(), FsError> {
+        if s.dead {
+            return Err(FsError::Crashed);
+        }
+        if let Some(plan) = s.plan {
+            if s.ops == plan.at {
+                if plan.mode == CrashMode::TornFsync && kind == OpKind::Fsync {
+                    if let Some(name) = fsync_target {
+                        if let Some(&ino) = s.live.get(name) {
+                            let inode = &mut s.inodes[ino];
+                            let pending = inode.data.len() - inode.synced;
+                            inode.synced += pending.div_ceil(2);
+                            let ino_copy = ino;
+                            let name = name.to_string();
+                            s.durable.insert(name, ino_copy);
+                        }
+                    }
+                }
+                s.dead = true;
+                return Err(FsError::Crashed);
+            }
+        }
+        s.ops += 1;
+        s.op_log.push(kind);
+        Ok(())
+    }
+}
+
+impl StorageFs for CrashFs {
+    fn create(&self, name: &str) -> Result<(), FsError> {
+        let mut s = self.state.lock().unwrap();
+        Self::enter_op(&mut s, OpKind::Create, None)?;
+        let idx = s.inodes.len();
+        s.inodes.push(Inode::default());
+        s.live.insert(name.to_string(), idx);
+        Ok(())
+    }
+
+    fn append(&self, name: &str, data: &[u8]) -> Result<(), FsError> {
+        let mut s = self.state.lock().unwrap();
+        Self::enter_op(&mut s, OpKind::Append, None)?;
+        let &ino = s
+            .live
+            .get(name)
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        s.inodes[ino].data.extend_from_slice(data);
+        Ok(())
+    }
+
+    fn fsync(&self, name: &str) -> Result<(), FsError> {
+        let mut s = self.state.lock().unwrap();
+        Self::enter_op(&mut s, OpKind::Fsync, Some(name))?;
+        let &ino = s
+            .live
+            .get(name)
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        s.inodes[ino].synced = s.inodes[ino].data.len();
+        s.durable.insert(name.to_string(), ino);
+        Ok(())
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>, FsError> {
+        let s = self.state.lock().unwrap();
+        if s.dead {
+            return Err(FsError::Crashed);
+        }
+        let &ino = s
+            .live
+            .get(name)
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        Ok(s.inodes[ino].data.clone())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), FsError> {
+        let mut s = self.state.lock().unwrap();
+        Self::enter_op(&mut s, OpKind::Rename, None)?;
+        let ino = s
+            .live
+            .remove(from)
+            .ok_or_else(|| FsError::NotFound(from.to_string()))?;
+        s.live.insert(to.to_string(), ino);
+        Ok(())
+    }
+
+    fn remove(&self, name: &str) -> Result<(), FsError> {
+        let mut s = self.state.lock().unwrap();
+        Self::enter_op(&mut s, OpKind::Remove, None)?;
+        s.live
+            .remove(name)
+            .ok_or_else(|| FsError::NotFound(name.to_string()))?;
+        Ok(())
+    }
+
+    fn sync_dir(&self) -> Result<(), FsError> {
+        let mut s = self.state.lock().unwrap();
+        Self::enter_op(&mut s, OpKind::SyncDir, None)?;
+        s.durable = s.live.clone();
+        Ok(())
+    }
+
+    fn list(&self) -> Result<Vec<String>, FsError> {
+        let s = self.state.lock().unwrap();
+        if s.dead {
+            return Err(FsError::Crashed);
+        }
+        Ok(s.live.keys().cloned().collect())
+    }
+
+    fn exists(&self, name: &str) -> Result<bool, FsError> {
+        let s = self.state.lock().unwrap();
+        if s.dead {
+            return Err(FsError::Crashed);
+        }
+        Ok(s.live.contains_key(name))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unsynced_data_is_lost_on_crash() {
+        let fs = CrashFs::new();
+        fs.create("a").unwrap();
+        fs.append("a", b"hello").unwrap();
+        fs.fsync("a").unwrap();
+        fs.append("a", b" world").unwrap();
+        let after = fs.crash();
+        assert_eq!(after.read("a").unwrap(), b"hello");
+    }
+
+    #[test]
+    fn unsynced_dentry_is_lost_on_crash() {
+        let fs = CrashFs::new();
+        fs.create("a").unwrap();
+        fs.append("a", b"x").unwrap();
+        // Never fsynced, never sync_dir'd: the file vanishes entirely.
+        let after = fs.crash();
+        assert!(!after.exists("a").unwrap());
+    }
+
+    #[test]
+    fn fsync_persists_the_dentry_too() {
+        let fs = CrashFs::new();
+        fs.create("a").unwrap();
+        fs.append("a", b"x").unwrap();
+        fs.fsync("a").unwrap();
+        let after = fs.crash();
+        assert_eq!(after.read("a").unwrap(), b"x");
+    }
+
+    #[test]
+    fn rename_needs_sync_dir_to_survive() {
+        let fs = CrashFs::new();
+        fs.create("t.tmp").unwrap();
+        fs.append("t.tmp", b"data").unwrap();
+        fs.fsync("t.tmp").unwrap();
+        fs.rename("t.tmp", "t").unwrap();
+        // Without sync_dir the old name is what survives.
+        let after = fs.crash();
+        assert!(after.exists("t.tmp").unwrap());
+        assert!(!after.exists("t").unwrap());
+        // With sync_dir the rename is durable.
+        fs.sync_dir().unwrap();
+        let after2 = fs.crash();
+        assert!(!after2.exists("t.tmp").unwrap());
+        assert_eq!(after2.read("t").unwrap(), b"data");
+    }
+
+    #[test]
+    fn armed_crash_fires_before_the_op_and_stays_dead() {
+        let fs = CrashFs::new();
+        fs.create("a").unwrap(); // op 0
+        fs.arm(CrashPlan {
+            at: 1,
+            mode: CrashMode::Before,
+        });
+        assert_eq!(fs.append("a", b"x"), Err(FsError::Crashed)); // op 1: dies
+        assert_eq!(fs.read("a"), Err(FsError::Crashed));
+        assert_eq!(fs.fsync("a"), Err(FsError::Crashed));
+        assert!(fs.is_dead());
+    }
+
+    #[test]
+    fn torn_fsync_persists_half_the_pending_bytes() {
+        let fs = CrashFs::new();
+        fs.create("a").unwrap(); // op 0
+        fs.append("a", b"0123456789").unwrap(); // op 1
+        fs.arm(CrashPlan {
+            at: 2,
+            mode: CrashMode::TornFsync,
+        });
+        assert_eq!(fs.fsync("a"), Err(FsError::Crashed)); // op 2: torn
+        let after = fs.crash();
+        assert_eq!(after.read("a").unwrap(), b"01234");
+    }
+
+    #[test]
+    fn op_log_records_kinds_in_order() {
+        let fs = CrashFs::new();
+        fs.create("a").unwrap();
+        fs.append("a", b"x").unwrap();
+        fs.fsync("a").unwrap();
+        fs.sync_dir().unwrap();
+        assert_eq!(
+            fs.op_log(),
+            vec![
+                OpKind::Create,
+                OpKind::Append,
+                OpKind::Fsync,
+                OpKind::SyncDir
+            ]
+        );
+        assert_eq!(fs.ops(), 4);
+    }
+
+    #[test]
+    fn crash_of_crash_is_stable() {
+        let fs = CrashFs::new();
+        fs.create("a").unwrap();
+        fs.append("a", b"abc").unwrap();
+        fs.fsync("a").unwrap();
+        let once = fs.crash();
+        let twice = once.crash();
+        assert_eq!(once.read("a").unwrap(), twice.read("a").unwrap());
+    }
+}

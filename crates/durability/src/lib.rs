@@ -1,0 +1,38 @@
+//! Crash-consistent durability for the on-demand-fork stack.
+//!
+//! The paper's flagship workload is Redis bgsave: fork latency matters
+//! because the frozen clone is *serialized to disk for recovery*. This
+//! crate supplies that disk story:
+//!
+//! - [`Wal`]: an append-only write-ahead log with length+CRC32 framing,
+//!   group commit under a configurable [`FsyncPolicy`], segment rotation,
+//!   and stop-at-the-tear torn-tail detection and repair on open.
+//! - [`ChainStore`]: an atomic (tmp-write + fsync + rename) publish path
+//!   for full/delta [`odf_snapshot::SnapshotImage`]s, indexed by a
+//!   checksummed manifest with parent pointers; recovery selects the
+//!   newest chain that fully materializes and falls back gracefully.
+//! - [`recover::open`]: chain restore + WAL tail replay, reporting a typed
+//!   [`RecoveryReport`].
+//! - [`CrashFs`]: an in-memory journaling-filesystem model that simulates
+//!   power loss at any write/fsync boundary — the engine behind the
+//!   deterministic crash-injection harness in `tests/`.
+//!
+//! The invariant everything here serves: after a crash at *any* operation
+//! boundary, recovery yields a state equal to some prefix of the write
+//! order that includes every acknowledged-durable write, and recovering
+//! twice yields the same state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chain;
+mod fs;
+pub mod recover;
+mod stats;
+mod wal;
+
+pub use chain::{ChainStore, LoadedChain, ManifestEntry, MANIFEST};
+pub use fs::{CrashFs, CrashMode, CrashPlan, DiskFs, FsError, OpKind, StorageFs};
+pub use recover::{Recovered, RecoveryReport};
+pub use stats::{stats, DurabilityStats, DurabilityStatsSnapshot};
+pub use wal::{FsyncPolicy, Wal, WalConfig, WalRecord, WalScan, FRAME_HEADER, MAX_PAYLOAD};

@@ -1,0 +1,41 @@
+//! Global durability counters, exported by the kernel's Prometheus/JSON
+//! exporters alongside the vm/pool statistics.
+
+use std::sync::OnceLock;
+
+odf_trace::counters! {
+    /// Cumulative durability-subsystem counters (process-wide).
+    pub struct DurabilityStats / DurabilityStatsSnapshot {
+        /// WAL records appended.
+        wal_appends,
+        /// WAL frame bytes appended (headers + payloads).
+        wal_bytes_appended,
+        /// Group-commit points reached.
+        wal_commits,
+        /// fsyncs issued on the active WAL segment.
+        wal_fsyncs,
+        /// Segment rotations (old segment sealed, new one created).
+        wal_segments_rotated,
+        /// Whole segments dropped by snapshot-driven truncation.
+        wal_segments_truncated,
+        /// Snapshot images (full + delta) atomically published.
+        snapshots_published,
+        /// Encoded snapshot bytes published.
+        snapshot_bytes_published,
+        /// Recoveries performed (store opens that found prior state).
+        recoveries,
+        /// WAL records re-applied during recovery.
+        recovery_records_replayed,
+        /// WAL records dropped at recovery as torn/corrupt/unreachable.
+        recovery_records_discarded,
+        /// Snapshot chains skipped during recovery (corrupt or missing
+        /// links) before one materialized.
+        recovery_chains_skipped,
+    }
+}
+
+/// The process-wide counter set.
+pub fn stats() -> &'static DurabilityStats {
+    static STATS: OnceLock<DurabilityStats> = OnceLock::new();
+    STATS.get_or_init(DurabilityStats::default)
+}

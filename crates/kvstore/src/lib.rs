@@ -19,18 +19,23 @@
 //! - [`Server`]: request execution + automatic BGSAVE-style snapshots
 //!   ("save after N changed keys", the Redis default policy the paper
 //!   uses), with fork-latency tracking (`latest_fork_usec` analog).
+//! - [`DurableServer`]: the crash-consistent variant — every write is
+//!   journaled to a WAL before it is applied, and BGSAVE publishes the
+//!   forked image into an on-disk snapshot chain (see `odf-durability`).
 //! - [`workload`]: a memtier_benchmark-like pipelined traffic generator.
 //! - [`resp`]: the RESP wire protocol (what memtier actually speaks) and
 //!   command dispatch over it.
 
 #![forbid(unsafe_code)]
 
+mod persist;
 pub mod resp;
 mod server;
 mod sharded;
 mod store;
 pub mod workload;
 
+pub use persist::{Acked, Command, DurableConfig, DurableServer, PersistError};
 pub use resp::{dispatch, encode_command, serve_stream, RespValue};
 pub use server::{Server, ServerConfig, SnapshotReport};
 pub use sharded::{Request, Response, ShardedSnapshot, ShardedStore, ThreadedServer};

@@ -66,6 +66,20 @@ impl Store {
         self.heap
     }
 
+    /// Address of the table header inside the heap.
+    pub fn header_addr(&self) -> u64 {
+        self.header
+    }
+
+    /// Re-creates a handle onto a store that already lives in a process's
+    /// address space — the durability path uses this after a snapshot
+    /// restore rebuilds the memory image byte-for-byte (the handle holds
+    /// only addresses, so the geometry round-trips through the chain
+    /// manifest).
+    pub fn attach(heap: UserHeap, header: u64) -> Store {
+        Store { heap, header }
+    }
+
     fn hash(key: &[u8]) -> u64 {
         // FNV-1a.
         let mut h = 0xcbf29ce484222325u64;

@@ -159,6 +159,55 @@ mod tests {
     }
 
     #[test]
+    fn empty_delta_materializes_to_the_base_state() {
+        let src = mm();
+        let a = src.mmap(8 * PG, MapParams::anon_rw()).unwrap();
+        src.write(a, &[9u8; 32]).unwrap();
+        let base = capture_full(&src, 0);
+        src.clear_soft_dirty().unwrap();
+        // No writes between epochs: the delta carries no pages at all.
+        let delta = capture_delta(&src, 1, 0);
+        assert!(delta.pages.is_empty(), "quiet epoch produces no records");
+        assert!(delta.payloads.is_empty());
+
+        let merged = materialize(&base, &[&delta]).unwrap();
+        assert_eq!(merged.epoch, 1, "epoch still advances through a no-op");
+        let dst = Mm::new(Arc::clone(src.machine())).unwrap();
+        restore_into(&merged, &dst).unwrap();
+        assert_eq!(digest(&src), digest(&dst));
+    }
+
+    #[test]
+    fn chain_of_ten_deltas_round_trips() {
+        // Longer than any snapshot_every cadence the servers use: ten
+        // links, each dirtying its own page plus re-dirtying page 0, so
+        // both last-writer-wins and carry-forward paths are exercised at
+        // every link.
+        let src = mm();
+        let a = src.mmap(16 * PG, MapParams::anon_rw()).unwrap();
+        src.write(a, &[0u8; 8]).unwrap();
+        let base = capture_full(&src, 0);
+        src.clear_soft_dirty().unwrap();
+
+        let mut deltas = Vec::new();
+        for e in 1..=10u64 {
+            src.write(a + e * PG, &[e as u8; 24]).unwrap();
+            src.write(a, &[0xF0 ^ e as u8; 8]).unwrap();
+            deltas.push(capture_delta(&src, e, e - 1));
+            src.clear_soft_dirty().unwrap();
+        }
+
+        let refs: Vec<&SnapshotImage> = deltas.iter().collect();
+        let merged = materialize(&base, &refs).unwrap();
+        assert_eq!(merged.epoch, 10);
+        let dst = Mm::new(Arc::clone(src.machine())).unwrap();
+        restore_into(&merged, &dst).unwrap();
+        assert_eq!(digest(&src), digest(&dst));
+        assert_eq!(dst.read_vec(a, 1).unwrap(), &[0xF0 ^ 10u8]);
+        assert_eq!(dst.read_vec(a + 10 * PG, 1).unwrap(), &[10u8]);
+    }
+
+    #[test]
     fn unmapped_ranges_drop_out_of_the_chain() {
         let src = mm();
         let a = src.mmap(8 * PG, MapParams::anon_rw()).unwrap();

@@ -253,6 +253,32 @@ pub(crate) fn chrome_json(trace: &Trace) -> String {
             } => format!(
                 "{{\"name\":\"compact_scan\",\"cat\":\"thp\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3},\"args\":{{\"free_frames\":{free_frames},\"frag_milli\":{frag_milli}}}}}",
             ),
+            Event::WalFsync {
+                bytes,
+                records,
+                latency_ns,
+            } => format!(
+                "{{\"name\":\"wal_fsync\",\"cat\":\"durability\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"bytes\":{bytes},\"records\":{records}}}}}",
+                (r.ts_ns.saturating_sub(latency_ns)) as f64 / 1000.0,
+                latency_ns as f64 / 1000.0,
+            ),
+            Event::SnapshotPublish {
+                epoch,
+                bytes,
+                latency_ns,
+            } => format!(
+                "{{\"name\":\"snapshot_publish\",\"cat\":\"durability\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"epoch\":{epoch},\"bytes\":{bytes}}}}}",
+                (r.ts_ns.saturating_sub(latency_ns)) as f64 / 1000.0,
+                latency_ns as f64 / 1000.0,
+            ),
+            Event::RecoveryReplay {
+                records,
+                latency_ns,
+            } => format!(
+                "{{\"name\":\"recovery_replay\",\"cat\":\"durability\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"records\":{records}}}}}",
+                (r.ts_ns.saturating_sub(latency_ns)) as f64 / 1000.0,
+                latency_ns as f64 / 1000.0,
+            ),
         };
         rows.push(row);
     }

@@ -367,6 +367,33 @@ pub enum Event {
         /// (0 = fully coalescible, 1000 = nothing huge-reachable).
         frag_milli: u64,
     },
+    /// A WAL group commit reached stable storage (the `fsync` on the
+    /// active segment returned).
+    WalFsync {
+        /// Payload bytes made durable by this fsync (since the last one).
+        bytes: u64,
+        /// Records made durable by this fsync.
+        records: u64,
+        /// Wall time of the fsync call.
+        latency_ns: u64,
+    },
+    /// A snapshot image (full or delta) was atomically published to the
+    /// chain store (tmp-write + fsync + rename + manifest republish).
+    SnapshotPublish {
+        /// Checkpoint epoch of the published image.
+        epoch: u64,
+        /// Encoded image size in bytes.
+        bytes: u64,
+        /// Wall time from encode start to durable manifest.
+        latency_ns: u64,
+    },
+    /// Recovery replayed the WAL tail on top of a restored chain.
+    RecoveryReplay {
+        /// Records applied to the store during replay.
+        records: u64,
+        /// Wall time of the replay loop.
+        latency_ns: u64,
+    },
 }
 
 impl Event {
@@ -406,6 +433,9 @@ impl Event {
             Event::CollapseEnd { .. } => "collapse_end",
             Event::Demote { .. } => "demote",
             Event::CompactScan { .. } => "compact_scan",
+            Event::WalFsync { .. } => "wal_fsync",
+            Event::SnapshotPublish { .. } => "snapshot_publish",
+            Event::RecoveryReplay { .. } => "recovery_replay",
         }
     }
 
@@ -459,6 +489,20 @@ impl Event {
                 free_frames,
                 frag_milli,
             } => (19, 0, free_frames, frag_milli, 0),
+            Event::WalFsync {
+                bytes,
+                records,
+                latency_ns,
+            } => (20, 0, bytes, records, latency_ns),
+            Event::SnapshotPublish {
+                epoch,
+                bytes,
+                latency_ns,
+            } => (21, 0, epoch, bytes, latency_ns),
+            Event::RecoveryReplay {
+                records,
+                latency_ns,
+            } => (22, 0, records, latency_ns, 0),
         }
     }
 
@@ -534,6 +578,20 @@ impl Event {
             19 => Event::CompactScan {
                 free_frames: a,
                 frag_milli: b,
+            },
+            20 => Event::WalFsync {
+                bytes: a,
+                records: b,
+                latency_ns: c,
+            },
+            21 => Event::SnapshotPublish {
+                epoch: a,
+                bytes: b,
+                latency_ns: c,
+            },
+            22 => Event::RecoveryReplay {
+                records: a,
+                latency_ns: b,
             },
             _ => return None,
         })
@@ -751,6 +809,10 @@ pub enum EventClass {
     /// default: promotions/demotions are rare (background-daemon cadence),
     /// so their records cost nothing on the fault path.
     Thp,
+    /// The durability events (`WalFsync` / `SnapshotPublish` /
+    /// `RecoveryReplay`). On by default: fsyncs and publishes are
+    /// group-commit / bgsave cadence, never per-fault.
+    Durability,
 }
 
 impl EventClass {
@@ -765,6 +827,7 @@ impl EventClass {
             EventClass::Reclaim => (1 << 7) | (1 << 13) | (1 << 14) | (1 << 15),
             EventClass::Kmem => (1 << 8) | (1 << 9) | (1 << 10) | (1 << 11) | (1 << 12),
             EventClass::Thp => (1 << 16) | (1 << 17) | (1 << 18) | (1 << 19),
+            EventClass::Durability => (1 << 20) | (1 << 21) | (1 << 22),
         }
     }
 }
@@ -1195,6 +1258,20 @@ mod tests {
             Event::CompactScan {
                 free_frames: 700,
                 frag_milli: 930,
+            },
+            Event::WalFsync {
+                bytes: 4096,
+                records: 17,
+                latency_ns: 12_345,
+            },
+            Event::SnapshotPublish {
+                epoch: 3,
+                bytes: 1 << 20,
+                latency_ns: 99_000,
+            },
+            Event::RecoveryReplay {
+                records: 41,
+                latency_ns: 55_000,
             },
         ];
         for ev in cases {

@@ -57,6 +57,12 @@ pub struct TraceSummary {
     pub swapin_latency: Histogram,
     /// Huge-page collapse latency (candidate validation to installed PMD).
     pub collapse_latency: Histogram,
+    /// WAL group-commit fsync latency (the durability cost per ack).
+    pub wal_fsync_latency: Histogram,
+    /// Snapshot-image publish latency (encode + tmp-write + fsync + rename).
+    pub snapshot_publish_latency: Histogram,
+    /// Recovery WAL-replay latency (records re-applied after restore).
+    pub recovery_replay_latency: Histogram,
     /// Instant-event counts keyed by class (`tlb_flush`,
     /// `lock_retry_<site>`, `reclaim`, ...).
     pub counts: BTreeMap<String, u64>,
@@ -141,6 +147,18 @@ impl TraceSummary {
                 }
                 Event::Demote { .. } => bump(&mut s.counts, "demote"),
                 Event::CompactScan { .. } => bump(&mut s.counts, "compact_scan"),
+                Event::WalFsync { latency_ns, .. } => {
+                    bump(&mut s.counts, "wal_fsync");
+                    s.wal_fsync_latency.record(latency_ns);
+                }
+                Event::SnapshotPublish { latency_ns, .. } => {
+                    bump(&mut s.counts, "snapshot_publish");
+                    s.snapshot_publish_latency.record(latency_ns);
+                }
+                Event::RecoveryReplay { latency_ns, .. } => {
+                    bump(&mut s.counts, "recovery_replay");
+                    s.recovery_replay_latency.record(latency_ns);
+                }
             }
         }
         s.faults = faults.into_values().collect();
@@ -207,6 +225,24 @@ impl TraceSummary {
             out.push(ClassSummary {
                 name: "thp_collapse".to_string(),
                 hist: self.collapse_latency.clone(),
+            });
+        }
+        if self.wal_fsync_latency.count() > 0 {
+            out.push(ClassSummary {
+                name: "wal_fsync".to_string(),
+                hist: self.wal_fsync_latency.clone(),
+            });
+        }
+        if self.snapshot_publish_latency.count() > 0 {
+            out.push(ClassSummary {
+                name: "snapshot_publish".to_string(),
+                hist: self.snapshot_publish_latency.clone(),
+            });
+        }
+        if self.recovery_replay_latency.count() > 0 {
+            out.push(ClassSummary {
+                name: "recovery_replay".to_string(),
+                hist: self.recovery_replay_latency.clone(),
             });
         }
         out
@@ -277,6 +313,30 @@ impl TraceSummary {
                 "Huge-page collapse latency (validate + copy + install)",
                 &[],
                 &self.collapse_latency,
+            );
+        }
+        if self.wal_fsync_latency.count() > 0 {
+            p.quantiles(
+                "odf_trace_wal_fsync_latency_ns",
+                "WAL group-commit fsync latency",
+                &[],
+                &self.wal_fsync_latency,
+            );
+        }
+        if self.snapshot_publish_latency.count() > 0 {
+            p.quantiles(
+                "odf_trace_snapshot_publish_latency_ns",
+                "Snapshot-image publish latency (encode + fsync + rename)",
+                &[],
+                &self.snapshot_publish_latency,
+            );
+        }
+        if self.recovery_replay_latency.count() > 0 {
+            p.quantiles(
+                "odf_trace_recovery_replay_latency_ns",
+                "Recovery WAL-replay latency",
+                &[],
+                &self.recovery_replay_latency,
             );
         }
         for (class, count) in &self.counts {

@@ -9,12 +9,36 @@
 //! VMA's resident set into pages reached through *shared* versus
 //! *dedicated* tables, and `pagemap()` exposes per-page refcounts.
 
+use std::collections::HashSet;
+
 use odf_pagetable::{Level, VirtAddr, ENTRIES_PER_TABLE};
 use odf_pmem::PAGE_SIZE;
 
 use crate::mm::Mm;
 use crate::walk;
 use crate::PTE_TABLE_SPAN;
+
+/// Exact frame pin count of one address space: every physical frame
+/// reachable from its page tables, split by what the frame holds.
+///
+/// For a process that shares nothing (never forked, or all siblings have
+/// exited), `total()` equals exactly how many frames the pool's free count
+/// dropped by since the address space was empty — the property
+/// `Kernel::restore` asserts after rebuilding an image.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FrameFootprint {
+    /// Distinct data frames (compound pages count every tail frame).
+    pub data_frames: u64,
+    /// Page-table frames: the PGD plus every reachable PUD/PMD/PTE table.
+    pub table_frames: u64,
+}
+
+impl FrameFootprint {
+    /// Total frames pinned.
+    pub fn total(&self) -> u64 {
+        self.data_frames + self.table_frames
+    }
+}
 
 /// Per-VMA resident-set breakdown, one `/proc/<pid>/smaps` record.
 ///
@@ -155,6 +179,65 @@ pub struct PagemapEntry {
 }
 
 impl Mm {
+    /// Counts every physical frame reachable from this address space's
+    /// page tables, by direct PGD→PUD→PMD→PTE descent under the shared
+    /// `mm` lock.
+    ///
+    /// Data frames are deduplicated by compound head (a huge page mapped
+    /// twice is still 512 frames), and swap entries are skipped — an
+    /// evicted page pins a swap slot, not a frame. Table frames shared
+    /// from an On-demand fork are counted in full for *each* sharer, so
+    /// the exact-pin-count reading of [`FrameFootprint`] only holds for
+    /// an address space with no live table sharing.
+    pub fn frame_footprint(&self) -> FrameFootprint {
+        let inner = self.inner.read();
+        let machine = self.machine();
+        let pool = machine.pool();
+        let store = machine.store();
+        let mut tables = 1u64; // the PGD itself
+        let mut heads: HashSet<odf_pmem::FrameId> = HashSet::new();
+        let pgd = store.get(inner.pgd);
+        for pgd_idx in 0..ENTRIES_PER_TABLE {
+            let pud_e = pgd.load(pgd_idx);
+            if !pud_e.is_present() {
+                continue;
+            }
+            tables += 1;
+            let pud = store.get(pud_e.frame());
+            for pud_idx in 0..ENTRIES_PER_TABLE {
+                let pmd_e = pud.load(pud_idx);
+                if !pmd_e.is_present() {
+                    continue;
+                }
+                tables += 1;
+                let pmd = store.get(pmd_e.frame());
+                for pmd_idx in 0..ENTRIES_PER_TABLE {
+                    let e = pmd.load(pmd_idx);
+                    if !e.is_present() {
+                        continue;
+                    }
+                    if e.is_huge() {
+                        heads.insert(pool.compound_head(e.frame()));
+                        continue;
+                    }
+                    tables += 1;
+                    let pte_table = store.get(e.frame());
+                    for pte_idx in 0..ENTRIES_PER_TABLE {
+                        let pte = pte_table.load(pte_idx);
+                        if pte.is_present() {
+                            heads.insert(pool.compound_head(pte.frame()));
+                        }
+                    }
+                }
+            }
+        }
+        let data_frames = heads.iter().map(|&h| 1u64 << pool.page(h).order()).sum();
+        FrameFootprint {
+            data_frames,
+            table_frames: tables,
+        }
+    }
+
     /// Builds the `/proc/<pid>/smaps` analog: per-VMA resident-set
     /// breakdowns, computed by walking the page tables under the shared
     /// `mm` lock.
@@ -354,6 +437,35 @@ mod tests {
 
     fn mm() -> Mm {
         Mm::new(Machine::new(128 << 20)).unwrap()
+    }
+
+    #[test]
+    fn frame_footprint_equals_pool_pin_delta() {
+        let machine = Machine::new(128 << 20);
+        let baseline = machine.pool().balance();
+        let mm = Mm::new(machine.clone()).unwrap();
+        // Empty space: just the PGD.
+        let fp = mm.frame_footprint();
+        assert_eq!(
+            fp,
+            FrameFootprint {
+                data_frames: 0,
+                table_frames: 1
+            }
+        );
+
+        let a = mm.mmap(8 * PAGE_SIZE as u64, MapParams::anon_rw()).unwrap();
+        mm.write(a, &[1]).unwrap();
+        mm.write(a + 6 * PAGE_SIZE as u64, &[2]).unwrap();
+        let h = mm
+            .mmap(HUGE_PAGE_SIZE as u64, MapParams::anon_rw_huge())
+            .unwrap();
+        mm.write(h, &[3]).unwrap();
+
+        let fp = mm.frame_footprint();
+        assert_eq!(fp.data_frames, 2 + (HUGE_PAGE_SIZE / PAGE_SIZE) as u64);
+        let pinned = (baseline.free_frames - machine.pool().balance().free_frames) as u64;
+        assert_eq!(fp.total(), pinned, "footprint must equal the pool delta");
     }
 
     #[test]

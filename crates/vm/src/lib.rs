@@ -51,7 +51,7 @@ mod walk;
 pub use error::{Result, VmError};
 pub use file::VmFile;
 pub use fork::ForkPolicy;
-pub use introspect::{PagemapEntry, Smaps, SmapsEntry};
+pub use introspect::{FrameFootprint, PagemapEntry, Smaps, SmapsEntry};
 pub use machine::Machine;
 pub use mm::{Mm, MmReport};
 pub use prot::Prot;

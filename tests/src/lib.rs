@@ -396,9 +396,110 @@ pub fn fnv(bytes: &[u8]) -> u64 {
     h
 }
 
+/// One step of splitmix64: the shared deterministic generator behind every
+/// seed-shrinkable script in this crate (proptest then shrinks over a
+/// single integer instead of a structure).
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One key-value mutation in a durable-store workload script.
+///
+/// Mirrors `odf_kvstore::Command` but stays independent of it so the
+/// crash-injection oracle can model the store without importing its
+/// implementation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KvOp {
+    /// `SET key value`.
+    Set {
+        /// The key.
+        key: Vec<u8>,
+        /// The value.
+        value: Vec<u8>,
+    },
+    /// `DEL key`.
+    Del {
+        /// The key.
+        key: Vec<u8>,
+    },
+    /// `INCR key` (keys from this generator always hold integers or are
+    /// absent, so the op never fails).
+    Incr {
+        /// The key.
+        key: Vec<u8>,
+    },
+    /// `APPEND key suffix`.
+    Append {
+        /// The key.
+        key: Vec<u8>,
+        /// Appended bytes.
+        suffix: Vec<u8>,
+    },
+}
+
+/// Generates a deterministic kv workload over a bounded key space.
+///
+/// Keys are partitioned by role — counter keys (`c<n>`) only ever see
+/// `SET <int>` / `INCR`, data keys (`k<n>`) see `SET`/`DEL`/`APPEND` —
+/// so every generated op is valid against any prefix of the script.
+pub fn kv_script(seed: u64, ops: usize, key_space: u64) -> Vec<KvOp> {
+    let mut state = seed;
+    let key_space = key_space.max(1);
+    (0..ops)
+        .map(|_| {
+            let r = splitmix64(&mut state);
+            let n = (r >> 8) % key_space;
+            match r % 8 {
+                0 | 1 => KvOp::Incr {
+                    key: format!("c{n}").into_bytes(),
+                },
+                2 => KvOp::Set {
+                    key: format!("c{n}").into_bytes(),
+                    value: ((r >> 40) % 1000).to_string().into_bytes(),
+                },
+                3 => KvOp::Del {
+                    key: format!("k{n}").into_bytes(),
+                },
+                4 => KvOp::Append {
+                    key: format!("k{n}").into_bytes(),
+                    suffix: vec![(r >> 32) as u8; 1 + (r >> 48) as usize % 24],
+                },
+                _ => KvOp::Set {
+                    key: format!("k{n}").into_bytes(),
+                    value: vec![(r >> 16) as u8; 1 + (r >> 24) as usize % 96],
+                },
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn splitmix_and_kv_scripts_are_deterministic() {
+        let mut a = 7u64;
+        let mut b = 7u64;
+        assert_eq!(splitmix64(&mut a), splitmix64(&mut b));
+        assert_eq!(kv_script(9, 40, 8), kv_script(9, 40, 8));
+        assert_ne!(kv_script(9, 40, 8), kv_script(10, 40, 8));
+        // Counter keys never receive non-integer payloads.
+        for op in kv_script(3, 400, 8) {
+            if let KvOp::Set { key, value } = &op {
+                if key.starts_with(b"c") {
+                    String::from_utf8(value.clone())
+                        .unwrap()
+                        .parse::<i64>()
+                        .unwrap();
+                }
+            }
+        }
+    }
 
     #[test]
     fn scripts_are_deterministic() {

@@ -37,21 +37,14 @@ struct Op {
     seed: u8,
 }
 
-/// Deterministic per-thread scripts derived from one seed (splitmix64), so
-/// proptest shrinks over a single integer.
+/// Deterministic per-thread scripts derived from one seed
+/// ([`odf_tests::splitmix64`]), so proptest shrinks over a single integer.
 fn thread_scripts(mut state: u64, ops_per_thread: usize) -> Vec<Vec<Op>> {
-    let mut next = move || {
-        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    };
     (0..THREADS)
         .map(|_| {
             (0..ops_per_thread)
                 .map(|_| {
-                    let r = next();
+                    let r = odf_tests::splitmix64(&mut state);
                     let offset = r >> 8 & 0xFFF;
                     Op {
                         to_child: r & 1 == 1,
