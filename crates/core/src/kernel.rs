@@ -2,14 +2,22 @@
 //! configuration.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use odf_pmem::StatsSnapshot;
+use odf_probe::watchdog::ContextProvider;
+use odf_probe::{
+    BudgetSource, Keying, ProbeSpec, ProgramKind, SloBudget, SloWatchdog, WatchdogConfig,
+};
 use odf_reclaim::{DaemonConfig, DaemonStats, ReclaimDaemon, ReclaimPolicy};
 use odf_thp::{PromotionPolicy, ThpDaemon, ThpDaemonConfig, ThpDaemonStats};
+use odf_trace::ProbePoint;
 use odf_vm::{ForkPolicy, Machine, Mm, Result, VmStatsSnapshot};
 use parking_lot::Mutex;
+
+use odf_probe::watchdog::WatchdogStats;
 
 use crate::process::Process;
 
@@ -72,6 +80,23 @@ pub struct Kernel {
     /// when started. Stopped and joined when the last kernel handle
     /// drops.
     thp_daemon: Mutex<Option<ThpDaemon>>,
+    /// The SLO watchdog (budget evaluation + flight recorder), when
+    /// started. Stopped and joined when the last kernel handle drops.
+    slo_watchdog: Mutex<Option<SloWatchdog>>,
+    /// Counter baselines captured by [`Kernel::reset_metrics_window`];
+    /// exporters report counters relative to these. Non-destructive: the
+    /// underlying striped counters (some of them process-global, shared
+    /// with other kernels in the same process) are never zeroed.
+    metrics_baseline: Mutex<MetricsBaseline>,
+}
+
+/// Snapshot baselines for windowed metrics (see
+/// [`Kernel::reset_metrics_window`]).
+#[derive(Default)]
+struct MetricsBaseline {
+    vm: VmStatsSnapshot,
+    pool: StatsSnapshot,
+    durability: odf_durability::DurabilityStatsSnapshot,
 }
 
 impl Kernel {
@@ -85,6 +110,8 @@ impl Kernel {
             default_policy: Mutex::new(ForkPolicy::Classic),
             reclaim_daemon: Mutex::new(None),
             thp_daemon: Mutex::new(None),
+            slo_watchdog: Mutex::new(None),
+            metrics_baseline: Mutex::new(MetricsBaseline::default()),
         })
     }
 
@@ -158,6 +185,10 @@ impl Kernel {
     pub(crate) fn adopt(self: &Arc<Self>, mm: Mm) -> Process {
         let pid = Pid(self.next_pid.fetch_add(1, Ordering::Relaxed));
         self.live_processes.fetch_add(1, Ordering::Relaxed);
+        // Stamp ownership before the space becomes reachable, so probe
+        // contexts assembled on the fault path attribute to the right pid
+        // from the first fault on.
+        mm.set_owner_pid(pid.0);
         let mm = Arc::new(mm);
         self.machine.register_mm(&mm);
         Process::new(Arc::clone(self), pid, mm)
@@ -283,6 +314,178 @@ impl Kernel {
     /// Activity counters of the running THP daemon, if any.
     pub fn thp_daemon_stats(&self) -> Option<ThpDaemonStats> {
         self.thp_daemon.lock().as_ref().map(ThpDaemon::stats)
+    }
+
+    // ------------------------------------------------------------------
+    // SLO watchdog (budget evaluation + flight recorder)
+    // ------------------------------------------------------------------
+
+    /// Starts the SLO watchdog with explicit budgets, replacing (stopping)
+    /// any watchdog already running. The bundle context digest (per-mm
+    /// rss/vma/owner plus pool and WAL high-water marks) is supplied by
+    /// this kernel.
+    pub fn start_slo_watchdog(&self, budgets: Vec<SloBudget>, config: WatchdogConfig) {
+        let wd = SloWatchdog::spawn(config, budgets, Some(self.watchdog_context()));
+        *self.slo_watchdog.lock() = Some(wd);
+    }
+
+    /// Starts the watchdog with the default budget set, attaching its
+    /// measurement probes (`slo_fault_lat`, `slo_fork_lat` — `lat_hist`
+    /// keyed by pid) if they are not already attached:
+    ///
+    /// - fault p999 over `fault_p999_ns`,
+    /// - fork duration p999 over `fork_p999_ns`,
+    /// - WAL group-commit lag over `wal_lag` records.
+    ///
+    /// Bundles land in `out_dir`.
+    pub fn start_default_slo_watchdog(
+        &self,
+        out_dir: PathBuf,
+        fault_p999_ns: u64,
+        fork_p999_ns: u64,
+        wal_lag: u64,
+    ) {
+        let e = odf_probe::engine();
+        let mut fault = ProbeSpec::new("slo_fault_lat", ProbePoint::Fault, ProgramKind::LatHist);
+        fault.key = Keying::Pid;
+        let _ = e.attach(fault);
+        let mut fork = ProbeSpec::new("slo_fork_lat", ProbePoint::Fork, ProgramKind::LatHist);
+        fork.key = Keying::Pid;
+        let _ = e.attach(fork);
+        let budgets = vec![
+            SloBudget {
+                name: "fault_p999".into(),
+                source: BudgetSource::ProbeP999 {
+                    probe: "slo_fault_lat".into(),
+                },
+                limit: fault_p999_ns,
+            },
+            SloBudget {
+                name: "fork_p999".into(),
+                source: BudgetSource::ProbeP999 {
+                    probe: "slo_fork_lat".into(),
+                },
+                limit: fork_p999_ns,
+            },
+            SloBudget {
+                name: "wal_commit_lag".into(),
+                source: BudgetSource::Gauge {
+                    label: "wal_group_commit_lag".into(),
+                    read: Box::new(odf_durability::group_commit_lag),
+                },
+                limit: wal_lag,
+            },
+        ];
+        self.start_slo_watchdog(
+            budgets,
+            WatchdogConfig {
+                out_dir,
+                ..WatchdogConfig::default()
+            },
+        );
+    }
+
+    /// Stops (and joins) the SLO watchdog, if one is running. Measurement
+    /// probes it attached stay attached (detach via the probe engine).
+    pub fn stop_slo_watchdog(&self) {
+        self.slo_watchdog.lock().take();
+    }
+
+    /// Wakes the watchdog for an immediate asynchronous evaluation.
+    pub fn kick_slo_watchdog(&self) {
+        if let Some(wd) = self.slo_watchdog.lock().as_ref() {
+            wd.kick();
+        }
+    }
+
+    /// Runs one budget-evaluation round synchronously, returning any
+    /// breaches — deterministic triggering for tests.
+    pub fn evaluate_slo_now(&self) -> Option<Vec<odf_probe::Breach>> {
+        self.slo_watchdog
+            .lock()
+            .as_ref()
+            .map(SloWatchdog::evaluate_now)
+    }
+
+    /// Activity counters of the running watchdog, if any.
+    pub fn slo_watchdog_stats(&self) -> Option<WatchdogStats> {
+        self.slo_watchdog.lock().as_ref().map(SloWatchdog::stats)
+    }
+
+    /// Path of the most recent incident bundle, if any was written.
+    pub fn last_incident_bundle(&self) -> Option<PathBuf> {
+        self.slo_watchdog
+            .lock()
+            .as_ref()
+            .and_then(SloWatchdog::last_bundle)
+    }
+
+    /// The bundle-context provider: a JSON digest of this machine — per-mm
+    /// owner/rss/vma counts (the smaps digest), pool occupancy, and the
+    /// WAL high-water marks.
+    fn watchdog_context(&self) -> ContextProvider {
+        let machine = Arc::clone(&self.machine);
+        Box::new(move || {
+            let mms: Vec<String> = machine
+                .eviction_targets()
+                .iter()
+                .map(|mm| {
+                    let r = mm.report();
+                    format!(
+                        "{{\"pid\":{},\"mapped_bytes\":{},\"rss_pages\":{},\"vma_count\":{}}}",
+                        mm.owner_pid(),
+                        r.mapped_bytes,
+                        r.rss_pages,
+                        r.vma_count
+                    )
+                })
+                .collect();
+            let pool = machine.pool();
+            let (appended, durable) = odf_durability::wal_seqs();
+            format!(
+                "{{\"free_frames\":{},\"total_frames\":{},\"wal\":{{\"appended_seq\":{},\"durable_seq\":{}}},\"mms\":[{}]}}",
+                pool.free_frames(),
+                pool.total_frames(),
+                appended,
+                durable,
+                mms.join(",")
+            )
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Metrics windows
+    // ------------------------------------------------------------------
+
+    /// Starts a fresh metrics window (the `STATS RESET` semantics): both
+    /// exporters report counters relative to this instant, and the trace
+    /// rings are cleared. Non-destructive — cumulative counters (some
+    /// process-global and shared with concurrent kernels) keep counting;
+    /// only this kernel's baselines move.
+    pub fn reset_metrics_window(&self) {
+        let mut base = self.metrics_baseline.lock();
+        base.vm = self.machine.stats().snapshot();
+        base.pool = self.machine.pool().stats().snapshot();
+        base.durability = odf_durability::stats().snapshot();
+        drop(base);
+        odf_trace::clear();
+    }
+
+    /// Kernel counters relative to the last
+    /// [`Kernel::reset_metrics_window`] (whole-process history when never
+    /// reset) — what the exporters serve.
+    pub fn windowed_stats(&self) -> KernelStats {
+        let base = self.metrics_baseline.lock();
+        KernelStats {
+            vm: self.machine.stats().snapshot() - base.vm,
+            pool: self.machine.pool().stats().snapshot() - base.pool,
+        }
+    }
+
+    /// Durability counters for the current metrics window.
+    pub fn windowed_durability_stats(&self) -> odf_durability::DurabilityStatsSnapshot {
+        let base = self.metrics_baseline.lock();
+        odf_durability::stats().snapshot() - base.durability
     }
 
     /// Snapshot of all kernel counters.

@@ -73,3 +73,8 @@ pub use odf_thp::{
 pub use odf_snapshot::{
     materialize, ImageKind, Result as SnapshotResult, SnapshotError, SnapshotImage,
 };
+
+pub use odf_probe::{
+    watchdog::WatchdogStats, Breach, BudgetSource, Keying, ProbeSpec, ProgramKind, SloBudget,
+    SloWatchdog, WatchdogConfig,
+};

@@ -23,7 +23,7 @@ impl Kernel {
     /// cover memory occupancy; when tracing is enabled
     /// (`ODF_TRACE=1`), per-class latency quantiles are appended.
     pub fn metrics_prometheus(&self) -> String {
-        let stats = self.stats();
+        let stats = self.windowed_stats();
         let mut p = PromText::new();
         for (name, value) in stats.vm.fields() {
             p.counter(
@@ -67,13 +67,32 @@ impl Kernel {
             "Pageblocks re-tagged to the requesting migratetype",
             pool.mt_steals(),
         );
-        for (name, value) in odf_durability::stats().snapshot().fields() {
+        for (name, value) in self.windowed_durability_stats().fields() {
             p.counter(
                 &format!("odf_durability_{name}_total"),
                 "Durability-subsystem operation counter (WAL/chain/recovery)",
                 value,
             );
         }
+        // Group-commit lag: appended-but-not-yet-durable WAL records — the
+        // gauge the SLO watchdog budgets against. Seqs are high-water
+        // marks, not windowed counters.
+        let (appended, durable) = odf_durability::wal_seqs();
+        p.gauge(
+            "odf_durability_wal_appended_seq",
+            "Highest WAL sequence number appended",
+            appended as f64,
+        );
+        p.gauge(
+            "odf_durability_wal_durable_seq",
+            "Highest WAL sequence number known durable",
+            durable as f64,
+        );
+        p.gauge(
+            "odf_durability_group_commit_lag",
+            "WAL records appended but not yet durable (appended_seq - durable_seq)",
+            odf_durability::group_commit_lag() as f64,
+        );
         p.gauge(
             "odf_mem_free_bytes",
             "Free simulated physical memory",
@@ -89,6 +108,12 @@ impl Kernel {
             "Live simulated processes",
             self.process_count() as f64,
         );
+        // Probe aggregates, when any are attached. Cardinality is bounded
+        // per probe, so the exposition cannot blow up.
+        let reports = odf_probe::engine().read_all();
+        if !reports.is_empty() {
+            odf_probe::reports_prometheus(&mut p, &reports);
+        }
         let mut out = p.finish();
         if odf_trace::enabled() {
             out.push_str(&TraceSummary::build(&odf_trace::snapshot()).prometheus());
@@ -99,7 +124,7 @@ impl Kernel {
     /// All kernel counters plus trace latency summaries as one JSON
     /// object: `{"vm": {...}, "pool": {...}, "mem": {...}, "trace": {...}}`.
     pub fn metrics_json(&self) -> String {
-        let stats = self.stats();
+        let stats = self.windowed_stats();
         let field_obj = |fields: Vec<(&'static str, u64)>| {
             let parts: Vec<String> = fields
                 .iter()
@@ -125,8 +150,15 @@ impl Kernel {
             ),
             format!(
                 "\"durability\":{}",
-                field_obj(odf_durability::stats().snapshot().fields())
+                field_obj(self.windowed_durability_stats().fields())
             ),
+            {
+                let (appended, durable) = odf_durability::wal_seqs();
+                format!(
+                    "\"wal\":{{\"appended_seq\":{appended},\"durable_seq\":{durable},\"group_commit_lag\":{}}}",
+                    odf_durability::group_commit_lag()
+                )
+            },
             format!(
                 "\"mem\":{{\"free_bytes\":{},\"total_bytes\":{},\"processes\":{}}}",
                 self.free_bytes(),
@@ -134,6 +166,10 @@ impl Kernel {
                 self.process_count()
             ),
         ];
+        let reports = odf_probe::engine().read_all();
+        if !reports.is_empty() {
+            parts.push(format!("\"probes\":{}", odf_probe::reports_json(&reports)));
+        }
         if odf_trace::enabled() {
             parts.push(format!(
                 "\"trace\":{}",

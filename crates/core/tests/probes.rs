@@ -1,0 +1,321 @@
+//! Integration tests for the probe engine and its consumers at the
+//! kernel level: attach/detach under a concurrent fault storm (no leaked
+//! frames, no leaked map shards), deterministic watchdog-triggered
+//! flight-recorder bundles, and per-window metrics baselines.
+//!
+//! The probe engine, the trace layer, and the durability counters are
+//! process-global, so every test here serializes on one gate and restores
+//! the global state it touched before releasing it.
+
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use odf_core::{ForkPolicy, Kernel, Keying, ProbeSpec, ProgramKind, SloBudget, WatchdogConfig};
+use odf_pmem::assert_pool_balanced;
+use odf_probe::{engine, BudgetSource, ShardedMap, SloWatchdog};
+use odf_trace::{Event, ProbeContext, ProbePoint};
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+const PAGE: u64 = 4096;
+
+/// Probe attach/detach churn racing a multi-process fault storm: the pool
+/// balances afterwards and every aggregation map the churn created is
+/// freed — probes must never pin frames or leak shards.
+#[test]
+fn attach_detach_survives_concurrent_fault_storm() {
+    let _g = lock();
+    let e = engine();
+    e.detach_all();
+    let maps_before = ShardedMap::live_maps();
+    let attached_before = e.attached_count();
+
+    let kernel = Kernel::new(256 << 20);
+    let baseline = kernel.machine().pool().balance();
+    let region = 2 << 20;
+
+    std::thread::scope(|s| {
+        // Four faulting processes, each forking and COW-faulting its own
+        // region in a loop — a steady stream of Fault/Fork probe hits.
+        for t in 0..4u64 {
+            let kernel = &kernel;
+            s.spawn(move || {
+                let proc = kernel.spawn().expect("spawn");
+                let addr = proc.mmap_anon(region).expect("mmap");
+                proc.populate(addr, region, true).expect("populate");
+                for round in 0..8 {
+                    let child = proc.fork_with(ForkPolicy::OnDemand).expect("fork");
+                    for page in 0..region / PAGE {
+                        child
+                            .write_u64(addr + page * PAGE, t ^ round ^ page)
+                            .expect("fault");
+                    }
+                    child.exit();
+                }
+                proc.exit();
+            });
+        }
+        // One churn thread attaching and detaching probes mid-storm.
+        s.spawn(|| {
+            for i in 0..40 {
+                let mut lat = ProbeSpec::new(
+                    &format!("storm_lat_{i}"),
+                    ProbePoint::Fault,
+                    ProgramKind::LatHist,
+                );
+                lat.key = Keying::Pid;
+                let mut cnt = ProbeSpec::new(
+                    &format!("storm_cnt_{i}"),
+                    ProbePoint::Fault,
+                    ProgramKind::CountBy,
+                );
+                cnt.key = Keying::Kind;
+                engine().attach(lat).expect("attach lat");
+                engine().attach(cnt).expect("attach cnt");
+                let _ = engine().read_all();
+                assert!(engine().detach(&format!("storm_lat_{i}")));
+                assert!(engine().detach(&format!("storm_cnt_{i}")));
+            }
+        });
+    });
+
+    assert_pool_balanced(kernel.machine().pool(), baseline);
+    assert_eq!(
+        e.attached_count(),
+        attached_before,
+        "churn must leave no probe attached"
+    );
+    assert_eq!(
+        ShardedMap::live_maps(),
+        maps_before,
+        "detach must free every aggregation map shard"
+    );
+}
+
+/// Per-key attribution answers the paper's tail question: with two
+/// processes faulting at very different rates, a pid-keyed `lat_hist`
+/// probe names the process that dominated the fault distribution.
+#[test]
+fn pid_keyed_lat_hist_attributes_fault_load() {
+    let _g = lock();
+    let e = engine();
+    e.detach_all();
+
+    let kernel = Kernel::new(128 << 20);
+    let heavy = kernel.spawn().expect("spawn heavy");
+    let light = kernel.spawn().expect("spawn light");
+    let region = 1 << 20;
+    let ha = heavy.mmap_anon(region).expect("mmap");
+    let la = light.mmap_anon(region).expect("mmap");
+
+    let mut spec = ProbeSpec::new("attr_fault_lat", ProbePoint::Fault, ProgramKind::LatHist);
+    spec.key = Keying::Pid;
+    e.attach(spec).expect("attach");
+
+    // 256 first-touch faults for the heavy pid, 4 for the light one.
+    for page in 0..256 {
+        heavy
+            .write_u64(ha + page * PAGE, page)
+            .expect("heavy fault");
+    }
+    for page in 0..4 {
+        light
+            .write_u64(la + page * PAGE, page)
+            .expect("light fault");
+    }
+
+    let report = e.read("attr_fault_lat").expect("report");
+    let top = report
+        .keys
+        .iter()
+        .max_by_key(|k| k.hits)
+        .expect("at least one key");
+    assert_eq!(
+        top.label,
+        format!("pid {}", heavy.pid().0),
+        "heaviest faulter must dominate the per-pid histogram: {report:?}"
+    );
+    assert!(top.hits >= 256, "all heavy faults attributed: {top:?}");
+    assert!(e.detach("attr_fault_lat"));
+}
+
+/// One seeded flight-recorder run: fixed trace events via `emit_at`, fixed
+/// probe samples via `inject` (the latency-injection hook), one synchronous
+/// watchdog evaluation. Returns (bundle file name, bundle bytes).
+fn seeded_incident_run(dir: &std::path::Path) -> (String, Vec<u8>) {
+    let _ = std::fs::remove_dir_all(dir);
+    let e = engine();
+    e.detach_all();
+    odf_trace::clear();
+    let was_on = odf_trace::enabled();
+    odf_trace::set_enabled(true);
+
+    // Fixed timeline: three daemon events at pinned trace timestamps.
+    odf_trace::emit_at(
+        1_000,
+        Event::ReclaimPass {
+            pages_evicted: 32,
+            free_frames: 100,
+            latency_ns: 500,
+        },
+    );
+    odf_trace::emit_at(2_000, Event::ReclaimBackoff { free_frames: 100 });
+    odf_trace::emit_at(
+        3_000,
+        Event::ThpPass {
+            candidates: 8,
+            ops: 2,
+            latency_ns: 700,
+        },
+    );
+
+    // Fixed probe samples: injected fault latencies far above the budget.
+    let mut spec = ProbeSpec::new("det_fault_lat", ProbePoint::Fault, ProgramKind::LatHist);
+    spec.key = Keying::Pid;
+    e.attach(spec).expect("attach");
+    for i in 0..16u64 {
+        let mut cx = ProbeContext::at(ProbePoint::Fault);
+        cx.pid = 7;
+        cx.latency_ns = 90_000 + i; // injected latency, every sample over budget
+        e.inject(&cx);
+    }
+
+    let wd = SloWatchdog::spawn(
+        WatchdogConfig {
+            interval: Duration::from_secs(3600), // only evaluate_now fires
+            window_ns: 10_000_000,
+            out_dir: dir.to_path_buf(),
+            max_bundles: 4,
+        },
+        vec![SloBudget {
+            name: "fault_p999".into(),
+            source: BudgetSource::ProbeP999 {
+                probe: "det_fault_lat".into(),
+            },
+            limit: 50_000,
+        }],
+        None,
+    );
+    let breaches = wd.evaluate_now();
+    assert_eq!(
+        breaches.len(),
+        1,
+        "injected latencies must breach: {breaches:?}"
+    );
+    let path = wd.last_bundle().expect("bundle written");
+    drop(wd);
+
+    let name = path.file_name().unwrap().to_string_lossy().into_owned();
+    let bytes = std::fs::read(&path).expect("read bundle");
+    assert!(e.detach("det_fault_lat"));
+    odf_trace::set_enabled(was_on);
+    odf_trace::clear();
+    (name, bytes)
+}
+
+/// The watchdog-triggered flight recorder is deterministic: two identical
+/// seeded runs produce the same bundle file name and byte-identical,
+/// structurally valid JSON bodies.
+#[test]
+fn watchdog_bundle_is_deterministic_and_parseable() {
+    let _g = lock();
+    let base = std::env::temp_dir().join("odf_blackbox_determinism");
+    let (name1, bytes1) = seeded_incident_run(&base.join("run1"));
+    let (name2, bytes2) = seeded_incident_run(&base.join("run2"));
+
+    assert_eq!(name1, name2, "bundle naming must not involve wall clock");
+    assert!(name1.starts_with("BLACKBOX_") && name1.ends_with(".json"));
+    assert_eq!(bytes1, bytes2, "seeded runs must dump identical bundles");
+
+    let body = String::from_utf8(bytes1).expect("utf8 bundle");
+    assert_eq!(body.matches('{').count(), body.matches('}').count());
+    assert!(body.contains("\"format\":\"odf-blackbox-v1\""));
+    assert!(body.contains("\"budget\":\"fault_p999\""));
+    assert!(body.contains("\"name\":\"det_fault_lat\""));
+    assert!(
+        body.contains("reclaim_pass"),
+        "daemon events in the chrome window"
+    );
+    assert!(body.contains("thp_pass"));
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+/// The kernel's default watchdog wiring: budgets over the built-in fault /
+/// fork probes plus the WAL-lag gauge, evaluated on demand, bundle path
+/// surfaced through the kernel.
+#[test]
+fn kernel_default_watchdog_dumps_on_injected_breach() {
+    let _g = lock();
+    engine().detach_all();
+    let dir = std::env::temp_dir().join("odf_blackbox_kernel");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let kernel = Arc::new(Kernel::new(64 << 20));
+    kernel.start_default_slo_watchdog(dir.clone(), 50_000, u64::MAX, u64::MAX);
+
+    // No samples yet: probe budgets observe nothing, no breach, no bundle.
+    assert_eq!(
+        kernel.evaluate_slo_now().expect("watchdog running").len(),
+        0
+    );
+    assert_eq!(kernel.last_incident_bundle(), None);
+
+    // Inject fault latencies over the 50us budget through the same hook
+    // the emit sites use.
+    for _ in 0..8 {
+        let mut cx = ProbeContext::at(ProbePoint::Fault);
+        cx.pid = 1;
+        cx.latency_ns = 200_000;
+        engine().inject(&cx);
+    }
+    let breaches = kernel.evaluate_slo_now().expect("watchdog running");
+    assert_eq!(breaches.len(), 1);
+    assert_eq!(breaches[0].budget, "fault_p999");
+
+    let bundle = kernel.last_incident_bundle().expect("bundle written");
+    let body = std::fs::read_to_string(&bundle).expect("read bundle");
+    // The kernel's context provider embeds the machine digest.
+    assert!(body.contains("\"free_frames\""), "{body}");
+    assert!(body.contains("\"mms\""), "{body}");
+
+    let stats = kernel.slo_watchdog_stats().expect("stats");
+    assert_eq!(stats.bundles_written, 1);
+    kernel.stop_slo_watchdog();
+    engine().detach_all();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `reset_metrics_window` re-baselines the exported counters without
+/// touching the kernel's cumulative view.
+#[test]
+fn metrics_window_resets_without_losing_cumulative_counters() {
+    let _g = lock();
+    let kernel = Kernel::new(64 << 20);
+    let proc = kernel.spawn().expect("spawn");
+    let addr = proc.mmap_anon(1 << 20).expect("mmap");
+    for page in 0..128 {
+        proc.write_u64(addr + page * PAGE, page).expect("fault");
+    }
+
+    let cumulative = kernel.stats();
+    assert!(cumulative.vm.faults >= 128);
+    assert!(kernel.windowed_stats().vm.faults >= 128);
+
+    kernel.reset_metrics_window();
+    assert_eq!(kernel.windowed_stats().vm.faults, 0, "window re-baselined");
+    assert!(
+        kernel.stats().vm.faults >= cumulative.vm.faults,
+        "cumulative view survives the reset"
+    );
+
+    // New faults land in the fresh window.
+    for page in 128..160 {
+        proc.write_u64(addr + page * PAGE, page).expect("fault");
+    }
+    let windowed = kernel.windowed_stats().vm.faults;
+    assert!((32..cumulative.vm.faults + 32).contains(&windowed));
+}

@@ -34,5 +34,5 @@ mod wal;
 pub use chain::{ChainStore, LoadedChain, ManifestEntry, MANIFEST};
 pub use fs::{CrashFs, CrashMode, CrashPlan, DiskFs, FsError, OpKind, StorageFs};
 pub use recover::{Recovered, RecoveryReport};
-pub use stats::{stats, DurabilityStats, DurabilityStatsSnapshot};
+pub use stats::{group_commit_lag, stats, wal_seqs, DurabilityStats, DurabilityStatsSnapshot};
 pub use wal::{FsyncPolicy, Wal, WalConfig, WalRecord, WalScan, FRAME_HEADER, MAX_PAYLOAD};

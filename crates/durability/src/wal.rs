@@ -301,6 +301,7 @@ impl Wal {
         self.pending_bytes += frame.len() as u64;
         stats::stats().wal_appends.bump();
         stats::stats().wal_bytes_appended.add(frame.len() as u64);
+        stats::note_appended(seq);
         Ok(seq)
     }
 
@@ -346,15 +347,25 @@ impl Wal {
         }
         let sw = Stopwatch::start();
         self.fs.fsync(&self.segment)?;
+        let latency_ns = sw.elapsed_ns();
         odf_trace::emit(Event::WalFsync {
             bytes: self.pending_bytes,
             records: self.pending_records,
-            latency_ns: sw.elapsed_ns(),
+            latency_ns,
         });
         stats::stats().wal_fsyncs.bump();
+        let flushed_records = self.pending_records;
         self.durable_seq = self.next_seq - 1;
         self.pending_records = 0;
         self.pending_bytes = 0;
+        stats::note_durable(self.durable_seq);
+        if odf_trace::probes_active() {
+            let mut cx = odf_trace::ProbeContext::at(odf_trace::ProbePoint::WalCommit);
+            cx.latency_ns = latency_ns;
+            cx.value = flushed_records;
+            cx.aux = self.durable_seq;
+            odf_trace::probe_hit(&cx);
+        }
         Ok(())
     }
 

@@ -226,6 +226,14 @@ impl PreforkServer {
                     body: proc.kernel().metrics_prometheus().into_bytes(),
                 });
             }
+            // Live probe aggregates: every attached probe's report as one
+            // JSON array, the bpftool-map-dump analog.
+            "/probes" => {
+                return Ok(Response {
+                    status: 200,
+                    body: odf_probe::reports_json(&odf_probe::engine().read_all()).into_bytes(),
+                });
+            }
             // The serving worker's own address space, `/proc/self/smaps`
             // style: shows how much of the document tree it still shares
             // with the control process.
@@ -389,6 +397,25 @@ mod tests {
 
         // The endpoints do not shadow real documents.
         assert_eq!(s.handle("GET /doc-0 HTTP/1.1").unwrap().status, 200);
+    }
+
+    #[test]
+    fn probes_endpoint_serves_attached_probe_reports() {
+        let k = Kernel::new(128 << 20);
+        let mut s = PreforkServer::start(&k, config(ForkPolicy::OnDemand)).unwrap();
+        let spec =
+            odf_probe::ProbeSpec::parse(&["httpd_fault_lat", "fault", "lat_hist", "key=pid"])
+                .unwrap();
+        odf_probe::engine().attach(spec).unwrap();
+        for i in 0..8 {
+            let _ = s.handle(&format!("GET /doc-{i} HTTP/1.1")).unwrap();
+        }
+        let r = s.handle("GET /probes HTTP/1.1").unwrap();
+        assert_eq!(r.status, 200);
+        let body = String::from_utf8(r.body).unwrap();
+        assert!(body.starts_with('{') && body.ends_with('}'), "{body}");
+        assert!(body.contains("\"name\":\"httpd_fault_lat\""), "{body}");
+        assert!(odf_probe::engine().detach("httpd_fault_lat"));
     }
 
     #[test]

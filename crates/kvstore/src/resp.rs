@@ -225,12 +225,77 @@ pub fn dispatch(server: &mut Server, command: &RespValue) -> RespValue {
             [fmt] if fmt.eq_ignore_ascii_case(b"json") => {
                 RespValue::Bulk(Some(server.metrics_json().into_bytes()))
             }
+            [sub] if sub.eq_ignore_ascii_case(b"reset") => {
+                server.reset_metrics_window();
+                RespValue::Simple("OK".into())
+            }
             _ => wrong_arity(),
         },
+        b"PROBE" => probe_dispatch(rest),
         _ => RespValue::Error(format!(
             "ERR unknown command '{}'",
             String::from_utf8_lossy(name)
         )),
+    }
+}
+
+/// The `PROBE` command family: live attach/detach/read of probe programs
+/// against the process-wide engine.
+///
+/// ```text
+/// PROBE LIST
+/// PROBE ATTACH <name> <point> <program> [key=pid|vma|kind|order|none]
+///              [pid=N] [kind=LABEL] [minlat=NS] [maxkeys=N]
+/// PROBE DETACH <name>
+/// PROBE READ [name]
+/// PROBE RESET
+/// ```
+fn probe_dispatch(rest: &[&[u8]]) -> RespValue {
+    let usage = || RespValue::Error("ERR PROBE LIST|ATTACH|DETACH|READ|RESET".into());
+    let Some((&sub, args)) = rest.split_first() else {
+        return usage();
+    };
+    let engine = odf_probe::engine();
+    match sub.to_ascii_uppercase().as_slice() {
+        b"LIST" => RespValue::Array(
+            engine
+                .list()
+                .into_iter()
+                .map(|(spec, hits)| {
+                    RespValue::Bulk(Some(format!("{spec} hits={hits}").into_bytes()))
+                })
+                .collect(),
+        ),
+        b"ATTACH" => {
+            let tokens: Vec<String> = args
+                .iter()
+                .map(|a| String::from_utf8_lossy(a).to_string())
+                .collect();
+            let refs: Vec<&str> = tokens.iter().map(String::as_str).collect();
+            match odf_probe::ProbeSpec::parse(&refs).and_then(|s| engine.attach(s)) {
+                Ok(()) => RespValue::Simple("OK".into()),
+                Err(msg) => RespValue::Error(format!("ERR {msg}")),
+            }
+        }
+        b"DETACH" => match args {
+            [name] => RespValue::Integer(i64::from(engine.detach(&String::from_utf8_lossy(name)))),
+            _ => RespValue::Error("ERR usage: PROBE DETACH <name>".into()),
+        },
+        b"READ" => match args {
+            [] => RespValue::Bulk(Some(
+                odf_probe::reports_json(&engine.read_all()).into_bytes(),
+            )),
+            [name] => match engine.read(&String::from_utf8_lossy(name)) {
+                Some(r) => RespValue::Bulk(Some(r.to_json().into_bytes())),
+                None => RespValue::Bulk(None),
+            },
+            _ => RespValue::Error("ERR usage: PROBE READ [name]".into()),
+        },
+        b"RESET" => {
+            engine.reset_all();
+            RespValue::Simple("OK".into())
+        }
+        _ => usage(),
     }
 }
 

@@ -264,6 +264,12 @@ impl Server {
         self.proc.kernel().metrics_json()
     }
 
+    /// Starts a fresh metrics window (`STATS RESET`): subsequent `STATS`
+    /// reads report counters since this call; the trace rings are cleared.
+    pub fn reset_metrics_window(&self) {
+        self.proc.kernel().reset_metrics_window();
+    }
+
     /// Redis-`INFO`-style report. `section` filters to one section
     /// (case-insensitive); `None` renders all of them.
     ///

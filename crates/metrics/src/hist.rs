@@ -85,23 +85,48 @@ impl Histogram {
     }
 
     /// Records one sample.
+    ///
+    /// Saturating: on a run long enough to wrap a `u64` bucket the counts
+    /// pin at the maximum instead of wrapping to zero, which would corrupt
+    /// every percentile thereafter.
     pub fn record(&mut self, value: u64) {
-        self.buckets[Self::bucket_of(value)] += 1;
-        self.count += 1;
-        self.sum += u128::from(value);
+        let b = &mut self.buckets[Self::bucket_of(value)];
+        *b = b.saturating_add(1);
+        self.count = self.count.saturating_add(1);
+        self.sum = self.sum.saturating_add(u128::from(value));
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
 
-    /// Merges another histogram into this one.
+    /// Merges another histogram into this one (saturating, like
+    /// [`Histogram::record`] — merging two near-full histograms must not
+    /// wrap).
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
-            *a += b;
+            *a = a.saturating_add(*b);
         }
-        self.count += other.count;
-        self.sum += other.sum;
+        self.count = self.count.saturating_add(other.count);
+        self.sum = self.sum.saturating_add(other.sum);
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
+    }
+
+    /// Clears all samples, returning the histogram to its freshly-created
+    /// state. The window primitive behind snapshot-and-reset reads.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Returns the current contents and resets this histogram — one
+    /// measurement window ends, the next begins empty.
+    pub fn take(&mut self) -> Histogram {
+        let out = self.clone();
+        self.reset();
+        out
     }
 
     /// Number of recorded samples.
@@ -264,6 +289,48 @@ mod tests {
         // 0 lands in the first occupied bucket (index 1, the v.max(1)
         // clamp), so p0 is within one bucket of exact.
         assert!(h.percentile(0.0) <= 1);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(100);
+        b.record(100);
+        // Force both onto the overflow edge, then merge: counts must pin
+        // at u64::MAX / u128::MAX rather than wrap.
+        let idx = Histogram::bucket_of(100);
+        a.buckets[idx] = u64::MAX;
+        a.count = u64::MAX;
+        a.sum = u128::MAX;
+        a.merge(&b);
+        assert_eq!(a.buckets[idx], u64::MAX);
+        assert_eq!(a.count(), u64::MAX);
+        assert_eq!(a.percentile(50.0), 100);
+        // record() saturates the same way.
+        a.record(100);
+        assert_eq!(a.count(), u64::MAX);
+    }
+
+    #[test]
+    fn reset_and_take_window_the_samples() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let window = h.take();
+        assert_eq!(window.count(), 100);
+        assert_eq!(window.max(), 100);
+        // Post-take the histogram behaves exactly like a fresh one.
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.percentile(99.0), 0);
+        h.record(7);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), 7);
+        h.reset();
+        assert_eq!(h.count(), 0);
     }
 
     #[test]

@@ -85,6 +85,12 @@ impl FreeBatch<'_> {
             blocks: self.blocks.len() as u64,
             frames,
         });
+        if odf_trace::probes_active() {
+            let mut cx = odf_trace::ProbeContext::at(odf_trace::ProbePoint::BulkFree);
+            cx.value = frames;
+            cx.aux = self.blocks.len() as u64;
+            odf_trace::probe_hit(&cx);
+        }
         self.blocks.clear();
     }
 }

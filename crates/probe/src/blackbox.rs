@@ -1,0 +1,127 @@
+//! The flight recorder: turns a tail-latency anomaly into a self-contained
+//! post-mortem artifact instead of a lost data point.
+//!
+//! On [`dump_bundle`] the recorder freezes the per-thread trace rings
+//! ([`odf_trace::freeze`] — history is preserved, not overwritten, while
+//! the dump reads it), snapshots the last `window_ns` of events plus every
+//! attached probe's aggregation map, and writes one `BLACKBOX_*.json`
+//! bundle. Everything in the bundle derives from trace/probe state and the
+//! request — no wall-clock reads — so a seeded run produces a
+//! byte-identical bundle, which is what the determinism test pins.
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use odf_trace::{json_escape, Trace};
+
+use crate::watchdog::Breach;
+use crate::{engine, reports_json};
+
+/// Bundle format tag, bumped on layout changes.
+pub const FORMAT: &str = "odf-blackbox-v1";
+
+/// Everything a bundle needs besides the live trace/probe state.
+pub struct BundleRequest<'a> {
+    /// Why the dump fired (breach description, "manual", ...).
+    pub reason: &'a str,
+    /// Monotone per-producer sequence number; part of the file name, so
+    /// naming stays deterministic (never a timestamp).
+    pub seq: u64,
+    /// How much trailing trace history to keep, in trace-clock ns.
+    pub window_ns: u64,
+    /// Directory the bundle is written into (created if absent).
+    pub out_dir: &'a Path,
+    /// Budget breaches that triggered the dump (empty for manual dumps).
+    pub breaches: &'a [Breach],
+    /// Caller-supplied context digest (smaps/pagemap JSON), embedded
+    /// verbatim — must already be valid JSON.
+    pub context_json: Option<String>,
+}
+
+/// Freezes tracing, writes the incident bundle, thaws, and returns the
+/// bundle path.
+pub fn dump_bundle(req: &BundleRequest<'_>) -> io::Result<PathBuf> {
+    let was_on = odf_trace::freeze();
+    let trace = odf_trace::snapshot();
+    let result = write_bundle(req, &trace);
+    odf_trace::thaw(was_on);
+    result
+}
+
+fn write_bundle(req: &BundleRequest<'_>, trace: &Trace) -> io::Result<PathBuf> {
+    // Window on the trace clock: keep everything within window_ns of the
+    // newest record. The rings already bound total history, this bounds it
+    // tighter to "what just happened".
+    let max_ts = trace.events.iter().map(|r| r.ts_ns).max().unwrap_or(0);
+    let cutoff = max_ts.saturating_sub(req.window_ns);
+    let windowed = Trace {
+        events: trace
+            .events
+            .iter()
+            .filter(|r| r.ts_ns >= cutoff)
+            .cloned()
+            .collect(),
+        dropped: trace.dropped,
+    };
+
+    let breaches: Vec<String> = req.breaches.iter().map(Breach::to_json).collect();
+    let probes = reports_json(&engine().read_all());
+    let body = format!(
+        "{{\"format\":\"{}\",\"seq\":{},\"reason\":\"{}\",\"window_ns\":{},\"breaches\":[{}],\"trace\":{{\"window_events\":{},\"total_events\":{},\"dropped\":{},\"chrome\":{}}},\"probes\":{},\"context\":{}}}",
+        FORMAT,
+        req.seq,
+        json_escape(req.reason),
+        req.window_ns,
+        breaches.join(","),
+        windowed.events.len(),
+        trace.events.len(),
+        trace.dropped,
+        windowed.chrome_json(),
+        probes,
+        req.context_json.as_deref().unwrap_or("null"),
+    );
+
+    std::fs::create_dir_all(req.out_dir)?;
+    let path = req
+        .out_dir
+        .join(format!("BLACKBOX_{:04}_{}.json", req.seq, slug(req.reason)));
+    // Write-then-rename so a reader never sees a torn bundle.
+    let tmp = path.with_extension("json.tmp");
+    {
+        let mut f = std::fs::File::create(&tmp)?;
+        f.write_all(body.as_bytes())?;
+        f.sync_all()?;
+    }
+    std::fs::rename(&tmp, &path)?;
+    Ok(path)
+}
+
+/// File-name-safe slug of the dump reason.
+fn slug(reason: &str) -> String {
+    let mut out = String::new();
+    for c in reason.chars().take(48) {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('_') {
+            out.push('_');
+        }
+    }
+    let trimmed = out.trim_matches('_').to_string();
+    if trimmed.is_empty() {
+        "bundle".to_string()
+    } else {
+        trimmed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slug_is_filename_safe_and_stable() {
+        assert_eq!(slug("fault p999 > 1ms!"), "fault_p999_1ms");
+        assert_eq!(slug("///"), "bundle");
+        assert_eq!(slug("ok"), "ok");
+    }
+}

@@ -1,0 +1,191 @@
+//! Aggregation programs — the bpftrace-style prefabs a probe runs on every
+//! context that passes its filter. A program is a safe trait object over
+//! [`Slot`]; prefabs cover the four shapes bpftrace one-liners use most
+//! (`hist()`, `count()`, `sum()`, `max()`), and callers with bespoke needs
+//! can implement [`Program`] directly and attach via
+//! [`crate::ProbeEngine::attach_program`].
+
+use odf_metrics::Histogram;
+use odf_trace::ProbeContext;
+
+use crate::map::Slot;
+
+/// One aggregation step. Implementations must be cheap: they run inline on
+/// the instrumented path, under a shard lock.
+pub trait Program: Send + Sync {
+    /// Stable program-kind token (`lat_hist`, `count_by`, ...).
+    fn kind(&self) -> &'static str;
+
+    /// Folds one context into the key's slot.
+    fn update(&self, slot: &mut Slot, cx: &ProbeContext);
+}
+
+/// The four prefab program kinds, as parsed from a probe spec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProgramKind {
+    /// Latency histogram per key: `@[key] = hist(latency)`.
+    LatHist,
+    /// Hit counter per key: `@[key] = count()`.
+    CountBy,
+    /// Sample sum per key: `@[key] = sum(value)`.
+    SumBy,
+    /// Sample high watermark per key: `@[key] = max(value)`.
+    Watermark,
+}
+
+impl ProgramKind {
+    /// Every prefab, for `PROBE LIST` style enumeration.
+    pub const ALL: [ProgramKind; 4] = [Self::LatHist, Self::CountBy, Self::SumBy, Self::Watermark];
+
+    /// Stable lowercase token.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::LatHist => "lat_hist",
+            Self::CountBy => "count_by",
+            Self::SumBy => "sum_by",
+            Self::Watermark => "watermark",
+        }
+    }
+
+    /// Inverse of [`ProgramKind::label`].
+    pub fn from_label(s: &str) -> Option<ProgramKind> {
+        Self::ALL.into_iter().find(|p| p.label() == s)
+    }
+
+    /// Instantiates the prefab.
+    pub fn instantiate(self) -> Box<dyn Program> {
+        match self {
+            Self::LatHist => Box::new(LatHist),
+            Self::CountBy => Box::new(CountBy),
+            Self::SumBy => Box::new(SumBy),
+            Self::Watermark => Box::new(Watermark),
+        }
+    }
+}
+
+/// `lat_hist`: per-key latency distribution (also tracks sum and max so
+/// reports can show mean/max without re-walking the histogram).
+pub struct LatHist;
+
+impl Program for LatHist {
+    fn kind(&self) -> &'static str {
+        ProgramKind::LatHist.label()
+    }
+
+    fn update(&self, slot: &mut Slot, cx: &ProbeContext) {
+        slot.hits += 1;
+        // `latency_ns == 0` means "hit without a latency measurement":
+        // instrumented sites sample the clock (1-in-N when tracing is
+        // off), so the histogram holds the measured subset while `hits`
+        // stays exact.
+        if cx.latency_ns > 0 {
+            slot.sum = slot.sum.saturating_add(u128::from(cx.latency_ns));
+            slot.max = slot.max.max(cx.latency_ns);
+            slot.hist
+                .get_or_insert_with(|| Box::new(Histogram::new()))
+                .record(cx.latency_ns);
+        }
+    }
+}
+
+/// `count_by`: per-key hit counter.
+pub struct CountBy;
+
+impl Program for CountBy {
+    fn kind(&self) -> &'static str {
+        ProgramKind::CountBy.label()
+    }
+
+    fn update(&self, slot: &mut Slot, _cx: &ProbeContext) {
+        slot.hits += 1;
+    }
+}
+
+/// `sum_by`: per-key sum of the context's point-specific magnitude.
+pub struct SumBy;
+
+impl Program for SumBy {
+    fn kind(&self) -> &'static str {
+        ProgramKind::SumBy.label()
+    }
+
+    fn update(&self, slot: &mut Slot, cx: &ProbeContext) {
+        slot.hits += 1;
+        slot.sum = slot.sum.saturating_add(u128::from(cx.value));
+    }
+}
+
+/// `watermark`: per-key high watermark of the context's magnitude.
+pub struct Watermark;
+
+impl Program for Watermark {
+    fn kind(&self) -> &'static str {
+        ProgramKind::Watermark.label()
+    }
+
+    fn update(&self, slot: &mut Slot, cx: &ProbeContext) {
+        slot.hits += 1;
+        slot.max = slot.max.max(cx.value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odf_trace::ProbePoint;
+
+    fn cx(latency_ns: u64, value: u64) -> ProbeContext {
+        let mut cx = ProbeContext::at(ProbePoint::Fault);
+        cx.latency_ns = latency_ns;
+        cx.value = value;
+        cx
+    }
+
+    #[test]
+    fn kind_labels_roundtrip() {
+        for k in ProgramKind::ALL {
+            assert_eq!(ProgramKind::from_label(k.label()), Some(k));
+            assert_eq!(k.instantiate().kind(), k.label());
+        }
+        assert_eq!(ProgramKind::from_label("bogus"), None);
+    }
+
+    #[test]
+    fn prefabs_touch_the_expected_slot_fields() {
+        let mut slot = Slot {
+            label: "k".into(),
+            hits: 0,
+            sum: 0,
+            max: 0,
+            hist: None,
+        };
+        LatHist.update(&mut slot, &cx(1000, 0));
+        LatHist.update(&mut slot, &cx(3000, 0));
+        assert_eq!(slot.hits, 2);
+        assert_eq!(slot.sum, 4000);
+        assert_eq!(slot.max, 3000);
+        assert_eq!(slot.hist.as_ref().unwrap().count(), 2);
+
+        let mut slot = Slot {
+            label: "k".into(),
+            hits: 0,
+            sum: 0,
+            max: 0,
+            hist: None,
+        };
+        CountBy.update(&mut slot, &cx(1, 99));
+        assert_eq!((slot.hits, slot.sum, slot.max), (1, 0, 0));
+        assert!(
+            slot.hist.is_none(),
+            "count_by must not allocate a histogram"
+        );
+
+        SumBy.update(&mut slot, &cx(0, 40));
+        SumBy.update(&mut slot, &cx(0, 2));
+        assert_eq!(slot.sum, 42);
+
+        Watermark.update(&mut slot, &cx(0, 7));
+        Watermark.update(&mut slot, &cx(0, 3));
+        assert_eq!(slot.max, 7);
+    }
+}

@@ -37,6 +37,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use odf_trace::Event;
 use odf_vm::{Machine, ThpCandidate, ThpOutcome};
 
 /// Verdict of a [`PromotionPolicy`] on one candidate range.
@@ -354,6 +355,9 @@ fn daemon_loop(shared: &DaemonShared, policy: &mut dyn PromotionPolicy, config: 
         }
         shared.counters.wakeups.fetch_add(1, Ordering::Relaxed);
 
+        // Probes share the trace clock reads.
+        let pass_t0 = (odf_trace::enabled() || odf_trace::probes_active()).then(odf_trace::now_ns);
+        let mut pass_candidates = 0u64;
         let mut ops = 0usize;
         'pass: for mm in shared.machine.eviction_targets() {
             let candidates = mm.thp_scan(config.clear_accessed);
@@ -362,6 +366,7 @@ fn daemon_loop(shared: &DaemonShared, policy: &mut dyn PromotionPolicy, config: 
                 .counters
                 .candidates_scanned
                 .fetch_add(candidates.len() as u64, Ordering::Relaxed);
+            pass_candidates += candidates.len() as u64;
             for c in &candidates {
                 if ops >= config.max_ops {
                     break 'pass;
@@ -395,6 +400,32 @@ fn daemon_loop(shared: &DaemonShared, policy: &mut dyn PromotionPolicy, config: 
             }
             if shared.state.lock().expect("daemon state").stop {
                 return;
+            }
+        }
+        if let Some(t0) = pass_t0 {
+            let end = odf_trace::now_ns();
+            let latency_ns = end.saturating_sub(t0);
+            odf_trace::emit_at(
+                end,
+                Event::ThpPass {
+                    candidates: pass_candidates,
+                    ops: ops as u64,
+                    latency_ns,
+                },
+            );
+            if odf_trace::probes_active() {
+                let mut cx = odf_trace::ProbeContext::at(odf_trace::ProbePoint::ThpPass);
+                cx.latency_ns = latency_ns;
+                cx.value = ops as u64;
+                cx.aux = pass_candidates;
+                odf_trace::probe_hit(&cx);
+            }
+            // Backoff: candidates existed but the policy (or races) let
+            // every one of them pass — record why nothing changed.
+            if ops == 0 && pass_candidates > 0 {
+                odf_trace::emit(Event::ThpBackoff {
+                    candidates: pass_candidates,
+                });
             }
         }
     }

@@ -279,6 +279,30 @@ pub(crate) fn chrome_json(trace: &Trace) -> String {
                 (r.ts_ns.saturating_sub(latency_ns)) as f64 / 1000.0,
                 latency_ns as f64 / 1000.0,
             ),
+            Event::ReclaimPass {
+                pages_evicted,
+                free_frames,
+                latency_ns,
+            } => format!(
+                "{{\"name\":\"reclaim_pass\",\"cat\":\"reclaim\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"pages_evicted\":{pages_evicted},\"free_frames\":{free_frames}}}}}",
+                (r.ts_ns.saturating_sub(latency_ns)) as f64 / 1000.0,
+                latency_ns as f64 / 1000.0,
+            ),
+            Event::ReclaimBackoff { free_frames } => format!(
+                "{{\"name\":\"reclaim_backoff\",\"cat\":\"reclaim\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3},\"args\":{{\"free_frames\":{free_frames}}}}}",
+            ),
+            Event::ThpPass {
+                candidates,
+                ops,
+                latency_ns,
+            } => format!(
+                "{{\"name\":\"thp_pass\",\"cat\":\"thp\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{:.3},\"dur\":{:.3},\"args\":{{\"candidates\":{candidates},\"ops\":{ops}}}}}",
+                (r.ts_ns.saturating_sub(latency_ns)) as f64 / 1000.0,
+                latency_ns as f64 / 1000.0,
+            ),
+            Event::ThpBackoff { candidates } => format!(
+                "{{\"name\":\"thp_backoff\",\"cat\":\"thp\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":{tid},\"ts\":{ts_us:.3},\"args\":{{\"candidates\":{candidates}}}}}",
+            ),
         };
         rows.push(row);
     }
@@ -342,6 +366,54 @@ mod tests {
             json_escape("a\"b\\c\nd\te\u{1}"),
             "a\\\"b\\\\c\\nd\\te\\u0001"
         );
+    }
+
+    #[test]
+    fn chrome_json_renders_daemon_pass_and_backoff_rows() {
+        let trace = Trace {
+            events: vec![
+                TraceRecord {
+                    ts_ns: 9000,
+                    thread: 3,
+                    event: Event::ReclaimPass {
+                        pages_evicted: 12,
+                        free_frames: 90,
+                        latency_ns: 4000,
+                    },
+                },
+                TraceRecord {
+                    ts_ns: 9500,
+                    thread: 3,
+                    event: Event::ReclaimBackoff { free_frames: 90 },
+                },
+                TraceRecord {
+                    ts_ns: 12000,
+                    thread: 4,
+                    event: Event::ThpPass {
+                        candidates: 7,
+                        ops: 2,
+                        latency_ns: 2000,
+                    },
+                },
+                TraceRecord {
+                    ts_ns: 12500,
+                    thread: 4,
+                    event: Event::ThpBackoff { candidates: 7 },
+                },
+            ],
+            dropped: 0,
+        };
+        let j = trace.chrome_json();
+        // Passes are spans starting latency before their end timestamp.
+        assert!(j.contains("\"name\":\"reclaim_pass\",\"cat\":\"reclaim\",\"ph\":\"X\""));
+        assert!(j.contains("\"ts\":5.000,\"dur\":4.000"));
+        assert!(j.contains("\"pages_evicted\":12"));
+        assert!(j.contains("\"name\":\"thp_pass\",\"cat\":\"thp\",\"ph\":\"X\""));
+        assert!(j.contains("\"ts\":10.000,\"dur\":2.000"));
+        // Backoffs are instants.
+        assert!(j.contains("\"name\":\"reclaim_backoff\",\"cat\":\"reclaim\",\"ph\":\"i\""));
+        assert!(j.contains("\"name\":\"thp_backoff\",\"cat\":\"thp\",\"ph\":\"i\""));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
     }
 
     #[test]

@@ -35,7 +35,7 @@
 
 #![forbid(unsafe_code)]
 
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -60,7 +60,9 @@ pub enum ForkPolicyKind {
 }
 
 impl ForkPolicyKind {
-    fn from_u8(v: u8) -> Self {
+    /// Decodes the stable wire discriminant (also the
+    /// [`ProbeContext::kind`] value at the `fork` attach point).
+    pub fn from_u8(v: u8) -> Self {
         match v {
             1 => Self::OnDemand,
             2 => Self::OnDemandHuge,
@@ -68,7 +70,8 @@ impl ForkPolicyKind {
         }
     }
 
-    fn as_u8(self) -> u8 {
+    /// Stable wire discriminant (inverse of [`ForkPolicyKind::from_u8`]).
+    pub fn as_u8(self) -> u8 {
         match self {
             Self::Classic => 0,
             Self::OnDemand => 1,
@@ -112,7 +115,9 @@ pub enum FaultKind {
 }
 
 impl FaultKind {
-    fn from_u8(v: u8) -> Self {
+    /// Decodes the stable wire discriminant (also the
+    /// [`ProbeContext::kind`] value at the `fault` attach point).
+    pub fn from_u8(v: u8) -> Self {
         match v {
             0 => Self::DemandZero,
             1 => Self::DemandHuge,
@@ -126,7 +131,8 @@ impl FaultKind {
         }
     }
 
-    fn as_u8(self) -> u8 {
+    /// Stable wire discriminant (inverse of [`FaultKind::from_u8`]).
+    pub fn as_u8(self) -> u8 {
         match self {
             Self::DemandZero => 0,
             Self::DemandHuge => 1,
@@ -185,7 +191,9 @@ pub enum LockSite {
 }
 
 impl LockSite {
-    fn from_u8(v: u8) -> Self {
+    /// Decodes the stable wire discriminant (also the
+    /// [`ProbeContext::kind`] value at the `lock_retry` attach point).
+    pub fn from_u8(v: u8) -> Self {
         match v {
             0 => Self::PteInstall,
             1 => Self::PmdInstall,
@@ -195,7 +203,8 @@ impl LockSite {
         }
     }
 
-    fn as_u8(self) -> u8 {
+    /// Stable wire discriminant (inverse of [`LockSite::from_u8`]).
+    pub fn as_u8(self) -> u8 {
         match self {
             Self::PteInstall => 0,
             Self::PmdInstall => 1,
@@ -394,6 +403,40 @@ pub enum Event {
         /// Wall time of the replay loop.
         latency_ns: u64,
     },
+    /// One reclaim-daemon scan pass over an address space completed
+    /// (the `mm_vmscan_kswapd` pass-level analog; per-page work is the
+    /// `Evicted` events inside it).
+    ReclaimPass {
+        /// Pages the pass evicted.
+        pages_evicted: u64,
+        /// Free base frames when the pass finished.
+        free_frames: u64,
+        /// Wall time of the pass.
+        latency_ns: u64,
+    },
+    /// The reclaim daemon backed off: a full sweep over every address
+    /// space evicted nothing (everything left is hot or pinned), so it
+    /// went back to sleep below the high watermark.
+    ReclaimBackoff {
+        /// Free base frames at back-off time.
+        free_frames: u64,
+    },
+    /// One THP-daemon wakeup completed its scan over all address spaces.
+    ThpPass {
+        /// Candidate ranges offered to the policy this pass.
+        candidates: u64,
+        /// Collapse/demote operations applied this pass.
+        ops: u64,
+        /// Wall time of the pass.
+        latency_ns: u64,
+    },
+    /// The THP daemon scanned but applied nothing — every candidate was
+    /// skipped (cold, partial, or already huge), the khugepaged
+    /// `full_scans`-with-no-progress analog.
+    ThpBackoff {
+        /// Candidate ranges scanned by the idle pass.
+        candidates: u64,
+    },
 }
 
 impl Event {
@@ -436,6 +479,10 @@ impl Event {
             Event::WalFsync { .. } => "wal_fsync",
             Event::SnapshotPublish { .. } => "snapshot_publish",
             Event::RecoveryReplay { .. } => "recovery_replay",
+            Event::ReclaimPass { .. } => "reclaim_pass",
+            Event::ReclaimBackoff { .. } => "reclaim_backoff",
+            Event::ThpPass { .. } => "thp_pass",
+            Event::ThpBackoff { .. } => "thp_backoff",
         }
     }
 
@@ -503,6 +550,18 @@ impl Event {
                 records,
                 latency_ns,
             } => (22, 0, records, latency_ns, 0),
+            Event::ReclaimPass {
+                pages_evicted,
+                free_frames,
+                latency_ns,
+            } => (23, 0, pages_evicted, free_frames, latency_ns),
+            Event::ReclaimBackoff { free_frames } => (24, 0, free_frames, 0, 0),
+            Event::ThpPass {
+                candidates,
+                ops,
+                latency_ns,
+            } => (25, 0, candidates, ops, latency_ns),
+            Event::ThpBackoff { candidates } => (26, 0, candidates, 0, 0),
         }
     }
 
@@ -593,6 +652,18 @@ impl Event {
                 records: a,
                 latency_ns: b,
             },
+            23 => Event::ReclaimPass {
+                pages_evicted: a,
+                free_frames: b,
+                latency_ns: c,
+            },
+            24 => Event::ReclaimBackoff { free_frames: a },
+            25 => Event::ThpPass {
+                candidates: a,
+                ops: b,
+                latency_ns: c,
+            },
+            26 => Event::ThpBackoff { candidates: a },
             _ => return None,
         })
     }
@@ -779,6 +850,24 @@ pub fn set_enabled(on: bool) {
     ENABLED.store(if on { STATE_ON } else { STATE_OFF }, Ordering::Relaxed);
 }
 
+/// Freezes the rings for a flight-recorder capture: tracing is switched
+/// off so the drop-oldest writers stop overwriting history, and the prior
+/// state is returned for [`thaw`]. The rings themselves keep their
+/// records — [`snapshot`] after a freeze reads the exact tail that was
+/// live at the moment of the anomaly.
+pub fn freeze() -> bool {
+    let was_on = enabled();
+    ENABLED.store(STATE_OFF, Ordering::Relaxed);
+    was_on
+}
+
+/// Undoes a [`freeze`], restoring the enable state it returned.
+pub fn thaw(was_on: bool) {
+    if was_on {
+        ENABLED.store(STATE_ON, Ordering::Relaxed);
+    }
+}
+
 /// Event families that can be switched individually while tracing is on —
 /// ftrace's per-event `enable` files next to the master `tracing_on`.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -794,7 +883,8 @@ pub enum EventClass {
     /// `LockRetry`.
     LockRetry,
     /// `Reclaim` (pass summaries) plus the per-decision reclaim events
-    /// (`ReclaimScanStart` / `Evicted` / `SwappedIn`).
+    /// (`ReclaimScanStart` / `Evicted` / `SwappedIn`) and the daemon's
+    /// pass/back-off records (`ReclaimPass` / `ReclaimBackoff`).
     Reclaim,
     /// `FrameAlloc` / `FrameFree` plus the batched allocator transfers
     /// (`MagRefill` / `MagDrain` / `BulkFree`) — **off by default**, like
@@ -805,7 +895,8 @@ pub enum EventClass {
     /// post-mortems ([`Trace::for_frame`], `assert_pool_balanced` dumps).
     Kmem,
     /// The huge-page lifecycle events (`CollapseStart` / `CollapseEnd` /
-    /// `Demote` / `CompactScan`) — the khugepaged tracepoints. On by
+    /// `Demote` / `CompactScan` / `ThpPass` / `ThpBackoff`) — the
+    /// khugepaged tracepoints. On by
     /// default: promotions/demotions are rare (background-daemon cadence),
     /// so their records cost nothing on the fault path.
     Thp,
@@ -824,9 +915,13 @@ impl EventClass {
             EventClass::CowCopy => 1 << 4,
             EventClass::TlbFlush => 1 << 5,
             EventClass::LockRetry => 1 << 6,
-            EventClass::Reclaim => (1 << 7) | (1 << 13) | (1 << 14) | (1 << 15),
+            EventClass::Reclaim => {
+                (1 << 7) | (1 << 13) | (1 << 14) | (1 << 15) | (1 << 23) | (1 << 24)
+            }
             EventClass::Kmem => (1 << 8) | (1 << 9) | (1 << 10) | (1 << 11) | (1 << 12),
-            EventClass::Thp => (1 << 16) | (1 << 17) | (1 << 18) | (1 << 19),
+            EventClass::Thp => {
+                (1 << 16) | (1 << 17) | (1 << 18) | (1 << 19) | (1 << 25) | (1 << 26)
+            }
             EventClass::Durability => (1 << 20) | (1 << 21) | (1 << 22),
         }
     }
@@ -1004,6 +1099,248 @@ impl Trace {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Programmable probes (the eBPF-mm attach layer)
+// ---------------------------------------------------------------------------
+
+/// A stable attach-point name — where in the stack a [`ProbeContext`] was
+/// produced. This is the namespace probes attach to, the analog of a
+/// tracepoint name in `bpftrace -l`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProbePoint {
+    /// A page fault was resolved (odf-vm fault handler).
+    Fault,
+    /// A fork completed (odf-vm fork path).
+    Fork,
+    /// A CAS install / ownership handoff lost a race (odf-vm).
+    LockRetry,
+    /// A page was evicted to swap (odf-vm eviction protocol).
+    Evict,
+    /// A huge-page collapse completed (odf-vm THP mechanism).
+    Collapse,
+    /// A huge page was demoted back to base PTEs (odf-vm THP mechanism).
+    Demote,
+    /// A WAL group commit reached stable storage (odf-durability).
+    WalCommit,
+    /// A reclaim-daemon scan pass completed (odf-reclaim).
+    ReclaimPass,
+    /// A THP-daemon scan pass completed (odf-thp).
+    ThpPass,
+    /// An mmu_gather-style batched free flushed blocks (odf-pmem).
+    BulkFree,
+}
+
+impl ProbePoint {
+    /// Every attach point, for `PROBE LIST` style enumeration.
+    pub const ALL: [ProbePoint; 10] = [
+        Self::Fault,
+        Self::Fork,
+        Self::LockRetry,
+        Self::Evict,
+        Self::Collapse,
+        Self::Demote,
+        Self::WalCommit,
+        Self::ReclaimPass,
+        Self::ThpPass,
+        Self::BulkFree,
+    ];
+
+    /// Stable lowercase name (the token probes attach by).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Fault => "fault",
+            Self::Fork => "fork",
+            Self::LockRetry => "lock_retry",
+            Self::Evict => "evict",
+            Self::Collapse => "collapse",
+            Self::Demote => "demote",
+            Self::WalCommit => "wal_commit",
+            Self::ReclaimPass => "reclaim_pass",
+            Self::ThpPass => "thp_pass",
+            Self::BulkFree => "bulk_free",
+        }
+    }
+
+    /// Inverse of [`ProbePoint::label`].
+    pub fn from_label(s: &str) -> Option<ProbePoint> {
+        Self::ALL.into_iter().find(|p| p.label() == s)
+    }
+
+    /// Dense index into [`ProbePoint::ALL`] (for per-point dispatch tables).
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
+/// The typed context handed to attached probes — deliberately richer than
+/// the ring [`Event`] words: it carries the attribution keys (pid, VMA
+/// range, kind, order) that per-key aggregation maps group by, which the
+/// fixed-width ring records do not have room for. Fields an attach point
+/// does not populate are zero.
+#[derive(Clone, Copy, Debug)]
+pub struct ProbeContext {
+    /// Which attach point produced this context.
+    pub point: ProbePoint,
+    /// Owning process id of the address space involved (0 = unknown/none).
+    pub pid: u64,
+    /// Virtual address involved (faulting address, collapse base, ...).
+    pub addr: u64,
+    /// Start of the VMA containing `addr` (0 when not applicable).
+    pub vma_start: u64,
+    /// End of the VMA containing `addr` (0 when not applicable).
+    pub vma_end: u64,
+    /// Point-specific kind discriminant: [`FaultKind`] for `fault`,
+    /// [`ForkPolicyKind`] for `fork`, [`LockSite`] for `lock_retry`
+    /// (each as its `as_u8` value); 0 otherwise.
+    pub kind: u8,
+    /// Compound order of the page involved (0 = 4 KiB, 9 = 2 MiB).
+    pub order: u8,
+    /// Wall time of the operation, nanoseconds (0 for instant points).
+    pub latency_ns: u64,
+    /// Install races lost before the operation succeeded.
+    pub retries: u32,
+    /// Point-specific magnitude: bytes for `wal_commit`/`bulk_free`,
+    /// pages evicted for `reclaim_pass`, WAL sequence lag for
+    /// `wal_commit`'s `aux`, candidate count for `thp_pass`, swap slot
+    /// for `evict`.
+    pub value: u64,
+    /// Secondary magnitude (WAL group-commit lag in records, THP ops
+    /// applied, ...).
+    pub aux: u64,
+}
+
+impl ProbeContext {
+    /// A zeroed context for `point` — attach sites fill in what they have.
+    pub fn at(point: ProbePoint) -> ProbeContext {
+        ProbeContext {
+            point,
+            pid: 0,
+            addr: 0,
+            vma_start: 0,
+            vma_end: 0,
+            kind: 0,
+            order: 0,
+            latency_ns: 0,
+            retries: 0,
+            value: 0,
+            aux: 0,
+        }
+    }
+
+    /// Human-readable name of the `kind` discriminant, resolved per point
+    /// (`cow_data`, `odf`, `pte_install`, ...); the point label itself
+    /// for points without a kind.
+    pub fn kind_label(&self) -> &'static str {
+        match self.point {
+            ProbePoint::Fault => FaultKind::from_u8(self.kind).label(),
+            ProbePoint::Fork => ForkPolicyKind::from_u8(self.kind).label(),
+            ProbePoint::LockRetry => LockSite::from_u8(self.kind).label(),
+            p => p.label(),
+        }
+    }
+}
+
+/// Receives every [`ProbeContext`] while probes are active. Implemented by
+/// the probe engine (crate `odf-probe`); registered once per process.
+pub trait ProbeSink: Send + Sync {
+    /// One context, delivered synchronously on the emitting thread.
+    fn probe_hit(&self, cx: &ProbeContext);
+}
+
+/// Master probe switch: one relaxed load on every instrumented path when
+/// nothing is attached (the ~0-overhead requirement).
+static PROBE_ACTIVE: AtomicBool = AtomicBool::new(false);
+
+fn probe_sink_cell() -> &'static OnceLock<&'static dyn ProbeSink> {
+    static SINK: OnceLock<&'static dyn ProbeSink> = OnceLock::new();
+    &SINK
+}
+
+/// Registers the process-wide probe sink. The first registration wins
+/// (returns `true`); later calls are ignored (`false`).
+pub fn register_probe_sink(sink: &'static dyn ProbeSink) -> bool {
+    probe_sink_cell().set(sink).is_ok()
+}
+
+/// Turns probe dispatch on or off. The engine flips this on the 0 ↔ >0
+/// attached-probe transitions so detached steady state costs one load.
+pub fn set_probes_active(on: bool) {
+    PROBE_ACTIVE.store(on, Ordering::Relaxed);
+}
+
+/// Is at least one probe attached? Instrumented sites check this before
+/// building a [`ProbeContext`], so context assembly itself is off the
+/// fast path when nothing listens.
+#[inline]
+pub fn probes_active() -> bool {
+    PROBE_ACTIVE.load(Ordering::Relaxed)
+}
+
+/// How often [`probe_clock_sample`] arms the latency clock: every Nth hit
+/// per thread. The monotonic clock read is the single most expensive piece
+/// of probe overhead on a sub-microsecond path (two reads cost more than
+/// the whole aggregation), so high-frequency sites sample it. `lat_hist`
+/// treats `latency_ns == 0` as "hit without measurement": counts stay
+/// exact while the latency distribution is built from the deterministic
+/// 1-in-N subset.
+pub const PROBE_CLOCK_PERIOD: u64 = 16;
+
+thread_local! {
+    static PROBE_CLOCK_TICK: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Round-robin clock arming for sampled-latency probe sites: true on every
+/// [`PROBE_CLOCK_PERIOD`]th call per thread. Callers skip the timestamp
+/// pair (and leave `latency_ns` zero) on the misses. The counter is
+/// per-thread and deterministic — no RNG, so seeded runs stay reproducible.
+#[inline]
+pub fn probe_clock_sample() -> bool {
+    PROBE_CLOCK_TICK
+        .try_with(|c| {
+            let v = c.get().wrapping_add(1);
+            c.set(v);
+            v % PROBE_CLOCK_PERIOD == 0
+        })
+        .unwrap_or(false)
+}
+
+/// Context-detail bit: some attached probe reads the VMA-derived fields
+/// (`vma_start`/`vma_end`/`order`), so emit sites must pay the VMA lookup.
+pub const DETAIL_VMA: u8 = 1;
+
+/// What attached probes actually read — the eBPF "programs declare their
+/// field accesses" idea. Emit sites on sub-microsecond paths check the
+/// relevant bit before computing an expensive context field; the engine
+/// recomputes the mask on every attach/detach.
+static PROBE_DETAIL: AtomicU8 = AtomicU8::new(0);
+
+/// Replaces the context-detail mask (engine-side, on attach/detach).
+pub fn set_probe_detail(mask: u8) {
+    PROBE_DETAIL.store(mask, Ordering::Relaxed);
+}
+
+/// Does any attached probe need the detail behind `bit`?
+#[inline]
+pub fn probe_detail(bit: u8) -> bool {
+    PROBE_DETAIL.load(Ordering::Relaxed) & bit != 0
+}
+
+/// Delivers one context to the registered sink, if probes are active.
+#[inline]
+pub fn probe_hit(cx: &ProbeContext) {
+    if !probes_active() {
+        return;
+    }
+    probe_hit_slow(cx);
+}
+
+#[inline(never)]
+fn probe_hit_slow(cx: &ProbeContext) {
+    if let Some(sink) = probe_sink_cell().get() {
+        sink.probe_hit(cx);
+    }
+}
+
 /// Generates a set of relaxed `AtomicU64` counters plus its snapshot type
 /// from a single field list, so adding a counter is a one-line change and a
 /// forgotten field is *impossible* rather than a silent zero:
@@ -1079,6 +1416,16 @@ impl Counter {
             .map(|s| s.0.load(Ordering::Relaxed))
             .fold(0u64, u64::wrapping_add)
     }
+
+    /// Zeroes every stripe — the destructive half of snapshot-and-reset
+    /// windowed reads. Same tolerance as [`Counter::add`]: an increment
+    /// racing the reset on the same stripe may survive or be lost; these
+    /// are diagnostics, and window boundaries are advisory.
+    pub fn reset(&self) {
+        for s in &self.stripes {
+            s.0.store(0, Ordering::Relaxed);
+        }
+    }
 }
 
 /// - the live struct ([`Counter`] per field, `Default`),
@@ -1132,6 +1479,14 @@ macro_rules! counters {
                 $snap {
                     $($field: self.$field.get(),)+
                 }
+            }
+
+            /// Snapshot-and-reset: returns the current values and zeroes
+            /// every counter, starting a fresh measurement window.
+            pub fn take(&self) -> $snap {
+                let snap = self.snapshot();
+                $(self.$field.reset();)+
+                snap
             }
         }
 
@@ -1273,6 +1628,18 @@ mod tests {
                 records: 41,
                 latency_ns: 55_000,
             },
+            Event::ReclaimPass {
+                pages_evicted: 64,
+                free_frames: 900,
+                latency_ns: 42_000,
+            },
+            Event::ReclaimBackoff { free_frames: 12 },
+            Event::ThpPass {
+                candidates: 16,
+                ops: 3,
+                latency_ns: 7_000,
+            },
+            Event::ThpBackoff { candidates: 16 },
         ];
         for ev in cases {
             let (tag, sub, a, b, c) = ev.encode();
@@ -1440,6 +1807,147 @@ mod tests {
                 EventClass::Kmem.bits() & bit,
                 bit,
                 "{ev:?} must be gated by the kmem class"
+            );
+        }
+    }
+
+    #[test]
+    fn daemon_pass_events_are_class_gated() {
+        // The new pass/backoff records ride the daemon classes, so a user
+        // muting Reclaim or Thp mutes the timeline rows too.
+        for (ev, class) in [
+            (
+                Event::ReclaimPass {
+                    pages_evicted: 1,
+                    free_frames: 2,
+                    latency_ns: 3,
+                },
+                EventClass::Reclaim,
+            ),
+            (
+                Event::ReclaimBackoff { free_frames: 2 },
+                EventClass::Reclaim,
+            ),
+            (
+                Event::ThpPass {
+                    candidates: 1,
+                    ops: 1,
+                    latency_ns: 1,
+                },
+                EventClass::Thp,
+            ),
+            (Event::ThpBackoff { candidates: 1 }, EventClass::Thp),
+        ] {
+            let bit = 1u64 << ev.encode().0;
+            assert_eq!(class.bits() & bit, bit, "{ev:?} not gated by {class:?}");
+        }
+    }
+
+    #[test]
+    fn freeze_stops_recording_and_thaw_restores() {
+        let _gate = mask_gate();
+        set_enabled(true);
+        clear();
+        emit(fault(FaultKind::CowData, 11));
+        let was_on = freeze();
+        assert!(was_on);
+        assert!(!enabled());
+        // Emits while frozen are dropped: history is preserved, not
+        // overwritten.
+        emit(fault(FaultKind::CowData, 22));
+        let t = snapshot();
+        assert!(t
+            .events
+            .iter()
+            .any(|r| r.event == fault(FaultKind::CowData, 11)));
+        assert!(!t
+            .events
+            .iter()
+            .any(|r| r.event == fault(FaultKind::CowData, 22)));
+        thaw(was_on);
+        assert!(enabled());
+        set_enabled(false);
+        // Thawing a freeze that found tracing off leaves it off.
+        let was_on = freeze();
+        assert!(!was_on);
+        thaw(was_on);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn counter_reset_and_take_start_fresh_windows() {
+        odf_trace_counters_demo();
+    }
+
+    fn odf_trace_counters_demo() {
+        crate::counters! {
+            /// Window demo counters.
+            pub struct Win / WinSnapshot {
+                /// Things.
+                things,
+                /// Stuff.
+                stuff,
+            }
+        }
+        let w = Win::default();
+        w.things.add(5);
+        w.stuff.add(7);
+        let first = w.take();
+        assert_eq!(first.things, 5);
+        assert_eq!(first.stuff, 7);
+        assert_eq!(first.fields().len(), WinSnapshot::FIELD_COUNT);
+        assert_eq!(w.snapshot(), WinSnapshot::default());
+        w.things.add(2);
+        assert_eq!(w.take().things, 2);
+    }
+
+    #[test]
+    fn probe_context_kind_labels_resolve_per_point() {
+        let mut cx = ProbeContext::at(ProbePoint::Fault);
+        cx.kind = FaultKind::TableCow.as_u8();
+        assert_eq!(cx.kind_label(), "table_cow");
+        let mut cx = ProbeContext::at(ProbePoint::Fork);
+        cx.kind = ForkPolicyKind::OnDemand.as_u8();
+        assert_eq!(cx.kind_label(), "odf");
+        let mut cx = ProbeContext::at(ProbePoint::LockRetry);
+        cx.kind = LockSite::PmdOwnership.as_u8();
+        assert_eq!(cx.kind_label(), "pmd_ownership");
+        let cx = ProbeContext::at(ProbePoint::WalCommit);
+        assert_eq!(cx.kind_label(), "wal_commit");
+        for p in ProbePoint::ALL {
+            assert_eq!(ProbePoint::from_label(p.label()), Some(p));
+        }
+        assert_eq!(ProbePoint::from_label("nope"), None);
+    }
+
+    #[test]
+    fn probe_hits_only_reach_the_sink_while_active() {
+        struct CountingSink(AtomicU64);
+        impl ProbeSink for CountingSink {
+            fn probe_hit(&self, _cx: &ProbeContext) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        static SINK: CountingSink = CountingSink(AtomicU64::new(0));
+        // First registration wins; re-registration is a no-op.
+        let first = register_probe_sink(&SINK);
+        assert!(!register_probe_sink(&SINK) || first);
+        let cx = ProbeContext::at(ProbePoint::Fault);
+        set_probes_active(false);
+        let before = SINK.0.load(Ordering::Relaxed);
+        probe_hit(&cx);
+        assert_eq!(
+            SINK.0.load(Ordering::Relaxed),
+            before,
+            "inactive: no dispatch"
+        );
+        set_probes_active(true);
+        probe_hit(&cx);
+        set_probes_active(false);
+        if first {
+            assert!(
+                SINK.0.load(Ordering::Relaxed) > before,
+                "active: dispatched"
             );
         }
     }

@@ -63,6 +63,10 @@ pub struct TraceSummary {
     pub snapshot_publish_latency: Histogram,
     /// Recovery WAL-replay latency (records re-applied after restore).
     pub recovery_replay_latency: Histogram,
+    /// Reclaim-daemon scan-pass latency (one `reclaim_pass` span each).
+    pub reclaim_pass_latency: Histogram,
+    /// THP-daemon scan-pass latency (one `thp_pass` span each).
+    pub thp_pass_latency: Histogram,
     /// Instant-event counts keyed by class (`tlb_flush`,
     /// `lock_retry_<site>`, `reclaim`, ...).
     pub counts: BTreeMap<String, u64>,
@@ -159,6 +163,16 @@ impl TraceSummary {
                     bump(&mut s.counts, "recovery_replay");
                     s.recovery_replay_latency.record(latency_ns);
                 }
+                Event::ReclaimPass { latency_ns, .. } => {
+                    bump(&mut s.counts, "reclaim_pass");
+                    s.reclaim_pass_latency.record(latency_ns);
+                }
+                Event::ReclaimBackoff { .. } => bump(&mut s.counts, "reclaim_backoff"),
+                Event::ThpPass { latency_ns, .. } => {
+                    bump(&mut s.counts, "thp_pass");
+                    s.thp_pass_latency.record(latency_ns);
+                }
+                Event::ThpBackoff { .. } => bump(&mut s.counts, "thp_backoff"),
             }
         }
         s.faults = faults.into_values().collect();
@@ -243,6 +257,18 @@ impl TraceSummary {
             out.push(ClassSummary {
                 name: "recovery_replay".to_string(),
                 hist: self.recovery_replay_latency.clone(),
+            });
+        }
+        if self.reclaim_pass_latency.count() > 0 {
+            out.push(ClassSummary {
+                name: "reclaim_pass".to_string(),
+                hist: self.reclaim_pass_latency.clone(),
+            });
+        }
+        if self.thp_pass_latency.count() > 0 {
+            out.push(ClassSummary {
+                name: "thp_pass".to_string(),
+                hist: self.thp_pass_latency.clone(),
             });
         }
         out
@@ -337,6 +363,22 @@ impl TraceSummary {
                 "Recovery WAL-replay latency",
                 &[],
                 &self.recovery_replay_latency,
+            );
+        }
+        if self.reclaim_pass_latency.count() > 0 {
+            p.quantiles(
+                "odf_trace_reclaim_pass_latency_ns",
+                "Reclaim-daemon scan-pass latency",
+                &[],
+                &self.reclaim_pass_latency,
+            );
+        }
+        if self.thp_pass_latency.count() > 0 {
+            p.quantiles(
+                "odf_trace_thp_pass_latency_ns",
+                "THP-daemon scan-pass latency",
+                &[],
+                &self.thp_pass_latency,
             );
         }
         for (class, count) in &self.counts {

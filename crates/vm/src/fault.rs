@@ -92,6 +92,18 @@ fn rank(kind: FaultKind) -> u8 {
     }
 }
 
+/// Emits a `LockRetry` trace event and mirrors it to the probe layer. The
+/// probe context carries the lock class in `kind` so `count_by kind`
+/// programs attribute contention per site.
+fn lock_retry(site: LockSite) {
+    odf_trace::emit(Event::LockRetry { site });
+    if odf_trace::probes_active() {
+        let mut cx = odf_trace::ProbeContext::at(odf_trace::ProbePoint::LockRetry);
+        cx.kind = site.as_u8();
+        odf_trace::probe_hit(&cx);
+    }
+}
+
 /// The costlier of two classifications (see [`rank`]).
 fn stronger(a: FaultKind, b: FaultKind) -> FaultKind {
     if rank(b) > rank(a) {
@@ -107,33 +119,63 @@ fn stronger(a: FaultKind, b: FaultKind) -> FaultKind {
 /// exclusive lock, which trivially satisfies the contract). Retries
 /// internally when an attempt loses an install race to a concurrent fault.
 pub(crate) fn handle(machine: &Machine, inner: &MmInner, va: VirtAddr, write: bool) -> Result<()> {
-    let start_ns = odf_trace::enabled().then(odf_trace::now_ns);
+    // Probes share the trace clock reads: one timestamp pair serves both
+    // the ring record and the probe context. With tracing off, probe-only
+    // faults sample the clock 1-in-N — the two monotonic reads would
+    // otherwise dominate the probe budget on this sub-microsecond path —
+    // and hits without a sample carry `latency_ns == 0` ("unmeasured").
+    let tracing = odf_trace::enabled();
+    let start_ns = (tracing || (odf_trace::probes_active() && odf_trace::probe_clock_sample()))
+        .then(odf_trace::now_ns);
     let mut counted = false;
     let mut swapped_slot = None;
     let mut attempts = 0u32;
     loop {
         match try_handle(machine, inner, va, write, &mut counted, &mut swapped_slot)? {
             Outcome::Done(kind) => {
-                if let Some(t0) = start_ns {
+                let timing = start_ns.map(|t0| {
                     let end = odf_trace::now_ns();
-                    let latency_ns = end.saturating_sub(t0);
-                    odf_trace::emit_at(
-                        end,
-                        Event::Fault {
-                            kind,
-                            latency_ns,
-                            retries: attempts,
-                            addr: va.as_u64(),
-                        },
-                    );
-                    // The swap-in record shares the fault's clock reads:
-                    // the latency an application observes for a major
-                    // fault *is* the swap-in latency, and a second
-                    // timestamp pair inside `swap_in` would put two extra
-                    // clock reads on the hot path for the same number.
-                    if let Some(slot) = swapped_slot {
-                        odf_trace::emit_at(end, Event::SwappedIn { slot, latency_ns });
+                    (end, end.saturating_sub(t0))
+                });
+                if tracing {
+                    if let Some((end, latency_ns)) = timing {
+                        odf_trace::emit_at(
+                            end,
+                            Event::Fault {
+                                kind,
+                                latency_ns,
+                                retries: attempts,
+                                addr: va.as_u64(),
+                            },
+                        );
+                        // The swap-in record shares the fault's clock
+                        // reads: the latency an application observes for a
+                        // major fault *is* the swap-in latency, and a
+                        // second timestamp pair inside `swap_in` would put
+                        // two extra clock reads on the hot path for the
+                        // same number.
+                        if let Some(slot) = swapped_slot {
+                            odf_trace::emit_at(end, Event::SwappedIn { slot, latency_ns });
+                        }
                     }
+                }
+                if odf_trace::probes_active() {
+                    let mut cx = odf_trace::ProbeContext::at(odf_trace::ProbePoint::Fault);
+                    cx.pid = inner.owner_pid;
+                    cx.addr = va.as_u64();
+                    // The VMA lookup costs a BTreeMap walk; only pay it
+                    // when an attached probe reads the vma/order fields.
+                    if odf_trace::probe_detail(odf_trace::DETAIL_VMA) {
+                        if let Some(vma) = inner.vmas.find(va.as_u64()) {
+                            cx.vma_start = vma.start;
+                            cx.vma_end = vma.end;
+                            cx.order = if vma.huge { 9 } else { 0 };
+                        }
+                    }
+                    cx.kind = kind.as_u8();
+                    cx.latency_ns = timing.map_or(0, |(_, d)| d);
+                    cx.retries = attempts;
+                    odf_trace::probe_hit(&cx);
                 }
                 return Ok(());
             }
@@ -212,9 +254,7 @@ fn try_handle(
     // sharing state yet.
     let idx = va.index(Level::Pte);
     let Some((table_frame, table)) = resolve_table(machine, &pmd, e)? else {
-        odf_trace::emit(Event::LockRetry {
-            site: LockSite::PmdInstall,
-        });
+        lock_retry(LockSite::PmdInstall);
         return Ok(Outcome::Raced);
     };
     let pte = table.load(idx);
@@ -252,9 +292,7 @@ fn try_handle(
             let _guard = machine.split_lock(table_frame);
             let cur = pmd.load();
             if !cur.is_present() || cur.is_huge() || cur.frame() != table_frame {
-                odf_trace::emit(Event::LockRetry {
-                    site: LockSite::PmdInstall,
-                });
+                lock_retry(LockSite::PmdInstall);
                 return Ok(Outcome::Raced);
             }
             if !cur.is_writable() {
@@ -278,9 +316,7 @@ fn try_handle(
         let cur = pmd.load();
         if !cur.is_present() || cur.is_huge() || cur.frame() != table_frame {
             machine.pool().ref_dec(prepared.frame());
-            odf_trace::emit(Event::LockRetry {
-                site: LockSite::PmdInstall,
-            });
+            lock_retry(LockSite::PmdInstall);
             return Ok(Outcome::Raced);
         }
         pte = table.load(idx);
@@ -375,9 +411,7 @@ fn acquire_table_ownership(
     let _guard = machine.split_lock(table_frame);
     let cur = pmd.load();
     if !cur.is_present() || cur.is_huge() || cur.frame() != table_frame {
-        odf_trace::emit(Event::LockRetry {
-            site: LockSite::TableOwnership,
-        });
+        lock_retry(LockSite::TableOwnership);
         return Ok(None);
     }
     let table = machine.store().get(table_frame);
@@ -457,9 +491,7 @@ fn ensure_pmd_ownership(
     let _guard = machine.split_lock(pmd.frame);
     let pud_e = pmd.load_pud();
     if !pud_e.is_present() || pud_e.frame() != pmd.frame {
-        odf_trace::emit(Event::LockRetry {
-            site: LockSite::PmdOwnership,
-        });
+        lock_retry(LockSite::PmdOwnership);
         return Ok(None);
     }
     if pool.pt_share_count(pmd.frame) > 1 {
@@ -593,9 +625,7 @@ fn cow_or_enable_write(
         let _guard = machine.split_lock(table_frame);
         let pte = table.load(idx);
         if !pte.is_present() {
-            odf_trace::emit(Event::LockRetry {
-                site: LockSite::PteInstall,
-            });
+            lock_retry(LockSite::PteInstall);
             return Ok(Outcome::Raced);
         }
         if let Backing::File { file, .. } = &vma.backing {
@@ -608,16 +638,12 @@ fn cow_or_enable_write(
         let _guard = machine.split_lock(table_frame);
         let cur = pmd.load();
         if !cur.is_present() || cur.is_huge() || cur.frame() != table_frame {
-            odf_trace::emit(Event::LockRetry {
-                site: LockSite::PteInstall,
-            });
+            lock_retry(LockSite::PteInstall);
             return Ok(Outcome::Raced);
         }
         let pte = table.load(idx);
         if !pte.is_present() {
-            odf_trace::emit(Event::LockRetry {
-                site: LockSite::PteInstall,
-            });
+            lock_retry(LockSite::PteInstall);
             return Ok(Outcome::Raced);
         }
         if pte.is_writable() {
@@ -653,9 +679,7 @@ fn cow_or_enable_write(
         // Lost the install race: discard the copy and our pin.
         pool.ref_dec(new);
         pool.ref_dec(head);
-        odf_trace::emit(Event::LockRetry {
-            site: LockSite::PteInstall,
-        });
+        lock_retry(LockSite::PteInstall);
         return Ok(Outcome::Raced);
     }
     table.store(idx, Entry::page(new, true).with_set(EntryFlags::ACCESSED));
@@ -683,9 +707,7 @@ fn fault_in_huge(
     let pud_e = pmd.load_pud();
     if !pud_e.is_present() || pud_e.frame() != pmd.frame {
         // The PMD table was COWed out from under us; ours is stale.
-        odf_trace::emit(Event::LockRetry {
-            site: LockSite::PmdOwnership,
-        });
+        lock_retry(LockSite::PmdOwnership);
         return Ok(Outcome::Raced);
     }
     let e = pmd.load();
@@ -701,9 +723,7 @@ fn fault_in_huge(
             pmd.table.fetch_set(pmd.idx, bits);
             return Ok(Outcome::Done(FaultKind::Spurious));
         }
-        odf_trace::emit(Event::LockRetry {
-            site: LockSite::PmdInstall,
-        });
+        lock_retry(LockSite::PmdInstall);
         return Ok(Outcome::Raced);
     }
     VmStats::bump(&machine.stats().faults_demand);
@@ -736,16 +756,12 @@ fn huge_cow(machine: &Machine, vma: &Vma, pmd: &PmdSlot, write: bool) -> Result<
         let pud_e = pmd.load_pud();
         if !pud_e.is_present() || pud_e.frame() != pmd.frame {
             // The PMD table was COWed out from under us; ours is stale.
-            odf_trace::emit(Event::LockRetry {
-                site: LockSite::PmdOwnership,
-            });
+            lock_retry(LockSite::PmdOwnership);
             return Ok(Outcome::Raced);
         }
         let e = pmd.load();
         if !e.is_present() || !e.is_huge() {
-            odf_trace::emit(Event::LockRetry {
-                site: LockSite::PmdInstall,
-            });
+            lock_retry(LockSite::PmdInstall);
             return Ok(Outcome::Raced);
         }
         if !e.is_writable() {

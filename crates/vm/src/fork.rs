@@ -110,7 +110,7 @@ pub(crate) fn run(machine: &Machine, parent: &mut MmInner, policy: ForkPolicy) -
         ForkPolicy::Classic => VmStats::bump(&stats.forks_classic),
         ForkPolicy::OnDemand | ForkPolicy::OnDemandHuge => VmStats::bump(&stats.forks_odf),
     }
-    let start_ns = odf_trace::enabled().then(odf_trace::now_ns);
+    let start_ns = (odf_trace::enabled() || odf_trace::probes_active()).then(odf_trace::now_ns);
     odf_trace::emit(Event::ForkStart {
         policy: policy.trace_kind(),
     });
@@ -158,6 +158,15 @@ pub(crate) fn run(machine: &Machine, parent: &mut MmInner, policy: ForkPolicy) -
                 latency_ns: end - t0,
             },
         );
+        if odf_trace::probes_active() {
+            let mut cx = odf_trace::ProbeContext::at(odf_trace::ProbePoint::Fork);
+            cx.pid = parent.owner_pid;
+            cx.kind = policy.trace_kind().as_u8();
+            cx.latency_ns = end - t0;
+            cx.value = tally.pte_copies;
+            cx.aux = tally.tables_shared;
+            odf_trace::probe_hit(&cx);
+        }
     }
     Ok(child)
 }

@@ -41,6 +41,10 @@ pub(crate) struct MmInner {
     /// demand-zero), so stale content from the previous epoch can never be
     /// carried forward across a discard-and-reuse of an address.
     pub dirty_ranges: Vec<(u64, u64)>,
+    /// Owning process id for probe attribution (0 until adopted by a
+    /// kernel). Written under the exclusive `mm` lock, read under the
+    /// shared lock by the fault path's probe context assembly.
+    pub owner_pid: u64,
 }
 
 impl MmInner {
@@ -53,6 +57,7 @@ impl MmInner {
             next_mmap: MMAP_BASE,
             dead: false,
             dirty_ranges: Vec::new(),
+            owner_pid: 0,
         })
     }
 
@@ -198,6 +203,17 @@ impl Mm {
     /// The machine this address space lives on.
     pub fn machine(&self) -> &Arc<Machine> {
         &self.machine
+    }
+
+    /// Tags this address space with its owning process id (probe
+    /// attribution; the kernel calls this at adoption/fork time).
+    pub fn set_owner_pid(&self, pid: u64) {
+        self.inner.write().owner_pid = pid;
+    }
+
+    /// The owning process id, 0 when unowned.
+    pub fn owner_pid(&self) -> u64 {
+        self.inner.read().owner_pid
     }
 
     /// Maps `len` bytes (rounded up to page or huge-page granularity) at a

@@ -299,7 +299,7 @@ fn evict_one(
     frame: FrameId,
 ) -> bool {
     let pool = machine.pool();
-    let start_ns = odf_trace::enabled().then(odf_trace::now_ns);
+    let start_ns = (odf_trace::enabled() || odf_trace::probes_active()).then(odf_trace::now_ns);
 
     if pte.is_writable() {
         // Write-protect first, then check for pins: a GUP-fast writer
@@ -336,6 +336,14 @@ fn evict_one(
                 latency_ns: end.saturating_sub(t0),
             },
         );
+        if odf_trace::probes_active() {
+            let mut cx = odf_trace::ProbeContext::at(odf_trace::ProbePoint::Evict);
+            cx.pid = inner.owner_pid;
+            cx.latency_ns = end.saturating_sub(t0);
+            cx.value = u64::from(slot);
+            cx.aux = frame.index() as u64;
+            odf_trace::probe_hit(&cx);
+        }
     }
     true
 }

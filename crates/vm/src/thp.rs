@@ -237,7 +237,8 @@ pub(crate) fn collapse_at(machine: &Machine, inner: &MmInner, addr: u64) -> Resu
         }
     }
 
-    let start_ns = odf_trace::enabled().then(odf_trace::now_ns);
+    // Probes share the trace clock reads.
+    let start_ns = (odf_trace::enabled() || odf_trace::probes_active()).then(odf_trace::now_ns);
     odf_trace::emit(Event::CollapseStart { va: addr });
 
     // Destination compound, via the compaction path: on contiguity
@@ -350,6 +351,17 @@ pub(crate) fn collapse_at(machine: &Machine, inner: &MmInner, addr: u64) -> Resu
                 latency_ns: end.saturating_sub(t0),
             },
         );
+        if odf_trace::probes_active() {
+            let mut cx = odf_trace::ProbeContext::at(odf_trace::ProbePoint::Collapse);
+            cx.pid = inner.owner_pid;
+            cx.addr = addr;
+            cx.vma_start = vma.start;
+            cx.vma_end = vma.end;
+            cx.order = 9;
+            cx.latency_ns = end.saturating_sub(t0);
+            cx.aux = new.index() as u64;
+            odf_trace::probe_hit(&cx);
+        }
     }
     Ok(ThpOutcome::Collapsed)
 }
@@ -445,6 +457,14 @@ pub(crate) fn demote_at(machine: &Machine, inner: &MmInner, addr: u64) -> Result
         va: addr,
         frame: head.index() as u64,
     });
+    if odf_trace::probes_active() {
+        let mut cx = odf_trace::ProbeContext::at(odf_trace::ProbePoint::Demote);
+        cx.pid = inner.owner_pid;
+        cx.addr = addr;
+        cx.order = 9;
+        cx.value = head.index() as u64;
+        odf_trace::probe_hit(&cx);
+    }
     Ok(ThpOutcome::Demoted)
 }
 
