@@ -181,8 +181,19 @@ impl PreforkServer {
     }
 
     /// Handles one request line (e.g. `"GET /doc-3 HTTP/1.1"`) on the next
-    /// worker in rotation.
+    /// worker in rotation, allocating a fresh response.
     pub fn handle(&mut self, request: &str) -> Result<Response> {
+        let mut body = Vec::new();
+        let status = self.handle_into(request, &mut body)?;
+        Ok(Response { status, body })
+    }
+
+    /// [`PreforkServer::handle`], but the response body lands in the
+    /// caller's buffer (cleared first). The document fast path reads into
+    /// the buffer in place, so a load generator reusing one buffer makes
+    /// zero heap allocations per request.
+    pub fn handle_into(&mut self, request: &str, body: &mut Vec<u8>) -> Result<u16> {
+        body.clear();
         let worker_idx = self.next % self.workers.len();
         self.next = self.next.wrapping_add(1);
         // Apache's MaxConnectionsPerChild: retire a worker that served its
@@ -204,61 +215,54 @@ impl PreforkServer {
         let (method, path) = match (parts.next(), parts.next()) {
             (Some(m), Some(p)) => (m, p),
             _ => {
-                return Ok(Response {
-                    status: 400,
-                    body: b"bad request".to_vec(),
-                })
+                body.extend_from_slice(b"bad request");
+                return Ok(400);
             }
         };
         if method != "GET" {
-            return Ok(Response {
-                status: 405,
-                body: b"method not allowed".to_vec(),
-            });
+            body.extend_from_slice(b"method not allowed");
+            return Ok(405);
         }
         // Observability endpoints, resolved before the document tree —
         // the moral equivalent of Apache's mod_status scoreboard.
         match path {
             // Machine-wide counters in Prometheus text exposition format.
             "/metrics" => {
-                return Ok(Response {
-                    status: 200,
-                    body: proc.kernel().metrics_prometheus().into_bytes(),
-                });
+                body.extend_from_slice(proc.kernel().metrics_prometheus().as_bytes());
+                return Ok(200);
             }
             // Live probe aggregates: every attached probe's report as one
             // JSON array, the bpftool-map-dump analog.
             "/probes" => {
-                return Ok(Response {
-                    status: 200,
-                    body: odf_probe::reports_json(&odf_probe::engine().read_all()).into_bytes(),
-                });
+                body.extend_from_slice(
+                    odf_probe::reports_json(&odf_probe::engine().read_all()).as_bytes(),
+                );
+                return Ok(200);
             }
             // The serving worker's own address space, `/proc/self/smaps`
             // style: shows how much of the document tree it still shares
             // with the control process.
             "/smaps" => {
-                return Ok(Response {
-                    status: 200,
-                    body: proc.smaps().render().into_bytes(),
-                });
+                body.extend_from_slice(proc.smaps().render().as_bytes());
+                return Ok(200);
             }
             _ => {}
         }
         match self.docs.lookup(proc, path.as_bytes())? {
-            None => Ok(Response {
-                status: 404,
-                body: b"not found".to_vec(),
-            }),
+            None => {
+                body.extend_from_slice(b"not found");
+                Ok(404)
+            }
             Some((body_addr, len)) => {
                 // Assemble the response in worker-private scratch: read the
                 // document through the (possibly COW-shared) image, write
                 // it out — the per-request memory traffic of a real worker.
                 let len = len.min(60 << 10);
-                let body = proc.read_vec(body_addr, len as usize)?;
-                proc.write(worker.scratch, &body)?;
+                body.resize(len as usize, 0);
+                proc.read(body_addr, body)?;
+                proc.write(worker.scratch, body)?;
                 proc.write_u64(worker.scratch + len, 0x0D0A_0D0A)?; // "\r\n\r\n" marker
-                Ok(Response { status: 200, body })
+                Ok(200)
             }
         }
     }

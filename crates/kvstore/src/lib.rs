@@ -22,12 +22,16 @@
 //! - [`DurableServer`]: the crash-consistent variant — every write is
 //!   journaled to a WAL before it is applied, and BGSAVE publishes the
 //!   forked image into an on-disk snapshot chain (see `odf-durability`).
+//! - [`PerCoreServer`]: the thread-per-core shared-nothing serving tier —
+//!   pinned workers, zero-copy RESP, SPSC mailboxes for rare cross-shard
+//!   ops, and fork-based BGSAVE off the serving threads.
 //! - [`workload`]: a memtier_benchmark-like pipelined traffic generator.
 //! - [`resp`]: the RESP wire protocol (what memtier actually speaks) and
 //!   command dispatch over it.
 
 #![forbid(unsafe_code)]
 
+pub mod percore;
 mod persist;
 pub mod resp;
 mod server;
@@ -35,8 +39,12 @@ mod sharded;
 mod store;
 pub mod workload;
 
+pub use percore::{Connection, PerCoreConfig, PerCoreServer};
 pub use persist::{Acked, Command, DurableConfig, DurableServer, PersistError};
-pub use resp::{dispatch, encode_command, serve_stream, RespValue};
+pub use resp::{
+    dispatch, dispatch_args, encode_command, serve_stream, skip_reply, Parsed, RecvBuf, ReplyBuf,
+    RespValue,
+};
 pub use server::{Server, ServerConfig, SnapshotReport};
 pub use sharded::{Request, Response, ShardedSnapshot, ShardedStore, ThreadedServer};
 pub use store::Store;

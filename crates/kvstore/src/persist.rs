@@ -242,7 +242,9 @@ pub struct DurableServer {
     proc: Process,
     store: Store,
     wal: Wal,
-    chain: ChainStore,
+    /// `None` only while an async snapshot owns the chain (it moves into
+    /// the publisher thread and comes back at [`DurableServer::wait_bgsave`]).
+    chain: Option<ChainStore>,
     config: DurableConfig,
     /// Mutations journaled since the last snapshot.
     dirty: u64,
@@ -250,6 +252,17 @@ pub struct DurableServer {
     /// keep increasing across recoveries (a restored process restarts at
     /// epoch 0).
     epoch_base: u64,
+    /// At most one in-flight async snapshot.
+    bgsave_job: Option<BgsaveJob>,
+}
+
+/// An in-flight [`DurableServer::bgsave_async`] publication: the helper
+/// thread owns the frozen child and the chain store; the serving thread
+/// keeps the WAL (truncation happens on join, after publish succeeded).
+struct BgsaveJob {
+    handle: std::thread::JoinHandle<(ChainStore, Result<ManifestEntry, PersistError>)>,
+    wal_seq: u64,
+    fork_ns: u64,
 }
 
 impl DurableServer {
@@ -287,10 +300,11 @@ impl DurableServer {
             proc,
             store,
             wal: recovered.wal,
-            chain: recovered.chain,
+            chain: Some(recovered.chain),
             config,
             dirty: 0,
             epoch_base,
+            bgsave_job: None,
         };
 
         // Replay the WAL tail. Records already passed CRC; a payload that
@@ -424,16 +438,8 @@ impl DurableServer {
     /// crash-injection harness enumerates exactly that order), so the
     /// serialize step runs on the calling thread.
     pub fn bgsave(&mut self) -> Result<ManifestEntry, PersistError> {
-        self.dirty = 0;
-        // Every applied mutation is journaled first, so the fork below
-        // freezes exactly the state through this sequence number.
-        let wal_seq = self.wal.appended_seq();
-        let child = self.proc.fork_with(self.config.fork_policy)?;
-        let child_epoch = child.checkpoint_epoch();
-        let delta = self.config.incremental && child_epoch > 0;
-        // Advance before any post-fork write (see Server::bgsave), even in
-        // full-image mode: monotone epochs keep chain ordering unambiguous.
-        self.proc.advance_checkpoint_epoch()?;
+        self.wait_bgsave()?;
+        let (child, wal_seq, child_epoch, delta) = self.fork_frozen()?;
 
         let mut image = if delta {
             capture_delta(child.mm(), child_epoch, child_epoch - 1)
@@ -447,14 +453,88 @@ impl DurableServer {
         image.epoch = self.epoch_base + child_epoch;
         image.parent_epoch = if delta { image.epoch - 1 } else { image.epoch };
 
-        let meta = StoreMeta {
+        let meta = self.store_meta().encode();
+        let chain = self.chain.as_mut().expect("no snapshot in flight");
+        let entry = chain.publish(&image, wal_seq, &meta)?;
+        self.wal.truncate_through(wal_seq)?;
+        Ok(entry)
+    }
+
+    /// Shared front half of both bgsave flavors: reset the dirty counter,
+    /// pin the covered WAL sequence, fork, and advance the epoch — the
+    /// only part that must happen on the serving thread, and the only part
+    /// that stalls it.
+    fn fork_frozen(&mut self) -> Result<(Process, u64, u64, bool), PersistError> {
+        self.dirty = 0;
+        // Every applied mutation is journaled first, so the fork below
+        // freezes exactly the state through this sequence number.
+        let wal_seq = self.wal.appended_seq();
+        let child = self.proc.fork_with(self.config.fork_policy)?;
+        let child_epoch = child.checkpoint_epoch();
+        let delta = self.config.incremental && child_epoch > 0;
+        // Advance before any post-fork write (see Server::bgsave), even in
+        // full-image mode: monotone epochs keep chain ordering unambiguous.
+        self.proc.advance_checkpoint_epoch()?;
+        Ok((child, wal_seq, child_epoch, delta))
+    }
+
+    fn store_meta(&self) -> StoreMeta {
+        StoreMeta {
             heap_base: self.store.heap().base(),
             heap_capacity: self.store.heap().capacity(),
             header: self.store.header_addr(),
+        }
+    }
+
+    /// Starts a snapshot without blocking the serving thread for the
+    /// capture + publish: only the fork call runs here (the paper's
+    /// microsecond stall); a helper thread walks the frozen child and
+    /// publishes to the chain while this server keeps acking writes.
+    /// At most one snapshot is in flight — a second call joins the first.
+    ///
+    /// WAL truncation is deferred to [`DurableServer::wait_bgsave`], after
+    /// publish succeeded, so a crash mid-snapshot recovers from the *prior*
+    /// chain plus an intact log (recovery skips records a chain already
+    /// covers, so the untruncated overlap is harmless).
+    pub fn bgsave_async(&mut self) -> Result<(), PersistError> {
+        self.wait_bgsave()?;
+        let sw = Stopwatch::start();
+        let (child, wal_seq, child_epoch, delta) = self.fork_frozen()?;
+        let fork_ns = sw.elapsed_ns();
+        let epoch_base = self.epoch_base;
+        let meta = self.store_meta().encode();
+        let mut chain = self.chain.take().expect("no snapshot in flight");
+        let handle = std::thread::spawn(move || {
+            let mut image = if delta {
+                capture_delta(child.mm(), child_epoch, child_epoch - 1)
+            } else {
+                capture_full(child.mm(), child_epoch)
+            };
+            child.exit();
+            image.epoch = epoch_base + child_epoch;
+            image.parent_epoch = if delta { image.epoch - 1 } else { image.epoch };
+            let result = chain.publish(&image, wal_seq, &meta).map_err(Into::into);
+            (chain, result)
+        });
+        self.bgsave_job = Some(BgsaveJob {
+            handle,
+            wal_seq,
+            fork_ns,
+        });
+        Ok(())
+    }
+
+    /// Joins the in-flight async snapshot, if any, returning its manifest
+    /// entry and the fork stall (nanoseconds) the serving thread paid.
+    pub fn wait_bgsave(&mut self) -> Result<Option<(ManifestEntry, u64)>, PersistError> {
+        let Some(job) = self.bgsave_job.take() else {
+            return Ok(None);
         };
-        let entry = self.chain.publish(&image, wal_seq, &meta.encode())?;
-        self.wal.truncate_through(wal_seq)?;
-        Ok(entry)
+        let (chain, result) = job.handle.join().expect("snapshot publisher panicked");
+        self.chain = Some(chain);
+        let entry = result?;
+        self.wal.truncate_through(job.wal_seq)?;
+        Ok(Some((entry, job.fork_ns)))
     }
 
     /// Serialized dump of the live store (same format as
@@ -598,6 +678,55 @@ mod tests {
             Err(PersistError::Vm(VmError::InvalidArgument))
         ));
         assert_eq!(srv.wal.appended_seq(), before, "no record journaled");
+    }
+
+    #[test]
+    fn async_bgsave_acks_writes_while_publishing() {
+        let fs = Arc::new(CrashFs::new());
+        let kernel = small_kernel();
+        {
+            let (mut srv, _) = DurableServer::open(&kernel, fs.clone(), config()).unwrap();
+            for i in 0..30u32 {
+                srv.set(format!("k{i}").as_bytes(), &i.to_le_bytes())
+                    .unwrap();
+            }
+            srv.bgsave_async().unwrap();
+            // The serving thread is free immediately: journaled writes are
+            // acked while the helper thread publishes the frozen image.
+            let ack = srv.set(b"during", b"snapshot").unwrap();
+            assert!(ack.durable);
+            let (entry, fork_ns) = srv.wait_bgsave().unwrap().expect("one job in flight");
+            assert_eq!(entry.epoch, 0);
+            assert_eq!(entry.wal_seq, 30, "image covers exactly the pre-fork log");
+            assert!(fork_ns > 0);
+            assert!(srv.wait_bgsave().unwrap().is_none(), "join is idempotent");
+            // A second async snapshot picks up the write made during the
+            // first one.
+            srv.bgsave_async().unwrap();
+            let (entry2, _) = srv.wait_bgsave().unwrap().unwrap();
+            assert_eq!(entry2.epoch, 1);
+            assert_eq!(entry2.wal_seq, 31);
+        }
+        let (mut srv, report) = DurableServer::open(&kernel, fs, config()).unwrap();
+        assert_eq!(report.chain_epoch, Some(1));
+        assert_eq!(report.wal_records_to_replay, 0);
+        assert_eq!(srv.get(b"k7").unwrap().unwrap(), 7u32.to_le_bytes());
+        assert_eq!(srv.get(b"during").unwrap().unwrap(), b"snapshot");
+    }
+
+    #[test]
+    fn sync_bgsave_joins_an_in_flight_async_job_first() {
+        let fs = Arc::new(CrashFs::new());
+        let kernel = small_kernel();
+        let (mut srv, _) = DurableServer::open(&kernel, fs, config()).unwrap();
+        srv.set(b"a", b"1").unwrap();
+        srv.bgsave_async().unwrap();
+        srv.set(b"b", b"2").unwrap();
+        // The sync path must first join the async job (it owns the chain),
+        // then publish its own newer image.
+        let entry = srv.bgsave().unwrap();
+        assert_eq!(entry.epoch, 1);
+        assert_eq!(entry.wal_seq, 2);
     }
 
     #[test]

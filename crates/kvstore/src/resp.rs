@@ -8,7 +8,14 @@
 //! (Redis-style sectioned report) and `STATS [JSON]` (Prometheus text or
 //! JSON export of every kernel counter and trace latency class).
 
+use std::collections::VecDeque;
+use std::io::Write as _;
+
 use crate::server::Server;
+
+/// Commands with at most this many arguments dispatch from a stack array
+/// of borrowed slices — no per-command allocation on the hot path.
+pub const MAX_INLINE_ARGS: usize = 8;
 
 /// A RESP protocol value.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -142,7 +149,383 @@ pub fn encode_command(parts: &[&[u8]]) -> Vec<u8> {
     .encode()
 }
 
+/// An incremental receive buffer: bytes arrive in arbitrary chunks (as
+/// from a socket), complete commands are parsed in place, and argument
+/// slices borrow the buffer — no per-command copies of keys or values.
+///
+/// Usage is two-phase to keep the borrows honest: [`RecvBuf::parse_command`]
+/// fills a caller-owned vector of `(offset, len)` ranges and reports how
+/// many bytes the frame spans; the caller resolves ranges to slices with
+/// [`RecvBuf::arg`], executes, and only then calls [`RecvBuf::consume`].
+#[derive(Default)]
+pub struct RecvBuf {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+/// Outcome of parsing one command frame from the front of a [`RecvBuf`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Parsed {
+    /// A complete `*N` array of bulk strings spanning `used` bytes; the
+    /// argument ranges were written into the caller's vector.
+    Cmd {
+        /// Total frame length, to pass to [`RecvBuf::consume`].
+        used: usize,
+    },
+    /// No complete frame yet — wait for more bytes.
+    Incomplete,
+    /// Malformed input: reply `-ERR msg` and [`RecvBuf::consume`] `used`
+    /// bytes so the stream never wedges.
+    Error {
+        /// Bytes to skip past the malformed prefix.
+        used: usize,
+        /// What was wrong, without the `ERR ` prefix.
+        msg: &'static str,
+    },
+}
+
+/// Commands longer than this are rejected rather than buffered forever.
+const MAX_COMMAND_ARGS: usize = 1024;
+
+impl RecvBuf {
+    /// An empty buffer.
+    pub fn new() -> RecvBuf {
+        RecvBuf::default()
+    }
+
+    /// Appends newly received bytes, compacting consumed space first when
+    /// the dead prefix dominates (so the buffer is reused, not regrown).
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.start > 0 && (self.start >= self.buf.len() || self.start >= 4096) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Unparsed bytes currently buffered.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Whether no unparsed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// The bytes of one argument range returned by `parse_command`. Valid
+    /// until the next `push` or `consume`.
+    pub fn arg(&self, range: (usize, usize)) -> &[u8] {
+        &self.buf[self.start + range.0..self.start + range.0 + range.1]
+    }
+
+    /// Discards `used` bytes from the front (one parsed or skipped frame).
+    pub fn consume(&mut self, used: usize) {
+        self.start += used;
+        debug_assert!(self.start <= self.buf.len());
+    }
+
+    /// Parses one complete client command (`*N` array of bulk strings)
+    /// from the front, filling `args` with `(offset, len)` ranges for
+    /// [`RecvBuf::arg`]. Does not consume — call [`RecvBuf::consume`] with
+    /// the reported length after executing.
+    pub fn parse_command(&self, args: &mut Vec<(usize, usize)>) -> Parsed {
+        args.clear();
+        let win = &self.buf[self.start..];
+        let Some(&first) = win.first() else {
+            return Parsed::Incomplete;
+        };
+        if first != b'*' {
+            return Parsed::Error {
+                used: 1,
+                msg: "expected array of bulk strings",
+            };
+        }
+        let (argc, mut at) = match parse_length_line(win, 1) {
+            LengthLine::Incomplete => return Parsed::Incomplete,
+            LengthLine::Bad => {
+                return Parsed::Error {
+                    used: 1,
+                    msg: "bad array length",
+                }
+            }
+            LengthLine::Value(n, next) => (n, next),
+        };
+        if argc < 0 {
+            // A negative array is a null command; nothing to execute.
+            return Parsed::Cmd { used: at };
+        }
+        if argc as usize > MAX_COMMAND_ARGS {
+            return Parsed::Error {
+                used: 1,
+                msg: "array length too large",
+            };
+        }
+        for _ in 0..argc {
+            match win.get(at) {
+                None => return Parsed::Incomplete,
+                Some(b'$') => {}
+                Some(_) => {
+                    args.clear();
+                    return Parsed::Error {
+                        used: at + 1,
+                        msg: "expected bulk string",
+                    };
+                }
+            }
+            let (len, body) = match parse_length_line(win, at + 1) {
+                LengthLine::Incomplete => return Parsed::Incomplete,
+                LengthLine::Bad => {
+                    args.clear();
+                    return Parsed::Error {
+                        used: at + 1,
+                        msg: "bad bulk length",
+                    };
+                }
+                LengthLine::Value(n, next) => (n, next),
+            };
+            if !(0..=i64::MAX >> 1).contains(&len) {
+                args.clear();
+                return Parsed::Error {
+                    used: at + 1,
+                    msg: "bad bulk length",
+                };
+            }
+            let len = len as usize;
+            if win.len() < body + len + 2 {
+                return Parsed::Incomplete;
+            }
+            if &win[body + len..body + len + 2] != b"\r\n" {
+                args.clear();
+                return Parsed::Error {
+                    used: body + len,
+                    msg: "bulk string missing CRLF",
+                };
+            }
+            args.push((body, len));
+            at = body + len + 2;
+        }
+        Parsed::Cmd { used: at }
+    }
+}
+
+enum LengthLine {
+    Incomplete,
+    Bad,
+    /// Parsed value plus the offset just past the CRLF.
+    Value(i64, usize),
+}
+
+/// Parses a decimal length terminated by CRLF starting at `from`, without
+/// allocating or validating UTF-8.
+fn parse_length_line(win: &[u8], from: usize) -> LengthLine {
+    let mut at = from;
+    let mut value: i64 = 0;
+    let mut digits = 0usize;
+    let negative = match win.get(at) {
+        Some(b'-') => {
+            at += 1;
+            true
+        }
+        _ => false,
+    };
+    loop {
+        match win.get(at) {
+            None => return LengthLine::Incomplete,
+            Some(b'\r') => break,
+            Some(d @ b'0'..=b'9') => {
+                if digits >= 18 {
+                    return LengthLine::Bad;
+                }
+                value = value * 10 + i64::from(d - b'0');
+                digits += 1;
+                at += 1;
+            }
+            Some(_) => return LengthLine::Bad,
+        }
+    }
+    if digits == 0 {
+        return LengthLine::Bad;
+    }
+    match win.get(at + 1) {
+        None => LengthLine::Incomplete,
+        Some(b'\n') => LengthLine::Value(if negative { -value } else { value }, at + 2),
+        Some(_) => LengthLine::Bad,
+    }
+}
+
+/// A per-connection reply writer: a scatter list of reusable chunks
+/// instead of a fresh `Vec` per reply.
+///
+/// Contiguous replies append to the open tail chunk. A cross-shard
+/// operation that completes later reserves a *pending* slot with
+/// [`ReplyBuf::reserve_pending`]; [`ReplyBuf::flush_into`] drains only the
+/// ready prefix, so replies always leave in request order even when a
+/// mailbox round-trip finishes after younger shard-local requests.
+#[derive(Default)]
+pub struct ReplyBuf {
+    chunks: VecDeque<Chunk>,
+    spare: Vec<Vec<u8>>,
+    next_token: u64,
+}
+
+struct Chunk {
+    token: u64,
+    buf: Vec<u8>,
+    ready: bool,
+}
+
+/// Spare chunk buffers kept for reuse per connection.
+const SPARE_CHUNKS: usize = 8;
+
+impl ReplyBuf {
+    /// An empty reply buffer.
+    pub fn new() -> ReplyBuf {
+        ReplyBuf::default()
+    }
+
+    fn tail(&mut self) -> &mut Vec<u8> {
+        let need_new = !self.chunks.back().is_some_and(|c| c.ready);
+        if need_new {
+            let buf = self.spare.pop().unwrap_or_default();
+            self.chunks.push_back(Chunk {
+                token: 0,
+                buf,
+                ready: true,
+            });
+        }
+        &mut self.chunks.back_mut().expect("tail chunk").buf
+    }
+
+    /// `+text\r\n`
+    pub fn simple(&mut self, text: &str) {
+        let buf = self.tail();
+        buf.push(b'+');
+        buf.extend_from_slice(text.as_bytes());
+        buf.extend_from_slice(b"\r\n");
+    }
+
+    /// `-text\r\n` (callers include the `ERR ` prefix).
+    pub fn error(&mut self, text: &str) {
+        let buf = self.tail();
+        buf.push(b'-');
+        buf.extend_from_slice(text.as_bytes());
+        buf.extend_from_slice(b"\r\n");
+    }
+
+    /// `:value\r\n`
+    pub fn integer(&mut self, value: i64) {
+        let buf = self.tail();
+        let _ = write!(buf, ":{value}\r\n");
+    }
+
+    /// `$len\r\ndata\r\n`, or the null bulk `$-1\r\n`.
+    pub fn bulk(&mut self, data: Option<&[u8]>) {
+        let buf = self.tail();
+        match data {
+            None => buf.extend_from_slice(b"$-1\r\n"),
+            Some(data) => {
+                let _ = write!(buf, "${}\r\n", data.len());
+                buf.extend_from_slice(data);
+                buf.extend_from_slice(b"\r\n");
+            }
+        }
+    }
+
+    /// `*len\r\n` — the caller then writes `len` elements.
+    pub fn array_header(&mut self, len: usize) {
+        let buf = self.tail();
+        let _ = write!(buf, "*{len}\r\n");
+    }
+
+    /// Reserves an empty slot for a reply that completes out of band (a
+    /// cross-shard mailbox round-trip). Replies written after the slot
+    /// stay queued behind it until [`ReplyBuf::complete`] fills it.
+    pub fn reserve_pending(&mut self) -> u64 {
+        self.next_token += 1;
+        let token = self.next_token;
+        let buf = self.spare.pop().unwrap_or_default();
+        self.chunks.push_back(Chunk {
+            token,
+            buf,
+            ready: false,
+        });
+        token
+    }
+
+    /// Fills the pending slot `token`; `fill` writes the encoded reply.
+    pub fn complete(&mut self, token: u64, fill: impl FnOnce(&mut Vec<u8>)) {
+        let chunk = self
+            .chunks
+            .iter_mut()
+            .find(|c| !c.ready && c.token == token)
+            .expect("pending reply token");
+        fill(&mut chunk.buf);
+        chunk.ready = true;
+    }
+
+    /// Whether any reserved slot is still unfilled.
+    pub fn has_pending(&self) -> bool {
+        self.chunks.iter().any(|c| !c.ready)
+    }
+
+    /// Moves the ready prefix into `out`, recycling drained chunk buffers.
+    /// Returns the number of bytes flushed.
+    pub fn flush_into(&mut self, out: &mut Vec<u8>) -> usize {
+        let mut flushed = 0;
+        while let Some(front) = self.chunks.front() {
+            if !front.ready {
+                break;
+            }
+            let mut chunk = self.chunks.pop_front().expect("front chunk");
+            flushed += chunk.buf.len();
+            out.extend_from_slice(&chunk.buf);
+            if self.spare.len() < SPARE_CHUNKS {
+                chunk.buf.clear();
+                self.spare.push(chunk.buf);
+            }
+        }
+        flushed
+    }
+}
+
+/// Skips one complete RESP reply at the front of `input`, returning its
+/// length, or `None` if it is incomplete. Allocation-free — the client
+/// side of a pipelined connection uses this to count replies without
+/// materializing them.
+pub fn skip_reply(input: &[u8]) -> Option<usize> {
+    fn line_end(input: &[u8]) -> Option<usize> {
+        input.windows(2).position(|w| w == b"\r\n").map(|p| p + 2)
+    }
+    let first = *input.first()?;
+    match first {
+        b'+' | b'-' | b':' => line_end(&input[1..]).map(|n| 1 + n),
+        b'$' => {
+            let end = line_end(&input[1..])? + 1;
+            let len: i64 = std::str::from_utf8(&input[1..end - 2]).ok()?.parse().ok()?;
+            if len < 0 {
+                return Some(end);
+            }
+            let total = end + len as usize + 2;
+            (input.len() >= total).then_some(total)
+        }
+        b'*' => {
+            let end = line_end(&input[1..])? + 1;
+            let n: i64 = std::str::from_utf8(&input[1..end - 2]).ok()?.parse().ok()?;
+            let mut at = end;
+            for _ in 0..n.max(0) {
+                at += skip_reply(&input[at..])?;
+            }
+            Some(at)
+        }
+        _ => Some(1),
+    }
+}
+
 /// Dispatches one decoded command against the server, returning the reply.
+///
+/// Legacy convenience wrapper over [`dispatch_args`]; the zero-copy paths
+/// ([`serve_stream`], the per-core workers) never build a `RespValue`.
 pub fn dispatch(server: &mut Server, command: &RespValue) -> RespValue {
     let RespValue::Array(items) = command else {
         return RespValue::Error("ERR expected array".into());
@@ -154,89 +537,136 @@ pub fn dispatch(server: &mut Server, command: &RespValue) -> RespValue {
             _ => return RespValue::Error("ERR expected bulk strings".into()),
         }
     }
+    let mut reply = ReplyBuf::new();
+    dispatch_args(server, &args, &mut reply);
+    let mut wire = Vec::new();
+    reply.flush_into(&mut wire);
+    match RespValue::decode(&wire) {
+        Some((value, _)) => value,
+        None => RespValue::Error("ERR truncated reply".into()),
+    }
+}
+
+/// Executes one command given as borrowed argument slices, writing the
+/// reply into `out`. This is the command surface; every serving path
+/// (single-threaded, streamed, per-core) funnels through it or mirrors
+/// its replies.
+pub fn dispatch_args(server: &mut Server, args: &[&[u8]], out: &mut ReplyBuf) {
     let Some((&name, rest)) = args.split_first() else {
-        return RespValue::Error("ERR empty command".into());
+        out.error("ERR empty command");
+        return;
     };
-    let upper = name.to_ascii_uppercase();
-    let wrong_arity = || RespValue::Error("ERR wrong number of arguments".into());
-    let vm_err = |e: odf_core::VmError| RespValue::Error(format!("ERR {e}"));
-    match upper.as_slice() {
-        b"PING" => RespValue::Simple("PONG".into()),
+    let mut upper = [0u8; 16];
+    let Some(upper) = upper_name(name, &mut upper) else {
+        unknown_command(name, out);
+        return;
+    };
+    match upper {
+        b"PING" => out.simple("PONG"),
         b"SET" => match rest {
             [key, value] => match server.set(key, value) {
-                Ok(()) => RespValue::Simple("OK".into()),
-                Err(e) => vm_err(e),
+                Ok(()) => out.simple("OK"),
+                Err(e) => vm_err(e, out),
             },
-            _ => wrong_arity(),
+            _ => wrong_arity(out),
         },
         b"GET" => match rest {
             [key] => match server.get(key) {
-                Ok(v) => RespValue::Bulk(v),
-                Err(e) => vm_err(e),
+                Ok(v) => out.bulk(v.as_deref()),
+                Err(e) => vm_err(e, out),
             },
-            _ => wrong_arity(),
+            _ => wrong_arity(out),
         },
         b"DEL" => match rest {
             [key] => match server.del(key) {
-                Ok(existed) => RespValue::Integer(i64::from(existed)),
-                Err(e) => vm_err(e),
+                Ok(existed) => out.integer(i64::from(existed)),
+                Err(e) => vm_err(e, out),
             },
-            _ => wrong_arity(),
+            _ => wrong_arity(out),
         },
         b"EXISTS" => match rest {
             [key] => match server.exists(key) {
-                Ok(e) => RespValue::Integer(i64::from(e)),
-                Err(e) => vm_err(e),
+                Ok(e) => out.integer(i64::from(e)),
+                Err(e) => vm_err(e, out),
             },
-            _ => wrong_arity(),
+            _ => wrong_arity(out),
         },
         b"INCR" => match rest {
             [key] => match server.incr(key) {
-                Ok(v) => RespValue::Integer(v),
-                Err(_) => RespValue::Error("ERR value is not an integer or out of range".into()),
+                Ok(v) => out.integer(v),
+                Err(_) => out.error("ERR value is not an integer or out of range"),
             },
-            _ => wrong_arity(),
+            _ => wrong_arity(out),
         },
         b"APPEND" => match rest {
             [key, suffix] => match server.append(key, suffix) {
-                Ok(n) => RespValue::Integer(n as i64),
-                Err(e) => vm_err(e),
+                Ok(n) => out.integer(n as i64),
+                Err(e) => vm_err(e, out),
             },
-            _ => wrong_arity(),
+            _ => wrong_arity(out),
         },
         b"DBSIZE" => match server.store().len(server.process()) {
-            Ok(n) => RespValue::Integer(n as i64),
-            Err(e) => vm_err(e),
+            Ok(n) => out.integer(n as i64),
+            Err(e) => vm_err(e, out),
         },
         b"BGSAVE" => match server.bgsave() {
-            Ok(()) => RespValue::Simple("Background saving started".into()),
-            Err(e) => vm_err(e),
+            Ok(()) => out.simple("Background saving started"),
+            Err(e) => vm_err(e, out),
         },
         b"INFO" => match rest {
-            [] => RespValue::Bulk(Some(server.info(None).into_bytes())),
+            [] => out.bulk(Some(server.info(None).as_bytes())),
             [section] => {
                 let section = String::from_utf8_lossy(section).to_string();
-                RespValue::Bulk(Some(server.info(Some(&section)).into_bytes()))
+                out.bulk(Some(server.info(Some(&section)).as_bytes()));
             }
-            _ => wrong_arity(),
+            _ => wrong_arity(out),
         },
         b"STATS" => match rest {
-            [] => RespValue::Bulk(Some(server.metrics_prometheus().into_bytes())),
+            [] => out.bulk(Some(server.metrics_prometheus().as_bytes())),
             [fmt] if fmt.eq_ignore_ascii_case(b"json") => {
-                RespValue::Bulk(Some(server.metrics_json().into_bytes()))
+                out.bulk(Some(server.metrics_json().as_bytes()));
             }
             [sub] if sub.eq_ignore_ascii_case(b"reset") => {
                 server.reset_metrics_window();
-                RespValue::Simple("OK".into())
+                out.simple("OK");
             }
-            _ => wrong_arity(),
+            _ => wrong_arity(out),
         },
-        b"PROBE" => probe_dispatch(rest),
-        _ => RespValue::Error(format!(
-            "ERR unknown command '{}'",
-            String::from_utf8_lossy(name)
-        )),
+        b"PROBE" => {
+            let reply = probe_dispatch(rest);
+            let buf = reply.encode();
+            let chunk = out.tail();
+            chunk.extend_from_slice(&buf);
+        }
+        _ => unknown_command(name, out),
     }
+}
+
+/// Uppercases a command name into a stack buffer; `None` if it is longer
+/// than any known command (then it is necessarily unknown).
+fn upper_name<'a>(name: &[u8], scratch: &'a mut [u8; 16]) -> Option<&'a [u8]> {
+    if name.len() > scratch.len() {
+        return None;
+    }
+    for (dst, &src) in scratch.iter_mut().zip(name) {
+        *dst = src.to_ascii_uppercase();
+    }
+    Some(&scratch[..name.len()])
+}
+
+fn wrong_arity(out: &mut ReplyBuf) {
+    out.error("ERR wrong number of arguments");
+}
+
+fn vm_err(e: odf_core::VmError, out: &mut ReplyBuf) {
+    out.error(&format!("ERR {e}"));
+}
+
+fn unknown_command(name: &[u8], out: &mut ReplyBuf) {
+    out.error(&format!(
+        "ERR unknown command '{}'",
+        String::from_utf8_lossy(name)
+    ));
 }
 
 /// The `PROBE` command family: live attach/detach/read of probe programs
@@ -301,17 +731,37 @@ fn probe_dispatch(rest: &[&[u8]]) -> RespValue {
 
 /// Feeds a byte stream of pipelined commands to the server, as a
 /// connection handler would, returning the concatenated replies.
+///
+/// Runs on the zero-copy path: commands are parsed in place from a
+/// [`RecvBuf`] and argument slices borrow the receive buffer.
 pub fn serve_stream(server: &mut Server, input: &[u8]) -> Vec<u8> {
+    let mut rx = RecvBuf::new();
+    rx.push(input);
+    let mut reply = ReplyBuf::new();
+    let mut args = Vec::new();
     let mut out = Vec::new();
-    let mut at = 0;
-    while at < input.len() {
-        match RespValue::decode(&input[at..]) {
-            None => break, // incomplete trailing command
-            Some((value, used)) => {
-                out.extend_from_slice(&dispatch(server, &value).encode());
-                at += used;
+    loop {
+        match rx.parse_command(&mut args) {
+            Parsed::Incomplete => break, // incomplete trailing command
+            Parsed::Error { used, msg } => {
+                reply.error(&format!("ERR {msg}"));
+                rx.consume(used);
+            }
+            Parsed::Cmd { used } => {
+                if args.len() <= MAX_INLINE_ARGS {
+                    let mut argv: [&[u8]; MAX_INLINE_ARGS] = [b""; MAX_INLINE_ARGS];
+                    for (slot, &range) in argv.iter_mut().zip(args.iter()) {
+                        *slot = rx.arg(range);
+                    }
+                    dispatch_args(server, &argv[..args.len()], &mut reply);
+                } else {
+                    let argv: Vec<&[u8]> = args.iter().map(|&r| rx.arg(r)).collect();
+                    dispatch_args(server, &argv, &mut reply);
+                }
+                rx.consume(used);
             }
         }
+        reply.flush_into(&mut out);
     }
     out
 }
@@ -459,6 +909,164 @@ mod tests {
         assert!(json.starts_with('{') && json.contains("\"pool\":{"));
     }
 
+    /// Feeds `stream` to a fresh `RecvBuf` in chunks split at `cuts`,
+    /// collecting every parsed command as owned argument vectors plus the
+    /// protocol errors seen.
+    pub(super) fn feed_chunked(
+        stream: &[u8],
+        cuts: &[usize],
+    ) -> (Vec<Vec<Vec<u8>>>, Vec<&'static str>) {
+        let mut rx = RecvBuf::new();
+        let mut args = Vec::new();
+        let mut commands = Vec::new();
+        let mut errors = Vec::new();
+        let mut fed = 0;
+        let mut cuts = cuts.iter().copied().filter(|&c| c <= stream.len());
+        loop {
+            let next = cuts.next().unwrap_or(stream.len());
+            if next > fed {
+                rx.push(&stream[fed..next]);
+                fed = next;
+            }
+            loop {
+                match rx.parse_command(&mut args) {
+                    Parsed::Incomplete => break,
+                    Parsed::Error { used, msg } => {
+                        errors.push(msg);
+                        rx.consume(used);
+                    }
+                    Parsed::Cmd { used } => {
+                        commands.push(args.iter().map(|&r| rx.arg(r).to_vec()).collect());
+                        rx.consume(used);
+                    }
+                }
+            }
+            if fed == stream.len() {
+                return (commands, errors);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parse_survives_any_split_point() {
+        // Frame boundaries land mid-length, mid-CRLF, and mid-bulk-body:
+        // every cut of a pipelined burst must parse identically.
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_command(&[b"SET", b"key-1", b"value with spaces"]));
+        stream.extend_from_slice(&encode_command(&[b"GET", b"key-1"]));
+        stream.extend_from_slice(&encode_command(&[b"PING"]));
+        let (whole, errors) = feed_chunked(&stream, &[]);
+        assert_eq!(whole.len(), 3);
+        assert!(errors.is_empty());
+        assert_eq!(whole[0][2], b"value with spaces");
+        for cut in 1..stream.len() {
+            let (chunked, errors) = feed_chunked(&stream, &[cut]);
+            assert_eq!(chunked, whole, "split at byte {cut}");
+            assert!(errors.is_empty());
+        }
+    }
+
+    #[test]
+    fn incremental_parse_split_table() {
+        // Named boundary cases: exactly where inside a frame the read
+        // returns short.
+        let wire = encode_command(&[b"SET", b"abc", b"0123456789"]);
+        // *3\r\n $3\r\n SET\r\n $3\r\n abc\r\n $10\r\n 0123456789\r\n
+        let cases: &[(&str, usize)] = &[
+            ("mid array count", 1),
+            ("mid header CRLF", 3),
+            ("mid bulk length", 5),
+            ("mid length CRLF", 7),
+            ("mid bulk body", 10),
+            ("between body and CRLF", wire.len() - 2),
+            ("mid trailing CRLF", wire.len() - 1),
+        ];
+        for &(what, cut) in cases {
+            let mut rx = RecvBuf::new();
+            let mut args = Vec::new();
+            rx.push(&wire[..cut]);
+            assert_eq!(
+                rx.parse_command(&mut args),
+                Parsed::Incomplete,
+                "{what}: prefix must be incomplete"
+            );
+            rx.push(&wire[cut..]);
+            let Parsed::Cmd { used } = rx.parse_command(&mut args) else {
+                panic!("{what}: full frame must parse");
+            };
+            assert_eq!(used, wire.len());
+            assert_eq!(rx.arg(args[2]), b"0123456789", "{what}");
+        }
+    }
+
+    #[test]
+    fn incremental_parse_rejects_garbage_without_wedging() {
+        let mut stream = b"!\r\n".to_vec();
+        stream.extend_from_slice(&encode_command(&[b"PING"]));
+        let (commands, errors) = feed_chunked(&stream, &[2]);
+        // The garbage degrades to errors byte-by-byte; the following
+        // command still parses.
+        assert_eq!(commands, vec![vec![b"PING".to_vec()]]);
+        assert!(!errors.is_empty());
+
+        let mut rx = RecvBuf::new();
+        rx.push(b"*2\r\n$3\r\nGET\r\n:5\r\n");
+        let mut args = Vec::new();
+        assert!(matches!(
+            rx.parse_command(&mut args),
+            Parsed::Error {
+                msg: "expected bulk string",
+                ..
+            }
+        ));
+        let mut rx = RecvBuf::new();
+        rx.push(b"*zz\r\n");
+        assert!(matches!(
+            rx.parse_command(&mut args),
+            Parsed::Error {
+                msg: "bad array length",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn reply_buf_preserves_order_around_pending_slots() {
+        let mut reply = ReplyBuf::new();
+        reply.simple("OK");
+        let token = reply.reserve_pending();
+        reply.integer(7);
+        let mut out = Vec::new();
+        assert_eq!(reply.flush_into(&mut out), 5);
+        assert_eq!(out, b"+OK\r\n");
+        assert!(reply.has_pending());
+        reply.complete(token, |buf| buf.extend_from_slice(b":42\r\n"));
+        reply.flush_into(&mut out);
+        assert_eq!(out, b"+OK\r\n:42\r\n:7\r\n");
+        assert!(!reply.has_pending());
+    }
+
+    #[test]
+    fn skip_reply_walks_every_reply_kind() {
+        for v in [
+            RespValue::Simple("OK".into()),
+            RespValue::Error("ERR x".into()),
+            RespValue::Integer(-9),
+            RespValue::Bulk(None),
+            RespValue::Bulk(Some(b"abc".to_vec())),
+            RespValue::Array(vec![
+                RespValue::Integer(1),
+                RespValue::Bulk(Some(b"two".to_vec())),
+            ]),
+        ] {
+            let wire = v.encode();
+            assert_eq!(skip_reply(&wire), Some(wire.len()), "{v:?}");
+            for cut in 1..wire.len() {
+                assert_eq!(skip_reply(&wire[..cut]), None, "{v:?} cut {cut}");
+            }
+        }
+    }
+
     #[test]
     fn pipelined_streams_serve_in_order() {
         let mut s = server();
@@ -476,5 +1084,43 @@ mod tests {
         ]
         .concat();
         assert_eq!(replies, expected);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::tests::feed_chunked as feed_chunked_for_prop;
+    use super::*;
+    use proptest::prelude::*;
+
+    fn command_strategy() -> impl Strategy<Value = Vec<Vec<u8>>> {
+        proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 1..5)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        /// Chunked feeding at arbitrary split points parses to exactly the
+        /// same command sequence as one whole-buffer feed.
+        #[test]
+        fn chunked_equals_whole_buffer(
+            commands in proptest::collection::vec(command_strategy(), 1..6),
+            cuts in proptest::collection::vec(1usize..4096, 0..12),
+        ) {
+            let mut stream = Vec::new();
+            for cmd in &commands {
+                let parts: Vec<&[u8]> = cmd.iter().map(Vec::as_slice).collect();
+                stream.extend_from_slice(&encode_command(&parts));
+            }
+            let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c % stream.len().max(1)).collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            let (whole, whole_errs) = feed_chunked_for_prop(&stream, &[]);
+            let (chunked, chunked_errs) = feed_chunked_for_prop(&stream, &cuts);
+            prop_assert_eq!(&whole, &commands);
+            prop_assert_eq!(whole, chunked);
+            prop_assert_eq!(whole_errs.len(), 0);
+            prop_assert_eq!(chunked_errs.len(), 0);
+        }
     }
 }

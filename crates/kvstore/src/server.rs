@@ -75,6 +75,30 @@ pub struct SnapshotReport {
     pub serialize_ns: u64,
 }
 
+/// Forks a snapshot child with `policy`, measuring the stall, and runs the
+/// soft-dirty epoch handshake every snapshotting path must get right: the
+/// child's frozen view belongs to epoch `n`, and when `incremental` the
+/// parent advances to epoch `n + 1` *before any post-fork write* — on the
+/// calling (serving) thread — so the next delta cannot miss a write.
+///
+/// Returns `(child, fork_ns, epoch, delta)` where `delta` says whether the
+/// caller should serialize an incremental image.
+pub(crate) fn fork_snapshot_child(
+    proc: &Process,
+    policy: ForkPolicy,
+    incremental: bool,
+) -> Result<(Process, u64, u64, bool)> {
+    let sw = Stopwatch::start();
+    let child = proc.fork_with(policy)?;
+    let fork_ns = sw.elapsed_ns();
+    let epoch = child.checkpoint_epoch();
+    let delta = incremental && epoch > 0;
+    if incremental {
+        proc.advance_checkpoint_epoch()?;
+    }
+    Ok((child, fork_ns, epoch, delta))
+}
+
 /// A single-threaded Redis-like server with background snapshots.
 ///
 /// `execute`-style operations run on the caller's thread (the "event
@@ -179,23 +203,10 @@ impl Server {
     /// Forks a snapshot child now (blocking, measured) and serializes it in
     /// the background.
     pub fn bgsave(&mut self) -> Result<()> {
-        let sw = Stopwatch::start();
-        let child = self.proc.fork_with(self.config.fork_policy)?;
-        let fork_ns = sw.elapsed_ns();
+        let (child, fork_ns, epoch, delta) =
+            fork_snapshot_child(&self.proc, self.config.fork_policy, self.config.incremental)?;
         self.fork_times.record(fork_ns as f64);
         let seq = self.fork_times.count() - 1;
-
-        // The child carries the parent's soft-dirty view frozen at fork
-        // time; it serializes epoch `n` while the parent starts
-        // accumulating epoch `n + 1`. The epoch advance must happen here,
-        // on the serving thread, before any post-fork write — otherwise
-        // the next delta would silently miss those writes.
-        let epoch = child.checkpoint_epoch();
-        let delta = self.config.incremental && epoch > 0;
-        if self.config.incremental {
-            self.proc.advance_checkpoint_epoch()?;
-        }
-
         let store = self.store;
         let tx = self.results_tx.clone();
         self.pending.push(std::thread::spawn(move || {

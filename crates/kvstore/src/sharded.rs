@@ -161,6 +161,12 @@ pub struct ThreadedServer {
     pending: Vec<JoinHandle<()>>,
     results_rx: mpsc::Receiver<ShardedSnapshot>,
     results_tx: mpsc::Sender<ShardedSnapshot>,
+    /// Per-shard request-index routing lists, reused across batches (under
+    /// pipeline=100 the per-batch `Vec` churn dominated the alloc profile).
+    route_scratch: Vec<Vec<usize>>,
+    /// Per-shard response staging, likewise reused; entry capacity tracks
+    /// the largest batch each shard has served.
+    reply_scratch: Vec<Vec<(usize, Response)>>,
 }
 
 impl ThreadedServer {
@@ -182,6 +188,8 @@ impl ThreadedServer {
             pending: Vec::new(),
             results_rx: rx,
             results_tx: tx,
+            route_scratch: (0..shards).map(|_| Vec::new()).collect(),
+            reply_scratch: (0..shards).map(|_| Vec::new()).collect(),
         })
     }
 
@@ -202,51 +210,64 @@ impl ThreadedServer {
     /// the same shard thread); requests for different shards race — which
     /// is exactly the concurrent-fault workload the shared-lock fault path
     /// exists for.
-    pub fn run_batch(&self, requests: &[Request]) -> Result<Vec<Response>> {
-        let mut by_shard: Vec<Vec<(usize, &Request)>> =
-            (0..self.store.shard_count()).map(|_| Vec::new()).collect();
+    pub fn run_batch(&mut self, requests: &[Request]) -> Result<Vec<Response>> {
+        for route in &mut self.route_scratch {
+            route.clear();
+        }
         for (i, req) in requests.iter().enumerate() {
             let shard = match req.key() {
                 Some(key) => self.store.shard_for(key),
                 None => 0,
             };
-            by_shard[shard].push((i, req));
+            self.route_scratch[shard].push(i);
         }
-        let mut out: Vec<Option<Response>> = vec![None; requests.len()];
+        let store = &self.store;
+        let proc = &self.proc;
         std::thread::scope(|s| -> Result<()> {
             let mut handles = Vec::new();
-            for (shard, work) in by_shard.into_iter().enumerate() {
-                if work.is_empty() {
+            for (shard, (route, replies)) in self
+                .route_scratch
+                .iter()
+                .zip(self.reply_scratch.iter_mut())
+                .enumerate()
+            {
+                if route.is_empty() {
                     continue;
                 }
-                let store = self.store.shard(shard);
-                let proc = Arc::clone(&self.proc);
-                handles.push(s.spawn(move || -> Result<Vec<(usize, Response)>> {
-                    work.into_iter()
-                        .map(|(i, req)| {
-                            let resp = match req {
-                                Request::Set(k, v) => {
-                                    store.set(&proc, k, v)?;
-                                    Response::Stored
-                                }
-                                Request::Get(k) => Response::Value(store.get(&proc, k)?),
-                                Request::Del(k) => Response::Deleted(store.del(&proc, k)?),
-                                Request::Stats => {
-                                    Response::Stats(proc.kernel().metrics_prometheus())
-                                }
-                            };
-                            Ok((i, resp))
-                        })
-                        .collect()
+                let shard_store = store.shard(shard);
+                let proc = Arc::clone(proc);
+                handles.push(s.spawn(move || -> Result<()> {
+                    replies.clear();
+                    replies.reserve(route.len());
+                    for &i in route {
+                        let resp = match &requests[i] {
+                            Request::Set(k, v) => {
+                                shard_store.set(&proc, k, v)?;
+                                Response::Stored
+                            }
+                            Request::Get(k) => Response::Value(shard_store.get(&proc, k)?),
+                            Request::Del(k) => Response::Deleted(shard_store.del(&proc, k)?),
+                            Request::Stats => Response::Stats(proc.kernel().metrics_prometheus()),
+                        };
+                        replies.push((i, resp));
+                    }
+                    Ok(())
                 }));
             }
             for h in handles {
-                for (i, resp) in h.join().expect("shard worker panicked")? {
-                    out[i] = Some(resp);
-                }
+                h.join().expect("shard worker panicked")?;
             }
             Ok(())
         })?;
+        // Pre-sized from the request count; filled in request order from
+        // the per-shard staging areas (every slot is written exactly once).
+        let mut out: Vec<Option<Response>> = Vec::with_capacity(requests.len());
+        out.resize_with(requests.len(), || None);
+        for replies in &mut self.reply_scratch {
+            for (i, resp) in replies.drain(..) {
+                out[i] = Some(resp);
+            }
+        }
         Ok(out
             .into_iter()
             .map(|r| r.expect("response filled"))
@@ -322,7 +343,7 @@ mod tests {
     #[test]
     fn batches_serve_concurrently_and_in_key_order() {
         let k = Kernel::new(128 << 20);
-        let server = ThreadedServer::new(&k, 4, 8 << 20, 128, ForkPolicy::OnDemand).unwrap();
+        let mut server = ThreadedServer::new(&k, 4, 8 << 20, 128, ForkPolicy::OnDemand).unwrap();
         let mut batch = Vec::new();
         for i in 0..200u32 {
             let key = format!("k{i}").into_bytes();
@@ -350,7 +371,7 @@ mod tests {
     #[test]
     fn stats_request_rides_a_batch() {
         let k = Kernel::new(128 << 20);
-        let server = ThreadedServer::new(&k, 2, 8 << 20, 128, ForkPolicy::OnDemand).unwrap();
+        let mut server = ThreadedServer::new(&k, 2, 8 << 20, 128, ForkPolicy::OnDemand).unwrap();
         let responses = server
             .run_batch(&[
                 Request::Set(b"a".to_vec(), b"1".to_vec()),
